@@ -1,0 +1,143 @@
+// Reproduces Fig. 12: qualitative case study of Ditto predictions on
+// the BA (beer) dataset. For one representative instance of each
+// outcome (TP, TN, FP, FN when present in the test split):
+//  - "Actual" saliency: per attribute, the |score delta| caused by
+//    masking that attribute alone — the ground-truth influence;
+//  - each method's saliency scores per attribute;
+//  - Aggr@k: |score delta| when masking the top-k attributes according
+//    to each method's ranking, for k = 1..#attributes.
+// A good explanation ranks attributes like "Actual" and yields large
+// Aggr@k already for small k.
+
+#include <cmath>
+#include <iostream>
+
+#include "data/benchmarks.h"
+#include "eval/harness.h"
+#include "eval/saliency_metrics.h"
+#include "explain/perturbation.h"
+#include "util/string_utils.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using certa::eval::HarnessOptions;
+
+double MaskedDelta(const certa::eval::Setup& setup,
+                   const certa::data::Record& u,
+                   const certa::data::Record& v, uint32_t left_mask,
+                   uint32_t right_mask, double original) {
+  certa::data::Record masked_u = certa::explain::DropAttributes(u, left_mask);
+  certa::data::Record masked_v =
+      certa::explain::DropAttributes(v, right_mask);
+  return std::fabs(original -
+                   setup.context.model->Score(masked_u, masked_v));
+}
+
+void Analyze(const certa::eval::Setup& setup,
+             const certa::data::LabeledPair& pair, const std::string& title,
+             const HarnessOptions& options) {
+  const auto& u = setup.dataset.left.record(pair.left_index);
+  const auto& v = setup.dataset.right.record(pair.right_index);
+  const int left_n = setup.dataset.left.schema().size();
+  const int right_n = setup.dataset.right.schema().size();
+  const int total = left_n + right_n;
+  double original = setup.context.model->Score(u, v);
+
+  std::vector<std::string> header = {"Method"};
+  for (int a = 0; a < left_n; ++a) {
+    header.push_back("L_" + setup.dataset.left.schema().name(a));
+  }
+  for (int a = 0; a < right_n; ++a) {
+    header.push_back("R_" + setup.dataset.right.schema().name(a));
+  }
+  for (int k = 1; k <= total; ++k) {
+    header.push_back("Aggr@" + std::to_string(k));
+  }
+  certa::TablePrinter table(header);
+
+  // Actual saliency row: single-attribute masking deltas; its Aggr@k
+  // masks the top-k actually-influential attributes.
+  certa::explain::SaliencyExplanation actual(left_n, right_n);
+  for (int a = 0; a < left_n; ++a) {
+    actual.set_score({certa::data::Side::kLeft, a},
+                     MaskedDelta(setup, u, v, 1u << a, 0u, original));
+  }
+  for (int a = 0; a < right_n; ++a) {
+    actual.set_score({certa::data::Side::kRight, a},
+                     MaskedDelta(setup, u, v, 0u, 1u << a, original));
+  }
+
+  auto add_row = [&](const std::string& name,
+                     const certa::explain::SaliencyExplanation& expl) {
+    std::vector<std::string> cells = {name};
+    for (double score : expl.Flattened()) {
+      cells.push_back(certa::FormatDouble(score, 4));
+    }
+    for (int k = 1; k <= total; ++k) {
+      certa::data::Record masked_u;
+      certa::data::Record masked_v;
+      certa::eval::MaskTopAttributes(
+          u, v, expl, static_cast<double>(k) / total, &masked_u, &masked_v);
+      double delta = std::fabs(
+          original - setup.context.model->Score(masked_u, masked_v));
+      cells.push_back(certa::FormatDouble(delta, 4));
+    }
+    table.AddRow(cells);
+  };
+
+  for (const std::string& method : certa::eval::SaliencyMethodNames()) {
+    auto explainer =
+        certa::eval::MakeSaliencyExplainer(method, setup, options);
+    add_row(method, explainer->ExplainSaliency(u, v));
+  }
+  add_row("Actual", actual);
+
+  certa::PrintBanner(std::cout,
+                     title + ": label=" + std::to_string(pair.label) +
+                         ", score=" + certa::FormatDouble(original, 2));
+  std::cout << "record pair:\n";
+  for (int a = 0; a < left_n; ++a) {
+    std::cout << "  L_" << setup.dataset.left.schema().name(a) << " = "
+              << u.value(a) << "\n";
+  }
+  for (int a = 0; a < right_n; ++a) {
+    std::cout << "  R_" << setup.dataset.right.schema().name(a) << " = "
+              << v.value(a) << "\n";
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  HarnessOptions options = certa::eval::OptionsFromEnv();
+  auto setup = certa::eval::Prepare("BA", certa::models::ModelKind::kDitto,
+                                    options);
+  const certa::data::LabeledPair* cases[4] = {nullptr, nullptr, nullptr,
+                                              nullptr};
+  const char* names[4] = {"Fig. 12(a) True positive",
+                          "Fig. 12(b) True negative",
+                          "Fig. 12(c) False positive",
+                          "Fig. 12(d) False negative"};
+  for (const auto& pair : setup->dataset.test) {
+    const auto& u = setup->dataset.left.record(pair.left_index);
+    const auto& v = setup->dataset.right.record(pair.right_index);
+    int predicted = setup->context.model->Predict(u, v) ? 1 : 0;
+    int slot;
+    if (pair.label == 1 && predicted == 1) slot = 0;
+    else if (pair.label == 0 && predicted == 0) slot = 1;
+    else if (pair.label == 0 && predicted == 1) slot = 2;
+    else slot = 3;
+    if (cases[slot] == nullptr) cases[slot] = &pair;
+  }
+  for (int c = 0; c < 4; ++c) {
+    if (cases[c] == nullptr) {
+      std::cout << "\n(" << names[c]
+                << ": no such outcome in the BA test split)\n";
+      continue;
+    }
+    Analyze(*setup, *cases[c], names[c], options);
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Reproduces Figs. 3-4: for wrong predictions, generate saliency
+// explanations with every method, then *inspect their faithfulness* by
+// copying the values of each method's two most salient attributes into
+// the counterpart record (making the pair more similar) and re-scoring.
+// A faithful explanation of a wrong Non-Match moves the matching score
+// the most (the paper's CERTA column jumps while baselines barely
+// move).
+
+#include <iostream>
+
+#include "data/benchmarks.h"
+#include "eval/harness.h"
+#include "util/string_utils.h"
+#include "util/table_printer.h"
+
+namespace {
+
+/// Copies the value of attribute `ref` into the counterpart record's
+/// aligned attribute (the Fig. 4 inspection operation).
+void CopyAcross(certa::explain::AttributeRef ref, certa::data::Record* u,
+                certa::data::Record* v) {
+  if (ref.side == certa::data::Side::kLeft) {
+    if (static_cast<size_t>(ref.index) < v->values.size()) {
+      v->values[ref.index] = u->values[ref.index];
+    }
+  } else {
+    if (static_cast<size_t>(ref.index) < u->values.size()) {
+      u->values[ref.index] = v->values[ref.index];
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  certa::eval::HarnessOptions options = certa::eval::OptionsFromEnv();
+  // Copy@1 discriminates when the models are similarity-saturated by
+  // two copied attributes; the paper's protocol is the top-2 variant.
+  certa::TablePrinter table({"System on pair", "Original", "CERTA@1",
+                             "CERTA@2", "Mojito@1", "Mojito@2",
+                             "LandMark@1", "LandMark@2", "SHAP@1",
+                             "SHAP@2"});
+  certa::TablePrinter saliency_table(
+      {"System on pair", "Method", "Top-2 salient attributes"});
+
+  for (certa::models::ModelKind kind : certa::models::AllModelKinds()) {
+    auto setup = certa::eval::Prepare("AB", kind, options);
+    // A wrong prediction: prefer a false negative (true match predicted
+    // Non-Match), the paper's scenario.
+    const certa::data::LabeledPair* wrong = nullptr;
+    for (const auto& pair : setup->dataset.test) {
+      const auto& u = setup->dataset.left.record(pair.left_index);
+      const auto& v = setup->dataset.right.record(pair.right_index);
+      bool predicted = setup->context.model->Predict(u, v);
+      if (pair.label == 1 && !predicted) {
+        wrong = &pair;
+        break;
+      }
+    }
+    if (wrong == nullptr) {
+      for (const auto& pair : setup->dataset.test) {
+        const auto& u = setup->dataset.left.record(pair.left_index);
+        const auto& v = setup->dataset.right.record(pair.right_index);
+        if ((setup->context.model->Predict(u, v) ? 1 : 0) != pair.label) {
+          wrong = &pair;
+          break;
+        }
+      }
+    }
+    if (wrong == nullptr) {
+      std::cout << "(no wrong prediction found for "
+                << certa::models::ModelKindName(kind) << " on AB)\n";
+      continue;
+    }
+    const auto& u = setup->dataset.left.record(wrong->left_index);
+    const auto& v = setup->dataset.right.record(wrong->right_index);
+    double original = setup->context.model->Score(u, v);
+    std::vector<std::string> row = {
+        certa::models::ModelKindName(kind) + " (label=" +
+            std::to_string(wrong->label) + ")",
+        certa::FormatDouble(original, 3)};
+    for (const std::string& method :
+         {std::string("CERTA"), std::string("Mojito"),
+          std::string("LandMark"), std::string("SHAP")}) {
+      auto explainer =
+          certa::eval::MakeSaliencyExplainer(method, *setup, options);
+      certa::explain::SaliencyExplanation explanation =
+          explainer->ExplainSaliency(u, v);
+      std::vector<certa::explain::AttributeRef> ranked =
+          explanation.Ranked();
+      certa::data::Record modified_u = u;
+      certa::data::Record modified_v = v;
+      std::string names;
+      for (size_t k = 0; k < ranked.size() && k < 2; ++k) {
+        CopyAcross(ranked[k], &modified_u, &modified_v);
+        if (!names.empty()) names += ", ";
+        names += certa::explain::QualifiedAttributeName(
+            setup->dataset.left.schema(), setup->dataset.right.schema(),
+            ranked[k]);
+        row.push_back(certa::FormatDouble(
+            setup->context.model->Score(modified_u, modified_v), 3));
+      }
+      saliency_table.AddRow({certa::models::ModelKindName(kind), method,
+                             names});
+    }
+    table.AddRow(row);
+  }
+  certa::PrintBanner(std::cout,
+                     "Fig. 3 — Top-2 saliency attributes per method on a "
+                     "wrong AB prediction");
+  saliency_table.Print(std::cout);
+  certa::PrintBanner(std::cout,
+                     "Fig. 4 — Matching score after copying each method's "
+                     "top-2 salient attributes across the pair");
+  table.Print(std::cout);
+  return 0;
+}

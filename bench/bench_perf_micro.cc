@@ -1,0 +1,174 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// pieces, including the DESIGN.md ablation: lattice tagging with the
+// monotone-propagation optimization vs exhaustive enumeration, which is
+// the paper's Sect. 4/5.6 efficiency claim in isolation.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/certa_explainer.h"
+#include "core/lattice.h"
+#include "data/benchmarks.h"
+#include "eval/harness.h"
+#include "text/hashing_vectorizer.h"
+#include "text/similarity.h"
+
+namespace {
+
+// --- Lattice tagging: monotone propagation vs exhaustive -------------
+//
+// The flip oracle simulates a model invocation (a few microseconds of
+// feature work); the ablation measures how much of that cost the
+// monotone propagation avoids. With a free oracle both variants would
+// be bookkeeping-bound and the comparison meaningless.
+
+double SimulatedModelCall(certa::explain::AttrMask mask) {
+  double x = 1.0 + static_cast<double>(mask);
+  for (int i = 0; i < 120; ++i) {
+    x = x * 1.0000001 + 0.5 / x;
+  }
+  return x;
+}
+
+void BM_LatticeTagMonotone(benchmark::State& state) {
+  const int attributes = static_cast<int>(state.range(0));
+  certa::core::Lattice lattice(attributes);
+  // Flip once any of the two lowest bits is present (a typical MFA of
+  // two singletons), so propagation prunes most of the lattice.
+  auto flips = [](certa::explain::AttrMask mask) {
+    benchmark::DoNotOptimize(SimulatedModelCall(mask));
+    return (mask & 3u) != 0u;
+  };
+  for (auto _ : state) {
+    auto tags = lattice.Tag(flips, /*assume_monotone=*/true);
+    benchmark::DoNotOptimize(tags.performed);
+  }
+}
+BENCHMARK(BM_LatticeTagMonotone)->Arg(3)->Arg(5)->Arg(8)->Arg(12);
+
+void BM_LatticeTagExhaustive(benchmark::State& state) {
+  const int attributes = static_cast<int>(state.range(0));
+  certa::core::Lattice lattice(attributes);
+  auto flips = [](certa::explain::AttrMask mask) {
+    benchmark::DoNotOptimize(SimulatedModelCall(mask));
+    return (mask & 3u) != 0u;
+  };
+  for (auto _ : state) {
+    auto tags = lattice.Tag(flips, /*assume_monotone=*/false);
+    benchmark::DoNotOptimize(tags.performed);
+  }
+}
+BENCHMARK(BM_LatticeTagExhaustive)->Arg(3)->Arg(5)->Arg(8)->Arg(12);
+
+// --- String similarity kernels ----------------------------------------
+
+void BM_Levenshtein(benchmark::State& state) {
+  std::string a = "sony bravia theater black micro system davis50b";
+  std::string b = "sony bravia dav-is50 / b home theater system";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(certa::text::LevenshteinSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_Levenshtein);
+
+void BM_JaroWinkler(benchmark::State& state) {
+  std::string a = "altec lansing inmotion";
+  std::string b = "altec lansing inmotion im600";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(certa::text::JaroWinklerSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_AttributeSimilarity(benchmark::State& state) {
+  std::string a = "sony bravia theater black micro system davis50b";
+  std::string b = "sony bravia dav-is50 / b home theater system";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(certa::text::AttributeSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_AttributeSimilarity);
+
+// --- Hashing vectorizer ------------------------------------------------
+
+void BM_HashingVectorizer(benchmark::State& state) {
+  certa::text::HashingVectorizer vectorizer(96);
+  std::vector<std::string> tokens = {"sony",  "bravia", "theater",
+                                     "black", "micro",  "system",
+                                     "davis50b"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vectorizer.TransformNormalized(tokens));
+  }
+}
+BENCHMARK(BM_HashingVectorizer);
+
+// --- Model scoring and full CERTA explanations -------------------------
+
+struct Fixture {
+  std::unique_ptr<certa::eval::Setup> setup;
+  Fixture() {
+    certa::eval::HarnessOptions options;
+    setup = certa::eval::Prepare("AB", certa::models::ModelKind::kDitto,
+                                 options);
+  }
+};
+
+Fixture& GetFixture() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+void BM_ModelScore(benchmark::State& state) {
+  Fixture& fixture = GetFixture();
+  const auto& pair = fixture.setup->dataset.test.front();
+  const auto& u = fixture.setup->dataset.left.record(pair.left_index);
+  const auto& v = fixture.setup->dataset.right.record(pair.right_index);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.setup->model->Score(u, v));
+  }
+}
+BENCHMARK(BM_ModelScore);
+
+void BM_CertaExplainCached(benchmark::State& state) {
+  // Warm-cache regime: how the evaluation harness actually runs, where
+  // repeated perturbations hit the CachingMatcher.
+  Fixture& fixture = GetFixture();
+  certa::core::CertaExplainer::Options options;
+  options.num_triangles = static_cast<int>(state.range(0));
+  certa::core::CertaExplainer explainer(fixture.setup->context, options);
+  const auto& pair = fixture.setup->dataset.test.front();
+  const auto& u = fixture.setup->dataset.left.record(pair.left_index);
+  const auto& v = fixture.setup->dataset.right.record(pair.right_index);
+  for (auto _ : state) {
+    certa::core::CertaResult result = explainer.Explain(u, v);
+    benchmark::DoNotOptimize(result.triangles_used);
+  }
+}
+BENCHMARK(BM_CertaExplainCached)->Arg(10)->Arg(100)->Unit(
+    benchmark::kMillisecond);
+
+void BM_CertaExplainUncached(benchmark::State& state) {
+  // Cold regime: every perturbation pays a real model invocation, so
+  // the cost scales with τ and with the monotone savings.
+  Fixture& fixture = GetFixture();
+  certa::explain::ExplainContext raw_context{
+      fixture.setup->model.get(), &fixture.setup->dataset.left,
+      &fixture.setup->dataset.right};
+  certa::core::CertaExplainer::Options options;
+  options.num_triangles = static_cast<int>(state.range(0));
+  certa::core::CertaExplainer explainer(raw_context, options);
+  const auto& pair = fixture.setup->dataset.test.front();
+  const auto& u = fixture.setup->dataset.left.record(pair.left_index);
+  const auto& v = fixture.setup->dataset.right.record(pair.right_index);
+  for (auto _ : state) {
+    certa::core::CertaResult result = explainer.Explain(u, v);
+    benchmark::DoNotOptimize(result.triangles_used);
+  }
+}
+BENCHMARK(BM_CertaExplainUncached)->Arg(10)->Arg(50)->Arg(100)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

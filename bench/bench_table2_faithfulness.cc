@@ -1,0 +1,54 @@
+// Reproduces Table 2: Faithfulness (AUC of the masking-threshold F1
+// curve; lower is better) of saliency explanations by CERTA, LandMark,
+// Mojito and SHAP, for each of the 12 benchmarks and 3 ER models.
+
+#include <iostream>
+
+#include "data/benchmarks.h"
+#include "eval/harness.h"
+#include "eval/saliency_metrics.h"
+#include "util/stopwatch.h"
+#include "util/string_utils.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using certa::eval::HarnessOptions;
+
+void RunModel(certa::models::ModelKind kind, const HarnessOptions& options) {
+  certa::TablePrinter table({"Dataset", "CERTA", "LandMark", "Mojito",
+                             "SHAP", "model F1"});
+  for (const std::string& code : certa::data::BenchmarkCodes()) {
+    auto setup = certa::eval::Prepare(code, kind, options);
+    auto pairs = certa::eval::ExplainedPairs(*setup, options);
+    std::vector<double> row;
+    for (const std::string& method : certa::eval::SaliencyMethodNames()) {
+      auto explainer =
+          certa::eval::MakeSaliencyExplainer(method, *setup, options);
+      std::vector<certa::explain::SaliencyExplanation> explanations =
+          certa::eval::RunSaliencyCell(explainer.get(), *setup, pairs);
+      row.push_back(certa::eval::Faithfulness(setup->context, pairs,
+                                              setup->dataset.left,
+                                              setup->dataset.right,
+                                              explanations));
+    }
+    row.push_back(setup->test_f1);
+    table.AddRow(code, row, 3);
+  }
+  certa::PrintBanner(std::cout, "Table 2 — Faithfulness (lower = better), " +
+                                    certa::models::ModelKindName(kind));
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  certa::Stopwatch stopwatch;
+  HarnessOptions options = certa::eval::OptionsFromEnv();
+  for (certa::models::ModelKind kind : certa::models::AllModelKinds()) {
+    RunModel(kind, options);
+  }
+  std::cout << "\n[table2] total "
+            << certa::FormatDouble(stopwatch.ElapsedSeconds(), 1) << "s\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces Table 3: Confidence Indication (MAE of a linear probe
+// predicting the model's confidence from the saliency scores; lower is
+// better) for CERTA, LandMark, Mojito and SHAP.
+
+#include <iostream>
+
+#include "data/benchmarks.h"
+#include "eval/harness.h"
+#include "eval/saliency_metrics.h"
+#include "util/stopwatch.h"
+#include "util/string_utils.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using certa::eval::HarnessOptions;
+
+void RunModel(certa::models::ModelKind kind, const HarnessOptions& options) {
+  certa::TablePrinter table(
+      {"Dataset", "CERTA", "LandMark", "Mojito", "SHAP"});
+  for (const std::string& code : certa::data::BenchmarkCodes()) {
+    auto setup = certa::eval::Prepare(code, kind, options);
+    auto pairs = certa::eval::ExplainedPairs(*setup, options);
+    std::vector<double> row;
+    for (const std::string& method : certa::eval::SaliencyMethodNames()) {
+      auto explainer =
+          certa::eval::MakeSaliencyExplainer(method, *setup, options);
+      auto explanations =
+          certa::eval::RunSaliencyCell(explainer.get(), *setup, pairs);
+      row.push_back(certa::eval::ConfidenceIndication(
+          setup->context, pairs, setup->dataset.left, setup->dataset.right,
+          explanations));
+    }
+    table.AddRow(code, row, 3);
+  }
+  certa::PrintBanner(std::cout,
+                     "Table 3 — Confidence Indication (lower = better), " +
+                         certa::models::ModelKindName(kind));
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  certa::Stopwatch stopwatch;
+  HarnessOptions options = certa::eval::OptionsFromEnv();
+  for (certa::models::ModelKind kind : certa::models::AllModelKinds()) {
+    RunModel(kind, options);
+  }
+  std::cout << "\n[table3] total "
+            << certa::FormatDouble(stopwatch.ElapsedSeconds(), 1) << "s\n";
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces Table 4: Proximity of counterfactual explanations (mean
+// attribute-wise similarity of counterfactuals to the original input;
+// higher is better) for CERTA, DiCE, SHAP-C and LIME-C.
+
+#include "cf_grid.h"
+
+int main() {
+  certa_bench::RunCfGrid(
+      "Table 4 — Proximity (higher = better)",
+      [](const certa::eval::CfAggregate& a) { return a.proximity; }, 2);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces Table 5: Sparsity of counterfactual explanations (fraction
+// of attributes left unchanged; higher is better) for CERTA, DiCE,
+// SHAP-C and LIME-C.
+
+#include "cf_grid.h"
+
+int main() {
+  certa_bench::RunCfGrid(
+      "Table 5 — Sparsity (higher = better)",
+      [](const certa::eval::CfAggregate& a) { return a.sparsity; }, 2);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces Table 6: Diversity of counterfactual explanation sets
+// (mean pairwise dissimilarity among the examples generated for one
+// input; higher is better) for CERTA, DiCE, SHAP-C and LIME-C.
+
+#include "cf_grid.h"
+
+int main() {
+  certa_bench::RunCfGrid(
+      "Table 6 — Diversity (higher = better)",
+      [](const certa::eval::CfAggregate& a) { return a.diversity; }, 2);
+  return 0;
+}

@@ -1,0 +1,56 @@
+#ifndef CERTA_BENCH_CF_GRID_H_
+#define CERTA_BENCH_CF_GRID_H_
+
+// Shared driver for the counterfactual-metric tables (4, 5, 6) and
+// Fig. 10: runs every CF method over the full dataset x model grid and
+// prints one table per model using a caller-selected field of the
+// aggregate.
+
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "data/benchmarks.h"
+#include "eval/cf_metrics.h"
+#include "eval/harness.h"
+#include "util/stopwatch.h"
+#include "util/string_utils.h"
+#include "util/table_printer.h"
+
+namespace certa_bench {
+
+/// Runs the CF grid and prints `metric(aggregate)` per cell. `title`
+/// names the experiment (e.g. "Table 4 — Proximity").
+inline void RunCfGrid(
+    const std::string& title,
+    const std::function<double(const certa::eval::CfAggregate&)>& metric,
+    int decimals) {
+  certa::Stopwatch stopwatch;
+  certa::eval::HarnessOptions options = certa::eval::OptionsFromEnv();
+  for (certa::models::ModelKind kind : certa::models::AllModelKinds()) {
+    certa::TablePrinter table(
+        {"Dataset", "CERTA", "DiCE", "SHAP-C", "LIME-C"});
+    for (const std::string& code : certa::data::BenchmarkCodes()) {
+      auto setup = certa::eval::Prepare(code, kind, options);
+      auto pairs = certa::eval::ExplainedPairs(*setup, options);
+      std::vector<double> row;
+      for (const std::string& method : certa::eval::CfMethodNames()) {
+        auto explainer =
+            certa::eval::MakeCfExplainer(method, *setup, options);
+        certa::eval::CfAggregate aggregate =
+            certa::eval::RunCfCell(explainer.get(), *setup, pairs);
+        row.push_back(metric(aggregate));
+      }
+      table.AddRow(code, row, decimals);
+    }
+    certa::PrintBanner(
+        std::cout, title + ", " + certa::models::ModelKindName(kind));
+    table.Print(std::cout);
+  }
+  std::cout << "\n[cf-grid] total "
+            << certa::FormatDouble(stopwatch.ElapsedSeconds(), 1) << "s\n";
+}
+
+}  // namespace certa_bench
+
+#endif  // CERTA_BENCH_CF_GRID_H_

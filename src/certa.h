@@ -1,0 +1,42 @@
+#ifndef CERTA_CERTA_H_
+#define CERTA_CERTA_H_
+
+/// Umbrella header: the full public API of the CERTA explanation
+/// library. Individual headers stay includable on their own; this is a
+/// convenience for applications.
+
+#include "core/certa_explainer.h"   // IWYU pragma: export
+#include "core/lattice.h"           // IWYU pragma: export
+#include "core/token_explainer.h"   // IWYU pragma: export
+#include "core/triangles.h"         // IWYU pragma: export
+#include "data/benchmarks.h"        // IWYU pragma: export
+#include "data/blocking.h"          // IWYU pragma: export
+#include "data/csv.h"               // IWYU pragma: export
+#include "data/dataset.h"           // IWYU pragma: export
+#include "data/generator.h"         // IWYU pragma: export
+#include "data/table.h"             // IWYU pragma: export
+#include "eval/cf_metrics.h"        // IWYU pragma: export
+#include "eval/harness.h"           // IWYU pragma: export
+#include "eval/saliency_metrics.h"  // IWYU pragma: export
+#include "eval/stability.h"         // IWYU pragma: export
+#include "eval/validity.h"          // IWYU pragma: export
+#include "explain/aggregate.h"      // IWYU pragma: export
+#include "explain/anchors.h"        // IWYU pragma: export
+#include "explain/dice.h"           // IWYU pragma: export
+#include "explain/explainer.h"      // IWYU pragma: export
+#include "explain/explanation.h"    // IWYU pragma: export
+#include "explain/json_export.h"    // IWYU pragma: export
+#include "explain/landmark.h"       // IWYU pragma: export
+#include "explain/lime.h"           // IWYU pragma: export
+#include "explain/mojito.h"         // IWYU pragma: export
+#include "explain/report.h"         // IWYU pragma: export
+#include "explain/sedc.h"           // IWYU pragma: export
+#include "explain/shap.h"           // IWYU pragma: export
+#include "models/matcher.h"         // IWYU pragma: export
+#include "models/rule_model.h"      // IWYU pragma: export
+#include "models/svm_model.h"       // IWYU pragma: export
+#include "models/trainer.h"         // IWYU pragma: export
+#include "util/archive.h"           // IWYU pragma: export
+#include "util/json_writer.h"       // IWYU pragma: export
+
+#endif  // CERTA_CERTA_H_

@@ -1,0 +1,214 @@
+#include "core/certa_explainer.h"
+
+#include <map>
+#include <utility>
+
+#include "core/lattice.h"
+#include "explain/perturbation.h"
+#include "util/logging.h"
+
+namespace certa::core {
+namespace {
+
+using explain::AttrMask;
+
+/// Content hash of the pair, mixed into the explainer seed so triangle
+/// sampling differs across inputs but is stable across runs.
+uint64_t PairHash(const data::Record& u, const data::Record& v) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  auto mix = [&hash](const std::string& value) {
+    for (char c : value) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 0x100000001b3ULL;
+    }
+    hash ^= 0x1f;
+    hash *= 0x100000001b3ULL;
+  };
+  for (const std::string& value : u.values) mix(value);
+  for (const std::string& value : v.values) mix(value);
+  return hash;
+}
+
+}  // namespace
+
+CertaExplainer::CertaExplainer(explain::ExplainContext context,
+                               Options options)
+    : context_(context), options_(options) {
+  CERTA_CHECK(context_.valid());
+  CERTA_CHECK_GT(options_.num_triangles, 0);
+}
+
+CertaResult CertaExplainer::Explain(const data::Record& u,
+                                    const data::Record& v) const {
+  const int left_attributes = context_.left->schema().size();
+  const int right_attributes = context_.right->schema().size();
+  CertaResult result;
+  result.saliency =
+      explain::SaliencyExplanation(left_attributes, right_attributes);
+
+  const bool original_prediction = context_.model->Predict(u, v);
+  Rng rng(options_.seed ^ PairHash(u, v));
+
+  TriangleOptions triangle_options;
+  triangle_options.count = options_.num_triangles;
+  triangle_options.allow_augmentation = options_.allow_augmentation;
+  triangle_options.only_augmentation = options_.only_augmentation;
+  std::vector<OpenTriangle> triangles =
+      CollectTriangles(context_, u, v, original_prediction, triangle_options,
+                       &rng, &result.triangle_stats);
+  result.triangles_used = static_cast<int>(triangles.size());
+  if (triangles.empty()) return result;
+
+  Lattice left_lattice(left_attributes);
+  Lattice right_lattice(right_attributes);
+
+  // Counters of Algorithm 1: N (necessity), f (total flips), S
+  // (sufficiency per attribute set), C (flip provenance per set).
+  std::vector<long long> necessity_left(left_attributes, 0);
+  std::vector<long long> necessity_right(right_attributes, 0);
+  long long total_flips = 0;
+  std::map<std::pair<data::Side, AttrMask>, int> sufficiency_counts;
+  std::map<std::pair<data::Side, AttrMask>, std::vector<int>> provenance;
+  int left_triangles = 0;
+  int right_triangles = 0;
+
+  for (size_t t = 0; t < triangles.size(); ++t) {
+    const OpenTriangle& triangle = triangles[t];
+    const bool is_left = triangle.side == data::Side::kLeft;
+    (is_left ? left_triangles : right_triangles) += 1;
+    const data::Record& free_record = is_left ? u : v;
+    const Lattice& lattice = is_left ? left_lattice : right_lattice;
+
+    auto flips = [&](AttrMask mask) {
+      data::Record perturbed =
+          explain::CopyAttributes(free_record, triangle.support, mask);
+      bool prediction = is_left ? context_.model->Predict(perturbed, v)
+                                : context_.model->Predict(u, perturbed);
+      return prediction != original_prediction;
+    };
+
+    Lattice::TagResult tags = lattice.Tag(flips, options_.assume_monotone);
+    result.predictions_expected += lattice.node_count();
+    result.predictions_performed += tags.performed;
+
+    if (options_.audit_inferences && options_.assume_monotone) {
+      // Re-test every inferred node; a disagreement is a monotonicity
+      // violation that CERTA silently absorbed (Table 7's error rate).
+      const AttrMask full =
+          (1u << (is_left ? left_attributes : right_attributes)) - 1u;
+      for (AttrMask mask = 1; mask < full; ++mask) {
+        if (tags.flip[mask] && !tags.tested[mask] && !flips(mask)) {
+          ++result.inference_errors;
+        }
+      }
+    }
+
+    std::vector<AttrMask> flipped = lattice.FlippedNodes(tags);
+    for (AttrMask mask : flipped) {
+      ++total_flips;
+      ++sufficiency_counts[{triangle.side, mask}];
+      provenance[{triangle.side, mask}].push_back(static_cast<int>(t));
+      for (int index : explain::MaskToIndices(mask)) {
+        (is_left ? necessity_left : necessity_right)[index] += 1;
+      }
+    }
+    // The supremum (full attribute set) is never tested (footnote 2 of
+    // the paper) but inherits a flip from any flipped proper subset by
+    // monotone propagation, and the paper's Sect. 4 example counts it
+    // among the flips for the necessity probabilities. It stays
+    // excluded from the counterfactual argmax (Eq. 3 ranges over
+    // proper subsets only).
+    if (!flipped.empty()) {
+      ++total_flips;
+      const int attributes = is_left ? left_attributes : right_attributes;
+      for (int index = 0; index < attributes; ++index) {
+        (is_left ? necessity_left : necessity_right)[index] += 1;
+      }
+    }
+  }
+  result.predictions_saved =
+      result.predictions_expected - result.predictions_performed;
+
+  // Saliency scores: probability of necessity φ_a = N[a] / f (Eq. 1).
+  if (total_flips > 0) {
+    for (int i = 0; i < left_attributes; ++i) {
+      result.saliency.set_score(
+          {data::Side::kLeft, i},
+          static_cast<double>(necessity_left[i]) / total_flips);
+    }
+    for (int i = 0; i < right_attributes; ++i) {
+      result.saliency.set_score(
+          {data::Side::kRight, i},
+          static_cast<double>(necessity_right[i]) / total_flips);
+    }
+  }
+
+  // Sufficiency per set: χ_A = S[A] / |T_side| (Eq. 2) — normalized by
+  // the triangles of the set's own side, matching the probabilistic
+  // reading P(flip | attributes in A changed).
+  double best_sufficiency = 0.0;
+  int best_size = 1 << 30;
+  data::Side best_side = data::Side::kLeft;
+  AttrMask best_mask = 0;
+  for (const auto& [key, count] : sufficiency_counts) {
+    const auto& [side, mask] = key;
+    int side_total =
+        side == data::Side::kLeft ? left_triangles : right_triangles;
+    if (side_total == 0) continue;
+    double sufficiency = static_cast<double>(count) / side_total;
+    result.set_sides.push_back(side);
+    result.set_masks.push_back(mask);
+    result.set_sufficiencies.push_back(sufficiency);
+    int size = explain::MaskSize(mask);
+    if (sufficiency > best_sufficiency ||
+        (sufficiency == best_sufficiency && size < best_size)) {
+      best_sufficiency = sufficiency;
+      best_size = size;
+      best_side = side;
+      best_mask = mask;
+    }
+  }
+  result.best_sufficiency = best_sufficiency;
+  result.best_side = best_side;
+  result.best_mask = best_mask;
+
+  // Counterfactual examples: every flipped input whose changed set is
+  // the golden set A* (Algorithm 1 lines 30-33).
+  if (best_mask != 0) {
+    const bool is_left = best_side == data::Side::kLeft;
+    const data::Record& free_record = is_left ? u : v;
+    for (int t : provenance[{best_side, best_mask}]) {
+      const OpenTriangle& triangle = triangles[static_cast<size_t>(t)];
+      data::Record perturbed =
+          explain::CopyAttributes(free_record, triangle.support, best_mask);
+      explain::CounterfactualExample example;
+      for (int index : explain::MaskToIndices(best_mask)) {
+        example.changed_attributes.push_back({best_side, index});
+      }
+      example.sufficiency = best_sufficiency;
+      if (is_left) {
+        example.left = perturbed;
+        example.right = v;
+      } else {
+        example.left = u;
+        example.right = perturbed;
+      }
+      example.score = context_.model->Score(example.left, example.right);
+      result.counterfactuals.push_back(std::move(example));
+    }
+  }
+  return result;
+}
+
+explain::SaliencyExplanation CertaExplainer::ExplainSaliency(
+    const data::Record& u, const data::Record& v) {
+  return Explain(u, v).saliency;
+}
+
+std::vector<explain::CounterfactualExample>
+CertaExplainer::ExplainCounterfactual(const data::Record& u,
+                                      const data::Record& v) {
+  return Explain(u, v).counterfactuals;
+}
+
+}  // namespace certa::core

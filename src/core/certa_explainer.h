@@ -1,0 +1,103 @@
+#ifndef CERTA_CORE_CERTA_EXPLAINER_H_
+#define CERTA_CORE_CERTA_EXPLAINER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/triangles.h"
+#include "explain/explainer.h"
+#include "explain/explanation.h"
+#include "explain/perturbation.h"
+
+namespace certa::core {
+
+/// Full result of one CERTA run: the saliency explanation (probability
+/// of necessity per attribute, Eq. 1), the counterfactual examples for
+/// the golden attribute set A* (Eq. 3), and the bookkeeping the paper's
+/// ablation experiments report.
+struct CertaResult {
+  explain::SaliencyExplanation saliency;
+  std::vector<explain::CounterfactualExample> counterfactuals;
+
+  /// χ_{A*}: probability of sufficiency of the winning attribute set.
+  double best_sufficiency = 0.0;
+  /// The winning changed-attribute set (side + mask); mask 0 when no
+  /// flip was ever observed.
+  data::Side best_side = data::Side::kLeft;
+  explain::AttrMask best_mask = 0;
+
+  /// Sufficiency χ_A per (side, mask), for every set that flipped at
+  /// least once. Parallel vectors.
+  std::vector<data::Side> set_sides;
+  std::vector<explain::AttrMask> set_masks;
+  std::vector<double> set_sufficiencies;
+
+  /// Triangle collection stats (Table 8).
+  TriangleStats triangle_stats;
+  int triangles_used = 0;
+
+  /// Lattice-tagging stats (Table 7), summed over triangles.
+  long long predictions_expected = 0;   // Σ (2^l - 2)
+  long long predictions_performed = 0;  // Σ tested nodes
+  long long predictions_saved = 0;      // expected - performed
+  /// Among saved (inferred) tags, how many disagree with the model's
+  /// actual outcome; only populated when Options::audit_inferences.
+  long long inference_errors = 0;
+};
+
+/// The CERTA algorithm (Algorithm 1). Implements both explainer
+/// interfaces so it drops into the shared evaluation harness alongside
+/// the baselines.
+class CertaExplainer : public explain::SaliencyExplainer,
+                       public explain::CounterfactualExplainer {
+ public:
+  struct Options {
+    /// τ — number of open triangles (the paper uses 100).
+    int num_triangles = 100;
+    /// Assume monotone classification and propagate flips (Sect. 4).
+    bool assume_monotone = true;
+    /// Data-augmentation fallback for triangle shortage (Sect. 3.3).
+    bool allow_augmentation = true;
+    /// Force augmented triangles only (Tables 9-10 ablation).
+    bool only_augmentation = false;
+    /// Additionally test every inferred node against the model to
+    /// measure the monotonicity error rate (Table 7). Costly; off by
+    /// default.
+    bool audit_inferences = false;
+    /// Seed for triangle sampling and augmentation.
+    uint64_t seed = 7;
+  };
+
+  CertaExplainer(explain::ExplainContext context, Options options);
+  CertaExplainer(explain::ExplainContext context)
+      : CertaExplainer(context, Options()) {}
+
+  std::string name() const override { return "CERTA"; }
+
+  /// Runs Algorithm 1 end to end.
+  CertaResult Explain(const data::Record& u, const data::Record& v) const;
+
+  // SaliencyExplainer / CounterfactualExplainer adapters.
+  explain::SaliencyExplanation ExplainSaliency(
+      const data::Record& u, const data::Record& v) override;
+  std::vector<explain::CounterfactualExample> ExplainCounterfactual(
+      const data::Record& u, const data::Record& v) override;
+
+  const Options& options() const { return options_; }
+
+ private:
+  explain::ExplainContext context_;
+  Options options_;
+};
+
+/// JSON export of a full CERTA result (saliency, counterfactuals,
+/// sufficiency table, triangle/lattice bookkeeping); see
+/// explain/json_export.h for the underlying building blocks.
+std::string CertaResultToJson(const CertaResult& result,
+                              const data::Schema& left,
+                              const data::Schema& right);
+
+}  // namespace certa::core
+
+#endif  // CERTA_CORE_CERTA_EXPLAINER_H_

@@ -1,0 +1,70 @@
+#include "core/certa_explainer.h"
+
+#include "explain/json_export.h"
+#include "explain/perturbation.h"
+#include "util/json_writer.h"
+
+namespace certa::core {
+
+std::string CertaResultToJson(const CertaResult& result,
+                              const data::Schema& left,
+                              const data::Schema& right) {
+  JsonWriter json;
+  json.BeginObject();
+
+  json.Key("saliency");
+  explain::WriteSaliency(&json, result.saliency, left, right);
+
+  json.Key("counterfactuals");
+  json.BeginArray();
+  for (const explain::CounterfactualExample& example :
+       result.counterfactuals) {
+    explain::WriteCounterfactual(&json, example, left, right);
+  }
+  json.EndArray();
+
+  json.Key("best_sufficiency");
+  json.Number(result.best_sufficiency);
+  json.Key("best_attribute_set");
+  json.BeginArray();
+  for (int index : explain::MaskToIndices(result.best_mask)) {
+    json.String(explain::QualifiedAttributeName(
+        left, right, {result.best_side, index}));
+  }
+  json.EndArray();
+
+  json.Key("sufficiency_per_set");
+  json.BeginArray();
+  for (size_t s = 0; s < result.set_masks.size(); ++s) {
+    json.BeginObject();
+    json.Key("attributes");
+    json.BeginArray();
+    for (int index : explain::MaskToIndices(result.set_masks[s])) {
+      json.String(explain::QualifiedAttributeName(
+          left, right, {result.set_sides[s], index}));
+    }
+    json.EndArray();
+    json.Key("sufficiency");
+    json.Number(result.set_sufficiencies[s]);
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.Key("triangles_used");
+  json.Int(result.triangles_used);
+  json.Key("triangles_natural");
+  json.Int(result.triangle_stats.natural);
+  json.Key("triangles_augmented");
+  json.Int(result.triangle_stats.augmented);
+  json.Key("predictions_expected");
+  json.Int(result.predictions_expected);
+  json.Key("predictions_performed");
+  json.Int(result.predictions_performed);
+  json.Key("predictions_saved");
+  json.Int(result.predictions_saved);
+
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace certa::core

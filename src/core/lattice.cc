@@ -1,0 +1,98 @@
+#include "core/lattice.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace certa::core {
+
+using explain::AttrMask;
+
+Lattice::Lattice(int num_attributes) : num_attributes_(num_attributes) {
+  CERTA_CHECK_GE(num_attributes, 1);
+  CERTA_CHECK_LE(num_attributes, 20);
+}
+
+int Lattice::node_count() const {
+  return num_attributes_ <= 1 ? 0 : (1 << num_attributes_) - 2;
+}
+
+Lattice::TagResult Lattice::Tag(
+    const std::function<bool(AttrMask)>& flips, bool assume_monotone) const {
+  const AttrMask full = (1u << num_attributes_) - 1u;
+  TagResult result;
+  result.flip.assign(full + 1u, 0);
+  result.tested.assign(full + 1u, 0);
+
+  // Visit levels bottom-up: all masks of size 1, then 2, ... l-1.
+  std::vector<AttrMask> masks;
+  masks.reserve(full > 0 ? full - 1 : 0);
+  for (AttrMask mask = 1; mask < full; ++mask) masks.push_back(mask);
+  std::stable_sort(masks.begin(), masks.end(), [](AttrMask a, AttrMask b) {
+    int pa = __builtin_popcount(a);
+    int pb = __builtin_popcount(b);
+    if (pa != pb) return pa < pb;
+    return a < b;
+  });
+
+  for (AttrMask mask : masks) {
+    if (assume_monotone) {
+      // If any direct subset (one attribute removed) flipped, the flip
+      // propagates upward without testing; subset flips at lower levels
+      // already propagated transitively.
+      bool inferred = false;
+      for (int bit = 0; bit < num_attributes_; ++bit) {
+        AttrMask child = mask & ~(1u << bit);
+        if (child == mask || child == 0u) continue;
+        if (result.flip[child]) {
+          inferred = true;
+          break;
+        }
+      }
+      if (inferred) {
+        result.flip[mask] = 1;
+        ++result.total_flips;
+        continue;
+      }
+    }
+    result.tested[mask] = 1;
+    ++result.performed;
+    if (flips(mask)) {
+      result.flip[mask] = 1;
+      ++result.total_flips;
+    }
+  }
+  return result;
+}
+
+std::vector<AttrMask> Lattice::MinimalFlippingAntichain(
+    const TagResult& tags) const {
+  const AttrMask full = (1u << num_attributes_) - 1u;
+  std::vector<AttrMask> antichain;
+  for (AttrMask mask = 1; mask < full; ++mask) {
+    if (!tags.flip[mask]) continue;
+    // Minimal iff no proper non-empty subset flipped. Enumerate proper
+    // submasks with the standard (sub - 1) & mask walk.
+    bool minimal = true;
+    for (AttrMask sub = (mask - 1) & mask; sub != 0u;
+         sub = (sub - 1) & mask) {
+      if (tags.flip[sub]) {
+        minimal = false;
+        break;
+      }
+    }
+    if (minimal) antichain.push_back(mask);
+  }
+  return antichain;
+}
+
+std::vector<AttrMask> Lattice::FlippedNodes(const TagResult& tags) const {
+  const AttrMask full = (1u << num_attributes_) - 1u;
+  std::vector<AttrMask> flipped;
+  for (AttrMask mask = 1; mask < full; ++mask) {
+    if (tags.flip[mask]) flipped.push_back(mask);
+  }
+  return flipped;
+}
+
+}  // namespace certa::core

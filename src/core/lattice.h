@@ -1,0 +1,70 @@
+#ifndef CERTA_CORE_LATTICE_H_
+#define CERTA_CORE_LATTICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "explain/perturbation.h"
+
+namespace certa::core {
+
+/// The lattice of attribute subsets used to tag one open triangle
+/// (Sect. 4). Nodes are the non-empty proper subsets of the free
+/// record's attribute set, ordered by inclusion; the paper's footnote 2
+/// excludes the empty set and the full set, so a lattice over l
+/// attributes has 2^l - 2 nodes.
+class Lattice {
+ public:
+  /// Result of tagging every node with the flip operator γ.
+  struct TagResult {
+    /// flip[mask] == 1 iff perturbing exactly the attributes in `mask`
+    /// flips the prediction (tested or inferred). Indexed by mask;
+    /// entries at mask 0 and the full mask are unused.
+    std::vector<uint8_t> flip;
+    /// tested[mask] == 1 iff the model was actually invoked for `mask`
+    /// (0 for nodes whose tag was inferred through monotonicity).
+    std::vector<uint8_t> tested;
+    /// Number of model invocations performed.
+    int performed = 0;
+    /// Total number of flipped nodes (tested + inferred).
+    int total_flips = 0;
+  };
+
+  /// `num_attributes` in [1, 20]; 2^l lattice sizes beyond that are a
+  /// usage error for attribute-level explanations.
+  explicit Lattice(int num_attributes);
+
+  int num_attributes() const { return num_attributes_; }
+
+  /// Number of proper non-empty subsets: 2^l - 2 (0 when l == 1).
+  int node_count() const;
+
+  /// Tags every node bottom-up (breadth-first by subset size) with
+  /// `flips(mask)`, which must invoke the model on the perturbation for
+  /// `mask` and report whether the prediction flipped.
+  ///
+  /// With `assume_monotone` (the paper's optimization), any node with a
+  /// flipped subset is inferred to flip without invoking the model —
+  /// the flip is propagated along all upward chains. Without it, every
+  /// node is tested (the exhaustive baseline of Sect. 5.6).
+  TagResult Tag(const std::function<bool(explain::AttrMask)>& flips,
+                bool assume_monotone) const;
+
+  /// The largest Minimal Flipping Antichain of a tagged lattice: all
+  /// flipped nodes none of whose proper subsets flipped. Masks are
+  /// returned ascending.
+  std::vector<explain::AttrMask> MinimalFlippingAntichain(
+      const TagResult& tags) const;
+
+  /// All flipped nodes (tested or inferred), ascending by mask — the
+  /// inputs get_flipped() derives from the antichain in Algorithm 1.
+  std::vector<explain::AttrMask> FlippedNodes(const TagResult& tags) const;
+
+ private:
+  int num_attributes_;
+};
+
+}  // namespace certa::core
+
+#endif  // CERTA_CORE_LATTICE_H_

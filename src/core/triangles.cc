@@ -1,0 +1,114 @@
+#include "core/triangles.h"
+
+#include "explain/perturbation.h"
+#include "text/similarity.h"
+#include "util/logging.h"
+
+namespace certa::core {
+namespace {
+
+/// Collects triangles for one side. The free/pivot roles swap with the
+/// side: for left triangles the support pairs against the pivot v; for
+/// right triangles against the pivot u.
+void CollectSide(const explain::ExplainContext& context,
+                 const data::Record& u, const data::Record& v,
+                 bool original_prediction, data::Side side, int wanted,
+                 const TriangleOptions& options, Rng* rng,
+                 std::vector<OpenTriangle>* triangles,
+                 TriangleStats* stats) {
+  if (wanted <= 0) return;
+  const data::Table& pool =
+      side == data::Side::kLeft ? *context.left : *context.right;
+  const data::Record& self = side == data::Side::kLeft ? u : v;
+
+  auto opposite_prediction = [&](const data::Record& candidate) {
+    ++stats->probes;
+    bool prediction = side == data::Side::kLeft
+                          ? context.model->Predict(candidate, v)
+                          : context.model->Predict(u, candidate);
+    return prediction != original_prediction;
+  };
+
+  int found = 0;
+  std::vector<size_t> order;
+  if (pool.size() > 0) {
+    order = rng->SampleIndices(static_cast<size_t>(pool.size()),
+                               static_cast<size_t>(pool.size()));
+  }
+
+  if (!options.only_augmentation) {
+    for (size_t index : order) {
+      if (found >= wanted) break;
+      const data::Record& candidate = pool.record(static_cast<int>(index));
+      if (candidate.values == self.values) continue;  // w ∈ U \ {u}
+      if (!opposite_prediction(candidate)) continue;
+      triangles->push_back({side, candidate, /*augmented=*/false});
+      ++stats->natural;
+      ++found;
+    }
+  }
+
+  if (!options.allow_augmentation && !options.only_augmentation) return;
+  if (pool.size() == 0) return;
+
+  // Data augmentation (Sect. 3.3): token-drop variants of pool records.
+  // Base records are sampled with weights sharpened toward similarity
+  // with the pivot record: when the scarce direction is "flip to
+  // Match", only near-pivot variants have a chance of succeeding, so
+  // uniform sampling would waste most of the attempt budget.
+  const data::Record& pivot = side == data::Side::kLeft ? v : u;
+  std::vector<double> weights(static_cast<size_t>(pool.size()), 1.0);
+  if (pivot.values.size() == pool.record(0).values.size()) {
+    for (int r = 0; r < pool.size(); ++r) {
+      double similarity = 0.0;
+      const data::Record& candidate = pool.record(r);
+      for (size_t a = 0; a < pivot.values.size(); ++a) {
+        similarity += text::AttributeSimilarity(candidate.values[a],
+                                                pivot.values[a]);
+      }
+      similarity /= static_cast<double>(pivot.values.size());
+      weights[static_cast<size_t>(r)] =
+          1e-3 + similarity * similarity * similarity * similarity;
+    }
+  }
+
+  const int num_attributes = pool.schema().size();
+  long long budget =
+      static_cast<long long>(wanted - found) *
+      options.max_augmentation_attempts_per_triangle;
+  while (found < wanted && budget > 0) {
+    --budget;
+    const data::Record& base =
+        pool.record(static_cast<int>(rng->WeightedIndex(weights)));
+    explain::AttrMask mask =
+        num_attributes >= 2
+            ? explain::RandomProperSubset(num_attributes, rng)
+            : 1u;
+    data::Record variant = explain::DropTokenRuns(base, mask, rng);
+    if (variant.values == base.values) continue;  // nothing droppable
+    if (variant.values == self.values) continue;
+    if (!opposite_prediction(variant)) continue;
+    triangles->push_back({side, std::move(variant), /*augmented=*/true});
+    ++stats->augmented;
+    ++found;
+  }
+}
+
+}  // namespace
+
+std::vector<OpenTriangle> CollectTriangles(
+    const explain::ExplainContext& context, const data::Record& u,
+    const data::Record& v, bool original_prediction,
+    const TriangleOptions& options, Rng* rng, TriangleStats* stats) {
+  CERTA_CHECK(context.valid());
+  CERTA_CHECK(stats != nullptr);
+  std::vector<OpenTriangle> triangles;
+  int per_side = options.count / 2;
+  CollectSide(context, u, v, original_prediction, data::Side::kLeft,
+              per_side, options, rng, &triangles, stats);
+  CollectSide(context, u, v, original_prediction, data::Side::kRight,
+              options.count - per_side, options, rng, &triangles, stats);
+  return triangles;
+}
+
+}  // namespace certa::core

@@ -1,0 +1,59 @@
+#ifndef CERTA_CORE_TRIANGLES_H_
+#define CERTA_CORE_TRIANGLES_H_
+
+#include <vector>
+
+#include "data/table.h"
+#include "explain/explainer.h"
+#include "util/random.h"
+
+namespace certa::core {
+
+/// One open triangle <u, v, w> (Sect. 3): `support` is the record w
+/// whose pairing with the pivot yields the opposite prediction. For a
+/// left open triangle the support comes from U (and the left record u
+/// is the free record); for a right open triangle it comes from V.
+struct OpenTriangle {
+  data::Side side = data::Side::kLeft;
+  data::Record support;
+  /// True when the support was synthesized by the token-drop data
+  /// augmentation of Sect. 3.3 rather than found naturally.
+  bool augmented = false;
+};
+
+/// Knobs for triangle collection.
+struct TriangleOptions {
+  /// τ — total triangles wanted; τ/2 per side (Algorithm 1 line 8).
+  int count = 100;
+  /// Enable the Sect. 3.3 data augmentation fallback when a side runs
+  /// out of natural support records.
+  bool allow_augmentation = true;
+  /// Force *only* augmented triangles (the Tables 9-10 ablation).
+  bool only_augmentation = false;
+  /// Cap on augmentation attempts per missing triangle, to bound work
+  /// on datasets where opposite predictions are genuinely rare.
+  int max_augmentation_attempts_per_triangle = 12;
+};
+
+/// Tally of how triangle collection went (feeds Table 8).
+struct TriangleStats {
+  int natural = 0;
+  int augmented = 0;
+  /// Model invocations spent searching (candidate screening).
+  int probes = 0;
+};
+
+/// Collects up to `options.count` open triangles for the prediction
+/// M(<u, v>) = `original_prediction`, half per side. Natural triangles
+/// come from screening table records w with M(<w, v>) (left) or
+/// M(<u, q>) (right) in deterministic shuffled order; augmentation
+/// synthesizes token-dropped variants of table records until the quota
+/// or the attempt budget is exhausted.
+std::vector<OpenTriangle> CollectTriangles(
+    const explain::ExplainContext& context, const data::Record& u,
+    const data::Record& v, bool original_prediction,
+    const TriangleOptions& options, Rng* rng, TriangleStats* stats);
+
+}  // namespace certa::core
+
+#endif  // CERTA_CORE_TRIANGLES_H_

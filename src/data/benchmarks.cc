@@ -1,0 +1,237 @@
+#include "data/benchmarks.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace certa::data {
+namespace {
+
+GeneratorProfile AbtBuy() {
+  GeneratorProfile profile;
+  profile.code = "AB";
+  profile.full_name = "Abt-Buy";
+  profile.domain = Domain::kElectronics;
+  profile.attributes = {
+      {"name", AttrKind::kName, 0.0},
+      {"description", AttrKind::kDescription, 0.05},
+      {"price", AttrKind::kPrice, 0.6},
+  };
+  profile.num_entities = 130;
+  profile.family_size = 3;
+  profile.negatives_per_match = 3;
+  profile.typo_rate = 0.06;
+  profile.drop_rate = 0.14;
+  profile.seed = 101;
+  return profile;
+}
+
+GeneratorProfile AmazonGoogle() {
+  GeneratorProfile profile;
+  profile.code = "AG";
+  profile.full_name = "Amazon-Google";
+  profile.domain = Domain::kSoftware;
+  profile.attributes = {
+      {"title", AttrKind::kName, 0.0},
+      {"manufacturer", AttrKind::kBrand, 0.15},
+      {"price", AttrKind::kPrice, 0.3},
+  };
+  profile.num_entities = 120;
+  profile.family_size = 3;
+  profile.right_distractors = 120;
+  profile.negatives_per_match = 3;
+  profile.typo_rate = 0.07;
+  profile.drop_rate = 0.16;
+  profile.abbrev_rate = 0.3;
+  profile.seed = 202;
+  return profile;
+}
+
+GeneratorProfile BeerAdvoRateBeer() {
+  GeneratorProfile profile;
+  profile.code = "BA";
+  profile.full_name = "beerAdvo-RateBeer";
+  profile.domain = Domain::kBeer;
+  profile.attributes = {
+      {"beer_name", AttrKind::kName, 0.0},
+      {"brew_factory_name", AttrKind::kBrand, 0.02},
+      {"style", AttrKind::kCategory, 0.02},
+      {"abv", AttrKind::kAbv, 0.1},
+  };
+  // Tiny match count relative to table sizes, like the paper's BA.
+  profile.num_entities = 70;
+  profile.family_size = 3;
+  profile.left_coverage = 0.6;
+  profile.right_coverage = 0.5;
+  profile.right_distractors = 80;
+  profile.negatives_per_match = 4;
+  profile.typo_rate = 0.04;
+  profile.drop_rate = 0.08;
+  profile.seed = 303;
+  return profile;
+}
+
+GeneratorProfile DblpAcm() {
+  GeneratorProfile profile;
+  profile.code = "DA";
+  profile.full_name = "DBLP-ACM";
+  profile.domain = Domain::kBibliographic;
+  profile.attributes = {
+      {"title", AttrKind::kTitle, 0.0},
+      {"authors", AttrKind::kPersonList, 0.02},
+      {"venue", AttrKind::kVenue, 0.02},
+      {"year", AttrKind::kYear, 0.0},
+  };
+  // Clean, well-structured bibliographic data: low noise.
+  profile.num_entities = 140;
+  profile.family_size = 2;
+  profile.negatives_per_match = 3;
+  profile.typo_rate = 0.02;
+  profile.drop_rate = 0.05;
+  profile.reorder_rate = 0.05;
+  profile.seed = 404;
+  return profile;
+}
+
+GeneratorProfile DblpScholar() {
+  GeneratorProfile profile = DblpAcm();
+  profile.code = "DS";
+  profile.full_name = "DBLP-Scholar";
+  // Scholar: noisy crawl with duplicate versions and many extra records.
+  profile.num_entities = 120;
+  profile.right_duplicates = 1;
+  profile.right_distractors = 260;
+  profile.typo_rate = 0.06;
+  profile.drop_rate = 0.16;
+  profile.abbrev_rate = 0.4;
+  profile.seed = 505;
+  return profile;
+}
+
+GeneratorProfile FodorsZagats() {
+  GeneratorProfile profile;
+  profile.code = "FZ";
+  profile.full_name = "Fodors-Zagats";
+  profile.domain = Domain::kRestaurant;
+  profile.attributes = {
+      {"name", AttrKind::kName, 0.0},
+      {"addr", AttrKind::kAddress, 0.02},
+      {"city", AttrKind::kCity, 0.0},
+      {"phone", AttrKind::kPhone, 0.05},
+      {"type", AttrKind::kCategory, 0.05},
+      {"class", AttrKind::kCode, 0.1},
+  };
+  // Small and easy: phones and addresses make matches unambiguous.
+  profile.num_entities = 80;
+  profile.family_size = 2;
+  profile.left_coverage = 0.9;
+  profile.right_coverage = 0.7;
+  profile.negatives_per_match = 3;
+  profile.typo_rate = 0.02;
+  profile.drop_rate = 0.05;
+  profile.seed = 606;
+  return profile;
+}
+
+GeneratorProfile ITunesAmazon() {
+  GeneratorProfile profile;
+  profile.code = "IA";
+  profile.full_name = "iTunes-Amazon";
+  profile.domain = Domain::kMusic;
+  profile.attributes = {
+      {"song_name", AttrKind::kTitle, 0.0},
+      {"artist_name", AttrKind::kBrand, 0.0},
+      {"album_name", AttrKind::kName, 0.05},
+      {"genre", AttrKind::kCategory, 0.05},
+      {"price", AttrKind::kPrice, 0.25},
+      {"copyright", AttrKind::kDescription, 0.2},
+      {"time", AttrKind::kTime, 0.05},
+      {"released", AttrKind::kYear, 0.1},
+  };
+  profile.num_entities = 90;
+  profile.family_size = 3;
+  profile.right_distractors = 150;
+  profile.negatives_per_match = 3;
+  profile.typo_rate = 0.04;
+  profile.drop_rate = 0.1;
+  profile.seed = 707;
+  return profile;
+}
+
+GeneratorProfile WalmartAmazon() {
+  GeneratorProfile profile;
+  profile.code = "WA";
+  profile.full_name = "Walmart-Amazon";
+  profile.domain = Domain::kGeneralProduct;
+  profile.attributes = {
+      {"title", AttrKind::kName, 0.0},
+      {"category", AttrKind::kCategory, 0.05},
+      {"brand", AttrKind::kBrand, 0.05},
+      {"modelno", AttrKind::kCode, 0.15},
+      {"price", AttrKind::kPrice, 0.2},
+  };
+  profile.num_entities = 110;
+  profile.family_size = 3;
+  profile.right_distractors = 200;
+  profile.negatives_per_match = 3;
+  profile.typo_rate = 0.05;
+  profile.drop_rate = 0.12;
+  profile.seed = 808;
+  return profile;
+}
+
+GeneratorProfile Dirty(GeneratorProfile profile, const std::string& code,
+                       uint64_t seed) {
+  profile.code = code;
+  profile.full_name = "Dirty " + profile.full_name;
+  profile.dirty = true;
+  profile.dirty_rate = 0.35;
+  profile.seed = seed;
+  return profile;
+}
+
+}  // namespace
+
+const std::vector<std::string>& BenchmarkCodes() {
+  static const auto& codes = *new std::vector<std::string>{
+      "AB", "AG", "BA", "DA", "DS", "FZ", "IA", "WA",
+      "DDA", "DDS", "DIA", "DWA"};
+  return codes;
+}
+
+GeneratorProfile BenchmarkProfile(const std::string& code) {
+  if (code == "AB") return AbtBuy();
+  if (code == "AG") return AmazonGoogle();
+  if (code == "BA") return BeerAdvoRateBeer();
+  if (code == "DA") return DblpAcm();
+  if (code == "DS") return DblpScholar();
+  if (code == "FZ") return FodorsZagats();
+  if (code == "IA") return ITunesAmazon();
+  if (code == "WA") return WalmartAmazon();
+  if (code == "DDA") return Dirty(DblpAcm(), "DDA", 909);
+  if (code == "DDS") return Dirty(DblpScholar(), "DDS", 1010);
+  if (code == "DIA") return Dirty(ITunesAmazon(), "DIA", 1111);
+  if (code == "DWA") return Dirty(WalmartAmazon(), "DWA", 1212);
+  CERTA_LOG(Fatal) << "Unknown benchmark code: " << code;
+  return AbtBuy();
+}
+
+Dataset MakeBenchmark(const std::string& code, double scale) {
+  CERTA_CHECK_GT(scale, 0.0);
+  GeneratorProfile profile = BenchmarkProfile(code);
+  profile.num_entities = std::max(
+      8, static_cast<int>(std::lround(profile.num_entities * scale)));
+  profile.right_distractors = static_cast<int>(
+      std::lround(profile.right_distractors * scale));
+  return GenerateDataset(profile);
+}
+
+std::vector<Dataset> MakeAllBenchmarks(double scale) {
+  std::vector<Dataset> datasets;
+  for (const std::string& code : BenchmarkCodes()) {
+    datasets.push_back(MakeBenchmark(code, scale));
+  }
+  return datasets;
+}
+
+}  // namespace certa::data

@@ -1,0 +1,29 @@
+#ifndef CERTA_DATA_BENCHMARKS_H_
+#define CERTA_DATA_BENCHMARKS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/generator.h"
+
+namespace certa::data {
+
+/// Short codes of the twelve benchmarks used throughout the paper's
+/// evaluation (Table 1), in the paper's order.
+const std::vector<std::string>& BenchmarkCodes();
+
+/// Generator recipe for one benchmark. Fails a CHECK for unknown codes.
+GeneratorProfile BenchmarkProfile(const std::string& code);
+
+/// Synthesizes the benchmark (deterministic per code). `scale`
+/// multiplies entity counts; 1.0 is the repo's default laptop scale
+/// (roughly 1/10th of the paper's record counts).
+Dataset MakeBenchmark(const std::string& code, double scale = 1.0);
+
+/// Synthesizes all twelve benchmarks in paper order.
+std::vector<Dataset> MakeAllBenchmarks(double scale = 1.0);
+
+}  // namespace certa::data
+
+#endif  // CERTA_DATA_BENCHMARKS_H_

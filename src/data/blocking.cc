@@ -1,0 +1,110 @@
+#include "data/blocking.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+#include "util/logging.h"
+
+namespace certa::data {
+namespace {
+
+std::unordered_set<std::string> RecordTokenSet(const Record& record) {
+  std::unordered_set<std::string> tokens;
+  for (const std::string& value : record.values) {
+    if (text::IsMissing(value)) continue;
+    for (std::string& token : text::Tokenize(value)) {
+      tokens.insert(std::move(token));
+    }
+  }
+  return tokens;
+}
+
+}  // namespace
+
+TokenBlocker::TokenBlocker(const Table& table, BlockingOptions options)
+    : table_(&table), options_(options) {
+  CERTA_CHECK_GT(options_.min_shared_tokens, 0);
+  CERTA_CHECK_GT(options_.max_candidates_per_record, 0);
+  for (int r = 0; r < table.size(); ++r) {
+    for (const std::string& token : RecordTokenSet(table.record(r))) {
+      index_[token].push_back(r);
+    }
+  }
+  // Stop-token pruning + IDF weights.
+  const double n = std::max(1, table.size());
+  for (auto it = index_.begin(); it != index_.end();) {
+    double frequency = static_cast<double>(it->second.size()) / n;
+    if (frequency > options_.max_token_frequency &&
+        it->second.size() > 1) {
+      it = index_.erase(it);
+      continue;
+    }
+    idf_[it->first] =
+        std::log(n / static_cast<double>(it->second.size())) + 1.0;
+    ++it;
+  }
+}
+
+std::vector<int> TokenBlocker::Candidates(const Record& probe) const {
+  std::unordered_map<int, double> weight;
+  std::unordered_map<int, int> shared;
+  for (const std::string& token : RecordTokenSet(probe)) {
+    auto it = index_.find(token);
+    if (it == index_.end()) continue;
+    double idf = idf_.at(token);
+    for (int r : it->second) {
+      weight[r] += idf;
+      ++shared[r];
+    }
+  }
+  std::vector<int> candidates;
+  candidates.reserve(weight.size());
+  for (const auto& [r, count] : shared) {
+    if (count >= options_.min_shared_tokens) candidates.push_back(r);
+  }
+  std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
+    double wa = weight.at(a);
+    double wb = weight.at(b);
+    if (wa != wb) return wa > wb;
+    return a < b;
+  });
+  if (static_cast<int>(candidates.size()) >
+      options_.max_candidates_per_record) {
+    candidates.resize(
+        static_cast<size_t>(options_.max_candidates_per_record));
+  }
+  return candidates;
+}
+
+std::vector<std::pair<int, int>> BlockAll(const Table& left,
+                                          const Table& right,
+                                          const BlockingOptions& options) {
+  TokenBlocker blocker(right, options);
+  std::vector<std::pair<int, int>> pairs;
+  for (int li = 0; li < left.size(); ++li) {
+    for (int ri : blocker.Candidates(left.record(li))) {
+      pairs.emplace_back(li, ri);
+    }
+  }
+  return pairs;
+}
+
+double BlockingRecall(const std::vector<std::pair<int, int>>& candidates,
+                      const std::vector<LabeledPair>& truth) {
+  std::set<std::pair<int, int>> candidate_set(candidates.begin(),
+                                              candidates.end());
+  int matches = 0;
+  int found = 0;
+  for (const LabeledPair& pair : truth) {
+    if (pair.label != 1) continue;
+    ++matches;
+    if (candidate_set.count({pair.left_index, pair.right_index})) ++found;
+  }
+  if (matches == 0) return 1.0;
+  return static_cast<double>(found) / matches;
+}
+
+}  // namespace certa::data

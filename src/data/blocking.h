@@ -1,0 +1,66 @@
+#ifndef CERTA_DATA_BLOCKING_H_
+#define CERTA_DATA_BLOCKING_H_
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/table.h"
+
+namespace certa::data {
+
+/// Candidate-pair generation ("blocking"), the stage that precedes
+/// pairwise matching in a real ER pipeline. The benchmark datasets ship
+/// pre-blocked labelled pairs; this module lets the library run
+/// end-to-end on raw tables (see examples/end_to_end_er.cpp).
+struct BlockingOptions {
+  /// Minimum shared (normalized) tokens for a pair to be considered.
+  int min_shared_tokens = 1;
+  /// Keep at most this many candidates per left record, ranked by
+  /// IDF-weighted token overlap.
+  int max_candidates_per_record = 20;
+  /// Ignore tokens that appear in more than this fraction of the
+  /// indexed records (stop-token pruning keeps the index selective).
+  double max_token_frequency = 0.25;
+};
+
+/// Inverted-index token blocker over one table. Index once, then probe
+/// with records from the other source.
+class TokenBlocker {
+ public:
+  TokenBlocker(const Table& table, BlockingOptions options);
+  explicit TokenBlocker(const Table& table)
+      : TokenBlocker(table, BlockingOptions()) {}
+
+  /// Indices (into the indexed table) of candidate matches for `probe`,
+  /// ranked by descending IDF-weighted overlap, capped per options.
+  std::vector<int> Candidates(const Record& probe) const;
+
+  /// Number of distinct tokens retained in the index.
+  int IndexedTokenCount() const { return static_cast<int>(index_.size()); }
+
+ private:
+  const Table* table_;
+  BlockingOptions options_;
+  /// token -> records containing it (ascending indices).
+  std::unordered_map<std::string, std::vector<int>> index_;
+  /// token -> idf weight.
+  std::unordered_map<std::string, double> idf_;
+};
+
+/// Blocks every left record against the right table and returns the
+/// candidate (left_index, right_index) pairs.
+std::vector<std::pair<int, int>> BlockAll(const Table& left,
+                                          const Table& right,
+                                          const BlockingOptions& options);
+
+/// Pair-completeness of a candidate set: the fraction of ground-truth
+/// matching pairs that survived blocking (recall of the blocker).
+double BlockingRecall(const std::vector<std::pair<int, int>>& candidates,
+                      const std::vector<LabeledPair>& truth);
+
+}  // namespace certa::data
+
+#endif  // CERTA_DATA_BLOCKING_H_

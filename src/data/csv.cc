@@ -1,0 +1,239 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace certa::data {
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field) {
+  if (!NeedsQuoting(field)) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += "\"\"";
+    else quoted.push_back(c);
+  }
+  quoted.push_back('"');
+  return quoted;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream input(path, std::ios::binary);
+  if (!input) return false;
+  std::ostringstream buffer;
+  buffer << input.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream output(path, std::ios::binary);
+  if (!output) return false;
+  output << content;
+  return output.good();
+}
+
+/// Parses an integer field; returns false on any non-digit content.
+bool ParseInt(const std::string& text, int* out) {
+  double value = 0.0;
+  if (!ParseDouble(text, &value)) return false;
+  int as_int = static_cast<int>(value);
+  if (static_cast<double>(as_int) != value) return false;
+  *out = as_int;
+  return true;
+}
+
+std::unordered_map<int, int> IdToIndex(const Table& table) {
+  std::unordered_map<int, int> map;
+  for (int i = 0; i < table.size(); ++i) {
+    map[table.record(i).id] = i;
+  }
+  return map;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::string>> ParseCsv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_content = true;
+        break;
+      case ',':
+        row.push_back(std::move(field));
+        field.clear();
+        row_has_content = true;
+        break;
+      case '\r':
+        break;  // handled by the following '\n'
+      case '\n':
+        if (row_has_content || !field.empty()) {
+          row.push_back(std::move(field));
+          field.clear();
+          rows.push_back(std::move(row));
+          row.clear();
+          row_has_content = false;
+        }
+        break;
+      default:
+        field.push_back(c);
+        row_has_content = true;
+    }
+  }
+  if (row_has_content || !field.empty()) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows) {
+  std::string out;
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += QuoteField(row[i]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+bool LoadTableCsv(const std::string& path, const std::string& table_name,
+                  Table* table) {
+  std::string content;
+  if (!ReadFile(path, &content)) return false;
+  auto rows = ParseCsv(content);
+  if (rows.empty()) return false;
+  const auto& header = rows[0];
+  if (header.size() < 2 || ToLowerAscii(header[0]) != "id") return false;
+  Schema schema(std::vector<std::string>(header.begin() + 1, header.end()));
+  Table loaded(table_name, schema);
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() != header.size()) return false;
+    Record record;
+    if (!ParseInt(row[0], &record.id)) return false;
+    record.values.assign(row.begin() + 1, row.end());
+    loaded.Add(std::move(record));
+  }
+  *table = std::move(loaded);
+  return true;
+}
+
+bool SaveTableCsv(const std::string& path, const Table& table) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header = {"id"};
+  for (const std::string& name : table.schema().names()) header.push_back(name);
+  rows.push_back(std::move(header));
+  for (const Record& record : table.records()) {
+    std::vector<std::string> row = {std::to_string(record.id)};
+    for (const std::string& value : record.values) row.push_back(value);
+    rows.push_back(std::move(row));
+  }
+  return WriteFile(path, WriteCsv(rows));
+}
+
+bool LoadPairsCsv(const std::string& path, const Table& left,
+                  const Table& right, std::vector<LabeledPair>* pairs) {
+  std::string content;
+  if (!ReadFile(path, &content)) return false;
+  auto rows = ParseCsv(content);
+  if (rows.empty()) return false;
+  if (rows[0].size() != 3) return false;
+  auto left_ids = IdToIndex(left);
+  auto right_ids = IdToIndex(right);
+  std::vector<LabeledPair> loaded;
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() != 3) return false;
+    int left_id = 0;
+    int right_id = 0;
+    LabeledPair pair;
+    if (!ParseInt(row[0], &left_id) || !ParseInt(row[1], &right_id) ||
+        !ParseInt(row[2], &pair.label)) {
+      return false;
+    }
+    auto left_it = left_ids.find(left_id);
+    auto right_it = right_ids.find(right_id);
+    if (left_it == left_ids.end() || right_it == right_ids.end()) return false;
+    pair.left_index = left_it->second;
+    pair.right_index = right_it->second;
+    loaded.push_back(pair);
+  }
+  *pairs = std::move(loaded);
+  return true;
+}
+
+bool SavePairsCsv(const std::string& path, const Table& left,
+                  const Table& right, const std::vector<LabeledPair>& pairs) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"ltable_id", "rtable_id", "label"});
+  for (const LabeledPair& pair : pairs) {
+    rows.push_back({std::to_string(left.record(pair.left_index).id),
+                    std::to_string(right.record(pair.right_index).id),
+                    std::to_string(pair.label)});
+  }
+  return WriteFile(path, WriteCsv(rows));
+}
+
+bool LoadDatasetDirectory(const std::string& directory,
+                          const std::string& code, Dataset* dataset) {
+  Dataset loaded;
+  loaded.code = code;
+  loaded.full_name = code;
+  if (!LoadTableCsv(directory + "/tableA.csv", "A", &loaded.left)) return false;
+  if (!LoadTableCsv(directory + "/tableB.csv", "B", &loaded.right)) {
+    return false;
+  }
+  if (!LoadPairsCsv(directory + "/train.csv", loaded.left, loaded.right,
+                    &loaded.train)) {
+    return false;
+  }
+  if (!LoadPairsCsv(directory + "/test.csv", loaded.left, loaded.right,
+                    &loaded.test)) {
+    return false;
+  }
+  *dataset = std::move(loaded);
+  return true;
+}
+
+bool SaveDatasetDirectory(const std::string& directory,
+                          const Dataset& dataset) {
+  return SaveTableCsv(directory + "/tableA.csv", dataset.left) &&
+         SaveTableCsv(directory + "/tableB.csv", dataset.right) &&
+         SavePairsCsv(directory + "/train.csv", dataset.left, dataset.right,
+                      dataset.train) &&
+         SavePairsCsv(directory + "/test.csv", dataset.left, dataset.right,
+                      dataset.test);
+}
+
+}  // namespace certa::data

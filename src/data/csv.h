@@ -1,0 +1,53 @@
+#ifndef CERTA_DATA_CSV_H_
+#define CERTA_DATA_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/table.h"
+
+namespace certa::data {
+
+/// Parses RFC-4180-style CSV text: quoted fields, embedded commas,
+/// doubled quotes, and both \n and \r\n line endings. Returns one row
+/// per line; rows may have differing arity (callers validate).
+std::vector<std::vector<std::string>> ParseCsv(const std::string& text);
+
+/// Serializes rows to CSV, quoting fields that contain commas, quotes
+/// or newlines.
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows);
+
+/// Reads a source table from a CSV file whose header is
+/// `id,<attr1>,<attr2>,...`. Returns false (and leaves `table`
+/// untouched) on I/O or format errors.
+bool LoadTableCsv(const std::string& path, const std::string& table_name,
+                  Table* table);
+
+/// Writes a table in the same format.
+bool SaveTableCsv(const std::string& path, const Table& table);
+
+/// Reads a labelled pair file with header `ltable_id,rtable_id,label`
+/// (the DeepMatcher benchmark convention). Ids are resolved to record
+/// indices against the given tables; unknown ids fail the load.
+bool LoadPairsCsv(const std::string& path, const Table& left,
+                  const Table& right, std::vector<LabeledPair>* pairs);
+
+/// Writes pairs in the same format (indices mapped back to record ids).
+bool SavePairsCsv(const std::string& path, const Table& left,
+                  const Table& right, const std::vector<LabeledPair>& pairs);
+
+/// Loads a full DeepMatcher-format dataset directory containing
+/// tableA.csv, tableB.csv, train.csv and test.csv. Allows dropping real
+/// benchmark data into the pipeline when available.
+bool LoadDatasetDirectory(const std::string& directory,
+                          const std::string& code, Dataset* dataset);
+
+/// Writes a dataset in the directory layout read by
+/// LoadDatasetDirectory. The directory must already exist.
+bool SaveDatasetDirectory(const std::string& directory,
+                          const Dataset& dataset);
+
+}  // namespace certa::data
+
+#endif  // CERTA_DATA_CSV_H_

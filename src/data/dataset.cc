@@ -1,0 +1,52 @@
+#include "data/dataset.h"
+
+#include "util/logging.h"
+
+namespace certa::data {
+
+int Dataset::CountMatches() const {
+  int count = 0;
+  for (const LabeledPair& pair : train) count += pair.label;
+  for (const LabeledPair& pair : test) count += pair.label;
+  return count;
+}
+
+DatasetStats ComputeStats(const Dataset& dataset) {
+  DatasetStats stats;
+  stats.code = dataset.code;
+  stats.matches = dataset.CountMatches();
+  stats.attributes = dataset.left.schema().size();
+  stats.left_records = dataset.left.size();
+  stats.right_records = dataset.right.size();
+  stats.left_values = dataset.left.CountDistinctValues();
+  stats.right_values = dataset.right.CountDistinctValues();
+  return stats;
+}
+
+void StratifiedSplit(std::vector<LabeledPair> pairs, double test_fraction,
+                     Rng* rng, std::vector<LabeledPair>* train,
+                     std::vector<LabeledPair>* test) {
+  CERTA_CHECK_GE(test_fraction, 0.0);
+  CERTA_CHECK_LE(test_fraction, 1.0);
+  train->clear();
+  test->clear();
+  rng->Shuffle(&pairs);
+  std::vector<LabeledPair> positives;
+  std::vector<LabeledPair> negatives;
+  for (const LabeledPair& pair : pairs) {
+    (pair.label == 1 ? positives : negatives).push_back(pair);
+  }
+  auto split_class = [&](const std::vector<LabeledPair>& group) {
+    size_t test_count =
+        static_cast<size_t>(test_fraction * static_cast<double>(group.size()));
+    for (size_t i = 0; i < group.size(); ++i) {
+      (i < test_count ? *test : *train).push_back(group[i]);
+    }
+  };
+  split_class(positives);
+  split_class(negatives);
+  rng->Shuffle(train);
+  rng->Shuffle(test);
+}
+
+}  // namespace certa::data

@@ -1,0 +1,57 @@
+#ifndef CERTA_DATA_DATASET_H_
+#define CERTA_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "util/random.h"
+
+namespace certa::data {
+
+/// One labelled candidate pair: indices (not ids) into the left and
+/// right tables, plus the ground-truth match label.
+struct LabeledPair {
+  int left_index = -1;
+  int right_index = -1;
+  int label = 0;  // 1 = match, 0 = non-match
+};
+
+/// An ER benchmark: two sources plus labelled train/test pair sets
+/// (the DeepMatcher benchmark layout the paper evaluates on).
+struct Dataset {
+  std::string code;       ///< short id used in the paper's tables, e.g. "AB"
+  std::string full_name;  ///< e.g. "Abt-Buy"
+  Table left;
+  Table right;
+  std::vector<LabeledPair> train;
+  std::vector<LabeledPair> test;
+
+  /// Matching pairs in train + test (the "Matches" column of Table 1).
+  int CountMatches() const;
+};
+
+/// Statistics row mirroring the paper's Table 1.
+struct DatasetStats {
+  std::string code;
+  int matches = 0;
+  int attributes = 0;
+  int left_records = 0;
+  int right_records = 0;
+  int left_values = 0;
+  int right_values = 0;
+};
+
+/// Computes Table 1 statistics for a dataset.
+DatasetStats ComputeStats(const Dataset& dataset);
+
+/// Splits `pairs` into train/test with the given test fraction,
+/// stratified by label so both splits keep the match rate. Shuffles
+/// deterministically with `rng`.
+void StratifiedSplit(std::vector<LabeledPair> pairs, double test_fraction,
+                     Rng* rng, std::vector<LabeledPair>* train,
+                     std::vector<LabeledPair>* test);
+
+}  // namespace certa::data
+
+#endif  // CERTA_DATA_DATASET_H_

@@ -1,0 +1,496 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "text/tokenizer.h"
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace certa::data {
+namespace {
+
+/// Canonical (source-independent) description of one synthetic entity.
+/// Both sources render *the same* canonical fields with independent
+/// noise, which is what makes the pair a true match.
+struct Entity {
+  int id = -1;
+  int family = -1;
+  std::vector<std::string> brand_tokens;
+  std::vector<std::string> descriptors;  // short name phrase
+  std::vector<std::string> title_words;  // longer title phrase
+  std::string code;
+  std::string category;
+  double price = 0.0;
+  int year = 0;
+  std::vector<std::string> persons;
+  std::string phone;
+  std::string street;
+  std::string city;
+  int duration_seconds = 0;
+  double abv = 0.0;
+};
+
+std::string MakeCode(Rng* rng) {
+  static constexpr char kLetters[] = "abcdefghijklmnopqrstuvwxyz";
+  std::string code;
+  int letters = rng->UniformInt(2, 3);
+  for (int i = 0; i < letters; ++i) {
+    code.push_back(kLetters[rng->Index(26)]);
+  }
+  int digits = rng->UniformInt(2, 4);
+  for (int i = 0; i < digits; ++i) {
+    code.push_back(static_cast<char>('0' + rng->UniformInt(0, 9)));
+  }
+  return code;
+}
+
+std::string MakePhone(Rng* rng) {
+  auto digits = [&](int n) {
+    std::string s;
+    for (int i = 0; i < n; ++i) {
+      s.push_back(static_cast<char>('0' + rng->UniformInt(0, 9)));
+    }
+    return s;
+  };
+  return digits(3) + "-" + digits(3) + "-" + digits(4);
+}
+
+const std::string& Pick(const std::vector<std::string>& pool, Rng* rng) {
+  CERTA_CHECK(!pool.empty());
+  return pool[rng->Index(pool.size())];
+}
+
+/// Samples `count` distinct words from the pool (with replacement if the
+/// pool is smaller than `count`).
+std::vector<std::string> PickDistinct(const std::vector<std::string>& pool,
+                                      int count, Rng* rng) {
+  std::vector<std::string> words;
+  if (pool.empty()) return words;
+  if (static_cast<size_t>(count) >= pool.size()) {
+    for (int i = 0; i < count; ++i) words.push_back(Pick(pool, rng));
+    return words;
+  }
+  std::vector<size_t> indices = rng->SampleIndices(pool.size(), count);
+  for (size_t index : indices) words.push_back(pool[index]);
+  return words;
+}
+
+std::vector<Entity> GenerateEntities(const GeneratorProfile& profile,
+                                     Rng* rng) {
+  const DomainVocab& vocab = GetVocab(profile.domain);
+  std::vector<Entity> entities;
+  entities.reserve(profile.num_entities);
+  int next_id = 0;
+  int family = 0;
+  while (static_cast<int>(entities.size()) < profile.num_entities) {
+    // One family: shared brand + category, different lines/codes.
+    std::vector<std::string> brand_tokens =
+        text::RawTokens(Pick(vocab.brands, rng));
+    std::string category =
+        vocab.categories.empty() ? "" : Pick(vocab.categories, rng);
+    int members = std::min(profile.family_size <= 1
+                               ? 1
+                               : rng->UniformInt(2, profile.family_size),
+                           profile.num_entities -
+                               static_cast<int>(entities.size()));
+    double family_price = rng->UniformDouble(15.0, 900.0);
+    // Family members share most of their descriptor phrase and differ by
+    // a single mutated word (plus the model code): these near-duplicates
+    // are the hard non-matches that keep the learned models imperfect,
+    // like the real benchmarks.
+    std::vector<std::string> base_descriptors =
+        PickDistinct(vocab.descriptors, rng->UniformInt(2, 3), rng);
+    std::vector<std::string> base_extra =
+        PickDistinct(vocab.descriptors, rng->UniformInt(2, 4), rng);
+    for (int m = 0; m < members; ++m) {
+      Entity entity;
+      entity.id = next_id++;
+      entity.family = family;
+      entity.brand_tokens = brand_tokens;
+      entity.category = category;
+      entity.descriptors = base_descriptors;
+      // Mutate one descriptor word per member (member 0 keeps the base).
+      if (m > 0 && !vocab.descriptors.empty()) {
+        size_t position = rng->Index(entity.descriptors.size());
+        entity.descriptors[position] = Pick(vocab.descriptors, rng);
+      }
+      // Longer phrase for titles/descriptions: extend the descriptors
+      // with the (shared) family extension plus one member-specific word.
+      entity.title_words = entity.descriptors;
+      entity.title_words.insert(entity.title_words.end(), base_extra.begin(),
+                                base_extra.end());
+      if (!vocab.descriptors.empty()) {
+        entity.title_words.push_back(Pick(vocab.descriptors, rng));
+      }
+      if (!vocab.fillers.empty()) {
+        entity.title_words.insert(
+            entity.title_words.begin() + static_cast<long>(rng->Index(
+                                             entity.title_words.size() + 1)),
+            Pick(vocab.fillers, rng));
+      }
+      entity.code = MakeCode(rng);
+      entity.price = family_price * rng->UniformDouble(0.85, 1.15);
+      entity.year = rng->UniformInt(1992, 2020);
+      if (!vocab.persons.empty()) {
+        entity.persons = PickDistinct(vocab.persons,
+                                      rng->UniformInt(1, 3), rng);
+      }
+      entity.phone = MakePhone(rng);
+      entity.street = std::to_string(rng->UniformInt(10, 999)) + " " +
+                      (vocab.descriptors.empty()
+                           ? "main"
+                           : Pick(vocab.descriptors, rng)) +
+                      (rng->Bernoulli(0.5) ? " st ." : " ave .");
+      entity.city = vocab.places.empty() ? "" : Pick(vocab.places, rng);
+      entity.duration_seconds = rng->UniformInt(95, 420);
+      entity.abv = rng->UniformDouble(4.0, 11.0);
+      entities.push_back(std::move(entity));
+    }
+    ++family;
+  }
+  return entities;
+}
+
+// --- Noise operators -------------------------------------------------
+
+void ApplyTypo(std::string* token, Rng* rng) {
+  if (token->size() < 3) return;
+  size_t position = 1 + rng->Index(token->size() - 2);
+  if (rng->Bernoulli(0.5)) {
+    std::swap((*token)[position], (*token)[position - 1]);
+  } else {
+    token->erase(position, 1);
+  }
+}
+
+std::vector<std::string> NoisyTokens(std::vector<std::string> tokens,
+                                     const GeneratorProfile& profile,
+                                     Rng* rng) {
+  if (tokens.empty()) return tokens;
+  if (rng->Bernoulli(profile.reorder_rate) && tokens.size() > 1) {
+    // Swap two adjacent tokens rather than a full shuffle: real catalogs
+    // mostly differ by local reorderings.
+    size_t i = rng->Index(tokens.size() - 1);
+    std::swap(tokens[i], tokens[i + 1]);
+  }
+  std::vector<std::string> kept;
+  kept.reserve(tokens.size());
+  for (std::string& token : tokens) {
+    if (kept.size() + 1 < tokens.size() && rng->Bernoulli(profile.drop_rate)) {
+      continue;  // drop, but never drop the final remaining token
+    }
+    if (rng->Bernoulli(profile.typo_rate)) ApplyTypo(&token, rng);
+    kept.push_back(std::move(token));
+  }
+  if (kept.empty()) kept.push_back(tokens.back());
+  return kept;
+}
+
+std::vector<std::string> MaybeAbbreviate(
+    const std::vector<std::string>& tokens, double rate, Rng* rng) {
+  if (tokens.size() < 2 || !rng->Bernoulli(rate)) return tokens;
+  if (rng->Bernoulli(0.5)) {
+    // Keep only the first (most identifying) token.
+    return {tokens[0]};
+  }
+  // Acronym: first letters.
+  std::string acronym;
+  for (const std::string& token : tokens) {
+    if (!token.empty()) acronym.push_back(token[0]);
+  }
+  return {acronym};
+}
+
+std::string FormatPrice(double price, Side side, Rng* rng) {
+  double shown = price;
+  std::string text = FormatDouble(shown, 2);
+  if (side == Side::kRight && rng->Bernoulli(0.3)) {
+    text = "$ " + text;
+  }
+  return text;
+}
+
+std::string RenderAttribute(const Entity& entity, const AttributeSpec& spec,
+                            Side side, const GeneratorProfile& profile,
+                            Rng* rng) {
+  if (rng->Bernoulli(spec.missing_rate)) return "NaN";
+  switch (spec.kind) {
+    case AttrKind::kName: {
+      std::vector<std::string> tokens =
+          MaybeAbbreviate(entity.brand_tokens, profile.abbrev_rate, rng);
+      for (const std::string& word : entity.descriptors) {
+        tokens.push_back(word);
+      }
+      // Sources disagree on whether the model code belongs to the name.
+      double code_probability = side == Side::kLeft ? 0.75 : 0.45;
+      if (rng->Bernoulli(code_probability)) tokens.push_back(entity.code);
+      return Join(NoisyTokens(std::move(tokens), profile, rng), " ");
+    }
+    case AttrKind::kTitle: {
+      std::vector<std::string> tokens = entity.title_words;
+      return Join(NoisyTokens(std::move(tokens), profile, rng), " ");
+    }
+    case AttrKind::kDescription: {
+      std::vector<std::string> tokens = entity.brand_tokens;
+      for (const std::string& word : entity.title_words) {
+        tokens.push_back(word);
+      }
+      const DomainVocab& vocab = GetVocab(profile.domain);
+      int extra = rng->UniformInt(2, 5);
+      for (int i = 0; i < extra && !vocab.fillers.empty(); ++i) {
+        tokens.push_back(Pick(vocab.fillers, rng));
+      }
+      if (rng->Bernoulli(0.5)) tokens.push_back(entity.code);
+      return Join(NoisyTokens(std::move(tokens), profile, rng), " ");
+    }
+    case AttrKind::kBrand: {
+      std::vector<std::string> tokens =
+          MaybeAbbreviate(entity.brand_tokens, profile.abbrev_rate, rng);
+      return Join(NoisyTokens(std::move(tokens), profile, rng), " ");
+    }
+    case AttrKind::kPrice: {
+      double jitter =
+          1.0 + profile.numeric_jitter * (2.0 * rng->UniformDouble() - 1.0);
+      return FormatPrice(entity.price * jitter, side, rng);
+    }
+    case AttrKind::kYear: {
+      return std::to_string(entity.year);
+    }
+    case AttrKind::kPersonList: {
+      std::vector<std::string> rendered;
+      for (const std::string& person : entity.persons) {
+        if (side == Side::kRight && rng->Bernoulli(0.4)) {
+          rendered.push_back(std::string(1, person[0]) + " . " + person);
+        } else {
+          rendered.push_back(person);
+        }
+      }
+      if (side == Side::kRight && rendered.size() > 1 &&
+          rng->Bernoulli(0.3)) {
+        rendered.resize(rendered.size() - 1);  // drops a trailing author
+      }
+      return Join(rendered, " , ");
+    }
+    case AttrKind::kVenue: {
+      std::vector<std::string> tokens =
+          MaybeAbbreviate(entity.brand_tokens,
+                          side == Side::kRight ? 0.6 : profile.abbrev_rate,
+                          rng);
+      return Join(NoisyTokens(std::move(tokens), profile, rng), " ");
+    }
+    case AttrKind::kCategory: {
+      std::string category = entity.category;
+      if (rng->Bernoulli(profile.typo_rate)) {
+        std::vector<std::string> tokens = text::RawTokens(category);
+        if (!tokens.empty()) category = tokens[0];
+      }
+      return category;
+    }
+    case AttrKind::kCode: {
+      std::string code = entity.code;
+      if (rng->Bernoulli(profile.typo_rate)) ApplyTypo(&code, rng);
+      if (side == Side::kRight && rng->Bernoulli(0.2)) {
+        code = ToLowerAscii(code) + "-" +
+               std::string(1, static_cast<char>('a' + rng->UniformInt(0, 3)));
+      }
+      return code;
+    }
+    case AttrKind::kPhone: {
+      std::string phone = entity.phone;
+      if (side == Side::kRight && rng->Bernoulli(0.5)) {
+        for (char& c : phone) {
+          if (c == '-') c = '/';
+        }
+      }
+      return phone;
+    }
+    case AttrKind::kAddress: {
+      std::vector<std::string> tokens = text::RawTokens(entity.street);
+      return Join(NoisyTokens(std::move(tokens), profile, rng), " ");
+    }
+    case AttrKind::kCity: {
+      return entity.city;
+    }
+    case AttrKind::kTime: {
+      int seconds = entity.duration_seconds;
+      if (rng->Bernoulli(0.3)) seconds += rng->UniformInt(-2, 2);
+      return std::to_string(seconds / 60) + ":" +
+             (seconds % 60 < 10 ? "0" : "") + std::to_string(seconds % 60);
+    }
+    case AttrKind::kAbv: {
+      double jitter =
+          1.0 + profile.numeric_jitter * (2.0 * rng->UniformDouble() - 1.0);
+      return FormatDouble(entity.abv * jitter, 2) + " %";
+    }
+  }
+  return "NaN";
+}
+
+Record RenderRecord(const Entity& entity, int record_id, Side side,
+                    const GeneratorProfile& profile, Rng* rng) {
+  Record record;
+  record.id = record_id;
+  record.values.reserve(profile.attributes.size());
+  for (const AttributeSpec& spec : profile.attributes) {
+    record.values.push_back(
+        RenderAttribute(entity, spec, side, profile, rng));
+  }
+  if (profile.dirty && rng->Bernoulli(profile.dirty_rate) &&
+      record.values.size() >= 2) {
+    // Dirty-EM corruption: move one attribute's value into another.
+    int source = rng->UniformInt(0, static_cast<int>(record.values.size()) - 1);
+    if (!text::IsMissing(record.values[source])) {
+      int target = source;
+      while (target == source) {
+        target =
+            rng->UniformInt(0, static_cast<int>(record.values.size()) - 1);
+      }
+      if (text::IsMissing(record.values[target])) {
+        record.values[target] = record.values[source];
+      } else {
+        record.values[target] += " " + record.values[source];
+      }
+      record.values[source] = "NaN";
+    }
+  }
+  return record;
+}
+
+}  // namespace
+
+Dataset GenerateDataset(const GeneratorProfile& profile) {
+  CERTA_CHECK(!profile.attributes.empty());
+  CERTA_CHECK_GT(profile.num_entities, 0);
+  Rng rng(profile.seed);
+
+  Dataset dataset;
+  dataset.code = profile.code;
+  dataset.full_name = profile.full_name;
+
+  std::vector<std::string> attribute_names;
+  for (const AttributeSpec& spec : profile.attributes) {
+    attribute_names.push_back(spec.name);
+  }
+  Schema schema(attribute_names);
+  std::vector<std::string> source_names = Split(profile.full_name, '-');
+  dataset.left = Table(
+      source_names.size() == 2 ? source_names[0] : profile.code + "_A",
+      schema);
+  dataset.right = Table(
+      source_names.size() == 2 ? source_names[1] : profile.code + "_B",
+      schema);
+
+  std::vector<Entity> entities = GenerateEntities(profile, &rng);
+
+  // Decide source membership and render records.
+  std::unordered_map<int, std::vector<int>> left_of_entity;   // entity -> idx
+  std::unordered_map<int, std::vector<int>> right_of_entity;  // entity -> idx
+  std::vector<int> entity_of_left;
+  std::vector<int> entity_of_right;
+  int next_left_id = 0;
+  int next_right_id = 1000000;  // disjoint id spaces for clarity
+  for (const Entity& entity : entities) {
+    bool in_left = rng.Bernoulli(profile.left_coverage);
+    bool in_right = rng.Bernoulli(profile.right_coverage);
+    if (!in_left && !in_right) in_left = true;  // keep every entity somewhere
+    if (in_left) {
+      left_of_entity[entity.id].push_back(dataset.left.size());
+      entity_of_left.push_back(entity.id);
+      dataset.left.Add(
+          RenderRecord(entity, next_left_id++, Side::kLeft, profile, &rng));
+    }
+    if (in_right) {
+      int copies = 1;
+      if (profile.right_duplicates > 0) {
+        copies += rng.UniformInt(0, profile.right_duplicates);
+      }
+      for (int c = 0; c < copies; ++c) {
+        right_of_entity[entity.id].push_back(dataset.right.size());
+        entity_of_right.push_back(entity.id);
+        dataset.right.Add(RenderRecord(entity, next_right_id++, Side::kRight,
+                                       profile, &rng));
+      }
+    }
+  }
+  // Right-only distractors: fresh entities never matched.
+  if (profile.right_distractors > 0) {
+    GeneratorProfile distractor_profile = profile;
+    distractor_profile.num_entities = profile.right_distractors;
+    std::vector<Entity> distractors =
+        GenerateEntities(distractor_profile, &rng);
+    for (Entity& entity : distractors) {
+      entity.id = -1;  // never matchable
+      entity_of_right.push_back(-1);
+      dataset.right.Add(RenderRecord(entity, next_right_id++, Side::kRight,
+                                     profile, &rng));
+    }
+  }
+
+  // Group entities by family for hard-negative sampling.
+  std::unordered_map<int, std::vector<int>> family_members;
+  for (const Entity& entity : entities) {
+    family_members[entity.family].push_back(entity.id);
+  }
+
+  // Positive pairs: every (left copy, right copy) of the same entity.
+  std::vector<LabeledPair> pairs;
+  std::set<std::pair<int, int>> seen;
+  for (const Entity& entity : entities) {
+    auto left_it = left_of_entity.find(entity.id);
+    auto right_it = right_of_entity.find(entity.id);
+    if (left_it == left_of_entity.end() || right_it == right_of_entity.end()) {
+      continue;
+    }
+    for (int li : left_it->second) {
+      for (int ri : right_it->second) {
+        if (seen.insert({li, ri}).second) {
+          pairs.push_back({li, ri, 1});
+        }
+      }
+    }
+  }
+  const int positives = static_cast<int>(pairs.size());
+
+  // Negative pairs: hard (same family) and random.
+  int wanted_negatives = positives * profile.negatives_per_match;
+  int attempts = 0;
+  int negatives = 0;
+  while (negatives < wanted_negatives && attempts < wanted_negatives * 50) {
+    ++attempts;
+    if (dataset.left.size() == 0 || dataset.right.size() == 0) break;
+    int li = static_cast<int>(rng.Index(entity_of_left.size()));
+    int left_entity = entity_of_left[li];
+    int ri = -1;
+    if (rng.Bernoulli(profile.hard_negative_fraction)) {
+      // Same-family sibling present in the right table.
+      int family = entities[left_entity].family;
+      const std::vector<int>& members = family_members[family];
+      std::vector<int> candidates;
+      for (int member : members) {
+        if (member == left_entity) continue;
+        auto it = right_of_entity.find(member);
+        if (it == right_of_entity.end()) continue;
+        for (int index : it->second) candidates.push_back(index);
+      }
+      if (!candidates.empty()) {
+        ri = candidates[rng.Index(candidates.size())];
+      }
+    }
+    if (ri < 0) {
+      ri = static_cast<int>(rng.Index(dataset.right.size()));
+    }
+    int right_entity = entity_of_right[ri];
+    if (right_entity == left_entity && right_entity >= 0) continue;
+    if (!seen.insert({li, ri}).second) continue;
+    pairs.push_back({li, ri, 0});
+    ++negatives;
+  }
+
+  StratifiedSplit(std::move(pairs), profile.test_fraction, &rng,
+                  &dataset.train, &dataset.test);
+  return dataset;
+}
+
+}  // namespace certa::data

@@ -1,0 +1,95 @@
+#ifndef CERTA_DATA_GENERATOR_H_
+#define CERTA_DATA_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/vocab.h"
+
+namespace certa::data {
+
+/// Logical attribute types the generator knows how to render. Each
+/// benchmark profile maps its schema onto these kinds.
+enum class AttrKind {
+  kName,        ///< brand + descriptors (+ model code)
+  kTitle,       ///< descriptor phrase (papers, songs, software)
+  kDescription, ///< long filler-padded restatement of the name
+  kBrand,       ///< manufacturer / artist / brewery, possibly abbreviated
+  kPrice,       ///< positive decimal with formatting variation
+  kYear,        ///< publication year
+  kPersonList,  ///< author list, abbreviated differently per source
+  kVenue,       ///< publication venue, acronymized on one side
+  kCategory,    ///< closed category vocabulary (genre, style, type)
+  kCode,        ///< alphanumeric model number
+  kPhone,       ///< formatted phone number
+  kAddress,     ///< street address
+  kCity,        ///< city name
+  kTime,        ///< track duration mm:ss
+  kAbv,         ///< alcohol by volume "5.4 %"
+};
+
+/// One attribute of a benchmark schema.
+struct AttributeSpec {
+  std::string name;
+  AttrKind kind = AttrKind::kName;
+  /// Probability that a rendered value is missing ("NaN").
+  double missing_rate = 0.0;
+};
+
+/// Full recipe for one synthetic benchmark. Field defaults produce a
+/// mid-difficulty product dataset; the twelve profiles in
+/// benchmarks.h tune them to mirror the paper's Table 1 shape at a
+/// laptop-friendly scale.
+struct GeneratorProfile {
+  std::string code;
+  std::string full_name;
+  Domain domain = Domain::kElectronics;
+  std::vector<AttributeSpec> attributes;
+
+  /// Distinct real-world entities to synthesize.
+  int num_entities = 150;
+  /// Entities are generated in families sharing brand + category; family
+  /// members become the hard near-miss non-matches.
+  int family_size = 3;
+  /// Probability an entity is described in the left / right source.
+  double left_coverage = 0.85;
+  double right_coverage = 0.85;
+  /// Extra right-side duplicate descriptions per matched entity
+  /// (DBLP-Scholar-style: one entity, several scholar versions).
+  int right_duplicates = 0;
+  /// Right-only distractor entities (inflates the right table the way
+  /// Scholar / Amazon catalogs dwarf the curated left sources).
+  int right_distractors = 0;
+
+  /// Labelled negatives generated per positive pair.
+  int negatives_per_match = 3;
+  /// Fraction of negatives drawn from the same family (hard negatives).
+  double hard_negative_fraction = 0.5;
+
+  /// Noise knobs applied when rendering a record.
+  double typo_rate = 0.05;      ///< per-token chance of a character typo
+  double drop_rate = 0.10;      ///< per-token chance of dropping the token
+  double abbrev_rate = 0.20;    ///< chance of abbreviating brand/venue
+  double reorder_rate = 0.15;   ///< chance of shuffling descriptor order
+  double numeric_jitter = 0.02; ///< relative jitter on prices and ABV
+
+  /// Dirty-variant construction (DDA/DDS/DIA/DWA): with this
+  /// probability per record, a random attribute's value is moved into
+  /// another attribute (appended) and replaced by "NaN" — the standard
+  /// dirty-EM corruption.
+  bool dirty = false;
+  double dirty_rate = 0.35;
+
+  double test_fraction = 0.25;
+  uint64_t seed = 1;
+};
+
+/// Deterministically synthesizes a full benchmark dataset from the
+/// profile. Identical profiles yield identical datasets.
+Dataset GenerateDataset(const GeneratorProfile& profile);
+
+}  // namespace certa::data
+
+#endif  // CERTA_DATA_GENERATOR_H_

@@ -1,0 +1,65 @@
+#include "data/profiling.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+#include "util/table_printer.h"
+#include "util/string_utils.h"
+
+namespace certa::data {
+
+std::vector<AttributeProfile> ProfileTable(const Table& table) {
+  std::vector<AttributeProfile> profiles;
+  const int attributes = table.schema().size();
+  profiles.reserve(static_cast<size_t>(attributes));
+  for (int a = 0; a < attributes; ++a) {
+    AttributeProfile profile;
+    profile.name = table.schema().name(a);
+    int missing = 0;
+    int present = 0;
+    long long tokens = 0;
+    int numeric = 0;
+    std::unordered_set<std::string> distinct;
+    for (const Record& record : table.records()) {
+      const std::string& value = record.value(a);
+      if (text::IsMissing(value)) {
+        ++missing;
+        continue;
+      }
+      ++present;
+      tokens += static_cast<long long>(text::RawTokens(value).size());
+      double parsed = 0.0;
+      if (text::TryParseNumeric(value, &parsed)) ++numeric;
+      distinct.insert(value);
+    }
+    int total = missing + present;
+    if (total > 0) {
+      profile.missing_rate = static_cast<double>(missing) / total;
+    }
+    if (present > 0) {
+      profile.mean_tokens = static_cast<double>(tokens) / present;
+      profile.distinct_ratio =
+          static_cast<double>(distinct.size()) / present;
+      profile.numeric_rate = static_cast<double>(numeric) / present;
+    }
+    profiles.push_back(std::move(profile));
+  }
+  return profiles;
+}
+
+std::string RenderProfiles(const std::vector<AttributeProfile>& profiles) {
+  TablePrinter table(
+      {"Attribute", "missing", "mean tokens", "distinct", "numeric"});
+  for (const AttributeProfile& profile : profiles) {
+    table.AddRow({profile.name, FormatDouble(profile.missing_rate, 2),
+                  FormatDouble(profile.mean_tokens, 1),
+                  FormatDouble(profile.distinct_ratio, 2),
+                  FormatDouble(profile.numeric_rate, 2)});
+  }
+  std::ostringstream out;
+  table.Print(out);
+  return out.str();
+}
+
+}  // namespace certa::data

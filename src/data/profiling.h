@@ -1,0 +1,34 @@
+#ifndef CERTA_DATA_PROFILING_H_
+#define CERTA_DATA_PROFILING_H_
+
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+
+namespace certa::data {
+
+/// Per-attribute profile of one table: the statistics a practitioner
+/// checks before pointing an ER model (or an explainer) at a source.
+struct AttributeProfile {
+  std::string name;
+  /// Fraction of records whose value is missing (per text::IsMissing).
+  double missing_rate = 0.0;
+  /// Mean token count of non-missing values.
+  double mean_tokens = 0.0;
+  /// Distinct non-missing values / non-missing count — 1.0 means a key.
+  double distinct_ratio = 0.0;
+  /// Fraction of non-missing values that parse as numbers.
+  double numeric_rate = 0.0;
+};
+
+/// Profiles every attribute of a table. Empty tables yield zeroed
+/// profiles.
+std::vector<AttributeProfile> ProfileTable(const Table& table);
+
+/// Renders profiles as an aligned text table.
+std::string RenderProfiles(const std::vector<AttributeProfile>& profiles);
+
+}  // namespace certa::data
+
+#endif  // CERTA_DATA_PROFILING_H_

@@ -1,0 +1,65 @@
+#include "data/table.h"
+
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+#include "util/logging.h"
+
+namespace certa::data {
+
+Side Opposite(Side side) {
+  return side == Side::kLeft ? Side::kRight : Side::kLeft;
+}
+
+const char* SidePrefix(Side side) { return side == Side::kLeft ? "L" : "R"; }
+
+Schema::Schema(std::vector<std::string> attribute_names)
+    : names_(std::move(attribute_names)) {
+  CERTA_CHECK(!names_.empty());
+}
+
+const std::string& Schema::name(int index) const {
+  CERTA_CHECK_GE(index, 0);
+  CERTA_CHECK_LT(index, size());
+  return names_[index];
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  for (int i = 0; i < size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  return -1;
+}
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {}
+
+void Table::Add(Record record) {
+  CERTA_CHECK_EQ(static_cast<int>(record.values.size()), schema_.size());
+  records_.push_back(std::move(record));
+}
+
+const Record& Table::record(int index) const {
+  CERTA_CHECK_GE(index, 0);
+  CERTA_CHECK_LT(index, size());
+  return records_[index];
+}
+
+const Record* Table::FindById(int id) const {
+  for (const Record& record : records_) {
+    if (record.id == id) return &record;
+  }
+  return nullptr;
+}
+
+int Table::CountDistinctValues() const {
+  std::unordered_set<std::string> distinct;
+  for (const Record& record : records_) {
+    for (const std::string& value : record.values) {
+      if (!text::IsMissing(value)) distinct.insert(value);
+    }
+  }
+  return static_cast<int>(distinct.size());
+}
+
+}  // namespace certa::data

@@ -1,0 +1,89 @@
+#ifndef CERTA_DATA_TABLE_H_
+#define CERTA_DATA_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace certa::data {
+
+/// Which source a record (or attribute) belongs to. ER matches records
+/// across two sources U (left) and V (right); CERTA's open triangles and
+/// all explanations are side-qualified.
+enum class Side {
+  kLeft = 0,
+  kRight = 1,
+};
+
+/// Returns the opposite side.
+Side Opposite(Side side);
+
+/// "L" / "R" prefixes used in explanation output (mirrors the paper's
+/// Fig. 12 labelling).
+const char* SidePrefix(Side side);
+
+/// Ordered attribute names for one source. Sources may have different
+/// schemas (the DeepMatcher benchmarks happen to use aligned ones).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> attribute_names);
+
+  int size() const { return static_cast<int>(names_.size()); }
+  const std::string& name(int index) const;
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Index of `name`, or -1 if absent.
+  int IndexOf(const std::string& name) const;
+
+  bool operator==(const Schema& other) const { return names_ == other.names_; }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// One structured entity description: an id plus one string value per
+/// schema attribute. Missing values are stored as "NaN" (the benchmark
+/// convention); see text::IsMissing.
+struct Record {
+  int id = -1;
+  std::vector<std::string> values;
+
+  const std::string& value(int attribute) const { return values[attribute]; }
+
+  bool operator==(const Record& other) const {
+    return id == other.id && values == other.values;
+  }
+};
+
+/// A named collection of records sharing a schema.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Appends a record; its value count must match the schema.
+  void Add(Record record);
+
+  int size() const { return static_cast<int>(records_.size()); }
+  const Record& record(int index) const;
+  const std::vector<Record>& records() const { return records_; }
+
+  /// Record with the given id, or nullptr. Ids need not be dense.
+  const Record* FindById(int id) const;
+
+  /// Number of distinct non-missing attribute values across the whole
+  /// table (the "Values" column of the paper's Table 1).
+  int CountDistinctValues() const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Record> records_;
+};
+
+}  // namespace certa::data
+
+#endif  // CERTA_DATA_TABLE_H_

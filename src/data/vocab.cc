@@ -1,0 +1,235 @@
+#include "data/vocab.h"
+
+#include "util/logging.h"
+
+namespace certa::data {
+namespace {
+
+// Shared pools reused across product-like domains.
+const std::vector<std::string>& CommonFillers() {
+  static const auto& fillers = *new std::vector<std::string>{
+      "with",     "and",      "for",     "series",   "edition",  "pack",
+      "new",      "original", "premium", "classic",  "pro",      "plus",
+      "compact",  "digital",  "wireless", "portable", "advanced", "standard",
+      "deluxe",   "genuine",  "official", "special",  "limited",  "extra"};
+  return fillers;
+}
+
+DomainVocab* MakeElectronics() {
+  auto* vocab = new DomainVocab();
+  vocab->brands = {"sony",    "samsung", "panasonic", "altec lansing",
+                   "canon",   "nikon",   "toshiba",   "philips",
+                   "yamaha",  "denon",   "pioneer",   "jvc",
+                   "sharp",   "lg",      "bose",      "sanyo",
+                   "olympus", "kenwood", "garmin",    "logitech"};
+  vocab->descriptors = {
+      "bravia",   "theater",  "speaker",  "receiver", "camcorder", "lcd",
+      "plasma",   "hdtv",     "dvd",      "player",   "changer",   "micro",
+      "system",   "home",     "audio",    "video",    "flat",      "panel",
+      "surround", "channel",  "inmotion", "dock",     "subwoofer", "tuner",
+      "amplifier", "headphone", "battery", "charger",  "remote",    "lens",
+      "zoom",     "flash",    "memory",   "card",     "cable",     "adapter"};
+  vocab->categories = {"television", "audio system", "camera",
+                       "dvd player", "speaker",      "accessory"};
+  vocab->fillers = CommonFillers();
+  vocab->persons = {};
+  vocab->places = {};
+  return vocab;
+}
+
+DomainVocab* MakeSoftware() {
+  auto* vocab = new DomainVocab();
+  vocab->brands = {"microsoft", "adobe",    "symantec", "intuit",
+                   "corel",     "mcafee",   "autodesk", "apple",
+                   "roxio",     "nero",     "kaspersky", "avanquest",
+                   "broderbund", "encore",  "topics entertainment",
+                   "sage",      "nuance",   "vmware",   "parallels"};
+  vocab->descriptors = {
+      "office",    "photoshop", "studio",   "suite",     "antivirus",
+      "security",  "quicken",   "quickbooks", "creative", "premier",
+      "elements",  "illustrator", "acrobat", "reader",   "publisher",
+      "visio",     "project",   "accounting", "tax",     "backup",
+      "recovery",  "utilities", "painter",  "draw",      "designer",
+      "web",       "video",     "editing",  "learning",  "spanish",
+      "typing",    "tutor",     "upgrade",  "license"};
+  vocab->categories = {"business software", "security software",
+                       "graphics software", "education software",
+                       "utility software",  "operating system"};
+  vocab->fillers = CommonFillers();
+  vocab->persons = {};
+  vocab->places = {};
+  return vocab;
+}
+
+DomainVocab* MakeBeer() {
+  auto* vocab = new DomainVocab();
+  vocab->brands = {"deschutes brewery",    "stone brewing",
+                   "sierra nevada",        "dogfish head",
+                   "bainbridge island brewing", "mammoth brewing",
+                   "phillips brewing",     "scuttlebutt brewing",
+                   "founders brewing",     "bells brewery",
+                   "lagunitas brewing",    "russian river brewing",
+                   "great lakes brewing",  "rogue ales",
+                   "oskar blues brewery",  "new belgium brewing",
+                   "victory brewing",      "harpoon brewery",
+                   "odell brewing",        "green flash brewing"};
+  vocab->descriptors = {
+      "amber",   "pale",   "imperial", "double",  "red",     "golden",
+      "arrow",   "point",  "dragon",   "mccoy",   "lakes",   "organic",
+      "hoppy",   "dark",   "old",      "winter",  "summer",  "harvest",
+      "mountain", "river", "island",   "coast",   "ridge",   "valley",
+      "stout",   "porter", "lager",    "ale",     "ipa",     "pilsner",
+      "wheat",   "saison", "barleywine", "bock",  "dunkel",  "tripel"};
+  vocab->categories = {"american amber / red ale", "american ipa",
+                       "american strong ale",      "imperial stout",
+                       "english porter",           "german pilsener",
+                       "belgian tripel",           "american pale ale",
+                       "altbier",                  "american amber ale"};
+  vocab->fillers = CommonFillers();
+  vocab->persons = {};
+  vocab->places = {};
+  return vocab;
+}
+
+DomainVocab* MakeBibliographic() {
+  auto* vocab = new DomainVocab();
+  // "brands" double as publication venues.
+  vocab->brands = {"sigmod conference",  "vldb",
+                   "icde",               "acm transactions on database systems",
+                   "sigmod record",      "vldb journal",
+                   "acm trans . inf . syst .", "tods",
+                   "kdd",                "icdt",
+                   "edbt",               "pods",
+                   "cikm",               "www conference",
+                   "data engineering bulletin", "journal of the acm"};
+  vocab->descriptors = {
+      "query",       "optimization", "database",   "distributed", "parallel",
+      "transaction", "concurrency",  "control",    "indexing",    "spatial",
+      "temporal",    "stream",       "processing", "mining",      "clustering",
+      "classification", "learning",  "entity",     "resolution",  "integration",
+      "schema",      "matching",     "semantic",   "web",         "xml",
+      "relational",  "object",       "oriented",   "storage",     "recovery",
+      "replication", "caching",      "view",       "maintenance", "approximate",
+      "sampling",    "aggregation",  "join",       "algorithms",  "efficient",
+      "scalable",    "adaptive",     "dynamic",    "incremental", "selectivity",
+      "estimation",  "benchmark",    "performance"};
+  vocab->categories = {"research paper", "survey", "demo", "industrial"};
+  vocab->fillers = {"a",    "an",  "the", "on",   "of",  "for",
+                    "in",   "and", "to",  "with", "using", "towards"};
+  vocab->persons = {"garcia-molina", "stonebraker", "dewitt",   "gray",
+                    "abiteboul",     "widom",       "ullman",   "bernstein",
+                    "chaudhuri",     "naughton",    "carey",    "franklin",
+                    "hellerstein",   "ioannidis",   "jagadish", "ramakrishnan",
+                    "silberschatz",  "agrawal",     "srikant",  "faloutsos",
+                    "han",           "koudas",      "srivastava", "divesh",
+                    "doan",          "halevy",      "ives",     "suciu",
+                    "vianu",         "libkin",      "lenzerini", "calvanese"};
+  vocab->places = {};
+  return vocab;
+}
+
+DomainVocab* MakeRestaurant() {
+  auto* vocab = new DomainVocab();
+  vocab->brands = {"ritz-carlton",   "four seasons", "campanile",
+                   "chinois",        "spago",        "patina",
+                   "granita",        "valentino",    "matsuhisa",
+                   "nobu",           "daniel",       "lespinasse",
+                   "aureole",        "union square",  "gotham",
+                   "mesa grill",     "montrachet",   "chanterelle",
+                   "palm",           "smith & wollensky"};
+  vocab->descriptors = {"cafe",   "grill",   "bistro", "kitchen", "room",
+                        "garden", "terrace", "house",  "tavern",  "brasserie",
+                        "on main", "downtown", "uptown", "westside", "original"};
+  vocab->categories = {"french",      "italian",   "american",
+                       "californian", "japanese",  "chinese",
+                       "steakhouses", "seafood",   "continental",
+                       "southwestern", "delis",    "coffee shops"};
+  vocab->fillers = CommonFillers();
+  vocab->persons = {};
+  vocab->places = {"new york",     "los angeles", "san francisco",
+                   "atlanta",      "chicago",     "las vegas",
+                   "beverly hills", "santa monica", "brooklyn",
+                   "west hollywood", "pasadena",  "studio city"};
+  return vocab;
+}
+
+DomainVocab* MakeMusic() {
+  auto* vocab = new DomainVocab();
+  vocab->brands = {"taylor swift",  "kanye west",   "beyonce",
+                   "rihanna",       "drake",        "adele",
+                   "coldplay",      "maroon 5",     "eminem",
+                   "lady gaga",     "katy perry",   "bruno mars",
+                   "justin bieber", "ed sheeran",   "ariana grande",
+                   "the weeknd",    "imagine dragons", "one direction",
+                   "shakira",       "pink"};
+  vocab->descriptors = {
+      "love",   "heart",  "night",  "dance",  "fire",    "dream",
+      "crazy",  "beautiful", "story", "girl", "boy",     "summer",
+      "midnight", "golden", "wild",  "young", "forever", "broken",
+      "shine",  "star",   "light",  "dark",  "blue",     "red",
+      "sweet",  "bad",    "good",   "lonely", "happy",   "tears"};
+  vocab->categories = {"pop",           "hip-hop / rap", "r&b / soul",
+                       "rock",          "country",       "dance",
+                       "alternative",   "electronic",    "latin",
+                       "singer / songwriter"};
+  vocab->fillers = {"feat", "remix", "version", "deluxe", "single",
+                    "album", "explicit", "clean", "live", "acoustic"};
+  vocab->persons = {};
+  vocab->places = {};
+  return vocab;
+}
+
+DomainVocab* MakeGeneralProduct() {
+  auto* vocab = new DomainVocab();
+  vocab->brands = {"hp",        "dell",     "lenovo",   "asus",
+                   "acer",      "belkin",   "netgear",  "linksys",
+                   "brother",   "epson",    "xerox",    "kingston",
+                   "sandisk",   "seagate",  "western digital", "tp-link",
+                   "d-link",    "corsair",  "targus",   "kensington"};
+  vocab->descriptors = {
+      "laptop",   "notebook", "printer",  "scanner",  "router",  "monitor",
+      "keyboard", "mouse",    "drive",    "storage",  "usb",     "flash",
+      "wireless", "ethernet", "toner",    "cartridge", "ink",    "photo",
+      "inkjet",   "laser",    "all-in-one", "desktop", "tablet", "case",
+      "sleeve",   "bag",      "stand",    "dock",     "hub",     "switch"};
+  vocab->categories = {"computers",   "printers",  "networking",
+                       "storage",     "accessories", "electronics - general"};
+  vocab->fillers = CommonFillers();
+  vocab->persons = {};
+  vocab->places = {};
+  return vocab;
+}
+
+}  // namespace
+
+const DomainVocab& GetVocab(Domain domain) {
+  // Leaked singletons: static-storage objects must be trivially
+  // destructible, so these are built once and never destroyed.
+  static const DomainVocab* const electronics = MakeElectronics();
+  static const DomainVocab* const software = MakeSoftware();
+  static const DomainVocab* const beer = MakeBeer();
+  static const DomainVocab* const bibliographic = MakeBibliographic();
+  static const DomainVocab* const restaurant = MakeRestaurant();
+  static const DomainVocab* const music = MakeMusic();
+  static const DomainVocab* const general = MakeGeneralProduct();
+  switch (domain) {
+    case Domain::kElectronics:
+      return *electronics;
+    case Domain::kSoftware:
+      return *software;
+    case Domain::kBeer:
+      return *beer;
+    case Domain::kBibliographic:
+      return *bibliographic;
+    case Domain::kRestaurant:
+      return *restaurant;
+    case Domain::kMusic:
+      return *music;
+    case Domain::kGeneralProduct:
+      return *general;
+  }
+  CERTA_LOG(Fatal) << "Unknown domain";
+  return *electronics;
+}
+
+}  // namespace certa::data

@@ -1,0 +1,44 @@
+#ifndef CERTA_DATA_VOCAB_H_
+#define CERTA_DATA_VOCAB_H_
+
+#include <string>
+#include <vector>
+
+namespace certa::data {
+
+/// Entity domains covered by the twelve benchmark profiles.
+enum class Domain {
+  kElectronics,    ///< Abt-Buy consumer electronics
+  kSoftware,       ///< Amazon-Google software products
+  kBeer,           ///< BeerAdvo-RateBeer
+  kBibliographic,  ///< DBLP-ACM / DBLP-Scholar
+  kRestaurant,     ///< Fodors-Zagats
+  kMusic,          ///< iTunes-Amazon
+  kGeneralProduct, ///< Walmart-Amazon
+};
+
+/// Word pools for one domain. All strings are lowercase; the generator
+/// composes entity attribute values from them. Pools are intentionally
+/// moderate-sized so different entities share vocabulary, which creates
+/// the hard near-match pairs the paper's benchmarks are known for.
+struct DomainVocab {
+  /// Brand / manufacturer / brewery / venue / artist names.
+  std::vector<std::string> brands;
+  /// Product-line / style / title words combined into names and titles.
+  std::vector<std::string> descriptors;
+  /// Closed category vocabulary (genre, style, restaurant type, ...).
+  std::vector<std::string> categories;
+  /// Filler words used to pad descriptions and long titles.
+  std::vector<std::string> fillers;
+  /// Person surnames (authors, artists).
+  std::vector<std::string> persons;
+  /// City names (restaurants).
+  std::vector<std::string> places;
+};
+
+/// Returns the (immutable, lazily constructed) vocabulary for a domain.
+const DomainVocab& GetVocab(Domain domain);
+
+}  // namespace certa::data
+
+#endif  // CERTA_DATA_VOCAB_H_

@@ -1,0 +1,134 @@
+#include "eval/cf_metrics.h"
+
+#include "text/similarity.h"
+#include "util/logging.h"
+
+namespace certa::eval {
+namespace {
+
+double MeanAttributeSimilarity(const data::Record& a_left,
+                               const data::Record& a_right,
+                               const data::Record& b_left,
+                               const data::Record& b_right) {
+  CERTA_CHECK_EQ(a_left.values.size(), b_left.values.size());
+  CERTA_CHECK_EQ(a_right.values.size(), b_right.values.size());
+  double total = 0.0;
+  int count = 0;
+  for (size_t i = 0; i < a_left.values.size(); ++i) {
+    total += text::AttributeSimilarity(a_left.values[i], b_left.values[i]);
+    ++count;
+  }
+  for (size_t i = 0; i < a_right.values.size(); ++i) {
+    total += text::AttributeSimilarity(a_right.values[i], b_right.values[i]);
+    ++count;
+  }
+  return count > 0 ? total / count : 0.0;
+}
+
+}  // namespace
+
+double Proximity(const explain::CounterfactualExample& example,
+                 const data::Record& original_u,
+                 const data::Record& original_v) {
+  return MeanAttributeSimilarity(example.left, example.right, original_u,
+                                 original_v);
+}
+
+double Sparsity(const explain::CounterfactualExample& example,
+                const data::Record& original_u,
+                const data::Record& original_v) {
+  CERTA_CHECK_EQ(example.left.values.size(), original_u.values.size());
+  CERTA_CHECK_EQ(example.right.values.size(), original_v.values.size());
+  int total = 0;
+  int unchanged = 0;
+  for (size_t i = 0; i < original_u.values.size(); ++i) {
+    ++total;
+    if (example.left.values[i] == original_u.values[i]) ++unchanged;
+  }
+  for (size_t i = 0; i < original_v.values.size(); ++i) {
+    ++total;
+    if (example.right.values[i] == original_v.values[i]) ++unchanged;
+  }
+  return total > 0 ? static_cast<double>(unchanged) / total : 1.0;
+}
+
+namespace {
+
+/// Distance between two counterfactuals over the union of attributes
+/// that either of them changed relative to the original pair.
+double ChangedAttributeDistance(const explain::CounterfactualExample& a,
+                                const explain::CounterfactualExample& b,
+                                const data::Record& original_u,
+                                const data::Record& original_v) {
+  double total = 0.0;
+  int changed = 0;
+  auto accumulate = [&](const data::Record& record_a,
+                        const data::Record& record_b,
+                        const data::Record& original) {
+    for (size_t i = 0; i < original.values.size(); ++i) {
+      bool changed_a = record_a.values[i] != original.values[i];
+      bool changed_b = record_b.values[i] != original.values[i];
+      if (!changed_a && !changed_b) continue;
+      total +=
+          1.0 - text::AttributeSimilarity(record_a.values[i],
+                                          record_b.values[i]);
+      ++changed;
+    }
+  };
+  accumulate(a.left, b.left, original_u);
+  accumulate(a.right, b.right, original_v);
+  return changed > 0 ? total / changed : 0.0;
+}
+
+}  // namespace
+
+double Diversity(const std::vector<explain::CounterfactualExample>& examples,
+                 const data::Record& original_u,
+                 const data::Record& original_v) {
+  if (examples.size() < 2) return 0.0;
+  double total = 0.0;
+  int pairs = 0;
+  for (size_t a = 0; a < examples.size(); ++a) {
+    for (size_t b = a + 1; b < examples.size(); ++b) {
+      total += ChangedAttributeDistance(examples[a], examples[b],
+                                        original_u, original_v);
+      ++pairs;
+    }
+  }
+  return total / pairs;
+}
+
+void CfAggregator::Add(
+    const std::vector<explain::CounterfactualExample>& examples,
+    const data::Record& original_u, const data::Record& original_v) {
+  ++input_count_;
+  for (const explain::CounterfactualExample& example : examples) {
+    proximity_sum_ += Proximity(example, original_u, original_v);
+    sparsity_sum_ += Sparsity(example, original_u, original_v);
+    ++example_count_;
+  }
+  if (examples.size() >= 2) {
+    diversity_sum_ += Diversity(examples, original_u, original_v);
+    ++diversity_inputs_;
+  }
+}
+
+CfAggregate CfAggregator::Result() const {
+  CfAggregate aggregate;
+  aggregate.inputs = input_count_;
+  aggregate.examples = example_count_;
+  if (example_count_ > 0) {
+    aggregate.proximity = proximity_sum_ / example_count_;
+    aggregate.sparsity = sparsity_sum_ / example_count_;
+  }
+  if (diversity_inputs_ > 0) {
+    aggregate.diversity = diversity_sum_ / diversity_inputs_;
+  }
+  if (input_count_ > 0) {
+    aggregate.mean_count =
+        static_cast<double>(example_count_) / input_count_;
+  }
+  return aggregate;
+}
+
+}  // namespace certa::eval

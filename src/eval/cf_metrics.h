@@ -1,0 +1,71 @@
+#ifndef CERTA_EVAL_CF_METRICS_H_
+#define CERTA_EVAL_CF_METRICS_H_
+
+#include <vector>
+
+#include "data/table.h"
+#include "explain/explanation.h"
+
+namespace certa::eval {
+
+/// Proximity of one counterfactual to the original pair: the mean
+/// attribute-wise similarity across both records (Sect. 5.3, after
+/// Mothilal et al.). Higher is better — counterfactuals should stay
+/// close to the input.
+double Proximity(const explain::CounterfactualExample& example,
+                 const data::Record& original_u,
+                 const data::Record& original_v);
+
+/// Sparsity of one counterfactual: the fraction of attributes (over
+/// both records) left unchanged. Higher is better.
+double Sparsity(const explain::CounterfactualExample& example,
+                const data::Record& original_u,
+                const data::Record& original_v);
+
+/// Diversity of a set of counterfactuals: mean pairwise attribute-wise
+/// dissimilarity across all unordered example pairs, where each pair is
+/// compared over the union of attributes that either example changed
+/// relative to the original input (unchanged attributes are identical
+/// across examples by construction and would only dilute the measure —
+/// the paper's reported magnitudes are only reachable under this
+/// changed-attribute reading). 0 for fewer than two examples. Higher is
+/// better.
+double Diversity(const std::vector<explain::CounterfactualExample>& examples,
+                 const data::Record& original_u,
+                 const data::Record& original_v);
+
+/// Aggregates of one method over a test set (a cell of Tables 4-6 and
+/// Fig. 10). Proximity/sparsity average over all generated examples;
+/// diversity averages the per-input set diversity; mean_count is the
+/// average number of examples per explained input.
+struct CfAggregate {
+  double proximity = 0.0;
+  double sparsity = 0.0;
+  double diversity = 0.0;
+  double mean_count = 0.0;
+  int inputs = 0;
+  int examples = 0;
+};
+
+/// Accumulator for CfAggregate across explained inputs.
+class CfAggregator {
+ public:
+  /// Folds in the counterfactual set produced for one input pair.
+  void Add(const std::vector<explain::CounterfactualExample>& examples,
+           const data::Record& original_u, const data::Record& original_v);
+
+  /// Final averages.
+  CfAggregate Result() const;
+
+ private:
+  double proximity_sum_ = 0.0;
+  double sparsity_sum_ = 0.0;
+  double diversity_sum_ = 0.0;
+  int example_count_ = 0;
+  int diversity_inputs_ = 0;
+  int input_count_ = 0;
+};
+
+}  // namespace certa::eval
+
+#endif  // CERTA_EVAL_CF_METRICS_H_

@@ -1,0 +1,142 @@
+#include "eval/harness.h"
+
+#include <cstdlib>
+
+#include "data/benchmarks.h"
+#include "explain/dice.h"
+#include "explain/landmark.h"
+#include "explain/mojito.h"
+#include "explain/sedc.h"
+#include "explain/shap.h"
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace certa::eval {
+
+HarnessOptions OptionsFromEnv() {
+  HarnessOptions options;
+  if (const char* pairs = std::getenv("CERTA_BENCH_PAIRS")) {
+    options.max_pairs = std::max(1, std::atoi(pairs));
+  }
+  if (const char* scale = std::getenv("CERTA_BENCH_SCALE")) {
+    double value = 0.0;
+    if (ParseDouble(scale, &value) && value > 0.0) options.scale = value;
+  }
+  if (const char* triangles = std::getenv("CERTA_BENCH_TRIANGLES")) {
+    options.num_triangles = std::max(2, std::atoi(triangles));
+  }
+  return options;
+}
+
+std::unique_ptr<Setup> Prepare(const std::string& dataset_code,
+                               models::ModelKind kind,
+                               const HarnessOptions& options) {
+  auto setup = std::make_unique<Setup>();
+  setup->dataset = data::MakeBenchmark(dataset_code, options.scale);
+  setup->model_kind = kind;
+  setup->model = models::TrainMatcher(kind, setup->dataset, options.seed);
+  setup->cached = std::make_unique<models::CachingMatcher>(setup->model.get());
+  setup->context = {setup->cached.get(), &setup->dataset.left,
+                    &setup->dataset.right};
+  setup->test_f1 = models::EvaluateF1(*setup->cached, setup->dataset.left,
+                                      setup->dataset.right,
+                                      setup->dataset.test);
+  return setup;
+}
+
+std::vector<data::LabeledPair> ExplainedPairs(const Setup& setup,
+                                              const HarnessOptions& options) {
+  std::vector<data::LabeledPair> pairs = setup.dataset.test;
+  if (static_cast<int>(pairs.size()) > options.max_pairs) {
+    pairs.resize(static_cast<size_t>(options.max_pairs));
+  }
+  return pairs;
+}
+
+const std::vector<std::string>& SaliencyMethodNames() {
+  static const auto& names = *new std::vector<std::string>{
+      "CERTA", "LandMark", "Mojito", "SHAP"};
+  return names;
+}
+
+const std::vector<std::string>& CfMethodNames() {
+  static const auto& names = *new std::vector<std::string>{
+      "CERTA", "DiCE", "SHAP-C", "LIME-C"};
+  return names;
+}
+
+core::CertaExplainer::Options CertaOptionsFor(const HarnessOptions& options) {
+  core::CertaExplainer::Options certa_options;
+  certa_options.num_triangles = options.num_triangles;
+  certa_options.seed = options.seed;
+  return certa_options;
+}
+
+CfAggregate RunCfCell(explain::CounterfactualExplainer* explainer,
+                      const Setup& setup,
+                      const std::vector<data::LabeledPair>& pairs) {
+  CfAggregator aggregator;
+  for (const data::LabeledPair& pair : pairs) {
+    const data::Record& u = setup.dataset.left.record(pair.left_index);
+    const data::Record& v = setup.dataset.right.record(pair.right_index);
+    aggregator.Add(explainer->ExplainCounterfactual(u, v), u, v);
+  }
+  return aggregator.Result();
+}
+
+std::vector<explain::SaliencyExplanation> RunSaliencyCell(
+    explain::SaliencyExplainer* explainer, const Setup& setup,
+    const std::vector<data::LabeledPair>& pairs) {
+  std::vector<explain::SaliencyExplanation> explanations;
+  explanations.reserve(pairs.size());
+  for (const data::LabeledPair& pair : pairs) {
+    explanations.push_back(explainer->ExplainSaliency(
+        setup.dataset.left.record(pair.left_index),
+        setup.dataset.right.record(pair.right_index)));
+  }
+  return explanations;
+}
+
+std::unique_ptr<explain::SaliencyExplainer> MakeSaliencyExplainer(
+    const std::string& method, const Setup& setup,
+    const HarnessOptions& options) {
+  if (method == "CERTA") {
+    return std::make_unique<core::CertaExplainer>(setup.context,
+                                                  CertaOptionsFor(options));
+  }
+  if (method == "LandMark") {
+    return std::make_unique<explain::LandmarkExplainer>(setup.context);
+  }
+  if (method == "Mojito") {
+    return std::make_unique<explain::MojitoExplainer>(setup.context);
+  }
+  if (method == "SHAP") {
+    return std::make_unique<explain::ShapExplainer>(setup.context);
+  }
+  CERTA_LOG(Fatal) << "Unknown saliency method: " << method;
+  return nullptr;
+}
+
+std::unique_ptr<explain::CounterfactualExplainer> MakeCfExplainer(
+    const std::string& method, const Setup& setup,
+    const HarnessOptions& options) {
+  if (method == "CERTA") {
+    return std::make_unique<core::CertaExplainer>(setup.context,
+                                                  CertaOptionsFor(options));
+  }
+  if (method == "DiCE") {
+    return std::make_unique<explain::DiceExplainer>(setup.context);
+  }
+  if (method == "SHAP-C") {
+    return std::make_unique<explain::SedcExplainer>(
+        setup.context, explain::SedcExplainer::Base::kShapC);
+  }
+  if (method == "LIME-C") {
+    return std::make_unique<explain::SedcExplainer>(
+        setup.context, explain::SedcExplainer::Base::kLimeC);
+  }
+  CERTA_LOG(Fatal) << "Unknown counterfactual method: " << method;
+  return nullptr;
+}
+
+}  // namespace certa::eval

@@ -1,0 +1,121 @@
+#include "eval/saliency_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "explain/perturbation.h"
+#include "ml/dense.h"
+#include "ml/metrics.h"
+#include "util/logging.h"
+
+namespace certa::eval {
+
+const std::vector<double>& FaithfulnessThresholds() {
+  static const auto& thresholds =
+      *new std::vector<double>{0.1, 0.2, 0.33, 0.5, 0.7, 0.9};
+  return thresholds;
+}
+
+void MaskTopAttributes(const data::Record& u, const data::Record& v,
+                       const explain::SaliencyExplanation& explanation,
+                       double fraction, data::Record* masked_u,
+                       data::Record* masked_v) {
+  const int total = explanation.left_size() + explanation.right_size();
+  int to_mask = static_cast<int>(
+      std::ceil(fraction * static_cast<double>(total)));
+  to_mask = std::clamp(to_mask, 0, total);
+  explain::AttrMask left_mask = 0;
+  explain::AttrMask right_mask = 0;
+  std::vector<explain::AttributeRef> ranked = explanation.Ranked();
+  for (int k = 0; k < to_mask; ++k) {
+    const explain::AttributeRef& ref = ranked[static_cast<size_t>(k)];
+    if (ref.side == data::Side::kLeft) {
+      left_mask |= 1u << ref.index;
+    } else {
+      right_mask |= 1u << ref.index;
+    }
+  }
+  *masked_u = explain::DropAttributes(u, left_mask);
+  *masked_v = explain::DropAttributes(v, right_mask);
+}
+
+double Faithfulness(
+    const explain::ExplainContext& context,
+    const std::vector<data::LabeledPair>& pairs, const data::Table& left,
+    const data::Table& right,
+    const std::vector<explain::SaliencyExplanation>& explanations) {
+  CERTA_CHECK(context.valid());
+  CERTA_CHECK_EQ(pairs.size(), explanations.size());
+  if (pairs.empty()) return 0.0;
+
+  std::vector<double> thresholds = FaithfulnessThresholds();
+  std::vector<double> f1s;
+  f1s.reserve(thresholds.size());
+  for (double threshold : thresholds) {
+    std::vector<int> labels;
+    std::vector<int> predictions;
+    labels.reserve(pairs.size());
+    predictions.reserve(pairs.size());
+    for (size_t p = 0; p < pairs.size(); ++p) {
+      const data::Record& u = left.record(pairs[p].left_index);
+      const data::Record& v = right.record(pairs[p].right_index);
+      data::Record masked_u;
+      data::Record masked_v;
+      MaskTopAttributes(u, v, explanations[p], threshold, &masked_u,
+                        &masked_v);
+      labels.push_back(pairs[p].label);
+      predictions.push_back(context.model->Predict(masked_u, masked_v) ? 1
+                                                                       : 0);
+    }
+    f1s.push_back(ml::F1Score(labels, predictions));
+  }
+  return ml::TrapezoidAuc(thresholds, f1s);
+}
+
+double ConfidenceIndication(
+    const explain::ExplainContext& context,
+    const std::vector<data::LabeledPair>& pairs, const data::Table& left,
+    const data::Table& right,
+    const std::vector<explain::SaliencyExplanation>& explanations) {
+  CERTA_CHECK(context.valid());
+  CERTA_CHECK_EQ(pairs.size(), explanations.size());
+  if (pairs.empty()) return 0.0;
+
+  // Probe features: flattened saliency scores, the predicted class bit,
+  // and an intercept. Target: the model's confidence in its prediction.
+  const size_t n = pairs.size();
+  std::vector<double> confidences(n, 0.0);
+  std::vector<std::vector<double>> rows(n);
+  size_t dim = 0;
+  for (size_t p = 0; p < n; ++p) {
+    const data::Record& u = left.record(pairs[p].left_index);
+    const data::Record& v = right.record(pairs[p].right_index);
+    double score = context.model->Score(u, v);
+    confidences[p] = std::max(score, 1.0 - score);
+    std::vector<double> features = explanations[p].Flattened();
+    features.push_back(score >= 0.5 ? 1.0 : 0.0);
+    features.push_back(1.0);  // intercept
+    dim = features.size();
+    rows[p] = std::move(features);
+  }
+  ml::Matrix design(n, dim, 0.0);
+  ml::Vector targets(n, 0.0);
+  ml::Vector weights(n, 1.0);
+  for (size_t p = 0; p < n; ++p) {
+    for (size_t c = 0; c < dim; ++c) design.at(p, c) = rows[p][c];
+    targets[p] = confidences[p];
+  }
+  ml::Vector beta;
+  if (!ml::WeightedRidge(design, targets, weights, 1e-4, &beta)) {
+    return 1.0;  // probe failed entirely: worst-case indication
+  }
+  std::vector<double> predicted(n, 0.0);
+  for (size_t p = 0; p < n; ++p) {
+    double value = 0.0;
+    for (size_t c = 0; c < dim; ++c) value += design.at(p, c) * beta[c];
+    predicted[p] = std::clamp(value, 0.0, 1.0);
+  }
+  return ml::MeanAbsoluteError(confidences, predicted);
+}
+
+}  // namespace certa::eval

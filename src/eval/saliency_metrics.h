@@ -1,0 +1,50 @@
+#ifndef CERTA_EVAL_SALIENCY_METRICS_H_
+#define CERTA_EVAL_SALIENCY_METRICS_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "explain/explainer.h"
+#include "explain/explanation.h"
+
+namespace certa::eval {
+
+/// The paper's masking thresholds for Faithfulness (Sect. 5.3).
+const std::vector<double>& FaithfulnessThresholds();
+
+/// Returns the pair with the top `fraction` of attributes (per the
+/// explanation's ranking) masked out. Exposed for tests and the case
+/// study.
+void MaskTopAttributes(const data::Record& u, const data::Record& v,
+                       const explain::SaliencyExplanation& explanation,
+                       double fraction, data::Record* masked_u,
+                       data::Record* masked_v);
+
+/// Faithfulness (Atanasova et al., EMNLP'20, as instantiated in Sect.
+/// 5.3): AUC of the threshold → model-F1 curve, where at each threshold
+/// the top fraction of attributes by saliency is masked on every test
+/// pair and the model is re-evaluated against the ground truth. Lower
+/// is better (faithful explanations destroy performance fastest).
+///
+/// `explanations` are per-pair explanations parallel to `pairs`.
+double Faithfulness(const explain::ExplainContext& context,
+                    const std::vector<data::LabeledPair>& pairs,
+                    const data::Table& left, const data::Table& right,
+                    const std::vector<explain::SaliencyExplanation>&
+                        explanations);
+
+/// Confidence Indication (Sect. 5.3): how well the saliency scores
+/// predict the model's confidence. A linear probe (ridge regression
+/// with intercept) maps each pair's flattened saliency scores plus the
+/// predicted class to the model's confidence max(score, 1 - score);
+/// the metric is the probe's mean absolute error. Lower is better.
+double ConfidenceIndication(const explain::ExplainContext& context,
+                            const std::vector<data::LabeledPair>& pairs,
+                            const data::Table& left,
+                            const data::Table& right,
+                            const std::vector<explain::SaliencyExplanation>&
+                                explanations);
+
+}  // namespace certa::eval
+
+#endif  // CERTA_EVAL_SALIENCY_METRICS_H_

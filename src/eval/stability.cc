@@ -1,0 +1,21 @@
+#include "eval/stability.h"
+
+#include "ml/metrics.h"
+#include "util/logging.h"
+
+namespace certa::eval {
+
+double SaliencyStability(
+    const std::vector<explain::SaliencyExplanation>& run_a,
+    const std::vector<explain::SaliencyExplanation>& run_b) {
+  CERTA_CHECK_EQ(run_a.size(), run_b.size());
+  if (run_a.empty()) return 1.0;
+  double total = 0.0;
+  for (size_t p = 0; p < run_a.size(); ++p) {
+    total += ml::SpearmanCorrelation(run_a[p].Flattened(),
+                                     run_b[p].Flattened());
+  }
+  return total / static_cast<double>(run_a.size());
+}
+
+}  // namespace certa::eval

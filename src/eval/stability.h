@@ -1,0 +1,24 @@
+#ifndef CERTA_EVAL_STABILITY_H_
+#define CERTA_EVAL_STABILITY_H_
+
+#include <vector>
+
+#include "explain/explanation.h"
+
+namespace certa::eval {
+
+/// Stability of a saliency method: the mean Spearman rank correlation
+/// between the per-pair explanations produced by two independent runs
+/// of the method (different sampling seeds) on the same inputs. 1.0
+/// means the attribute ranking is identical run-to-run; explanations
+/// users cannot reproduce are hard to trust. This is the
+/// consistency-style diagnostic from the same toolkit as Confidence
+/// Indication (Atanasova et al., EMNLP'20), provided as an extension —
+/// the CERTA paper does not report it.
+double SaliencyStability(
+    const std::vector<explain::SaliencyExplanation>& run_a,
+    const std::vector<explain::SaliencyExplanation>& run_b);
+
+}  // namespace certa::eval
+
+#endif  // CERTA_EVAL_STABILITY_H_

@@ -1,0 +1,35 @@
+#include "eval/validity.h"
+
+namespace certa::eval {
+
+double Validity(const models::Matcher& model,
+                const std::vector<explain::CounterfactualExample>& examples,
+                const data::Record& original_u,
+                const data::Record& original_v) {
+  if (examples.empty()) return 1.0;
+  bool original = model.Predict(original_u, original_v);
+  int flipped = 0;
+  for (const explain::CounterfactualExample& example : examples) {
+    if (model.Predict(example.left, example.right) != original) ++flipped;
+  }
+  return static_cast<double>(flipped) /
+         static_cast<double>(examples.size());
+}
+
+void ValidityAggregator::Add(
+    const models::Matcher& model,
+    const std::vector<explain::CounterfactualExample>& examples,
+    const data::Record& original_u, const data::Record& original_v) {
+  bool original = model.Predict(original_u, original_v);
+  for (const explain::CounterfactualExample& example : examples) {
+    ++total_;
+    if (model.Predict(example.left, example.right) != original) ++flipped_;
+  }
+}
+
+double ValidityAggregator::Result() const {
+  if (total_ == 0) return 1.0;
+  return static_cast<double>(flipped_) / static_cast<double>(total_);
+}
+
+}  // namespace certa::eval

@@ -1,0 +1,42 @@
+#ifndef CERTA_EVAL_VALIDITY_H_
+#define CERTA_EVAL_VALIDITY_H_
+
+#include <vector>
+
+#include "data/table.h"
+#include "explain/explanation.h"
+#include "models/matcher.h"
+
+namespace certa::eval {
+
+/// Validity (Mothilal et al.): the fraction of returned counterfactual
+/// examples that *actually* flip the model's prediction. The paper
+/// excludes it from the headline comparison because CERTA's examples
+/// flip by construction while DiCE's may not (footnote 6); it is
+/// provided here as an extra diagnostic (bench_extra_validity).
+double Validity(const models::Matcher& model,
+                const std::vector<explain::CounterfactualExample>& examples,
+                const data::Record& original_u,
+                const data::Record& original_v);
+
+/// Accumulates validity over many explained inputs; mean over all
+/// generated examples (inputs with no examples contribute nothing).
+class ValidityAggregator {
+ public:
+  void Add(const models::Matcher& model,
+           const std::vector<explain::CounterfactualExample>& examples,
+           const data::Record& original_u, const data::Record& original_v);
+
+  /// Fraction of all examples that flipped; 1.0 when no examples.
+  double Result() const;
+
+  int example_count() const { return total_; }
+
+ private:
+  int flipped_ = 0;
+  int total_ = 0;
+};
+
+}  // namespace certa::eval
+
+#endif  // CERTA_EVAL_VALIDITY_H_

@@ -1,0 +1,131 @@
+#include "explain/aggregate.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace certa::explain {
+namespace {
+
+double ExplanationDistance(const SaliencyExplanation& a,
+                           const SaliencyExplanation& b) {
+  std::vector<double> flat_a = a.Flattened();
+  std::vector<double> flat_b = b.Flattened();
+  CERTA_CHECK_EQ(flat_a.size(), flat_b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < flat_a.size(); ++i) {
+    double delta = flat_a[i] - flat_b[i];
+    sum += delta * delta;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace
+
+GlobalExplanation AggregateExplanations(
+    const ExplainContext& context,
+    const std::vector<data::LabeledPair>& pairs, const data::Table& left,
+    const data::Table& right,
+    const std::vector<SaliencyExplanation>& explanations,
+    int num_representatives) {
+  CERTA_CHECK(context.valid());
+  CERTA_CHECK_EQ(pairs.size(), explanations.size());
+  const int left_attributes = left.schema().size();
+  const int right_attributes = right.schema().size();
+
+  GlobalExplanation global;
+  global.mean_match = SaliencyExplanation(left_attributes, right_attributes);
+  global.mean_non_match =
+      SaliencyExplanation(left_attributes, right_attributes);
+
+  // Class-conditional mean saliency.
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    bool predicted_match = context.model->Predict(
+        left.record(pairs[p].left_index), right.record(pairs[p].right_index));
+    SaliencyExplanation& sink =
+        predicted_match ? global.mean_match : global.mean_non_match;
+    (predicted_match ? global.match_count : global.non_match_count) += 1;
+    for (int a = 0; a < left_attributes; ++a) {
+      AttributeRef ref{data::Side::kLeft, a};
+      sink.set_score(ref, sink.score(ref) + explanations[p].score(ref));
+    }
+    for (int a = 0; a < right_attributes; ++a) {
+      AttributeRef ref{data::Side::kRight, a};
+      sink.set_score(ref, sink.score(ref) + explanations[p].score(ref));
+    }
+  }
+  auto normalize = [&](SaliencyExplanation* sink, int count) {
+    if (count == 0) return;
+    for (int a = 0; a < left_attributes; ++a) {
+      AttributeRef ref{data::Side::kLeft, a};
+      sink->set_score(ref, sink->score(ref) / count);
+    }
+    for (int a = 0; a < right_attributes; ++a) {
+      AttributeRef ref{data::Side::kRight, a};
+      sink->set_score(ref, sink->score(ref) / count);
+    }
+  };
+  normalize(&global.mean_match, global.match_count);
+  normalize(&global.mean_non_match, global.non_match_count);
+
+  // Representative pairs: greedy k-medoids — first the pair minimizing
+  // total distance to all others, then iteratively the pair minimizing
+  // total distance to its still-uncovered peers.
+  const int k = std::min<int>(num_representatives,
+                              static_cast<int>(pairs.size()));
+  std::vector<bool> chosen(pairs.size(), false);
+  for (int round = 0; round < k; ++round) {
+    int best = -1;
+    double best_cost = 0.0;
+    for (size_t candidate = 0; candidate < pairs.size(); ++candidate) {
+      if (chosen[candidate]) continue;
+      double cost = 0.0;
+      for (size_t other = 0; other < pairs.size(); ++other) {
+        if (other == candidate || chosen[other]) continue;
+        cost += ExplanationDistance(explanations[candidate],
+                                    explanations[other]);
+      }
+      if (best < 0 || cost < best_cost) {
+        best = static_cast<int>(candidate);
+        best_cost = cost;
+      }
+    }
+    if (best < 0) break;
+    chosen[static_cast<size_t>(best)] = true;
+    global.representative_pairs.push_back(best);
+  }
+  return global;
+}
+
+std::string RenderGlobalExplanation(const GlobalExplanation& global,
+                                    const data::Schema& left,
+                                    const data::Schema& right) {
+  std::string out;
+  auto render_class = [&](const char* title,
+                          const SaliencyExplanation& mean, int count) {
+    out += std::string(title) + " (" + std::to_string(count) +
+           " predictions):\n";
+    if (count == 0) {
+      out += "  (none)\n";
+      return;
+    }
+    for (const AttributeRef& ref : mean.Ranked()) {
+      out += "  " + QualifiedAttributeName(left, right, ref) + " = " +
+             FormatDouble(mean.score(ref), 3) + "\n";
+    }
+  };
+  render_class("mean saliency, predicted Match", global.mean_match,
+               global.match_count);
+  render_class("mean saliency, predicted Non-Match", global.mean_non_match,
+               global.non_match_count);
+  out += "representative pairs (explanation medoids): ";
+  std::vector<std::string> indices;
+  for (int index : global.representative_pairs) {
+    indices.push_back(std::to_string(index));
+  }
+  out += Join(indices, ", ") + "\n";
+  return out;
+}
+
+}  // namespace certa::explain

@@ -1,0 +1,47 @@
+#ifndef CERTA_EXPLAIN_AGGREGATE_H_
+#define CERTA_EXPLAIN_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "explain/explainer.h"
+#include "explain/explanation.h"
+
+namespace certa::explain {
+
+/// Global (dataset-level) view over many local explanations — the
+/// workflow ExplainER's front-end provides (paper Sect. 2): which
+/// attributes drive the model *overall*, split by predicted class, and
+/// which explained pairs are representative of distinct behaviours.
+struct GlobalExplanation {
+  /// Mean saliency per attribute over pairs predicted Match.
+  SaliencyExplanation mean_match;
+  /// Mean saliency per attribute over pairs predicted Non-Match.
+  SaliencyExplanation mean_non_match;
+  int match_count = 0;
+  int non_match_count = 0;
+  /// Indices (into the explained pair list) of representative pairs:
+  /// greedy medoids under explanation-vector distance, most central
+  /// first.
+  std::vector<int> representative_pairs;
+};
+
+/// Aggregates local explanations into a global one. `explanations` are
+/// parallel to `pairs`; `num_representatives` caps the medoid list.
+GlobalExplanation AggregateExplanations(
+    const ExplainContext& context,
+    const std::vector<data::LabeledPair>& pairs, const data::Table& left,
+    const data::Table& right,
+    const std::vector<SaliencyExplanation>& explanations,
+    int num_representatives = 3);
+
+/// Renders the global explanation as text (mean saliency per class +
+/// the representative pairs).
+std::string RenderGlobalExplanation(const GlobalExplanation& global,
+                                    const data::Schema& left,
+                                    const data::Schema& right);
+
+}  // namespace certa::explain
+
+#endif  // CERTA_EXPLAIN_AGGREGATE_H_

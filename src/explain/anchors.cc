@@ -1,0 +1,115 @@
+#include "explain/anchors.h"
+
+#include "text/tokenizer.h"
+#include "util/logging.h"
+
+namespace certa::explain {
+namespace {
+
+uint64_t ContentSeed(const data::Record& u, const data::Record& v,
+                     uint64_t seed) {
+  uint64_t hash = seed ^ 0xA17C4025ULL;
+  auto mix = [&hash](const std::string& value) {
+    for (char c : value) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 0x100000001b3ULL;
+    }
+  };
+  for (const std::string& value : u.values) mix(value);
+  for (const std::string& value : v.values) mix(value);
+  return hash;
+}
+
+}  // namespace
+
+AnchorsExplainer::AnchorsExplainer(ExplainContext context, Options options)
+    : context_(context), options_(options) {
+  CERTA_CHECK(context_.valid());
+  CERTA_CHECK_GT(options_.num_samples, 0);
+}
+
+double AnchorsExplainer::EstimatePrecision(const data::Record& u,
+                                           const data::Record& v,
+                                           bool original_prediction,
+                                           uint64_t anchored,
+                                           Rng* rng) const {
+  const int left_attributes = static_cast<int>(u.values.size());
+  const int right_attributes = static_cast<int>(v.values.size());
+  const int total = left_attributes + right_attributes;
+  int stable = 0;
+  for (int s = 0; s < options_.num_samples; ++s) {
+    data::Record pu = u;
+    data::Record pv = v;
+    for (int f = 0; f < total; ++f) {
+      if ((anchored >> f) & 1ull) continue;
+      bool is_left = f < left_attributes;
+      int index = is_left ? f : f - left_attributes;
+      const data::Table& pool =
+          is_left ? *context_.left : *context_.right;
+      std::string& slot =
+          is_left ? pu.values[index] : pv.values[index];
+      if (pool.size() > 0 && rng->Bernoulli(options_.replace_probability)) {
+        slot = pool.record(static_cast<int>(rng->Index(pool.size())))
+                   .value(index);
+      } else {
+        slot = "";
+      }
+    }
+    if (context_.model->Predict(pu, pv) == original_prediction) ++stable;
+  }
+  return static_cast<double>(stable) / options_.num_samples;
+}
+
+AnchorExplanation AnchorsExplainer::ExplainAnchor(const data::Record& u,
+                                                  const data::Record& v) {
+  const int left_attributes = static_cast<int>(u.values.size());
+  const int right_attributes = static_cast<int>(v.values.size());
+  const int total = left_attributes + right_attributes;
+  CERTA_CHECK_LE(total, 62);
+  const bool original_prediction = context_.model->Predict(u, v);
+  Rng rng(ContentSeed(u, v, options_.seed));
+
+  AnchorExplanation explanation;
+  explanation.coverage = 1.0;
+  uint64_t anchored = 0;
+  explanation.precision =
+      EstimatePrecision(u, v, original_prediction, anchored, &rng);
+
+  while (explanation.precision < options_.precision_target &&
+         static_cast<int>(explanation.anchor.size()) < total) {
+    int best_feature = -1;
+    double best_precision = -1.0;
+    for (int f = 0; f < total; ++f) {
+      if ((anchored >> f) & 1ull) continue;
+      double precision = EstimatePrecision(
+          u, v, original_prediction, anchored | (1ull << f), &rng);
+      if (precision > best_precision) {
+        best_precision = precision;
+        best_feature = f;
+      }
+    }
+    if (best_feature < 0) break;
+    anchored |= 1ull << best_feature;
+    explanation.precision = best_precision;
+    bool is_left = best_feature < left_attributes;
+    explanation.anchor.push_back(
+        {is_left ? data::Side::kLeft : data::Side::kRight,
+         is_left ? best_feature : best_feature - left_attributes});
+  }
+  return explanation;
+}
+
+SaliencyExplanation AnchorsExplainer::ExplainSaliency(
+    const data::Record& u, const data::Record& v) {
+  AnchorExplanation anchor = ExplainAnchor(u, v);
+  SaliencyExplanation explanation(static_cast<int>(u.values.size()),
+                                  static_cast<int>(v.values.size()));
+  double rank = 1.0;
+  for (const AttributeRef& ref : anchor.anchor) {
+    explanation.set_score(ref, 1.0 / rank);
+    rank += 1.0;
+  }
+  return explanation;
+}
+
+}  // namespace certa::explain

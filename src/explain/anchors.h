@@ -1,0 +1,74 @@
+#ifndef CERTA_EXPLAIN_ANCHORS_H_
+#define CERTA_EXPLAIN_ANCHORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "explain/explainer.h"
+#include "util/random.h"
+
+namespace certa::explain {
+
+/// An anchor: a set of attributes that, when held fixed, keeps the
+/// model's prediction stable under perturbation of everything else
+/// (Ribeiro et al., AAAI'18 — the rule-based method ExplainER plugs in
+/// alongside LIME, per the paper's related work).
+struct AnchorExplanation {
+  /// The anchored attributes, in the order the greedy search added
+  /// them (most stabilizing first).
+  std::vector<AttributeRef> anchor;
+  /// Estimated P(prediction unchanged | anchor held, rest perturbed).
+  double precision = 0.0;
+  /// Fraction of sampled perturbations the anchor applies to (here
+  /// always 1.0 minus degenerate samples; reported for completeness).
+  double coverage = 0.0;
+};
+
+/// Greedy beam-1 anchor search over attribute-presence predicates:
+/// non-anchored attributes are perturbed (dropped or replaced with
+/// random same-attribute values from the sources), and attributes are
+/// added until the precision target is met. Also usable through the
+/// SaliencyExplainer interface, where anchored attributes receive
+/// descending scores by insertion order.
+class AnchorsExplainer : public SaliencyExplainer {
+ public:
+  struct Options {
+    /// Perturbation samples per precision estimate.
+    int num_samples = 64;
+    /// Stop growing the anchor at this precision.
+    double precision_target = 0.95;
+    /// Probability a non-anchored attribute is replaced by a random
+    /// pool value instead of dropped.
+    double replace_probability = 0.5;
+    uint64_t seed = 47;
+  };
+
+  AnchorsExplainer(ExplainContext context, Options options);
+  explicit AnchorsExplainer(ExplainContext context)
+      : AnchorsExplainer(context, Options()) {}
+
+  std::string name() const override { return "Anchors"; }
+
+  /// Runs the anchor search for the prediction M(<u, v>).
+  AnchorExplanation ExplainAnchor(const data::Record& u,
+                                  const data::Record& v);
+
+  /// Saliency adapter: anchor members get scores (1, 1/2, 1/3, ...) by
+  /// insertion order; everything else 0.
+  SaliencyExplanation ExplainSaliency(const data::Record& u,
+                                      const data::Record& v) override;
+
+ private:
+  /// Precision of a candidate anchor set (bitmask over left-then-right
+  /// attribute positions).
+  double EstimatePrecision(const data::Record& u, const data::Record& v,
+                           bool original_prediction, uint64_t anchored,
+                           Rng* rng) const;
+
+  ExplainContext context_;
+  Options options_;
+};
+
+}  // namespace certa::explain
+
+#endif  // CERTA_EXPLAIN_ANCHORS_H_

@@ -1,0 +1,213 @@
+#include "explain/dice.h"
+
+#include <algorithm>
+#include <set>
+
+#include "text/similarity.h"
+#include "text/tokenizer.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace certa::explain {
+namespace {
+
+/// Mean attribute-wise dissimilarity between two counterfactual pairs,
+/// used by the greedy diversity selection.
+double PairDistance(const CounterfactualExample& a,
+                    const CounterfactualExample& b) {
+  double total = 0.0;
+  int count = 0;
+  for (size_t i = 0; i < a.left.values.size(); ++i) {
+    total += 1.0 - text::AttributeSimilarity(a.left.values[i],
+                                             b.left.values[i]);
+    ++count;
+  }
+  for (size_t i = 0; i < a.right.values.size(); ++i) {
+    total += 1.0 - text::AttributeSimilarity(a.right.values[i],
+                                             b.right.values[i]);
+    ++count;
+  }
+  return count > 0 ? total / count : 0.0;
+}
+
+std::string PairKey(const CounterfactualExample& example) {
+  std::string key;
+  for (const std::string& value : example.left.values) {
+    key += value;
+    key.push_back('\x1f');
+  }
+  key.push_back('\x1e');
+  for (const std::string& value : example.right.values) {
+    key += value;
+    key.push_back('\x1f');
+  }
+  return key;
+}
+
+}  // namespace
+
+DiceExplainer::DiceExplainer(ExplainContext context, Options options)
+    : context_(context), options_(options) {
+  CERTA_CHECK(context_.valid());
+  CERTA_CHECK_GT(options_.total_cfs, 0);
+}
+
+std::vector<CounterfactualExample> DiceExplainer::ExplainCounterfactual(
+    const data::Record& u, const data::Record& v) {
+  const bool original = context_.model->Predict(u, v);
+  const int left_attributes = static_cast<int>(u.values.size());
+  const int right_attributes = static_cast<int>(v.values.size());
+
+  // Empirical value pools per (side, attribute).
+  auto pool_value = [&](data::Side side, int attribute, Rng* rng) {
+    const data::Table& table =
+        side == data::Side::kLeft ? *context_.left : *context_.right;
+    if (table.size() == 0) return std::string("NaN");
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const std::string& value =
+          table.record(static_cast<int>(rng->Index(table.size())))
+              .value(attribute);
+      if (!text::IsMissing(value)) return value;
+    }
+    return std::string("NaN");
+  };
+
+  uint64_t seed = options_.seed;
+  for (const std::string& value : u.values) {
+    for (char c : value) seed = seed * 0x100000001b3ULL + (unsigned char)c;
+  }
+  for (const std::string& value : v.values) {
+    for (char c : value) seed = seed * 0x100000001b3ULL + (unsigned char)c;
+  }
+  Rng rng(seed);
+
+  std::vector<CounterfactualExample> candidates;
+  // Best-effort fallback: DiCE returns the requested number of examples
+  // even when none of them actually flips (its validity can be < 1 —
+  // the CERTA paper's footnote 6). Track the proposals that move the
+  // score closest to the decision boundary.
+  std::vector<CounterfactualExample> near_misses;
+  std::set<std::string> seen;
+  const int enough = options_.total_cfs * 3;
+
+  for (int proposal = 0;
+       proposal < options_.max_proposals &&
+       static_cast<int>(candidates.size()) < enough;
+       ++proposal) {
+    CounterfactualExample candidate;
+    candidate.left = u;
+    candidate.right = v;
+    std::vector<AttributeRef> changed;
+    for (int i = 0; i < left_attributes; ++i) {
+      if (!rng.Bernoulli(options_.change_probability)) continue;
+      candidate.left.values[i] = pool_value(data::Side::kLeft, i, &rng);
+      changed.push_back({data::Side::kLeft, i});
+    }
+    for (int i = 0; i < right_attributes; ++i) {
+      if (!rng.Bernoulli(options_.change_probability)) continue;
+      candidate.right.values[i] = pool_value(data::Side::kRight, i, &rng);
+      changed.push_back({data::Side::kRight, i});
+    }
+    if (changed.empty()) continue;
+    if (context_.model->Predict(candidate.left, candidate.right) ==
+        original) {
+      // Not a flip: remember it as a near miss if it moved the score
+      // toward the boundary.
+      if (near_misses.size() < 32) {
+        candidate.changed_attributes = changed;
+        candidate.score =
+            context_.model->Score(candidate.left, candidate.right);
+        near_misses.push_back(std::move(candidate));
+      }
+      continue;
+    }
+    // Sparsity pass: revert each change that is not needed for the flip.
+    rng.Shuffle(&changed);
+    std::vector<AttributeRef> kept;
+    for (const AttributeRef& ref : changed) {
+      std::string* slot = ref.side == data::Side::kLeft
+                              ? &candidate.left.values[ref.index]
+                              : &candidate.right.values[ref.index];
+      const std::string& original_value = ref.side == data::Side::kLeft
+                                              ? u.values[ref.index]
+                                              : v.values[ref.index];
+      std::string replaced = *slot;
+      *slot = original_value;
+      if (context_.model->Predict(candidate.left, candidate.right) ==
+          original) {
+        *slot = replaced;  // the change is necessary
+        kept.push_back(ref);
+      }
+    }
+    if (kept.empty()) continue;  // degenerate (flip vanished entirely)
+    candidate.changed_attributes = kept;
+    candidate.score = context_.model->Score(candidate.left, candidate.right);
+    if (!seen.insert(PairKey(candidate)).second) continue;
+    candidates.push_back(std::move(candidate));
+  }
+
+  if (candidates.empty() && !near_misses.empty()) {
+    // No actual flip found: fall back to the proposals whose score came
+    // closest to crossing the 0.5 boundary (best-effort examples).
+    std::sort(near_misses.begin(), near_misses.end(),
+              [original](const CounterfactualExample& a,
+                         const CounterfactualExample& b) {
+                double da = original ? a.score : -a.score;
+                double db = original ? b.score : -b.score;
+                return da < db;  // closest to flipping first
+              });
+    if (static_cast<int>(near_misses.size()) > options_.total_cfs) {
+      near_misses.resize(static_cast<size_t>(options_.total_cfs));
+    }
+    return near_misses;
+  }
+
+  // Greedy selection of total_cfs examples optimizing DiCE's combined
+  // objective: stay close to the input (proximity) while spreading the
+  // set out (max-min diversity).
+  std::vector<double> proximities(candidates.size(), 0.0);
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    double similarity = 0.0;
+    int count = 0;
+    for (size_t i = 0; i < u.values.size(); ++i) {
+      similarity += text::AttributeSimilarity(candidates[c].left.values[i],
+                                              u.values[i]);
+      ++count;
+    }
+    for (size_t i = 0; i < v.values.size(); ++i) {
+      similarity += text::AttributeSimilarity(
+          candidates[c].right.values[i], v.values[i]);
+      ++count;
+    }
+    proximities[c] = count > 0 ? similarity / count : 0.0;
+  }
+  std::vector<CounterfactualExample> selected;
+  std::vector<bool> used(candidates.size(), false);
+  while (static_cast<int>(selected.size()) <
+             std::min<int>(options_.total_cfs,
+                           static_cast<int>(candidates.size()))) {
+    int best = -1;
+    double best_gain = -1e18;
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (used[c]) continue;
+      double spread = 0.0;
+      if (!selected.empty()) {
+        spread = 1e9;
+        for (const CounterfactualExample& chosen : selected) {
+          spread = std::min(spread, PairDistance(candidates[c], chosen));
+        }
+      }
+      double gain = proximities[c] + 0.5 * spread;
+      if (best < 0 || gain > best_gain) {
+        best = static_cast<int>(c);
+        best_gain = gain;
+      }
+    }
+    if (best < 0) break;
+    used[best] = true;
+    selected.push_back(candidates[best]);
+  }
+  return selected;
+}
+
+}  // namespace certa::explain

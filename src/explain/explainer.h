@@ -1,0 +1,57 @@
+#ifndef CERTA_EXPLAIN_EXPLAINER_H_
+#define CERTA_EXPLAIN_EXPLAINER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "explain/explanation.h"
+#include "models/matcher.h"
+
+namespace certa::explain {
+
+/// Everything an explanation method may consult: the black-box model
+/// and both source tables (used as pools of realistic replacement
+/// values / support records). Explainers never see the ground truth.
+struct ExplainContext {
+  const models::Matcher* model = nullptr;
+  const data::Table* left = nullptr;
+  const data::Table* right = nullptr;
+
+  bool valid() const {
+    return model != nullptr && left != nullptr && right != nullptr;
+  }
+};
+
+/// Post-hoc local saliency explainer (Sect. 3.1): scores every
+/// attribute of a single prediction input.
+class SaliencyExplainer {
+ public:
+  virtual ~SaliencyExplainer() = default;
+
+  /// Method name as it appears in the paper's tables.
+  virtual std::string name() const = 0;
+
+  /// Explains the prediction M(<u, v>). `u`/`v` need not belong to the
+  /// context tables (perturbed inputs can be explained too).
+  virtual SaliencyExplanation ExplainSaliency(const data::Record& u,
+                                              const data::Record& v) = 0;
+};
+
+/// Post-hoc local counterfactual explainer (Sect. 3.2): produces
+/// modified copies of the input pair intended to flip the prediction.
+class CounterfactualExplainer {
+ public:
+  virtual ~CounterfactualExplainer() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Returns candidate counterfactual examples (possibly empty when the
+  /// method fails to find any flip).
+  virtual std::vector<CounterfactualExample> ExplainCounterfactual(
+      const data::Record& u, const data::Record& v) = 0;
+};
+
+}  // namespace certa::explain
+
+#endif  // CERTA_EXPLAIN_EXPLAINER_H_

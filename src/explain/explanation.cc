@@ -1,0 +1,65 @@
+#include "explain/explanation.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace certa::explain {
+
+std::string QualifiedAttributeName(const data::Schema& left,
+                                   const data::Schema& right,
+                                   AttributeRef ref) {
+  const data::Schema& schema = ref.side == data::Side::kLeft ? left : right;
+  return std::string(data::SidePrefix(ref.side)) + "_" +
+         schema.name(ref.index);
+}
+
+SaliencyExplanation::SaliencyExplanation(int left_attributes,
+                                         int right_attributes)
+    : left_scores_(left_attributes, 0.0),
+      right_scores_(right_attributes, 0.0) {
+  CERTA_CHECK_GT(left_attributes, 0);
+  CERTA_CHECK_GT(right_attributes, 0);
+}
+
+double SaliencyExplanation::score(AttributeRef ref) const {
+  const auto& scores =
+      ref.side == data::Side::kLeft ? left_scores_ : right_scores_;
+  CERTA_CHECK_GE(ref.index, 0);
+  CERTA_CHECK_LT(static_cast<size_t>(ref.index), scores.size());
+  return scores[ref.index];
+}
+
+void SaliencyExplanation::set_score(AttributeRef ref, double value) {
+  auto& scores = ref.side == data::Side::kLeft ? left_scores_ : right_scores_;
+  CERTA_CHECK_GE(ref.index, 0);
+  CERTA_CHECK_LT(static_cast<size_t>(ref.index), scores.size());
+  scores[ref.index] = value;
+}
+
+std::vector<AttributeRef> SaliencyExplanation::Ranked() const {
+  std::vector<AttributeRef> refs;
+  for (int i = 0; i < left_size(); ++i) refs.push_back({data::Side::kLeft, i});
+  for (int i = 0; i < right_size(); ++i) {
+    refs.push_back({data::Side::kRight, i});
+  }
+  std::stable_sort(refs.begin(), refs.end(),
+                   [this](AttributeRef a, AttributeRef b) {
+                     double sa = score(a);
+                     double sb = score(b);
+                     if (sa != sb) return sa > sb;
+                     if (a.side != b.side) {
+                       return a.side == data::Side::kLeft;
+                     }
+                     return a.index < b.index;
+                   });
+  return refs;
+}
+
+std::vector<double> SaliencyExplanation::Flattened() const {
+  std::vector<double> flat = left_scores_;
+  flat.insert(flat.end(), right_scores_.begin(), right_scores_.end());
+  return flat;
+}
+
+}  // namespace certa::explain

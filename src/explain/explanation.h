@@ -1,0 +1,78 @@
+#ifndef CERTA_EXPLAIN_EXPLANATION_H_
+#define CERTA_EXPLAIN_EXPLANATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+
+namespace certa::explain {
+
+/// Side-qualified attribute reference. An ER explanation scores
+/// attributes of *both* input records, so every attribute is addressed
+/// by (side, index within that side's schema).
+struct AttributeRef {
+  data::Side side = data::Side::kLeft;
+  int index = 0;
+
+  bool operator==(const AttributeRef& other) const {
+    return side == other.side && index == other.index;
+  }
+};
+
+/// "L_name" / "R_price" display names (the paper's Fig. 12 convention).
+std::string QualifiedAttributeName(const data::Schema& left,
+                                   const data::Schema& right,
+                                   AttributeRef ref);
+
+/// Saliency explanation: one importance score per attribute of each
+/// side (the paper's Φ = Φ_{A_U} ∪ Φ_{A_V}).
+class SaliencyExplanation {
+ public:
+  SaliencyExplanation() = default;
+  SaliencyExplanation(int left_attributes, int right_attributes);
+
+  int left_size() const { return static_cast<int>(left_scores_.size()); }
+  int right_size() const { return static_cast<int>(right_scores_.size()); }
+
+  double score(AttributeRef ref) const;
+  void set_score(AttributeRef ref, double value);
+
+  const std::vector<double>& left_scores() const { return left_scores_; }
+  const std::vector<double>& right_scores() const { return right_scores_; }
+
+  /// All attribute refs ordered by descending score (ties broken by
+  /// side then index, so the order is deterministic). Used by the
+  /// Faithfulness metric's top-fraction masking.
+  std::vector<AttributeRef> Ranked() const;
+
+  /// Scores flattened left-then-right (feature vector for the
+  /// Confidence Indication probe).
+  std::vector<double> Flattened() const;
+
+ private:
+  std::vector<double> left_scores_;
+  std::vector<double> right_scores_;
+};
+
+/// One counterfactual example: a modified copy of the input pair that
+/// (ideally) flips the model's prediction, together with which
+/// attributes were changed.
+struct CounterfactualExample {
+  data::Record left;
+  data::Record right;
+  /// The modified attributes (CERTA changes one side per example;
+  /// baseline methods may touch both).
+  std::vector<AttributeRef> changed_attributes;
+  /// Model score on the modified pair, if the producer computed it;
+  /// negative when unknown.
+  double score = -1.0;
+  /// CERTA's probability of sufficiency χ of the changed attribute set;
+  /// 0 for methods without that notion.
+  double sufficiency = 0.0;
+};
+
+}  // namespace certa::explain
+
+#endif  // CERTA_EXPLAIN_EXPLANATION_H_

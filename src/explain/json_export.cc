@@ -1,0 +1,79 @@
+#include "explain/json_export.h"
+
+namespace certa::explain {
+namespace {
+
+void WriteRecord(JsonWriter* json, const data::Record& record,
+                 const data::Schema& schema) {
+  json->BeginObject();
+  json->Key("id");
+  json->Int(record.id);
+  for (int a = 0; a < schema.size(); ++a) {
+    json->Key(schema.name(a));
+    json->String(record.value(a));
+  }
+  json->EndObject();
+}
+
+}  // namespace
+
+void WriteSaliency(JsonWriter* json, const SaliencyExplanation& explanation,
+                   const data::Schema& left, const data::Schema& right) {
+  json->BeginObject();
+  json->Key("attributes");
+  json->BeginArray();
+  for (const AttributeRef& ref : explanation.Ranked()) {
+    json->BeginObject();
+    json->Key("name");
+    json->String(QualifiedAttributeName(left, right, ref));
+    json->Key("score");
+    json->Number(explanation.score(ref));
+    json->EndObject();
+  }
+  json->EndArray();
+  json->EndObject();
+}
+
+void WriteCounterfactual(JsonWriter* json,
+                         const CounterfactualExample& example,
+                         const data::Schema& left,
+                         const data::Schema& right) {
+  json->BeginObject();
+  json->Key("changed_attributes");
+  json->BeginArray();
+  for (const AttributeRef& ref : example.changed_attributes) {
+    json->String(QualifiedAttributeName(left, right, ref));
+  }
+  json->EndArray();
+  json->Key("score");
+  if (example.score >= 0.0) {
+    json->Number(example.score);
+  } else {
+    json->Null();
+  }
+  json->Key("sufficiency");
+  json->Number(example.sufficiency);
+  json->Key("left");
+  WriteRecord(json, example.left, left);
+  json->Key("right");
+  WriteRecord(json, example.right, right);
+  json->EndObject();
+}
+
+std::string SaliencyToJson(const SaliencyExplanation& explanation,
+                           const data::Schema& left,
+                           const data::Schema& right) {
+  JsonWriter json;
+  WriteSaliency(&json, explanation, left, right);
+  return json.str();
+}
+
+std::string CounterfactualToJson(const CounterfactualExample& example,
+                                 const data::Schema& left,
+                                 const data::Schema& right) {
+  JsonWriter json;
+  WriteCounterfactual(&json, example, left, right);
+  return json.str();
+}
+
+}  // namespace certa::explain

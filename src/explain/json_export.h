@@ -1,0 +1,39 @@
+#ifndef CERTA_EXPLAIN_JSON_EXPORT_H_
+#define CERTA_EXPLAIN_JSON_EXPORT_H_
+
+#include <string>
+
+#include "data/table.h"
+#include "explain/explanation.h"
+#include "util/json_writer.h"
+
+namespace certa::explain {
+
+/// JSON export of explanations, for downstream dashboards and notebook
+/// workflows. Attribute names are embedded so the documents are
+/// self-contained. (The full CertaResult export lives in
+/// core/certa_explainer.h as CertaResultToJson.)
+
+/// {"attributes":[{"name":"L_title","score":0.42}, ...]}, ranked by
+/// descending score.
+std::string SaliencyToJson(const SaliencyExplanation& explanation,
+                           const data::Schema& left,
+                           const data::Schema& right);
+
+/// One counterfactual example with its change list and scores.
+std::string CounterfactualToJson(const CounterfactualExample& example,
+                                 const data::Schema& left,
+                                 const data::Schema& right);
+
+/// Streaming building blocks used by both exports and by the core
+/// CertaResult export.
+void WriteSaliency(JsonWriter* json, const SaliencyExplanation& explanation,
+                   const data::Schema& left, const data::Schema& right);
+void WriteCounterfactual(JsonWriter* json,
+                         const CounterfactualExample& example,
+                         const data::Schema& left,
+                         const data::Schema& right);
+
+}  // namespace certa::explain
+
+#endif  // CERTA_EXPLAIN_JSON_EXPORT_H_

@@ -1,0 +1,42 @@
+#include "explain/landmark.h"
+
+#include "util/logging.h"
+
+namespace certa::explain {
+
+LandmarkExplainer::LandmarkExplainer(ExplainContext context,
+                                     LimeOptions options)
+    : context_(context), options_(options) {
+  CERTA_CHECK(context_.valid());
+}
+
+SaliencyExplanation LandmarkExplainer::ExplainSaliency(
+    const data::Record& u, const data::Record& v) {
+  // Right record as landmark: perturb the left attributes only.
+  LimeOptions left_options = options_;
+  SaliencyExplanation left_half =
+      FitLimeSurrogate(context_, u, v, PerturbOp::kDrop,
+                       /*perturb_left=*/true, /*perturb_right=*/false,
+                       left_options);
+  // Left record as landmark: perturb the right attributes only.
+  LimeOptions right_options = options_;
+  right_options.seed = options_.seed + 1;
+  SaliencyExplanation right_half =
+      FitLimeSurrogate(context_, u, v, PerturbOp::kDrop,
+                       /*perturb_left=*/false, /*perturb_right=*/true,
+                       right_options);
+
+  SaliencyExplanation combined(left_half.left_size(),
+                               right_half.right_size());
+  for (int i = 0; i < left_half.left_size(); ++i) {
+    AttributeRef ref{data::Side::kLeft, i};
+    combined.set_score(ref, left_half.score(ref));
+  }
+  for (int i = 0; i < right_half.right_size(); ++i) {
+    AttributeRef ref{data::Side::kRight, i};
+    combined.set_score(ref, right_half.score(ref));
+  }
+  return combined;
+}
+
+}  // namespace certa::explain

@@ -1,0 +1,32 @@
+#ifndef CERTA_EXPLAIN_LANDMARK_H_
+#define CERTA_EXPLAIN_LANDMARK_H_
+
+#include "explain/explainer.h"
+#include "explain/lime.h"
+
+namespace certa::explain {
+
+/// LandMark (Baraldi et al., EDBT'21): a further LIME adaptation to ER
+/// that generates *two* explanations per pair — one per record, each
+/// obtained by perturbing that record's attributes while the other
+/// record is kept unchanged as the "landmark". The two half
+/// explanations are concatenated into the full attribute scoring.
+class LandmarkExplainer : public SaliencyExplainer {
+ public:
+  LandmarkExplainer(ExplainContext context, LimeOptions options);
+  explicit LandmarkExplainer(ExplainContext context)
+      : LandmarkExplainer(context, LimeOptions()) {}
+
+  std::string name() const override { return "LandMark"; }
+
+  SaliencyExplanation ExplainSaliency(const data::Record& u,
+                                      const data::Record& v) override;
+
+ private:
+  ExplainContext context_;
+  LimeOptions options_;
+};
+
+}  // namespace certa::explain
+
+#endif  // CERTA_EXPLAIN_LANDMARK_H_

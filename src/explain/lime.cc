@@ -1,0 +1,116 @@
+#include "explain/lime.h"
+
+#include <cmath>
+
+#include "explain/perturbation.h"
+#include "ml/dense.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace certa::explain {
+namespace {
+
+uint64_t PairSeed(const data::Record& u, const data::Record& v,
+                  uint64_t seed) {
+  uint64_t hash = seed ^ 0x9E3779B97F4A7C15ULL;
+  auto mix = [&hash](const std::string& value) {
+    for (char c : value) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 0x100000001b3ULL;
+    }
+  };
+  for (const std::string& value : u.values) mix(value);
+  for (const std::string& value : v.values) mix(value);
+  return hash;
+}
+
+}  // namespace
+
+void ApplyPerturbOp(const data::Record& u, const data::Record& v,
+                    data::Side side, uint32_t mask, PerturbOp op,
+                    data::Record* out_u, data::Record* out_v) {
+  *out_u = u;
+  *out_v = v;
+  bool aligned = u.values.size() == v.values.size();
+  data::Record& target = side == data::Side::kLeft ? *out_u : *out_v;
+  const data::Record& counterpart = side == data::Side::kLeft ? v : u;
+  for (size_t i = 0; i < target.values.size(); ++i) {
+    if (!(mask & (1u << i))) continue;
+    if (op == PerturbOp::kCopy && aligned) {
+      target.values[i] = counterpart.values[i];
+    } else {
+      target.values[i] = "";
+    }
+  }
+}
+
+SaliencyExplanation FitLimeSurrogate(const ExplainContext& context,
+                                     const data::Record& u,
+                                     const data::Record& v, PerturbOp op,
+                                     bool perturb_left, bool perturb_right,
+                                     const LimeOptions& options) {
+  CERTA_CHECK(context.valid());
+  CERTA_CHECK(perturb_left || perturb_right);
+  const int left_attributes = static_cast<int>(u.values.size());
+  const int right_attributes = static_cast<int>(v.values.size());
+  SaliencyExplanation explanation(left_attributes, right_attributes);
+
+  // Interpretable feature space: one presence bit per perturbable
+  // attribute, left side first.
+  std::vector<AttributeRef> features;
+  if (perturb_left) {
+    for (int i = 0; i < left_attributes; ++i) {
+      features.push_back({data::Side::kLeft, i});
+    }
+  }
+  if (perturb_right) {
+    for (int i = 0; i < right_attributes; ++i) {
+      features.push_back({data::Side::kRight, i});
+    }
+  }
+  const int d = static_cast<int>(features.size());
+  if (d == 0) return explanation;
+
+  Rng rng(PairSeed(u, v, options.seed));
+  const int n = options.num_samples;
+  // Design matrix: d presence bits + intercept column.
+  ml::Matrix design(n, d + 1, 0.0);
+  ml::Vector targets(n, 0.0);
+  ml::Vector weights(n, 0.0);
+
+  for (int s = 0; s < n; ++s) {
+    // First sample is the unperturbed input (anchor, weight 1).
+    uint64_t bits = s == 0 ? ~0ull : rng.NextUint64();
+    int off_count = 0;
+    data::Record pu = u;
+    data::Record pv = v;
+    for (int f = 0; f < d; ++f) {
+      bool on = (bits >> f) & 1ull;
+      design.at(s, f) = on ? 1.0 : 0.0;
+      if (on) continue;
+      ++off_count;
+      AttributeRef ref = features[f];
+      data::Record tmp_u;
+      data::Record tmp_v;
+      ApplyPerturbOp(pu, pv, ref.side, 1u << ref.index, op, &tmp_u, &tmp_v);
+      pu = std::move(tmp_u);
+      pv = std::move(tmp_v);
+    }
+    design.at(s, d) = 1.0;  // intercept
+    targets[s] = context.model->Score(pu, pv);
+    double distance = static_cast<double>(off_count) / d;
+    weights[s] = std::exp(-(distance * distance) /
+                          (options.kernel_width * options.kernel_width));
+  }
+
+  ml::Vector beta;
+  if (!ml::WeightedRidge(design, targets, weights, options.ridge, &beta)) {
+    return explanation;  // degenerate fit -> all-zero explanation
+  }
+  for (int f = 0; f < d; ++f) {
+    explanation.set_score(features[f], std::fabs(beta[f]));
+  }
+  return explanation;
+}
+
+}  // namespace certa::explain

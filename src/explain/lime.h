@@ -1,0 +1,55 @@
+#ifndef CERTA_EXPLAIN_LIME_H_
+#define CERTA_EXPLAIN_LIME_H_
+
+#include <cstdint>
+
+#include "explain/explainer.h"
+
+namespace certa::explain {
+
+/// Perturbation operator applied to an attribute whose interpretable
+/// feature is switched off in a LIME sample:
+///  - kDrop blanks the value (LIME's classic text DROP);
+///  - kCopy copies the aligned attribute value from the *other* record
+///    of the pair (Mojito's ER-specific COPY, which makes the records
+///    more similar instead of less).
+enum class PerturbOp {
+  kDrop,
+  kCopy,
+};
+
+/// Knobs for the LIME surrogate fit.
+struct LimeOptions {
+  /// Number of perturbed samples drawn around the input.
+  int num_samples = 256;
+  /// Ridge regularization of the local linear surrogate.
+  double ridge = 1e-2;
+  /// Proximity kernel width (in units of normalized Hamming distance).
+  double kernel_width = 0.75;
+  uint64_t seed = 23;
+};
+
+/// Fits a local weighted-ridge surrogate of the model score around
+/// <u, v> over binary attribute-presence features and returns the
+/// absolute surrogate coefficients as saliency scores.
+///
+/// `perturb_left` / `perturb_right` select which sides' attributes are
+/// perturbable (LandMark fixes one side as the landmark); attributes of
+/// non-perturbed sides get score 0. kCopy requires aligned schemas and
+/// falls back to kDrop per attribute when arities differ.
+SaliencyExplanation FitLimeSurrogate(const ExplainContext& context,
+                                     const data::Record& u,
+                                     const data::Record& v, PerturbOp op,
+                                     bool perturb_left, bool perturb_right,
+                                     const LimeOptions& options);
+
+/// Applies `op` to the attributes of `mask` on the given side of the
+/// pair, returning the perturbed pair. Exposed for the SEDC-style
+/// counterfactual searches (LIME-C / SHAP-C) and for tests.
+void ApplyPerturbOp(const data::Record& u, const data::Record& v,
+                    data::Side side, uint32_t mask, PerturbOp op,
+                    data::Record* out_u, data::Record* out_v);
+
+}  // namespace certa::explain
+
+#endif  // CERTA_EXPLAIN_LIME_H_

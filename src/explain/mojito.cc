@@ -1,0 +1,20 @@
+#include "explain/mojito.h"
+
+#include "util/logging.h"
+
+namespace certa::explain {
+
+MojitoExplainer::MojitoExplainer(ExplainContext context, LimeOptions options)
+    : context_(context), options_(options) {
+  CERTA_CHECK(context_.valid());
+}
+
+SaliencyExplanation MojitoExplainer::ExplainSaliency(const data::Record& u,
+                                                     const data::Record& v) {
+  bool predicted_match = context_.model->Predict(u, v);
+  PerturbOp op = predicted_match ? PerturbOp::kDrop : PerturbOp::kCopy;
+  return FitLimeSurrogate(context_, u, v, op, /*perturb_left=*/true,
+                          /*perturb_right=*/true, options_);
+}
+
+}  // namespace certa::explain

@@ -1,0 +1,35 @@
+#ifndef CERTA_EXPLAIN_MOJITO_H_
+#define CERTA_EXPLAIN_MOJITO_H_
+
+#include "explain/explainer.h"
+#include "explain/lime.h"
+
+namespace certa::explain {
+
+/// Mojito (Di Cicco et al., aiDM'19): LIME adapted to ER. Record pairs
+/// are flattened into one interpretable representation, and two
+/// ER-specific perturbation operators are used in line with the
+/// method's semantics (Sect. 5.2 of the CERTA paper):
+///  - mojito-drop explains Match predictions (removing evidence should
+///    lower the score);
+///  - mojito-copy explains Non-Match predictions (copying values across
+///    the pair should raise the score).
+class MojitoExplainer : public SaliencyExplainer {
+ public:
+  MojitoExplainer(ExplainContext context, LimeOptions options);
+  explicit MojitoExplainer(ExplainContext context)
+      : MojitoExplainer(context, LimeOptions()) {}
+
+  std::string name() const override { return "Mojito"; }
+
+  SaliencyExplanation ExplainSaliency(const data::Record& u,
+                                      const data::Record& v) override;
+
+ private:
+  ExplainContext context_;
+  LimeOptions options_;
+};
+
+}  // namespace certa::explain
+
+#endif  // CERTA_EXPLAIN_MOJITO_H_

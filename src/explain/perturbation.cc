@@ -1,0 +1,69 @@
+#include "explain/perturbation.h"
+
+#include "text/tokenizer.h"
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace certa::explain {
+
+int MaskSize(AttrMask mask) { return __builtin_popcount(mask); }
+
+std::vector<int> MaskToIndices(AttrMask mask) {
+  std::vector<int> indices;
+  for (int i = 0; mask != 0; ++i, mask >>= 1) {
+    if (mask & 1u) indices.push_back(i);
+  }
+  return indices;
+}
+
+data::Record CopyAttributes(const data::Record& base,
+                            const data::Record& source, AttrMask mask) {
+  CERTA_CHECK_EQ(base.values.size(), source.values.size());
+  data::Record result = base;
+  for (size_t i = 0; i < base.values.size(); ++i) {
+    if (mask & (1u << i)) result.values[i] = source.values[i];
+  }
+  return result;
+}
+
+data::Record DropAttributes(const data::Record& base, AttrMask mask) {
+  data::Record result = base;
+  for (size_t i = 0; i < base.values.size(); ++i) {
+    if (mask & (1u << i)) result.values[i] = "";
+  }
+  return result;
+}
+
+data::Record DropTokenRuns(const data::Record& base, AttrMask mask,
+                           Rng* rng) {
+  data::Record result = base;
+  for (size_t i = 0; i < base.values.size(); ++i) {
+    if (!(mask & (1u << i))) continue;
+    if (text::IsMissing(result.values[i])) continue;
+    std::vector<std::string> tokens = text::RawTokens(result.values[i]);
+    if (tokens.size() < 2) continue;
+    int k = rng->UniformInt(1, static_cast<int>(tokens.size()) - 1);
+    std::vector<std::string> kept;
+    if (rng->Bernoulli(0.5)) {
+      // Drop the first k tokens.
+      kept.assign(tokens.begin() + k, tokens.end());
+    } else {
+      // Drop the last k tokens.
+      kept.assign(tokens.begin(), tokens.end() - k);
+    }
+    result.values[i] = Join(kept, " ");
+  }
+  return result;
+}
+
+AttrMask RandomProperSubset(int num_attributes, Rng* rng) {
+  CERTA_CHECK_GE(num_attributes, 2);
+  AttrMask full = (1u << num_attributes) - 1u;
+  for (;;) {
+    AttrMask mask =
+        static_cast<AttrMask>(rng->UniformUint64(full + 1ull));
+    if (mask != 0u && mask != full) return mask;
+  }
+}
+
+}  // namespace certa::explain

@@ -1,0 +1,45 @@
+#ifndef CERTA_EXPLAIN_PERTURBATION_H_
+#define CERTA_EXPLAIN_PERTURBATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/table.h"
+#include "util/random.h"
+
+namespace certa::explain {
+
+/// Bitmask over one side's attributes (attribute counts are small,
+/// <= 8 in every benchmark, so 32 bits are ample).
+using AttrMask = uint32_t;
+
+/// Number of set bits.
+int MaskSize(AttrMask mask);
+
+/// Attribute indices contained in the mask, ascending.
+std::vector<int> MaskToIndices(AttrMask mask);
+
+/// The paper's perturbing record function ψ(u, w, A): a copy of `base`
+/// whose attributes in `mask` are replaced by `source`'s values. Both
+/// records must have the same arity.
+data::Record CopyAttributes(const data::Record& base,
+                            const data::Record& source, AttrMask mask);
+
+/// Masks (blanks out) the attributes in `mask` — the DROP operator used
+/// by Mojito/LIME perturbations and the Faithfulness metric's
+/// attribute masking. Blanked values become "" (treated as missing).
+data::Record DropAttributes(const data::Record& base, AttrMask mask);
+
+/// Drops a random contiguous prefix or suffix of tokens (between 1 and
+/// tokens-1) from each attribute in `mask` — the data-augmentation
+/// operator of Sect. 3.3. Attributes with fewer than 2 tokens are left
+/// unchanged.
+data::Record DropTokenRuns(const data::Record& base, AttrMask mask, Rng* rng);
+
+/// Random non-empty proper-subset mask over `num_attributes` (never the
+/// empty or the full set; requires num_attributes >= 2).
+AttrMask RandomProperSubset(int num_attributes, Rng* rng);
+
+}  // namespace certa::explain
+
+#endif  // CERTA_EXPLAIN_PERTURBATION_H_

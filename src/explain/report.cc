@@ -1,0 +1,119 @@
+#include "explain/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace certa::explain {
+namespace {
+
+constexpr int kBarWidth = 24;
+
+std::string Bar(double fraction) {
+  int filled = static_cast<int>(fraction * kBarWidth + 0.5);
+  filled = std::clamp(filled, 0, kBarWidth);
+  return std::string(static_cast<size_t>(filled), '#');
+}
+
+void AppendPairValues(std::ostringstream& out, const data::Record& record,
+                      const data::Schema& schema, const char* prefix) {
+  for (int a = 0; a < schema.size(); ++a) {
+    out << "  " << prefix << "_" << schema.name(a) << " = "
+        << record.value(a) << "\n";
+  }
+}
+
+}  // namespace
+
+std::string RenderSaliency(const SaliencyExplanation& explanation,
+                           const data::Schema& left,
+                           const data::Schema& right) {
+  std::ostringstream out;
+  double max_score = 1e-12;
+  for (double score : explanation.Flattened()) {
+    max_score = std::max(max_score, score);
+  }
+  size_t name_width = 0;
+  for (const AttributeRef& ref : explanation.Ranked()) {
+    name_width = std::max(name_width,
+                          QualifiedAttributeName(left, right, ref).size());
+  }
+  for (const AttributeRef& ref : explanation.Ranked()) {
+    std::string name = QualifiedAttributeName(left, right, ref);
+    double score = explanation.score(ref);
+    out << "  " << name << std::string(name_width - name.size(), ' ')
+        << "  " << FormatDouble(score, 3) << "  " << Bar(score / max_score)
+        << "\n";
+  }
+  return out.str();
+}
+
+std::string RenderCounterfactual(const CounterfactualExample& example,
+                                 const data::Record& original_u,
+                                 const data::Record& original_v,
+                                 const data::Schema& left,
+                                 const data::Schema& right,
+                                 double original_score) {
+  std::ostringstream out;
+  bool was_match = original_score >= 0.5;
+  out << "  changing {";
+  for (size_t c = 0; c < example.changed_attributes.size(); ++c) {
+    if (c > 0) out << ", ";
+    out << QualifiedAttributeName(left, right,
+                                  example.changed_attributes[c]);
+  }
+  out << "} turns the " << (was_match ? "Match" : "Non-Match");
+  if (example.score >= 0.0) {
+    out << " into score " << FormatDouble(example.score, 3) << " ("
+        << (example.score >= 0.5 ? "Match" : "Non-Match") << ")";
+  }
+  if (example.sufficiency > 0.0) {
+    out << ", sufficiency " << FormatDouble(example.sufficiency, 2);
+  }
+  out << "\n";
+  auto render_changed = [&](const data::Record& modified,
+                            const data::Record& original,
+                            const data::Schema& schema,
+                            const char* prefix) {
+    for (int a = 0; a < schema.size(); ++a) {
+      if (modified.value(a) == original.value(a)) continue;
+      out << "    " << prefix << "_" << schema.name(a) << ": \""
+          << original.value(a) << "\" -> \"" << modified.value(a)
+          << "\"\n";
+    }
+  };
+  render_changed(example.left, original_u, left, "L");
+  render_changed(example.right, original_v, right, "R");
+  return out.str();
+}
+
+std::string RenderReport(const data::Record& u, const data::Record& v,
+                         const data::Schema& left,
+                         const data::Schema& right, double score,
+                         const SaliencyExplanation& saliency,
+                         const std::vector<CounterfactualExample>& examples,
+                         int max_examples) {
+  std::ostringstream out;
+  out << "prediction: " << (score >= 0.5 ? "Match" : "Non-Match")
+      << " (score " << FormatDouble(score, 3) << ")\n";
+  out << "input pair:\n";
+  AppendPairValues(out, u, left, "L");
+  AppendPairValues(out, v, right, "R");
+  out << "attribute saliency (probability of necessity):\n";
+  out << RenderSaliency(saliency, left, right);
+  if (examples.empty()) {
+    out << "no counterfactual examples found\n";
+    return out.str();
+  }
+  out << "counterfactuals (" << examples.size() << " found):\n";
+  int shown = 0;
+  for (const CounterfactualExample& example : examples) {
+    if (shown++ >= max_examples) break;
+    out << RenderCounterfactual(example, u, v, left, right, score);
+  }
+  return out.str();
+}
+
+}  // namespace certa::explain

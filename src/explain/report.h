@@ -1,0 +1,41 @@
+#ifndef CERTA_EXPLAIN_REPORT_H_
+#define CERTA_EXPLAIN_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "explain/explanation.h"
+
+namespace certa::explain {
+
+/// Renders explanations as human-readable text — the form a data
+/// steward debugging an ER pipeline actually reads. All functions are
+/// pure formatting; nothing touches the model.
+
+/// One-per-line "L_name  0.742  #######" bars, ranked by score.
+std::string RenderSaliency(const SaliencyExplanation& explanation,
+                           const data::Schema& left,
+                           const data::Schema& right);
+
+/// The original pair and a counterfactual side by side, with changed
+/// attributes marked and the flip summarized.
+std::string RenderCounterfactual(const CounterfactualExample& example,
+                                 const data::Record& original_u,
+                                 const data::Record& original_v,
+                                 const data::Schema& left,
+                                 const data::Schema& right,
+                                 double original_score);
+
+/// Full report for one prediction: header with the scores, the
+/// saliency block, and up to `max_examples` counterfactual blocks.
+std::string RenderReport(const data::Record& u, const data::Record& v,
+                         const data::Schema& left,
+                         const data::Schema& right, double score,
+                         const SaliencyExplanation& saliency,
+                         const std::vector<CounterfactualExample>& examples,
+                         int max_examples = 2);
+
+}  // namespace certa::explain
+
+#endif  // CERTA_EXPLAIN_REPORT_H_

@@ -1,0 +1,47 @@
+#include "explain/sedc.h"
+
+#include "explain/mojito.h"
+#include "util/logging.h"
+
+namespace certa::explain {
+
+SedcExplainer::SedcExplainer(ExplainContext context, Base base)
+    : context_(context), base_(base) {
+  CERTA_CHECK(context_.valid());
+  if (base == Base::kLimeC) {
+    saliency_ = std::make_unique<MojitoExplainer>(context);
+  } else {
+    saliency_ = std::make_unique<ShapExplainer>(context);
+  }
+}
+
+std::vector<CounterfactualExample> SedcExplainer::ExplainCounterfactual(
+    const data::Record& u, const data::Record& v) {
+  const bool original = context_.model->Predict(u, v);
+  const PerturbOp op = original ? PerturbOp::kDrop : PerturbOp::kCopy;
+  SaliencyExplanation saliency = saliency_->ExplainSaliency(u, v);
+
+  CounterfactualExample example;
+  example.left = u;
+  example.right = v;
+  for (const AttributeRef& ref : saliency.Ranked()) {
+    data::Record next_u;
+    data::Record next_v;
+    ApplyPerturbOp(example.left, example.right, ref.side, 1u << ref.index,
+                   op, &next_u, &next_v);
+    if (next_u.values == example.left.values &&
+        next_v.values == example.right.values) {
+      continue;  // no-op perturbation (e.g., already-missing value)
+    }
+    example.left = std::move(next_u);
+    example.right = std::move(next_v);
+    example.changed_attributes.push_back(ref);
+    if (context_.model->Predict(example.left, example.right) != original) {
+      example.score = context_.model->Score(example.left, example.right);
+      return {example};
+    }
+  }
+  return {};
+}
+
+}  // namespace certa::explain

@@ -1,0 +1,47 @@
+#ifndef CERTA_EXPLAIN_SEDC_H_
+#define CERTA_EXPLAIN_SEDC_H_
+
+#include <memory>
+
+#include "explain/explainer.h"
+#include "explain/lime.h"
+#include "explain/shap.h"
+
+namespace certa::explain {
+
+/// LIME-C / SHAP-C (Ramon et al., ADAC'20): counterfactual search that
+/// re-uses an additive saliency explanation, SEDC-style. Attributes are
+/// perturbed cumulatively in descending saliency order — treating the
+/// record pair as text, with DROP for Match predictions and COPY for
+/// Non-Match, per the ER adaptation of Sect. 5.2 — until the prediction
+/// flips; the flipped pair is the (single) counterfactual. The search
+/// can fail, in which case no example is returned (which is why these
+/// baselines average below one example in the paper's Fig. 10).
+class SedcExplainer : public CounterfactualExplainer {
+ public:
+  /// Which saliency method seeds the search. Per the paper, LIME-C uses
+  /// Mojito instead of plain LIME "to have a better fit with the ER
+  /// setting".
+  enum class Base {
+    kLimeC,
+    kShapC,
+  };
+
+  SedcExplainer(ExplainContext context, Base base);
+
+  std::string name() const override {
+    return base_ == Base::kLimeC ? "LIME-C" : "SHAP-C";
+  }
+
+  std::vector<CounterfactualExample> ExplainCounterfactual(
+      const data::Record& u, const data::Record& v) override;
+
+ private:
+  ExplainContext context_;
+  Base base_;
+  std::unique_ptr<SaliencyExplainer> saliency_;
+};
+
+}  // namespace certa::explain
+
+#endif  // CERTA_EXPLAIN_SEDC_H_

@@ -1,0 +1,122 @@
+#include "explain/shap.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "explain/lime.h"
+#include "explain/perturbation.h"
+#include "ml/dense.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace certa::explain {
+namespace {
+
+/// Shapley kernel weight for a coalition of size s out of d players.
+double ShapleyKernel(int d, int s) {
+  if (s == 0 || s == d) return 1e6;  // anchor coalitions, near-infinite
+  // (d - 1) / (C(d, s) * s * (d - s)) with C computed in log space.
+  double log_comb = std::lgamma(d + 1) - std::lgamma(s + 1) -
+                    std::lgamma(d - s + 1);
+  return (d - 1.0) / (std::exp(log_comb) * s * (d - s));
+}
+
+}  // namespace
+
+ShapExplainer::ShapExplainer(ExplainContext context, Options options)
+    : context_(context), options_(options) {
+  CERTA_CHECK(context_.valid());
+  CERTA_CHECK_GT(options_.max_coalitions, 2);
+}
+
+SaliencyExplanation ShapExplainer::ExplainSaliency(const data::Record& u,
+                                                   const data::Record& v) {
+  const int left_attributes = static_cast<int>(u.values.size());
+  const int right_attributes = static_cast<int>(v.values.size());
+  const int d = left_attributes + right_attributes;
+  SaliencyExplanation explanation(left_attributes, right_attributes);
+  CERTA_CHECK_LE(d, 30);
+
+  auto ref_of = [&](int feature) {
+    return feature < left_attributes
+               ? AttributeRef{data::Side::kLeft, feature}
+               : AttributeRef{data::Side::kRight, feature - left_attributes};
+  };
+
+  // Value function: model score with absent attributes dropped.
+  auto value_of = [&](uint32_t coalition) {
+    data::Record pu = u;
+    data::Record pv = v;
+    for (int f = 0; f < d; ++f) {
+      if (coalition & (1u << f)) continue;  // present
+      AttributeRef ref = ref_of(f);
+      data::Record tmp_u;
+      data::Record tmp_v;
+      ApplyPerturbOp(pu, pv, ref.side, 1u << ref.index, PerturbOp::kDrop,
+                     &tmp_u, &tmp_v);
+      pu = std::move(tmp_u);
+      pv = std::move(tmp_v);
+    }
+    return context_.model->Score(pu, pv);
+  };
+
+  const uint32_t full = d >= 31 ? 0u : (1u << d) - 1u;
+  std::vector<uint32_t> coalitions;
+  const long long all = (1ll << d) - 2;
+  if (all <= options_.max_coalitions) {
+    for (uint32_t c = 1; c < full; ++c) coalitions.push_back(c);
+  } else {
+    // Sample distinct coalitions, seeding with all singletons and
+    // all leave-one-out coalitions (the highest-weight levels).
+    Rng rng(options_.seed);
+    std::unordered_set<uint32_t> chosen;
+    for (int f = 0; f < d; ++f) {
+      chosen.insert(1u << f);
+      chosen.insert(full & ~(1u << f));
+    }
+    while (static_cast<int>(chosen.size()) < options_.max_coalitions) {
+      uint32_t c = static_cast<uint32_t>(rng.UniformUint64(full + 1ull));
+      if (c == 0u || c == full) continue;
+      chosen.insert(c);
+    }
+    coalitions.assign(chosen.begin(), chosen.end());
+  }
+
+  const double base_value = value_of(0u);
+  const double full_value = value_of(full);
+
+  // Weighted least squares with the efficiency constraint folded in:
+  // v(S) - v(0) ≈ Σ_{i∈S} φ_i, with Shapley kernel weights. The last
+  // feature's φ is eliminated via φ_d = (v(full)-v(0)) - Σ_{i<d} φ_i.
+  const int free_params = d - 1;
+  ml::Matrix design(static_cast<size_t>(coalitions.size()), free_params);
+  ml::Vector targets(coalitions.size(), 0.0);
+  ml::Vector weights(coalitions.size(), 0.0);
+  const double delta = full_value - base_value;
+  for (size_t row = 0; row < coalitions.size(); ++row) {
+    uint32_t coalition = coalitions[row];
+    bool has_last = (coalition >> (d - 1)) & 1u;
+    for (int f = 0; f < free_params; ++f) {
+      bool present = (coalition >> f) & 1u;
+      design.at(row, f) =
+          (present ? 1.0 : 0.0) - (has_last ? 1.0 : 0.0);
+    }
+    targets[row] = value_of(coalition) - base_value -
+                   (has_last ? delta : 0.0);
+    weights[row] = ShapleyKernel(d, MaskSize(coalition));
+  }
+
+  ml::Vector beta;
+  if (!ml::WeightedRidge(design, targets, weights, options_.ridge, &beta)) {
+    return explanation;
+  }
+  double sum = 0.0;
+  for (int f = 0; f < free_params; ++f) {
+    explanation.set_score(ref_of(f), std::fabs(beta[f]));
+    sum += beta[f];
+  }
+  explanation.set_score(ref_of(d - 1), std::fabs(delta - sum));
+  return explanation;
+}
+
+}  // namespace certa::explain

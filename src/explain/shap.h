@@ -1,0 +1,42 @@
+#ifndef CERTA_EXPLAIN_SHAP_H_
+#define CERTA_EXPLAIN_SHAP_H_
+
+#include <cstdint>
+
+#include "explain/explainer.h"
+
+namespace certa::explain {
+
+/// Task-agnostic KernelSHAP (Lundberg & Lee, NeurIPS'17) over the
+/// pair's attributes: coalitions of present attributes are enumerated
+/// (exactly when 2^d is small, sampled otherwise), absent attributes
+/// are masked out, and Shapley values are recovered by the weighted
+/// least-squares formulation with the Shapley kernel. Scores are the
+/// absolute Shapley values. This is the paper's semantics-agnostic
+/// saliency baseline (Sect. 5.2).
+class ShapExplainer : public SaliencyExplainer {
+ public:
+  struct Options {
+    /// Coalition budget; all 2^d - 2 coalitions are used when they fit.
+    int max_coalitions = 512;
+    double ridge = 1e-6;
+    uint64_t seed = 31;
+  };
+
+  ShapExplainer(ExplainContext context, Options options);
+  explicit ShapExplainer(ExplainContext context)
+      : ShapExplainer(context, Options()) {}
+
+  std::string name() const override { return "SHAP"; }
+
+  SaliencyExplanation ExplainSaliency(const data::Record& u,
+                                      const data::Record& v) override;
+
+ private:
+  ExplainContext context_;
+  Options options_;
+};
+
+}  // namespace certa::explain
+
+#endif  // CERTA_EXPLAIN_SHAP_H_

@@ -1,0 +1,53 @@
+#ifndef CERTA_ML_ADAM_H_
+#define CERTA_ML_ADAM_H_
+
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace certa::ml {
+
+/// Adam optimizer state for one parameter vector. The MLP and logistic
+/// trainers hold one instance per parameter block.
+class Adam {
+ public:
+  struct Options {
+    double learning_rate = 1e-2;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+  };
+
+  explicit Adam(size_t size) : Adam(size, Options()) {}
+  Adam(size_t size, Options options)
+      : options_(options), m_(size, 0.0), v_(size, 0.0) {}
+
+  /// Applies one Adam update: params -= lr * m_hat / (sqrt(v_hat) + eps).
+  void Step(const std::vector<double>& gradient, std::vector<double>* params) {
+    CERTA_CHECK_EQ(gradient.size(), params->size());
+    CERTA_CHECK_EQ(gradient.size(), m_.size());
+    ++t_;
+    const double bias1 = 1.0 - std::pow(options_.beta1, t_);
+    const double bias2 = 1.0 - std::pow(options_.beta2, t_);
+    for (size_t i = 0; i < gradient.size(); ++i) {
+      m_[i] = options_.beta1 * m_[i] + (1.0 - options_.beta1) * gradient[i];
+      v_[i] = options_.beta2 * v_[i] +
+              (1.0 - options_.beta2) * gradient[i] * gradient[i];
+      double m_hat = m_[i] / bias1;
+      double v_hat = v_[i] / bias2;
+      (*params)[i] -=
+          options_.learning_rate * m_hat / (std::sqrt(v_hat) + options_.epsilon);
+    }
+  }
+
+ private:
+  Options options_;
+  std::vector<double> m_;
+  std::vector<double> v_;
+  int t_ = 0;
+};
+
+}  // namespace certa::ml
+
+#endif  // CERTA_ML_ADAM_H_

@@ -1,0 +1,129 @@
+#include "ml/dense.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace certa::ml {
+
+double Dot(const Vector& a, const Vector& b) {
+  CERTA_CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+void Axpy(double alpha, const Vector& x, Vector* out) {
+  CERTA_CHECK_EQ(x.size(), out->size());
+  for (size_t i = 0; i < x.size(); ++i) (*out)[i] += alpha * x[i];
+}
+
+void Scale(double alpha, Vector* v) {
+  for (double& x : *v) x *= alpha;
+}
+
+double Norm(const Vector& v) { return std::sqrt(Dot(v, v)); }
+
+double Sigmoid(double x) {
+  if (x >= 0.0) {
+    double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+Vector Matrix::Multiply(const Vector& x) const {
+  CERTA_CHECK_EQ(x.size(), cols_);
+  Vector y(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    const double* row = &data_[r * cols_];
+    for (size_t c = 0; c < cols_; ++c) sum += row[c] * x[c];
+    y[r] = sum;
+  }
+  return y;
+}
+
+Vector Matrix::MultiplyTransposed(const Vector& x) const {
+  CERTA_CHECK_EQ(x.size(), rows_);
+  Vector y(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    for (size_t c = 0; c < cols_; ++c) y[c] += row[c] * x[r];
+  }
+  return y;
+}
+
+bool SolveSpd(Matrix a, Vector b, Vector* x) {
+  const size_t n = a.rows();
+  CERTA_CHECK_EQ(a.cols(), n);
+  CERTA_CHECK_EQ(b.size(), n);
+  // Try Cholesky with progressively stronger diagonal regularization.
+  for (double jitter : {0.0, 1e-10, 1e-8, 1e-6, 1e-4}) {
+    Matrix l = a;
+    for (size_t i = 0; i < n; ++i) l.at(i, i) += jitter;
+    bool ok = true;
+    for (size_t i = 0; i < n && ok; ++i) {
+      for (size_t j = 0; j <= i; ++j) {
+        double sum = l.at(i, j);
+        for (size_t k = 0; k < j; ++k) sum -= l.at(i, k) * l.at(j, k);
+        if (i == j) {
+          if (sum <= 0.0) {
+            ok = false;
+            break;
+          }
+          l.at(i, i) = std::sqrt(sum);
+        } else {
+          l.at(i, j) = sum / l.at(j, j);
+        }
+      }
+    }
+    if (!ok) continue;
+    // Forward substitution: L z = b.
+    Vector z(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      double sum = b[i];
+      for (size_t k = 0; k < i; ++k) sum -= l.at(i, k) * z[k];
+      z[i] = sum / l.at(i, i);
+    }
+    // Back substitution: L^T x = z.
+    x->assign(n, 0.0);
+    for (size_t ii = n; ii-- > 0;) {
+      double sum = z[ii];
+      for (size_t k = ii + 1; k < n; ++k) sum -= l.at(k, ii) * (*x)[k];
+      (*x)[ii] = sum / l.at(ii, ii);
+    }
+    return true;
+  }
+  return false;
+}
+
+bool WeightedRidge(const Matrix& x, const Vector& y, const Vector& w,
+                   double ridge, Vector* beta) {
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  CERTA_CHECK_EQ(y.size(), n);
+  CERTA_CHECK_EQ(w.size(), n);
+  // Normal equations: (X^T W X + ridge I) beta = X^T W y.
+  Matrix gram(d, d, 0.0);
+  Vector rhs(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double weight = w[i];
+    if (weight <= 0.0) continue;
+    for (size_t a = 0; a < d; ++a) {
+      double xa = x.at(i, a) * weight;
+      rhs[a] += xa * y[i];
+      for (size_t b = a; b < d; ++b) {
+        gram.at(a, b) += xa * x.at(i, b);
+      }
+    }
+  }
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = 0; b < a; ++b) gram.at(a, b) = gram.at(b, a);
+    gram.at(a, a) += ridge;
+  }
+  return SolveSpd(gram, rhs, beta);
+}
+
+}  // namespace certa::ml

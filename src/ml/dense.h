@@ -1,0 +1,72 @@
+#ifndef CERTA_ML_DENSE_H_
+#define CERTA_ML_DENSE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace certa::ml {
+
+/// Dense feature vector (row) used across the ML substrate.
+using Vector = std::vector<double>;
+
+/// Dot product; vectors must be equal length.
+double Dot(const Vector& a, const Vector& b);
+
+/// out += alpha * x.
+void Axpy(double alpha, const Vector& x, Vector* out);
+
+/// In-place scaling.
+void Scale(double alpha, Vector* v);
+
+/// Euclidean norm.
+double Norm(const Vector& v);
+
+/// Numerically-stable logistic sigmoid.
+double Sigmoid(double x);
+
+/// Row-major dense matrix with minimal operations — enough for the
+/// MLP forward/backward passes and the small least-squares solves the
+/// explainers need (attribute counts are <= 16, so O(n^3) solvers are
+/// perfectly adequate).
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// y = M x  (x has cols() entries; result has rows()).
+  Vector Multiply(const Vector& x) const;
+
+  /// y = M^T x  (x has rows() entries; result has cols()).
+  Vector MultiplyTransposed(const Vector& x) const;
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Solves the symmetric positive-definite system A x = b in place via
+/// Cholesky with a diagonal ridge fallback. Returns false if A is not
+/// SPD even after regularization. A is n x n, b has n entries.
+bool SolveSpd(Matrix a, Vector b, Vector* x);
+
+/// Weighted ridge regression: given samples (rows of X), targets y and
+/// per-sample weights w, solves argmin_beta sum_i w_i (x_i . beta - y_i)^2
+/// + ridge * |beta|^2. X implicitly includes NO intercept; callers append
+/// a constant-1 column when they want one. Returns false on failure.
+bool WeightedRidge(const Matrix& x, const Vector& y, const Vector& w,
+                   double ridge, Vector* beta);
+
+}  // namespace certa::ml
+
+#endif  // CERTA_ML_DENSE_H_

@@ -1,0 +1,98 @@
+#include "ml/linear_svm.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace certa::ml {
+
+void LinearSvm::Fit(const std::vector<Vector>& features,
+                    const std::vector<int>& labels, Options options) {
+  CERTA_CHECK_EQ(features.size(), labels.size());
+  CERTA_CHECK(!features.empty());
+  const size_t dim = features[0].size();
+  for (const Vector& row : features) CERTA_CHECK_EQ(row.size(), dim);
+
+  weights_.assign(dim, 0.0);
+  bias_ = 0.0;
+  Rng rng(options.seed);
+  std::vector<size_t> order(features.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  // Pegasos: step size 1 / (lambda * t).
+  long long t = 0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t i : order) {
+      ++t;
+      double eta = 1.0 / (options.lambda * static_cast<double>(t));
+      double y = labels[i] == 1 ? 1.0 : -1.0;
+      double margin = y * (Dot(weights_, features[i]) + bias_);
+      // L2 shrink.
+      Scale(1.0 - eta * options.lambda, &weights_);
+      if (margin < 1.0) {
+        Axpy(eta * y, features[i], &weights_);
+        bias_ += eta * y;
+      }
+    }
+  }
+
+  // Platt scaling: logistic fit of labels on the margin (1-D Newton
+  // iterations are overkill; a short gradient loop converges fine).
+  platt_a_ = 1.0;
+  platt_b_ = 0.0;
+  std::vector<double> margins(features.size());
+  for (size_t i = 0; i < features.size(); ++i) {
+    margins[i] = Dot(weights_, features[i]) + bias_;
+  }
+  const double rate = 0.1;
+  for (int step = 0; step < 500; ++step) {
+    double grad_a = 0.0;
+    double grad_b = 0.0;
+    for (size_t i = 0; i < margins.size(); ++i) {
+      double p = Sigmoid(platt_a_ * margins[i] + platt_b_);
+      double error = p - static_cast<double>(labels[i]);
+      grad_a += error * margins[i];
+      grad_b += error;
+    }
+    double n = static_cast<double>(margins.size());
+    platt_a_ -= rate * grad_a / n;
+    platt_b_ -= rate * grad_b / n;
+  }
+  fitted_ = true;
+}
+
+double LinearSvm::DecisionValue(const Vector& features) const {
+  CERTA_CHECK(fitted_);
+  return Dot(weights_, features) + bias_;
+}
+
+double LinearSvm::PredictProbability(const Vector& features) const {
+  return Sigmoid(platt_a_ * DecisionValue(features) + platt_b_);
+}
+
+int LinearSvm::Predict(const Vector& features) const {
+  return PredictProbability(features) >= 0.5 ? 1 : 0;
+}
+
+void LinearSvm::Save(TextArchive* archive,
+                     const std::string& prefix) const {
+  CERTA_CHECK(fitted_);
+  archive->PutVector(prefix + ".weights", weights_);
+  archive->PutDouble(prefix + ".bias", bias_);
+  archive->PutDouble(prefix + ".platt_a", platt_a_);
+  archive->PutDouble(prefix + ".platt_b", platt_b_);
+}
+
+bool LinearSvm::Load(const TextArchive& archive,
+                     const std::string& prefix) {
+  if (!archive.GetVector(prefix + ".weights", &weights_)) return false;
+  if (!archive.GetDouble(prefix + ".bias", &bias_)) return false;
+  if (!archive.GetDouble(prefix + ".platt_a", &platt_a_)) return false;
+  if (!archive.GetDouble(prefix + ".platt_b", &platt_b_)) return false;
+  fitted_ = true;
+  return true;
+}
+
+}  // namespace certa::ml

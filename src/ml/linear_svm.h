@@ -1,0 +1,63 @@
+#ifndef CERTA_ML_LINEAR_SVM_H_
+#define CERTA_ML_LINEAR_SVM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/dense.h"
+#include "util/archive.h"
+
+namespace certa::ml {
+
+/// Linear support vector machine trained by SGD on the hinge loss with
+/// L2 regularization (Pegasos-style step decay), plus Platt-style
+/// sigmoid calibration so DecisionValue margins convert to the [0, 1]
+/// matching probabilities the ER stack expects.
+class LinearSvm {
+ public:
+  struct Options {
+    int epochs = 60;
+    double lambda = 1e-3;  ///< L2 regularization strength
+    uint64_t seed = 53;
+  };
+
+  LinearSvm() = default;
+
+  /// Trains the hinge-loss separator, then fits the Platt calibration
+  /// sigmoid P(y=1|x) = sigmoid(a * margin + b) on the same data.
+  void Fit(const std::vector<Vector>& features,
+           const std::vector<int>& labels, Options options);
+  void Fit(const std::vector<Vector>& features,
+           const std::vector<int>& labels) {
+    Fit(features, labels, Options());
+  }
+
+  /// Raw signed margin w.x + b.
+  double DecisionValue(const Vector& features) const;
+
+  /// Calibrated P(label = 1 | x).
+  double PredictProbability(const Vector& features) const;
+
+  /// Hard prediction at the calibrated 0.5 probability threshold.
+  int Predict(const Vector& features) const;
+
+  /// Persists the fitted parameters under `prefix` in the archive.
+  void Save(TextArchive* archive, const std::string& prefix) const;
+  /// Restores a previously saved model; false on missing/invalid keys.
+  bool Load(const TextArchive& archive, const std::string& prefix);
+
+  bool is_fitted() const { return fitted_; }
+  const Vector& weights() const { return weights_; }
+
+ private:
+  Vector weights_;
+  double bias_ = 0.0;
+  double platt_a_ = 1.0;
+  double platt_b_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace certa::ml
+
+#endif  // CERTA_ML_LINEAR_SVM_H_

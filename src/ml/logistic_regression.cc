@@ -1,0 +1,98 @@
+#include "ml/logistic_regression.h"
+
+#include "ml/adam.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace certa::ml {
+
+void LogisticRegression::Fit(const std::vector<Vector>& features,
+                             const std::vector<int>& labels,
+                             Options options) {
+  std::vector<double> weights(features.size(), 1.0);
+  FitWeighted(features, labels, weights, options);
+}
+
+void LogisticRegression::FitWeighted(const std::vector<Vector>& features,
+                                     const std::vector<int>& labels,
+                                     const std::vector<double>& weights,
+                                     Options options) {
+  CERTA_CHECK_EQ(features.size(), labels.size());
+  CERTA_CHECK_EQ(features.size(), weights.size());
+  CERTA_CHECK(!features.empty());
+  const size_t dim = features[0].size();
+  for (const auto& row : features) CERTA_CHECK_EQ(row.size(), dim);
+
+  weights_.assign(dim, 0.0);
+  bias_ = 0.0;
+
+  Rng rng(options.seed);
+  Adam::Options adam_options;
+  adam_options.learning_rate = options.learning_rate;
+  Adam weight_opt(dim, adam_options);
+  Adam bias_opt(1, adam_options);
+
+  std::vector<size_t> order(features.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  Vector grad_w(dim, 0.0);
+  std::vector<double> grad_b(1, 0.0);
+  std::vector<double> bias_vec(1, 0.0);
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(options.batch_size)) {
+      size_t end = std::min(order.size(),
+                            start + static_cast<size_t>(options.batch_size));
+      std::fill(grad_w.begin(), grad_w.end(), 0.0);
+      grad_b[0] = 0.0;
+      double batch_weight = 0.0;
+      for (size_t k = start; k < end; ++k) {
+        size_t i = order[k];
+        double margin = Dot(weights_, features[i]) + bias_;
+        double p = Sigmoid(margin);
+        double error = (p - static_cast<double>(labels[i])) * weights[i];
+        Axpy(error, features[i], &grad_w);
+        grad_b[0] += error;
+        batch_weight += weights[i];
+      }
+      if (batch_weight <= 0.0) continue;
+      Scale(1.0 / batch_weight, &grad_w);
+      grad_b[0] /= batch_weight;
+      // L2 regularization (on weights only, not bias).
+      Axpy(options.l2, weights_, &grad_w);
+      weight_opt.Step(grad_w, &weights_);
+      bias_vec[0] = bias_;
+      bias_opt.Step(grad_b, &bias_vec);
+      bias_ = bias_vec[0];
+    }
+  }
+  fitted_ = true;
+}
+
+double LogisticRegression::PredictProbability(const Vector& features) const {
+  CERTA_CHECK(fitted_);
+  return Sigmoid(Dot(weights_, features) + bias_);
+}
+
+int LogisticRegression::Predict(const Vector& features) const {
+  return PredictProbability(features) >= 0.5 ? 1 : 0;
+}
+
+void LogisticRegression::Save(TextArchive* archive,
+                              const std::string& prefix) const {
+  CERTA_CHECK(fitted_);
+  archive->PutVector(prefix + ".weights", weights_);
+  archive->PutDouble(prefix + ".bias", bias_);
+}
+
+bool LogisticRegression::Load(const TextArchive& archive,
+                              const std::string& prefix) {
+  if (!archive.GetVector(prefix + ".weights", &weights_)) return false;
+  if (!archive.GetDouble(prefix + ".bias", &bias_)) return false;
+  fitted_ = true;
+  return true;
+}
+
+}  // namespace certa::ml

@@ -1,0 +1,70 @@
+#ifndef CERTA_ML_LOGISTIC_REGRESSION_H_
+#define CERTA_ML_LOGISTIC_REGRESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/dense.h"
+#include "util/archive.h"
+
+namespace certa::ml {
+
+/// Binary logistic regression trained with mini-batch Adam. Serves both
+/// as the calibrated scoring head of the ER models and as the probe
+/// classifier for the Confidence Indication metric (Sect. 5.3).
+class LogisticRegression {
+ public:
+  struct Options {
+    int epochs = 200;
+    int batch_size = 32;
+    double learning_rate = 5e-2;
+    double l2 = 1e-4;
+    uint64_t seed = 17;
+  };
+
+  LogisticRegression() = default;
+
+  /// Fits on rows of `features` with binary `labels` (0/1). Feature rows
+  /// must all share one dimension. Re-fitting resets the parameters.
+  void Fit(const std::vector<Vector>& features,
+           const std::vector<int>& labels, Options options);
+  void Fit(const std::vector<Vector>& features,
+           const std::vector<int>& labels) {
+    Fit(features, labels, Options());
+  }
+
+  /// Weighted variant; `weights` scales each sample's loss.
+  void FitWeighted(const std::vector<Vector>& features,
+                   const std::vector<int>& labels,
+                   const std::vector<double>& weights, Options options);
+  void FitWeighted(const std::vector<Vector>& features,
+                   const std::vector<int>& labels,
+                   const std::vector<double>& weights) {
+    FitWeighted(features, labels, weights, Options());
+  }
+
+  /// P(label = 1 | x). Requires a prior Fit.
+  double PredictProbability(const Vector& features) const;
+
+  /// Hard prediction at the 0.5 threshold.
+  int Predict(const Vector& features) const;
+
+  /// Persists the fitted parameters under `prefix` in the archive.
+  void Save(TextArchive* archive, const std::string& prefix) const;
+  /// Restores a previously saved model; false on missing/invalid keys.
+  bool Load(const TextArchive& archive, const std::string& prefix);
+
+  const Vector& weights() const { return weights_; }
+  double bias() const { return bias_; }
+  bool is_fitted() const { return fitted_; }
+
+ private:
+  Vector weights_;
+  double bias_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace certa::ml
+
+#endif  // CERTA_ML_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,175 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace certa::ml {
+
+Confusion ComputeConfusion(const std::vector<int>& labels,
+                           const std::vector<int>& predictions) {
+  CERTA_CHECK_EQ(labels.size(), predictions.size());
+  Confusion confusion;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == 1) {
+      if (predictions[i] == 1) {
+        ++confusion.true_positive;
+      } else {
+        ++confusion.false_negative;
+      }
+    } else {
+      if (predictions[i] == 1) {
+        ++confusion.false_positive;
+      } else {
+        ++confusion.true_negative;
+      }
+    }
+  }
+  return confusion;
+}
+
+double Accuracy(const Confusion& confusion) {
+  int total = confusion.total();
+  if (total == 0) return 0.0;
+  return static_cast<double>(confusion.true_positive +
+                             confusion.true_negative) /
+         total;
+}
+
+double Precision(const Confusion& confusion) {
+  int denom = confusion.true_positive + confusion.false_positive;
+  if (denom == 0) return 0.0;
+  return static_cast<double>(confusion.true_positive) / denom;
+}
+
+double Recall(const Confusion& confusion) {
+  int denom = confusion.true_positive + confusion.false_negative;
+  if (denom == 0) return 0.0;
+  return static_cast<double>(confusion.true_positive) / denom;
+}
+
+double F1(const Confusion& confusion) {
+  double p = Precision(confusion);
+  double r = Recall(confusion);
+  if (p + r <= 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double F1Score(const std::vector<int>& labels,
+               const std::vector<int>& predictions) {
+  return F1(ComputeConfusion(labels, predictions));
+}
+
+double MeanAbsoluteError(const std::vector<double>& truth,
+                         const std::vector<double>& predicted) {
+  CERTA_CHECK_EQ(truth.size(), predicted.size());
+  if (truth.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    total += std::fabs(truth[i] - predicted[i]);
+  }
+  return total / static_cast<double>(truth.size());
+}
+
+double RocAuc(const std::vector<int>& labels,
+              const std::vector<double>& scores) {
+  CERTA_CHECK_EQ(labels.size(), scores.size());
+  // Rank-based (Mann-Whitney U) AUC with midranks for ties.
+  std::vector<size_t> order(labels.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+  std::vector<double> ranks(labels.size(), 0.0);
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() &&
+           scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    double midrank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 +
+                     1.0;  // 1-based
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = midrank;
+    i = j + 1;
+  }
+  double positive_rank_sum = 0.0;
+  size_t positives = 0;
+  for (size_t k = 0; k < labels.size(); ++k) {
+    if (labels[k] == 1) {
+      positive_rank_sum += ranks[k];
+      ++positives;
+    }
+  }
+  size_t negatives = labels.size() - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+  double u = positive_rank_sum -
+             static_cast<double>(positives) * (positives + 1) / 2.0;
+  return u / (static_cast<double>(positives) * static_cast<double>(negatives));
+}
+
+namespace {
+
+std::vector<double> Midranks(const std::vector<double>& values) {
+  std::vector<size_t> order(values.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(values.size(), 0.0);
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() &&
+           values[order[j + 1]] == values[order[i]]) {
+      ++j;
+    }
+    double midrank =
+        (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = midrank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  CERTA_CHECK_EQ(a.size(), b.size());
+  if (a.size() < 2) return 0.0;
+  std::vector<double> ranks_a = Midranks(a);
+  std::vector<double> ranks_b = Midranks(b);
+  double mean = (static_cast<double>(a.size()) + 1.0) / 2.0;
+  double covariance = 0.0;
+  double variance_a = 0.0;
+  double variance_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double da = ranks_a[i] - mean;
+    double db = ranks_b[i] - mean;
+    covariance += da * db;
+    variance_a += da * da;
+    variance_b += db * db;
+  }
+  if (variance_a <= 0.0 || variance_b <= 0.0) return 0.0;
+  return covariance / std::sqrt(variance_a * variance_b);
+}
+
+double TrapezoidAuc(std::vector<double> xs, std::vector<double> ys) {
+  CERTA_CHECK_EQ(xs.size(), ys.size());
+  if (xs.size() < 2) return 0.0;
+  std::vector<size_t> order(xs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return xs[a] < xs[b]; });
+  double area = 0.0;
+  for (size_t k = 1; k < order.size(); ++k) {
+    double dx = xs[order[k]] - xs[order[k - 1]];
+    double avg_y = 0.5 * (ys[order[k]] + ys[order[k - 1]]);
+    area += dx * avg_y;
+  }
+  return area;
+}
+
+}  // namespace certa::ml

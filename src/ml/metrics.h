@@ -1,0 +1,62 @@
+#ifndef CERTA_ML_METRICS_H_
+#define CERTA_ML_METRICS_H_
+
+#include <vector>
+
+namespace certa::ml {
+
+/// Confusion-matrix counts for binary classification.
+struct Confusion {
+  int true_positive = 0;
+  int true_negative = 0;
+  int false_positive = 0;
+  int false_negative = 0;
+
+  int total() const {
+    return true_positive + true_negative + false_positive + false_negative;
+  }
+};
+
+/// Builds the confusion matrix from parallel label/prediction vectors.
+Confusion ComputeConfusion(const std::vector<int>& labels,
+                           const std::vector<int>& predictions);
+
+/// Fraction of correct predictions; 0 on empty input.
+double Accuracy(const Confusion& confusion);
+
+/// TP / (TP + FP); defined as 0 when the denominator is 0.
+double Precision(const Confusion& confusion);
+
+/// TP / (TP + FN); defined as 0 when the denominator is 0.
+double Recall(const Confusion& confusion);
+
+/// Harmonic mean of precision and recall; 0 when both are 0.
+double F1(const Confusion& confusion);
+
+/// Convenience: F1 straight from labels and hard predictions.
+double F1Score(const std::vector<int>& labels,
+               const std::vector<int>& predictions);
+
+/// Mean absolute error between two parallel real-valued vectors.
+double MeanAbsoluteError(const std::vector<double>& truth,
+                         const std::vector<double>& predicted);
+
+/// ROC AUC from labels and real-valued scores (rank-based, handles
+/// ties); returns 0.5 when a class is absent.
+double RocAuc(const std::vector<int>& labels,
+              const std::vector<double>& scores);
+
+/// Spearman rank correlation of two parallel real-valued vectors
+/// (midranks for ties). Returns 0 when either vector is constant or
+/// shorter than 2.
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+/// Area under a piecewise-linear curve given by parallel x/y samples
+/// (trapezoid rule). Points are sorted by x internally. Used for the
+/// Faithfulness threshold-performance AUC (Sect. 5.3).
+double TrapezoidAuc(std::vector<double> xs, std::vector<double> ys);
+
+}  // namespace certa::ml
+
+#endif  // CERTA_ML_METRICS_H_

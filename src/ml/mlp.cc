@@ -1,0 +1,190 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/adam.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace certa::ml {
+
+double Mlp::Forward(const Vector& input,
+                    std::vector<Vector>* activations) const {
+  activations->clear();
+  activations->push_back(input);
+  Vector current = input;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    Vector next = layer.weights.Multiply(current);
+    for (size_t i = 0; i < next.size(); ++i) next[i] += layer.bias[i];
+    bool is_output = (l + 1 == layers_.size());
+    if (!is_output) {
+      for (double& x : next) x = std::max(0.0, x);  // ReLU
+    }
+    activations->push_back(next);
+    current = std::move(next);
+  }
+  return Sigmoid(current[0]);
+}
+
+void Mlp::Fit(const std::vector<Vector>& features,
+              const std::vector<int>& labels, Options options) {
+  CERTA_CHECK_EQ(features.size(), labels.size());
+  CERTA_CHECK(!features.empty());
+  const size_t input_dim = features[0].size();
+  for (const auto& row : features) CERTA_CHECK_EQ(row.size(), input_dim);
+
+  Rng rng(options.seed);
+
+  // Build layer stack: hidden sizes then a single output unit.
+  layers_.clear();
+  std::vector<int> sizes;
+  sizes.push_back(static_cast<int>(input_dim));
+  for (int h : options.hidden_sizes) {
+    CERTA_CHECK_GT(h, 0);
+    sizes.push_back(h);
+  }
+  sizes.push_back(1);
+  for (size_t l = 0; l + 1 < sizes.size(); ++l) {
+    Layer layer;
+    layer.weights = Matrix(sizes[l + 1], sizes[l]);
+    layer.bias = Vector(sizes[l + 1], 0.0);
+    // He initialization for ReLU layers.
+    double scale = std::sqrt(2.0 / static_cast<double>(sizes[l]));
+    for (double& w : layer.weights.data()) w = rng.Gaussian(0.0, scale);
+    layers_.push_back(std::move(layer));
+  }
+
+  // Adam state per parameter block.
+  std::vector<Adam> weight_opts;
+  std::vector<Adam> bias_opts;
+  Adam::Options adam_options;
+  adam_options.learning_rate = options.learning_rate;
+  for (const Layer& layer : layers_) {
+    weight_opts.emplace_back(layer.weights.data().size(), adam_options);
+    bias_opts.emplace_back(layer.bias.size(), adam_options);
+  }
+
+  std::vector<size_t> order(features.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  std::vector<Vector> activations;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(options.batch_size)) {
+      size_t end = std::min(order.size(),
+                            start + static_cast<size_t>(options.batch_size));
+      // Accumulate gradients over the batch.
+      std::vector<std::vector<double>> grad_weights(layers_.size());
+      std::vector<Vector> grad_biases(layers_.size());
+      for (size_t l = 0; l < layers_.size(); ++l) {
+        grad_weights[l].assign(layers_[l].weights.data().size(), 0.0);
+        grad_biases[l].assign(layers_[l].bias.size(), 0.0);
+      }
+      for (size_t k = start; k < end; ++k) {
+        size_t i = order[k];
+        double p = Forward(features[i], &activations);
+        // dL/dz for sigmoid + BCE collapses to (p - y).
+        Vector delta{p - static_cast<double>(labels[i])};
+        for (size_t l = layers_.size(); l-- > 0;) {
+          const Layer& layer = layers_[l];
+          const Vector& input_act = activations[l];
+          // Gradient wrt weights: delta outer input_act.
+          for (size_t r = 0; r < layer.weights.rows(); ++r) {
+            double d = delta[r];
+            grad_biases[l][r] += d;
+            double* grad_row = &grad_weights[l][r * layer.weights.cols()];
+            for (size_t c = 0; c < layer.weights.cols(); ++c) {
+              grad_row[c] += d * input_act[c];
+            }
+          }
+          if (l == 0) break;
+          // Propagate delta through weights and the ReLU derivative of
+          // the previous layer's (post-activation) output.
+          Vector next_delta = layer.weights.MultiplyTransposed(delta);
+          const Vector& relu_act = activations[l];
+          CERTA_CHECK_EQ(next_delta.size(), relu_act.size());
+          for (size_t c = 0; c < next_delta.size(); ++c) {
+            if (relu_act[c] <= 0.0) next_delta[c] = 0.0;
+          }
+          delta = std::move(next_delta);
+        }
+      }
+      double batch = static_cast<double>(end - start);
+      for (size_t l = 0; l < layers_.size(); ++l) {
+        for (double& g : grad_weights[l]) g /= batch;
+        for (double& g : grad_biases[l]) g /= batch;
+        // L2 on weights.
+        const auto& w = layers_[l].weights.data();
+        for (size_t i = 0; i < w.size(); ++i) {
+          grad_weights[l][i] += options.l2 * w[i];
+        }
+        weight_opts[l].Step(grad_weights[l], &layers_[l].weights.data());
+        bias_opts[l].Step(grad_biases[l], &layers_[l].bias);
+      }
+    }
+  }
+  fitted_ = true;
+}
+
+double Mlp::PredictProbability(const Vector& features) const {
+  CERTA_CHECK(fitted_);
+  std::vector<Vector> activations;
+  return Forward(features, &activations);
+}
+
+int Mlp::Predict(const Vector& features) const {
+  return PredictProbability(features) >= 0.5 ? 1 : 0;
+}
+
+void Mlp::Save(TextArchive* archive, const std::string& prefix) const {
+  CERTA_CHECK(fitted_);
+  archive->PutInt(prefix + ".layers", static_cast<long long>(layers_.size()));
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    std::string layer_prefix = prefix + ".layer" + std::to_string(l);
+    archive->PutInt(layer_prefix + ".rows",
+                    static_cast<long long>(layers_[l].weights.rows()));
+    archive->PutInt(layer_prefix + ".cols",
+                    static_cast<long long>(layers_[l].weights.cols()));
+    archive->PutVector(layer_prefix + ".weights",
+                       layers_[l].weights.data());
+    archive->PutVector(layer_prefix + ".bias", layers_[l].bias);
+  }
+}
+
+bool Mlp::Load(const TextArchive& archive, const std::string& prefix) {
+  long long count = 0;
+  if (!archive.GetInt(prefix + ".layers", &count) || count <= 0) {
+    return false;
+  }
+  std::vector<Layer> layers;
+  for (long long l = 0; l < count; ++l) {
+    std::string layer_prefix = prefix + ".layer" + std::to_string(l);
+    long long rows = 0;
+    long long cols = 0;
+    std::vector<double> weights;
+    Layer layer;
+    if (!archive.GetInt(layer_prefix + ".rows", &rows) ||
+        !archive.GetInt(layer_prefix + ".cols", &cols) ||
+        !archive.GetVector(layer_prefix + ".weights", &weights) ||
+        !archive.GetVector(layer_prefix + ".bias", &layer.bias)) {
+      return false;
+    }
+    if (rows <= 0 || cols <= 0 ||
+        weights.size() != static_cast<size_t>(rows * cols) ||
+        layer.bias.size() != static_cast<size_t>(rows)) {
+      return false;
+    }
+    layer.weights = Matrix(static_cast<size_t>(rows),
+                           static_cast<size_t>(cols));
+    layer.weights.data() = std::move(weights);
+    layers.push_back(std::move(layer));
+  }
+  layers_ = std::move(layers);
+  fitted_ = true;
+  return true;
+}
+
+}  // namespace certa::ml

@@ -1,0 +1,70 @@
+#ifndef CERTA_ML_MLP_H_
+#define CERTA_ML_MLP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/dense.h"
+#include "util/archive.h"
+
+namespace certa::ml {
+
+/// Fully-connected feed-forward network with ReLU hidden layers and a
+/// sigmoid output, trained with mini-batch Adam on binary cross-entropy.
+/// This is the trainable head of the DeepMatcher stand-in: it consumes
+/// the per-attribute similarity summary block and learns how attribute
+/// evidence composes into a match decision (mirroring DeepMatcher's
+/// "Hybrid" classifier over attribute summarizations).
+class Mlp {
+ public:
+  struct Options {
+    std::vector<int> hidden_sizes = {16};
+    int epochs = 300;
+    int batch_size = 32;
+    double learning_rate = 5e-3;
+    double l2 = 1e-5;
+    uint64_t seed = 29;
+  };
+
+  Mlp() = default;
+
+  /// Trains from scratch on rows of `features` and binary `labels`.
+  void Fit(const std::vector<Vector>& features, const std::vector<int>& labels,
+           Options options);
+  void Fit(const std::vector<Vector>& features,
+           const std::vector<int>& labels) {
+    Fit(features, labels, Options());
+  }
+
+  /// P(label = 1 | x). Requires a prior Fit.
+  double PredictProbability(const Vector& features) const;
+
+  /// Hard prediction at the 0.5 threshold.
+  int Predict(const Vector& features) const;
+
+  /// Persists the fitted layer stack under `prefix` in the archive.
+  void Save(TextArchive* archive, const std::string& prefix) const;
+  /// Restores a previously saved network; false on missing/invalid keys.
+  bool Load(const TextArchive& archive, const std::string& prefix);
+
+  bool is_fitted() const { return fitted_; }
+
+ private:
+  struct Layer {
+    Matrix weights;   // out x in
+    Vector bias;      // out
+  };
+
+  /// Forward pass storing post-activation values per layer (the input is
+  /// activations[0]); returns the output probability.
+  double Forward(const Vector& input,
+                 std::vector<Vector>* activations) const;
+
+  std::vector<Layer> layers_;
+  bool fitted_ = false;
+};
+
+}  // namespace certa::ml
+
+#endif  // CERTA_ML_MLP_H_

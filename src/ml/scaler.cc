@@ -1,0 +1,68 @@
+#include "ml/scaler.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace certa::ml {
+
+void StandardScaler::Fit(const std::vector<Vector>& rows) {
+  CERTA_CHECK(!rows.empty());
+  const size_t dim = rows[0].size();
+  mean_.assign(dim, 0.0);
+  stddev_.assign(dim, 0.0);
+  for (const Vector& row : rows) {
+    CERTA_CHECK_EQ(row.size(), dim);
+    for (size_t c = 0; c < dim; ++c) mean_[c] += row[c];
+  }
+  double n = static_cast<double>(rows.size());
+  for (size_t c = 0; c < dim; ++c) mean_[c] /= n;
+  for (const Vector& row : rows) {
+    for (size_t c = 0; c < dim; ++c) {
+      double delta = row[c] - mean_[c];
+      stddev_[c] += delta * delta;
+    }
+  }
+  for (size_t c = 0; c < dim; ++c) {
+    stddev_[c] = std::sqrt(stddev_[c] / n);
+    if (stddev_[c] < 1e-12) stddev_[c] = 0.0;  // constant feature
+  }
+  fitted_ = true;
+}
+
+Vector StandardScaler::Transform(const Vector& row) const {
+  CERTA_CHECK(fitted_);
+  CERTA_CHECK_EQ(row.size(), mean_.size());
+  Vector out(row.size());
+  for (size_t c = 0; c < row.size(); ++c) {
+    out[c] = stddev_[c] > 0.0 ? (row[c] - mean_[c]) / stddev_[c] : 0.0;
+  }
+  return out;
+}
+
+std::vector<Vector> StandardScaler::FitTransform(
+    const std::vector<Vector>& rows) {
+  Fit(rows);
+  std::vector<Vector> out;
+  out.reserve(rows.size());
+  for (const Vector& row : rows) out.push_back(Transform(row));
+  return out;
+}
+
+void StandardScaler::Save(TextArchive* archive,
+                          const std::string& prefix) const {
+  CERTA_CHECK(fitted_);
+  archive->PutVector(prefix + ".mean", mean_);
+  archive->PutVector(prefix + ".stddev", stddev_);
+}
+
+bool StandardScaler::Load(const TextArchive& archive,
+                          const std::string& prefix) {
+  if (!archive.GetVector(prefix + ".mean", &mean_)) return false;
+  if (!archive.GetVector(prefix + ".stddev", &stddev_)) return false;
+  if (mean_.size() != stddev_.size()) return false;
+  fitted_ = true;
+  return true;
+}
+
+}  // namespace certa::ml

@@ -1,0 +1,45 @@
+#ifndef CERTA_ML_SCALER_H_
+#define CERTA_ML_SCALER_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/dense.h"
+#include "util/archive.h"
+
+namespace certa::ml {
+
+/// Per-feature standardization (zero mean, unit variance). Constant
+/// features map to 0. Fit on training features, then applied to every
+/// scoring call, so all ER models see consistently scaled inputs.
+class StandardScaler {
+ public:
+  StandardScaler() = default;
+
+  /// Computes per-column mean and standard deviation.
+  void Fit(const std::vector<Vector>& rows);
+
+  /// Returns (x - mean) / std per column. Requires a prior Fit.
+  Vector Transform(const Vector& row) const;
+
+  /// Fit followed by transforming every row.
+  std::vector<Vector> FitTransform(const std::vector<Vector>& rows);
+
+  /// Persists the fitted statistics under `prefix` in the archive.
+  void Save(TextArchive* archive, const std::string& prefix) const;
+  /// Restores a previously saved scaler; false on missing/invalid keys.
+  bool Load(const TextArchive& archive, const std::string& prefix);
+
+  bool is_fitted() const { return fitted_; }
+  const Vector& mean() const { return mean_; }
+  const Vector& stddev() const { return stddev_; }
+
+ private:
+  Vector mean_;
+  Vector stddev_;
+  bool fitted_ = false;
+};
+
+}  // namespace certa::ml
+
+#endif  // CERTA_ML_SCALER_H_

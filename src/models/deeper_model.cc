@@ -1,0 +1,68 @@
+#include "models/deeper_model.h"
+
+#include <algorithm>
+
+#include "text/similarity.h"
+#include "text/tokenizer.h"
+
+namespace certa::models {
+namespace {
+
+constexpr int kWordDim = 96;
+constexpr int kNgramDim = 64;
+
+/// Fuses every attribute value of the record into one token sequence —
+/// DeepER's "tuple as a sentence" view.
+std::vector<std::string> RecordTokens(const data::Record& record) {
+  std::vector<std::string> tokens;
+  for (const std::string& value : record.values) {
+    if (text::IsMissing(value)) continue;
+    std::vector<std::string> attr_tokens = text::Tokenize(value);
+    tokens.insert(tokens.end(), attr_tokens.begin(), attr_tokens.end());
+  }
+  return tokens;
+}
+
+std::vector<std::string> RecordNgrams(const data::Record& record) {
+  std::vector<std::string> grams;
+  for (const std::string& value : record.values) {
+    if (text::IsMissing(value)) continue;
+    std::vector<std::string> value_grams = text::CharNgrams(value, 3);
+    grams.insert(grams.end(), value_grams.begin(), value_grams.end());
+  }
+  return grams;
+}
+
+}  // namespace
+
+DeepErModel::DeepErModel()
+    : FeatureMatcher(Head::kLogistic),
+      word_embedder_(kWordDim, /*seed=*/0xD33Bu),
+      ngram_embedder_(kNgramDim, /*seed=*/0x36AA) {}
+
+ml::Vector DeepErModel::Features(const data::Record& u,
+                                 const data::Record& v) const {
+  std::vector<std::string> tokens_u = RecordTokens(u);
+  std::vector<std::string> tokens_v = RecordTokens(v);
+  ml::Vector embed_u = word_embedder_.TransformNormalized(tokens_u);
+  ml::Vector embed_v = word_embedder_.TransformNormalized(tokens_v);
+  ml::Vector grams_u = ngram_embedder_.TransformNormalized(RecordNgrams(u));
+  ml::Vector grams_v = ngram_embedder_.TransformNormalized(RecordNgrams(v));
+
+  double size_u = static_cast<double>(tokens_u.size());
+  double size_v = static_cast<double>(tokens_v.size());
+  double length_ratio =
+      size_u > 0.0 && size_v > 0.0
+          ? std::min(size_u, size_v) / std::max(size_u, size_v)
+          : 0.0;
+
+  return {
+      text::CosineSimilarity(embed_u, embed_v),
+      text::CosineSimilarity(grams_u, grams_v),
+      text::JaccardSimilarity(tokens_u, tokens_v),
+      text::OverlapCoefficient(tokens_u, tokens_v),
+      length_ratio,
+  };
+}
+
+}  // namespace certa::models

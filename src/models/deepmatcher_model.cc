@@ -1,0 +1,44 @@
+#include "models/deepmatcher_model.h"
+
+#include "text/similarity.h"
+#include "text/tokenizer.h"
+#include "util/logging.h"
+
+namespace certa::models {
+
+DeepMatcherModel::DeepMatcherModel() : FeatureMatcher(Head::kMlp) {}
+
+ml::Vector DeepMatcherModel::Features(const data::Record& u,
+                                      const data::Record& v) const {
+  CERTA_CHECK_EQ(u.values.size(), v.values.size())
+      << "DeepMatcher requires aligned schemas";
+  ml::Vector features;
+  features.reserve(u.values.size() * kFeaturesPerAttribute);
+  for (size_t a = 0; a < u.values.size(); ++a) {
+    const std::string& value_u = u.values[a];
+    const std::string& value_v = v.values[a];
+    bool missing_u = text::IsMissing(value_u);
+    bool missing_v = text::IsMissing(value_v);
+    if (missing_u || missing_v) {
+      // Neutral similarity block with missing indicators: the MLP learns
+      // how much absence matters per attribute.
+      features.insert(features.end(),
+                      {0.0, 0.0, 0.0, 0.0,
+                       missing_u && missing_v ? 1.0 : 0.0,
+                       missing_u != missing_v ? 1.0 : 0.0});
+      continue;
+    }
+    std::vector<std::string> tokens_u = text::Tokenize(value_u);
+    std::vector<std::string> tokens_v = text::Tokenize(value_v);
+    features.push_back(text::JaccardSimilarity(tokens_u, tokens_v));
+    features.push_back(text::LevenshteinSimilarity(
+        text::Normalize(value_u), text::Normalize(value_v)));
+    features.push_back(text::SymmetricMongeElkan(tokens_u, tokens_v));
+    features.push_back(text::AttributeSimilarity(value_u, value_v));
+    features.push_back(0.0);  // missing_both
+    features.push_back(0.0);  // missing_one
+  }
+  return features;
+}
+
+}  // namespace certa::models

@@ -1,0 +1,148 @@
+#include "models/ditto_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/similarity.h"
+#include "text/tokenizer.h"
+
+namespace certa::models {
+namespace {
+
+constexpr int kNgramDim = 128;
+
+/// Ditto-style domain knowledge injection: numeric tokens are rounded
+/// and re-serialized so "379.72" and "379.7" align; pure codes keep
+/// their shape. Mirrors Ditto's number normalization (Sect. 3.3 of the
+/// Ditto paper).
+std::string NormalizeToken(const std::string& token) {
+  double value = 0.0;
+  if (text::TryParseNumeric(token, &value)) {
+    double rounded = std::round(value * 10.0) / 10.0;
+    // Trim trailing ".0" for integer-like values.
+    if (rounded == std::round(rounded)) {
+      return std::to_string(static_cast<long long>(std::llround(rounded)));
+    }
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.1f", rounded);
+    return buffer;
+  }
+  return token;
+}
+
+/// Serialized token sequence of a record, with per-attribute [COL]
+/// markers (index-based when no schema is available).
+std::vector<std::string> SerializedTokens(const data::Record& record) {
+  std::vector<std::string> tokens;
+  for (size_t a = 0; a < record.values.size(); ++a) {
+    tokens.push_back("[COL" + std::to_string(a) + "]");
+    if (text::IsMissing(record.values[a])) continue;
+    for (std::string& token : text::Tokenize(record.values[a])) {
+      tokens.push_back(NormalizeToken(token));
+    }
+  }
+  return tokens;
+}
+
+/// Soft alignment score: mean over tokens of `a` of the best pairwise
+/// token similarity in `b` — the cross-attention analogue. Marker
+/// tokens align exactly with themselves (anchoring attribute spans).
+double SoftAlignment(const std::vector<std::string>& a,
+                     const std::vector<std::string>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  double total = 0.0;
+  int counted = 0;
+  for (const std::string& token_a : a) {
+    if (token_a.size() >= 2 && token_a[0] == '[') continue;  // skip markers
+    double best = 0.0;
+    for (const std::string& token_b : b) {
+      if (token_b.size() >= 2 && token_b[0] == '[') continue;
+      if (token_a == token_b) {
+        best = 1.0;
+        break;
+      }
+      best = std::max(best, text::JaroWinklerSimilarity(token_a, token_b));
+    }
+    total += best;
+    ++counted;
+  }
+  return counted > 0 ? total / counted : 0.0;
+}
+
+/// Fraction of numeric tokens of `a` that have an exact normalized
+/// numeric counterpart in `b` (Ditto's span typing for numbers).
+double NumericAgreement(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b) {
+  int numeric = 0;
+  int agreed = 0;
+  for (const std::string& token_a : a) {
+    double value_a = 0.0;
+    if (!text::TryParseNumeric(token_a, &value_a)) continue;
+    ++numeric;
+    for (const std::string& token_b : b) {
+      double value_b = 0.0;
+      if (text::TryParseNumeric(token_b, &value_b) &&
+          text::NumericSimilarity(value_a, value_b) > 0.98) {
+        ++agreed;
+        break;
+      }
+    }
+  }
+  return numeric > 0 ? static_cast<double>(agreed) / numeric : 0.5;
+}
+
+}  // namespace
+
+DittoModel::DittoModel()
+    : FeatureMatcher(Head::kLogistic),
+      ngram_embedder_(kNgramDim, /*seed=*/0xD1770) {}
+
+std::string DittoModel::Serialize(const data::Schema& schema,
+                                  const data::Record& record) {
+  std::string out;
+  for (int a = 0; a < schema.size(); ++a) {
+    if (a > 0) out.push_back(' ');
+    out += "[COL] " + schema.name(a) + " [VAL]";
+    if (!text::IsMissing(record.values[a])) {
+      out.push_back(' ');
+      out += record.values[a];
+    }
+  }
+  return out;
+}
+
+ml::Vector DittoModel::Features(const data::Record& u,
+                                const data::Record& v) const {
+  std::vector<std::string> seq_u = SerializedTokens(u);
+  std::vector<std::string> seq_v = SerializedTokens(v);
+
+  // Character n-gram channel over the raw serializations.
+  std::vector<std::string> grams_u;
+  std::vector<std::string> grams_v;
+  for (const std::string& value : u.values) {
+    if (text::IsMissing(value)) continue;
+    auto grams = text::CharNgrams(value, 4);
+    grams_u.insert(grams_u.end(), grams.begin(), grams.end());
+  }
+  for (const std::string& value : v.values) {
+    if (text::IsMissing(value)) continue;
+    auto grams = text::CharNgrams(value, 4);
+    grams_v.insert(grams_v.end(), grams.begin(), grams.end());
+  }
+  ml::Vector embed_u = ngram_embedder_.TransformNormalized(grams_u);
+  ml::Vector embed_v = ngram_embedder_.TransformNormalized(grams_v);
+
+  double align_uv = SoftAlignment(seq_u, seq_v);
+  double align_vu = SoftAlignment(seq_v, seq_u);
+
+  return {
+      align_uv,
+      align_vu,
+      std::min(align_uv, align_vu),
+      text::CosineSimilarity(embed_u, embed_v),
+      text::JaccardSimilarity(seq_u, seq_v),
+      NumericAgreement(seq_u, seq_v),
+  };
+}
+
+}  // namespace certa::models

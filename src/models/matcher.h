@@ -1,0 +1,37 @@
+#ifndef CERTA_MODELS_MATCHER_H_
+#define CERTA_MODELS_MATCHER_H_
+
+#include <string>
+
+#include "data/table.h"
+
+namespace certa::models {
+
+/// Black-box ER classifier interface — exactly what CERTA and every
+/// baseline explainer consume. A matcher scores a candidate record pair
+/// with a calibrated matching probability in [0, 1]; scores >= 0.5 mean
+/// Match (the paper's convention, Fig. 2).
+///
+/// Implementations must be deterministic and side-effect free per call:
+/// explainers issue thousands of perturbed-pair calls per explanation.
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  /// Matching score for the pair <u, v> (u from the left source, v from
+  /// the right source). Must lie in [0, 1].
+  virtual double Score(const data::Record& u,
+                       const data::Record& v) const = 0;
+
+  /// Hard decision at the 0.5 threshold.
+  bool Predict(const data::Record& u, const data::Record& v) const {
+    return Score(u, v) >= 0.5;
+  }
+
+  /// Human-readable model name ("DeepER", "DeepMatcher", "Ditto").
+  virtual std::string name() const = 0;
+};
+
+}  // namespace certa::models
+
+#endif  // CERTA_MODELS_MATCHER_H_

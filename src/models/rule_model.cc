@@ -1,0 +1,177 @@
+#include "models/rule_model.h"
+
+#include <algorithm>
+
+#include "text/similarity.h"
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace certa::models {
+namespace {
+
+/// Pre-computed per-attribute similarities for one training pair.
+struct PairFeatures {
+  std::vector<double> similarities;
+  int label = 0;
+  bool covered = false;
+};
+
+bool RuleFires(const MatchingRule& rule,
+               const std::vector<double>& similarities) {
+  for (const MatchingRule::Condition& condition : rule.conditions) {
+    if (similarities[condition.attribute] < condition.threshold) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Precision/recall of a candidate rule over the not-yet-covered pairs
+/// (recall against *all* matches, the sequential-covering convention).
+void Evaluate(const MatchingRule& rule, const std::vector<PairFeatures>& pairs,
+              int total_matches, double* precision, double* recall) {
+  int fired = 0;
+  int correct = 0;
+  for (const PairFeatures& pair : pairs) {
+    if (pair.covered) continue;
+    if (!RuleFires(rule, pair.similarities)) continue;
+    ++fired;
+    if (pair.label == 1) ++correct;
+  }
+  *precision = fired > 0 ? static_cast<double>(correct) / fired : 0.0;
+  *recall = total_matches > 0 ? static_cast<double>(correct) / total_matches
+                              : 0.0;
+}
+
+}  // namespace
+
+std::string MatchingRule::ToString(const data::Schema& schema) const {
+  std::vector<std::string> parts;
+  for (const Condition& condition : conditions) {
+    parts.push_back("sim(" + schema.name(condition.attribute) +
+                    ") >= " + FormatDouble(condition.threshold, 2));
+  }
+  return Join(parts, " AND ");
+}
+
+void RuleModel::Fit(const data::Dataset& dataset, Options options) {
+  CERTA_CHECK(!dataset.train.empty());
+  CERTA_CHECK_EQ(dataset.left.schema().size(), dataset.right.schema().size())
+      << "RuleModel requires aligned schemas";
+  const int attributes = dataset.left.schema().size();
+
+  // Featurize the training pairs once.
+  std::vector<PairFeatures> pairs;
+  pairs.reserve(dataset.train.size());
+  int total_matches = 0;
+  for (const data::LabeledPair& pair : dataset.train) {
+    PairFeatures features;
+    features.label = pair.label;
+    total_matches += pair.label;
+    const data::Record& u = dataset.left.record(pair.left_index);
+    const data::Record& v = dataset.right.record(pair.right_index);
+    features.similarities.reserve(attributes);
+    for (int a = 0; a < attributes; ++a) {
+      features.similarities.push_back(
+          text::AttributeSimilarity(u.value(a), v.value(a)));
+    }
+    pairs.push_back(std::move(features));
+  }
+
+  rules_.clear();
+  int covered_matches = 0;
+  while (static_cast<int>(rules_.size()) < options.max_rules &&
+         total_matches > 0 &&
+         static_cast<double>(covered_matches) / total_matches <
+             options.target_recall) {
+    // Greedy rule growth: start empty, repeatedly add the single
+    // condition that maximizes precision (ties: higher recall).
+    MatchingRule rule;
+    double rule_precision = 0.0;
+    double rule_recall = 0.0;
+    for (int depth = 0; depth < options.max_conditions; ++depth) {
+      MatchingRule best = rule;
+      double best_precision = rule_precision;
+      double best_recall = rule_recall;
+      bool improved = false;
+      for (int a = 0; a < attributes; ++a) {
+        bool already_used = false;
+        for (const MatchingRule::Condition& condition : rule.conditions) {
+          if (condition.attribute == a) already_used = true;
+        }
+        if (already_used) continue;
+        for (double threshold : options.thresholds) {
+          MatchingRule candidate = rule;
+          candidate.conditions.push_back({a, threshold});
+          double precision = 0.0;
+          double recall = 0.0;
+          Evaluate(candidate, pairs, total_matches, &precision, &recall);
+          if (recall <= 0.0) continue;
+          if (precision > best_precision ||
+              (precision == best_precision && recall > best_recall)) {
+            best = candidate;
+            best_precision = precision;
+            best_recall = recall;
+            improved = true;
+          }
+        }
+      }
+      if (!improved) break;
+      rule = best;
+      rule_precision = best_precision;
+      rule_recall = best_recall;
+      if (rule_precision >= 1.0) break;  // cannot improve further
+    }
+    if (rule.conditions.empty() || rule_precision < options.min_precision) {
+      break;  // no acceptable rule remains
+    }
+    rule.precision = rule_precision;
+    rule.recall = rule_recall;
+    // Mark covered pairs so the next rule targets the remainder.
+    for (PairFeatures& pair : pairs) {
+      if (pair.covered || !RuleFires(rule, pair.similarities)) continue;
+      pair.covered = true;
+      if (pair.label == 1) ++covered_matches;
+    }
+    rules_.push_back(std::move(rule));
+  }
+  fitted_ = true;
+}
+
+double RuleModel::Score(const data::Record& u, const data::Record& v) const {
+  CERTA_CHECK(fitted_);
+  CERTA_CHECK_EQ(u.values.size(), v.values.size());
+  std::vector<double> similarities;
+  similarities.reserve(u.values.size());
+  for (size_t a = 0; a < u.values.size(); ++a) {
+    similarities.push_back(
+        text::AttributeSimilarity(u.values[a], v.values[a]));
+  }
+  for (const MatchingRule& rule : rules_) {
+    if (RuleFires(rule, similarities)) {
+      // Calibrated confidence: the rule's training precision, kept
+      // above the 0.5 match threshold by construction (min_precision).
+      return std::max(0.51, rule.precision);
+    }
+  }
+  // No rule fires: residual score proportional to overall similarity,
+  // capped below the decision threshold.
+  double mean = 0.0;
+  for (double s : similarities) mean += s;
+  mean /= static_cast<double>(similarities.size());
+  return 0.49 * mean;
+}
+
+std::string RuleModel::Describe(const data::Schema& schema) const {
+  std::string out;
+  for (size_t r = 0; r < rules_.size(); ++r) {
+    out += "rule " + std::to_string(r + 1) + ": IF " +
+           rules_[r].ToString(schema) + " THEN Match  [precision " +
+           FormatDouble(rules_[r].precision, 2) + ", recall " +
+           FormatDouble(rules_[r].recall, 2) + "]\n";
+  }
+  if (rules_.empty()) out = "(no rules learned)\n";
+  return out;
+}
+
+}  // namespace certa::models

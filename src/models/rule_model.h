@@ -1,0 +1,77 @@
+#ifndef CERTA_MODELS_RULE_MODEL_H_
+#define CERTA_MODELS_RULE_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "models/matcher.h"
+
+namespace certa::models {
+
+/// One learned matching rule: a conjunction of per-attribute similarity
+/// thresholds, e.g.  sim(title) >= 0.62 AND sim(modelno) >= 0.85.
+struct MatchingRule {
+  struct Condition {
+    int attribute = 0;       ///< aligned attribute index
+    double threshold = 0.5;  ///< AttributeSimilarity lower bound
+  };
+  std::vector<Condition> conditions;
+  /// Training precision of the rule (matches covered / pairs covered).
+  double precision = 0.0;
+  /// Fraction of training matches the rule covers.
+  double recall = 0.0;
+
+  /// Human-readable form, e.g. "sim(title) >= 0.62 AND sim(price) >= 0.90".
+  std::string ToString(const data::Schema& schema) const;
+};
+
+/// Inherently explainable ER matcher in the spirit of SystemER (Qian et
+/// al., PVLDB'19), minus the human in the loop: a greedy sequential
+/// covering algorithm learns an ordered set of high-precision
+/// conjunctive similarity rules from the training pairs. The model's
+/// decisions are the rules themselves — no post-hoc explainer needed —
+/// but it still implements Matcher, so CERTA can audit it like any
+/// black box (useful for validating explanations against a model whose
+/// true logic is known).
+class RuleModel : public Matcher {
+ public:
+  struct Options {
+    /// Candidate thresholds tried per attribute.
+    std::vector<double> thresholds = {0.9, 0.8, 0.7, 0.6, 0.5, 0.4};
+    /// Minimum precision for a rule to be accepted.
+    double min_precision = 0.9;
+    /// Maximum conditions per rule.
+    int max_conditions = 3;
+    /// Maximum number of rules.
+    int max_rules = 8;
+    /// Stop when the uncovered matches drop below this fraction.
+    double target_recall = 0.95;
+  };
+
+  RuleModel() = default;
+
+  /// Learns the rule set from dataset.train. Requires aligned schemas.
+  void Fit(const data::Dataset& dataset, Options options);
+  void Fit(const data::Dataset& dataset) { Fit(dataset, Options()); }
+
+  /// Score: the precision of the first rule that fires (a calibrated
+  /// confidence), or a low residual score when no rule fires.
+  double Score(const data::Record& u, const data::Record& v) const override;
+
+  std::string name() const override { return "RuleSet"; }
+
+  const std::vector<MatchingRule>& rules() const { return rules_; }
+  bool is_fitted() const { return fitted_; }
+
+  /// Renders the learned ruleset.
+  std::string Describe(const data::Schema& schema) const;
+
+ private:
+  std::vector<MatchingRule> rules_;
+  bool fitted_ = false;
+};
+
+}  // namespace certa::models
+
+#endif  // CERTA_MODELS_RULE_MODEL_H_

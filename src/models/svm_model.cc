@@ -1,0 +1,34 @@
+#include "models/svm_model.h"
+
+#include "text/similarity.h"
+#include "text/tokenizer.h"
+#include "util/logging.h"
+
+namespace certa::models {
+
+SvmModel::SvmModel() : FeatureMatcher(Head::kSvm) {}
+
+ml::Vector SvmModel::Features(const data::Record& u,
+                              const data::Record& v) const {
+  CERTA_CHECK_EQ(u.values.size(), v.values.size())
+      << "SvmModel requires aligned schemas";
+  ml::Vector features;
+  features.reserve(u.values.size() * 4);
+  for (size_t a = 0; a < u.values.size(); ++a) {
+    const std::string& value_u = u.values[a];
+    const std::string& value_v = v.values[a];
+    if (text::IsMissing(value_u) || text::IsMissing(value_v)) {
+      features.insert(features.end(), {0.0, 0.0, 0.0, 1.0});
+      continue;
+    }
+    std::vector<std::string> tokens_u = text::Tokenize(value_u);
+    std::vector<std::string> tokens_v = text::Tokenize(value_v);
+    features.push_back(text::JaccardSimilarity(tokens_u, tokens_v));
+    features.push_back(text::TrigramSimilarity(value_u, value_v));
+    features.push_back(text::AttributeSimilarity(value_u, value_v));
+    features.push_back(0.0);  // missing indicator
+  }
+  return features;
+}
+
+}  // namespace certa::models

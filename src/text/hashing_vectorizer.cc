@@ -1,0 +1,73 @@
+#include "text/hashing_vectorizer.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace certa::text {
+
+HashingVectorizer::HashingVectorizer(int dimension, uint64_t seed)
+    : dimension_(dimension), seed_(seed) {
+  CERTA_CHECK_GT(dimension, 0);
+}
+
+uint64_t HashingVectorizer::HashToken(std::string_view token) const {
+  // FNV-1a, then a final avalanche mix with the vectorizer seed.
+  uint64_t hash = 0xcbf29ce484222325ULL ^ seed_;
+  for (char c : token) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  hash ^= hash >> 33;
+  hash *= 0xff51afd7ed558ccdULL;
+  hash ^= hash >> 33;
+  return hash;
+}
+
+void HashingVectorizer::Accumulate(std::string_view token,
+                                   std::vector<double>* out) const {
+  CERTA_CHECK_EQ(static_cast<int>(out->size()), dimension_);
+  uint64_t hash = HashToken(token);
+  size_t bucket = static_cast<size_t>(hash % static_cast<uint64_t>(dimension_));
+  double sign = ((hash >> 63) & 1u) ? -1.0 : 1.0;
+  (*out)[bucket] += sign;
+}
+
+std::vector<double> HashingVectorizer::Transform(
+    const std::vector<std::string>& tokens) const {
+  std::vector<double> result(dimension_, 0.0);
+  for (const auto& token : tokens) Accumulate(token, &result);
+  return result;
+}
+
+std::vector<double> HashingVectorizer::TransformNormalized(
+    const std::vector<std::string>& tokens) const {
+  std::vector<double> result = Transform(tokens);
+  L2Normalize(&result);
+  return result;
+}
+
+void L2Normalize(std::vector<double>* v) {
+  double sum = 0.0;
+  for (double x : *v) sum += x * x;
+  if (sum <= 0.0) return;
+  double inv = 1.0 / std::sqrt(sum);
+  for (double& x : *v) x *= inv;
+}
+
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  CERTA_CHECK_EQ(a.size(), b.size());
+  double dot = 0.0;
+  double norm_a = 0.0;
+  double norm_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    norm_a += a[i] * a[i];
+    norm_b += b[i] * b[i];
+  }
+  if (norm_a <= 0.0 || norm_b <= 0.0) return 0.0;
+  return dot / std::sqrt(norm_a * norm_b);
+}
+
+}  // namespace certa::text

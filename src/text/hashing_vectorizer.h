@@ -1,0 +1,56 @@
+#ifndef CERTA_TEXT_HASHING_VECTORIZER_H_
+#define CERTA_TEXT_HASHING_VECTORIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace certa::text {
+
+/// Feature-hashing text vectorizer ("hashing trick"). Maps a token
+/// sequence to a fixed-dimension dense vector: each token contributes
+/// +/-1 (sign hashing to de-bias collisions) at `hash(token) %
+/// dimension`. Serves as the from-scratch stand-in for learned word
+/// embeddings: two records sharing tokens land on shared coordinates,
+/// so cosine distance between hashed vectors approximates lexical
+/// similarity — the property DeepER's distributed record representation
+/// relies on.
+class HashingVectorizer {
+ public:
+  /// `dimension` must be positive; `seed` decorrelates independent
+  /// vectorizers (e.g., word-level vs n-gram-level channels).
+  explicit HashingVectorizer(int dimension, uint64_t seed = 0x5eed);
+
+  /// Accumulates the token multiset into a vector of `dimension()`.
+  std::vector<double> Transform(const std::vector<std::string>& tokens) const;
+
+  /// Adds the token's contribution into an existing vector (for
+  /// incremental composition across attributes).
+  void Accumulate(std::string_view token, std::vector<double>* out) const;
+
+  /// Transforms and L2-normalizes (zero vector stays zero).
+  std::vector<double> TransformNormalized(
+      const std::vector<std::string>& tokens) const;
+
+  int dimension() const { return dimension_; }
+
+  /// Stable 64-bit FNV-1a hash of `token` mixed with this vectorizer's
+  /// seed; exposed for tests.
+  uint64_t HashToken(std::string_view token) const;
+
+ private:
+  int dimension_;
+  uint64_t seed_;
+};
+
+/// L2-normalizes `v` in place; leaves an all-zero vector untouched.
+void L2Normalize(std::vector<double>* v);
+
+/// Cosine similarity of two equal-length vectors; 0 when either is zero.
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+}  // namespace certa::text
+
+#endif  // CERTA_TEXT_HASHING_VECTORIZER_H_

@@ -1,0 +1,212 @@
+#include "text/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+
+namespace certa::text {
+namespace {
+
+std::unordered_map<std::string, int> Counts(
+    const std::vector<std::string>& tokens) {
+  std::unordered_map<std::string, int> counts;
+  for (const auto& token : tokens) ++counts[token];
+  return counts;
+}
+
+std::unordered_set<std::string> AsSet(const std::vector<std::string>& tokens) {
+  return {tokens.begin(), tokens.end()};
+}
+
+size_t IntersectionSize(const std::unordered_set<std::string>& a,
+                        const std::unordered_set<std::string>& b) {
+  const auto& smaller = a.size() <= b.size() ? a : b;
+  const auto& larger = a.size() <= b.size() ? b : a;
+  size_t count = 0;
+  for (const auto& item : smaller) {
+    if (larger.contains(item)) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+int LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  std::vector<int> previous(a.size() + 1);
+  std::vector<int> current(a.size() + 1);
+  for (size_t i = 0; i <= a.size(); ++i) previous[i] = static_cast<int>(i);
+  for (size_t j = 1; j <= b.size(); ++j) {
+    current[0] = static_cast<int>(j);
+    for (size_t i = 1; i <= a.size(); ++i) {
+      int substitution = previous[i - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      current[i] =
+          std::min({previous[i] + 1, current[i - 1] + 1, substitution});
+    }
+    std::swap(previous, current);
+  }
+  return previous[a.size()];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const int match_window =
+      std::max(0, static_cast<int>(std::max(a.size(), b.size())) / 2 - 1);
+  std::vector<bool> a_matched(a.size(), false);
+  std::vector<bool> b_matched(b.size(), false);
+  int matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    size_t lo = i > static_cast<size_t>(match_window)
+                    ? i - static_cast<size_t>(match_window)
+                    : 0;
+    size_t hi = std::min(b.size(), i + static_cast<size_t>(match_window) + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (b_matched[j] || a[i] != b[j]) continue;
+      a_matched[i] = true;
+      b_matched[j] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+  // Count transpositions among matched characters.
+  int transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  double m = matches;
+  return (m / static_cast<double>(a.size()) +
+          m / static_cast<double>(b.size()) +
+          (m - transpositions / 2.0) / m) /
+         3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  size_t limit = std::min({a.size(), b.size(), static_cast<size_t>(4)});
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * 0.1 * (1.0 - jaro);
+}
+
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  auto set_a = AsSet(a);
+  auto set_b = AsSet(b);
+  size_t intersection = IntersectionSize(set_a, set_b);
+  size_t union_size = set_a.size() + set_b.size() - intersection;
+  if (union_size == 0) return 1.0;
+  return static_cast<double>(intersection) / static_cast<double>(union_size);
+}
+
+double OverlapCoefficient(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  auto set_a = AsSet(a);
+  auto set_b = AsSet(b);
+  size_t smaller = std::min(set_a.size(), set_b.size());
+  return static_cast<double>(IntersectionSize(set_a, set_b)) /
+         static_cast<double>(smaller);
+}
+
+double DiceCoefficient(const std::vector<std::string>& a,
+                       const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  auto set_a = AsSet(a);
+  auto set_b = AsSet(b);
+  size_t total = set_a.size() + set_b.size();
+  if (total == 0) return 1.0;
+  return 2.0 * static_cast<double>(IntersectionSize(set_a, set_b)) /
+         static_cast<double>(total);
+}
+
+double CosineTokenSimilarity(const std::vector<std::string>& a,
+                             const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  auto counts_a = Counts(a);
+  auto counts_b = Counts(b);
+  double dot = 0.0;
+  for (const auto& [token, count] : counts_a) {
+    auto it = counts_b.find(token);
+    if (it != counts_b.end()) dot += static_cast<double>(count) * it->second;
+  }
+  auto norm = [](const std::unordered_map<std::string, int>& counts) {
+    double sum = 0.0;
+    for (const auto& [token, count] : counts) {
+      sum += static_cast<double>(count) * count;
+    }
+    return std::sqrt(sum);
+  };
+  double denom = norm(counts_a) * norm(counts_b);
+  return denom > 0.0 ? dot / denom : 0.0;
+}
+
+double MongeElkanSimilarity(const std::vector<std::string>& a,
+                            const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& token_a : a) {
+    double best = 0.0;
+    for (const auto& token_b : b) {
+      best = std::max(best, JaroWinklerSimilarity(token_a, token_b));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(a.size());
+}
+
+double SymmetricMongeElkan(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b) {
+  return 0.5 * (MongeElkanSimilarity(a, b) + MongeElkanSimilarity(b, a));
+}
+
+double TrigramSimilarity(std::string_view a, std::string_view b) {
+  std::vector<std::string> grams_a = CharNgrams(a, 3);
+  std::vector<std::string> grams_b = CharNgrams(b, 3);
+  return JaccardSimilarity(grams_a, grams_b);
+}
+
+double NumericSimilarity(double a, double b) {
+  if (a == b) return 1.0;
+  double scale = std::max(std::fabs(a), std::fabs(b));
+  if (scale == 0.0) return 1.0;
+  double relative = std::fabs(a - b) / scale;
+  return std::max(0.0, 1.0 - relative);
+}
+
+double AttributeSimilarity(std::string_view a, std::string_view b) {
+  bool missing_a = IsMissing(a);
+  bool missing_b = IsMissing(b);
+  if (missing_a && missing_b) return 1.0;
+  if (missing_a || missing_b) return 0.0;
+  double num_a = 0.0;
+  double num_b = 0.0;
+  if (TryParseNumeric(a, &num_a) && TryParseNumeric(b, &num_b)) {
+    return NumericSimilarity(num_a, num_b);
+  }
+  std::vector<std::string> tokens_a = Tokenize(a);
+  std::vector<std::string> tokens_b = Tokenize(b);
+  return 0.5 * JaccardSimilarity(tokens_a, tokens_b) +
+         0.5 * TrigramSimilarity(a, b);
+}
+
+}  // namespace certa::text

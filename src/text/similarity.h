@@ -1,0 +1,65 @@
+#ifndef CERTA_TEXT_SIMILARITY_H_
+#define CERTA_TEXT_SIMILARITY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace certa::text {
+
+/// Edit (Levenshtein) distance between two strings.
+int LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Levenshtein similarity in [0, 1]: 1 - distance / max(|a|, |b|).
+/// Two empty strings are maximally similar.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro similarity in [0, 1].
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler similarity in [0, 1] with the standard 0.1 prefix scale
+/// and a 4-character prefix cap.
+double JaroWinklerSimilarity(std::string_view a, std::string_view b);
+
+/// Jaccard similarity of two token multisets (treated as sets), in [0, 1].
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b);
+
+/// Overlap coefficient: |A ∩ B| / min(|A|, |B|), in [0, 1].
+double OverlapCoefficient(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b);
+
+/// Sørensen-Dice coefficient: 2 |A ∩ B| / (|A| + |B|), in [0, 1].
+double DiceCoefficient(const std::vector<std::string>& a,
+                       const std::vector<std::string>& b);
+
+/// Cosine similarity of token count vectors, in [0, 1].
+double CosineTokenSimilarity(const std::vector<std::string>& a,
+                             const std::vector<std::string>& b);
+
+/// Monge-Elkan similarity: mean over tokens of `a` of the best
+/// Jaro-Winkler match in `b`; asymmetric, in [0, 1].
+double MongeElkanSimilarity(const std::vector<std::string>& a,
+                            const std::vector<std::string>& b);
+
+/// Symmetrized Monge-Elkan: mean of both directions.
+double SymmetricMongeElkan(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b);
+
+/// Jaccard similarity over character trigram sets of the normalized
+/// strings; robust to token order and small typos.
+double TrigramSimilarity(std::string_view a, std::string_view b);
+
+/// Relative numeric similarity in [0, 1]: 1 - |a-b| / max(|a|, |b|);
+/// equals 1 when both are 0.
+double NumericSimilarity(double a, double b);
+
+/// Similarity between two raw attribute values, dispatching on content:
+/// numeric values use NumericSimilarity, otherwise a blend of token
+/// Jaccard and trigram similarity. Missing values (per IsMissing) give
+/// 1.0 when both are missing and 0.0 when exactly one is.
+double AttributeSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace certa::text
+
+#endif  // CERTA_TEXT_SIMILARITY_H_

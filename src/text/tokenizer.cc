@@ -1,0 +1,97 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "util/string_utils.h"
+
+namespace certa::text {
+namespace {
+
+bool IsWordChar(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  return std::isalnum(u) || c == '.' || c == '%' || c == '-';
+}
+
+}  // namespace
+
+std::string Normalize(std::string_view text) {
+  std::string result;
+  result.reserve(text.size());
+  for (char c : text) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (IsWordChar(c)) {
+      result.push_back(static_cast<char>(std::tolower(u)));
+    } else {
+      result.push_back(' ');
+    }
+  }
+  // Collapse leading '.'/'-' noise per token is handled by callers; here
+  // we only trim tokens made purely of punctuation.
+  std::vector<std::string> tokens = SplitWhitespace(result);
+  std::vector<std::string> kept;
+  kept.reserve(tokens.size());
+  for (std::string& token : tokens) {
+    bool has_alnum = false;
+    for (char c : token) {
+      if (std::isalnum(static_cast<unsigned char>(c))) {
+        has_alnum = true;
+        break;
+      }
+    }
+    if (has_alnum) kept.push_back(std::move(token));
+  }
+  return Join(kept, " ");
+}
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  return SplitWhitespace(Normalize(text));
+}
+
+std::vector<std::string> RawTokens(std::string_view text) {
+  return SplitWhitespace(text);
+}
+
+std::vector<std::string> CharNgrams(std::string_view text, int n) {
+  std::string normalized = Normalize(text);
+  std::vector<std::string> grams;
+  if (normalized.empty() || n <= 0) return grams;
+  std::string padded;
+  padded.reserve(normalized.size() + 2);
+  padded.push_back('#');
+  padded += normalized;
+  padded.push_back('#');
+  if (static_cast<int>(padded.size()) < n) {
+    grams.push_back(padded);
+    return grams;
+  }
+  grams.reserve(padded.size() - n + 1);
+  for (size_t i = 0; i + n <= padded.size(); ++i) {
+    grams.push_back(padded.substr(i, n));
+  }
+  return grams;
+}
+
+bool IsMissing(std::string_view value) {
+  std::string lowered = ToLowerAscii(StripAsciiWhitespace(value));
+  return lowered.empty() || lowered == "nan" || lowered == "null" ||
+         lowered == "n/a" || lowered == "none" || lowered == "-";
+}
+
+bool TryParseNumeric(std::string_view value, double* out) {
+  std::string cleaned;
+  cleaned.reserve(value.size());
+  for (char c : value) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (std::isdigit(u) || c == '.' || c == '-' || c == '+') {
+      cleaned.push_back(c);
+    } else if (c == ',' || c == '$' || c == '%' || std::isspace(u)) {
+      continue;  // strip formatting
+    } else {
+      return false;  // letters etc. -> not numeric
+    }
+  }
+  if (cleaned.empty()) return false;
+  return ParseDouble(cleaned, out);
+}
+
+}  // namespace certa::text

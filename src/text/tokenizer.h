@@ -1,0 +1,41 @@
+#ifndef CERTA_TEXT_TOKENIZER_H_
+#define CERTA_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace certa::text {
+
+/// Normalizes raw attribute text: ASCII lower-casing and mapping
+/// punctuation to spaces (digits, letters, '.', '%' and '-' inside tokens
+/// are preserved so model numbers like "dav-is50" and "5.1" survive).
+std::string Normalize(std::string_view text);
+
+/// Splits normalized text into word tokens (whitespace separated).
+/// `Tokenize(raw)` == `SplitWhitespace(Normalize(raw))`.
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// Splits raw text on whitespace only, without normalization. This is
+/// the paper's definition of an attribute value as "a sequence of tokens
+/// (strings separated by white space)" used by the perturbation
+/// operators, which must preserve original casing/punctuation.
+std::vector<std::string> RawTokens(std::string_view text);
+
+/// Character n-grams of the (normalized) text, including a leading and
+/// trailing boundary marker '#'. Returns an empty vector when the text
+/// normalizes to nothing.
+std::vector<std::string> CharNgrams(std::string_view text, int n);
+
+/// True when the value should be treated as missing (empty, "nan",
+/// "null", "n/a" after normalization). The benchmark datasets use "NaN"
+/// for missing prices; models and similarity measures skip them.
+bool IsMissing(std::string_view value);
+
+/// Attempts to interpret the value as a number (e.g., a price or an ABV
+/// percentage); tolerates currency symbols, '%' and thousands commas.
+bool TryParseNumeric(std::string_view value, double* out);
+
+}  // namespace certa::text
+
+#endif  // CERTA_TEXT_TOKENIZER_H_

@@ -1,0 +1,197 @@
+#include "util/archive.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_utils.h"
+
+namespace certa {
+namespace {
+
+std::string EscapeSpaces(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == ' ') {
+      out += "\\x20";
+    } else if (c == '\n') {
+      out += "\\x0a";
+    } else if (c == '\\') {
+      out += "\\\\";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string UnescapeSpaces(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\') {
+      out.push_back(text[i]);
+      continue;
+    }
+    if (text.compare(i, 4, "\\x20") == 0) {
+      out.push_back(' ');
+      i += 3;
+    } else if (text.compare(i, 4, "\\x0a") == 0) {
+      out.push_back('\n');
+      i += 3;
+    } else if (text.compare(i, 2, "\\\\") == 0) {
+      out.push_back('\\');
+      i += 1;
+    } else {
+      out.push_back(text[i]);
+    }
+  }
+  return out;
+}
+
+std::string FormatExact(double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+void TextArchive::PutString(const std::string& key,
+                            const std::string& value) {
+  strings_[key] = value;
+}
+
+void TextArchive::PutInt(const std::string& key, long long value) {
+  ints_[key] = value;
+}
+
+void TextArchive::PutDouble(const std::string& key, double value) {
+  doubles_[key] = value;
+}
+
+void TextArchive::PutVector(const std::string& key,
+                            const std::vector<double>& value) {
+  vectors_[key] = value;
+}
+
+std::string TextArchive::Serialize() const {
+  std::string out;
+  auto emit = [&out](char tag, const std::string& key,
+                     const std::string& value) {
+    out.push_back(tag);
+    out.push_back(' ');
+    out.append(EscapeSpaces(key));
+    out.push_back(' ');
+    out.append(value);
+    out.push_back('\n');
+  };
+  for (const auto& [key, value] : strings_) {
+    emit('s', key, EscapeSpaces(value));
+  }
+  for (const auto& [key, value] : ints_) {
+    emit('i', key, std::to_string(value));
+  }
+  for (const auto& [key, value] : doubles_) {
+    emit('d', key, FormatExact(value));
+  }
+  for (const auto& [key, value] : vectors_) {
+    std::string row = std::to_string(value.size());
+    for (double x : value) {
+      row.push_back(' ');
+      row.append(FormatExact(x));
+    }
+    emit('v', key, row);
+  }
+  return out;
+}
+
+bool TextArchive::SaveToFile(const std::string& path) const {
+  std::ofstream output(path, std::ios::binary);
+  if (!output) return false;
+  output << Serialize();
+  return output.good();
+}
+
+bool TextArchive::Parse(const std::string& text, TextArchive* archive) {
+  TextArchive parsed;
+  for (const std::string& line : Split(text, '\n')) {
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitWhitespace(line);
+    if (fields.size() < 3) return false;
+    const std::string& tag = fields[0];
+    std::string key = UnescapeSpaces(fields[1]);
+    if (tag == "s") {
+      parsed.strings_[key] = UnescapeSpaces(fields[2]);
+    } else if (tag == "i") {
+      double value = 0.0;
+      if (!ParseDouble(fields[2], &value)) return false;
+      parsed.ints_[key] = static_cast<long long>(value);
+    } else if (tag == "d") {
+      double value = 0.0;
+      if (!ParseDouble(fields[2], &value)) return false;
+      parsed.doubles_[key] = value;
+    } else if (tag == "v") {
+      double count = 0.0;
+      if (!ParseDouble(fields[2], &count)) return false;
+      size_t n = static_cast<size_t>(count);
+      if (fields.size() != 3 + n) return false;
+      std::vector<double> values(n, 0.0);
+      for (size_t i = 0; i < n; ++i) {
+        if (!ParseDouble(fields[3 + i], &values[i])) return false;
+      }
+      parsed.vectors_[key] = std::move(values);
+    } else {
+      return false;
+    }
+  }
+  *archive = std::move(parsed);
+  return true;
+}
+
+bool TextArchive::LoadFromFile(const std::string& path,
+                               TextArchive* archive) {
+  std::ifstream input(path, std::ios::binary);
+  if (!input) return false;
+  std::ostringstream buffer;
+  buffer << input.rdbuf();
+  return Parse(buffer.str(), archive);
+}
+
+bool TextArchive::GetString(const std::string& key,
+                            std::string* value) const {
+  auto it = strings_.find(key);
+  if (it == strings_.end()) return false;
+  *value = it->second;
+  return true;
+}
+
+bool TextArchive::GetInt(const std::string& key, long long* value) const {
+  auto it = ints_.find(key);
+  if (it == ints_.end()) return false;
+  *value = it->second;
+  return true;
+}
+
+bool TextArchive::GetDouble(const std::string& key, double* value) const {
+  auto it = doubles_.find(key);
+  if (it == doubles_.end()) return false;
+  *value = it->second;
+  return true;
+}
+
+bool TextArchive::GetVector(const std::string& key,
+                            std::vector<double>* value) const {
+  auto it = vectors_.find(key);
+  if (it == vectors_.end()) return false;
+  *value = it->second;
+  return true;
+}
+
+bool TextArchive::Has(const std::string& key) const {
+  return strings_.count(key) > 0 || ints_.count(key) > 0 ||
+         doubles_.count(key) > 0 || vectors_.count(key) > 0;
+}
+
+}  // namespace certa

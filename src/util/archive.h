@@ -1,0 +1,60 @@
+#ifndef CERTA_UTIL_ARCHIVE_H_
+#define CERTA_UTIL_ARCHIVE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace certa {
+
+/// Simple line-oriented key-value archive used to persist trained
+/// models. Human-inspectable, stable across platforms, no external
+/// dependencies. Format, one entry per line:
+///   s <key> <string-with-\x20-escapes>
+///   i <key> <integer>
+///   d <key> <double>
+///   v <key> <n> <x1> <x2> ... <xn>
+class TextArchive {
+ public:
+  TextArchive() = default;
+
+  // -- writing --
+  void PutString(const std::string& key, const std::string& value);
+  void PutInt(const std::string& key, long long value);
+  void PutDouble(const std::string& key, double value);
+  void PutVector(const std::string& key, const std::vector<double>& value);
+
+  /// Serializes all entries (sorted by key, so output is canonical).
+  std::string Serialize() const;
+
+  /// Writes Serialize() to a file; false on I/O error.
+  bool SaveToFile(const std::string& path) const;
+
+  // -- reading --
+  /// Parses a serialized archive; false on any malformed line.
+  static bool Parse(const std::string& text, TextArchive* archive);
+
+  /// Reads and parses a file.
+  static bool LoadFromFile(const std::string& path, TextArchive* archive);
+
+  bool GetString(const std::string& key, std::string* value) const;
+  bool GetInt(const std::string& key, long long* value) const;
+  bool GetDouble(const std::string& key, double* value) const;
+  bool GetVector(const std::string& key, std::vector<double>* value) const;
+
+  bool Has(const std::string& key) const;
+  size_t size() const {
+    return strings_.size() + ints_.size() + doubles_.size() +
+           vectors_.size();
+  }
+
+ private:
+  std::map<std::string, std::string> strings_;
+  std::map<std::string, long long> ints_;
+  std::map<std::string, double> doubles_;
+  std::map<std::string, std::vector<double>> vectors_;
+};
+
+}  // namespace certa
+
+#endif  // CERTA_UTIL_ARCHIVE_H_

@@ -1,0 +1,110 @@
+#include "util/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace certa {
+
+void JsonWriter::MaybeComma() {
+  if (needs_comma_) out_.push_back(',');
+}
+
+void JsonWriter::AppendEscaped(std::string_view text) {
+  out_.push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out_ += buffer;
+        } else {
+          out_.push_back(c);
+        }
+    }
+  }
+  out_.push_back('"');
+}
+
+void JsonWriter::BeginObject() {
+  MaybeComma();
+  out_.push_back('{');
+  needs_comma_ = false;
+}
+
+void JsonWriter::EndObject() {
+  out_.push_back('}');
+  needs_comma_ = true;
+}
+
+void JsonWriter::BeginArray() {
+  MaybeComma();
+  out_.push_back('[');
+  needs_comma_ = false;
+}
+
+void JsonWriter::EndArray() {
+  out_.push_back(']');
+  needs_comma_ = true;
+}
+
+void JsonWriter::Key(std::string_view key) {
+  MaybeComma();
+  AppendEscaped(key);
+  out_.push_back(':');
+  needs_comma_ = false;
+}
+
+void JsonWriter::String(std::string_view value) {
+  MaybeComma();
+  AppendEscaped(value);
+  needs_comma_ = true;
+}
+
+void JsonWriter::Number(double value) {
+  MaybeComma();
+  if (!std::isfinite(value)) {
+    out_ += "null";  // JSON has no NaN/Inf
+  } else {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+    out_ += buffer;
+  }
+  needs_comma_ = true;
+}
+
+void JsonWriter::Int(long long value) {
+  MaybeComma();
+  out_ += std::to_string(value);
+  needs_comma_ = true;
+}
+
+void JsonWriter::Bool(bool value) {
+  MaybeComma();
+  out_ += value ? "true" : "false";
+  needs_comma_ = true;
+}
+
+void JsonWriter::Null() {
+  MaybeComma();
+  out_ += "null";
+  needs_comma_ = true;
+}
+
+}  // namespace certa

@@ -1,0 +1,56 @@
+#ifndef CERTA_UTIL_JSON_WRITER_H_
+#define CERTA_UTIL_JSON_WRITER_H_
+
+#include <string>
+#include <string_view>
+
+namespace certa {
+
+/// Minimal streaming JSON writer: objects, arrays, scalar values, with
+/// correct string escaping. Enough for exporting explanations to other
+/// tools; intentionally not a parser.
+///
+///   JsonWriter json;
+///   json.BeginObject();
+///   json.Key("score");
+///   json.Number(0.93);
+///   json.Key("tags");
+///   json.BeginArray();
+///   json.String("match");
+///   json.EndArray();
+///   json.EndObject();
+///   json.str();  // {"score":0.93,"tags":["match"]}
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Object key; must be followed by exactly one value.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Number(double value);
+  void Int(long long value);
+  void Bool(bool value);
+  void Null();
+
+  /// The serialized document so far.
+  const std::string& str() const { return out_; }
+
+ private:
+  void MaybeComma();
+  void AppendEscaped(std::string_view text);
+
+  std::string out_;
+  /// Whether a comma is needed before the next element at the current
+  /// nesting position.
+  bool needs_comma_ = false;
+};
+
+}  // namespace certa
+
+#endif  // CERTA_UTIL_JSON_WRITER_H_

@@ -1,0 +1,71 @@
+#ifndef CERTA_UTIL_LOGGING_H_
+#define CERTA_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace certa {
+
+/// Severity levels for the lightweight logging facility.
+enum class LogSeverity {
+  kInfo = 0,
+  kWarning = 1,
+  kError = 2,
+  kFatal = 3,
+};
+
+namespace internal_logging {
+
+/// Stream-style message collector. Flushes on destruction; aborts the
+/// process for kFatal messages (used by the CHECK macros below).
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+/// Returns the minimum severity that is actually emitted. Controlled by
+/// SetMinLogSeverity(); defaults to kInfo.
+LogSeverity MinLogSeverity();
+
+}  // namespace internal_logging
+
+/// Raises the logging threshold, e.g., to silence kInfo chatter in tests.
+void SetMinLogSeverity(LogSeverity severity);
+
+}  // namespace certa
+
+#define CERTA_LOG(severity)                                      \
+  ::certa::internal_logging::LogMessage(                         \
+      ::certa::LogSeverity::k##severity, __FILE__, __LINE__)     \
+      .stream()
+
+/// CHECK aborts with a diagnostic when `condition` is false. Used for
+/// programmer errors and broken invariants; never for recoverable input
+/// validation (library code returns std::optional/bool for those).
+#define CERTA_CHECK(condition)                                    \
+  if (!(condition))                                               \
+  ::certa::internal_logging::LogMessage(                          \
+      ::certa::LogSeverity::kFatal, __FILE__, __LINE__)           \
+          .stream()                                               \
+      << "Check failed: " #condition " "
+
+#define CERTA_CHECK_EQ(a, b) CERTA_CHECK((a) == (b))
+#define CERTA_CHECK_NE(a, b) CERTA_CHECK((a) != (b))
+#define CERTA_CHECK_LT(a, b) CERTA_CHECK((a) < (b))
+#define CERTA_CHECK_LE(a, b) CERTA_CHECK((a) <= (b))
+#define CERTA_CHECK_GT(a, b) CERTA_CHECK((a) > (b))
+#define CERTA_CHECK_GE(a, b) CERTA_CHECK((a) >= (b))
+
+#endif  // CERTA_UTIL_LOGGING_H_

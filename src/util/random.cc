@@ -1,0 +1,129 @@
+#include "util/random.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace certa {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = SplitMix64(&sm);
+  }
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformUint64(uint64_t bound) {
+  CERTA_CHECK_GT(bound, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int Rng::UniformInt(int lo, int hi) {
+  CERTA_CHECK_LE(lo, hi);
+  return lo + static_cast<int>(UniformUint64(
+                  static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1));
+}
+
+double Rng::UniformDouble() {
+  // 53 high-quality bits -> [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = UniformDouble();
+  double u2 = UniformDouble();
+  while (u1 <= 1e-300) u1 = UniformDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_gaussian_ = radius * std::sin(angle);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+size_t Rng::Index(size_t size) {
+  CERTA_CHECK_GT(size, 0u);
+  return static_cast<size_t>(UniformUint64(size));
+}
+
+std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
+  std::vector<size_t> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = i;
+  if (k >= n) {
+    Shuffle(&all);
+    return all;
+  }
+  // Partial Fisher-Yates: the first k positions become the sample.
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + static_cast<size_t>(UniformUint64(n - i));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  CERTA_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    CERTA_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  if (total <= 0.0) return Index(weights.size());
+  double target = UniformDouble() * total;
+  double cumulative = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cumulative += weights[i];
+    if (target < cumulative) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+}  // namespace certa

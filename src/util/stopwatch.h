@@ -1,0 +1,31 @@
+#ifndef CERTA_UTIL_STOPWATCH_H_
+#define CERTA_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace certa {
+
+/// Wall-clock stopwatch for coarse experiment timing.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace certa
+
+#endif  // CERTA_UTIL_STOPWATCH_H_

@@ -1,0 +1,42 @@
+#ifndef CERTA_UTIL_STRING_UTILS_H_
+#define CERTA_UTIL_STRING_UTILS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace certa {
+
+/// Lower-cases ASCII characters; leaves other bytes untouched.
+std::string ToLowerAscii(std::string_view text);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view text);
+
+/// Splits on a single-character delimiter. Consecutive delimiters yield
+/// empty fields; an empty input yields a single empty field.
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+/// Splits on runs of ASCII whitespace, never yielding empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// True when `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// True when `text` ends with `suffix`.
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Formats a double with the given number of decimal places (no
+/// scientific notation); used by the experiment table printers.
+std::string FormatDouble(double value, int decimals);
+
+/// Parses a double; returns false on any trailing garbage or empty input.
+bool ParseDouble(std::string_view text, double* out);
+
+}  // namespace certa
+
+#endif  // CERTA_UTIL_STRING_UTILS_H_

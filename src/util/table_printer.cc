@@ -1,0 +1,58 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace certa {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  CERTA_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  CERTA_CHECK_EQ(cells.size(), header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddRow(const std::string& label,
+                          const std::vector<double>& values, int decimals) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(FormatDouble(v, decimals));
+  AddRow(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c];
+      os << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  print_row(header_);
+  os << "|";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void PrintBanner(std::ostream& os, const std::string& title) {
+  os << "\n=== " << title << " ===\n";
+}
+
+}  // namespace certa

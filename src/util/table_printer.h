@@ -1,0 +1,44 @@
+#ifndef CERTA_UTIL_TABLE_PRINTER_H_
+#define CERTA_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace certa {
+
+/// Renders aligned ASCII tables; used by every experiment bench to print
+/// the paper's tables in a uniform, diffable format.
+///
+///   TablePrinter printer({"Dataset", "CERTA", "SHAP"});
+///   printer.AddRow({"AB", "0.006", "21.49"});
+///   printer.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles to `decimals` places; the first cell
+  /// stays a label.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int decimals);
+
+  /// Writes the table, column-aligned, with a header separator.
+  void Print(std::ostream& os) const;
+
+  /// Number of data rows added so far.
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner (experiment id + description) before a table.
+void PrintBanner(std::ostream& os, const std::string& title);
+
+}  // namespace certa
+
+#endif  // CERTA_UTIL_TABLE_PRINTER_H_

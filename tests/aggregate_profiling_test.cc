@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "data/profiling.h"
+#include "explain/aggregate.h"
+#include "test_util.h"
+#include "text/tokenizer.h"
+
+namespace certa {
+namespace {
+
+using certa::testing::FakeMatcher;
+using certa::testing::MakeRecord;
+using certa::testing::MakeTable;
+
+// --- aggregate explanations ---------------------------------------------
+
+struct AggregateFixture {
+  data::Table left = MakeTable("U", {"key", "noise"},
+                               {{"k1", "n"}, {"k2", "n"}});
+  data::Table right = MakeTable("V", {"key", "noise"},
+                                {{"k1", "m"}, {"k9", "m"}});
+  FakeMatcher model{[](const data::Record& u, const data::Record& v) {
+    return u.value(0) == v.value(0) ? 0.9 : 0.1;
+  }};
+  explain::ExplainContext context{&model, &left, &right};
+  std::vector<data::LabeledPair> pairs = {
+      {0, 0, 1},   // predicted match
+      {0, 1, 0},   // predicted non-match
+      {1, 1, 0}};  // predicted non-match
+
+  std::vector<explain::SaliencyExplanation> Explanations() const {
+    std::vector<explain::SaliencyExplanation> explanations;
+    // Match explanation blames key=0.8; non-match ones blame key=0.4
+    // and key=0.6 respectively.
+    double key_scores[3] = {0.8, 0.4, 0.6};
+    for (double score : key_scores) {
+      explain::SaliencyExplanation explanation(2, 2);
+      explanation.set_score({data::Side::kLeft, 0}, score);
+      explanation.set_score({data::Side::kLeft, 1}, 0.1);
+      explanations.push_back(explanation);
+    }
+    return explanations;
+  }
+};
+
+TEST(AggregateTest, ClassConditionalMeans) {
+  AggregateFixture fixture;
+  explain::GlobalExplanation global = explain::AggregateExplanations(
+      fixture.context, fixture.pairs, fixture.left, fixture.right,
+      fixture.Explanations());
+  EXPECT_EQ(global.match_count, 1);
+  EXPECT_EQ(global.non_match_count, 2);
+  EXPECT_DOUBLE_EQ(global.mean_match.score({data::Side::kLeft, 0}), 0.8);
+  EXPECT_DOUBLE_EQ(global.mean_non_match.score({data::Side::kLeft, 0}),
+                   0.5);  // (0.4 + 0.6) / 2
+  EXPECT_DOUBLE_EQ(global.mean_non_match.score({data::Side::kLeft, 1}),
+                   0.1);
+}
+
+TEST(AggregateTest, RepresentativesAreValidIndices) {
+  AggregateFixture fixture;
+  explain::GlobalExplanation global = explain::AggregateExplanations(
+      fixture.context, fixture.pairs, fixture.left, fixture.right,
+      fixture.Explanations(), /*num_representatives=*/2);
+  ASSERT_EQ(global.representative_pairs.size(), 2u);
+  for (int index : global.representative_pairs) {
+    EXPECT_GE(index, 0);
+    EXPECT_LT(index, 3);
+  }
+  // The most central explanation (key=0.6 sits between 0.4 and 0.8)
+  // is picked first.
+  EXPECT_EQ(global.representative_pairs[0], 2);
+}
+
+TEST(AggregateTest, RenderContainsSections) {
+  AggregateFixture fixture;
+  explain::GlobalExplanation global = explain::AggregateExplanations(
+      fixture.context, fixture.pairs, fixture.left, fixture.right,
+      fixture.Explanations());
+  std::string text = explain::RenderGlobalExplanation(
+      global, fixture.left.schema(), fixture.right.schema());
+  EXPECT_NE(text.find("predicted Match"), std::string::npos);
+  EXPECT_NE(text.find("predicted Non-Match"), std::string::npos);
+  EXPECT_NE(text.find("L_key"), std::string::npos);
+  EXPECT_NE(text.find("representative pairs"), std::string::npos);
+}
+
+TEST(AggregateTest, EmptyPairsProduceEmptyGlobal) {
+  AggregateFixture fixture;
+  explain::GlobalExplanation global = explain::AggregateExplanations(
+      fixture.context, {}, fixture.left, fixture.right, {});
+  EXPECT_EQ(global.match_count, 0);
+  EXPECT_EQ(global.non_match_count, 0);
+  EXPECT_TRUE(global.representative_pairs.empty());
+}
+
+// --- dataset profiling ------------------------------------------------------
+
+TEST(ProfilingTest, ComputesPerAttributeStatistics) {
+  data::Table table = MakeTable("T", {"name", "price"},
+                                {{"sony bravia tv", "99.99"},
+                                 {"altec lansing", "NaN"},
+                                 {"sony bravia tv", "42"},
+                                 {"bose dock", ""}});
+  std::vector<data::AttributeProfile> profiles =
+      data::ProfileTable(table);
+  ASSERT_EQ(profiles.size(), 2u);
+  // name: never missing, 3 distinct of 4, mean 2.5 tokens, no numbers.
+  EXPECT_DOUBLE_EQ(profiles[0].missing_rate, 0.0);
+  EXPECT_DOUBLE_EQ(profiles[0].mean_tokens, 2.5);
+  EXPECT_DOUBLE_EQ(profiles[0].distinct_ratio, 0.75);
+  EXPECT_DOUBLE_EQ(profiles[0].numeric_rate, 0.0);
+  // price: half missing, all numeric among present.
+  EXPECT_DOUBLE_EQ(profiles[1].missing_rate, 0.5);
+  EXPECT_DOUBLE_EQ(profiles[1].numeric_rate, 1.0);
+  EXPECT_DOUBLE_EQ(profiles[1].distinct_ratio, 1.0);
+}
+
+TEST(ProfilingTest, EmptyTable) {
+  data::Table table("T", data::Schema({"a"}));
+  std::vector<data::AttributeProfile> profiles =
+      data::ProfileTable(table);
+  ASSERT_EQ(profiles.size(), 1u);
+  EXPECT_DOUBLE_EQ(profiles[0].missing_rate, 0.0);
+  EXPECT_DOUBLE_EQ(profiles[0].mean_tokens, 0.0);
+}
+
+TEST(ProfilingTest, RenderIsTabular) {
+  data::Table table = MakeTable("T", {"a"}, {{"x"}});
+  std::string text = data::RenderProfiles(data::ProfileTable(table));
+  EXPECT_NE(text.find("Attribute"), std::string::npos);
+  EXPECT_NE(text.find("missing"), std::string::npos);
+  EXPECT_NE(text.find("| a"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace certa

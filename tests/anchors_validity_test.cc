@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "eval/validity.h"
+#include "explain/anchors.h"
+#include "test_util.h"
+#include "text/tokenizer.h"
+
+namespace certa {
+namespace {
+
+using certa::testing::FakeMatcher;
+using certa::testing::MakeRecord;
+using certa::testing::MakeTable;
+
+/// Model: match iff left attribute 0 equals right attribute 0 and both
+/// are present; the other attributes are noise.
+FakeMatcher::ScoreFn KeyModel() {
+  return [](const data::Record& u, const data::Record& v) {
+    return (!text::IsMissing(u.value(0)) && u.value(0) == v.value(0))
+               ? 0.9
+               : 0.1;
+  };
+}
+
+struct Fixture {
+  data::Table left = MakeTable("U", {"key", "noise"},
+                               {{"k1", "n1"}, {"k2", "n2"}, {"k3", "n3"}});
+  data::Table right = MakeTable("V", {"key", "noise"},
+                                {{"k1", "m1"}, {"k2", "m2"}, {"k9", "m3"}});
+  FakeMatcher model{KeyModel()};
+  explain::ExplainContext context{&model, &left, &right};
+};
+
+TEST(AnchorsTest, AnchorsTheDecisiveAttributes) {
+  Fixture fixture;
+  explain::AnchorsExplainer anchors(fixture.context);
+  // (k1, k1) is a Match: stability requires holding BOTH key attributes
+  // (perturbing either breaks equality).
+  explain::AnchorExplanation anchor = anchors.ExplainAnchor(
+      fixture.left.record(0), fixture.right.record(0));
+  EXPECT_GE(anchor.precision, 0.9);
+  ASSERT_GE(anchor.anchor.size(), 2u);
+  bool has_left_key = false;
+  bool has_right_key = false;
+  for (const explain::AttributeRef& ref : anchor.anchor) {
+    if (ref.index == 0 && ref.side == data::Side::kLeft) {
+      has_left_key = true;
+    }
+    if (ref.index == 0 && ref.side == data::Side::kRight) {
+      has_right_key = true;
+    }
+  }
+  EXPECT_TRUE(has_left_key);
+  EXPECT_TRUE(has_right_key);
+}
+
+TEST(AnchorsTest, StablePredictionNeedsNoAnchor) {
+  // A constant model is already maximally stable: the anchor is empty.
+  data::Table left = MakeTable("U", {"a"}, {{"x"}});
+  data::Table right = MakeTable("V", {"a"}, {{"y"}});
+  FakeMatcher model(
+      [](const data::Record&, const data::Record&) { return 0.9; });
+  explain::ExplainContext context{&model, &left, &right};
+  explain::AnchorsExplainer anchors(context);
+  explain::AnchorExplanation anchor =
+      anchors.ExplainAnchor(left.record(0), right.record(0));
+  EXPECT_TRUE(anchor.anchor.empty());
+  EXPECT_DOUBLE_EQ(anchor.precision, 1.0);
+}
+
+TEST(AnchorsTest, SaliencyAdapterScoresByInsertionOrder) {
+  Fixture fixture;
+  explain::AnchorsExplainer anchors(fixture.context);
+  explain::SaliencyExplanation saliency = anchors.ExplainSaliency(
+      fixture.left.record(0), fixture.right.record(0));
+  // The anchored attributes outrank non-anchored ones.
+  auto ranked = saliency.Ranked();
+  EXPECT_EQ(ranked[0].index, 0);  // a key attribute comes first
+  EXPECT_GT(saliency.score(ranked[0]), 0.0);
+  EXPECT_EQ(anchors.name(), "Anchors");
+}
+
+TEST(AnchorsTest, Deterministic) {
+  Fixture fixture;
+  explain::AnchorsExplainer anchors(fixture.context);
+  auto a = anchors.ExplainAnchor(fixture.left.record(0),
+                                 fixture.right.record(0));
+  auto b = anchors.ExplainAnchor(fixture.left.record(0),
+                                 fixture.right.record(0));
+  EXPECT_EQ(a.anchor.size(), b.anchor.size());
+  EXPECT_DOUBLE_EQ(a.precision, b.precision);
+}
+
+TEST(ValidityTest, CountsActualFlips) {
+  Fixture fixture;
+  const data::Record& u = fixture.left.record(0);
+  const data::Record& v = fixture.right.record(0);  // match
+
+  explain::CounterfactualExample flipping;
+  flipping.left = MakeRecord(0, {"zzz", "n1"});
+  flipping.right = v;
+  explain::CounterfactualExample not_flipping;
+  not_flipping.left = u;
+  not_flipping.right = v;
+
+  EXPECT_DOUBLE_EQ(
+      eval::Validity(fixture.model, {flipping, not_flipping}, u, v), 0.5);
+  EXPECT_DOUBLE_EQ(eval::Validity(fixture.model, {flipping}, u, v), 1.0);
+  EXPECT_DOUBLE_EQ(eval::Validity(fixture.model, {}, u, v), 1.0);
+}
+
+TEST(ValidityAggregatorTest, PoolsAcrossInputs) {
+  Fixture fixture;
+  const data::Record& u = fixture.left.record(0);
+  const data::Record& v = fixture.right.record(0);
+  explain::CounterfactualExample flipping;
+  flipping.left = MakeRecord(0, {"zzz", "n1"});
+  flipping.right = v;
+  explain::CounterfactualExample not_flipping;
+  not_flipping.left = u;
+  not_flipping.right = v;
+
+  eval::ValidityAggregator aggregator;
+  aggregator.Add(fixture.model, {flipping}, u, v);
+  aggregator.Add(fixture.model, {not_flipping, not_flipping}, u, v);
+  EXPECT_EQ(aggregator.example_count(), 3);
+  EXPECT_NEAR(aggregator.Result(), 1.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace certa

@@ -1,0 +1,109 @@
+#include "data/blocking.h"
+
+#include <gtest/gtest.h>
+
+#include "data/benchmarks.h"
+#include "test_util.h"
+
+namespace certa::data {
+namespace {
+
+using certa::testing::MakeRecord;
+using certa::testing::MakeTable;
+
+TEST(TokenBlockerTest, FindsSharedTokenCandidates) {
+  Table right = MakeTable("V", {"name"},
+                          {{"sony bravia tv"},
+                           {"altec speaker"},
+                           {"sony headphones"},
+                           {"unrelated widget"}});
+  BlockingOptions options;
+  options.max_token_frequency = 0.6;  // keep "sony" (df = 2/4) indexed
+  TokenBlocker blocker(right, options);
+  std::vector<int> candidates =
+      blocker.Candidates(MakeRecord(0, {"sony bravia"}));
+  // Records 0 (sony+bravia) and 2 (sony) share tokens; 0 ranks first.
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_EQ(candidates[0], 0);
+  EXPECT_EQ(candidates[1], 2);
+}
+
+TEST(TokenBlockerTest, NoSharedTokensNoCandidates) {
+  Table right = MakeTable("V", {"name"}, {{"alpha"}, {"beta"}});
+  TokenBlocker blocker(right);
+  EXPECT_TRUE(blocker.Candidates(MakeRecord(0, {"gamma delta"})).empty());
+}
+
+TEST(TokenBlockerTest, StopTokenPruning) {
+  // "common" appears in every record and exceeds max_token_frequency;
+  // it must not generate candidates by itself.
+  Table right = MakeTable("V", {"name"},
+                          {{"common a"},
+                           {"common b"},
+                           {"common c"},
+                           {"common d"},
+                           {"common e"}});
+  BlockingOptions options;
+  options.max_token_frequency = 0.5;
+  TokenBlocker blocker(right, options);
+  EXPECT_TRUE(blocker.Candidates(MakeRecord(0, {"common zzz"})).empty());
+  // A rare token still works.
+  EXPECT_EQ(blocker.Candidates(MakeRecord(0, {"b"})).size(), 1u);
+}
+
+TEST(TokenBlockerTest, CapsCandidatesPerRecord) {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 30; ++i) {
+    rows.push_back({"shared token" + std::to_string(i)});
+  }
+  Table right = MakeTable("V", {"name"}, rows);
+  BlockingOptions options;
+  options.max_candidates_per_record = 5;
+  options.max_token_frequency = 1.1;  // keep even the shared token
+  TokenBlocker blocker(right, options);
+  EXPECT_EQ(blocker.Candidates(MakeRecord(0, {"shared"})).size(), 5u);
+}
+
+TEST(TokenBlockerTest, MinSharedTokensThreshold) {
+  Table right = MakeTable("V", {"name"},
+                          {{"one two three"}, {"one zzz qqq"}});
+  BlockingOptions options;
+  options.min_shared_tokens = 2;
+  options.max_token_frequency = 1.1;
+  TokenBlocker blocker(right, options);
+  std::vector<int> candidates =
+      blocker.Candidates(MakeRecord(0, {"one two"}));
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0], 0);
+}
+
+TEST(TokenBlockerTest, MissingValuesIgnored) {
+  Table right = MakeTable("V", {"a", "b"}, {{"NaN", "match me"}});
+  TokenBlocker blocker(right);
+  EXPECT_TRUE(blocker.Candidates(MakeRecord(0, {"nan", "nothing"})).empty());
+  EXPECT_EQ(blocker.Candidates(MakeRecord(0, {"x", "match"})).size(), 1u);
+}
+
+TEST(BlockingRecallTest, CountsRecoveredMatches) {
+  std::vector<std::pair<int, int>> candidates = {{0, 0}, {1, 1}, {2, 9}};
+  std::vector<LabeledPair> truth = {
+      {0, 0, 1}, {1, 1, 1}, {2, 2, 1}, {3, 3, 0}};
+  EXPECT_NEAR(BlockingRecall(candidates, truth), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(BlockingRecall({}, {{0, 0, 0}}), 1.0);  // no matches
+}
+
+TEST(BlockingIntegrationTest, HighRecallOnSyntheticBenchmark) {
+  Dataset dataset = MakeBenchmark("AB");
+  BlockingOptions options;
+  options.max_candidates_per_record = 15;
+  auto candidates = BlockAll(dataset.left, dataset.right, options);
+  // Far fewer candidates than the cross product, with high match recall.
+  EXPECT_LT(candidates.size(),
+            static_cast<size_t>(dataset.left.size()) *
+                static_cast<size_t>(dataset.right.size()) / 4);
+  double recall = BlockingRecall(candidates, dataset.test);
+  EXPECT_GT(recall, 0.85);
+}
+
+}  // namespace
+}  // namespace certa::data

@@ -1,0 +1,260 @@
+#include "core/certa_explainer.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "text/tokenizer.h"
+
+namespace certa::core {
+namespace {
+
+using certa::testing::FakeMatcher;
+using certa::testing::MakeRecord;
+using certa::testing::MakeTable;
+
+/// Reconstructs the paper's Sect. 4 worked example: the pair <u1, v1>
+/// is predicted Match; four left open triangles with supports w1..w4
+/// yield the four lattices of Fig. 9. The expected probabilities are
+/// φ_N = 15/19, φ_P = 11/19, χ_{N} = 3/4, χ_{N,D} = χ_{N,P} = 1.
+///
+/// (The paper states φ_D = 13/19, but its own flip inventory sums to
+/// 12 appearances of D — 19 total flips contribute 15+12+11 = 38 = the
+/// sum of flipped-set sizes — so 12/19 is the arithmetically consistent
+/// value this implementation produces.)
+class PaperExampleFixture : public ::testing::Test {
+ protected:
+  PaperExampleFixture()
+      : left_(MakeTable("U", {"N", "D", "P"},
+                        {{"u_n", "u_d", "u_p"},
+                         {"w1_n", "w1_d", "w1_p"},
+                         {"w2_n", "w2_d", "w2_p"},
+                         {"w3_n", "w3_d", "w3_p"},
+                         {"w4_n", "w4_d", "w4_p"}})),
+        right_(MakeTable("V", {"N", "D", "P"}, {{"v_n", "v_d", "v_p"}})),
+        model_([this](const data::Record& u, const data::Record& v) {
+          return ScorePair(u, v);
+        }),
+        context_{&model_, &left_, &right_} {}
+
+  /// Which support record the perturbed left record draws from, and the
+  /// perturbed attribute set A (bitmask N=1, D=2, P=4).
+  static void Decompose(const data::Record& u, int* support,
+                        uint32_t* mask) {
+    *support = 0;
+    *mask = 0;
+    for (int a = 0; a < 3; ++a) {
+      const std::string& value = u.values[a];
+      if (value.rfind("u_", 0) == 0) continue;  // unperturbed
+      *mask |= 1u << a;
+      ASSERT_TRUE(value.size() >= 3 && value[0] == 'w')
+          << "unexpected value " << value;
+      *support = value[1] - '0';
+    }
+  }
+
+  double ScorePair(const data::Record& u, const data::Record& v) {
+    // Only pairs against the original v are issued in this example.
+    EXPECT_EQ(v.values[0], "v_n");
+    if (u.values[0].rfind("u_", 0) == 0 && u.values[1] == "u_d" &&
+        u.values[2] == "u_p") {
+      return 0.9;  // M(u1, v1) = Match
+    }
+    int support = 0;
+    uint32_t mask = 0;
+    Decompose(u, &support, &mask);
+    if (mask == 0b111u || (mask != 0u && support == 0)) {
+      // Full support record (triangle screening): all w are non-matches
+      // with v.
+      return 0.1;
+    }
+    bool flip = false;
+    switch (support) {
+      case 1:  // Fig. 9(a): {N} and {D} flip.
+        flip = (mask & 0b011u) != 0u;
+        break;
+      case 2:  // Fig. 9(b): {N} flips, and {D,P} flips.
+        flip = (mask & 0b001u) != 0u || (mask & 0b110u) == 0b110u;
+        break;
+      case 3:  // Fig. 9(c): only {N} (and supersets).
+        flip = (mask & 0b001u) != 0u;
+        break;
+      case 4:  // Fig. 9(d): exactly the pairs (and the full set).
+        flip = __builtin_popcount(mask) >= 2;
+        break;
+      default:
+        ADD_FAILURE() << "unknown support " << support;
+    }
+    return flip ? 0.1 : 0.9;
+  }
+
+  data::Table left_;
+  data::Table right_;
+  FakeMatcher model_;
+  explain::ExplainContext context_;
+};
+
+TEST_F(PaperExampleFixture, ReproducesSection4Probabilities) {
+  CertaExplainer::Options options;
+  options.num_triangles = 8;  // 4 left (all of w1..w4) + 4 right (none)
+  options.allow_augmentation = false;
+  CertaExplainer explainer(context_, options);
+  CertaResult result =
+      explainer.Explain(left_.record(0), right_.record(0));
+
+  EXPECT_EQ(result.triangles_used, 4);
+
+  // Saliency: φ_N = 15/19, φ_D = 12/19, φ_P = 11/19 (see fixture note).
+  EXPECT_NEAR(result.saliency.score({data::Side::kLeft, 0}), 15.0 / 19.0,
+              1e-12);
+  EXPECT_NEAR(result.saliency.score({data::Side::kLeft, 1}), 12.0 / 19.0,
+              1e-12);
+  EXPECT_NEAR(result.saliency.score({data::Side::kLeft, 2}), 11.0 / 19.0,
+              1e-12);
+  // No right triangles -> right saliency is zero.
+  for (int a = 0; a < 3; ++a) {
+    EXPECT_DOUBLE_EQ(result.saliency.score({data::Side::kRight, a}), 0.0);
+  }
+
+  // Sufficiency: χ_{N} = 3/4, χ_{D} = 1/4, χ_{N,D} = χ_{N,P} = 1,
+  // χ_{D,P} = 3/4; {P} never flips so it is absent.
+  auto chi = [&](uint32_t mask) {
+    for (size_t i = 0; i < result.set_masks.size(); ++i) {
+      if (result.set_sides[i] == data::Side::kLeft &&
+          result.set_masks[i] == mask) {
+        return result.set_sufficiencies[i];
+      }
+    }
+    return -1.0;
+  };
+  EXPECT_NEAR(chi(0b001), 3.0 / 4.0, 1e-12);
+  EXPECT_NEAR(chi(0b010), 1.0 / 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(chi(0b100), -1.0);
+  EXPECT_NEAR(chi(0b011), 1.0, 1e-12);
+  EXPECT_NEAR(chi(0b101), 1.0, 1e-12);
+  EXPECT_NEAR(chi(0b110), 3.0 / 4.0, 1e-12);
+
+  // A* = {N, D} (χ = 1, two attributes, first in deterministic order);
+  // counterfactuals: one ψ(u, w, {N,D}) per triangle.
+  EXPECT_DOUBLE_EQ(result.best_sufficiency, 1.0);
+  EXPECT_EQ(result.best_side, data::Side::kLeft);
+  EXPECT_EQ(result.best_mask, 0b011u);
+  EXPECT_EQ(result.counterfactuals.size(), 4u);
+  for (const auto& example : result.counterfactuals) {
+    ASSERT_EQ(example.changed_attributes.size(), 2u);
+    EXPECT_EQ(example.changed_attributes[0].index, 0);
+    EXPECT_EQ(example.changed_attributes[1].index, 1);
+    EXPECT_LT(example.score, 0.5);  // every example actually flips
+    EXPECT_DOUBLE_EQ(example.sufficiency, 1.0);
+    // Unchanged attribute stays original.
+    EXPECT_EQ(example.left.values[2], "u_p");
+    EXPECT_EQ(example.right.values, right_.record(0).values);
+  }
+
+  // Lattice bookkeeping: per-triangle performed counts 3+4+4+6 = 17 of
+  // 24 expected.
+  EXPECT_EQ(result.predictions_expected, 24);
+  EXPECT_EQ(result.predictions_performed, 17);
+  EXPECT_EQ(result.predictions_saved, 7);
+}
+
+TEST_F(PaperExampleFixture, AuditFindsNoErrorsOnMonotoneModel) {
+  CertaExplainer::Options options;
+  options.num_triangles = 8;
+  options.allow_augmentation = false;
+  options.audit_inferences = true;
+  CertaExplainer explainer(context_, options);
+  CertaResult result =
+      explainer.Explain(left_.record(0), right_.record(0));
+  EXPECT_EQ(result.inference_errors, 0);
+}
+
+TEST_F(PaperExampleFixture, ExhaustiveModeTestsEverything) {
+  CertaExplainer::Options options;
+  options.num_triangles = 8;
+  options.allow_augmentation = false;
+  options.assume_monotone = false;
+  CertaExplainer explainer(context_, options);
+  CertaResult result =
+      explainer.Explain(left_.record(0), right_.record(0));
+  EXPECT_EQ(result.predictions_performed, 24);
+  EXPECT_EQ(result.predictions_saved, 0);
+  // Flip labelling identical to the monotone run on this monotone model.
+  EXPECT_NEAR(result.saliency.score({data::Side::kLeft, 0}), 15.0 / 19.0,
+              1e-12);
+}
+
+TEST_F(PaperExampleFixture, DeterministicAcrossRuns) {
+  CertaExplainer::Options options;
+  options.num_triangles = 8;
+  options.allow_augmentation = false;
+  CertaExplainer explainer(context_, options);
+  CertaResult a = explainer.Explain(left_.record(0), right_.record(0));
+  CertaResult b = explainer.Explain(left_.record(0), right_.record(0));
+  EXPECT_EQ(a.saliency.Flattened(), b.saliency.Flattened());
+  EXPECT_EQ(a.counterfactuals.size(), b.counterfactuals.size());
+}
+
+TEST(CertaExplainerTest, NoTrianglesYieldsEmptyExplanation) {
+  // A constant model never produces opposite predictions, and the
+  // single-record pools offer no candidates anyway.
+  data::Table left = MakeTable("U", {"a", "b"}, {{"x", "y"}});
+  data::Table right = MakeTable("V", {"a", "b"}, {{"p", "q"}});
+  FakeMatcher model(
+      [](const data::Record&, const data::Record&) { return 0.9; });
+  explain::ExplainContext context{&model, &left, &right};
+  CertaExplainer explainer(context);
+  CertaResult result = explainer.Explain(left.record(0), right.record(0));
+  EXPECT_EQ(result.triangles_used, 0);
+  EXPECT_TRUE(result.counterfactuals.empty());
+  for (double score : result.saliency.Flattened()) {
+    EXPECT_DOUBLE_EQ(score, 0.0);
+  }
+}
+
+TEST(CertaExplainerTest, SaliencyScoresAreProbabilities) {
+  // Random-ish model over small tables: scores must stay in [0, 1].
+  data::Table left = MakeTable(
+      "U", {"a", "b"},
+      {{"k r", "1 2"}, {"m n", "3 4"}, {"o p", "5 6"}, {"q s", "7 8"}});
+  data::Table right = MakeTable(
+      "V", {"a", "b"}, {{"k r", "1 2"}, {"zz", "9"}, {"m p", "4 5"}});
+  FakeMatcher model([](const data::Record& u, const data::Record& v) {
+    // Match iff first attribute shares a token.
+    auto tu = text::RawTokens(u.value(0));
+    auto tv = text::RawTokens(v.value(0));
+    for (const auto& a : tu) {
+      for (const auto& b : tv) {
+        if (a == b) return 0.8;
+      }
+    }
+    return 0.2;
+  });
+  explain::ExplainContext context{&model, &left, &right};
+  CertaExplainer::Options options;
+  options.num_triangles = 10;
+  CertaExplainer explainer(context, options);
+  for (int li = 0; li < left.size(); ++li) {
+    for (int ri = 0; ri < right.size(); ++ri) {
+      CertaResult result =
+          explainer.Explain(left.record(li), right.record(ri));
+      for (double score : result.saliency.Flattened()) {
+        EXPECT_GE(score, 0.0);
+        EXPECT_LE(score, 1.0);
+      }
+      for (size_t s = 0; s < result.set_sufficiencies.size(); ++s) {
+        EXPECT_GE(result.set_sufficiencies[s], 0.0);
+        EXPECT_LE(result.set_sufficiencies[s], 1.0);
+      }
+      // Counterfactual examples produced by CERTA genuinely flip.
+      bool original = model.Score(left.record(li), right.record(ri)) >= 0.5;
+      for (const auto& example : result.counterfactuals) {
+        bool flipped =
+            model.Score(example.left, example.right) >= 0.5;
+        EXPECT_NE(original, flipped);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace certa::core

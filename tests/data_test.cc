@@ -1,0 +1,218 @@
+#include <cstdio>
+#include <fstream>
+#include <filesystem>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "data/csv.h"
+#include "data/dataset.h"
+#include "data/table.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace certa::data {
+namespace {
+
+using certa::testing::MakeRecord;
+using certa::testing::MakeTable;
+
+// --- Schema / Record / Table --------------------------------------------
+
+TEST(SchemaTest, NamesAndLookup) {
+  Schema schema({"name", "price"});
+  EXPECT_EQ(schema.size(), 2);
+  EXPECT_EQ(schema.name(0), "name");
+  EXPECT_EQ(schema.IndexOf("price"), 1);
+  EXPECT_EQ(schema.IndexOf("missing"), -1);
+  EXPECT_EQ(schema, Schema({"name", "price"}));
+}
+
+TEST(SideTest, OppositeAndPrefix) {
+  EXPECT_EQ(Opposite(Side::kLeft), Side::kRight);
+  EXPECT_EQ(Opposite(Side::kRight), Side::kLeft);
+  EXPECT_STREQ(SidePrefix(Side::kLeft), "L");
+  EXPECT_STREQ(SidePrefix(Side::kRight), "R");
+}
+
+TEST(TableTest, AddAndLookup) {
+  Table table = MakeTable("T", {"a", "b"}, {{"x", "y"}, {"p", "q"}});
+  EXPECT_EQ(table.size(), 2);
+  EXPECT_EQ(table.record(1).value(0), "p");
+  ASSERT_NE(table.FindById(0), nullptr);
+  EXPECT_EQ(table.FindById(0)->value(1), "y");
+  EXPECT_EQ(table.FindById(99), nullptr);
+}
+
+TEST(TableTest, DistinctValuesSkipMissing) {
+  Table table = MakeTable("T", {"a", "b"},
+                          {{"x", "NaN"}, {"x", "y"}, {"", "y"}});
+  // Distinct non-missing: {x, y}.
+  EXPECT_EQ(table.CountDistinctValues(), 2);
+}
+
+// --- Dataset / split -------------------------------------------------------
+
+TEST(DatasetTest, CountMatches) {
+  Dataset dataset;
+  dataset.train = {{0, 0, 1}, {0, 1, 0}};
+  dataset.test = {{1, 0, 1}, {1, 1, 1}};
+  EXPECT_EQ(dataset.CountMatches(), 3);
+}
+
+TEST(StratifiedSplitTest, PreservesLabelCounts) {
+  std::vector<LabeledPair> pairs;
+  for (int i = 0; i < 40; ++i) pairs.push_back({i, i, 1});
+  for (int i = 0; i < 60; ++i) pairs.push_back({i, i, 0});
+  Rng rng(5);
+  std::vector<LabeledPair> train;
+  std::vector<LabeledPair> test;
+  StratifiedSplit(pairs, 0.25, &rng, &train, &test);
+  EXPECT_EQ(train.size() + test.size(), 100u);
+  int test_positives = 0;
+  for (const auto& pair : test) test_positives += pair.label;
+  int train_positives = 0;
+  for (const auto& pair : train) train_positives += pair.label;
+  EXPECT_EQ(test_positives, 10);   // 25% of 40
+  EXPECT_EQ(train_positives, 30);
+  EXPECT_EQ(test.size(), 25u);
+}
+
+TEST(StratifiedSplitTest, ZeroTestFraction) {
+  std::vector<LabeledPair> pairs = {{0, 0, 1}, {1, 1, 0}};
+  Rng rng(5);
+  std::vector<LabeledPair> train;
+  std::vector<LabeledPair> test;
+  StratifiedSplit(pairs, 0.0, &rng, &train, &test);
+  EXPECT_EQ(train.size(), 2u);
+  EXPECT_TRUE(test.empty());
+}
+
+// --- CSV -------------------------------------------------------------------
+
+TEST(CsvTest, ParsesSimpleRows) {
+  auto rows = ParseCsv("a,b\n1,2\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvTest, ParsesQuotedFields) {
+  auto rows = ParseCsv("\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), 3u);
+  EXPECT_EQ(rows[0][0], "a,b");
+  EXPECT_EQ(rows[0][1], "say \"hi\"");
+  EXPECT_EQ(rows[0][2], "line\nbreak");
+}
+
+TEST(CsvTest, HandlesCrLfAndMissingTrailingNewline) {
+  auto rows = ParseCsv("a,b\r\nc,d");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvTest, EmptyFields) {
+  auto rows = ParseCsv(",x,\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"", "x", ""}));
+}
+
+TEST(CsvTest, WriteQuotesWhenNeeded) {
+  std::string csv = WriteCsv({{"plain", "with,comma", "with\"quote"}});
+  EXPECT_EQ(csv, "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(CsvTest, RoundtripThroughParse) {
+  std::vector<std::vector<std::string>> rows = {
+      {"a", "b,c", "d\"e", "f\ng"}, {"1", "", "3", "4"}};
+  auto parsed = ParseCsv(WriteCsv(rows));
+  EXPECT_EQ(parsed, rows);
+}
+
+class CsvFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    directory_ = std::filesystem::temp_directory_path() /
+                 ("certa_csv_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(directory_);
+  }
+  void TearDown() override { std::filesystem::remove_all(directory_); }
+  std::filesystem::path directory_;
+};
+
+TEST_F(CsvFileTest, TableRoundtrip) {
+  Table table = MakeTable("A", {"name", "price"},
+                          {{"sony, bravia", "99.99"}, {"altec", "NaN"}});
+  std::string path = (directory_ / "table.csv").string();
+  ASSERT_TRUE(SaveTableCsv(path, table));
+  Table loaded;
+  ASSERT_TRUE(LoadTableCsv(path, "A", &loaded));
+  EXPECT_EQ(loaded.size(), 2);
+  EXPECT_EQ(loaded.schema().names(), table.schema().names());
+  EXPECT_EQ(loaded.record(0).values, table.record(0).values);
+  EXPECT_EQ(loaded.record(1).id, 1);
+}
+
+TEST_F(CsvFileTest, LoadTableRejectsBadHeader) {
+  std::string path = (directory_ / "bad.csv").string();
+  {
+    std::ofstream out(path);
+    out << "name,price\nsony,1\n";  // missing id column
+  }
+  Table loaded;
+  EXPECT_FALSE(LoadTableCsv(path, "A", &loaded));
+}
+
+TEST_F(CsvFileTest, LoadTableRejectsRaggedRows) {
+  std::string path = (directory_ / "ragged.csv").string();
+  {
+    std::ofstream out(path);
+    out << "id,a,b\n0,x\n";  // row arity mismatch
+  }
+  Table loaded;
+  EXPECT_FALSE(LoadTableCsv(path, "A", &loaded));
+}
+
+TEST_F(CsvFileTest, MissingFileFails) {
+  Table loaded;
+  EXPECT_FALSE(LoadTableCsv((directory_ / "nope.csv").string(), "A",
+                            &loaded));
+}
+
+TEST_F(CsvFileTest, DatasetDirectoryRoundtrip) {
+  Dataset dataset;
+  dataset.code = "XY";
+  dataset.full_name = "X-Y";
+  dataset.left = MakeTable("X", {"a"}, {{"u0"}, {"u1"}});
+  dataset.right = MakeTable("Y", {"a"}, {{"v0"}, {"v1"}, {"v2"}});
+  dataset.train = {{0, 0, 1}, {1, 2, 0}};
+  dataset.test = {{1, 1, 1}};
+  ASSERT_TRUE(SaveDatasetDirectory(directory_.string(), dataset));
+  Dataset loaded;
+  ASSERT_TRUE(LoadDatasetDirectory(directory_.string(), "XY", &loaded));
+  EXPECT_EQ(loaded.left.size(), 2);
+  EXPECT_EQ(loaded.right.size(), 3);
+  ASSERT_EQ(loaded.train.size(), 2u);
+  EXPECT_EQ(loaded.train[0].left_index, 0);
+  EXPECT_EQ(loaded.train[0].label, 1);
+  EXPECT_EQ(loaded.train[1].right_index, 2);
+  ASSERT_EQ(loaded.test.size(), 1u);
+  EXPECT_EQ(loaded.test[0].label, 1);
+}
+
+TEST_F(CsvFileTest, PairsWithUnknownIdFail) {
+  Table left = MakeTable("X", {"a"}, {{"u0"}});
+  Table right = MakeTable("Y", {"a"}, {{"v0"}});
+  std::string path = (directory_ / "pairs.csv").string();
+  {
+    std::ofstream out(path);
+    out << "ltable_id,rtable_id,label\n0,999,1\n";
+  }
+  std::vector<LabeledPair> pairs;
+  EXPECT_FALSE(LoadPairsCsv(path, left, right, &pairs));
+}
+
+}  // namespace
+}  // namespace certa::data

@@ -1,0 +1,222 @@
+// Tests for the saliency baselines: the LIME core, Mojito, LandMark and
+// KernelSHAP. A scripted linear model with known attribute dependence
+// serves as ground truth.
+
+#include <gtest/gtest.h>
+
+#include "explain/landmark.h"
+#include "explain/lime.h"
+#include "explain/mojito.h"
+#include "explain/shap.h"
+#include "test_util.h"
+#include "text/tokenizer.h"
+
+namespace certa::explain {
+namespace {
+
+using certa::testing::FakeMatcher;
+using certa::testing::MakeRecord;
+using certa::testing::MakeTable;
+
+/// A model that only looks at attribute 0 of both records: score is
+/// high iff both first attributes are non-missing (a "presence AND"
+/// on attribute 0). Attribute 1 is ignored entirely.
+FakeMatcher::ScoreFn FirstAttributeModel() {
+  return [](const data::Record& u, const data::Record& v) {
+    bool u_ok = !text::IsMissing(u.value(0));
+    bool v_ok = !text::IsMissing(v.value(0));
+    return (u_ok && v_ok) ? 0.9 : 0.1;
+  };
+}
+
+struct Context {
+  data::Table left = MakeTable("U", {"key", "junk"},
+                               {{"k1", "j1"}, {"k2", "j2"}});
+  data::Table right = MakeTable("V", {"key", "junk"},
+                                {{"k1", "j9"}, {"k3", "j8"}});
+  FakeMatcher model{FirstAttributeModel()};
+  ExplainContext context{&model, &left, &right};
+};
+
+TEST(ApplyPerturbOpTest, DropBlanksTarget) {
+  data::Record u = MakeRecord(0, {"a", "b"});
+  data::Record v = MakeRecord(1, {"c", "d"});
+  data::Record out_u;
+  data::Record out_v;
+  ApplyPerturbOp(u, v, data::Side::kLeft, 0b01u, PerturbOp::kDrop, &out_u,
+                 &out_v);
+  EXPECT_EQ(out_u.values, (std::vector<std::string>{"", "b"}));
+  EXPECT_EQ(out_v.values, v.values);
+}
+
+TEST(ApplyPerturbOpTest, CopyTakesCounterpartValue) {
+  data::Record u = MakeRecord(0, {"a", "b"});
+  data::Record v = MakeRecord(1, {"c", "d"});
+  data::Record out_u;
+  data::Record out_v;
+  ApplyPerturbOp(u, v, data::Side::kRight, 0b10u, PerturbOp::kCopy, &out_u,
+                 &out_v);
+  EXPECT_EQ(out_u.values, u.values);
+  EXPECT_EQ(out_v.values, (std::vector<std::string>{"c", "b"}));
+}
+
+TEST(ApplyPerturbOpTest, CopyFallsBackToDropOnMisalignedSchemas) {
+  data::Record u = MakeRecord(0, {"a", "b", "extra"});
+  data::Record v = MakeRecord(1, {"c", "d"});
+  data::Record out_u;
+  data::Record out_v;
+  ApplyPerturbOp(u, v, data::Side::kLeft, 0b001u, PerturbOp::kCopy, &out_u,
+                 &out_v);
+  EXPECT_EQ(out_u.values[0], "");  // dropped, not copied
+}
+
+TEST(LimeTest, FindsTheInfluentialAttribute) {
+  Context fixture;
+  LimeOptions options;
+  SaliencyExplanation explanation = FitLimeSurrogate(
+      fixture.context, fixture.left.record(0), fixture.right.record(0),
+      PerturbOp::kDrop, true, true, options);
+  // Attribute 0 on both sides drives the model; attribute 1 never does.
+  EXPECT_GT(explanation.score({data::Side::kLeft, 0}),
+            explanation.score({data::Side::kLeft, 1}) + 0.05);
+  EXPECT_GT(explanation.score({data::Side::kRight, 0}),
+            explanation.score({data::Side::kRight, 1}) + 0.05);
+}
+
+TEST(LimeTest, RespectsSideRestriction) {
+  Context fixture;
+  LimeOptions options;
+  SaliencyExplanation left_only = FitLimeSurrogate(
+      fixture.context, fixture.left.record(0), fixture.right.record(0),
+      PerturbOp::kDrop, true, false, options);
+  EXPECT_GT(left_only.score({data::Side::kLeft, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(left_only.score({data::Side::kRight, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(left_only.score({data::Side::kRight, 1}), 0.0);
+}
+
+TEST(LimeTest, DeterministicForSameInput) {
+  Context fixture;
+  LimeOptions options;
+  auto run = [&]() {
+    return FitLimeSurrogate(fixture.context, fixture.left.record(0),
+                            fixture.right.record(0), PerturbOp::kDrop,
+                            true, true, options);
+  };
+  EXPECT_EQ(run().Flattened(), run().Flattened());
+}
+
+TEST(MojitoTest, UsesDropForMatchAndCopyForNonMatch) {
+  // Model keyed on the literal content so the two operators produce
+  // visibly different perturbation outcomes: value "same" on both sides
+  // scores as match.
+  data::Table left = MakeTable("U", {"a"}, {{"same"}, {"other"}});
+  data::Table right = MakeTable("V", {"a"}, {{"same"}, {"diff"}});
+  FakeMatcher model([](const data::Record& u, const data::Record& v) {
+    return u.value(0) == v.value(0) && !u.value(0).empty() ? 0.9 : 0.1;
+  });
+  ExplainContext context{&model, &left, &right};
+  MojitoExplainer mojito(context);
+  // Match input: drop semantics -> removing "a" kills the match, so the
+  // attribute has positive saliency.
+  SaliencyExplanation match_expl =
+      mojito.ExplainSaliency(left.record(0), right.record(0));
+  EXPECT_GT(match_expl.score({data::Side::kLeft, 0}), 0.1);
+  // Non-match input: copy semantics -> copying flips toward match.
+  SaliencyExplanation non_match_expl =
+      mojito.ExplainSaliency(left.record(1), right.record(1));
+  EXPECT_GT(non_match_expl.score({data::Side::kLeft, 0}) +
+                non_match_expl.score({data::Side::kRight, 0}),
+            0.1);
+}
+
+TEST(LandmarkTest, ScoresBothSidesIndependently) {
+  Context fixture;
+  LandmarkExplainer landmark(fixture.context);
+  SaliencyExplanation explanation = landmark.ExplainSaliency(
+      fixture.left.record(0), fixture.right.record(0));
+  EXPECT_GT(explanation.score({data::Side::kLeft, 0}),
+            explanation.score({data::Side::kLeft, 1}));
+  EXPECT_GT(explanation.score({data::Side::kRight, 0}),
+            explanation.score({data::Side::kRight, 1}));
+}
+
+TEST(ShapTest, ExactShapleyOnAdditiveModel) {
+  // Additive model: score = 0.1 + 0.4*[u0 present] + 0.2*[v0 present].
+  // Shapley values of an additive game are exactly the coefficients.
+  data::Table left = MakeTable("U", {"x", "pad"}, {{"a", "p"}});
+  data::Table right = MakeTable("V", {"x", "pad"}, {{"b", "q"}});
+  FakeMatcher model([](const data::Record& u, const data::Record& v) {
+    double score = 0.1;
+    if (!text::IsMissing(u.value(0))) score += 0.4;
+    if (!text::IsMissing(v.value(0))) score += 0.2;
+    return score;
+  });
+  ExplainContext context{&model, &left, &right};
+  ShapExplainer shap(context);  // 4 attributes -> exact enumeration
+  SaliencyExplanation explanation =
+      shap.ExplainSaliency(left.record(0), right.record(0));
+  EXPECT_NEAR(explanation.score({data::Side::kLeft, 0}), 0.4, 1e-6);
+  EXPECT_NEAR(explanation.score({data::Side::kRight, 0}), 0.2, 1e-6);
+  EXPECT_NEAR(explanation.score({data::Side::kLeft, 1}), 0.0, 1e-6);
+  EXPECT_NEAR(explanation.score({data::Side::kRight, 1}), 0.0, 1e-6);
+}
+
+TEST(ShapTest, SampledModeStillRanksCorrectly) {
+  // 8+ attributes force sampling; the influential attribute must still
+  // rank on top.
+  std::vector<std::string> names;
+  std::vector<std::string> row;
+  for (int a = 0; a < 5; ++a) {
+    std::string suffix = std::to_string(a);
+    names.push_back(std::string("a").append(suffix));
+    row.push_back(std::string("value").append(suffix));
+  }
+  data::Table left = MakeTable("U", names, {row});
+  data::Table right = MakeTable("V", names, {row});
+  FakeMatcher model([](const data::Record& u, const data::Record& v) {
+    return (!text::IsMissing(u.value(2)) && !text::IsMissing(v.value(2)))
+               ? 0.9
+               : 0.1;
+  });
+  ExplainContext context{&model, &left, &right};
+  ShapExplainer::Options options;
+  options.max_coalitions = 200;  // below 2^10 - 2
+  ShapExplainer shap(context, options);
+  SaliencyExplanation explanation =
+      shap.ExplainSaliency(left.record(0), right.record(0));
+  auto ranked = explanation.Ranked();
+  // Top two must be the (L,2) and (R,2) attributes in some order.
+  std::set<std::pair<int, int>> top = {
+      {static_cast<int>(ranked[0].side), ranked[0].index},
+      {static_cast<int>(ranked[1].side), ranked[1].index}};
+  EXPECT_TRUE(top.count({0, 2}));
+  EXPECT_TRUE(top.count({1, 2}));
+}
+
+TEST(SaliencyExplanationTest, RankedIsDeterministicOnTies) {
+  SaliencyExplanation explanation(2, 2);
+  explanation.set_score({data::Side::kLeft, 0}, 0.5);
+  explanation.set_score({data::Side::kLeft, 1}, 0.5);
+  explanation.set_score({data::Side::kRight, 0}, 0.7);
+  auto ranked = explanation.Ranked();
+  ASSERT_EQ(ranked.size(), 4u);
+  EXPECT_EQ(ranked[0].side, data::Side::kRight);
+  EXPECT_EQ(ranked[0].index, 0);
+  // Ties broken left-first then by index.
+  EXPECT_EQ(ranked[1].side, data::Side::kLeft);
+  EXPECT_EQ(ranked[1].index, 0);
+  EXPECT_EQ(ranked[2].side, data::Side::kLeft);
+  EXPECT_EQ(ranked[2].index, 1);
+}
+
+TEST(QualifiedAttributeNameTest, SidePrefixes) {
+  data::Schema left({"name", "price"});
+  data::Schema right({"title"});
+  EXPECT_EQ(QualifiedAttributeName(left, right, {data::Side::kLeft, 1}),
+            "L_price");
+  EXPECT_EQ(QualifiedAttributeName(left, right, {data::Side::kRight, 0}),
+            "R_title");
+}
+
+}  // namespace
+}  // namespace certa::explain

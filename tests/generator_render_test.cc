@@ -1,0 +1,176 @@
+// Format properties of the generator's attribute renderers, checked
+// through the benchmark datasets that use each AttrKind: prices and ABV
+// parse as numbers, years look like years, phones keep their digit
+// groups, durations look like m:ss, and dirty corruption only moves
+// values (never invents tokens).
+
+#include <cctype>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/benchmarks.h"
+#include "text/tokenizer.h"
+
+namespace certa::data {
+namespace {
+
+/// Collects the non-missing values of one attribute across a table.
+std::vector<std::string> ColumnValues(const Table& table,
+                                      const std::string& attribute) {
+  std::vector<std::string> values;
+  int index = table.schema().IndexOf(attribute);
+  EXPECT_GE(index, 0) << attribute;
+  if (index < 0) return values;
+  for (const Record& record : table.records()) {
+    if (!text::IsMissing(record.value(index))) {
+      values.push_back(record.value(index));
+    }
+  }
+  return values;
+}
+
+TEST(GeneratorRenderTest, PricesAreNumeric) {
+  Dataset dataset = MakeBenchmark("AB");
+  for (const Table* table : {&dataset.left, &dataset.right}) {
+    for (const std::string& value : ColumnValues(*table, "price")) {
+      double parsed = 0.0;
+      EXPECT_TRUE(text::TryParseNumeric(value, &parsed)) << value;
+      EXPECT_GT(parsed, 0.0);
+      EXPECT_LT(parsed, 10000.0);
+    }
+  }
+}
+
+TEST(GeneratorRenderTest, AbvIsPercentValue) {
+  Dataset dataset = MakeBenchmark("BA");
+  for (const std::string& value : ColumnValues(dataset.left, "abv")) {
+    double parsed = 0.0;
+    EXPECT_TRUE(text::TryParseNumeric(value, &parsed)) << value;
+    EXPECT_GT(parsed, 2.0);
+    EXPECT_LT(parsed, 15.0);
+    EXPECT_NE(value.find('%'), std::string::npos) << value;
+  }
+}
+
+TEST(GeneratorRenderTest, YearsLookLikeYears) {
+  Dataset dataset = MakeBenchmark("DA");
+  for (const std::string& value : ColumnValues(dataset.left, "year")) {
+    double parsed = 0.0;
+    ASSERT_TRUE(text::TryParseNumeric(value, &parsed)) << value;
+    EXPECT_GE(parsed, 1990.0);
+    EXPECT_LE(parsed, 2021.0);
+  }
+}
+
+TEST(GeneratorRenderTest, PhonesKeepDigitGroups) {
+  Dataset dataset = MakeBenchmark("FZ");
+  for (const std::string& value : ColumnValues(dataset.left, "phone")) {
+    int digits = 0;
+    for (char c : value) {
+      if (std::isdigit(static_cast<unsigned char>(c))) ++digits;
+    }
+    EXPECT_EQ(digits, 10) << value;  // 3-3-4 phone format
+  }
+}
+
+TEST(GeneratorRenderTest, DurationsLookLikeTimes) {
+  Dataset dataset = MakeBenchmark("IA");
+  for (const std::string& value : ColumnValues(dataset.left, "time")) {
+    size_t colon = value.find(':');
+    ASSERT_NE(colon, std::string::npos) << value;
+    double minutes = 0.0;
+    double seconds = 0.0;
+    ASSERT_TRUE(text::TryParseNumeric(value.substr(0, colon), &minutes));
+    ASSERT_TRUE(text::TryParseNumeric(value.substr(colon + 1), &seconds));
+    EXPECT_GE(seconds, 0.0);
+    EXPECT_LT(seconds, 60.0);
+    EXPECT_GE(minutes, 1.0);
+    EXPECT_LT(minutes, 10.0);
+  }
+}
+
+TEST(GeneratorRenderTest, AuthorsAreCommaSeparatedNames) {
+  Dataset dataset = MakeBenchmark("DA");
+  int multi_author = 0;
+  for (const std::string& value : ColumnValues(dataset.left, "authors")) {
+    // Names come from the bibliographic person pool; commas separate.
+    for (const std::string& token : text::RawTokens(value)) {
+      EXPECT_FALSE(token.empty());
+    }
+    if (value.find(',') != std::string::npos) ++multi_author;
+  }
+  EXPECT_GT(multi_author, 0);  // some papers have several authors
+}
+
+TEST(GeneratorRenderTest, DirtyCorruptionOnlyMovesTokens) {
+  // Every token in a dirty record must exist in the corresponding clean
+  // generation *somewhere* — dirtiness relocates values, it never
+  // invents content. Compare dirty DDA against its own vocabulary: all
+  // tokens of a record appear jointly in that record's other
+  // attributes or came from the standard rendering. We verify the
+  // weaker but structural property: dirty datasets have strictly more
+  // missing values than their clean counterparts (moves leave NaN
+  // behind).
+  Dataset clean = MakeBenchmark("DA");
+  Dataset dirty = MakeBenchmark("DDA");
+  auto count_missing = [](const Table& table) {
+    int missing = 0;
+    for (const Record& record : table.records()) {
+      for (const std::string& value : record.values) {
+        if (text::IsMissing(value)) ++missing;
+      }
+    }
+    return missing;
+  };
+  EXPECT_GT(count_missing(dirty.left) + count_missing(dirty.right),
+            count_missing(clean.left) + count_missing(clean.right));
+}
+
+TEST(GeneratorRenderTest, MissingRatesFollowProfile) {
+  // AB's price column is configured with a 0.6 missing rate; the
+  // realized rate must land near it.
+  Dataset dataset = MakeBenchmark("AB");
+  int index = dataset.left.schema().IndexOf("price");
+  ASSERT_GE(index, 0);
+  int missing = 0;
+  for (const Record& record : dataset.left.records()) {
+    if (text::IsMissing(record.value(index))) ++missing;
+  }
+  double rate =
+      static_cast<double>(missing) / dataset.left.size();
+  EXPECT_GT(rate, 0.4);
+  EXPECT_LT(rate, 0.8);
+}
+
+TEST(GeneratorRenderTest, MatchedPairsShareIdentifyingTokens) {
+  // The match signal must be recoverable: most matching pairs share at
+  // least one rare token (code or brand).
+  Dataset dataset = MakeBenchmark("WA");
+  int shared = 0;
+  int matches = 0;
+  for (const auto& pair : dataset.train) {
+    if (pair.label != 1) continue;
+    ++matches;
+    std::set<std::string> left_tokens;
+    for (const std::string& value :
+         dataset.left.record(pair.left_index).values) {
+      for (auto& token : text::Tokenize(value)) {
+        left_tokens.insert(token);
+      }
+    }
+    bool any = false;
+    for (const std::string& value :
+         dataset.right.record(pair.right_index).values) {
+      for (auto& token : text::Tokenize(value)) {
+        if (left_tokens.count(token)) any = true;
+      }
+    }
+    if (any) ++shared;
+  }
+  ASSERT_GT(matches, 0);
+  EXPECT_GT(static_cast<double>(shared) / matches, 0.9);
+}
+
+}  // namespace
+}  // namespace certa::data

@@ -1,0 +1,216 @@
+#include "data/generator.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/benchmarks.h"
+#include "text/tokenizer.h"
+
+namespace certa::data {
+namespace {
+
+GeneratorProfile SmallProfile() {
+  GeneratorProfile profile;
+  profile.code = "TT";
+  profile.full_name = "Test-Bench";
+  profile.domain = Domain::kElectronics;
+  profile.attributes = {
+      {"name", AttrKind::kName, 0.0},
+      {"description", AttrKind::kDescription, 0.1},
+      {"price", AttrKind::kPrice, 0.3},
+  };
+  profile.num_entities = 30;
+  profile.seed = 77;
+  return profile;
+}
+
+TEST(GeneratorTest, DeterministicForSameProfile) {
+  Dataset a = GenerateDataset(SmallProfile());
+  Dataset b = GenerateDataset(SmallProfile());
+  ASSERT_EQ(a.left.size(), b.left.size());
+  ASSERT_EQ(a.right.size(), b.right.size());
+  for (int i = 0; i < a.left.size(); ++i) {
+    EXPECT_EQ(a.left.record(i), b.left.record(i));
+  }
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train[i].left_index, b.train[i].left_index);
+    EXPECT_EQ(a.train[i].right_index, b.train[i].right_index);
+    EXPECT_EQ(a.train[i].label, b.train[i].label);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsProduceDifferentData) {
+  GeneratorProfile profile = SmallProfile();
+  Dataset a = GenerateDataset(profile);
+  profile.seed = 78;
+  Dataset b = GenerateDataset(profile);
+  bool any_difference = a.left.size() != b.left.size();
+  for (int i = 0; !any_difference && i < std::min(a.left.size(),
+                                                  b.left.size());
+       ++i) {
+    any_difference = !(a.left.record(i) == b.left.record(i));
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(GeneratorTest, SchemasMatchProfile) {
+  Dataset dataset = GenerateDataset(SmallProfile());
+  EXPECT_EQ(dataset.left.schema().names(),
+            (std::vector<std::string>{"name", "description", "price"}));
+  EXPECT_EQ(dataset.right.schema().names(), dataset.left.schema().names());
+  EXPECT_EQ(dataset.left.name(), "Test");
+  EXPECT_EQ(dataset.right.name(), "Bench");
+}
+
+TEST(GeneratorTest, PairsReferenceValidRecords) {
+  Dataset dataset = GenerateDataset(SmallProfile());
+  auto check = [&](const std::vector<LabeledPair>& pairs) {
+    for (const LabeledPair& pair : pairs) {
+      ASSERT_GE(pair.left_index, 0);
+      ASSERT_LT(pair.left_index, dataset.left.size());
+      ASSERT_GE(pair.right_index, 0);
+      ASSERT_LT(pair.right_index, dataset.right.size());
+      ASSERT_TRUE(pair.label == 0 || pair.label == 1);
+    }
+  };
+  check(dataset.train);
+  check(dataset.test);
+  EXPECT_FALSE(dataset.train.empty());
+  EXPECT_FALSE(dataset.test.empty());
+}
+
+TEST(GeneratorTest, NoDuplicatePairs) {
+  Dataset dataset = GenerateDataset(SmallProfile());
+  std::set<std::pair<int, int>> seen;
+  for (const auto& pair : dataset.train) {
+    EXPECT_TRUE(seen.insert({pair.left_index, pair.right_index}).second);
+  }
+  for (const auto& pair : dataset.test) {
+    EXPECT_TRUE(seen.insert({pair.left_index, pair.right_index}).second);
+  }
+}
+
+TEST(GeneratorTest, MatchesAreMoreSimilarThanNonMatches) {
+  // Sanity on the learnability of the task: average token overlap of
+  // matching pairs must exceed non-matching pairs by a clear margin.
+  Dataset dataset = GenerateDataset(SmallProfile());
+  auto overlap = [&](const LabeledPair& pair) {
+    const Record& u = dataset.left.record(pair.left_index);
+    const Record& v = dataset.right.record(pair.right_index);
+    std::set<std::string> tokens_u;
+    std::set<std::string> tokens_v;
+    for (const auto& value : u.values) {
+      for (auto& token : text::Tokenize(value)) tokens_u.insert(token);
+    }
+    for (const auto& value : v.values) {
+      for (auto& token : text::Tokenize(value)) tokens_v.insert(token);
+    }
+    if (tokens_u.empty() || tokens_v.empty()) return 0.0;
+    int common = 0;
+    for (const auto& token : tokens_u) {
+      common += tokens_v.count(token) ? 1 : 0;
+    }
+    return static_cast<double>(common) /
+           std::min(tokens_u.size(), tokens_v.size());
+  };
+  double match_total = 0.0;
+  int matches = 0;
+  double non_total = 0.0;
+  int nons = 0;
+  for (const auto& pair : dataset.train) {
+    if (pair.label == 1) {
+      match_total += overlap(pair);
+      ++matches;
+    } else {
+      non_total += overlap(pair);
+      ++nons;
+    }
+  }
+  ASSERT_GT(matches, 0);
+  ASSERT_GT(nons, 0);
+  EXPECT_GT(match_total / matches, non_total / nons + 0.2);
+}
+
+TEST(GeneratorTest, DirtyVariantMovesValues) {
+  GeneratorProfile profile = SmallProfile();
+  profile.dirty = true;
+  profile.dirty_rate = 1.0;  // corrupt every record
+  Dataset dataset = GenerateDataset(profile);
+  // With certainty some records have a NaN created by the move.
+  int moved = 0;
+  for (const Record& record : dataset.left.records()) {
+    for (const std::string& value : record.values) {
+      if (value == "NaN") {
+        ++moved;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(moved, dataset.left.size() / 2);
+}
+
+TEST(GeneratorTest, RightDistractorsInflateRightTable) {
+  GeneratorProfile base = SmallProfile();
+  Dataset without = GenerateDataset(base);
+  base.right_distractors = 50;
+  Dataset with = GenerateDataset(base);
+  EXPECT_GE(with.right.size(), without.right.size() + 40);
+}
+
+TEST(GeneratorTest, ScaleChangesEntityCount) {
+  Dataset small = data::MakeBenchmark("AB", 0.5);
+  Dataset large = data::MakeBenchmark("AB", 1.0);
+  EXPECT_LT(small.left.size(), large.left.size());
+}
+
+// Parameterized sweep over all twelve benchmark profiles: structural
+// invariants that every synthesized benchmark must satisfy.
+class BenchmarkProfileTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BenchmarkProfileTest, StructuralInvariants) {
+  const std::string& code = GetParam();
+  Dataset dataset = MakeBenchmark(code);
+  EXPECT_EQ(dataset.code, code);
+  DatasetStats stats = ComputeStats(dataset);
+  EXPECT_GT(stats.matches, 0);
+  EXPECT_GE(stats.attributes, 3);
+  EXPECT_LE(stats.attributes, 8);
+  EXPECT_GT(stats.left_records, 10);
+  EXPECT_GT(stats.right_records, 10);
+  EXPECT_GT(stats.left_values, 0);
+  // Every record has the right arity and ids are unique per table.
+  std::set<int> left_ids;
+  for (const Record& record : dataset.left.records()) {
+    EXPECT_EQ(static_cast<int>(record.values.size()), stats.attributes);
+    EXPECT_TRUE(left_ids.insert(record.id).second);
+  }
+  std::set<int> right_ids;
+  for (const Record& record : dataset.right.records()) {
+    EXPECT_TRUE(right_ids.insert(record.id).second);
+  }
+  // Train and test are disjoint, non-empty, and stratified sanely.
+  EXPECT_FALSE(dataset.train.empty());
+  EXPECT_FALSE(dataset.test.empty());
+  int test_positives = 0;
+  for (const auto& pair : dataset.test) test_positives += pair.label;
+  EXPECT_GT(test_positives, 0) << "test split must contain matches";
+}
+
+TEST_P(BenchmarkProfileTest, AttributeCountsMatchPaper) {
+  // The paper's Table 1 attribute counts per dataset.
+  static const std::map<std::string, int> kExpected = {
+      {"AB", 3},  {"AG", 3},  {"BA", 4},  {"DA", 4},
+      {"DS", 4},  {"FZ", 6},  {"IA", 8},  {"WA", 5},
+      {"DDA", 4}, {"DDS", 4}, {"DIA", 8}, {"DWA", 5}};
+  Dataset dataset = MakeBenchmark(GetParam());
+  EXPECT_EQ(dataset.left.schema().size(), kExpected.at(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkProfileTest,
+                         ::testing::ValuesIn(BenchmarkCodes()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace certa::data

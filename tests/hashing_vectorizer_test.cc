@@ -1,0 +1,78 @@
+#include "text/hashing_vectorizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace certa::text {
+namespace {
+
+TEST(HashingVectorizerTest, StableHashing) {
+  HashingVectorizer vectorizer(64);
+  EXPECT_EQ(vectorizer.HashToken("sony"), vectorizer.HashToken("sony"));
+  EXPECT_NE(vectorizer.HashToken("sony"), vectorizer.HashToken("sonz"));
+}
+
+TEST(HashingVectorizerTest, SeedsDecorrelate) {
+  HashingVectorizer a(64, 1);
+  HashingVectorizer b(64, 2);
+  EXPECT_NE(a.HashToken("sony"), b.HashToken("sony"));
+}
+
+TEST(HashingVectorizerTest, TransformDimension) {
+  HashingVectorizer vectorizer(32);
+  std::vector<double> vec = vectorizer.Transform({"a", "b", "c"});
+  EXPECT_EQ(vec.size(), 32u);
+}
+
+TEST(HashingVectorizerTest, EmptyTokensGiveZeroVector) {
+  HashingVectorizer vectorizer(16);
+  std::vector<double> vec = vectorizer.Transform({});
+  for (double x : vec) EXPECT_DOUBLE_EQ(x, 0.0);
+  // Normalizing a zero vector keeps it zero.
+  std::vector<double> normalized = vectorizer.TransformNormalized({});
+  for (double x : normalized) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(HashingVectorizerTest, AdditiveComposition) {
+  HashingVectorizer vectorizer(32);
+  std::vector<double> ab = vectorizer.Transform({"a", "b"});
+  std::vector<double> a = vectorizer.Transform({"a"});
+  vectorizer.Accumulate("b", &a);
+  EXPECT_EQ(a, ab);
+}
+
+TEST(HashingVectorizerTest, NormalizedHasUnitNorm) {
+  HashingVectorizer vectorizer(64);
+  std::vector<double> vec =
+      vectorizer.TransformNormalized({"sony", "bravia", "tv"});
+  double norm = 0.0;
+  for (double x : vec) norm += x * x;
+  EXPECT_NEAR(norm, 1.0, 1e-9);
+}
+
+TEST(HashingVectorizerTest, SharedTokensRaiseCosine) {
+  HashingVectorizer vectorizer(128);
+  auto u = vectorizer.TransformNormalized({"sony", "bravia", "theater"});
+  auto v = vectorizer.TransformNormalized({"sony", "bravia", "system"});
+  auto w = vectorizer.TransformNormalized({"zzz", "qqq", "www"});
+  EXPECT_GT(CosineSimilarity(u, v), CosineSimilarity(u, w));
+  EXPECT_NEAR(CosineSimilarity(u, u), 1.0, 1e-9);
+}
+
+TEST(CosineSimilarityTest, ZeroVector) {
+  std::vector<double> zero(8, 0.0);
+  std::vector<double> ones(8, 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(zero, ones), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(zero, zero), 0.0);
+}
+
+TEST(L2NormalizeTest, ScalesToUnit) {
+  std::vector<double> vec = {3.0, 4.0};
+  L2Normalize(&vec);
+  EXPECT_NEAR(vec[0], 0.6, 1e-12);
+  EXPECT_NEAR(vec[1], 0.8, 1e-12);
+}
+
+}  // namespace
+}  // namespace certa::text

@@ -1,0 +1,164 @@
+// End-to-end integration: synthesize a benchmark, train every model,
+// run every explainer, evaluate every metric — the full pipeline the
+// benches drive, at a miniature budget.
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "data/benchmarks.h"
+#include "eval/harness.h"
+#include "eval/saliency_metrics.h"
+
+namespace certa::eval {
+namespace {
+
+HarnessOptions TinyOptions() {
+  HarnessOptions options;
+  options.max_pairs = 4;
+  options.num_triangles = 12;
+  return options;
+}
+
+TEST(HarnessTest, PrepareTrainsAWorkingModel) {
+  auto setup = Prepare("AB", models::ModelKind::kDitto, TinyOptions());
+  EXPECT_EQ(setup->dataset.code, "AB");
+  EXPECT_GT(setup->test_f1, 0.5);
+  EXPECT_TRUE(setup->context.valid());
+  // The context's model is the caching wrapper.
+  EXPECT_EQ(setup->context.model, setup->cached.get());
+}
+
+TEST(HarnessTest, ExplainedPairsHonorsCap) {
+  HarnessOptions options = TinyOptions();
+  auto setup = Prepare("AB", models::ModelKind::kDeepEr, options);
+  auto pairs = ExplainedPairs(*setup, options);
+  EXPECT_EQ(pairs.size(), 4u);
+  options.max_pairs = 100000;
+  EXPECT_EQ(ExplainedPairs(*setup, options).size(),
+            setup->dataset.test.size());
+}
+
+TEST(HarnessTest, MethodNameColumnsMatchPaper) {
+  EXPECT_EQ(SaliencyMethodNames(),
+            (std::vector<std::string>{"CERTA", "LandMark", "Mojito",
+                                      "SHAP"}));
+  EXPECT_EQ(CfMethodNames(),
+            (std::vector<std::string>{"CERTA", "DiCE", "SHAP-C",
+                                      "LIME-C"}));
+}
+
+TEST(HarnessTest, FactoriesProduceNamedExplainers) {
+  HarnessOptions options = TinyOptions();
+  auto setup = Prepare("AB", models::ModelKind::kDeepEr, options);
+  for (const std::string& method : SaliencyMethodNames()) {
+    auto explainer = MakeSaliencyExplainer(method, *setup, options);
+    ASSERT_NE(explainer, nullptr);
+    EXPECT_EQ(explainer->name(), method);
+  }
+  for (const std::string& method : CfMethodNames()) {
+    auto explainer = MakeCfExplainer(method, *setup, options);
+    ASSERT_NE(explainer, nullptr);
+    EXPECT_EQ(explainer->name(), method);
+  }
+}
+
+TEST(HarnessTest, OptionsFromEnvOverrides) {
+  ::setenv("CERTA_BENCH_PAIRS", "7", 1);
+  ::setenv("CERTA_BENCH_SCALE", "0.5", 1);
+  ::setenv("CERTA_BENCH_TRIANGLES", "33", 1);
+  HarnessOptions options = OptionsFromEnv();
+  EXPECT_EQ(options.max_pairs, 7);
+  EXPECT_DOUBLE_EQ(options.scale, 0.5);
+  EXPECT_EQ(options.num_triangles, 33);
+  ::unsetenv("CERTA_BENCH_PAIRS");
+  ::unsetenv("CERTA_BENCH_SCALE");
+  ::unsetenv("CERTA_BENCH_TRIANGLES");
+  HarnessOptions defaults = OptionsFromEnv();
+  EXPECT_EQ(defaults.max_pairs, 20);
+  EXPECT_DOUBLE_EQ(defaults.scale, 1.0);
+}
+
+// Full-pipeline sweep: every (model, saliency method) cell runs and
+// produces bounded metrics on a small dataset.
+class PipelineTest : public ::testing::TestWithParam<models::ModelKind> {};
+
+TEST_P(PipelineTest, SaliencyMethodsProduceBoundedMetrics) {
+  HarnessOptions options = TinyOptions();
+  auto setup = Prepare("FZ", GetParam(), options);
+  auto pairs = ExplainedPairs(*setup, options);
+  for (const std::string& method : SaliencyMethodNames()) {
+    auto explainer = MakeSaliencyExplainer(method, *setup, options);
+    auto explanations = RunSaliencyCell(explainer.get(), *setup, pairs);
+    ASSERT_EQ(explanations.size(), pairs.size());
+    for (const auto& explanation : explanations) {
+      EXPECT_EQ(explanation.left_size(), 6);
+      EXPECT_EQ(explanation.right_size(), 6);
+    }
+    double faithfulness =
+        Faithfulness(setup->context, pairs, setup->dataset.left,
+                     setup->dataset.right, explanations);
+    EXPECT_GE(faithfulness, 0.0);
+    EXPECT_LE(faithfulness, 1.0);
+    double confidence =
+        ConfidenceIndication(setup->context, pairs, setup->dataset.left,
+                             setup->dataset.right, explanations);
+    EXPECT_GE(confidence, 0.0);
+    EXPECT_LE(confidence, 1.0);
+  }
+}
+
+TEST_P(PipelineTest, CfMethodsProduceBoundedMetrics) {
+  HarnessOptions options = TinyOptions();
+  auto setup = Prepare("AB", GetParam(), options);
+  auto pairs = ExplainedPairs(*setup, options);
+  for (const std::string& method : CfMethodNames()) {
+    auto explainer = MakeCfExplainer(method, *setup, options);
+    CfAggregate aggregate = RunCfCell(explainer.get(), *setup, pairs);
+    EXPECT_EQ(aggregate.inputs, static_cast<int>(pairs.size()));
+    EXPECT_GE(aggregate.proximity, 0.0);
+    EXPECT_LE(aggregate.proximity, 1.0);
+    EXPECT_GE(aggregate.sparsity, 0.0);
+    EXPECT_LE(aggregate.sparsity, 1.0);
+    EXPECT_GE(aggregate.diversity, 0.0);
+    EXPECT_LE(aggregate.diversity, 1.0);
+    EXPECT_GE(aggregate.mean_count, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, PipelineTest,
+    ::testing::Values(models::ModelKind::kDeepEr,
+                      models::ModelKind::kDeepMatcher,
+                      models::ModelKind::kDitto),
+    [](const auto& info) { return models::ModelKindName(info.param); });
+
+TEST(IntegrationTest, CertaAblationsRunEndToEnd) {
+  HarnessOptions options = TinyOptions();
+  auto setup = Prepare("BA", models::ModelKind::kDitto, options);
+  auto pairs = ExplainedPairs(*setup, options);
+  // Monotone vs exhaustive vs audited vs augmentation-only all complete
+  // and report consistent bookkeeping.
+  for (bool monotone : {true, false}) {
+    core::CertaExplainer::Options certa_options = CertaOptionsFor(options);
+    certa_options.assume_monotone = monotone;
+    certa_options.audit_inferences = monotone;
+    core::CertaExplainer explainer(setup->context, certa_options);
+    for (const auto& pair : pairs) {
+      core::CertaResult result = explainer.Explain(
+          setup->dataset.left.record(pair.left_index),
+          setup->dataset.right.record(pair.right_index));
+      EXPECT_EQ(result.predictions_expected,
+                result.predictions_performed + result.predictions_saved);
+      if (!monotone) {
+        EXPECT_EQ(result.predictions_saved, 0);
+        EXPECT_EQ(result.inference_errors, 0);
+      } else {
+        EXPECT_LE(result.inference_errors, result.predictions_saved);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace certa::eval

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "core/certa_explainer.h"
+#include "explain/json_export.h"
+#include "test_util.h"
+#include "util/json_writer.h"
+
+namespace certa {
+namespace {
+
+using certa::testing::MakeRecord;
+
+TEST(JsonWriterTest, ScalarsAndNesting) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("name");
+  json.String("certa");
+  json.Key("score");
+  json.Number(0.5);
+  json.Key("count");
+  json.Int(42);
+  json.Key("flag");
+  json.Bool(true);
+  json.Key("missing");
+  json.Null();
+  json.Key("list");
+  json.BeginArray();
+  json.Int(1);
+  json.Int(2);
+  json.EndArray();
+  json.EndObject();
+  EXPECT_EQ(json.str(),
+            "{\"name\":\"certa\",\"score\":0.5,\"count\":42,"
+            "\"flag\":true,\"missing\":null,\"list\":[1,2]}");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter json;
+  json.String("he said \"hi\"\n\tback\\slash");
+  EXPECT_EQ(json.str(), "\"he said \\\"hi\\\"\\n\\tback\\\\slash\"");
+}
+
+TEST(JsonWriterTest, ControlCharactersEscaped) {
+  JsonWriter json;
+  json.String(std::string("a\x01" "b", 3));
+  EXPECT_EQ(json.str(), "\"a\\u0001b\"");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Number(std::numeric_limits<double>::quiet_NaN());
+  json.Number(std::numeric_limits<double>::infinity());
+  json.Number(1.5);
+  json.EndArray();
+  EXPECT_EQ(json.str(), "[null,null,1.5]");
+}
+
+TEST(JsonWriterTest, NestedArraysOfObjects) {
+  JsonWriter json;
+  json.BeginArray();
+  json.BeginObject();
+  json.Key("a");
+  json.Int(1);
+  json.EndObject();
+  json.BeginObject();
+  json.Key("b");
+  json.Int(2);
+  json.EndObject();
+  json.EndArray();
+  EXPECT_EQ(json.str(), "[{\"a\":1},{\"b\":2}]");
+}
+
+TEST(JsonExportTest, SaliencyDocument) {
+  data::Schema left({"name"});
+  data::Schema right({"title"});
+  explain::SaliencyExplanation explanation(1, 1);
+  explanation.set_score({data::Side::kLeft, 0}, 0.75);
+  explanation.set_score({data::Side::kRight, 0}, 0.25);
+  std::string json = explain::SaliencyToJson(explanation, left, right);
+  EXPECT_EQ(json,
+            "{\"attributes\":[{\"name\":\"L_name\",\"score\":0.75},"
+            "{\"name\":\"R_title\",\"score\":0.25}]}");
+}
+
+TEST(JsonExportTest, CounterfactualDocument) {
+  data::Schema left({"name"});
+  data::Schema right({"title"});
+  explain::CounterfactualExample example;
+  example.left = MakeRecord(3, {"new value"});
+  example.right = MakeRecord(7, {"original"});
+  example.changed_attributes = {{data::Side::kLeft, 0}};
+  example.score = 0.1;
+  example.sufficiency = 0.8;
+  std::string json =
+      explain::CounterfactualToJson(example, left, right);
+  EXPECT_NE(json.find("\"changed_attributes\":[\"L_name\"]"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"score\":0.1"), std::string::npos);
+  EXPECT_NE(json.find("\"sufficiency\":0.8"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"new value\""), std::string::npos);
+}
+
+TEST(JsonExportTest, UnknownScoreBecomesNull) {
+  data::Schema left({"a"});
+  data::Schema right({"a"});
+  explain::CounterfactualExample example;
+  example.left = MakeRecord(0, {"x"});
+  example.right = MakeRecord(1, {"y"});
+  example.score = -1.0;  // unknown
+  std::string json =
+      explain::CounterfactualToJson(example, left, right);
+  EXPECT_NE(json.find("\"score\":null"), std::string::npos);
+}
+
+TEST(JsonExportTest, CertaResultDocument) {
+  data::Schema left({"a", "b"});
+  data::Schema right({"a", "b"});
+  core::CertaResult result;
+  result.saliency = explain::SaliencyExplanation(2, 2);
+  result.saliency.set_score({data::Side::kLeft, 0}, 0.9);
+  result.best_sufficiency = 1.0;
+  result.best_side = data::Side::kLeft;
+  result.best_mask = 0b01;
+  result.set_sides = {data::Side::kLeft};
+  result.set_masks = {0b01};
+  result.set_sufficiencies = {1.0};
+  result.triangles_used = 4;
+  result.predictions_expected = 8;
+  result.predictions_performed = 5;
+  result.predictions_saved = 3;
+  std::string json = core::CertaResultToJson(result, left, right);
+  EXPECT_NE(json.find("\"best_attribute_set\":[\"L_a\"]"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"triangles_used\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"predictions_saved\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"sufficiency_per_set\":[{\"attributes\":"
+                      "[\"L_a\"],\"sufficiency\":1}]"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace certa

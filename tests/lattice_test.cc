@@ -1,0 +1,206 @@
+#include "core/lattice.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace certa::core {
+namespace {
+
+using explain::AttrMask;
+
+TEST(LatticeTest, NodeCount) {
+  EXPECT_EQ(Lattice(1).node_count(), 0);
+  EXPECT_EQ(Lattice(2).node_count(), 2);
+  EXPECT_EQ(Lattice(3).node_count(), 6);
+  EXPECT_EQ(Lattice(8).node_count(), 254);
+}
+
+TEST(LatticeTest, ExhaustiveTagsEveryNode) {
+  Lattice lattice(3);
+  int calls = 0;
+  auto flips = [&calls](AttrMask) {
+    ++calls;
+    return false;
+  };
+  Lattice::TagResult tags = lattice.Tag(flips, /*assume_monotone=*/false);
+  EXPECT_EQ(calls, 6);
+  EXPECT_EQ(tags.performed, 6);
+  EXPECT_EQ(tags.total_flips, 0);
+}
+
+TEST(LatticeTest, MonotonePropagationSkipsSupersets) {
+  Lattice lattice(3);
+  // Only {attr0} flips at the base; everything above is inferred.
+  auto flips = [](AttrMask mask) { return mask == 0b001u; };
+  Lattice::TagResult tags = lattice.Tag(flips, /*assume_monotone=*/true);
+  // Tested: 3 singletons + {attr1, attr2} = 4; inferred: {0,1}, {0,2}.
+  EXPECT_EQ(tags.performed, 4);
+  EXPECT_TRUE(tags.flip[0b001]);
+  EXPECT_TRUE(tags.flip[0b011]);
+  EXPECT_TRUE(tags.flip[0b101]);
+  EXPECT_FALSE(tags.tested[0b011]);
+  EXPECT_FALSE(tags.tested[0b101]);
+  EXPECT_FALSE(tags.flip[0b110]);
+  EXPECT_TRUE(tags.tested[0b110]);
+  EXPECT_EQ(tags.total_flips, 3);
+}
+
+TEST(LatticeTest, PropagationIsTransitive) {
+  Lattice lattice(4);
+  auto flips = [](AttrMask mask) { return mask == 0b0001u; };
+  Lattice::TagResult tags = lattice.Tag(flips, /*assume_monotone=*/true);
+  // Every superset of {0} is flipped without testing, including
+  // three-element sets reached through two propagation steps.
+  EXPECT_TRUE(tags.flip[0b0111]);
+  EXPECT_FALSE(tags.tested[0b0111]);
+  EXPECT_TRUE(tags.flip[0b1011]);
+  EXPECT_FALSE(tags.tested[0b1011]);
+}
+
+TEST(LatticeTest, PaperWorkedExampleCounts) {
+  // Fig. 9(d): no singleton flips, all pairs flip -> every pair is
+  // tested, and the MFA is all three pairs.
+  Lattice lattice(3);
+  auto flips = [](AttrMask mask) {
+    return __builtin_popcount(mask) >= 2;
+  };
+  Lattice::TagResult tags = lattice.Tag(flips, /*assume_monotone=*/true);
+  EXPECT_EQ(tags.performed, 6);  // 3 singletons + 3 pairs
+  std::vector<AttrMask> mfa = lattice.MinimalFlippingAntichain(tags);
+  EXPECT_EQ(mfa, (std::vector<AttrMask>{0b011, 0b101, 0b110}));
+}
+
+TEST(LatticeTest, MfaSingletons) {
+  // Fig. 9(a): {N} and {D} flip at the base.
+  Lattice lattice(3);
+  auto flips = [](AttrMask mask) { return (mask & 0b011u) != 0u; };
+  Lattice::TagResult tags = lattice.Tag(flips, /*assume_monotone=*/true);
+  std::vector<AttrMask> mfa = lattice.MinimalFlippingAntichain(tags);
+  EXPECT_EQ(mfa, (std::vector<AttrMask>{0b001, 0b010}));
+  // 5 proper-subset flips: {N},{D},{ND},{NP},{DP}.
+  EXPECT_EQ(tags.total_flips, 5);
+}
+
+TEST(LatticeTest, MfaMixedLevels) {
+  // Fig. 9(b): {N} flips; {D},{P} don't; {D,P} flips.
+  Lattice lattice(3);
+  auto flips = [](AttrMask mask) {
+    return (mask & 0b001u) != 0u || (mask & 0b110u) == 0b110u;
+  };
+  Lattice::TagResult tags = lattice.Tag(flips, /*assume_monotone=*/true);
+  std::vector<AttrMask> mfa = lattice.MinimalFlippingAntichain(tags);
+  EXPECT_EQ(mfa, (std::vector<AttrMask>{0b001, 0b110}));
+  EXPECT_EQ(tags.performed, 4);  // singletons + {D,P}
+}
+
+TEST(LatticeTest, NoFlipsNoAntichain) {
+  Lattice lattice(3);
+  auto flips = [](AttrMask) { return false; };
+  Lattice::TagResult tags = lattice.Tag(flips, true);
+  EXPECT_TRUE(lattice.MinimalFlippingAntichain(tags).empty());
+  EXPECT_TRUE(lattice.FlippedNodes(tags).empty());
+}
+
+TEST(LatticeTest, NonMonotoneFunctionExhaustiveMfa) {
+  // Without the monotone assumption, a flipped superset of a flipped
+  // node is still excluded from the MFA.
+  Lattice lattice(3);
+  // Flips: {0} and {0,1,?}: non-monotone hole at {0,1}.
+  auto flips = [](AttrMask mask) {
+    return mask == 0b001u || mask == 0b101u;
+  };
+  Lattice::TagResult tags = lattice.Tag(flips, /*assume_monotone=*/false);
+  std::vector<AttrMask> mfa = lattice.MinimalFlippingAntichain(tags);
+  EXPECT_EQ(mfa, (std::vector<AttrMask>{0b001}));
+  EXPECT_EQ(tags.total_flips, 2);
+}
+
+TEST(LatticeTest, SingleAttributeDegenerate) {
+  Lattice lattice(1);
+  int calls = 0;
+  auto flips = [&calls](AttrMask) {
+    ++calls;
+    return true;
+  };
+  Lattice::TagResult tags = lattice.Tag(flips, true);
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(tags.performed, 0);
+  EXPECT_TRUE(lattice.FlippedNodes(tags).empty());
+}
+
+// Property sweep: on *monotone* flip functions, monotone tagging must
+// produce exactly the same flip labelling as exhaustive tagging while
+// performing no more tests.
+class LatticePropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LatticePropertyTest, MonotoneMatchesExhaustiveOnMonotoneFunctions) {
+  const int attributes = std::get<0>(GetParam());
+  const int seed = std::get<1>(GetParam());
+  Lattice lattice(attributes);
+  Rng rng(seed);
+  // Build a random monotone function as the upward closure of a random
+  // set of generator masks.
+  const AttrMask full = (1u << attributes) - 1u;
+  std::set<AttrMask> generators;
+  int count = rng.UniformInt(0, 3);
+  for (int g = 0; g < count; ++g) {
+    AttrMask mask = static_cast<AttrMask>(rng.UniformUint64(full) + 1);
+    if (mask != full) generators.insert(mask);
+  }
+  auto flips = [&generators](AttrMask mask) {
+    for (AttrMask g : generators) {
+      if ((mask & g) == g) return true;
+    }
+    return false;
+  };
+  Lattice::TagResult fast = lattice.Tag(flips, /*assume_monotone=*/true);
+  Lattice::TagResult slow = lattice.Tag(flips, /*assume_monotone=*/false);
+  EXPECT_LE(fast.performed, slow.performed);
+  EXPECT_EQ(fast.total_flips, slow.total_flips);
+  for (AttrMask mask = 1; mask < full; ++mask) {
+    EXPECT_EQ(fast.flip[mask], slow.flip[mask]) << "mask " << mask;
+  }
+  EXPECT_EQ(lattice.MinimalFlippingAntichain(fast),
+            lattice.MinimalFlippingAntichain(slow));
+}
+
+TEST_P(LatticePropertyTest, MfaIsAnAntichainOfMinimalFlips) {
+  const int attributes = std::get<0>(GetParam());
+  const int seed = std::get<1>(GetParam());
+  Lattice lattice(attributes);
+  Rng rng(seed + 1000);
+  // Arbitrary (possibly non-monotone) random flip function.
+  const AttrMask full = (1u << attributes) - 1u;
+  std::vector<bool> truth(full + 1, false);
+  for (AttrMask mask = 1; mask < full; ++mask) {
+    truth[mask] = rng.Bernoulli(0.3);
+  }
+  auto flips = [&truth](AttrMask mask) { return truth[mask]; };
+  Lattice::TagResult tags = lattice.Tag(flips, /*assume_monotone=*/false);
+  std::vector<AttrMask> mfa = lattice.MinimalFlippingAntichain(tags);
+  for (AttrMask a : mfa) {
+    EXPECT_TRUE(truth[a]);
+    // Pairwise incomparable.
+    for (AttrMask b : mfa) {
+      if (a == b) continue;
+      EXPECT_FALSE((a & b) == a || (a & b) == b)
+          << a << " and " << b << " are comparable";
+    }
+    // No flipped proper subset.
+    for (AttrMask sub = (a - 1) & a; sub != 0u; sub = (sub - 1) & a) {
+      EXPECT_FALSE(truth[sub]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LatticePropertyTest,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5, 6, 8),
+                       ::testing::Values(1, 2, 3, 4, 5)));
+
+}  // namespace
+}  // namespace certa::core

@@ -1,0 +1,91 @@
+#include "ml/linear_svm.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace certa::ml {
+namespace {
+
+TEST(LinearSvmTest, LearnsSeparableData) {
+  Rng rng(3);
+  std::vector<Vector> features;
+  std::vector<int> labels;
+  for (int i = 0; i < 300; ++i) {
+    double x = rng.UniformDouble(-2.0, 2.0);
+    double y = rng.UniformDouble(-2.0, 2.0);
+    features.push_back({x, y});
+    labels.push_back(x + y > 0.0 ? 1 : 0);
+  }
+  LinearSvm svm;
+  svm.Fit(features, labels);
+  EXPECT_TRUE(svm.is_fitted());
+  EXPECT_EQ(svm.Predict({1.5, 1.5}), 1);
+  EXPECT_EQ(svm.Predict({-1.5, -1.5}), 0);
+}
+
+TEST(LinearSvmTest, CalibratedProbabilitiesAreMonotoneInMargin) {
+  Rng rng(5);
+  std::vector<Vector> features;
+  std::vector<int> labels;
+  for (int i = 0; i < 200; ++i) {
+    double x = rng.UniformDouble(-2.0, 2.0);
+    features.push_back({x});
+    labels.push_back(x > 0.0 ? 1 : 0);
+  }
+  LinearSvm svm;
+  svm.Fit(features, labels);
+  double previous = 0.0;
+  for (double x = -3.0; x <= 3.0; x += 0.5) {
+    double p = svm.PredictProbability({x});
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    EXPECT_GE(p, previous - 1e-9);  // monotone in the margin
+    previous = p;
+  }
+  EXPECT_GT(svm.PredictProbability({2.5}), 0.8);
+  EXPECT_LT(svm.PredictProbability({-2.5}), 0.2);
+}
+
+TEST(LinearSvmTest, MarginSignMatchesPrediction) {
+  std::vector<Vector> features = {{1.0}, {2.0}, {-1.0}, {-2.0}};
+  std::vector<int> labels = {1, 1, 0, 0};
+  LinearSvm svm;
+  svm.Fit(features, labels);
+  EXPECT_GT(svm.DecisionValue({2.0}), 0.0);
+  EXPECT_LT(svm.DecisionValue({-2.0}), 0.0);
+}
+
+TEST(LinearSvmTest, DeterministicForSameSeed) {
+  std::vector<Vector> features = {{1.0}, {-1.0}, {0.5}, {-0.5}};
+  std::vector<int> labels = {1, 0, 1, 0};
+  LinearSvm a;
+  LinearSvm b;
+  a.Fit(features, labels);
+  b.Fit(features, labels);
+  EXPECT_DOUBLE_EQ(a.PredictProbability({0.3}),
+                   b.PredictProbability({0.3}));
+}
+
+TEST(LinearSvmTest, ToleratesNoisyLabels) {
+  Rng rng(7);
+  std::vector<Vector> features;
+  std::vector<int> labels;
+  for (int i = 0; i < 400; ++i) {
+    double x = rng.UniformDouble(-2.0, 2.0);
+    features.push_back({x});
+    int label = x > 0.0 ? 1 : 0;
+    if (rng.Bernoulli(0.1)) label = 1 - label;  // 10% label noise
+    labels.push_back(label);
+  }
+  LinearSvm svm;
+  svm.Fit(features, labels);
+  int correct = 0;
+  for (double x : {-1.5, -1.0, -0.5, 0.5, 1.0, 1.5}) {
+    if (svm.Predict({x}) == (x > 0.0 ? 1 : 0)) ++correct;
+  }
+  EXPECT_GE(correct, 5);
+}
+
+}  // namespace
+}  // namespace certa::ml

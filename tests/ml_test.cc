@@ -1,0 +1,270 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ml/dense.h"
+#include "ml/logistic_regression.h"
+#include "ml/metrics.h"
+#include "ml/mlp.h"
+#include "ml/scaler.h"
+#include "util/random.h"
+
+namespace certa::ml {
+namespace {
+
+// --- dense -------------------------------------------------------------
+
+TEST(DenseTest, DotAxpyNorm) {
+  Vector a = {1.0, 2.0, 3.0};
+  Vector b = {4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+  Axpy(2.0, a, &b);
+  EXPECT_DOUBLE_EQ(b[0], 6.0);
+  EXPECT_DOUBLE_EQ(b[2], 12.0);
+  EXPECT_DOUBLE_EQ(Norm({3.0, 4.0}), 5.0);
+}
+
+TEST(DenseTest, SigmoidStable) {
+  EXPECT_NEAR(Sigmoid(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(2.0) + Sigmoid(-2.0), 1.0, 1e-12);
+}
+
+TEST(DenseTest, MatrixMultiply) {
+  Matrix m(2, 3);
+  // [[1 2 3], [4 5 6]]
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      m.at(r, c) = static_cast<double>(r * 3 + c + 1);
+    }
+  }
+  Vector x = {1.0, 1.0, 1.0};
+  Vector y = m.Multiply(x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+  Vector z = m.MultiplyTransposed({1.0, 1.0});
+  ASSERT_EQ(z.size(), 3u);
+  EXPECT_DOUBLE_EQ(z[0], 5.0);
+  EXPECT_DOUBLE_EQ(z[2], 9.0);
+}
+
+TEST(DenseTest, SolveSpdRecoversSolution) {
+  // A = [[4,1],[1,3]], b = A * [1, 2] = [6, 7].
+  Matrix a(2, 2);
+  a.at(0, 0) = 4.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 3.0;
+  Vector x;
+  ASSERT_TRUE(SolveSpd(a, {6.0, 7.0}, &x));
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+  EXPECT_NEAR(x[1], 2.0, 1e-9);
+}
+
+TEST(DenseTest, WeightedRidgeFitsLinearData) {
+  // y = 2 x0 - 3 x1, exact fit expected with tiny ridge.
+  Rng rng(5);
+  const int n = 50;
+  Matrix design(n, 2);
+  Vector y(n, 0.0);
+  Vector w(n, 1.0);
+  for (int i = 0; i < n; ++i) {
+    double x0 = rng.UniformDouble(-1, 1);
+    double x1 = rng.UniformDouble(-1, 1);
+    design.at(i, 0) = x0;
+    design.at(i, 1) = x1;
+    y[i] = 2.0 * x0 - 3.0 * x1;
+  }
+  Vector beta;
+  ASSERT_TRUE(WeightedRidge(design, y, w, 1e-9, &beta));
+  EXPECT_NEAR(beta[0], 2.0, 1e-4);
+  EXPECT_NEAR(beta[1], -3.0, 1e-4);
+}
+
+TEST(DenseTest, WeightedRidgeIgnoresZeroWeightSamples) {
+  // Two contradictory points; weights keep only the first.
+  Matrix design(2, 1);
+  design.at(0, 0) = 1.0;
+  design.at(1, 0) = 1.0;
+  Vector beta;
+  ASSERT_TRUE(WeightedRidge(design, {1.0, 100.0}, {1.0, 0.0}, 1e-9, &beta));
+  EXPECT_NEAR(beta[0], 1.0, 1e-6);
+}
+
+// --- logistic regression ------------------------------------------------
+
+TEST(LogisticTest, LearnsSeparableData) {
+  Rng rng(11);
+  std::vector<Vector> features;
+  std::vector<int> labels;
+  for (int i = 0; i < 200; ++i) {
+    double x = rng.UniformDouble(-2.0, 2.0);
+    features.push_back({x});
+    labels.push_back(x > 0.0 ? 1 : 0);
+  }
+  LogisticRegression model;
+  model.Fit(features, labels);
+  EXPECT_TRUE(model.is_fitted());
+  EXPECT_EQ(model.Predict({1.5}), 1);
+  EXPECT_EQ(model.Predict({-1.5}), 0);
+  EXPECT_GT(model.PredictProbability({2.0}), 0.9);
+  EXPECT_LT(model.PredictProbability({-2.0}), 0.1);
+}
+
+TEST(LogisticTest, WeightedFitShiftsBoundary) {
+  // Same point with both labels; the weighted copy dominates.
+  std::vector<Vector> features = {{1.0}, {1.0}};
+  std::vector<int> labels = {1, 0};
+  LogisticRegression model;
+  model.FitWeighted(features, labels, {10.0, 1.0});
+  EXPECT_GT(model.PredictProbability({1.0}), 0.5);
+  LogisticRegression other;
+  other.FitWeighted(features, labels, {1.0, 10.0});
+  EXPECT_LT(other.PredictProbability({1.0}), 0.5);
+}
+
+TEST(LogisticTest, DeterministicGivenSeed) {
+  std::vector<Vector> features = {{0.5}, {-0.5}, {1.0}, {-1.0}};
+  std::vector<int> labels = {1, 0, 1, 0};
+  LogisticRegression a;
+  LogisticRegression b;
+  a.Fit(features, labels);
+  b.Fit(features, labels);
+  EXPECT_DOUBLE_EQ(a.PredictProbability({0.3}),
+                   b.PredictProbability({0.3}));
+}
+
+// --- MLP ----------------------------------------------------------------
+
+TEST(MlpTest, LearnsXor) {
+  std::vector<Vector> features = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  std::vector<int> labels = {0, 1, 1, 0};
+  // Replicate so batches have enough signal.
+  std::vector<Vector> train;
+  std::vector<int> train_labels;
+  for (int rep = 0; rep < 30; ++rep) {
+    for (size_t i = 0; i < features.size(); ++i) {
+      train.push_back(features[i]);
+      train_labels.push_back(labels[i]);
+    }
+  }
+  Mlp model;
+  Mlp::Options options;
+  options.hidden_sizes = {8};
+  options.epochs = 400;
+  model.Fit(train, train_labels, options);
+  for (size_t i = 0; i < features.size(); ++i) {
+    EXPECT_EQ(model.Predict(features[i]), labels[i])
+        << "XOR case " << i;
+  }
+}
+
+TEST(MlpTest, OutputsAreProbabilities) {
+  std::vector<Vector> features = {{1.0}, {-1.0}};
+  std::vector<int> labels = {1, 0};
+  Mlp model;
+  model.Fit(features, labels);
+  for (double x = -3.0; x <= 3.0; x += 0.5) {
+    double p = model.PredictProbability({x});
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+// --- metrics --------------------------------------------------------------
+
+TEST(MetricsTest, ConfusionAndDerived) {
+  std::vector<int> labels = {1, 1, 0, 0, 1};
+  std::vector<int> preds = {1, 0, 0, 1, 1};
+  Confusion c = ComputeConfusion(labels, preds);
+  EXPECT_EQ(c.true_positive, 2);
+  EXPECT_EQ(c.false_negative, 1);
+  EXPECT_EQ(c.false_positive, 1);
+  EXPECT_EQ(c.true_negative, 1);
+  EXPECT_DOUBLE_EQ(Accuracy(c), 0.6);
+  EXPECT_DOUBLE_EQ(Precision(c), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Recall(c), 2.0 / 3.0);
+  EXPECT_NEAR(F1(c), 2.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, DegenerateF1) {
+  EXPECT_DOUBLE_EQ(F1Score({0, 0}, {0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(F1Score({1, 1}, {1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy(Confusion{}), 0.0);
+}
+
+TEST(MetricsTest, MeanAbsoluteError) {
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({1.0, 2.0}, {1.5, 1.5}), 0.5);
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({}, {}), 0.0);
+}
+
+TEST(MetricsTest, RocAucPerfectAndRandom) {
+  std::vector<int> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(RocAuc(labels, {0.1, 0.2, 0.8, 0.9}), 1.0);
+  EXPECT_DOUBLE_EQ(RocAuc(labels, {0.9, 0.8, 0.2, 0.1}), 0.0);
+  // One class only -> 0.5 by convention.
+  EXPECT_DOUBLE_EQ(RocAuc({1, 1}, {0.4, 0.6}), 0.5);
+  // All-tied scores -> 0.5.
+  EXPECT_DOUBLE_EQ(RocAuc(labels, {0.5, 0.5, 0.5, 0.5}), 0.5);
+}
+
+TEST(MetricsTest, SpearmanPerfectAndInverse) {
+  EXPECT_DOUBLE_EQ(
+      SpearmanCorrelation({1.0, 2.0, 3.0}, {10.0, 20.0, 30.0}), 1.0);
+  EXPECT_DOUBLE_EQ(
+      SpearmanCorrelation({1.0, 2.0, 3.0}, {30.0, 20.0, 10.0}), -1.0);
+  // Monotone transform leaves rank correlation at 1.
+  EXPECT_DOUBLE_EQ(
+      SpearmanCorrelation({1.0, 2.0, 3.0}, {1.0, 100.0, 10000.0}), 1.0);
+}
+
+TEST(MetricsTest, SpearmanDegenerateCases) {
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({1.0}, {2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({}, {}), 0.0);
+  // Constant vector -> 0 by convention.
+  EXPECT_DOUBLE_EQ(
+      SpearmanCorrelation({5.0, 5.0, 5.0}, {1.0, 2.0, 3.0}), 0.0);
+}
+
+TEST(MetricsTest, SpearmanHandlesTies) {
+  // Ties get midranks; the correlation stays within [-1, 1].
+  double value =
+      SpearmanCorrelation({1.0, 1.0, 2.0, 3.0}, {2.0, 1.0, 3.0, 4.0});
+  EXPECT_GT(value, 0.5);
+  EXPECT_LE(value, 1.0);
+}
+
+TEST(MetricsTest, TrapezoidAuc) {
+  // Unit square: y = 1 over [0, 1].
+  EXPECT_DOUBLE_EQ(TrapezoidAuc({0.0, 1.0}, {1.0, 1.0}), 1.0);
+  // Triangle: y from 0 to 1 over [0, 1].
+  EXPECT_DOUBLE_EQ(TrapezoidAuc({0.0, 1.0}, {0.0, 1.0}), 0.5);
+  // Unsorted xs are sorted internally.
+  EXPECT_DOUBLE_EQ(TrapezoidAuc({1.0, 0.0}, {1.0, 0.0}), 0.5);
+  EXPECT_DOUBLE_EQ(TrapezoidAuc({0.5}, {1.0}), 0.0);
+}
+
+// --- scaler ----------------------------------------------------------------
+
+TEST(ScalerTest, StandardizesColumns) {
+  StandardScaler scaler;
+  std::vector<Vector> rows = {{0.0, 10.0}, {2.0, 10.0}, {4.0, 10.0}};
+  std::vector<Vector> scaled = scaler.FitTransform(rows);
+  // Column 0: mean 2, values -1.22.., 0, 1.22..
+  EXPECT_NEAR(scaled[1][0], 0.0, 1e-12);
+  EXPECT_NEAR(scaled[0][0], -scaled[2][0], 1e-12);
+  // Constant column maps to 0.
+  for (const Vector& row : scaled) EXPECT_DOUBLE_EQ(row[1], 0.0);
+}
+
+TEST(ScalerTest, TransformUsesTrainingStatistics) {
+  StandardScaler scaler;
+  scaler.Fit({{0.0}, {2.0}});
+  Vector out = scaler.Transform({4.0});
+  EXPECT_NEAR(out[0], 3.0, 1e-12);  // (4 - 1) / 1
+}
+
+}  // namespace
+}  // namespace certa::ml

@@ -1,0 +1,222 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/benchmarks.h"
+#include "models/deeper_model.h"
+#include "models/deepmatcher_model.h"
+#include "models/ditto_model.h"
+#include "models/trainer.h"
+#include "test_util.h"
+
+namespace certa::models {
+namespace {
+
+using certa::testing::FakeMatcher;
+using certa::testing::MakeRecord;
+
+// Parameterized across the three models: the invariants every trained
+// matcher must satisfy.
+class TrainedModelTest : public ::testing::TestWithParam<ModelKind> {
+ protected:
+  static data::Dataset& Dataset() {
+    static data::Dataset* dataset =
+        new data::Dataset(data::MakeBenchmark("AB"));
+    return *dataset;
+  }
+};
+
+TEST_P(TrainedModelTest, ScoresAreProbabilities) {
+  auto model = TrainMatcher(GetParam(), Dataset());
+  for (size_t p = 0; p < 20 && p < Dataset().test.size(); ++p) {
+    const auto& pair = Dataset().test[p];
+    double score = model->Score(Dataset().left.record(pair.left_index),
+                                Dataset().right.record(pair.right_index));
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0);
+  }
+}
+
+TEST_P(TrainedModelTest, BeatsChanceOnTestSplit) {
+  auto model = TrainMatcher(GetParam(), Dataset());
+  double f1 = EvaluateF1(*model, Dataset().left, Dataset().right,
+                         Dataset().test);
+  EXPECT_GT(f1, 0.6) << ModelKindName(GetParam());
+}
+
+TEST_P(TrainedModelTest, DeterministicScoring) {
+  auto model = TrainMatcher(GetParam(), Dataset());
+  const auto& pair = Dataset().test.front();
+  const auto& u = Dataset().left.record(pair.left_index);
+  const auto& v = Dataset().right.record(pair.right_index);
+  EXPECT_DOUBLE_EQ(model->Score(u, v), model->Score(u, v));
+}
+
+TEST_P(TrainedModelTest, RetrainingIsReproducible) {
+  auto a = TrainMatcher(GetParam(), Dataset(), 42);
+  auto b = TrainMatcher(GetParam(), Dataset(), 42);
+  const auto& pair = Dataset().test.front();
+  const auto& u = Dataset().left.record(pair.left_index);
+  const auto& v = Dataset().right.record(pair.right_index);
+  EXPECT_DOUBLE_EQ(a->Score(u, v), b->Score(u, v));
+}
+
+TEST_P(TrainedModelTest, IdenticalRecordsScoreHigh) {
+  auto model = TrainMatcher(GetParam(), Dataset());
+  // A record paired with an exact copy of itself should look like a
+  // match to any sane ER model.
+  int agreements = 0;
+  int total = 0;
+  for (int r = 0; r < 10 && r < Dataset().left.size(); ++r) {
+    data::Record self = Dataset().left.record(r);
+    ++total;
+    if (model->Score(self, self) >= 0.5) ++agreements;
+  }
+  EXPECT_GE(agreements, total - 2) << ModelKindName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, TrainedModelTest,
+    ::testing::Values(ModelKind::kDeepEr, ModelKind::kDeepMatcher,
+                      ModelKind::kDitto),
+    [](const auto& info) { return ModelKindName(info.param); });
+
+TEST(ModelKindTest, NamesMatchPaper) {
+  EXPECT_EQ(ModelKindName(ModelKind::kDeepEr), "DeepER");
+  EXPECT_EQ(ModelKindName(ModelKind::kDeepMatcher), "DeepMatcher");
+  EXPECT_EQ(ModelKindName(ModelKind::kDitto), "Ditto");
+  EXPECT_EQ(AllModelKinds().size(), 3u);
+}
+
+TEST(DittoSerializeTest, ColValMarkers) {
+  data::Schema schema({"name", "price"});
+  data::Record record = MakeRecord(0, {"sony bravia", "NaN"});
+  std::string serialized = DittoModel::Serialize(schema, record);
+  EXPECT_EQ(serialized, "[COL] name [VAL] sony bravia [COL] price [VAL]");
+}
+
+TEST(EvaluateF1Test, PerfectOracle) {
+  data::Dataset dataset = data::MakeBenchmark("FZ");
+  // Oracle matcher: peeks at the ground truth via a lookup set.
+  std::set<std::pair<std::string, std::string>> matches;
+  for (const auto& pair : dataset.test) {
+    if (pair.label == 1) {
+      matches.insert({dataset.left.record(pair.left_index).value(0),
+                      dataset.right.record(pair.right_index).value(0)});
+    }
+  }
+  FakeMatcher oracle([&](const data::Record& u, const data::Record& v) {
+    return matches.count({u.value(0), v.value(0)}) ? 1.0 : 0.0;
+  });
+  EXPECT_DOUBLE_EQ(
+      EvaluateF1(oracle, dataset.left, dataset.right, dataset.test), 1.0);
+}
+
+TEST(CachingMatcherTest, CachesByValue) {
+  int base_calls = 0;
+  FakeMatcher base([&](const data::Record&, const data::Record&) {
+    ++base_calls;
+    return 0.7;
+  });
+  CachingMatcher cached(&base);
+  data::Record u = MakeRecord(0, {"a", "b"});
+  data::Record v = MakeRecord(1, {"c", "d"});
+  EXPECT_DOUBLE_EQ(cached.Score(u, v), 0.7);
+  EXPECT_DOUBLE_EQ(cached.Score(u, v), 0.7);
+  EXPECT_EQ(base_calls, 1);
+  EXPECT_EQ(cached.hit_count(), 1u);
+  EXPECT_EQ(cached.miss_count(), 1u);
+  // Same values, different id: still a cache hit (value-keyed).
+  data::Record u2 = MakeRecord(99, {"a", "b"});
+  cached.Score(u2, v);
+  EXPECT_EQ(base_calls, 1);
+}
+
+TEST(CachingMatcherTest, DistinguishesSides) {
+  // <u, v> and <v, u> must not collide in the cache.
+  FakeMatcher base([](const data::Record& u, const data::Record&) {
+    return u.value(0) == "left" ? 0.9 : 0.1;
+  });
+  CachingMatcher cached(&base);
+  data::Record a = MakeRecord(0, {"left"});
+  data::Record b = MakeRecord(1, {"right"});
+  EXPECT_DOUBLE_EQ(cached.Score(a, b), 0.9);
+  EXPECT_DOUBLE_EQ(cached.Score(b, a), 0.1);
+}
+
+TEST(CachingMatcherTest, DistinguishesValueBoundaries) {
+  // {"ab", "c"} vs {"a", "bc"} must hash to different keys.
+  FakeMatcher base([](const data::Record& u, const data::Record&) {
+    return u.value(0).size() == 2 ? 0.9 : 0.1;
+  });
+  CachingMatcher cached(&base);
+  data::Record v = MakeRecord(9, {"x"});
+  EXPECT_DOUBLE_EQ(cached.Score(MakeRecord(0, {"ab", "c"}), v), 0.9);
+  EXPECT_DOUBLE_EQ(cached.Score(MakeRecord(1, {"a", "bc"}), v), 0.1);
+}
+
+TEST(CachingMatcherTest, EvictsWhenFull) {
+  FakeMatcher base([](const data::Record&, const data::Record&) {
+    return 0.5;
+  });
+  CachingMatcher cached(&base, /*max_entries=*/2);
+  data::Record v = MakeRecord(0, {"v"});
+  cached.Score(MakeRecord(1, {"a"}), v);
+  cached.Score(MakeRecord(2, {"b"}), v);
+  cached.Score(MakeRecord(3, {"c"}), v);  // triggers reset, no crash
+  EXPECT_EQ(cached.miss_count(), 3u);
+}
+
+TEST(DeepMatcherModelTest, FeatureDimensionPerAttribute) {
+  // The DeepMatcher stand-in is attribute-aligned: records with
+  // different arities are a programmer error (covered by CHECK), and
+  // the feature block is kFeaturesPerAttribute per attribute — verified
+  // indirectly by training on two schemas of different widths.
+  data::Dataset ab = data::MakeBenchmark("AB");   // 3 attributes
+  data::Dataset fz = data::MakeBenchmark("FZ");   // 6 attributes
+  auto model_ab = TrainMatcher(ModelKind::kDeepMatcher, ab);
+  auto model_fz = TrainMatcher(ModelKind::kDeepMatcher, fz);
+  EXPECT_GT(EvaluateF1(*model_ab, ab.left, ab.right, ab.test), 0.5);
+  EXPECT_GT(EvaluateF1(*model_fz, fz.left, fz.right, fz.test), 0.5);
+}
+
+TEST(SvmModelTest, ClassicalMatcherTrainsAndScores) {
+  // The classical SVM matcher (not in the paper's trio) still learns
+  // the synthetic benchmarks well and produces calibrated scores.
+  data::Dataset dataset = data::MakeBenchmark("FZ");
+  auto model = TrainMatcher(ModelKind::kSvm, dataset);
+  EXPECT_EQ(model->name(), "SVM");
+  EXPECT_EQ(ModelKindName(ModelKind::kSvm), "SVM");
+  double f1 = EvaluateF1(*model, dataset.left, dataset.right, dataset.test);
+  EXPECT_GT(f1, 0.6);
+  for (size_t p = 0; p < 10 && p < dataset.test.size(); ++p) {
+    const auto& pair = dataset.test[p];
+    double score = model->Score(dataset.left.record(pair.left_index),
+                                dataset.right.record(pair.right_index));
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0);
+  }
+}
+
+TEST(SvmModelTest, ExcludedFromPaperTrio) {
+  for (ModelKind kind : AllModelKinds()) {
+    EXPECT_NE(kind, ModelKind::kSvm);
+  }
+}
+
+TEST(DeepErModelTest, RecordLevelGranularity) {
+  // DeepER fuses attributes into one token bag: moving a token from one
+  // attribute to another barely changes the score (only the character
+  // n-gram channel sees the moved value boundary). An attribute-level
+  // model has no such invariance.
+  data::Dataset dataset = data::MakeBenchmark("AB");
+  auto model = TrainMatcher(ModelKind::kDeepEr, dataset);
+  data::Record u = MakeRecord(0, {"sony bravia", "theater system", "99"});
+  data::Record u_moved =
+      MakeRecord(0, {"sony", "bravia theater system", "99"});
+  data::Record v = MakeRecord(1, {"sony bravia", "home theater", "98"});
+  EXPECT_NEAR(model->Score(u, v), model->Score(u_moved, v), 0.15);
+}
+
+}  // namespace
+}  // namespace certa::models

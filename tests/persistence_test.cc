@@ -1,0 +1,203 @@
+#include <filesystem>
+#include <fstream>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "data/benchmarks.h"
+#include "ml/linear_svm.h"
+#include "ml/logistic_regression.h"
+#include "ml/mlp.h"
+#include "ml/scaler.h"
+#include "models/trainer.h"
+#include "util/archive.h"
+
+namespace certa {
+namespace {
+
+// --- TextArchive -----------------------------------------------------------
+
+TEST(TextArchiveTest, RoundtripsAllTypes) {
+  TextArchive archive;
+  archive.PutString("name", "a value with spaces");
+  archive.PutInt("count", -42);
+  archive.PutDouble("pi", 3.14159265358979);
+  archive.PutVector("vec", {1.5, -2.5, 0.0});
+
+  TextArchive parsed;
+  ASSERT_TRUE(TextArchive::Parse(archive.Serialize(), &parsed));
+  std::string text;
+  long long integer = 0;
+  double number = 0.0;
+  std::vector<double> vec;
+  ASSERT_TRUE(parsed.GetString("name", &text));
+  EXPECT_EQ(text, "a value with spaces");
+  ASSERT_TRUE(parsed.GetInt("count", &integer));
+  EXPECT_EQ(integer, -42);
+  ASSERT_TRUE(parsed.GetDouble("pi", &number));
+  EXPECT_DOUBLE_EQ(number, 3.14159265358979);
+  ASSERT_TRUE(parsed.GetVector("vec", &vec));
+  EXPECT_EQ(vec, (std::vector<double>{1.5, -2.5, 0.0}));
+}
+
+TEST(TextArchiveTest, ExactDoublePrecision) {
+  TextArchive archive;
+  double value = 0.1 + 0.2;  // not exactly 0.3
+  archive.PutDouble("x", value);
+  TextArchive parsed;
+  ASSERT_TRUE(TextArchive::Parse(archive.Serialize(), &parsed));
+  double loaded = 0.0;
+  ASSERT_TRUE(parsed.GetDouble("x", &loaded));
+  EXPECT_EQ(loaded, value);  // bit-exact via %.17g
+}
+
+TEST(TextArchiveTest, MissingKeysReturnFalse) {
+  TextArchive archive;
+  std::string text;
+  double number = 0.0;
+  EXPECT_FALSE(archive.GetString("nope", &text));
+  EXPECT_FALSE(archive.GetDouble("nope", &number));
+  EXPECT_FALSE(archive.Has("nope"));
+}
+
+TEST(TextArchiveTest, RejectsMalformedInput) {
+  TextArchive parsed;
+  EXPECT_FALSE(TextArchive::Parse("x badtag 1\n", &parsed));
+  EXPECT_FALSE(TextArchive::Parse("v key 3 1.0 2.0\n", &parsed));  // count
+  EXPECT_FALSE(TextArchive::Parse("d key notanumber\n", &parsed));
+  EXPECT_TRUE(TextArchive::Parse("", &parsed));  // empty is fine
+}
+
+TEST(TextArchiveTest, SerializationIsCanonical) {
+  TextArchive a;
+  a.PutInt("b", 2);
+  a.PutInt("a", 1);
+  TextArchive b;
+  b.PutInt("a", 1);
+  b.PutInt("b", 2);
+  EXPECT_EQ(a.Serialize(), b.Serialize());
+}
+
+// --- component round trips ---------------------------------------------------
+
+TEST(PersistenceTest, ScalerRoundtrip) {
+  ml::StandardScaler scaler;
+  scaler.Fit({{1.0, 5.0}, {3.0, 5.0}});
+  TextArchive archive;
+  scaler.Save(&archive, "s");
+  ml::StandardScaler loaded;
+  ASSERT_TRUE(loaded.Load(archive, "s"));
+  EXPECT_EQ(loaded.Transform({2.5, 7.0}), scaler.Transform({2.5, 7.0}));
+}
+
+TEST(PersistenceTest, LogisticRoundtrip) {
+  ml::LogisticRegression model;
+  model.Fit({{1.0}, {-1.0}, {0.5}, {-0.5}}, {1, 0, 1, 0});
+  TextArchive archive;
+  model.Save(&archive, "m");
+  ml::LogisticRegression loaded;
+  ASSERT_TRUE(loaded.Load(archive, "m"));
+  EXPECT_DOUBLE_EQ(loaded.PredictProbability({0.7}),
+                   model.PredictProbability({0.7}));
+}
+
+TEST(PersistenceTest, SvmRoundtrip) {
+  ml::LinearSvm model;
+  model.Fit({{1.0}, {2.0}, {-1.0}, {-2.0}}, {1, 1, 0, 0});
+  TextArchive archive;
+  model.Save(&archive, "m");
+  ml::LinearSvm loaded;
+  ASSERT_TRUE(loaded.Load(archive, "m"));
+  EXPECT_DOUBLE_EQ(loaded.PredictProbability({1.3}),
+                   model.PredictProbability({1.3}));
+}
+
+TEST(PersistenceTest, MlpRoundtrip) {
+  ml::Mlp model;
+  ml::Mlp::Options options;
+  options.hidden_sizes = {4};
+  options.epochs = 50;
+  model.Fit({{1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}, {0.0, 0.0}},
+            {1, 1, 0, 0}, options);
+  TextArchive archive;
+  model.Save(&archive, "m");
+  ml::Mlp loaded;
+  ASSERT_TRUE(loaded.Load(archive, "m"));
+  EXPECT_DOUBLE_EQ(loaded.PredictProbability({0.3, 0.8}),
+                   model.PredictProbability({0.3, 0.8}));
+}
+
+TEST(PersistenceTest, MlpLoadRejectsCorruptShapes) {
+  TextArchive archive;
+  archive.PutInt("m.layers", 1);
+  archive.PutInt("m.layer0.rows", 2);
+  archive.PutInt("m.layer0.cols", 2);
+  archive.PutVector("m.layer0.weights", {1.0, 2.0, 3.0});  // wrong size
+  archive.PutVector("m.layer0.bias", {0.0, 0.0});
+  ml::Mlp loaded;
+  EXPECT_FALSE(loaded.Load(archive, "m"));
+}
+
+// --- full matcher round trips ------------------------------------------------
+
+class MatcherPersistenceTest
+    : public ::testing::TestWithParam<models::ModelKind> {
+ protected:
+  void SetUp() override {
+    directory_ = std::filesystem::temp_directory_path() /
+                 ("certa_model_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(directory_);
+  }
+  void TearDown() override { std::filesystem::remove_all(directory_); }
+  std::filesystem::path directory_;
+};
+
+TEST_P(MatcherPersistenceTest, ScoresSurviveSaveLoad) {
+  data::Dataset dataset = data::MakeBenchmark("AB");
+  auto model = models::TrainMatcher(GetParam(), dataset);
+  std::string path = (directory_ / "model.certa").string();
+  ASSERT_TRUE(models::SaveMatcher(*model, GetParam(), path));
+
+  models::ModelKind loaded_kind;
+  std::unique_ptr<models::Matcher> loaded =
+      models::LoadMatcher(path, &loaded_kind);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded_kind, GetParam());
+  EXPECT_EQ(loaded->name(), model->name());
+  for (size_t p = 0; p < 10 && p < dataset.test.size(); ++p) {
+    const auto& pair = dataset.test[p];
+    const auto& u = dataset.left.record(pair.left_index);
+    const auto& v = dataset.right.record(pair.right_index);
+    EXPECT_DOUBLE_EQ(loaded->Score(u, v), model->Score(u, v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, MatcherPersistenceTest,
+    ::testing::Values(models::ModelKind::kDeepEr,
+                      models::ModelKind::kDeepMatcher,
+                      models::ModelKind::kDitto, models::ModelKind::kSvm),
+    [](const auto& info) { return models::ModelKindName(info.param); });
+
+TEST(MatcherPersistenceErrorsTest, MissingFileReturnsNull) {
+  models::ModelKind kind;
+  EXPECT_EQ(models::LoadMatcher("/nonexistent/path.certa", &kind),
+            nullptr);
+}
+
+TEST(MatcherPersistenceErrorsTest, CorruptFormatReturnsNull) {
+  std::filesystem::path path =
+      std::filesystem::temp_directory_path() /
+      ("certa_corrupt_" + std::to_string(::getpid()) + ".certa");
+  {
+    std::ofstream out(path);
+    out << "s format wrong-format\n";
+  }
+  models::ModelKind kind;
+  EXPECT_EQ(models::LoadMatcher(path.string(), &kind), nullptr);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace certa

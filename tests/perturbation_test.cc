@@ -1,0 +1,84 @@
+#include "explain/perturbation.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "text/tokenizer.h"
+
+namespace certa::explain {
+namespace {
+
+using certa::testing::MakeRecord;
+
+TEST(MaskTest, SizeAndIndices) {
+  EXPECT_EQ(MaskSize(0u), 0);
+  EXPECT_EQ(MaskSize(0b1011u), 3);
+  EXPECT_EQ(MaskToIndices(0b1011u), (std::vector<int>{0, 1, 3}));
+  EXPECT_TRUE(MaskToIndices(0u).empty());
+}
+
+TEST(CopyAttributesTest, CopiesOnlyMaskedValues) {
+  data::Record base = MakeRecord(0, {"a0", "a1", "a2"});
+  data::Record source = MakeRecord(1, {"b0", "b1", "b2"});
+  data::Record result = CopyAttributes(base, source, 0b101u);
+  EXPECT_EQ(result.values, (std::vector<std::string>{"b0", "a1", "b2"}));
+  // ψ(u, w, ∅) = u.
+  EXPECT_EQ(CopyAttributes(base, source, 0u).values, base.values);
+  // Base unchanged (value semantics).
+  EXPECT_EQ(base.values[0], "a0");
+}
+
+TEST(DropAttributesTest, BlanksMaskedValues) {
+  data::Record base = MakeRecord(0, {"a0", "a1"});
+  data::Record result = DropAttributes(base, 0b10u);
+  EXPECT_EQ(result.values, (std::vector<std::string>{"a0", ""}));
+  EXPECT_TRUE(text::IsMissing(result.values[1]));
+}
+
+TEST(DropTokenRunsTest, DropsPrefixOrSuffix) {
+  data::Record base = MakeRecord(0, {"t1 t2 t3 t4", "solo"});
+  Rng rng(5);
+  bool saw_change = false;
+  for (int round = 0; round < 20; ++round) {
+    data::Record result = DropTokenRuns(base, 0b01u, &rng);
+    std::vector<std::string> tokens = text::RawTokens(result.values[0]);
+    ASSERT_GE(tokens.size(), 1u);
+    ASSERT_LT(tokens.size(), 4u);
+    // Remaining tokens are a contiguous run of the original.
+    std::vector<std::string> original = text::RawTokens(base.values[0]);
+    bool is_prefix = std::equal(tokens.begin(), tokens.end(),
+                                original.begin());
+    bool is_suffix = std::equal(tokens.rbegin(), tokens.rend(),
+                                original.rbegin());
+    EXPECT_TRUE(is_prefix || is_suffix) << result.values[0];
+    saw_change = true;
+    // Single-token attributes are untouched even when masked.
+    data::Record both = DropTokenRuns(base, 0b11u, &rng);
+    EXPECT_EQ(both.values[1], "solo");
+  }
+  EXPECT_TRUE(saw_change);
+}
+
+TEST(DropTokenRunsTest, MissingValuesUntouched) {
+  data::Record base = MakeRecord(0, {"NaN", "a b"});
+  Rng rng(5);
+  data::Record result = DropTokenRuns(base, 0b01u, &rng);
+  EXPECT_EQ(result.values[0], "NaN");
+}
+
+TEST(RandomProperSubsetTest, NeverEmptyOrFull) {
+  Rng rng(7);
+  std::set<AttrMask> seen;
+  for (int round = 0; round < 300; ++round) {
+    AttrMask mask = RandomProperSubset(3, &rng);
+    EXPECT_NE(mask, 0u);
+    EXPECT_NE(mask, 0b111u);
+    seen.insert(mask);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all proper non-empty subsets reached
+}
+
+}  // namespace
+}  // namespace certa::explain

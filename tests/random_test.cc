@@ -1,0 +1,171 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace certa {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformDoubleInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.UniformDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleCoversRange) {
+  Rng rng(7);
+  double lo = 1.0;
+  double hi = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.UniformDouble();
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  EXPECT_LT(lo, 0.05);
+  EXPECT_GT(hi, 0.95);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(3);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) {
+    int x = rng.UniformInt(2, 5);
+    EXPECT_GE(x, 2);
+    EXPECT_LE(x, 5);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values appear
+}
+
+TEST(RngTest, UniformIntSingleValue) {
+  Rng rng(3);
+  EXPECT_EQ(rng.UniformInt(7, 7), 7);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  double rate = static_cast<double>(hits) / n;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  const int n = 50000;
+  double sum = 0.0;
+  double sum_squares = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Gaussian();
+    sum += x;
+    sum_squares += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_squares / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(19);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(RngTest, SampleIndicesDistinct) {
+  Rng rng(23);
+  std::vector<size_t> sample = rng.SampleIndices(100, 10);
+  EXPECT_EQ(sample.size(), 10u);
+  std::set<size_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 10u);
+  for (size_t index : sample) EXPECT_LT(index, 100u);
+}
+
+TEST(RngTest, SampleIndicesAllWhenKExceedsN) {
+  Rng rng(23);
+  std::vector<size_t> sample = rng.SampleIndices(5, 10);
+  EXPECT_EQ(sample.size(), 5u);
+  std::set<size_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 5u);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(29);
+  std::vector<double> weights = {0.0, 10.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.WeightedIndex(weights), 1u);
+  }
+}
+
+TEST(RngTest, WeightedIndexZeroWeightsFallsBackToUniform) {
+  Rng rng(31);
+  std::vector<double> weights = {0.0, 0.0, 0.0};
+  std::set<size_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    size_t index = rng.WeightedIndex(weights);
+    EXPECT_LT(index, 3u);
+    seen.insert(index);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng parent(37);
+  Rng child = parent.Fork();
+  // The child should not replay the parent's stream.
+  Rng parent_copy(37);
+  parent_copy.Fork();
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (child.NextUint64() == parent.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace certa

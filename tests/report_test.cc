@@ -1,0 +1,104 @@
+#include "explain/report.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace certa::explain {
+namespace {
+
+using certa::testing::MakeRecord;
+
+struct Fixture {
+  data::Schema left{std::vector<std::string>{"name", "price"}};
+  data::Schema right{std::vector<std::string>{"name", "price"}};
+  data::Record u = MakeRecord(0, {"sony bravia", "99"});
+  data::Record v = MakeRecord(1, {"sony tv", "98"});
+
+  SaliencyExplanation Saliency() const {
+    SaliencyExplanation explanation(2, 2);
+    explanation.set_score({data::Side::kLeft, 0}, 0.8);
+    explanation.set_score({data::Side::kRight, 0}, 0.6);
+    explanation.set_score({data::Side::kLeft, 1}, 0.2);
+    return explanation;
+  }
+
+  CounterfactualExample Example() const {
+    CounterfactualExample example;
+    example.left = MakeRecord(0, {"other brand", "99"});
+    example.right = v;
+    example.changed_attributes = {{data::Side::kLeft, 0}};
+    example.score = 0.1;
+    example.sufficiency = 0.75;
+    return example;
+  }
+};
+
+TEST(RenderSaliencyTest, RankedWithBars) {
+  Fixture fixture;
+  std::string text =
+      RenderSaliency(fixture.Saliency(), fixture.left, fixture.right);
+  // Top attribute first, with a full-length bar.
+  size_t l_name = text.find("L_name");
+  size_t r_name = text.find("R_name");
+  size_t l_price = text.find("L_price");
+  EXPECT_NE(l_name, std::string::npos);
+  EXPECT_LT(l_name, r_name);
+  EXPECT_LT(r_name, l_price);
+  EXPECT_NE(text.find("0.800"), std::string::npos);
+  EXPECT_NE(text.find("####"), std::string::npos);
+}
+
+TEST(RenderCounterfactualTest, ShowsChangeAndFlip) {
+  Fixture fixture;
+  std::string text = RenderCounterfactual(
+      fixture.Example(), fixture.u, fixture.v, fixture.left, fixture.right,
+      /*original_score=*/0.9);
+  EXPECT_NE(text.find("changing {L_name}"), std::string::npos);
+  EXPECT_NE(text.find("turns the Match"), std::string::npos);
+  EXPECT_NE(text.find("Non-Match"), std::string::npos);
+  EXPECT_NE(text.find("\"sony bravia\" -> \"other brand\""),
+            std::string::npos);
+  EXPECT_NE(text.find("sufficiency 0.75"), std::string::npos);
+}
+
+TEST(RenderReportTest, FullReportContainsAllSections) {
+  Fixture fixture;
+  std::string text = RenderReport(fixture.u, fixture.v, fixture.left,
+                                  fixture.right, 0.9, fixture.Saliency(),
+                                  {fixture.Example()});
+  EXPECT_NE(text.find("prediction: Match (score 0.900)"),
+            std::string::npos);
+  EXPECT_NE(text.find("L_name = sony bravia"), std::string::npos);
+  EXPECT_NE(text.find("attribute saliency"), std::string::npos);
+  EXPECT_NE(text.find("counterfactuals (1 found)"), std::string::npos);
+}
+
+TEST(RenderReportTest, NoExamplesMessage) {
+  Fixture fixture;
+  std::string text = RenderReport(fixture.u, fixture.v, fixture.left,
+                                  fixture.right, 0.2, fixture.Saliency(),
+                                  {});
+  EXPECT_NE(text.find("prediction: Non-Match"), std::string::npos);
+  EXPECT_NE(text.find("no counterfactual examples found"),
+            std::string::npos);
+}
+
+TEST(RenderReportTest, CapsExampleCount) {
+  Fixture fixture;
+  std::vector<CounterfactualExample> examples(5, fixture.Example());
+  std::string text = RenderReport(fixture.u, fixture.v, fixture.left,
+                                  fixture.right, 0.9, fixture.Saliency(),
+                                  examples, /*max_examples=*/2);
+  // "changing {" appears exactly twice.
+  size_t first = text.find("changing {");
+  size_t second = text.find("changing {", first + 1);
+  size_t third = text.find("changing {", second + 1);
+  EXPECT_NE(first, std::string::npos);
+  EXPECT_NE(second, std::string::npos);
+  EXPECT_EQ(third, std::string::npos);
+  EXPECT_NE(text.find("counterfactuals (5 found)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace certa::explain

@@ -1,0 +1,121 @@
+#include "models/rule_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/certa_explainer.h"
+#include "data/benchmarks.h"
+#include "models/trainer.h"
+#include "test_util.h"
+
+namespace certa::models {
+namespace {
+
+using certa::testing::MakeRecord;
+using certa::testing::MakeTable;
+
+/// A tiny dataset where matching is exactly "attribute 0 similar":
+/// matches share value(0); non-matches don't.
+data::Dataset KeyDataset() {
+  data::Dataset dataset;
+  dataset.code = "KEY";
+  dataset.left = MakeTable("U", {"key", "noise"},
+                           {{"alpha one", "x1"},
+                            {"beta two", "x2"},
+                            {"gamma three", "x3"},
+                            {"delta four", "x4"}});
+  dataset.right = MakeTable("V", {"key", "noise"},
+                            {{"alpha one", "y1"},
+                             {"beta two", "y2"},
+                             {"gamma three", "y3"},
+                             {"epsilon five", "y4"}});
+  // Matches on the diagonal, non-matches off it.
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      dataset.train.push_back({i, j, i == j && i < 3 ? 1 : 0});
+    }
+  }
+  dataset.test = dataset.train;
+  return dataset;
+}
+
+TEST(RuleModelTest, LearnsAKeyRule) {
+  data::Dataset dataset = KeyDataset();
+  RuleModel model;
+  model.Fit(dataset);
+  ASSERT_TRUE(model.is_fitted());
+  ASSERT_FALSE(model.rules().empty());
+  // The first rule conditions on attribute 0 (the key).
+  EXPECT_EQ(model.rules()[0].conditions[0].attribute, 0);
+  EXPECT_GE(model.rules()[0].precision, 0.9);
+}
+
+TEST(RuleModelTest, PerfectOnItsTrainingConcept) {
+  data::Dataset dataset = KeyDataset();
+  RuleModel model;
+  model.Fit(dataset);
+  double f1 = EvaluateF1(model, dataset.left, dataset.right, dataset.test);
+  EXPECT_DOUBLE_EQ(f1, 1.0);
+}
+
+TEST(RuleModelTest, ScoresAreCalibratedAroundThreshold) {
+  data::Dataset dataset = KeyDataset();
+  RuleModel model;
+  model.Fit(dataset);
+  // Fired rule -> above 0.5; no rule -> below 0.5.
+  EXPECT_GE(model.Score(dataset.left.record(0), dataset.right.record(0)),
+            0.51);
+  EXPECT_LT(model.Score(dataset.left.record(0), dataset.right.record(1)),
+            0.5);
+}
+
+TEST(RuleModelTest, DescribeRendersRules) {
+  data::Dataset dataset = KeyDataset();
+  RuleModel model;
+  model.Fit(dataset);
+  std::string description = model.Describe(dataset.left.schema());
+  EXPECT_NE(description.find("IF sim(key)"), std::string::npos);
+  EXPECT_NE(description.find("THEN Match"), std::string::npos);
+  EXPECT_NE(description.find("precision"), std::string::npos);
+}
+
+TEST(RuleModelTest, RespectsRuleBudget) {
+  data::Dataset dataset = data::MakeBenchmark("AB");
+  RuleModel model;
+  RuleModel::Options options;
+  options.max_rules = 2;
+  options.max_conditions = 2;
+  model.Fit(dataset, options);
+  EXPECT_LE(model.rules().size(), 2u);
+  for (const MatchingRule& rule : model.rules()) {
+    EXPECT_LE(rule.conditions.size(), 2u);
+  }
+}
+
+TEST(RuleModelTest, ReasonableOnSyntheticBenchmark) {
+  data::Dataset dataset = data::MakeBenchmark("FZ");
+  RuleModel model;
+  model.Fit(dataset);
+  double f1 = EvaluateF1(model, dataset.left, dataset.right, dataset.test);
+  EXPECT_GT(f1, 0.6);
+}
+
+TEST(RuleModelTest, CertaCanExplainTheRuleModel) {
+  // The point of an interpretable model here: CERTA's explanation of it
+  // should surface the attributes the rules actually use.
+  data::Dataset dataset = KeyDataset();
+  RuleModel model;
+  model.Fit(dataset);
+  explain::ExplainContext context{&model, &dataset.left, &dataset.right};
+  core::CertaExplainer explainer(context);
+  core::CertaResult result = explainer.Explain(dataset.left.record(0),
+                                               dataset.right.record(0));
+  // key attributes outrank noise on whichever sides have triangles.
+  double key_saliency = result.saliency.score({data::Side::kLeft, 0}) +
+                        result.saliency.score({data::Side::kRight, 0});
+  double noise_saliency = result.saliency.score({data::Side::kLeft, 1}) +
+                          result.saliency.score({data::Side::kRight, 1});
+  EXPECT_GT(key_saliency, noise_saliency);
+}
+
+}  // namespace
+}  // namespace certa::models

@@ -1,0 +1,171 @@
+#include "text/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace certa::text {
+namespace {
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(LevenshteinDistance("", ""), 0);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0);
+  EXPECT_EQ(LevenshteinDistance("abc", "abd"), 1);
+}
+
+TEST(LevenshteinTest, SymmetricAndBounded) {
+  EXPECT_EQ(LevenshteinDistance("sony", "snoy"),
+            LevenshteinDistance("snoy", "sony"));
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(JaroTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "abc"), 1.0);
+  // Classic textbook value: JARO(martha, marhta) = 0.944...
+  EXPECT_NEAR(JaroSimilarity("martha", "marhta"), 0.9444, 1e-3);
+}
+
+TEST(JaroWinklerTest, PrefixBoost) {
+  double jaro = JaroSimilarity("prefixend", "prefixxyz");
+  double jw = JaroWinklerSimilarity("prefixend", "prefixxyz");
+  EXPECT_GT(jw, jaro);
+  EXPECT_LE(jw, 1.0);
+  // Textbook: JW(dwayne, duane) ~ 0.84.
+  EXPECT_NEAR(JaroWinklerSimilarity("dwayne", "duane"), 0.84, 0.01);
+}
+
+TEST(JaccardTest, SetSemantics) {
+  std::vector<std::string> a = {"x", "y", "y"};
+  std::vector<std::string> b = {"y", "z"};
+  // Sets {x,y} and {y,z}: intersection 1, union 3.
+  EXPECT_NEAR(JaccardSimilarity(a, b), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, {}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, a), 1.0);
+}
+
+TEST(OverlapTest, MinNormalization) {
+  std::vector<std::string> small = {"a"};
+  std::vector<std::string> large = {"a", "b", "c", "d"};
+  EXPECT_DOUBLE_EQ(OverlapCoefficient(small, large), 1.0);
+  EXPECT_DOUBLE_EQ(OverlapCoefficient({}, large), 0.0);
+  EXPECT_DOUBLE_EQ(OverlapCoefficient({}, {}), 1.0);
+}
+
+TEST(DiceTest, KnownValue) {
+  std::vector<std::string> a = {"a", "b"};
+  std::vector<std::string> b = {"b", "c"};
+  EXPECT_NEAR(DiceCoefficient(a, b), 0.5, 1e-12);
+}
+
+TEST(CosineTest, OrthogonalAndParallel) {
+  std::vector<std::string> a = {"x", "y"};
+  std::vector<std::string> b = {"z", "w"};
+  EXPECT_DOUBLE_EQ(CosineTokenSimilarity(a, b), 0.0);
+  EXPECT_NEAR(CosineTokenSimilarity(a, a), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(CosineTokenSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(CosineTokenSimilarity(a, {}), 0.0);
+}
+
+TEST(MongeElkanTest, AsymmetryAndSymmetrization) {
+  std::vector<std::string> a = {"sony"};
+  std::vector<std::string> b = {"sony", "unrelatedzzz"};
+  double ab = MongeElkanSimilarity(a, b);
+  double ba = MongeElkanSimilarity(b, a);
+  EXPECT_DOUBLE_EQ(ab, 1.0);  // every token of a matches perfectly
+  EXPECT_LT(ba, 1.0);
+  EXPECT_NEAR(SymmetricMongeElkan(a, b), (ab + ba) / 2.0, 1e-12);
+}
+
+TEST(TrigramTest, TypoRobustness) {
+  double clean = TrigramSimilarity("sony bravia", "sony bravia");
+  double typo = TrigramSimilarity("sony bravia", "sony brava");
+  double unrelated = TrigramSimilarity("sony bravia", "zzz qqq");
+  EXPECT_DOUBLE_EQ(clean, 1.0);
+  EXPECT_GT(typo, 0.5);
+  EXPECT_LT(unrelated, 0.1);
+}
+
+TEST(NumericSimilarityTest, RelativeScale) {
+  EXPECT_DOUBLE_EQ(NumericSimilarity(100.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(NumericSimilarity(0.0, 0.0), 1.0);
+  EXPECT_NEAR(NumericSimilarity(100.0, 90.0), 0.9, 1e-12);
+  EXPECT_DOUBLE_EQ(NumericSimilarity(1.0, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(NumericSimilarity(0.0, 5.0), 0.0);
+}
+
+TEST(AttributeSimilarityTest, MissingValueSemantics) {
+  EXPECT_DOUBLE_EQ(AttributeSimilarity("NaN", "NaN"), 1.0);
+  EXPECT_DOUBLE_EQ(AttributeSimilarity("NaN", "sony"), 0.0);
+  EXPECT_DOUBLE_EQ(AttributeSimilarity("", ""), 1.0);
+}
+
+TEST(AttributeSimilarityTest, NumericDispatch) {
+  EXPECT_NEAR(AttributeSimilarity("100", "90"), 0.9, 1e-9);
+  EXPECT_NEAR(AttributeSimilarity("$100.00", "100"), 1.0, 1e-9);
+}
+
+TEST(AttributeSimilarityTest, TextBlend) {
+  double same = AttributeSimilarity("sony bravia tv", "sony bravia tv");
+  double close = AttributeSimilarity("sony bravia tv", "sony bravia");
+  double far = AttributeSimilarity("sony bravia tv", "altec lansing");
+  EXPECT_DOUBLE_EQ(same, 1.0);
+  EXPECT_GT(close, far);
+  EXPECT_GT(close, 0.4);
+  EXPECT_LT(far, 0.1);
+}
+
+// Property sweep: every similarity stays in [0, 1] on random inputs and
+// is exactly 1 on identical inputs.
+class SimilarityPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimilarityPropertyTest, BoundsAndIdentity) {
+  Rng rng(GetParam());
+  auto random_token = [&rng]() {
+    std::string token;
+    int length = rng.UniformInt(1, 8);
+    for (int i = 0; i < length; ++i) {
+      token.push_back(static_cast<char>('a' + rng.UniformInt(0, 25)));
+    }
+    return token;
+  };
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::string> a;
+    std::vector<std::string> b;
+    int na = rng.UniformInt(0, 6);
+    int nb = rng.UniformInt(0, 6);
+    for (int i = 0; i < na; ++i) a.push_back(random_token());
+    for (int i = 0; i < nb; ++i) b.push_back(random_token());
+    std::string sa;
+    for (const auto& t : a) sa += t + " ";
+    std::string sb;
+    for (const auto& t : b) sb += t + " ";
+
+    for (double value :
+         {LevenshteinSimilarity(sa, sb), JaroSimilarity(sa, sb),
+          JaroWinklerSimilarity(sa, sb), JaccardSimilarity(a, b),
+          OverlapCoefficient(a, b), DiceCoefficient(a, b),
+          CosineTokenSimilarity(a, b), MongeElkanSimilarity(a, b),
+          SymmetricMongeElkan(a, b), TrigramSimilarity(sa, sb),
+          AttributeSimilarity(sa, sb)}) {
+      EXPECT_GE(value, 0.0);
+      EXPECT_LE(value, 1.0 + 1e-12);
+    }
+    EXPECT_DOUBLE_EQ(JaccardSimilarity(a, a), 1.0);
+    EXPECT_NEAR(CosineTokenSimilarity(a, a), a.empty() ? 1.0 : 1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(LevenshteinSimilarity(sa, sa), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimilarityPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace certa::text

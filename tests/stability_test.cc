@@ -1,0 +1,60 @@
+#include "eval/stability.h"
+
+#include <gtest/gtest.h>
+
+namespace certa::eval {
+namespace {
+
+explain::SaliencyExplanation Make(std::vector<double> left,
+                                  std::vector<double> right) {
+  explain::SaliencyExplanation explanation(
+      static_cast<int>(left.size()), static_cast<int>(right.size()));
+  for (size_t i = 0; i < left.size(); ++i) {
+    explanation.set_score({data::Side::kLeft, static_cast<int>(i)},
+                          left[i]);
+  }
+  for (size_t i = 0; i < right.size(); ++i) {
+    explanation.set_score({data::Side::kRight, static_cast<int>(i)},
+                          right[i]);
+  }
+  return explanation;
+}
+
+TEST(StabilityTest, IdenticalRunsScoreOne) {
+  std::vector<explain::SaliencyExplanation> run = {
+      Make({0.9, 0.1}, {0.5, 0.3}), Make({0.2, 0.8}, {0.1, 0.7})};
+  EXPECT_DOUBLE_EQ(SaliencyStability(run, run), 1.0);
+}
+
+TEST(StabilityTest, MonotoneRescalingStillScoresOne) {
+  // Stability is about the *ranking*, not magnitudes.
+  std::vector<explain::SaliencyExplanation> a = {
+      Make({0.9, 0.1}, {0.5, 0.3})};
+  std::vector<explain::SaliencyExplanation> b = {
+      Make({0.09, 0.01}, {0.05, 0.03})};
+  EXPECT_DOUBLE_EQ(SaliencyStability(a, b), 1.0);
+}
+
+TEST(StabilityTest, ReversedRankingScoresMinusOne) {
+  std::vector<explain::SaliencyExplanation> a = {
+      Make({0.9, 0.6}, {0.4, 0.1})};
+  std::vector<explain::SaliencyExplanation> b = {
+      Make({0.1, 0.4}, {0.6, 0.9})};
+  EXPECT_DOUBLE_EQ(SaliencyStability(a, b), -1.0);
+}
+
+TEST(StabilityTest, EmptyRunsAreTriviallyStable) {
+  EXPECT_DOUBLE_EQ(SaliencyStability({}, {}), 1.0);
+}
+
+TEST(StabilityTest, AveragesAcrossPairs) {
+  std::vector<explain::SaliencyExplanation> a = {
+      Make({0.9, 0.6}, {0.4, 0.1}), Make({0.9, 0.6}, {0.4, 0.1})};
+  std::vector<explain::SaliencyExplanation> b = {
+      Make({0.9, 0.6}, {0.4, 0.1}),    // identical -> +1
+      Make({0.1, 0.4}, {0.6, 0.9})};   // reversed -> -1
+  EXPECT_NEAR(SaliencyStability(a, b), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace certa::eval

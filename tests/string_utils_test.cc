@@ -1,0 +1,110 @@
+#include "util/string_utils.h"
+
+#include <gtest/gtest.h>
+
+#include "util/table_printer.h"
+
+namespace certa {
+namespace {
+
+TEST(StringUtilsTest, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("SoNy BRAVIA"), "sony bravia");
+  EXPECT_EQ(ToLowerAscii(""), "");
+  EXPECT_EQ(ToLowerAscii("123-ABC"), "123-abc");
+}
+
+TEST(StringUtilsTest, StripAsciiWhitespace) {
+  EXPECT_EQ(StripAsciiWhitespace("  hi  "), "hi");
+  EXPECT_EQ(StripAsciiWhitespace("\t\nhi"), "hi");
+  EXPECT_EQ(StripAsciiWhitespace("hi"), "hi");
+  EXPECT_EQ(StripAsciiWhitespace("   "), "");
+  EXPECT_EQ(StripAsciiWhitespace(""), "");
+}
+
+TEST(StringUtilsTest, SplitBasic) {
+  std::vector<std::string> expected = {"a", "b", "c"};
+  EXPECT_EQ(Split("a,b,c", ','), expected);
+}
+
+TEST(StringUtilsTest, SplitEmptyFields) {
+  std::vector<std::string> expected = {"", "a", "", ""};
+  EXPECT_EQ(Split(",a,,", ','), expected);
+}
+
+TEST(StringUtilsTest, SplitEmptyInput) {
+  std::vector<std::string> expected = {""};
+  EXPECT_EQ(Split("", ','), expected);
+}
+
+TEST(StringUtilsTest, SplitWhitespaceCollapsesRuns) {
+  std::vector<std::string> expected = {"a", "b", "c"};
+  EXPECT_EQ(SplitWhitespace("  a \t b \n c  "), expected);
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+  EXPECT_TRUE(SplitWhitespace("").empty());
+}
+
+TEST(StringUtilsTest, JoinRoundtrip) {
+  std::vector<std::string> parts = {"a", "b", "c"};
+  EXPECT_EQ(Join(parts, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("prefix_rest", "prefix"));
+  EXPECT_FALSE(StartsWith("pre", "prefix"));
+  EXPECT_TRUE(EndsWith("file.csv", ".csv"));
+  EXPECT_FALSE(EndsWith("csv", ".csv"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringUtilsTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.1234, 2), "0.12");
+  EXPECT_EQ(FormatDouble(1.0, 3), "1.000");
+  EXPECT_EQ(FormatDouble(-2.5, 1), "-2.5");
+  EXPECT_EQ(FormatDouble(0.005, 2), "0.01");  // rounding
+}
+
+TEST(StringUtilsTest, ParseDoubleValid) {
+  double value = 0.0;
+  EXPECT_TRUE(ParseDouble("3.25", &value));
+  EXPECT_DOUBLE_EQ(value, 3.25);
+  EXPECT_TRUE(ParseDouble("  -7 ", &value));
+  EXPECT_DOUBLE_EQ(value, -7.0);
+  EXPECT_TRUE(ParseDouble("1e3", &value));
+  EXPECT_DOUBLE_EQ(value, 1000.0);
+}
+
+TEST(StringUtilsTest, ParseDoubleInvalid) {
+  double value = 0.0;
+  EXPECT_FALSE(ParseDouble("", &value));
+  EXPECT_FALSE(ParseDouble("abc", &value));
+  EXPECT_FALSE(ParseDouble("1.5x", &value));
+  EXPECT_FALSE(ParseDouble("   ", &value));
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter printer({"A", "Long header"});
+  printer.AddRow({"wide value", "x"});
+  std::ostringstream out;
+  printer.Print(out);
+  std::string text = out.str();
+  // Header, separator, one data row.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+  EXPECT_NE(text.find("wide value"), std::string::npos);
+  EXPECT_NE(text.find("Long header"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FormatsDoubleRows) {
+  TablePrinter printer({"name", "x", "y"});
+  printer.AddRow("row", {0.135, 2.0}, 2);
+  EXPECT_EQ(printer.row_count(), 1u);
+  std::ostringstream out;
+  printer.Print(out);
+  EXPECT_NE(out.str().find("0.14"), std::string::npos);
+  EXPECT_NE(out.str().find("2.00"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace certa

@@ -1,0 +1,61 @@
+#ifndef CERTA_TESTS_TEST_UTIL_H_
+#define CERTA_TESTS_TEST_UTIL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "models/matcher.h"
+
+namespace certa::testing {
+
+/// Matcher whose behaviour is a std::function — lets tests script
+/// arbitrary black-box models (linear, rule-based, adversarial).
+class FakeMatcher : public models::Matcher {
+ public:
+  using ScoreFn =
+      std::function<double(const data::Record&, const data::Record&)>;
+
+  explicit FakeMatcher(ScoreFn score) : score_(std::move(score)) {}
+
+  double Score(const data::Record& u,
+               const data::Record& v) const override {
+    ++calls_;
+    return score_(u, v);
+  }
+
+  std::string name() const override { return "Fake"; }
+
+  /// Number of Score invocations so far (for cost assertions).
+  int calls() const { return calls_; }
+  void reset_calls() { calls_ = 0; }
+
+ private:
+  ScoreFn score_;
+  mutable int calls_ = 0;
+};
+
+/// Builds a record with the given id and values.
+inline data::Record MakeRecord(int id, std::vector<std::string> values) {
+  data::Record record;
+  record.id = id;
+  record.values = std::move(values);
+  return record;
+}
+
+/// Builds a table from rows; ids are assigned 0..n-1.
+inline data::Table MakeTable(const std::string& name,
+                             std::vector<std::string> attributes,
+                             std::vector<std::vector<std::string>> rows) {
+  data::Table table(name, data::Schema(std::move(attributes)));
+  int id = 0;
+  for (auto& row : rows) {
+    table.Add(MakeRecord(id++, std::move(row)));
+  }
+  return table;
+}
+
+}  // namespace certa::testing
+
+#endif  // CERTA_TESTS_TEST_UTIL_H_

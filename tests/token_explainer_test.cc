@@ -1,0 +1,145 @@
+#include "core/token_explainer.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "text/tokenizer.h"
+
+namespace certa::core {
+namespace {
+
+using certa::testing::FakeMatcher;
+using certa::testing::MakeRecord;
+using certa::testing::MakeTable;
+
+/// Model: match iff the left record's attribute 0 still contains the
+/// token "key". Other tokens are irrelevant.
+FakeMatcher::ScoreFn KeyTokenModel() {
+  return [](const data::Record& u, const data::Record&) {
+    for (const std::string& token : text::RawTokens(u.value(0))) {
+      if (token == "key") return 0.9;
+    }
+    return 0.1;
+  };
+}
+
+struct Fixture {
+  data::Table left = MakeTable("U", {"a"}, {{"pad1 key pad2 pad3"}});
+  data::Table right = MakeTable("V", {"a"}, {{"whatever"}});
+  FakeMatcher model{KeyTokenModel()};
+  explain::ExplainContext context{&model, &left, &right};
+};
+
+TEST(TokenExplainerTest, IdentifiesTheDecisiveToken) {
+  Fixture fixture;
+  TokenExplainer explainer(fixture.context);
+  TokenExplanation explanation = explainer.Explain(
+      fixture.left.record(0), fixture.right.record(0),
+      {data::Side::kLeft, 0});
+  ASSERT_EQ(explanation.tokens.size(), 4u);
+  EXPECT_GT(explanation.flips, 0);
+  // "key" (index 1) must be the top-ranked token with probability 1:
+  // every flip required dropping it.
+  EXPECT_EQ(explanation.Ranked().front(), 1);
+  EXPECT_DOUBLE_EQ(explanation.scores[1], 1.0);
+  // Pads score strictly lower.
+  EXPECT_LT(explanation.scores[0], 1.0);
+  EXPECT_LT(explanation.scores[2], 1.0);
+}
+
+TEST(TokenExplainerTest, ScoresAreBounded) {
+  Fixture fixture;
+  TokenExplainer explainer(fixture.context);
+  TokenExplanation explanation = explainer.Explain(
+      fixture.left.record(0), fixture.right.record(0),
+      {data::Side::kLeft, 0});
+  for (double score : explanation.scores) {
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0);
+  }
+}
+
+TEST(TokenExplainerTest, FallsBackToOcclusionWithoutFlips) {
+  // Continuous model that never crosses 0.5: score shrinks with every
+  // dropped token of attribute 0, more for longer tokens.
+  data::Table left = MakeTable("U", {"a"}, {{"aaaaaa b"}});
+  data::Table right = MakeTable("V", {"a"}, {{"x"}});
+  FakeMatcher model([](const data::Record& u, const data::Record&) {
+    double score = 0.1;
+    for (const std::string& token : text::RawTokens(u.value(0))) {
+      score += 0.02 * static_cast<double>(token.size());
+    }
+    return std::min(score, 0.49);
+  });
+  explain::ExplainContext context{&model, &left, &right};
+  TokenExplainer explainer(context);
+  TokenExplanation explanation = explainer.Explain(
+      left.record(0), right.record(0), {data::Side::kLeft, 0});
+  EXPECT_EQ(explanation.flips, 0);
+  ASSERT_EQ(explanation.scores.size(), 2u);
+  // The long token moves the score more -> ranks first; max normalized
+  // to 1.
+  EXPECT_EQ(explanation.Ranked().front(), 0);
+  EXPECT_DOUBLE_EQ(explanation.scores[0], 1.0);
+  EXPECT_LT(explanation.scores[1], 1.0);
+}
+
+TEST(TokenExplainerTest, RightSideAttribute) {
+  data::Table left = MakeTable("U", {"a"}, {{"anything"}});
+  data::Table right = MakeTable("V", {"a"}, {{"alpha beta"}});
+  FakeMatcher model([](const data::Record&, const data::Record& v) {
+    for (const std::string& token : text::RawTokens(v.value(0))) {
+      if (token == "beta") return 0.9;
+    }
+    return 0.1;
+  });
+  explain::ExplainContext context{&model, &left, &right};
+  TokenExplainer explainer(context);
+  TokenExplanation explanation = explainer.Explain(
+      left.record(0), right.record(0), {data::Side::kRight, 0});
+  ASSERT_EQ(explanation.tokens.size(), 2u);
+  EXPECT_EQ(explanation.Ranked().front(), 1);  // "beta"
+}
+
+TEST(TokenExplainerTest, EmptyAttributeYieldsEmptyExplanation) {
+  data::Table left = MakeTable("U", {"a", "b"}, {{"", "x"}});
+  data::Table right = MakeTable("V", {"a", "b"}, {{"y", "z"}});
+  FakeMatcher model(
+      [](const data::Record&, const data::Record&) { return 0.7; });
+  explain::ExplainContext context{&model, &left, &right};
+  TokenExplainer explainer(context);
+  TokenExplanation explanation = explainer.Explain(
+      left.record(0), right.record(0), {data::Side::kLeft, 0});
+  EXPECT_TRUE(explanation.tokens.empty());
+  EXPECT_TRUE(explanation.scores.empty());
+}
+
+TEST(TokenExplainerTest, SingleTokenAttributeIsDegenerate) {
+  // One token: every non-degenerate mask is excluded, so no samples run
+  // and the score stays 0 — but nothing crashes.
+  data::Table left = MakeTable("U", {"a"}, {{"solo"}});
+  data::Table right = MakeTable("V", {"a"}, {{"x"}});
+  FakeMatcher model(
+      [](const data::Record&, const data::Record&) { return 0.7; });
+  explain::ExplainContext context{&model, &left, &right};
+  TokenExplainer explainer(context);
+  TokenExplanation explanation = explainer.Explain(
+      left.record(0), right.record(0), {data::Side::kLeft, 0});
+  ASSERT_EQ(explanation.scores.size(), 1u);
+  EXPECT_DOUBLE_EQ(explanation.scores[0], 0.0);
+}
+
+TEST(TokenExplainerTest, Deterministic) {
+  Fixture fixture;
+  TokenExplainer explainer(fixture.context);
+  TokenExplanation a = explainer.Explain(fixture.left.record(0),
+                                         fixture.right.record(0),
+                                         {data::Side::kLeft, 0});
+  TokenExplanation b = explainer.Explain(fixture.left.record(0),
+                                         fixture.right.record(0),
+                                         {data::Side::kLeft, 0});
+  EXPECT_EQ(a.scores, b.scores);
+}
+
+}  // namespace
+}  // namespace certa::core

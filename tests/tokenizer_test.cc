@@ -1,0 +1,91 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace certa::text {
+namespace {
+
+TEST(NormalizeTest, LowercasesAndStripsPunctuation) {
+  EXPECT_EQ(Normalize("Sony BRAVIA, Theater!"), "sony bravia theater");
+}
+
+TEST(NormalizeTest, KeepsModelNumbersAndDecimals) {
+  EXPECT_EQ(Normalize("dav-is50 5.1 100%"), "dav-is50 5.1 100%");
+}
+
+TEST(NormalizeTest, DropsPurePunctuationTokens) {
+  EXPECT_EQ(Normalize("a / b - - c"), "a b c");
+}
+
+TEST(NormalizeTest, EmptyInput) {
+  EXPECT_EQ(Normalize(""), "");
+  EXPECT_EQ(Normalize("///"), "");
+}
+
+TEST(TokenizeTest, SplitsNormalizedText) {
+  std::vector<std::string> expected = {"sony", "bravia", "m-series"};
+  EXPECT_EQ(Tokenize("Sony  BRAVIA (M-Series)"), expected);
+}
+
+TEST(RawTokensTest, PreservesCaseAndPunctuation) {
+  std::vector<std::string> expected = {"Sony", "BRAVIA,", "X!"};
+  EXPECT_EQ(RawTokens("Sony BRAVIA, X!"), expected);
+}
+
+TEST(CharNgramsTest, BoundaryMarkers) {
+  std::vector<std::string> grams = CharNgrams("ab", 3);
+  // "#ab#" -> "#ab", "ab#"
+  ASSERT_EQ(grams.size(), 2u);
+  EXPECT_EQ(grams[0], "#ab");
+  EXPECT_EQ(grams[1], "ab#");
+}
+
+TEST(CharNgramsTest, ShortTextReturnsWhole) {
+  std::vector<std::string> grams = CharNgrams("a", 5);
+  ASSERT_EQ(grams.size(), 1u);
+  EXPECT_EQ(grams[0], "#a#");
+}
+
+TEST(CharNgramsTest, EmptyAndInvalid) {
+  EXPECT_TRUE(CharNgrams("", 3).empty());
+  EXPECT_TRUE(CharNgrams("abc", 0).empty());
+}
+
+TEST(IsMissingTest, RecognizesMissingMarkers) {
+  EXPECT_TRUE(IsMissing(""));
+  EXPECT_TRUE(IsMissing("NaN"));
+  EXPECT_TRUE(IsMissing("nan"));
+  EXPECT_TRUE(IsMissing(" NULL "));
+  EXPECT_TRUE(IsMissing("n/a"));
+  EXPECT_TRUE(IsMissing("-"));
+  EXPECT_FALSE(IsMissing("0"));
+  EXPECT_FALSE(IsMissing("nano"));
+  EXPECT_FALSE(IsMissing("sony"));
+}
+
+TEST(TryParseNumericTest, PlainNumbers) {
+  double value = 0.0;
+  EXPECT_TRUE(TryParseNumeric("379.72", &value));
+  EXPECT_DOUBLE_EQ(value, 379.72);
+  EXPECT_TRUE(TryParseNumeric("-5", &value));
+  EXPECT_DOUBLE_EQ(value, -5.0);
+}
+
+TEST(TryParseNumericTest, FormattedNumbers) {
+  double value = 0.0;
+  EXPECT_TRUE(TryParseNumeric("$ 1,299.99", &value));
+  EXPECT_DOUBLE_EQ(value, 1299.99);
+  EXPECT_TRUE(TryParseNumeric("5.40 %", &value));
+  EXPECT_DOUBLE_EQ(value, 5.40);
+}
+
+TEST(TryParseNumericTest, RejectsText) {
+  double value = 0.0;
+  EXPECT_FALSE(TryParseNumeric("sony", &value));
+  EXPECT_FALSE(TryParseNumeric("db123", &value));
+  EXPECT_FALSE(TryParseNumeric("", &value));
+  EXPECT_FALSE(TryParseNumeric("$", &value));
+}
+
+}  // namespace
+}  // namespace certa::text

@@ -1,0 +1,160 @@
+#include "core/triangles.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "text/tokenizer.h"
+
+namespace certa::core {
+namespace {
+
+using certa::testing::FakeMatcher;
+using certa::testing::MakeRecord;
+using certa::testing::MakeTable;
+
+/// Tables where record value(0) encodes its class: "m*" records match
+/// everything, "n*" records match nothing.
+struct World {
+  data::Table left = MakeTable(
+      "U", {"a", "b"},
+      {{"m0", "x y z"}, {"n0", "x y"}, {"n1", "y z"}, {"m1", "z w"}});
+  data::Table right = MakeTable(
+      "V", {"a", "b"},
+      {{"m2", "p q"}, {"n2", "p r"}, {"n3", "q r s"}});
+  FakeMatcher model{[](const data::Record& u, const data::Record& v) {
+    // Pair matches iff both records are of the "m" class.
+    return (u.value(0)[0] == 'm' && v.value(0)[0] == 'm') ? 0.9 : 0.1;
+  }};
+  explain::ExplainContext context{&model, &left, &right};
+};
+
+TEST(TrianglesTest, FindsOppositePredictionSupports) {
+  World world;
+  // Input pair (m0, m2) predicted Match. Left supports must satisfy
+  // M(w, v) = Non-Match: n0, n1 qualify; m1 does not; m0 is self.
+  Rng rng(3);
+  TriangleStats stats;
+  TriangleOptions options;
+  options.count = 20;
+  options.allow_augmentation = false;
+  std::vector<OpenTriangle> triangles = CollectTriangles(
+      world.context, world.left.record(0), world.right.record(0),
+      /*original_prediction=*/true, options, &rng, &stats);
+  int left_count = 0;
+  int right_count = 0;
+  for (const OpenTriangle& triangle : triangles) {
+    EXPECT_FALSE(triangle.augmented);
+    if (triangle.side == data::Side::kLeft) {
+      ++left_count;
+      EXPECT_EQ(triangle.support.value(0)[0], 'n');
+    } else {
+      ++right_count;
+      EXPECT_EQ(triangle.support.value(0)[0], 'n');
+    }
+  }
+  EXPECT_EQ(left_count, 2);   // n0, n1
+  EXPECT_EQ(right_count, 2);  // n2, n3
+  EXPECT_EQ(stats.natural, 4);
+  EXPECT_EQ(stats.augmented, 0);
+}
+
+TEST(TrianglesTest, ExcludesSelfRecord) {
+  World world;
+  // Explaining a Non-Match (n0, m2): left supports need M(w, v) = Match
+  // -> m0 and m1 qualify; n0 itself is excluded even though pairing it
+  // would be checked first.
+  Rng rng(3);
+  TriangleStats stats;
+  TriangleOptions options;
+  options.count = 20;
+  options.allow_augmentation = false;
+  std::vector<OpenTriangle> triangles = CollectTriangles(
+      world.context, world.left.record(1), world.right.record(0),
+      /*original_prediction=*/false, options, &rng, &stats);
+  for (const OpenTriangle& triangle : triangles) {
+    EXPECT_NE(triangle.support.values, world.left.record(1).values);
+  }
+}
+
+TEST(TrianglesTest, RespectsQuota) {
+  World world;
+  Rng rng(3);
+  TriangleStats stats;
+  TriangleOptions options;
+  options.count = 2;  // one per side
+  options.allow_augmentation = false;
+  std::vector<OpenTriangle> triangles = CollectTriangles(
+      world.context, world.left.record(0), world.right.record(0), true,
+      options, &rng, &stats);
+  EXPECT_EQ(triangles.size(), 2u);
+}
+
+TEST(TrianglesTest, AugmentationFillsShortage) {
+  // A model that rejects every natural record but accepts variants with
+  // fewer tokens in attribute "b".
+  data::Table left = MakeTable("U", {"a", "b"},
+                               {{"u", "k1 k2 k3"}, {"w", "t1 t2 t3"}});
+  data::Table right = MakeTable("V", {"a", "b"}, {{"v", "p1 p2"}});
+  FakeMatcher model([](const data::Record& u, const data::Record&) {
+    // Match only when the left record has exactly one token in b.
+    return text::RawTokens(u.value(1)).size() == 1 ? 0.9 : 0.1;
+  });
+  explain::ExplainContext context{&model, &left, &right};
+  // Explain the Non-Match (u, v); left triangles need matches — only
+  // augmented single-token variants can provide them.
+  Rng rng(9);
+  TriangleStats stats;
+  TriangleOptions options;
+  options.count = 8;
+  options.max_augmentation_attempts_per_triangle = 50;
+  std::vector<OpenTriangle> triangles =
+      CollectTriangles(context, left.record(0), right.record(0),
+                       /*original_prediction=*/false, options, &rng,
+                       &stats);
+  EXPECT_GT(stats.augmented, 0);
+  for (const OpenTriangle& triangle : triangles) {
+    if (triangle.side != data::Side::kLeft) continue;
+    EXPECT_TRUE(triangle.augmented);
+    EXPECT_EQ(text::RawTokens(triangle.support.value(1)).size(), 1u);
+  }
+}
+
+TEST(TrianglesTest, OnlyAugmentationSkipsNaturalSupports) {
+  World world;
+  Rng rng(3);
+  TriangleStats stats;
+  TriangleOptions options;
+  options.count = 6;
+  options.only_augmentation = true;
+  std::vector<OpenTriangle> triangles = CollectTriangles(
+      world.context, world.left.record(0), world.right.record(0), true,
+      options, &rng, &stats);
+  EXPECT_EQ(stats.natural, 0);
+  for (const OpenTriangle& triangle : triangles) {
+    EXPECT_TRUE(triangle.augmented);
+  }
+}
+
+TEST(TrianglesTest, DeterministicGivenSeed) {
+  World world;
+  TriangleOptions options;
+  options.count = 4;
+  auto run = [&]() {
+    Rng rng(77);
+    TriangleStats stats;
+    return CollectTriangles(world.context, world.left.record(0),
+                            world.right.record(0), true, options, &rng,
+                            &stats);
+  };
+  std::vector<OpenTriangle> a = run();
+  std::vector<OpenTriangle> b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].side, b[i].side);
+    EXPECT_EQ(a[i].support.values, b[i].support.values);
+    EXPECT_EQ(a[i].augmented, b[i].augmented);
+  }
+}
+
+}  // namespace
+}  // namespace certa::core

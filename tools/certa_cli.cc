@@ -1,0 +1,332 @@
+// certa — command-line driver for the CERTA explanation library.
+//
+// Subcommands:
+//   certa datasets
+//       List the built-in synthetic benchmarks with their statistics.
+//   certa train --dataset AB [--model ditto] [--save FILE]
+//       Train a model, report train/test F1, optionally persist it.
+//   certa explain --dataset AB [--model ditto | --model-file FILE]
+//                 [--pair N] [--triangles 100] [--json] [--tokens]
+//       Explain one test-pair prediction with CERTA: text report (or
+//       --json), optionally with token-level drill-down of the top
+//       attribute.
+//   certa export --dataset AB --out DIR
+//       Write the synthetic benchmark as DeepMatcher-format CSVs.
+//   certa profile --dataset AB
+//       Per-attribute statistics of both sources.
+//   certa rules --dataset FZ
+//       Learn and print an interpretable rule-set matcher (SystemER
+//       style) for the dataset.
+//   certa global --dataset AB [--model ditto] [--pairs N]
+//       Aggregate CERTA explanations over the test split: mean
+//       saliency per predicted class + representative pairs.
+//
+// A --data DIR pointing at a DeepMatcher-format directory (tableA.csv,
+// tableB.csv, train.csv, test.csv) replaces the synthetic benchmark in
+// any subcommand.
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "certa.h"
+#include "core/token_explainer.h"
+#include "data/profiling.h"
+#include "explain/aggregate.h"
+#include "models/rule_model.h"
+#include "util/string_utils.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using certa::data::Dataset;
+using certa::models::ModelKind;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  bool Has(const std::string& key) const { return options.count(key) > 0; }
+  std::string Get(const std::string& key,
+                  const std::string& fallback) const {
+    auto it = options.find(key);
+    return it != options.end() ? it->second : fallback;
+  }
+};
+
+bool Parse(int argc, char** argv, Args* args) {
+  if (argc < 2) return false;
+  args->command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const char* token = argv[i];
+    if (std::strncmp(token, "--", 2) != 0) return false;
+    std::string key(token + 2);
+    // Flags without values: --json, --tokens.
+    if (key == "json" || key == "tokens") {
+      args->options[key] = "1";
+      continue;
+    }
+    if (i + 1 >= argc) return false;
+    args->options[key] = argv[++i];
+  }
+  return true;
+}
+
+int Usage() {
+  std::cerr
+      << "usage:\n"
+         "  certa datasets\n"
+         "  certa train   --dataset CODE [--model NAME] [--save FILE]\n"
+         "  certa explain --dataset CODE [--model NAME | --model-file F]\n"
+         "                [--pair N]\n"
+         "                [--triangles T] [--json] [--tokens] [--data DIR]\n"
+         "  certa export  --dataset CODE --out DIR\n"
+         "  certa profile --dataset CODE [--data DIR]\n"
+         "  certa rules   --dataset CODE [--data DIR]\n"
+         "  certa global  --dataset CODE [--model NAME] [--pairs N]\n"
+         "models: deeper | deepmatcher | ditto | svm\n"
+         "dataset codes: ";
+  for (const std::string& code : certa::data::BenchmarkCodes()) {
+    std::cerr << code << " ";
+  }
+  std::cerr << "\n";
+  return 2;
+}
+
+bool ParseModel(const std::string& name, ModelKind* kind) {
+  std::string lowered = certa::ToLowerAscii(name);
+  if (lowered == "deeper") *kind = ModelKind::kDeepEr;
+  else if (lowered == "deepmatcher") *kind = ModelKind::kDeepMatcher;
+  else if (lowered == "ditto") *kind = ModelKind::kDitto;
+  else if (lowered == "svm") *kind = ModelKind::kSvm;
+  else return false;
+  return true;
+}
+
+bool LoadData(const Args& args, Dataset* dataset) {
+  std::string code = args.Get("dataset", "AB");
+  if (args.Has("data")) {
+    if (!certa::data::LoadDatasetDirectory(args.Get("data", ""), code,
+                                           dataset)) {
+      std::cerr << "error: cannot load dataset directory "
+                << args.Get("data", "") << "\n";
+      return false;
+    }
+    return true;
+  }
+  bool known = false;
+  for (const std::string& candidate : certa::data::BenchmarkCodes()) {
+    if (candidate == code) known = true;
+  }
+  if (!known) {
+    std::cerr << "error: unknown dataset code " << code << "\n";
+    return false;
+  }
+  *dataset = certa::data::MakeBenchmark(code);
+  return true;
+}
+
+int CmdDatasets() {
+  certa::TablePrinter table(
+      {"Code", "Name", "Matches", "Attr.s", "Records", "Values"});
+  for (const std::string& code : certa::data::BenchmarkCodes()) {
+    Dataset dataset = certa::data::MakeBenchmark(code);
+    certa::data::DatasetStats stats = certa::data::ComputeStats(dataset);
+    table.AddRow({code, dataset.full_name, std::to_string(stats.matches),
+                  std::to_string(stats.attributes),
+                  std::to_string(stats.left_records) + " - " +
+                      std::to_string(stats.right_records),
+                  std::to_string(stats.left_values) + " - " +
+                      std::to_string(stats.right_values)});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+int CmdTrain(const Args& args) {
+  Dataset dataset;
+  if (!LoadData(args, &dataset)) return 1;
+  ModelKind kind;
+  if (!ParseModel(args.Get("model", "ditto"), &kind)) return Usage();
+  auto model = certa::models::TrainMatcher(kind, dataset);
+  if (args.Has("save")) {
+    if (!certa::models::SaveMatcher(*model, kind, args.Get("save", ""))) {
+      std::cerr << "error: cannot save model to " << args.Get("save", "")
+                << "\n";
+      return 1;
+    }
+    std::cout << "saved model to " << args.Get("save", "") << "\n";
+  }
+  std::cout << "trained " << model->name() << " on " << dataset.code
+            << ": train F1 = "
+            << certa::FormatDouble(
+                   certa::models::EvaluateF1(*model, dataset.left,
+                                             dataset.right, dataset.train),
+                   3)
+            << ", test F1 = "
+            << certa::FormatDouble(
+                   certa::models::EvaluateF1(*model, dataset.left,
+                                             dataset.right, dataset.test),
+                   3)
+            << "\n";
+  return 0;
+}
+
+int CmdExplain(const Args& args) {
+  Dataset dataset;
+  if (!LoadData(args, &dataset)) return 1;
+  ModelKind kind;
+  if (!ParseModel(args.Get("model", "ditto"), &kind)) return Usage();
+  int pair_index = std::atoi(args.Get("pair", "0").c_str());
+  if (pair_index < 0 ||
+      pair_index >= static_cast<int>(dataset.test.size())) {
+    std::cerr << "error: --pair out of range (test set has "
+              << dataset.test.size() << " pairs)\n";
+    return 1;
+  }
+  std::unique_ptr<certa::models::Matcher> model;
+  if (args.Has("model-file")) {
+    certa::models::ModelKind loaded_kind;
+    model = certa::models::LoadMatcher(args.Get("model-file", ""),
+                                       &loaded_kind);
+    if (model == nullptr) {
+      std::cerr << "error: cannot load model from "
+                << args.Get("model-file", "") << "\n";
+      return 1;
+    }
+  } else {
+    model = certa::models::TrainMatcher(kind, dataset);
+  }
+  certa::models::CachingMatcher cached(model.get());
+  certa::explain::ExplainContext context{&cached, &dataset.left,
+                                         &dataset.right};
+  certa::core::CertaExplainer::Options options;
+  options.num_triangles =
+      std::max(2, std::atoi(args.Get("triangles", "100").c_str()));
+  certa::core::CertaExplainer explainer(context, options);
+
+  const certa::data::LabeledPair& pair =
+      dataset.test[static_cast<size_t>(pair_index)];
+  const certa::data::Record& u = dataset.left.record(pair.left_index);
+  const certa::data::Record& v = dataset.right.record(pair.right_index);
+  certa::core::CertaResult result = explainer.Explain(u, v);
+
+  if (args.Has("json")) {
+    std::cout << certa::core::CertaResultToJson(
+                     result, dataset.left.schema(), dataset.right.schema())
+              << "\n";
+  } else {
+    std::cout << certa::explain::RenderReport(
+        u, v, dataset.left.schema(), dataset.right.schema(),
+        cached.Score(u, v), result.saliency, result.counterfactuals);
+  }
+
+  if (args.Has("tokens") && !result.saliency.Ranked().empty()) {
+    certa::explain::AttributeRef top = result.saliency.Ranked().front();
+    certa::core::TokenExplainer tokens(context);
+    certa::core::TokenExplanation explanation =
+        tokens.Explain(u, v, top);
+    std::cout << "token-level saliency for "
+              << certa::explain::QualifiedAttributeName(
+                     dataset.left.schema(), dataset.right.schema(), top)
+              << ":\n";
+    for (int t : explanation.Ranked()) {
+      std::cout << "  " << explanation.tokens[t] << " = "
+                << certa::FormatDouble(explanation.scores[t], 3) << "\n";
+    }
+  }
+  return 0;
+}
+
+int CmdExport(const Args& args) {
+  Dataset dataset;
+  if (!LoadData(args, &dataset)) return 1;
+  if (!args.Has("out")) return Usage();
+  if (!certa::data::SaveDatasetDirectory(args.Get("out", ""), dataset)) {
+    std::cerr << "error: cannot write to " << args.Get("out", "")
+              << " (directory must exist)\n";
+    return 1;
+  }
+  std::cout << "wrote " << dataset.code << " ("
+            << dataset.left.size() << " + " << dataset.right.size()
+            << " records, " << dataset.train.size() << "/"
+            << dataset.test.size() << " train/test pairs) to "
+            << args.Get("out", "") << "\n";
+  return 0;
+}
+
+int CmdProfile(const Args& args) {
+  Dataset dataset;
+  if (!LoadData(args, &dataset)) return 1;
+  std::cout << "table " << dataset.left.name() << " ("
+            << dataset.left.size() << " records):\n"
+            << certa::data::RenderProfiles(
+                   certa::data::ProfileTable(dataset.left))
+            << "table " << dataset.right.name() << " ("
+            << dataset.right.size() << " records):\n"
+            << certa::data::RenderProfiles(
+                   certa::data::ProfileTable(dataset.right));
+  return 0;
+}
+
+int CmdRules(const Args& args) {
+  Dataset dataset;
+  if (!LoadData(args, &dataset)) return 1;
+  certa::models::RuleModel model;
+  model.Fit(dataset);
+  std::cout << "learned rule set (test F1 = "
+            << certa::FormatDouble(
+                   certa::models::EvaluateF1(model, dataset.left,
+                                             dataset.right, dataset.test),
+                   3)
+            << "):\n"
+            << model.Describe(dataset.left.schema());
+  return 0;
+}
+
+int CmdGlobal(const Args& args) {
+  Dataset dataset;
+  if (!LoadData(args, &dataset)) return 1;
+  ModelKind kind;
+  if (!ParseModel(args.Get("model", "ditto"), &kind)) return Usage();
+  int max_pairs = std::max(1, std::atoi(args.Get("pairs", "20").c_str()));
+  auto model = certa::models::TrainMatcher(kind, dataset);
+  certa::models::CachingMatcher cached(model.get());
+  certa::explain::ExplainContext context{&cached, &dataset.left,
+                                         &dataset.right};
+  certa::core::CertaExplainer explainer(context);
+  std::vector<certa::data::LabeledPair> pairs = dataset.test;
+  if (static_cast<int>(pairs.size()) > max_pairs) {
+    pairs.resize(static_cast<size_t>(max_pairs));
+  }
+  std::vector<certa::explain::SaliencyExplanation> explanations;
+  for (const auto& pair : pairs) {
+    explanations.push_back(explainer.ExplainSaliency(
+        dataset.left.record(pair.left_index),
+        dataset.right.record(pair.right_index)));
+  }
+  certa::explain::GlobalExplanation global =
+      certa::explain::AggregateExplanations(context, pairs, dataset.left,
+                                            dataset.right, explanations);
+  std::cout << "global CERTA explanation of " << model->name() << " on "
+            << dataset.code << " (" << pairs.size() << " pairs):\n"
+            << certa::explain::RenderGlobalExplanation(
+                   global, dataset.left.schema(), dataset.right.schema());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!Parse(argc, argv, &args)) return Usage();
+  if (args.command == "datasets") return CmdDatasets();
+  if (args.command == "train") return CmdTrain(args);
+  if (args.command == "explain") return CmdExplain(args);
+  if (args.command == "export") return CmdExport(args);
+  if (args.command == "profile") return CmdProfile(args);
+  if (args.command == "rules") return CmdRules(args);
+  if (args.command == "global") return CmdGlobal(args);
+  return Usage();
+}
