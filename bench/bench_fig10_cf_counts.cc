@@ -24,10 +24,9 @@ int main() {
       auto pairs = certa::eval::ExplainedPairs(*setup, options);
       const auto& methods = certa::eval::CfMethodNames();
       for (size_t m = 0; m < methods.size(); ++m) {
-        auto explainer =
-            certa::eval::MakeCfExplainer(methods[m], *setup, options);
-        sums[m] +=
-            certa::eval::RunCfCell(explainer.get(), *setup, pairs).mean_count;
+        sums[m] += certa::eval::RunCfCellParallel(methods[m], *setup, pairs,
+                                                  options)
+                       .mean_count;
       }
       ++cells;
     }

@@ -23,10 +23,9 @@ void RunModel(certa::models::ModelKind kind, const HarnessOptions& options) {
     auto pairs = certa::eval::ExplainedPairs(*setup, options);
     std::vector<double> row;
     for (const std::string& method : certa::eval::SaliencyMethodNames()) {
-      auto explainer =
-          certa::eval::MakeSaliencyExplainer(method, *setup, options);
       std::vector<certa::explain::SaliencyExplanation> explanations =
-          certa::eval::RunSaliencyCell(explainer.get(), *setup, pairs);
+          certa::eval::RunSaliencyCellParallel(method, *setup, pairs,
+                                               options);
       row.push_back(certa::eval::Faithfulness(setup->context, pairs,
                                               setup->dataset.left,
                                               setup->dataset.right,

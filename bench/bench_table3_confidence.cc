@@ -23,10 +23,8 @@ void RunModel(certa::models::ModelKind kind, const HarnessOptions& options) {
     auto pairs = certa::eval::ExplainedPairs(*setup, options);
     std::vector<double> row;
     for (const std::string& method : certa::eval::SaliencyMethodNames()) {
-      auto explainer =
-          certa::eval::MakeSaliencyExplainer(method, *setup, options);
-      auto explanations =
-          certa::eval::RunSaliencyCell(explainer.get(), *setup, pairs);
+      auto explanations = certa::eval::RunSaliencyCellParallel(
+          method, *setup, pairs, options);
       row.push_back(certa::eval::ConfidenceIndication(
           setup->context, pairs, setup->dataset.left, setup->dataset.right,
           explanations));

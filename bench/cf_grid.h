@@ -35,10 +35,8 @@ inline void RunCfGrid(
       auto pairs = certa::eval::ExplainedPairs(*setup, options);
       std::vector<double> row;
       for (const std::string& method : certa::eval::CfMethodNames()) {
-        auto explainer =
-            certa::eval::MakeCfExplainer(method, *setup, options);
         certa::eval::CfAggregate aggregate =
-            certa::eval::RunCfCell(explainer.get(), *setup, pairs);
+            certa::eval::RunCfCellParallel(method, *setup, pairs, options);
         row.push_back(metric(aggregate));
       }
       table.AddRow(code, row, decimals);

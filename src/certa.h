@@ -34,9 +34,11 @@
 #include "explain/shap.h"           // IWYU pragma: export
 #include "models/matcher.h"         // IWYU pragma: export
 #include "models/rule_model.h"      // IWYU pragma: export
+#include "models/scoring_engine.h"  // IWYU pragma: export
 #include "models/svm_model.h"       // IWYU pragma: export
 #include "models/trainer.h"         // IWYU pragma: export
 #include "util/archive.h"           // IWYU pragma: export
 #include "util/json_writer.h"       // IWYU pragma: export
+#include "util/thread_pool.h"       // IWYU pragma: export
 
 #endif  // CERTA_CERTA_H_

@@ -5,6 +5,7 @@
 
 #include "core/lattice.h"
 #include "explain/perturbation.h"
+#include "models/scoring_engine.h"
 #include "util/logging.h"
 
 namespace certa::core {
@@ -36,6 +37,9 @@ CertaExplainer::CertaExplainer(explain::ExplainContext context,
     : context_(context), options_(options) {
   CERTA_CHECK(context_.valid());
   CERTA_CHECK_GT(options_.num_triangles, 0);
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(options_.num_threads);
+  }
 }
 
 CertaResult CertaExplainer::Explain(const data::Record& u,
@@ -46,7 +50,18 @@ CertaResult CertaExplainer::Explain(const data::Record& u,
   result.saliency =
       explain::SaliencyExplanation(left_attributes, right_attributes);
 
-  const bool original_prediction = context_.model->Predict(u, v);
+  // Every model call of this run drains through one scoring engine:
+  // batched featurization, per-run memoization, and (with num_threads
+  // > 1) pool fan-out — all bit-identical to calling the model per
+  // pair, so the result is invariant across thread/cache settings.
+  models::ScoringEngine::Options engine_options;
+  engine_options.enable_cache = options_.use_cache;
+  engine_options.pool = pool_.get();
+  models::ScoringEngine engine(context_.model, engine_options);
+  explain::ExplainContext engine_context = context_;
+  engine_context.model = &engine;
+
+  const bool original_prediction = engine.Predict(u, v);
   Rng rng(options_.seed ^ PairHash(u, v));
 
   TriangleOptions triangle_options;
@@ -54,10 +69,19 @@ CertaResult CertaExplainer::Explain(const data::Record& u,
   triangle_options.allow_augmentation = options_.allow_augmentation;
   triangle_options.only_augmentation = options_.only_augmentation;
   std::vector<OpenTriangle> triangles =
-      CollectTriangles(context_, u, v, original_prediction, triangle_options,
-                       &rng, &result.triangle_stats);
+      CollectTriangles(engine_context, u, v, original_prediction,
+                       triangle_options, &rng, &result.triangle_stats);
   result.triangles_used = static_cast<int>(triangles.size());
-  if (triangles.empty()) return result;
+  auto record_cache_stats = [&] {
+    models::PredictionCache::Stats stats = engine.cache_stats();
+    result.cache_hits = stats.hits;
+    result.cache_misses = stats.misses;
+    result.cache_evictions = stats.evictions;
+  };
+  if (triangles.empty()) {
+    record_cache_stats();
+    return result;
+  }
 
   Lattice left_lattice(left_attributes);
   Lattice right_lattice(right_attributes);
@@ -82,12 +106,36 @@ CertaResult CertaExplainer::Explain(const data::Record& u,
     auto flips = [&](AttrMask mask) {
       data::Record perturbed =
           explain::CopyAttributes(free_record, triangle.support, mask);
-      bool prediction = is_left ? context_.model->Predict(perturbed, v)
-                                : context_.model->Predict(u, perturbed);
+      bool prediction = is_left ? engine.Predict(perturbed, v)
+                                : engine.Predict(u, perturbed);
       return prediction != original_prediction;
     };
 
-    Lattice::TagResult tags = lattice.Tag(flips, options_.assume_monotone);
+    // Each lattice BFS level is scored as one batch (see the batched
+    // Tag overload for why that reproduces the serial tagging).
+    auto flips_batch = [&](const std::vector<AttrMask>& masks) {
+      std::vector<data::Record> perturbed;
+      perturbed.reserve(masks.size());
+      for (AttrMask mask : masks) {
+        perturbed.push_back(
+            explain::CopyAttributes(free_record, triangle.support, mask));
+      }
+      std::vector<models::RecordPair> pairs;
+      pairs.reserve(perturbed.size());
+      for (const data::Record& record : perturbed) {
+        pairs.push_back(is_left ? models::RecordPair{&record, &v}
+                                : models::RecordPair{&u, &record});
+      }
+      std::vector<double> scores = engine.ScoreBatch(pairs);
+      std::vector<uint8_t> out(masks.size(), 0);
+      for (size_t i = 0; i < scores.size(); ++i) {
+        out[i] = ((scores[i] >= 0.5) != original_prediction) ? 1 : 0;
+      }
+      return out;
+    };
+
+    Lattice::TagResult tags =
+        lattice.Tag(flips_batch, options_.assume_monotone);
     result.predictions_expected += lattice.node_count();
     result.predictions_performed += tags.performed;
 
@@ -193,10 +241,22 @@ CertaResult CertaExplainer::Explain(const data::Record& u,
         example.left = u;
         example.right = perturbed;
       }
-      example.score = context_.model->Score(example.left, example.right);
       result.counterfactuals.push_back(std::move(example));
     }
+    // Score all counterfactuals as one batch (after the pushes, so the
+    // record addresses are stable).
+    std::vector<models::RecordPair> pairs;
+    pairs.reserve(result.counterfactuals.size());
+    for (const explain::CounterfactualExample& example :
+         result.counterfactuals) {
+      pairs.push_back({&example.left, &example.right});
+    }
+    std::vector<double> scores = engine.ScoreBatch(pairs);
+    for (size_t i = 0; i < scores.size(); ++i) {
+      result.counterfactuals[i].score = scores[i];
+    }
   }
+  record_cache_stats();
   return result;
 }
 

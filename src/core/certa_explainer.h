@@ -2,6 +2,7 @@
 #define CERTA_CORE_CERTA_EXPLAINER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "explain/explainer.h"
 #include "explain/explanation.h"
 #include "explain/perturbation.h"
+#include "util/thread_pool.h"
 
 namespace certa::core {
 
@@ -44,6 +46,13 @@ struct CertaResult {
   /// Among saved (inferred) tags, how many disagree with the model's
   /// actual outcome; only populated when Options::audit_inferences.
   long long inference_errors = 0;
+
+  /// Prediction-cache accounting for this run (all zero with
+  /// Options::use_cache off). Deterministic: the engine probes and
+  /// inserts sequentially regardless of the thread count.
+  long long cache_hits = 0;
+  long long cache_misses = 0;
+  long long cache_evictions = 0;
 };
 
 /// The CERTA algorithm (Algorithm 1). Implements both explainer
@@ -67,6 +76,13 @@ class CertaExplainer : public explain::SaliencyExplainer,
     bool audit_inferences = false;
     /// Seed for triangle sampling and augmentation.
     uint64_t seed = 7;
+    /// Worker threads for batched model scoring; 1 keeps everything on
+    /// the calling thread. Results are bit-identical at any value.
+    int num_threads = 1;
+    /// Memoize perturbed-pair scores for the duration of each Explain
+    /// call. Bit-identical on or off (the model is deterministic); off
+    /// only the call counts change.
+    bool use_cache = true;
   };
 
   CertaExplainer(explain::ExplainContext context, Options options);
@@ -89,6 +105,9 @@ class CertaExplainer : public explain::SaliencyExplainer,
  private:
   explain::ExplainContext context_;
   Options options_;
+  /// Shared across Explain calls (worker startup is not free); null when
+  /// num_threads <= 1.
+  std::unique_ptr<util::ThreadPool> pool_;
 };
 
 /// JSON export of a full CERTA result (saliency, counterfactuals,

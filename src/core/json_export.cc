@@ -62,6 +62,12 @@ std::string CertaResultToJson(const CertaResult& result,
   json.Int(result.predictions_performed);
   json.Key("predictions_saved");
   json.Int(result.predictions_saved);
+  json.Key("cache_hits");
+  json.Int(result.cache_hits);
+  json.Key("cache_misses");
+  json.Int(result.cache_misses);
+  json.Key("cache_evictions");
+  json.Int(result.cache_evictions);
 
   json.EndObject();
   return json.str();

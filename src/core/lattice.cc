@@ -65,6 +65,62 @@ Lattice::TagResult Lattice::Tag(
   return result;
 }
 
+Lattice::TagResult Lattice::Tag(
+    const std::function<std::vector<uint8_t>(const std::vector<AttrMask>&)>&
+        flips_batch,
+    bool assume_monotone) const {
+  const AttrMask full = (1u << num_attributes_) - 1u;
+  TagResult result;
+  result.flip.assign(full + 1u, 0);
+  result.tested.assign(full + 1u, 0);
+
+  // Same bottom-up level order as the serial walk: group masks by
+  // subset size, ascending within each level.
+  std::vector<std::vector<AttrMask>> levels(num_attributes_);
+  for (AttrMask mask = 1; mask < full; ++mask) {
+    levels[__builtin_popcount(mask) - 1].push_back(mask);
+  }
+
+  std::vector<AttrMask> to_test;
+  for (const std::vector<AttrMask>& level : levels) {
+    to_test.clear();
+    // Inference within a level is order-independent: direct children
+    // live strictly one level down, never alongside.
+    for (AttrMask mask : level) {
+      if (assume_monotone) {
+        bool inferred = false;
+        for (int bit = 0; bit < num_attributes_; ++bit) {
+          AttrMask child = mask & ~(1u << bit);
+          if (child == mask || child == 0u) continue;
+          if (result.flip[child]) {
+            inferred = true;
+            break;
+          }
+        }
+        if (inferred) {
+          result.flip[mask] = 1;
+          ++result.total_flips;
+          continue;
+        }
+      }
+      to_test.push_back(mask);
+    }
+    if (to_test.empty()) continue;
+    std::vector<uint8_t> flipped = flips_batch(to_test);
+    CERTA_CHECK_EQ(flipped.size(), to_test.size());
+    for (size_t i = 0; i < to_test.size(); ++i) {
+      AttrMask mask = to_test[i];
+      result.tested[mask] = 1;
+      ++result.performed;
+      if (flipped[i]) {
+        result.flip[mask] = 1;
+        ++result.total_flips;
+      }
+    }
+  }
+  return result;
+}
+
 std::vector<AttrMask> Lattice::MinimalFlippingAntichain(
     const TagResult& tags) const {
   const AttrMask full = (1u << num_attributes_) - 1u;

@@ -51,6 +51,17 @@ class Lattice {
   TagResult Tag(const std::function<bool(explain::AttrMask)>& flips,
                 bool assume_monotone) const;
 
+  /// Batched variant of Tag for batched scoring backends: each BFS
+  /// level's untested nodes are handed to `flips_batch` as one batch of
+  /// ascending masks. Monotone inference only consults strictly lower
+  /// levels (direct children have one fewer attribute), so per-level
+  /// batching tests exactly the nodes the serial walk tests, in the
+  /// same order — flip/tested/performed are identical. result[i] must
+  /// be nonzero iff the perturbation for batch[i] flips the prediction.
+  TagResult Tag(const std::function<std::vector<uint8_t>(
+                    const std::vector<explain::AttrMask>&)>& flips_batch,
+                bool assume_monotone) const;
+
   /// The largest Minimal Flipping Antichain of a tagged lattice: all
   /// flipped nodes none of whose proper subsets flipped. Masks are
   /// returned ascending.

@@ -1,6 +1,9 @@
 #include "core/triangles.h"
 
+#include <algorithm>
+
 #include "explain/perturbation.h"
+#include "models/matcher.h"
 #include "text/similarity.h"
 #include "util/logging.h"
 
@@ -37,14 +40,47 @@ void CollectSide(const explain::ExplainContext& context,
   }
 
   if (!options.only_augmentation) {
+    // Chunked speculative screening: candidates are scored a batch at a
+    // time through ScoreBatch (amortized featurization, shared cache),
+    // but consumed strictly in the serial scan order, and `probes` is
+    // counted only for candidates consumed before the quota fills — so
+    // Table 8 probe counts match the one-at-a-time scan exactly. The
+    // few over-scanned scores at the tail just warm the cache.
+    std::vector<size_t> screen;
+    screen.reserve(order.size());
     for (size_t index : order) {
-      if (found >= wanted) break;
       const data::Record& candidate = pool.record(static_cast<int>(index));
       if (candidate.values == self.values) continue;  // w ∈ U \ {u}
-      if (!opposite_prediction(candidate)) continue;
-      triangles->push_back({side, candidate, /*augmented=*/false});
-      ++stats->natural;
-      ++found;
+      screen.push_back(index);
+    }
+    size_t next = 0;
+    std::vector<models::RecordPair> pairs;
+    while (found < wanted && next < screen.size()) {
+      size_t chunk = std::clamp(static_cast<size_t>(wanted - found) * 2,
+                                static_cast<size_t>(8),
+                                static_cast<size_t>(64));
+      chunk = std::min(chunk, screen.size() - next);
+      pairs.clear();
+      for (size_t k = 0; k < chunk; ++k) {
+        const data::Record& candidate =
+            pool.record(static_cast<int>(screen[next + k]));
+        pairs.push_back(side == data::Side::kLeft
+                            ? models::RecordPair{&candidate, &v}
+                            : models::RecordPair{&u, &candidate});
+      }
+      std::vector<double> scores = context.model->ScoreBatch(pairs);
+      size_t consumed = 0;
+      for (; consumed < chunk && found < wanted; ++consumed) {
+        ++stats->probes;
+        bool prediction = scores[consumed] >= 0.5;
+        if (prediction == original_prediction) continue;
+        triangles->push_back(
+            {side, pool.record(static_cast<int>(screen[next + consumed])),
+             /*augmented=*/false});
+        ++stats->natural;
+        ++found;
+      }
+      next += consumed;
     }
   }
 

@@ -25,6 +25,9 @@ HarnessOptions OptionsFromEnv() {
   if (const char* triangles = std::getenv("CERTA_BENCH_TRIANGLES")) {
     options.num_triangles = std::max(2, std::atoi(triangles));
   }
+  if (const char* threads = std::getenv("CERTA_BENCH_THREADS")) {
+    options.num_threads = std::max(1, std::atoi(threads));
+  }
   return options;
 }
 
@@ -35,10 +38,17 @@ std::unique_ptr<Setup> Prepare(const std::string& dataset_code,
   setup->dataset = data::MakeBenchmark(dataset_code, options.scale);
   setup->model_kind = kind;
   setup->model = models::TrainMatcher(kind, setup->dataset, options.seed);
-  setup->cached = std::make_unique<models::CachingMatcher>(setup->model.get());
-  setup->context = {setup->cached.get(), &setup->dataset.left,
+  if (options.num_threads > 1) {
+    setup->pool = std::make_unique<util::ThreadPool>(options.num_threads);
+  }
+  models::ScoringEngine::Options engine_options;
+  engine_options.enable_cache = options.use_cache;
+  engine_options.pool = setup->pool.get();
+  setup->engine = std::make_unique<models::ScoringEngine>(setup->model.get(),
+                                                          engine_options);
+  setup->context = {setup->engine.get(), &setup->dataset.left,
                     &setup->dataset.right};
-  setup->test_f1 = models::EvaluateF1(*setup->cached, setup->dataset.left,
+  setup->test_f1 = models::EvaluateF1(*setup->engine, setup->dataset.left,
                                       setup->dataset.right,
                                       setup->dataset.test);
   return setup;
@@ -69,6 +79,8 @@ core::CertaExplainer::Options CertaOptionsFor(const HarnessOptions& options) {
   core::CertaExplainer::Options certa_options;
   certa_options.num_triangles = options.num_triangles;
   certa_options.seed = options.seed;
+  certa_options.num_threads = options.num_threads;
+  certa_options.use_cache = options.use_cache;
   return certa_options;
 }
 
@@ -94,6 +106,52 @@ std::vector<explain::SaliencyExplanation> RunSaliencyCell(
         setup.dataset.left.record(pair.left_index),
         setup.dataset.right.record(pair.right_index)));
   }
+  return explanations;
+}
+
+CfAggregate RunCfCellParallel(const std::string& method, const Setup& setup,
+                              const std::vector<data::LabeledPair>& pairs,
+                              const HarnessOptions& options) {
+  HarnessOptions cell_options = options;
+  cell_options.num_threads = 1;  // the outer fan-out owns the pool
+  if (setup.pool == nullptr || setup.pool->size() < 2 || pairs.size() < 2) {
+    auto explainer = MakeCfExplainer(method, setup, cell_options);
+    return RunCfCell(explainer.get(), setup, pairs);
+  }
+  std::vector<std::vector<explain::CounterfactualExample>> per_pair(
+      pairs.size());
+  setup.pool->ParallelFor(pairs.size(), [&](size_t i) {
+    auto explainer = MakeCfExplainer(method, setup, cell_options);
+    per_pair[i] = explainer->ExplainCounterfactual(
+        setup.dataset.left.record(pairs[i].left_index),
+        setup.dataset.right.record(pairs[i].right_index));
+  });
+  CfAggregator aggregator;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    aggregator.Add(per_pair[i],
+                   setup.dataset.left.record(pairs[i].left_index),
+                   setup.dataset.right.record(pairs[i].right_index));
+  }
+  return aggregator.Result();
+}
+
+std::vector<explain::SaliencyExplanation> RunSaliencyCellParallel(
+    const std::string& method, const Setup& setup,
+    const std::vector<data::LabeledPair>& pairs,
+    const HarnessOptions& options) {
+  HarnessOptions cell_options = options;
+  cell_options.num_threads = 1;
+  if (setup.pool == nullptr || setup.pool->size() < 2 || pairs.size() < 2) {
+    auto explainer = MakeSaliencyExplainer(method, setup, cell_options);
+    return RunSaliencyCell(explainer.get(), setup, pairs);
+  }
+  std::vector<explain::SaliencyExplanation> explanations(pairs.size());
+  setup.pool->ParallelFor(pairs.size(), [&](size_t i) {
+    auto explainer = MakeSaliencyExplainer(method, setup, cell_options);
+    explanations[i] = explainer->ExplainSaliency(
+        setup.dataset.left.record(pairs[i].left_index),
+        setup.dataset.right.record(pairs[i].right_index));
+  });
   return explanations;
 }
 

@@ -9,18 +9,25 @@
 #include "data/dataset.h"
 #include "eval/cf_metrics.h"
 #include "explain/explainer.h"
+#include "models/scoring_engine.h"
 #include "models/trainer.h"
+#include "util/thread_pool.h"
 
 namespace certa::eval {
 
 /// One fully prepared experiment cell: a synthesized benchmark, a
-/// trained model behind a score cache, and the explainer context. Heap
-/// allocated (via Prepare) so internal pointers stay stable.
+/// trained model behind a batched/cached scoring engine, and the
+/// explainer context. Heap allocated (via Prepare) so internal pointers
+/// stay stable.
 struct Setup {
   data::Dataset dataset;
   models::ModelKind model_kind = models::ModelKind::kDeepEr;
   std::unique_ptr<models::Matcher> model;
-  std::unique_ptr<models::CachingMatcher> cached;
+  /// Shared worker pool for the cell; null when options.num_threads <= 1.
+  std::unique_ptr<util::ThreadPool> pool;
+  /// Thread-safe scoring layer every explainer call drains through
+  /// (replaces the old single-threaded CachingMatcher).
+  std::unique_ptr<models::ScoringEngine> engine;
   explain::ExplainContext context;
   double test_f1 = 0.0;
 
@@ -35,11 +42,16 @@ struct Setup {
 ///   CERTA_BENCH_PAIRS  — explained test pairs per cell (default 20)
 ///   CERTA_BENCH_SCALE  — dataset scale factor (default 1.0)
 ///   CERTA_BENCH_TRIANGLES — CERTA's τ (default 100)
+///   CERTA_BENCH_THREADS — scoring threads per cell (default 1)
 struct HarnessOptions {
   int max_pairs = 20;
   double scale = 1.0;
   int num_triangles = 100;
   uint64_t seed = 42;
+  /// Scoring threads (pool size) per cell; 1 disables the pool.
+  int num_threads = 1;
+  /// Prediction cache in the scoring engine / CERTA runs.
+  bool use_cache = true;
 };
 
 /// Options with environment overrides applied.
@@ -89,6 +101,20 @@ CfAggregate RunCfCell(explain::CounterfactualExplainer* explainer,
 std::vector<explain::SaliencyExplanation> RunSaliencyCell(
     explain::SaliencyExplainer* explainer, const Setup& setup,
     const std::vector<data::LabeledPair>& pairs);
+
+/// Parallel cell runners: explain the pairs concurrently on the setup's
+/// pool (falling back to the serial runner when there is none), one
+/// fresh explainer per pair so no explainer state is shared across
+/// threads. Inner CERTA threading is forced to 1 — the outer fan-out
+/// owns the pool. Results are assembled in pair order.
+CfAggregate RunCfCellParallel(const std::string& method, const Setup& setup,
+                              const std::vector<data::LabeledPair>& pairs,
+                              const HarnessOptions& options);
+
+std::vector<explain::SaliencyExplanation> RunSaliencyCellParallel(
+    const std::string& method, const Setup& setup,
+    const std::vector<data::LabeledPair>& pairs,
+    const HarnessOptions& options);
 
 }  // namespace certa::eval
 

@@ -78,6 +78,11 @@ SaliencyExplanation FitLimeSurrogate(const ExplainContext& context,
   ml::Vector targets(n, 0.0);
   ml::Vector weights(n, 0.0);
 
+  // Two-phase sampling: generate every perturbed pair first (Score
+  // consumes no rng state, so the sample stream is unchanged), then
+  // score them as one batch.
+  std::vector<data::Record> perturbed_u(n);
+  std::vector<data::Record> perturbed_v(n);
   for (int s = 0; s < n; ++s) {
     // First sample is the unperturbed input (anchor, weight 1).
     uint64_t bits = s == 0 ? ~0ull : rng.NextUint64();
@@ -97,11 +102,16 @@ SaliencyExplanation FitLimeSurrogate(const ExplainContext& context,
       pv = std::move(tmp_v);
     }
     design.at(s, d) = 1.0;  // intercept
-    targets[s] = context.model->Score(pu, pv);
+    perturbed_u[s] = std::move(pu);
+    perturbed_v[s] = std::move(pv);
     double distance = static_cast<double>(off_count) / d;
     weights[s] = std::exp(-(distance * distance) /
                           (options.kernel_width * options.kernel_width));
   }
+  std::vector<models::RecordPair> pairs(n);
+  for (int s = 0; s < n; ++s) pairs[s] = {&perturbed_u[s], &perturbed_v[s]};
+  std::vector<double> scores = context.model->ScoreBatch(pairs);
+  for (int s = 0; s < n; ++s) targets[s] = scores[s];
 
   ml::Vector beta;
   if (!ml::WeightedRidge(design, targets, weights, options.ridge, &beta)) {

@@ -43,8 +43,9 @@ SaliencyExplanation ShapExplainer::ExplainSaliency(const data::Record& u,
                : AttributeRef{data::Side::kRight, feature - left_attributes};
   };
 
-  // Value function: model score with absent attributes dropped.
-  auto value_of = [&](uint32_t coalition) {
+  // Perturbed input for a coalition: absent attributes dropped.
+  auto build_pair = [&](uint32_t coalition, data::Record* out_u,
+                        data::Record* out_v) {
     data::Record pu = u;
     data::Record pv = v;
     for (int f = 0; f < d; ++f) {
@@ -57,7 +58,8 @@ SaliencyExplanation ShapExplainer::ExplainSaliency(const data::Record& u,
       pu = std::move(tmp_u);
       pv = std::move(tmp_v);
     }
-    return context_.model->Score(pu, pv);
+    *out_u = std::move(pu);
+    *out_v = std::move(pv);
   };
 
   const uint32_t full = d >= 31 ? 0u : (1u << d) - 1u;
@@ -82,8 +84,24 @@ SaliencyExplanation ShapExplainer::ExplainSaliency(const data::Record& u,
     coalitions.assign(chosen.begin(), chosen.end());
   }
 
-  const double base_value = value_of(0u);
-  const double full_value = value_of(full);
+  // One batched model call for every coalition value (plus the empty
+  // and full anchors, slots 0 and 1).
+  const size_t num_values = coalitions.size() + 2;
+  std::vector<data::Record> coalition_u(num_values);
+  std::vector<data::Record> coalition_v(num_values);
+  build_pair(0u, &coalition_u[0], &coalition_v[0]);
+  build_pair(full, &coalition_u[1], &coalition_v[1]);
+  for (size_t c = 0; c < coalitions.size(); ++c) {
+    build_pair(coalitions[c], &coalition_u[c + 2], &coalition_v[c + 2]);
+  }
+  std::vector<models::RecordPair> pairs(num_values);
+  for (size_t i = 0; i < num_values; ++i) {
+    pairs[i] = {&coalition_u[i], &coalition_v[i]};
+  }
+  std::vector<double> values = context_.model->ScoreBatch(pairs);
+
+  const double base_value = values[0];
+  const double full_value = values[1];
 
   // Weighted least squares with the efficiency constraint folded in:
   // v(S) - v(0) ≈ Σ_{i∈S} φ_i, with Shapley kernel weights. The last
@@ -101,7 +119,7 @@ SaliencyExplanation ShapExplainer::ExplainSaliency(const data::Record& u,
       design.at(row, f) =
           (present ? 1.0 : 0.0) - (has_last ? 1.0 : 0.0);
     }
-    targets[row] = value_of(coalition) - base_value -
+    targets[row] = values[row + 2] - base_value -
                    (has_last ? delta : 0.0);
     weights[row] = ShapleyKernel(d, MaskSize(coalition));
   }

@@ -72,6 +72,17 @@ double LinearSvm::PredictProbability(const Vector& features) const {
   return Sigmoid(platt_a_ * DecisionValue(features) + platt_b_);
 }
 
+std::vector<double> LinearSvm::PredictProbabilityBatch(
+    const std::vector<Vector>& rows) const {
+  CERTA_CHECK(fitted_);
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const Vector& row : rows) {
+    out.push_back(Sigmoid(platt_a_ * (Dot(weights_, row) + bias_) + platt_b_));
+  }
+  return out;
+}
+
 int LinearSvm::Predict(const Vector& features) const {
   return PredictProbability(features) >= 0.5 ? 1 : 0;
 }

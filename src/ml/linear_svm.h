@@ -39,6 +39,11 @@ class LinearSvm {
   /// Calibrated P(label = 1 | x).
   double PredictProbability(const Vector& features) const;
 
+  /// Batched scoring: result[i] == PredictProbability(rows[i])
+  /// bit-for-bit.
+  std::vector<double> PredictProbabilityBatch(
+      const std::vector<Vector>& rows) const;
+
   /// Hard prediction at the calibrated 0.5 probability threshold.
   int Predict(const Vector& features) const;
 

@@ -76,6 +76,17 @@ double LogisticRegression::PredictProbability(const Vector& features) const {
   return Sigmoid(Dot(weights_, features) + bias_);
 }
 
+std::vector<double> LogisticRegression::PredictProbabilityBatch(
+    const std::vector<Vector>& rows) const {
+  CERTA_CHECK(fitted_);
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const Vector& row : rows) {
+    out.push_back(Sigmoid(Dot(weights_, row) + bias_));
+  }
+  return out;
+}
+
 int LogisticRegression::Predict(const Vector& features) const {
   return PredictProbability(features) >= 0.5 ? 1 : 0;
 }

@@ -47,6 +47,11 @@ class LogisticRegression {
   /// P(label = 1 | x). Requires a prior Fit.
   double PredictProbability(const Vector& features) const;
 
+  /// Batched scoring: result[i] == PredictProbability(rows[i])
+  /// bit-for-bit, with the fitted check and dispatch amortized.
+  std::vector<double> PredictProbabilityBatch(
+      const std::vector<Vector>& rows) const;
+
   /// Hard prediction at the 0.5 threshold.
   int Predict(const Vector& features) const;
 

@@ -135,6 +135,18 @@ double Mlp::PredictProbability(const Vector& features) const {
   return Forward(features, &activations);
 }
 
+std::vector<double> Mlp::PredictProbabilityBatch(
+    const std::vector<Vector>& rows) const {
+  CERTA_CHECK(fitted_);
+  std::vector<double> out;
+  out.reserve(rows.size());
+  // One activations buffer shared across the batch instead of a fresh
+  // one per PredictProbability call.
+  std::vector<Vector> activations;
+  for (const Vector& row : rows) out.push_back(Forward(row, &activations));
+  return out;
+}
+
 int Mlp::Predict(const Vector& features) const {
   return PredictProbability(features) >= 0.5 ? 1 : 0;
 }

@@ -40,6 +40,13 @@ class Mlp {
   /// P(label = 1 | x). Requires a prior Fit.
   double PredictProbability(const Vector& features) const;
 
+  /// Batched forward pass over all rows, reusing one activation buffer
+  /// so the per-call allocations of PredictProbability are paid once
+  /// per batch. result[i] == PredictProbability(rows[i]) bit-for-bit
+  /// (the per-row arithmetic is unchanged; only buffer reuse differs).
+  std::vector<double> PredictProbabilityBatch(
+      const std::vector<Vector>& rows) const;
+
   /// Hard prediction at the 0.5 threshold.
   int Predict(const Vector& features) const;
 

@@ -40,6 +40,14 @@ Vector StandardScaler::Transform(const Vector& row) const {
   return out;
 }
 
+void StandardScaler::TransformInPlace(Vector* row) const {
+  CERTA_CHECK(fitted_);
+  CERTA_CHECK_EQ(row->size(), mean_.size());
+  for (size_t c = 0; c < row->size(); ++c) {
+    (*row)[c] = stddev_[c] > 0.0 ? ((*row)[c] - mean_[c]) / stddev_[c] : 0.0;
+  }
+}
+
 std::vector<Vector> StandardScaler::FitTransform(
     const std::vector<Vector>& rows) {
   Fit(rows);

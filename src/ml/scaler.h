@@ -22,6 +22,9 @@ class StandardScaler {
   /// Returns (x - mean) / std per column. Requires a prior Fit.
   Vector Transform(const Vector& row) const;
 
+  /// In-place Transform (no allocation); same arithmetic per column.
+  void TransformInPlace(Vector* row) const;
+
   /// Fit followed by transforming every row.
   std::vector<Vector> FitTransform(const std::vector<Vector>& rows);
 

@@ -1,6 +1,7 @@
 #include "models/deeper_model.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "text/similarity.h"
 #include "text/tokenizer.h"
@@ -23,14 +24,56 @@ std::vector<std::string> RecordTokens(const data::Record& record) {
   return tokens;
 }
 
-std::vector<std::string> RecordNgrams(const data::Record& record) {
-  std::vector<std::string> grams;
+/// Hashed counterpart of the record's character-trigram multiset; the
+/// hashes feed TransformHashedNormalized, which lands on the same
+/// buckets/signs as embedding the gram strings (no per-gram substr).
+std::vector<uint64_t> RecordNgramHashes(const data::Record& record,
+                                        uint64_t seed) {
+  std::vector<uint64_t> hashes;
   for (const std::string& value : record.values) {
     if (text::IsMissing(value)) continue;
-    std::vector<std::string> value_grams = text::CharNgrams(value, 3);
-    grams.insert(grams.end(), value_grams.begin(), value_grams.end());
+    std::vector<uint64_t> value_hashes = text::CharNgramHashes(value, 3, seed);
+    hashes.insert(hashes.end(), value_hashes.begin(), value_hashes.end());
   }
-  return grams;
+  return hashes;
+}
+
+/// Everything Features needs from one record, computed once per record
+/// instead of once per pair.
+struct RecordRep {
+  std::vector<std::string> tokens;
+  std::vector<std::string> unique_tokens;
+  ml::Vector word_embed;
+  ml::Vector gram_embed;
+};
+
+RecordRep MakeRep(const data::Record& record,
+                  const text::HashingVectorizer& word_embedder,
+                  const text::HashingVectorizer& ngram_embedder) {
+  RecordRep rep;
+  rep.tokens = RecordTokens(record);
+  rep.unique_tokens = text::UniqueTokens(rep.tokens);
+  rep.word_embed = word_embedder.TransformNormalized(rep.tokens);
+  rep.gram_embed = ngram_embedder.TransformHashedNormalized(
+      RecordNgramHashes(record, ngram_embedder.seed()));
+  return rep;
+}
+
+ml::Vector PairFeatures(const RecordRep& u, const RecordRep& v) {
+  double size_u = static_cast<double>(u.tokens.size());
+  double size_v = static_cast<double>(v.tokens.size());
+  double length_ratio =
+      size_u > 0.0 && size_v > 0.0
+          ? std::min(size_u, size_v) / std::max(size_u, size_v)
+          : 0.0;
+
+  return {
+      text::CosineSimilarity(u.word_embed, v.word_embed),
+      text::CosineSimilarity(u.gram_embed, v.gram_embed),
+      text::JaccardOfUnique(u.unique_tokens, v.unique_tokens),
+      text::OverlapOfUnique(u.unique_tokens, v.unique_tokens),
+      length_ratio,
+  };
 }
 
 }  // namespace
@@ -42,27 +85,28 @@ DeepErModel::DeepErModel()
 
 ml::Vector DeepErModel::Features(const data::Record& u,
                                  const data::Record& v) const {
-  std::vector<std::string> tokens_u = RecordTokens(u);
-  std::vector<std::string> tokens_v = RecordTokens(v);
-  ml::Vector embed_u = word_embedder_.TransformNormalized(tokens_u);
-  ml::Vector embed_v = word_embedder_.TransformNormalized(tokens_v);
-  ml::Vector grams_u = ngram_embedder_.TransformNormalized(RecordNgrams(u));
-  ml::Vector grams_v = ngram_embedder_.TransformNormalized(RecordNgrams(v));
+  return PairFeatures(MakeRep(u, word_embedder_, ngram_embedder_),
+                      MakeRep(v, word_embedder_, ngram_embedder_));
+}
 
-  double size_u = static_cast<double>(tokens_u.size());
-  double size_v = static_cast<double>(tokens_v.size());
-  double length_ratio =
-      size_u > 0.0 && size_v > 0.0
-          ? std::min(size_u, size_v) / std::max(size_u, size_v)
-          : 0.0;
-
-  return {
-      text::CosineSimilarity(embed_u, embed_v),
-      text::CosineSimilarity(grams_u, grams_v),
-      text::JaccardSimilarity(tokens_u, tokens_v),
-      text::OverlapCoefficient(tokens_u, tokens_v),
-      length_ratio,
+std::vector<ml::Vector> DeepErModel::FeaturesBatch(
+    std::span<const RecordPair> pairs) const {
+  std::vector<RecordRep> reps;
+  std::unordered_map<const data::Record*, size_t> rep_index;
+  auto rep_of = [&](const data::Record* record) {
+    auto [it, inserted] = rep_index.try_emplace(record, reps.size());
+    if (inserted) reps.push_back(MakeRep(*record, word_embedder_,
+                                         ngram_embedder_));
+    return it->second;
   };
+  std::vector<ml::Vector> rows;
+  rows.reserve(pairs.size());
+  for (const RecordPair& pair : pairs) {
+    size_t left = rep_of(pair.left);
+    size_t right = rep_of(pair.right);
+    rows.push_back(PairFeatures(reps[left], reps[right]));
+  }
+  return rows;
 }
 
 }  // namespace certa::models

@@ -28,6 +28,12 @@ class DeepErModel : public FeatureMatcher {
   ml::Vector Features(const data::Record& u,
                       const data::Record& v) const override;
 
+  /// Shares the per-record work (tokenization + both embeddings) across
+  /// pairs repeating a record, keyed by record identity. Bit-identical
+  /// to per-pair Features.
+  std::vector<ml::Vector> FeaturesBatch(
+      std::span<const RecordPair> pairs) const override;
+
  private:
   text::HashingVectorizer word_embedder_;
   text::HashingVectorizer ngram_embedder_;

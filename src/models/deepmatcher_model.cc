@@ -1,44 +1,110 @@
 #include "models/deepmatcher_model.h"
 
+#include <cstdint>
+#include <unordered_map>
+
 #include "text/similarity.h"
 #include "text/tokenizer.h"
 #include "util/logging.h"
 
 namespace certa::models {
+namespace {
+
+/// Per-attribute preprocessing shared by every pair the attribute value
+/// participates in: missing flag, token list, normalized string, the
+/// numeric parse AttributeSimilarity would redo, and the sorted trigram
+/// shingle set (the dominant per-comparison cost).
+struct AttributeRep {
+  const std::string* value = nullptr;
+  bool missing = false;
+  bool is_numeric = false;
+  double numeric = 0.0;
+  std::vector<std::string> tokens;
+  std::string normalized;
+  std::vector<uint64_t> shingles;
+};
+
+std::vector<AttributeRep> MakeRep(const data::Record& record) {
+  std::vector<AttributeRep> attrs(record.values.size());
+  for (size_t a = 0; a < record.values.size(); ++a) {
+    AttributeRep& rep = attrs[a];
+    rep.value = &record.values[a];
+    rep.missing = text::IsMissing(record.values[a]);
+    if (rep.missing) continue;
+    rep.is_numeric = text::TryParseNumeric(record.values[a], &rep.numeric);
+    rep.tokens = text::Tokenize(record.values[a]);
+    rep.shingles = text::TrigramShingles(record.values[a]);
+    rep.normalized = text::Normalize(record.values[a]);
+  }
+  return attrs;
+}
+
+/// AttributeSimilarity over precomputed reps (both values non-missing):
+/// same numeric fast path, then the Jaccard/trigram blend over the
+/// already-tokenized-and-shingled values.
+double RepAttributeSimilarity(const AttributeRep& u, const AttributeRep& v) {
+  if (u.is_numeric && v.is_numeric) {
+    return text::NumericSimilarity(u.numeric, v.numeric);
+  }
+  return 0.5 * text::JaccardSimilarity(u.tokens, v.tokens) +
+         0.5 * text::TrigramSimilarityOfShingles(u.shingles, v.shingles);
+}
+
+ml::Vector PairFeatures(const std::vector<AttributeRep>& u,
+                        const std::vector<AttributeRep>& v) {
+  CERTA_CHECK_EQ(u.size(), v.size())
+      << "DeepMatcher requires aligned schemas";
+  ml::Vector features;
+  features.reserve(u.size() * DeepMatcherModel::kFeaturesPerAttribute);
+  for (size_t a = 0; a < u.size(); ++a) {
+    const AttributeRep& rep_u = u[a];
+    const AttributeRep& rep_v = v[a];
+    if (rep_u.missing || rep_v.missing) {
+      // Neutral similarity block with missing indicators: the MLP learns
+      // how much absence matters per attribute.
+      features.insert(features.end(),
+                      {0.0, 0.0, 0.0, 0.0,
+                       rep_u.missing && rep_v.missing ? 1.0 : 0.0,
+                       rep_u.missing != rep_v.missing ? 1.0 : 0.0});
+      continue;
+    }
+    features.push_back(text::JaccardSimilarity(rep_u.tokens, rep_v.tokens));
+    features.push_back(
+        text::LevenshteinSimilarity(rep_u.normalized, rep_v.normalized));
+    features.push_back(text::SymmetricMongeElkan(rep_u.tokens, rep_v.tokens));
+    features.push_back(RepAttributeSimilarity(rep_u, rep_v));
+    features.push_back(0.0);  // missing_both
+    features.push_back(0.0);  // missing_one
+  }
+  return features;
+}
+
+}  // namespace
 
 DeepMatcherModel::DeepMatcherModel() : FeatureMatcher(Head::kMlp) {}
 
 ml::Vector DeepMatcherModel::Features(const data::Record& u,
                                       const data::Record& v) const {
-  CERTA_CHECK_EQ(u.values.size(), v.values.size())
-      << "DeepMatcher requires aligned schemas";
-  ml::Vector features;
-  features.reserve(u.values.size() * kFeaturesPerAttribute);
-  for (size_t a = 0; a < u.values.size(); ++a) {
-    const std::string& value_u = u.values[a];
-    const std::string& value_v = v.values[a];
-    bool missing_u = text::IsMissing(value_u);
-    bool missing_v = text::IsMissing(value_v);
-    if (missing_u || missing_v) {
-      // Neutral similarity block with missing indicators: the MLP learns
-      // how much absence matters per attribute.
-      features.insert(features.end(),
-                      {0.0, 0.0, 0.0, 0.0,
-                       missing_u && missing_v ? 1.0 : 0.0,
-                       missing_u != missing_v ? 1.0 : 0.0});
-      continue;
-    }
-    std::vector<std::string> tokens_u = text::Tokenize(value_u);
-    std::vector<std::string> tokens_v = text::Tokenize(value_v);
-    features.push_back(text::JaccardSimilarity(tokens_u, tokens_v));
-    features.push_back(text::LevenshteinSimilarity(
-        text::Normalize(value_u), text::Normalize(value_v)));
-    features.push_back(text::SymmetricMongeElkan(tokens_u, tokens_v));
-    features.push_back(text::AttributeSimilarity(value_u, value_v));
-    features.push_back(0.0);  // missing_both
-    features.push_back(0.0);  // missing_one
+  return PairFeatures(MakeRep(u), MakeRep(v));
+}
+
+std::vector<ml::Vector> DeepMatcherModel::FeaturesBatch(
+    std::span<const RecordPair> pairs) const {
+  std::vector<std::vector<AttributeRep>> reps;
+  std::unordered_map<const data::Record*, size_t> rep_index;
+  auto rep_of = [&](const data::Record* record) {
+    auto [it, inserted] = rep_index.try_emplace(record, reps.size());
+    if (inserted) reps.push_back(MakeRep(*record));
+    return it->second;
+  };
+  std::vector<ml::Vector> rows;
+  rows.reserve(pairs.size());
+  for (const RecordPair& pair : pairs) {
+    size_t left = rep_of(pair.left);
+    size_t right = rep_of(pair.right);
+    rows.push_back(PairFeatures(reps[left], reps[right]));
   }
-  return features;
+  return rows;
 }
 
 }  // namespace certa::models

@@ -29,6 +29,12 @@ class DeepMatcherModel : public FeatureMatcher {
  protected:
   ml::Vector Features(const data::Record& u,
                       const data::Record& v) const override;
+
+  /// Shares per-attribute preprocessing (tokenization, normalization,
+  /// numeric parsing) across pairs repeating a record. Bit-identical to
+  /// per-pair Features.
+  std::vector<ml::Vector> FeaturesBatch(
+      std::span<const RecordPair> pairs) const override;
 };
 
 }  // namespace certa::models

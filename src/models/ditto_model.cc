@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
 #include "text/similarity.h"
 #include "text/tokenizer.h"
@@ -91,6 +92,46 @@ double NumericAgreement(const std::vector<std::string>& a,
   return numeric > 0 ? static_cast<double>(agreed) / numeric : 0.5;
 }
 
+/// Everything Features needs from one record: the serialized token
+/// sequence and the hashed 4-gram embedding (CharNgramHashes lands on
+/// the same buckets/signs as embedding the gram strings, without the
+/// per-gram substr allocations).
+struct RecordRep {
+  std::vector<std::string> seq;
+  std::vector<std::string> unique_seq;
+  ml::Vector gram_embed;
+};
+
+RecordRep MakeRep(const data::Record& record,
+                  const text::HashingVectorizer& ngram_embedder) {
+  RecordRep rep;
+  rep.seq = SerializedTokens(record);
+  rep.unique_seq = text::UniqueTokens(rep.seq);
+  std::vector<uint64_t> hashes;
+  for (const std::string& value : record.values) {
+    if (text::IsMissing(value)) continue;
+    std::vector<uint64_t> value_hashes =
+        text::CharNgramHashes(value, 4, ngram_embedder.seed());
+    hashes.insert(hashes.end(), value_hashes.begin(), value_hashes.end());
+  }
+  rep.gram_embed = ngram_embedder.TransformHashedNormalized(hashes);
+  return rep;
+}
+
+ml::Vector PairFeatures(const RecordRep& u, const RecordRep& v) {
+  double align_uv = SoftAlignment(u.seq, v.seq);
+  double align_vu = SoftAlignment(v.seq, u.seq);
+
+  return {
+      align_uv,
+      align_vu,
+      std::min(align_uv, align_vu),
+      text::CosineSimilarity(u.gram_embed, v.gram_embed),
+      text::JaccardOfUnique(u.unique_seq, v.unique_seq),
+      NumericAgreement(u.seq, v.seq),
+  };
+}
+
 }  // namespace
 
 DittoModel::DittoModel()
@@ -113,36 +154,27 @@ std::string DittoModel::Serialize(const data::Schema& schema,
 
 ml::Vector DittoModel::Features(const data::Record& u,
                                 const data::Record& v) const {
-  std::vector<std::string> seq_u = SerializedTokens(u);
-  std::vector<std::string> seq_v = SerializedTokens(v);
+  return PairFeatures(MakeRep(u, ngram_embedder_),
+                      MakeRep(v, ngram_embedder_));
+}
 
-  // Character n-gram channel over the raw serializations.
-  std::vector<std::string> grams_u;
-  std::vector<std::string> grams_v;
-  for (const std::string& value : u.values) {
-    if (text::IsMissing(value)) continue;
-    auto grams = text::CharNgrams(value, 4);
-    grams_u.insert(grams_u.end(), grams.begin(), grams.end());
-  }
-  for (const std::string& value : v.values) {
-    if (text::IsMissing(value)) continue;
-    auto grams = text::CharNgrams(value, 4);
-    grams_v.insert(grams_v.end(), grams.begin(), grams.end());
-  }
-  ml::Vector embed_u = ngram_embedder_.TransformNormalized(grams_u);
-  ml::Vector embed_v = ngram_embedder_.TransformNormalized(grams_v);
-
-  double align_uv = SoftAlignment(seq_u, seq_v);
-  double align_vu = SoftAlignment(seq_v, seq_u);
-
-  return {
-      align_uv,
-      align_vu,
-      std::min(align_uv, align_vu),
-      text::CosineSimilarity(embed_u, embed_v),
-      text::JaccardSimilarity(seq_u, seq_v),
-      NumericAgreement(seq_u, seq_v),
+std::vector<ml::Vector> DittoModel::FeaturesBatch(
+    std::span<const RecordPair> pairs) const {
+  std::vector<RecordRep> reps;
+  std::unordered_map<const data::Record*, size_t> rep_index;
+  auto rep_of = [&](const data::Record* record) {
+    auto [it, inserted] = rep_index.try_emplace(record, reps.size());
+    if (inserted) reps.push_back(MakeRep(*record, ngram_embedder_));
+    return it->second;
   };
+  std::vector<ml::Vector> rows;
+  rows.reserve(pairs.size());
+  for (const RecordPair& pair : pairs) {
+    size_t left = rep_of(pair.left);
+    size_t right = rep_of(pair.right);
+    rows.push_back(PairFeatures(reps[left], reps[right]));
+  }
+  return rows;
 }
 
 }  // namespace certa::models

@@ -32,6 +32,11 @@ class DittoModel : public FeatureMatcher {
   ml::Vector Features(const data::Record& u,
                       const data::Record& v) const override;
 
+  /// Shares serialization + the n-gram embedding across pairs that
+  /// repeat a record. Bit-identical to per-pair Features.
+  std::vector<ml::Vector> FeaturesBatch(
+      std::span<const RecordPair> pairs) const override;
+
  private:
   text::HashingVectorizer ngram_embedder_;
 };

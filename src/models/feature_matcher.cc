@@ -54,6 +54,32 @@ double FeatureMatcher::Score(const data::Record& u,
   return 0.0;
 }
 
+std::vector<ml::Vector> FeatureMatcher::FeaturesBatch(
+    std::span<const RecordPair> pairs) const {
+  std::vector<ml::Vector> rows;
+  rows.reserve(pairs.size());
+  for (const RecordPair& pair : pairs) {
+    rows.push_back(Features(*pair.left, *pair.right));
+  }
+  return rows;
+}
+
+std::vector<double> FeatureMatcher::ScoreBatch(
+    std::span<const RecordPair> pairs) const {
+  CERTA_CHECK(fitted_);
+  std::vector<ml::Vector> rows = FeaturesBatch(pairs);
+  for (ml::Vector& row : rows) scaler_.TransformInPlace(&row);
+  switch (head_) {
+    case Head::kLogistic:
+      return logistic_.PredictProbabilityBatch(rows);
+    case Head::kMlp:
+      return mlp_.PredictProbabilityBatch(rows);
+    case Head::kSvm:
+      return svm_.PredictProbabilityBatch(rows);
+  }
+  return std::vector<double>(pairs.size(), 0.0);
+}
+
 void FeatureMatcher::SaveParameters(TextArchive* archive) const {
   CERTA_CHECK(fitted_);
   scaler_.Save(archive, "scaler");

@@ -2,7 +2,9 @@
 #define CERTA_MODELS_FEATURE_MATCHER_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "data/dataset.h"
 #include "ml/linear_svm.h"
@@ -32,6 +34,12 @@ class FeatureMatcher : public Matcher {
 
   double Score(const data::Record& u, const data::Record& v) const override;
 
+  /// Batched scoring: featurizes all pairs via FeaturesBatch, scales
+  /// in place, then runs one head-level batch predict. Bit-identical to
+  /// calling Score per pair.
+  std::vector<double> ScoreBatch(
+      std::span<const RecordPair> pairs) const override;
+
   /// Persists the trained head + scaler into the archive (the feature
   /// extraction itself is code, not state). Used by models::SaveMatcher.
   void SaveParameters(TextArchive* archive) const;
@@ -48,6 +56,13 @@ class FeatureMatcher : public Matcher {
   /// given schema and be independent of training state.
   virtual ml::Vector Features(const data::Record& u,
                               const data::Record& v) const = 0;
+
+  /// Batched featurization hook. The default loops Features; subclasses
+  /// override it to share per-record work (tokenization, embeddings)
+  /// across pairs that repeat a record. Must return exactly
+  /// Features(pair) per element, in order.
+  virtual std::vector<ml::Vector> FeaturesBatch(
+      std::span<const RecordPair> pairs) const;
 
  private:
   Head head_;

@@ -1,11 +1,20 @@
 #ifndef CERTA_MODELS_MATCHER_H_
 #define CERTA_MODELS_MATCHER_H_
 
+#include <span>
 #include <string>
+#include <vector>
 
 #include "data/table.h"
 
 namespace certa::models {
+
+/// Non-owning view of one candidate pair for batch scoring. Both
+/// records must outlive the ScoreBatch call.
+struct RecordPair {
+  const data::Record* left = nullptr;
+  const data::Record* right = nullptr;
+};
 
 /// Black-box ER classifier interface — exactly what CERTA and every
 /// baseline explainer consume. A matcher scores a candidate record pair
@@ -14,6 +23,8 @@ namespace certa::models {
 ///
 /// Implementations must be deterministic and side-effect free per call:
 /// explainers issue thousands of perturbed-pair calls per explanation.
+/// Score and ScoreBatch must be safe to call concurrently from multiple
+/// threads (the scoring engine fans batches out over a thread pool).
 class Matcher {
  public:
   virtual ~Matcher() = default;
@@ -22,6 +33,21 @@ class Matcher {
   /// the right source). Must lie in [0, 1].
   virtual double Score(const data::Record& u,
                        const data::Record& v) const = 0;
+
+  /// Scores a batch of pairs; result[i] == Score(*pairs[i].left,
+  /// *pairs[i].right) bit-for-bit. The default loops over Score;
+  /// implementations override it to amortize per-call setup
+  /// (featurization, vectorization, head forward passes) across the
+  /// batch without changing any individual score.
+  virtual std::vector<double> ScoreBatch(
+      std::span<const RecordPair> pairs) const {
+    std::vector<double> scores;
+    scores.reserve(pairs.size());
+    for (const RecordPair& pair : pairs) {
+      scores.push_back(Score(*pair.left, *pair.right));
+    }
+    return scores;
+  }
 
   /// Hard decision at the 0.5 threshold.
   bool Predict(const data::Record& u, const data::Record& v) const {

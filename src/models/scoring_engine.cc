@@ -1,0 +1,193 @@
+#include "models/scoring_engine.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace certa::models {
+namespace {
+
+/// FNV-1a over a string with a per-stream basis, finished by the
+/// caller; value separators keep ("ab","c") distinct from ("a","bc").
+void MixValue(const std::string& value, uint64_t* hash) {
+  for (char c : value) {
+    *hash ^= static_cast<unsigned char>(c);
+    *hash *= 0x100000001b3ULL;
+  }
+  *hash ^= 0x1f;
+  *hash *= 0x100000001b3ULL;
+}
+
+uint64_t Avalanche(uint64_t hash) {
+  hash ^= hash >> 33;
+  hash *= 0xff51afd7ed558ccdULL;
+  hash ^= hash >> 33;
+  hash *= 0xc4ceb9fe1a85ec53ULL;
+  hash ^= hash >> 33;
+  return hash;
+}
+
+uint64_t HashSide(const data::Record& u, const data::Record& v,
+                  uint64_t basis) {
+  uint64_t hash = basis;
+  for (const std::string& value : u.values) MixValue(value, &hash);
+  hash ^= 0x1e;
+  hash *= 0x100000001b3ULL;
+  for (const std::string& value : v.values) MixValue(value, &hash);
+  return Avalanche(hash);
+}
+
+}  // namespace
+
+PairKey HashPair(const data::Record& u, const data::Record& v) {
+  return {HashSide(u, v, 0xcbf29ce484222325ULL),
+          HashSide(u, v, 0x6a09e667f3bcc908ULL)};
+}
+
+PredictionCache::PredictionCache(size_t num_shards,
+                                 size_t max_entries_per_shard)
+    : max_entries_per_shard_(std::max<size_t>(1, max_entries_per_shard)) {
+  size_t count = std::max<size_t>(1, num_shards);
+  shards_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+bool PredictionCache::Lookup(const PairKey& key, double* score) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  *score = it->second;
+  return true;
+}
+
+void PredictionCache::Insert(const PairKey& key, double score) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.map.size() >= max_entries_per_shard_ &&
+      shard.map.find(key) == shard.map.end()) {
+    evictions_.fetch_add(static_cast<long long>(shard.map.size()),
+                         std::memory_order_relaxed);
+    shard.map.clear();
+  }
+  shard.map[key] = score;
+}
+
+PredictionCache::Stats PredictionCache::stats() const {
+  return {hits_.load(std::memory_order_relaxed),
+          misses_.load(std::memory_order_relaxed),
+          evictions_.load(std::memory_order_relaxed)};
+}
+
+size_t PredictionCache::entry_count() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->map.size();
+  }
+  return total;
+}
+
+ScoringEngine::ScoringEngine(const Matcher* base, Options options)
+    : base_(base),
+      options_(options),
+      cache_(options.cache_shards, options.max_cache_entries_per_shard) {
+  CERTA_CHECK(base != nullptr);
+}
+
+double ScoringEngine::Score(const data::Record& u,
+                            const data::Record& v) const {
+  if (!options_.enable_cache) return base_->Score(u, v);
+  PairKey key = HashPair(u, v);
+  double score = 0.0;
+  if (cache_.Lookup(key, &score)) return score;
+  score = base_->Score(u, v);
+  cache_.Insert(key, score);
+  return score;
+}
+
+std::vector<double> ScoringEngine::ScoreMisses(
+    const std::vector<RecordPair>& pairs) const {
+  if (pairs.empty()) return {};
+  util::ThreadPool* pool = options_.pool;
+  if (pool == nullptr || pool->size() < 2 ||
+      pairs.size() < options_.min_parallel_batch) {
+    return base_->ScoreBatch(pairs);
+  }
+  const size_t chunk = std::max<size_t>(1, options_.parallel_chunk);
+  const size_t num_chunks = (pairs.size() + chunk - 1) / chunk;
+  std::vector<double> scores(pairs.size(), 0.0);
+  pool->ParallelFor(num_chunks, [&](size_t c) {
+    size_t begin = c * chunk;
+    size_t end = std::min(pairs.size(), begin + chunk);
+    std::span<const RecordPair> slice(pairs.data() + begin, end - begin);
+    std::vector<double> chunk_scores = base_->ScoreBatch(slice);
+    std::copy(chunk_scores.begin(), chunk_scores.end(),
+              scores.begin() + static_cast<ptrdiff_t>(begin));
+  });
+  return scores;
+}
+
+std::vector<double> ScoringEngine::ScoreBatch(
+    std::span<const RecordPair> pairs) const {
+  std::vector<double> scores(pairs.size(), 0.0);
+  if (pairs.empty()) return scores;
+
+  // Dedupe by content hash: identical pairs in one batch are scored
+  // once (even with the persistent cache disabled — lattice frontiers
+  // and candidate scans repeat perturbations within a batch).
+  // `slot[i]` is the unique-pair index serving input i.
+  std::vector<PairKey> keys(pairs.size());
+  std::vector<size_t> slot(pairs.size(), 0);
+  struct KeyHasher {
+    size_t operator()(const PairKey& key) const {
+      return static_cast<size_t>(key.lo ^ (key.hi * 0x9E3779B97F4A7C15ULL));
+    }
+  };
+  std::unordered_map<PairKey, size_t, KeyHasher> first_index;
+  std::vector<size_t> unique_inputs;  // input index of each unique pair
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    keys[i] = HashPair(*pairs[i].left, *pairs[i].right);
+    auto [it, inserted] = first_index.emplace(keys[i], unique_inputs.size());
+    if (inserted) unique_inputs.push_back(i);
+    slot[i] = it->second;
+  }
+
+  // Cache probe phase (sequential, so counters stay deterministic).
+  std::vector<double> unique_scores(unique_inputs.size(), 0.0);
+  std::vector<RecordPair> miss_pairs;
+  std::vector<size_t> miss_slots;
+  for (size_t s = 0; s < unique_inputs.size(); ++s) {
+    size_t input = unique_inputs[s];
+    if (options_.enable_cache &&
+        cache_.Lookup(keys[input], &unique_scores[s])) {
+      continue;
+    }
+    miss_pairs.push_back(pairs[input]);
+    miss_slots.push_back(s);
+  }
+
+  // Compute phase (possibly parallel), then sequential insert phase.
+  std::vector<double> miss_scores = ScoreMisses(miss_pairs);
+  for (size_t m = 0; m < miss_slots.size(); ++m) {
+    unique_scores[miss_slots[m]] = miss_scores[m];
+    if (options_.enable_cache) {
+      cache_.Insert(keys[unique_inputs[miss_slots[m]]], miss_scores[m]);
+    }
+  }
+
+  for (size_t i = 0; i < pairs.size(); ++i) scores[i] = unique_scores[slot[i]];
+  return scores;
+}
+
+PredictionCache::Stats ScoringEngine::cache_stats() const {
+  return cache_.stats();
+}
+
+}  // namespace certa::models

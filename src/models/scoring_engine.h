@@ -1,0 +1,140 @@
+#ifndef CERTA_MODELS_SCORING_ENGINE_H_
+#define CERTA_MODELS_SCORING_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "models/matcher.h"
+#include "util/thread_pool.h"
+
+namespace certa::models {
+
+/// Content hash of a record pair, used as the prediction-cache key.
+/// Two independent 64-bit FNV-1a/avalanche streams make accidental
+/// collisions (which would silently return a wrong score) a non-issue:
+/// ~2^-128 per pair of distinct inputs.
+struct PairKey {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  bool operator==(const PairKey& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+};
+
+/// Hashes the pair's attribute values with side/value separators (the
+/// same framing CachingMatcher uses for its string keys).
+PairKey HashPair(const data::Record& u, const data::Record& v);
+
+/// Sharded, thread-safe score cache. Each shard has its own mutex and
+/// map, so concurrent lookups from pool workers rarely contend. A shard
+/// that exceeds its entry budget is cleared wholesale (same policy as
+/// CachingMatcher), with the dropped entries counted as evictions.
+class PredictionCache {
+ public:
+  struct Stats {
+    long long hits = 0;
+    long long misses = 0;
+    long long evictions = 0;
+  };
+
+  PredictionCache(size_t num_shards, size_t max_entries_per_shard);
+
+  /// True (and *score set) on a hit. Counts one hit or one miss.
+  bool Lookup(const PairKey& key, double* score);
+
+  /// Stores the score; overwriting an existing entry is harmless
+  /// (scores are deterministic). May evict a full shard first.
+  void Insert(const PairKey& key, double score);
+
+  Stats stats() const;
+  size_t entry_count() const;
+
+ private:
+  struct KeyHasher {
+    size_t operator()(const PairKey& key) const {
+      return static_cast<size_t>(key.lo ^ (key.hi * 0x9E3779B97F4A7C15ULL));
+    }
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<PairKey, double, KeyHasher> map;
+  };
+
+  Shard& ShardFor(const PairKey& key) {
+    return *shards_[static_cast<size_t>(key.hi) % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t max_entries_per_shard_;
+  std::atomic<long long> hits_{0};
+  std::atomic<long long> misses_{0};
+  std::atomic<long long> evictions_{0};
+};
+
+/// The batched + cached + pooled scoring layer every hot path drains
+/// through. Drops in anywhere a Matcher is expected:
+///
+///   - Score(u, v): cache probe, then one base-model call on a miss.
+///   - ScoreBatch(pairs): dedupes identical pairs within the batch,
+///     probes the cache for each unique pair, scores the misses through
+///     the base model's ScoreBatch (split over the thread pool when one
+///     is attached), then inserts the new scores.
+///
+/// Every returned score is bit-identical to base->Score(u, v): the
+/// cache only ever stores values the deterministic base model produced,
+/// and batching/pooling never changes the arithmetic of an individual
+/// pair. Cache probes and insertions happen on the calling thread in
+/// pair order, so hit/miss/eviction counters are deterministic too (for
+/// a single-threaded caller); only the miss *computation* fans out.
+class ScoringEngine : public Matcher {
+ public:
+  struct Options {
+    /// Disable to measure the raw batched path (or to bound memory).
+    bool enable_cache = true;
+    size_t cache_shards = 16;
+    size_t max_cache_entries_per_shard = 1 << 16;
+    /// Not owned; nullptr scores misses inline on the calling thread.
+    util::ThreadPool* pool = nullptr;
+    /// Batches smaller than this skip the pool (dispatch overhead would
+    /// dominate the scoring work).
+    size_t min_parallel_batch = 8;
+    /// Pairs per pool task when fanning a batch out.
+    size_t parallel_chunk = 16;
+  };
+
+  /// Does not take ownership of `base`, which must outlive the engine
+  /// and be safe to score from multiple threads.
+  ScoringEngine(const Matcher* base, Options options);
+  explicit ScoringEngine(const Matcher* base)
+      : ScoringEngine(base, Options()) {}
+
+  double Score(const data::Record& u, const data::Record& v) const override;
+  std::vector<double> ScoreBatch(
+      std::span<const RecordPair> pairs) const override;
+  std::string name() const override { return base_->name(); }
+
+  PredictionCache::Stats cache_stats() const;
+  const Options& options() const { return options_; }
+  const Matcher* base() const { return base_; }
+
+ private:
+  /// Scores `pairs` through the base model, fanning chunks out over the
+  /// pool when the batch is large enough. Results are ordered by input
+  /// index regardless of which worker scored them.
+  std::vector<double> ScoreMisses(const std::vector<RecordPair>& pairs) const;
+
+  const Matcher* base_;
+  Options options_;
+  mutable PredictionCache cache_;
+};
+
+}  // namespace certa::models
+
+#endif  // CERTA_MODELS_SCORING_ENGINE_H_

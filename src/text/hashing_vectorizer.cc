@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "text/tokenizer.h"
 #include "util/logging.h"
 
 namespace certa::text {
@@ -12,25 +13,37 @@ HashingVectorizer::HashingVectorizer(int dimension, uint64_t seed)
 }
 
 uint64_t HashingVectorizer::HashToken(std::string_view token) const {
-  // FNV-1a, then a final avalanche mix with the vectorizer seed.
-  uint64_t hash = 0xcbf29ce484222325ULL ^ seed_;
-  for (char c : token) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 0x100000001b3ULL;
-  }
-  hash ^= hash >> 33;
-  hash *= 0xff51afd7ed558ccdULL;
-  hash ^= hash >> 33;
-  return hash;
+  // FNV-1a seeded with the vectorizer seed, then an avalanche mix —
+  // shared with CharNgramHashes so pre-hashed shingles land on the
+  // exact buckets the string path would.
+  return SeededStringHash(token, seed_);
 }
 
 void HashingVectorizer::Accumulate(std::string_view token,
                                    std::vector<double>* out) const {
+  AccumulateHashed(HashToken(token), out);
+}
+
+void HashingVectorizer::AccumulateHashed(uint64_t hash,
+                                         std::vector<double>* out) const {
   CERTA_CHECK_EQ(static_cast<int>(out->size()), dimension_);
-  uint64_t hash = HashToken(token);
   size_t bucket = static_cast<size_t>(hash % static_cast<uint64_t>(dimension_));
   double sign = ((hash >> 63) & 1u) ? -1.0 : 1.0;
   (*out)[bucket] += sign;
+}
+
+std::vector<double> HashingVectorizer::TransformHashed(
+    const std::vector<uint64_t>& hashes) const {
+  std::vector<double> result(dimension_, 0.0);
+  for (uint64_t hash : hashes) AccumulateHashed(hash, &result);
+  return result;
+}
+
+std::vector<double> HashingVectorizer::TransformHashedNormalized(
+    const std::vector<uint64_t>& hashes) const {
+  std::vector<double> result = TransformHashed(hashes);
+  L2Normalize(&result);
+  return result;
 }
 
 std::vector<double> HashingVectorizer::Transform(

@@ -33,7 +33,22 @@ class HashingVectorizer {
   std::vector<double> TransformNormalized(
       const std::vector<std::string>& tokens) const;
 
+  /// Adds one pre-hashed token's contribution; `hash` must come from
+  /// HashToken / text::SeededStringHash with this vectorizer's seed so
+  /// the result is bit-identical to the string path.
+  void AccumulateHashed(uint64_t hash, std::vector<double>* out) const;
+
+  /// Transform over pre-hashed tokens (e.g. text::CharNgramHashes with
+  /// seed()); equals Transform of the corresponding token strings.
+  std::vector<double> TransformHashed(
+      const std::vector<uint64_t>& hashes) const;
+
+  /// Hashed-token counterpart of TransformNormalized.
+  std::vector<double> TransformHashedNormalized(
+      const std::vector<uint64_t>& hashes) const;
+
   int dimension() const { return dimension_; }
+  uint64_t seed() const { return seed_; }
 
   /// Stable 64-bit FNV-1a hash of `token` mixed with this vectorizer's
   /// seed; exposed for tests.

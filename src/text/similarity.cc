@@ -104,6 +104,57 @@ double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
   return jaro + static_cast<double>(prefix) * 0.1 * (1.0 - jaro);
 }
 
+std::vector<std::string> UniqueTokens(const std::vector<std::string>& tokens) {
+  std::vector<std::string> unique = tokens;
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  return unique;
+}
+
+namespace {
+
+/// Sorted-merge intersection count over UniqueTokens vectors; equals
+/// IntersectionSize over the corresponding hash sets.
+size_t SortedIntersectionSize(const std::vector<std::string>& a,
+                              const std::vector<std::string>& b) {
+  size_t intersection = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    int cmp = a[i].compare(b[j]);
+    if (cmp == 0) {
+      ++intersection;
+      ++i;
+      ++j;
+    } else if (cmp < 0) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return intersection;
+}
+
+}  // namespace
+
+double JaccardOfUnique(const std::vector<std::string>& a,
+                       const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t intersection = SortedIntersectionSize(a, b);
+  size_t union_size = a.size() + b.size() - intersection;
+  if (union_size == 0) return 1.0;
+  return static_cast<double>(intersection) / static_cast<double>(union_size);
+}
+
+double OverlapOfUnique(const std::vector<std::string>& a,
+                       const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  size_t smaller = std::min(a.size(), b.size());
+  return static_cast<double>(SortedIntersectionSize(a, b)) /
+         static_cast<double>(smaller);
+}
+
 double JaccardSimilarity(const std::vector<std::string>& a,
                          const std::vector<std::string>& b) {
   if (a.empty() && b.empty()) return 1.0;
@@ -179,10 +230,43 @@ double SymmetricMongeElkan(const std::vector<std::string>& a,
   return 0.5 * (MongeElkanSimilarity(a, b) + MongeElkanSimilarity(b, a));
 }
 
+std::vector<uint64_t> TrigramShingles(std::string_view text) {
+  // Hashed shingles instead of materialized gram strings: this is the
+  // innermost loop of AttributeSimilarity (called per attribute value
+  // by the models and triangle search), and the per-gram substr
+  // allocations dominated its cost. Jaccard over 64-bit gram hashes
+  // equals Jaccard over the gram strings (collisions are ~2^-64).
+  std::vector<uint64_t> grams = CharNgramHashes(text, 3);
+  std::sort(grams.begin(), grams.end());
+  grams.erase(std::unique(grams.begin(), grams.end()), grams.end());
+  return grams;
+}
+
+double TrigramSimilarityOfShingles(const std::vector<uint64_t>& a,
+                                   const std::vector<uint64_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  // Sorted-merge intersection count.
+  size_t intersection = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++intersection;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  size_t union_size = a.size() + b.size() - intersection;
+  if (union_size == 0) return 1.0;
+  return static_cast<double>(intersection) / static_cast<double>(union_size);
+}
+
 double TrigramSimilarity(std::string_view a, std::string_view b) {
-  std::vector<std::string> grams_a = CharNgrams(a, 3);
-  std::vector<std::string> grams_b = CharNgrams(b, 3);
-  return JaccardSimilarity(grams_a, grams_b);
+  return TrigramSimilarityOfShingles(TrigramShingles(a), TrigramShingles(b));
 }
 
 double NumericSimilarity(double a, double b) {

@@ -22,6 +22,20 @@ double JaroSimilarity(std::string_view a, std::string_view b);
 double JaroWinklerSimilarity(std::string_view a, std::string_view b);
 
 /// Jaccard similarity of two token multisets (treated as sets), in [0, 1].
+/// Sorted, deduplicated copy of a token list — the set representation
+/// the coefficient helpers below consume. Precompute per record side
+/// when the same tokens are compared against many counterparts.
+std::vector<std::string> UniqueTokens(const std::vector<std::string>& tokens);
+
+/// JaccardSimilarity over precomputed UniqueTokens sets, bit-identical
+/// to the string-vector form.
+double JaccardOfUnique(const std::vector<std::string>& a,
+                       const std::vector<std::string>& b);
+
+/// OverlapCoefficient over precomputed UniqueTokens sets.
+double OverlapOfUnique(const std::vector<std::string>& a,
+                       const std::vector<std::string>& b);
+
 double JaccardSimilarity(const std::vector<std::string>& a,
                          const std::vector<std::string>& b);
 
@@ -49,6 +63,18 @@ double SymmetricMongeElkan(const std::vector<std::string>& a,
 /// Jaccard similarity over character trigram sets of the normalized
 /// strings; robust to token order and small typos.
 double TrigramSimilarity(std::string_view a, std::string_view b);
+
+/// The trigram shingle set TrigramSimilarity builds internally for one
+/// string: hashed 3-grams, sorted and deduplicated. Precompute per
+/// value when the same string is compared against many others.
+std::vector<uint64_t> TrigramShingles(std::string_view text);
+
+/// TrigramSimilarity over precomputed shingle sets:
+///   TrigramSimilarityOfShingles(TrigramShingles(a), TrigramShingles(b))
+///     == TrigramSimilarity(a, b)
+/// bit for bit.
+double TrigramSimilarityOfShingles(const std::vector<uint64_t>& a,
+                                   const std::vector<uint64_t>& b);
 
 /// Relative numeric similarity in [0, 1]: 1 - |a-b| / max(|a|, |b|);
 /// equals 1 when both are 0.

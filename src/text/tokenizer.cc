@@ -71,6 +71,41 @@ std::vector<std::string> CharNgrams(std::string_view text, int n) {
   return grams;
 }
 
+uint64_t SeededStringHash(std::string_view text, uint64_t seed) {
+  uint64_t hash = 0xcbf29ce484222325ULL ^ seed;
+  for (char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  hash ^= hash >> 33;
+  hash *= 0xff51afd7ed558ccdULL;
+  hash ^= hash >> 33;
+  return hash;
+}
+
+std::vector<uint64_t> CharNgramHashes(std::string_view text, int n,
+                                      uint64_t seed) {
+  std::string normalized = Normalize(text);
+  std::vector<uint64_t> hashes;
+  if (normalized.empty() || n <= 0) return hashes;
+  std::string padded;
+  padded.reserve(normalized.size() + 2);
+  padded.push_back('#');
+  padded += normalized;
+  padded.push_back('#');
+  if (static_cast<int>(padded.size()) < n) {
+    hashes.push_back(SeededStringHash(padded, seed));
+    return hashes;
+  }
+  hashes.reserve(padded.size() - static_cast<size_t>(n) + 1);
+  std::string_view view(padded);
+  for (size_t i = 0; i + static_cast<size_t>(n) <= view.size(); ++i) {
+    hashes.push_back(
+        SeededStringHash(view.substr(i, static_cast<size_t>(n)), seed));
+  }
+  return hashes;
+}
+
 bool IsMissing(std::string_view value) {
   std::string lowered = ToLowerAscii(StripAsciiWhitespace(value));
   return lowered.empty() || lowered == "nan" || lowered == "null" ||

@@ -1,6 +1,7 @@
 #ifndef CERTA_TEXT_TOKENIZER_H_
 #define CERTA_TEXT_TOKENIZER_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -26,6 +27,19 @@ std::vector<std::string> RawTokens(std::string_view text);
 /// trailing boundary marker '#'. Returns an empty vector when the text
 /// normalizes to nothing.
 std::vector<std::string> CharNgrams(std::string_view text, int n);
+
+/// Stable 64-bit hash of `text` (FNV-1a seeded with `seed`, finished
+/// with an avalanche mix). This is exactly the hash
+/// HashingVectorizer::HashToken computes for the same seed, so hashed
+/// shingles can feed a vectorizer without materializing gram strings.
+uint64_t SeededStringHash(std::string_view text, uint64_t seed);
+
+/// Hashed character shingles: SeededStringHash of every n-gram that
+/// CharNgrams(text, n) would produce, in the same order, without the
+/// per-gram heap allocations. Invariant (tested):
+///   CharNgramHashes(t, n, s)[i] == SeededStringHash(CharNgrams(t, n)[i], s)
+std::vector<uint64_t> CharNgramHashes(std::string_view text, int n,
+                                      uint64_t seed = 0);
 
 /// True when the value should be treated as missing (empty, "nan",
 /// "null", "n/a" after normalization). The benchmark datasets use "NaN"

@@ -1,0 +1,77 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace certa::util {
+
+ThreadPool::ThreadPool(int num_threads) {
+  int count = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int ThreadPool::HardwareThreads() {
+  unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? static_cast<int>(hardware) : 1;
+}
+
+void ThreadPool::DrainBatch(std::unique_lock<std::mutex>& lock,
+                            const std::shared_ptr<Batch>& batch) {
+  while (batch->next < batch->count) {
+    size_t index = batch->next++;
+    if (batch->next >= batch->count) {
+      // Batch exhausted: stop offering it to other workers.
+      auto it = std::find(queue_.begin(), queue_.end(), batch);
+      if (it != queue_.end()) queue_.erase(it);
+    }
+    lock.unlock();
+    (*batch->fn)(index);
+    lock.lock();
+    if (++batch->done == batch->count) batch->finished.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_available_.wait(
+        lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (shutdown_ && queue_.empty()) return;
+    // Keep a shared_ptr so the batch outlives its removal from the
+    // queue while this worker still runs one of its indices.
+    std::shared_ptr<Batch> batch = queue_.front();
+    DrainBatch(lock, batch);
+  }
+}
+
+void ThreadPool::ParallelFor(size_t count,
+                             const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1) {
+    fn(0);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->count = count;
+  batch->fn = &fn;
+  std::unique_lock<std::mutex> lock(mutex_);
+  queue_.push_back(batch);
+  work_available_.notify_all();
+  // The caller helps with its own batch, which guarantees progress even
+  // when every worker is busy (including nested ParallelFor calls).
+  DrainBatch(lock, batch);
+  batch->finished.wait(lock, [&] { return batch->done == batch->count; });
+}
+
+}  // namespace certa::util

@@ -1,0 +1,71 @@
+#ifndef CERTA_UTIL_THREAD_POOL_H_
+#define CERTA_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace certa::util {
+
+/// Fixed-size worker pool with a shared work queue, built for the
+/// scoring engine's batch fan-out. Work is submitted as index ranges
+/// (ParallelFor); each index is claimed exactly once, so tasks that
+/// write to index-addressed slots produce deterministic, ordered
+/// results regardless of which worker ran them or in what order.
+///
+/// The calling thread participates in its own batch while waiting, so
+/// nested ParallelFor calls (an explainer parallelized per pair whose
+/// scoring engine fans out again) cannot deadlock: a waiting caller
+/// always drains the remaining indices of its batch itself.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs fn(0) .. fn(count - 1), each exactly once, and blocks until
+  /// all have completed. `fn` must be safe to invoke concurrently from
+  /// multiple threads and must not throw.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+  /// Sensible default worker count for this machine (>= 1).
+  static int HardwareThreads();
+
+ private:
+  /// One ParallelFor invocation: indices are claimed via `next`, and
+  /// the batch is complete when `done` reaches `count`.
+  struct Batch {
+    size_t count = 0;
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t next = 0;  // guarded by pool mutex
+    size_t done = 0;  // guarded by pool mutex
+    std::condition_variable finished;
+  };
+
+  /// Claims and runs indices of `batch` until none remain. Returns with
+  /// the pool mutex held (as on entry).
+  void DrainBatch(std::unique_lock<std::mutex>& lock,
+                  const std::shared_ptr<Batch>& batch);
+
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::vector<std::shared_ptr<Batch>> queue_;  // batches with open indices
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace certa::util
+
+#endif  // CERTA_UTIL_THREAD_POOL_H_

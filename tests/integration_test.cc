@@ -26,7 +26,7 @@ TEST(HarnessTest, PrepareTrainsAWorkingModel) {
   EXPECT_GT(setup->test_f1, 0.5);
   EXPECT_TRUE(setup->context.valid());
   // The context's model is the caching wrapper.
-  EXPECT_EQ(setup->context.model, setup->cached.get());
+  EXPECT_EQ(setup->context.model, setup->engine.get());
 }
 
 TEST(HarnessTest, ExplainedPairsHonorsCap) {

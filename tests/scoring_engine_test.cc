@@ -1,0 +1,325 @@
+// Tests for the batched + cached + pooled scoring layer: ThreadPool
+// scheduling guarantees, PredictionCache accounting, ScoreBatch ≡ Score
+// for every trained model kind, and bit-identical CertaExplainer output
+// at any thread count / cache setting.
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/certa_explainer.h"
+#include "data/benchmarks.h"
+#include "models/scoring_engine.h"
+#include "models/trainer.h"
+#include "test_util.h"
+#include "util/thread_pool.h"
+
+namespace certa {
+namespace {
+
+using models::HashPair;
+using models::PairKey;
+using models::PredictionCache;
+using models::RecordPair;
+using models::ScoringEngine;
+using testing::FakeMatcher;
+using testing::MakeRecord;
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPoolTest, SizeClampsToAtLeastOne) {
+  util::ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1);
+  EXPECT_GE(util::ThreadPool::HardwareThreads(), 1);
+}
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  util::ThreadPool pool(4);
+  constexpr size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.ParallelFor(kCount, [&](size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, HandlesEmptyAndTinyBatches) {
+  util::ThreadPool pool(4);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "fn called for count 0"; });
+  std::atomic<int> total{0};
+  pool.ParallelFor(1, [&](size_t) { ++total; });
+  EXPECT_EQ(total.load(), 1);
+}
+
+TEST(ThreadPoolTest, SequentialBatchesReuseWorkers) {
+  util::ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(10, [&](size_t) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 500);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  util::ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.ParallelFor(4, [&](size_t) {
+    pool.ParallelFor(8, [&](size_t) { ++inner_total; });
+  });
+  EXPECT_EQ(inner_total.load(), 32);
+}
+
+// ---------------------------------------------------------------------------
+// PairKey / PredictionCache
+
+TEST(PairKeyTest, ContentDeterminesKey) {
+  data::Record u = MakeRecord(1, {"alpha", "beta"});
+  data::Record v = MakeRecord(2, {"gamma", "delta"});
+  data::Record u_copy = MakeRecord(99, {"alpha", "beta"});  // ids ignored
+  data::Record v_copy = MakeRecord(98, {"gamma", "delta"});
+  EXPECT_EQ(HashPair(u, v), HashPair(u_copy, v_copy));
+  EXPECT_FALSE(HashPair(u, v) == HashPair(v, u));  // sides matter
+  data::Record w = MakeRecord(3, {"alpha", "betb"});
+  EXPECT_FALSE(HashPair(u, v) == HashPair(w, v));
+}
+
+TEST(PairKeyTest, ValueBoundariesAreFramed) {
+  // ("ab", "c") vs ("a", "bc") must hash differently.
+  data::Record u1 = MakeRecord(0, {"ab", "c"});
+  data::Record u2 = MakeRecord(0, {"a", "bc"});
+  data::Record v = MakeRecord(1, {"x"});
+  EXPECT_FALSE(HashPair(u1, v) == HashPair(u2, v));
+}
+
+TEST(PredictionCacheTest, CountsHitsAndMisses) {
+  PredictionCache cache(4, 64);
+  PairKey key{1, 2};
+  double score = -1.0;
+  EXPECT_FALSE(cache.Lookup(key, &score));
+  cache.Insert(key, 0.75);
+  EXPECT_TRUE(cache.Lookup(key, &score));
+  EXPECT_DOUBLE_EQ(score, 0.75);
+  PredictionCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.evictions, 0);
+  EXPECT_EQ(cache.entry_count(), 1u);
+}
+
+TEST(PredictionCacheTest, FullShardIsClearedAndCounted) {
+  PredictionCache cache(1, 4);  // one shard, four entries max
+  for (uint64_t i = 0; i < 9; ++i) {
+    cache.Insert(PairKey{i, i}, static_cast<double>(i));
+  }
+  PredictionCache::Stats stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0);
+  EXPECT_LE(cache.entry_count(), 4u);
+}
+
+TEST(PredictionCacheTest, ConcurrentInsertLookupIsConsistent) {
+  PredictionCache cache(8, 1 << 12);
+  util::ThreadPool pool(4);
+  constexpr size_t kKeys = 512;
+  // Insert every key from one thread each, then verify from all.
+  pool.ParallelFor(kKeys, [&](size_t i) {
+    cache.Insert(PairKey{i, i * 31}, static_cast<double>(i));
+  });
+  std::atomic<int> wrong{0};
+  pool.ParallelFor(kKeys, [&](size_t i) {
+    double score = -1.0;
+    if (!cache.Lookup(PairKey{i, i * 31}, &score) ||
+        score != static_cast<double>(i)) {
+      ++wrong;
+    }
+  });
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(cache.stats().hits, static_cast<long long>(kKeys));
+}
+
+// ---------------------------------------------------------------------------
+// ScoringEngine
+
+TEST(ScoringEngineTest, ScoreMatchesBaseAndCaches) {
+  FakeMatcher base([](const data::Record& u, const data::Record& v) {
+    return u.values[0] == v.values[0] ? 0.9 : 0.1;
+  });
+  ScoringEngine engine(&base);
+  data::Record u = MakeRecord(0, {"same"});
+  data::Record v = MakeRecord(1, {"same"});
+  EXPECT_DOUBLE_EQ(engine.Score(u, v), 0.9);
+  EXPECT_DOUBLE_EQ(engine.Score(u, v), 0.9);
+  EXPECT_EQ(base.calls(), 1);  // second call served from cache
+  PredictionCache::Stats stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+}
+
+TEST(ScoringEngineTest, DisabledCacheAlwaysCallsBase) {
+  FakeMatcher base([](const data::Record&, const data::Record&) {
+    return 0.4;
+  });
+  ScoringEngine::Options options;
+  options.enable_cache = false;
+  ScoringEngine engine(&base, options);
+  data::Record u = MakeRecord(0, {"a"});
+  data::Record v = MakeRecord(1, {"b"});
+  engine.Score(u, v);
+  engine.Score(u, v);
+  EXPECT_EQ(base.calls(), 2);
+  PredictionCache::Stats stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits, 0);
+  EXPECT_EQ(stats.misses, 0);
+}
+
+TEST(ScoringEngineTest, BatchDedupesIdenticalPairs) {
+  FakeMatcher base([](const data::Record& u, const data::Record& v) {
+    return u.values[0] == v.values[0] ? 1.0 : 0.0;
+  });
+  ScoringEngine engine(&base);
+  data::Record a = MakeRecord(0, {"a"});
+  data::Record b = MakeRecord(1, {"b"});
+  data::Record a2 = MakeRecord(2, {"a"});  // same content as a
+  std::vector<RecordPair> pairs = {
+      {&a, &b}, {&a, &b}, {&a2, &b}, {&b, &a}, {&a, &a2}};
+  std::vector<double> scores = engine.ScoreBatch(pairs);
+  ASSERT_EQ(scores.size(), pairs.size());
+  EXPECT_DOUBLE_EQ(scores[0], 0.0);
+  EXPECT_DOUBLE_EQ(scores[1], 0.0);
+  EXPECT_DOUBLE_EQ(scores[2], 0.0);  // deduped with slot 0 by content
+  EXPECT_DOUBLE_EQ(scores[3], 0.0);
+  EXPECT_DOUBLE_EQ(scores[4], 1.0);
+  EXPECT_EQ(base.calls(), 3);  // {a,b}, {b,a}, {a,a}
+  // A second batch over the same pairs is served fully from cache.
+  base.reset_calls();
+  std::vector<double> again = engine.ScoreBatch(pairs);
+  EXPECT_EQ(base.calls(), 0);
+  EXPECT_EQ(again, scores);
+}
+
+TEST(ScoringEngineTest, PooledBatchMatchesSerial) {
+  FakeMatcher base([](const data::Record& u, const data::Record& v) {
+    return (u.values[0].size() * 7 + v.values[0].size()) / 100.0;
+  });
+  util::ThreadPool pool(4);
+  ScoringEngine::Options pooled_options;
+  pooled_options.pool = &pool;
+  pooled_options.enable_cache = false;
+  pooled_options.min_parallel_batch = 2;
+  pooled_options.parallel_chunk = 3;
+  ScoringEngine pooled(&base, pooled_options);
+  ScoringEngine serial(&base);
+
+  std::vector<data::Record> lefts;
+  std::vector<data::Record> rights;
+  for (int i = 0; i < 64; ++i) {
+    lefts.push_back(MakeRecord(i, {std::string(i % 11, 'x')}));
+    rights.push_back(MakeRecord(i, {std::string(i % 7, 'y')}));
+  }
+  std::vector<RecordPair> pairs;
+  for (int i = 0; i < 64; ++i) pairs.push_back({&lefts[i], &rights[i]});
+
+  EXPECT_EQ(pooled.ScoreBatch(pairs), serial.ScoreBatch(pairs));
+}
+
+// ScoreBatch must agree bit-for-bit with per-pair Score for every
+// trained model kind (the contract the hot paths rely on).
+class ScoreBatchEquivalenceTest
+    : public ::testing::TestWithParam<models::ModelKind> {};
+
+TEST_P(ScoreBatchEquivalenceTest, BatchEqualsPerPairScore) {
+  data::Dataset dataset = data::MakeBenchmark("AB");
+  auto model = models::TrainMatcher(GetParam(), dataset);
+  std::vector<RecordPair> pairs;
+  for (const data::LabeledPair& pair : dataset.test) {
+    pairs.push_back({&dataset.left.record(pair.left_index),
+                     &dataset.right.record(pair.right_index)});
+  }
+  ASSERT_FALSE(pairs.empty());
+  std::vector<double> batch = model->ScoreBatch(pairs);
+  ASSERT_EQ(batch.size(), pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(batch[i], model->Score(*pairs[i].left, *pairs[i].right))
+        << "pair " << i;
+  }
+  // Through the engine (cache + dedupe) the scores are still identical.
+  ScoringEngine engine(model.get());
+  EXPECT_EQ(engine.ScoreBatch(pairs), batch);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ScoreBatchEquivalenceTest,
+                         ::testing::Values(models::ModelKind::kDeepEr,
+                                           models::ModelKind::kDeepMatcher,
+                                           models::ModelKind::kDitto,
+                                           models::ModelKind::kSvm),
+                         [](const auto& info) {
+                           return models::ModelKindName(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism: CertaExplainer::Explain must produce the same
+// CertaResult (saliency, counterfactuals, Table 7/8 counters) at any
+// thread count, with or without the prediction cache.
+
+struct ExplainConfig {
+  int num_threads;
+  bool use_cache;
+};
+
+class ExplainDeterminismTest
+    : public ::testing::TestWithParam<ExplainConfig> {};
+
+TEST_P(ExplainDeterminismTest, MatchesSingleThreadCachedRun) {
+  data::Dataset dataset = data::MakeBenchmark("AB");
+  auto model = models::TrainMatcher(models::ModelKind::kDeepEr, dataset);
+  explain::ExplainContext context{model.get(), &dataset.left,
+                                  &dataset.right};
+  core::CertaExplainer::Options base_options;
+  base_options.num_triangles = 12;
+
+  core::CertaExplainer reference(context, base_options);
+  core::CertaExplainer::Options options = base_options;
+  options.num_threads = GetParam().num_threads;
+  options.use_cache = GetParam().use_cache;
+  core::CertaExplainer variant(context, options);
+
+  int checked = 0;
+  for (const data::LabeledPair& pair : dataset.test) {
+    if (checked >= 3) break;
+    ++checked;
+    const data::Record& u = dataset.left.record(pair.left_index);
+    const data::Record& v = dataset.right.record(pair.right_index);
+    core::CertaResult expected = reference.Explain(u, v);
+    core::CertaResult actual = variant.Explain(u, v);
+    if (!GetParam().use_cache) {
+      EXPECT_EQ(actual.cache_hits + actual.cache_misses, 0);
+    }
+    // JSON covers saliency scores, counterfactuals, sufficiency table
+    // and the Table 7/8 counters in one deterministic serialization.
+    // Cache counters legitimately differ across configs, so zero them
+    // before comparing the payloads.
+    expected.cache_hits = actual.cache_hits = 0;
+    expected.cache_misses = actual.cache_misses = 0;
+    expected.cache_evictions = actual.cache_evictions = 0;
+    EXPECT_EQ(core::CertaResultToJson(actual, dataset.left.schema(),
+                                      dataset.right.schema()),
+              core::CertaResultToJson(expected, dataset.left.schema(),
+                                      dataset.right.schema()));
+  }
+  EXPECT_GT(checked, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsAndCache, ExplainDeterminismTest,
+    ::testing::Values(ExplainConfig{1, false}, ExplainConfig{2, true},
+                      ExplainConfig{4, true}, ExplainConfig{4, false}),
+    [](const auto& info) {
+      return "Threads" + std::to_string(info.param.num_threads) +
+             (info.param.use_cache ? "Cached" : "NoCache");
+    });
+
+}  // namespace
+}  // namespace certa

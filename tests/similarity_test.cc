@@ -84,6 +84,34 @@ TEST(MongeElkanTest, AsymmetryAndSymmetrization) {
   EXPECT_NEAR(SymmetricMongeElkan(a, b), (ab + ba) / 2.0, 1e-12);
 }
 
+TEST(TokenSetTest, UniqueDecompositionMatches) {
+  // The precomputed-set forms must reproduce the plain forms exactly.
+  std::vector<std::vector<std::string>> lists = {
+      {}, {"sony"}, {"sony", "bravia", "sony"}, {"a", "b", "c"},
+      {"b", "a"}};
+  for (const auto& a : lists) {
+    for (const auto& b : lists) {
+      auto ua = UniqueTokens(a);
+      auto ub = UniqueTokens(b);
+      EXPECT_EQ(JaccardOfUnique(ua, ub), JaccardSimilarity(a, b));
+      EXPECT_EQ(OverlapOfUnique(ua, ub), OverlapCoefficient(a, b));
+    }
+  }
+}
+
+TEST(TrigramTest, ShingleDecompositionMatches) {
+  // Precomputed-shingle path must reproduce the string path bit for bit
+  // (it is the memoized form the models' batch featurizers rely on).
+  for (const char* a : {"sony bravia", "sony brava", "", "ab", "zzz qqq"}) {
+    for (const char* b : {"sony bravia", "", "x"}) {
+      EXPECT_EQ(TrigramSimilarityOfShingles(TrigramShingles(a),
+                                            TrigramShingles(b)),
+                TrigramSimilarity(a, b))
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
 TEST(TrigramTest, TypoRobustness) {
   double clean = TrigramSimilarity("sony bravia", "sony bravia");
   double typo = TrigramSimilarity("sony bravia", "sony brava");

@@ -1,6 +1,7 @@
 #ifndef CERTA_TESTS_TEST_UTIL_H_
 #define CERTA_TESTS_TEST_UTIL_H_
 
+#include <atomic>
 #include <functional>
 #include <string>
 #include <vector>
@@ -28,12 +29,13 @@ class FakeMatcher : public models::Matcher {
   std::string name() const override { return "Fake"; }
 
   /// Number of Score invocations so far (for cost assertions).
-  int calls() const { return calls_; }
+  /// Atomic so pooled ScoreBatch calls can count concurrently.
+  int calls() const { return calls_.load(); }
   void reset_calls() { calls_ = 0; }
 
  private:
   ScoreFn score_;
-  mutable int calls_ = 0;
+  mutable std::atomic<int> calls_ = 0;
 };
 
 /// Builds a record with the given id and values.

@@ -51,6 +51,31 @@ TEST(CharNgramsTest, EmptyAndInvalid) {
   EXPECT_TRUE(CharNgrams("abc", 0).empty());
 }
 
+TEST(CharNgramHashesTest, MatchesHashOfMaterializedGrams) {
+  // The documented invariant: hashing the shingles in place produces
+  // exactly SeededStringHash of each CharNgrams string, in order.
+  const uint64_t seed = 0x5EED5EED5EEDULL;
+  for (const char* text : {"sony bravia 42in", "ab", "a", "", "x y"}) {
+    for (int n : {2, 3, 4, 5}) {
+      std::vector<std::string> grams = CharNgrams(text, n);
+      std::vector<uint64_t> hashes = CharNgramHashes(text, n, seed);
+      ASSERT_EQ(hashes.size(), grams.size()) << text << " n=" << n;
+      for (size_t i = 0; i < grams.size(); ++i) {
+        EXPECT_EQ(hashes[i], SeededStringHash(grams[i], seed))
+            << text << " n=" << n << " gram " << i;
+      }
+    }
+  }
+}
+
+TEST(CharNgramHashesTest, SeedChangesHashes) {
+  std::vector<uint64_t> a = CharNgramHashes("sony", 3, 1);
+  std::vector<uint64_t> b = CharNgramHashes("sony", 3, 2);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  EXPECT_NE(a[0], b[0]);
+}
+
 TEST(IsMissingTest, RecognizesMissingMarkers) {
   EXPECT_TRUE(IsMissing(""));
   EXPECT_TRUE(IsMissing("NaN"));

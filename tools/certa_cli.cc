@@ -62,8 +62,8 @@ bool Parse(int argc, char** argv, Args* args) {
     const char* token = argv[i];
     if (std::strncmp(token, "--", 2) != 0) return false;
     std::string key(token + 2);
-    // Flags without values: --json, --tokens.
-    if (key == "json" || key == "tokens") {
+    // Flags without values: --json, --tokens, --no-cache.
+    if (key == "json" || key == "tokens" || key == "no-cache") {
       args->options[key] = "1";
       continue;
     }
@@ -79,12 +79,13 @@ int Usage() {
          "  certa datasets\n"
          "  certa train   --dataset CODE [--model NAME] [--save FILE]\n"
          "  certa explain --dataset CODE [--model NAME | --model-file F]\n"
-         "                [--pair N]\n"
-         "                [--triangles T] [--json] [--tokens] [--data DIR]\n"
+         "                [--pair N] [--triangles T] [--threads K]\n"
+         "                [--no-cache] [--json] [--tokens] [--data DIR]\n"
          "  certa export  --dataset CODE --out DIR\n"
          "  certa profile --dataset CODE [--data DIR]\n"
          "  certa rules   --dataset CODE [--data DIR]\n"
          "  certa global  --dataset CODE [--model NAME] [--pairs N]\n"
+         "                [--threads K] [--no-cache]\n"
          "models: deeper | deepmatcher | ditto | svm\n"
          "dataset codes: ";
   for (const std::string& code : certa::data::BenchmarkCodes()) {
@@ -198,12 +199,17 @@ int CmdExplain(const Args& args) {
   } else {
     model = certa::models::TrainMatcher(kind, dataset);
   }
-  certa::models::CachingMatcher cached(model.get());
-  certa::explain::ExplainContext context{&cached, &dataset.left,
+  certa::models::ScoringEngine::Options engine_options;
+  engine_options.enable_cache = !args.Has("no-cache");
+  certa::models::ScoringEngine engine(model.get(), engine_options);
+  certa::explain::ExplainContext context{&engine, &dataset.left,
                                          &dataset.right};
   certa::core::CertaExplainer::Options options;
   options.num_triangles =
       std::max(2, std::atoi(args.Get("triangles", "100").c_str()));
+  options.num_threads =
+      std::max(1, std::atoi(args.Get("threads", "1").c_str()));
+  options.use_cache = !args.Has("no-cache");
   certa::core::CertaExplainer explainer(context, options);
 
   const certa::data::LabeledPair& pair =
@@ -219,7 +225,7 @@ int CmdExplain(const Args& args) {
   } else {
     std::cout << certa::explain::RenderReport(
         u, v, dataset.left.schema(), dataset.right.schema(),
-        cached.Score(u, v), result.saliency, result.counterfactuals);
+        engine.Score(u, v), result.saliency, result.counterfactuals);
   }
 
   if (args.Has("tokens") && !result.saliency.Ranked().empty()) {
@@ -292,10 +298,16 @@ int CmdGlobal(const Args& args) {
   if (!ParseModel(args.Get("model", "ditto"), &kind)) return Usage();
   int max_pairs = std::max(1, std::atoi(args.Get("pairs", "20").c_str()));
   auto model = certa::models::TrainMatcher(kind, dataset);
-  certa::models::CachingMatcher cached(model.get());
-  certa::explain::ExplainContext context{&cached, &dataset.left,
+  certa::models::ScoringEngine::Options engine_options;
+  engine_options.enable_cache = !args.Has("no-cache");
+  certa::models::ScoringEngine engine(model.get(), engine_options);
+  certa::explain::ExplainContext context{&engine, &dataset.left,
                                          &dataset.right};
-  certa::core::CertaExplainer explainer(context);
+  certa::core::CertaExplainer::Options options;
+  options.num_threads =
+      std::max(1, std::atoi(args.Get("threads", "1").c_str()));
+  options.use_cache = !args.Has("no-cache");
+  certa::core::CertaExplainer explainer(context, options);
   std::vector<certa::data::LabeledPair> pairs = dataset.test;
   if (static_cast<int>(pairs.size()) > max_pairs) {
     pairs.resize(static_cast<size_t>(max_pairs));
