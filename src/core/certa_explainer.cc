@@ -32,6 +32,18 @@ uint64_t PairHash(const data::Record& u, const data::Record& v) {
 
 }  // namespace
 
+std::string ExplainStatusName(ExplainStatus status) {
+  switch (status) {
+    case ExplainStatus::kComplete:
+      return "complete";
+    case ExplainStatus::kDegraded:
+      return "degraded";
+    case ExplainStatus::kTruncated:
+      return "truncated";
+  }
+  return "unknown";
+}
+
 CertaExplainer::CertaExplainer(explain::ExplainContext context,
                                Options options)
     : context_(context), options_(options) {
@@ -57,11 +69,62 @@ CertaResult CertaExplainer::Explain(const data::Record& u,
   models::ScoringEngine::Options engine_options;
   engine_options.enable_cache = options_.use_cache;
   engine_options.pool = pool_.get();
-  models::ScoringEngine engine(context_.model, engine_options);
+  // With resilience enabled the chain grows one layer: base model →
+  // ResilientMatcher (retries, deadline, breaker, call budget) →
+  // ScoringEngine. The decorator sits *below* the cache, so cache hits
+  // never re-charge the budget; disabled, the chain is byte-for-byte
+  // the non-resilient one.
+  std::unique_ptr<models::ResilientMatcher> resilient;
+  const models::Matcher* scored_model = context_.model;
+  if (options_.resilience.enabled) {
+    resilient = std::make_unique<models::ResilientMatcher>(
+        context_.model, options_.resilience);
+    scored_model = resilient.get();
+  }
+  models::ScoringEngine engine(scored_model, engine_options);
   explain::ExplainContext engine_context = context_;
   engine_context.model = &engine;
 
-  const bool original_prediction = engine.Predict(u, v);
+  auto record_cache_stats = [&] {
+    models::PredictionCache::Stats stats = engine.cache_stats();
+    result.cache_hits = stats.hits;
+    result.cache_misses = stats.misses;
+    result.cache_evictions = stats.evictions;
+  };
+  // Attributes the decorator's call/retry/failure deltas since the last
+  // snapshot to one phase; cells_skipped is tracked at the call sites.
+  models::ResilientMatcher::Stats seen;
+  auto close_phase = [&](PhaseResilience* phase) {
+    if (!resilient) return;
+    models::ResilientMatcher::Stats now = resilient->stats();
+    phase->calls += now.calls - seen.calls;
+    phase->retries += now.retries - seen.retries;
+    phase->failures += now.failures - seen.failures;
+    seen = now;
+  };
+  bool truncated = false;
+  auto finish_status = [&] {
+    const bool degraded = result.triangle_phase.cells_skipped > 0 ||
+                          result.lattice_phase.cells_skipped > 0 ||
+                          result.cf_phase.cells_skipped > 0;
+    result.status = truncated     ? ExplainStatus::kTruncated
+                    : degraded    ? ExplainStatus::kDegraded
+                                  : ExplainStatus::kComplete;
+  };
+
+  bool original_prediction = false;
+  try {
+    original_prediction = engine.Predict(u, v);
+  } catch (const models::ScoringError&) {
+    // Without the pivot prediction nothing downstream is computable;
+    // return an empty-but-honest result instead of propagating.
+    ++result.triangle_phase.cells_skipped;
+    close_phase(&result.triangle_phase);
+    truncated = true;
+    finish_status();
+    record_cache_stats();
+    return result;
+  }
   Rng rng(options_.seed ^ PairHash(u, v));
 
   TriangleOptions triangle_options;
@@ -72,13 +135,11 @@ CertaResult CertaExplainer::Explain(const data::Record& u,
       CollectTriangles(engine_context, u, v, original_prediction,
                        triangle_options, &rng, &result.triangle_stats);
   result.triangles_used = static_cast<int>(triangles.size());
-  auto record_cache_stats = [&] {
-    models::PredictionCache::Stats stats = engine.cache_stats();
-    result.cache_hits = stats.hits;
-    result.cache_misses = stats.misses;
-    result.cache_evictions = stats.evictions;
-  };
+  close_phase(&result.triangle_phase);
+  result.triangle_phase.cells_skipped += result.triangle_stats.failed_probes;
+  if (result.triangle_stats.aborted) truncated = true;
   if (triangles.empty()) {
+    finish_status();
     record_cache_stats();
     return result;
   }
@@ -96,7 +157,16 @@ CertaResult CertaExplainer::Explain(const data::Record& u,
   int left_triangles = 0;
   int right_triangles = 0;
 
+  // Set when the model-call budget dies mid-lattice: the remaining
+  // triangles cannot be tagged, so the loop stops and every Eq. 1/2
+  // count below stays an honest partial over the tagged prefix.
+  bool stop_lattice = false;
+
   for (size_t t = 0; t < triangles.size(); ++t) {
+    if (stop_lattice) {
+      truncated = true;
+      break;
+    }
     const OpenTriangle& triangle = triangles[t];
     const bool is_left = triangle.side == data::Side::kLeft;
     (is_left ? left_triangles : right_triangles) += 1;
@@ -126,10 +196,18 @@ CertaResult CertaExplainer::Explain(const data::Record& u,
         pairs.push_back(is_left ? models::RecordPair{&record, &v}
                                 : models::RecordPair{&u, &record});
       }
-      std::vector<double> scores = engine.ScoreBatch(pairs);
+      models::ScoringEngine::BatchOutcome outcome = engine.TryScoreBatch(pairs);
+      if (outcome.budget_exhausted) stop_lattice = true;
+      result.lattice_phase.cells_skipped +=
+          static_cast<long long>(outcome.failures);
       std::vector<uint8_t> out(masks.size(), 0);
-      for (size_t i = 0; i < scores.size(); ++i) {
-        out[i] = ((scores[i] >= 0.5) != original_prediction) ? 1 : 0;
+      for (size_t i = 0; i < outcome.scores.size(); ++i) {
+        // A failed cell conservatively counts as "no flip": it adds
+        // nothing to the counters and never seeds monotone propagation.
+        out[i] = (outcome.ok[i] != 0 &&
+                  (outcome.scores[i] >= 0.5) != original_prediction)
+                     ? 1
+                     : 0;
       }
       return out;
     };
@@ -145,8 +223,16 @@ CertaResult CertaExplainer::Explain(const data::Record& u,
       const AttrMask full =
           (1u << (is_left ? left_attributes : right_attributes)) - 1u;
       for (AttrMask mask = 1; mask < full; ++mask) {
-        if (tags.flip[mask] && !tags.tested[mask] && !flips(mask)) {
-          ++result.inference_errors;
+        if (!tags.flip[mask] || tags.tested[mask]) continue;
+        try {
+          if (!flips(mask)) ++result.inference_errors;
+        } catch (const models::BudgetExhausted&) {
+          ++result.lattice_phase.cells_skipped;
+          stop_lattice = true;
+          break;
+        } catch (const models::ScoringError&) {
+          // Unauditable cell; the inferred tag stands.
+          ++result.lattice_phase.cells_skipped;
         }
       }
     }
@@ -174,6 +260,8 @@ CertaResult CertaExplainer::Explain(const data::Record& u,
       }
     }
   }
+  if (stop_lattice) truncated = true;
+  close_phase(&result.lattice_phase);
   result.predictions_saved =
       result.predictions_expected - result.predictions_performed;
 
@@ -251,11 +339,18 @@ CertaResult CertaExplainer::Explain(const data::Record& u,
          result.counterfactuals) {
       pairs.push_back({&example.left, &example.right});
     }
-    std::vector<double> scores = engine.ScoreBatch(pairs);
-    for (size_t i = 0; i < scores.size(); ++i) {
-      result.counterfactuals[i].score = scores[i];
+    models::ScoringEngine::BatchOutcome outcome = engine.TryScoreBatch(pairs);
+    if (outcome.budget_exhausted) truncated = true;
+    result.cf_phase.cells_skipped += static_cast<long long>(outcome.failures);
+    for (size_t i = 0; i < outcome.scores.size(); ++i) {
+      // A failed score keeps the -1.0 "unknown" sentinel (JSON null).
+      if (outcome.ok[i] != 0) {
+        result.counterfactuals[i].score = outcome.scores[i];
+      }
     }
   }
+  close_phase(&result.cf_phase);
+  finish_status();
   record_cache_stats();
   return result;
 }

@@ -10,9 +10,37 @@
 #include "explain/explainer.h"
 #include "explain/explanation.h"
 #include "explain/perturbation.h"
+#include "models/resilience.h"
 #include "util/thread_pool.h"
 
 namespace certa::core {
+
+/// How completely an Explain run covered its planned model calls when
+/// the matcher can fail (see docs/RESILIENCE.md).
+///   kComplete  — every planned call succeeded; the result is exactly
+///                the fault-free answer.
+///   kDegraded  — some cells were lost to model failures but every
+///                phase ran to its end; counts are computed over the
+///                surviving cells.
+///   kTruncated — a phase stopped early (model-call budget exhausted,
+///                circuit breaker open); later phases saw a prefix of
+///                their planned work.
+enum class ExplainStatus { kComplete = 0, kDegraded = 1, kTruncated = 2 };
+
+/// "complete" / "degraded" / "truncated" (JSON and report labels).
+std::string ExplainStatusName(ExplainStatus status);
+
+/// Resilience accounting for one Explain phase. `calls`/`retries`/
+/// `failures` come from the ResilientMatcher decorator (all zero when
+/// Options::resilience is disabled); `cells_skipped` counts scoring
+/// cells the phase abandoned (a lattice node, a screened candidate, a
+/// counterfactual score) and is tracked even without the decorator.
+struct PhaseResilience {
+  long long calls = 0;
+  long long retries = 0;
+  long long failures = 0;
+  long long cells_skipped = 0;
+};
 
 /// Full result of one CERTA run: the saliency explanation (probability
 /// of necessity per attribute, Eq. 1), the counterfactual examples for
@@ -53,6 +81,13 @@ struct CertaResult {
   long long cache_hits = 0;
   long long cache_misses = 0;
   long long cache_evictions = 0;
+
+  /// kComplete unless model calls failed or a budget/breaker stopped a
+  /// phase early; the per-phase breakdown is below.
+  ExplainStatus status = ExplainStatus::kComplete;
+  PhaseResilience triangle_phase;
+  PhaseResilience lattice_phase;
+  PhaseResilience cf_phase;
 };
 
 /// The CERTA algorithm (Algorithm 1). Implements both explainer
@@ -83,6 +118,11 @@ class CertaExplainer : public explain::SaliencyExplainer,
     /// call. Bit-identical on or off (the model is deterministic); off
     /// only the call counts change.
     bool use_cache = true;
+    /// When enabled, every model call goes through a per-Explain
+    /// ResilientMatcher (retries, deadlines, breaker, call budget) and
+    /// failures degrade the result instead of propagating; disabled,
+    /// Explain is bit-identical to the pre-resilience code path.
+    models::ResilienceOptions resilience;
   };
 
   CertaExplainer(explain::ExplainContext context, Options options);

@@ -69,6 +69,28 @@ std::string CertaResultToJson(const CertaResult& result,
   json.Key("cache_evictions");
   json.Int(result.cache_evictions);
 
+  json.Key("status");
+  json.String(ExplainStatusName(result.status));
+  json.Key("resilience");
+  json.BeginObject();
+  auto write_phase = [&json](const char* name, const PhaseResilience& phase) {
+    json.Key(name);
+    json.BeginObject();
+    json.Key("calls");
+    json.Int(phase.calls);
+    json.Key("retries");
+    json.Int(phase.retries);
+    json.Key("failures");
+    json.Int(phase.failures);
+    json.Key("cells_skipped");
+    json.Int(phase.cells_skipped);
+    json.EndObject();
+  };
+  write_phase("triangles", result.triangle_phase);
+  write_phase("lattice", result.lattice_phase);
+  write_phase("counterfactuals", result.cf_phase);
+  json.EndObject();
+
   json.EndObject();
   return json.str();
 }

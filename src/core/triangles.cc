@@ -4,6 +4,7 @@
 
 #include "explain/perturbation.h"
 #include "models/matcher.h"
+#include "models/resilience.h"
 #include "text/similarity.h"
 #include "util/logging.h"
 
@@ -19,16 +20,16 @@ void CollectSide(const explain::ExplainContext& context,
                  const TriangleOptions& options, Rng* rng,
                  std::vector<OpenTriangle>* triangles,
                  TriangleStats* stats) {
-  if (wanted <= 0) return;
+  if (wanted <= 0 || stats->aborted) return;
   const data::Table& pool =
       side == data::Side::kLeft ? *context.left : *context.right;
   const data::Record& self = side == data::Side::kLeft ? u : v;
 
   auto opposite_prediction = [&](const data::Record& candidate) {
-    ++stats->probes;
     bool prediction = side == data::Side::kLeft
                           ? context.model->Predict(candidate, v)
                           : context.model->Predict(u, candidate);
+    ++stats->probes;
     return prediction != original_prediction;
   };
 
@@ -68,11 +69,18 @@ void CollectSide(const explain::ExplainContext& context,
                             ? models::RecordPair{&candidate, &v}
                             : models::RecordPair{&u, &candidate});
       }
-      std::vector<double> scores = context.model->ScoreBatch(pairs);
+      models::ScoringEngine::BatchOutcome outcome =
+          models::TryScoreBatch(*context.model, pairs);
       size_t consumed = 0;
       for (; consumed < chunk && found < wanted; ++consumed) {
+        if (!outcome.ok[consumed]) {
+          // Candidate lost to a model failure; keep scanning, the pool
+          // usually has plenty more.
+          ++stats->failed_probes;
+          continue;
+        }
         ++stats->probes;
-        bool prediction = scores[consumed] >= 0.5;
+        bool prediction = outcome.scores[consumed] >= 0.5;
         if (prediction == original_prediction) continue;
         triangles->push_back(
             {side, pool.record(static_cast<int>(screen[next + consumed])),
@@ -81,6 +89,10 @@ void CollectSide(const explain::ExplainContext& context,
         ++found;
       }
       next += consumed;
+      if (outcome.budget_exhausted) {
+        stats->aborted = true;
+        return;
+      }
     }
   }
 
@@ -123,7 +135,18 @@ void CollectSide(const explain::ExplainContext& context,
     data::Record variant = explain::DropTokenRuns(base, mask, rng);
     if (variant.values == base.values) continue;  // nothing droppable
     if (variant.values == self.values) continue;
-    if (!opposite_prediction(variant)) continue;
+    bool opposite = false;
+    try {
+      opposite = opposite_prediction(variant);
+    } catch (const models::BudgetExhausted&) {
+      ++stats->failed_probes;
+      stats->aborted = true;
+      return;
+    } catch (const models::ScoringError&) {
+      ++stats->failed_probes;
+      continue;
+    }
+    if (!opposite) continue;
     triangles->push_back({side, std::move(variant), /*augmented=*/true});
     ++stats->augmented;
     ++found;

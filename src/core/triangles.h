@@ -41,6 +41,12 @@ struct TriangleStats {
   int augmented = 0;
   /// Model invocations spent searching (candidate screening).
   int probes = 0;
+  /// Candidates lost to model failures (ScoringError while screening or
+  /// probing an augmented variant); always zero on a fault-free model.
+  int failed_probes = 0;
+  /// Collection stopped early: the model-call budget ran out (or the
+  /// breaker stayed open) before the quota was met.
+  bool aborted = false;
 };
 
 /// Collects up to `options.count` open triangles for the prediction

@@ -28,6 +28,19 @@ HarnessOptions OptionsFromEnv() {
   if (const char* threads = std::getenv("CERTA_BENCH_THREADS")) {
     options.num_threads = std::max(1, std::atoi(threads));
   }
+  if (const char* budget = std::getenv("CERTA_BENCH_BUDGET")) {
+    options.budget = std::max(0LL, static_cast<long long>(std::atoll(budget)));
+  }
+  if (const char* deadline = std::getenv("CERTA_BENCH_DEADLINE_MS")) {
+    options.deadline_micros =
+        std::max(0LL, static_cast<long long>(std::atoll(deadline))) * 1000;
+  }
+  if (const char* rate = std::getenv("CERTA_BENCH_FAULT_RATE")) {
+    double value = 0.0;
+    if (ParseDouble(rate, &value) && value >= 0.0 && value <= 1.0) {
+      options.fault_rate = value;
+    }
+  }
   return options;
 }
 
@@ -48,6 +61,14 @@ std::unique_ptr<Setup> Prepare(const std::string& dataset_code,
                                                           engine_options);
   setup->context = {setup->engine.get(), &setup->dataset.left,
                     &setup->dataset.right};
+  if (options.fault_rate > 0.0) {
+    models::FaultOptions fault_options;
+    fault_options.fault_rate = options.fault_rate;
+    fault_options.seed = options.fault_seed;
+    setup->faulty = std::make_unique<models::FaultInjectingMatcher>(
+        setup->model.get(), fault_options);
+    setup->context.model = setup->faulty.get();
+  }
   setup->test_f1 = models::EvaluateF1(*setup->engine, setup->dataset.left,
                                       setup->dataset.right,
                                       setup->dataset.test);
@@ -81,6 +102,11 @@ core::CertaExplainer::Options CertaOptionsFor(const HarnessOptions& options) {
   certa_options.seed = options.seed;
   certa_options.num_threads = options.num_threads;
   certa_options.use_cache = options.use_cache;
+  certa_options.resilience.enabled = options.fault_rate > 0.0 ||
+                                     options.budget > 0 ||
+                                     options.deadline_micros > 0;
+  certa_options.resilience.max_model_calls = options.budget;
+  certa_options.resilience.deadline_micros = options.deadline_micros;
   return certa_options;
 }
 

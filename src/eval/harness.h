@@ -9,6 +9,7 @@
 #include "data/dataset.h"
 #include "eval/cf_metrics.h"
 #include "explain/explainer.h"
+#include "models/resilience.h"
 #include "models/scoring_engine.h"
 #include "models/trainer.h"
 #include "util/thread_pool.h"
@@ -28,6 +29,11 @@ struct Setup {
   /// Thread-safe scoring layer every explainer call drains through
   /// (replaces the old single-threaded CachingMatcher).
   std::unique_ptr<models::ScoringEngine> engine;
+  /// Deterministic fault injector installed as the explainer's model
+  /// when options.fault_rate > 0; null otherwise. It wraps the raw
+  /// model un-cached — like the remote service it simulates — while
+  /// `engine` and test_f1 stay on the clean model.
+  std::unique_ptr<models::FaultInjectingMatcher> faulty;
   explain::ExplainContext context;
   double test_f1 = 0.0;
 
@@ -43,6 +49,9 @@ struct Setup {
 ///   CERTA_BENCH_SCALE  — dataset scale factor (default 1.0)
 ///   CERTA_BENCH_TRIANGLES — CERTA's τ (default 100)
 ///   CERTA_BENCH_THREADS — scoring threads per cell (default 1)
+///   CERTA_BENCH_BUDGET — model calls per Explain, 0 = unlimited
+///   CERTA_BENCH_DEADLINE_MS — per-call deadline, 0 = none
+///   CERTA_BENCH_FAULT_RATE — injected fault probability (default 0)
 struct HarnessOptions {
   int max_pairs = 20;
   double scale = 1.0;
@@ -52,6 +61,12 @@ struct HarnessOptions {
   int num_threads = 1;
   /// Prediction cache in the scoring engine / CERTA runs.
   bool use_cache = true;
+  /// Resilience knobs (inert by default). Any non-default value turns
+  /// the CertaExplainer resilience layer on via CertaOptionsFor.
+  long long budget = 0;
+  int64_t deadline_micros = 0;
+  double fault_rate = 0.0;
+  uint64_t fault_seed = 99;
 };
 
 /// Options with environment overrides applied.

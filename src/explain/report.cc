@@ -116,4 +116,17 @@ std::string RenderReport(const data::Record& u, const data::Record& v,
   return out.str();
 }
 
+std::string RenderStatusLine(const std::string& status_name, long long calls,
+                             long long retries, long long failures,
+                             long long cells_skipped) {
+  if (status_name == "complete") return "";
+  std::ostringstream out;
+  out << "status: " << status_name << " (";
+  if (calls > 0) out << calls << " model calls, ";
+  if (retries > 0) out << retries << " retries, ";
+  if (failures > 0) out << failures << " failures, ";
+  out << cells_skipped << " cells skipped)\n";
+  return out.str();
+}
+
 }  // namespace certa::explain

@@ -36,6 +36,15 @@ std::string RenderReport(const data::Record& u, const data::Record& v,
                          const std::vector<CounterfactualExample>& examples,
                          int max_examples = 2);
 
+/// One-line resilience footer for a partial explanation, e.g.
+/// "status: degraded (412 model calls, 7 retries, 3 cells skipped)".
+/// Empty string when status_name is "complete" — a clean run adds no
+/// noise to the report. Takes plain numbers (summed over phases) so the
+/// formatting layer stays independent of core's result types.
+std::string RenderStatusLine(const std::string& status_name, long long calls,
+                             long long retries, long long failures,
+                             long long cells_skipped);
+
 }  // namespace certa::explain
 
 #endif  // CERTA_EXPLAIN_REPORT_H_

@@ -1,0 +1,278 @@
+#include "models/resilience.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace certa::models {
+namespace {
+
+/// Deterministic uniform draw in [0, 1) from (seed, pair content,
+/// salt). Same avalanche finisher as the cache key hash; the salt keeps
+/// the faulty/transient/spike/perturbation draws independent.
+double Hash01(uint64_t seed, const PairKey& key, uint64_t salt) {
+  uint64_t hash = seed ^ (key.lo * 0x9E3779B97F4A7C15ULL) ^
+                  (key.hi + 0x165667B19E3779F9ULL) ^ (salt * 0xC2B2AE3D27D4EB4FULL);
+  hash ^= hash >> 33;
+  hash *= 0xff51afd7ed558ccdULL;
+  hash ^= hash >> 33;
+  hash *= 0xc4ceb9fe1a85ec53ULL;
+  hash ^= hash >> 33;
+  return static_cast<double>(hash >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjectingMatcher::FaultInjectingMatcher(const Matcher* base,
+                                             FaultOptions options,
+                                             util::Clock* clock)
+    : base_(base),
+      options_(options),
+      clock_(clock != nullptr ? clock : util::RealClock()) {
+  CERTA_CHECK(base != nullptr);
+}
+
+double FaultInjectingMatcher::Score(const data::Record& u,
+                                    const data::Record& v) const {
+  const PairKey key = HashPair(u, v);
+  int attempt = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    attempt = ++attempts_[key];
+  }
+  calls_.fetch_add(1, std::memory_order_relaxed);
+
+  const bool faulty = Hash01(options_.seed, key, 1) < options_.fault_rate;
+  const bool transient =
+      Hash01(options_.seed, key, 2) < options_.transient_fraction;
+  const bool spiky = options_.spike_rate > 0.0 &&
+                     Hash01(options_.seed, key, 3) < options_.spike_rate;
+  const bool early_attempt = attempt <= options_.transient_failures_per_pair;
+
+  const int64_t latency = spiky && early_attempt
+                              ? options_.spike_latency_micros
+                              : options_.latency_micros;
+  clock_->SleepMicros(latency);
+
+  if (faulty) {
+    if (!transient) {
+      permanent_thrown_.fetch_add(1, std::memory_order_relaxed);
+      throw UnavailableError("injected permanent fault");
+    }
+    if (early_attempt) {
+      transient_thrown_.fetch_add(1, std::memory_order_relaxed);
+      throw TransientError("injected transient fault (attempt " +
+                           std::to_string(attempt) + ")");
+    }
+  }
+
+  double score = base_->Score(u, v);
+  if (options_.score_perturbation > 0.0) {
+    score += options_.score_perturbation *
+             (2.0 * Hash01(options_.seed, key, 4) - 1.0);
+    score = std::clamp(score, 0.0, 1.0);
+  }
+  return score;
+}
+
+FaultInjectingMatcher::Stats FaultInjectingMatcher::stats() const {
+  return {calls_.load(std::memory_order_relaxed),
+          transient_thrown_.load(std::memory_order_relaxed),
+          permanent_thrown_.load(std::memory_order_relaxed)};
+}
+
+void FaultInjectingMatcher::ResetAttempts() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  attempts_.clear();
+}
+
+ResilientMatcher::ResilientMatcher(const Matcher* base,
+                                   ResilienceOptions options)
+    : base_(base),
+      options_(options),
+      clock_(options.clock != nullptr ? options.clock : util::RealClock()) {
+  CERTA_CHECK(base != nullptr);
+  CERTA_CHECK_GE(options_.max_attempts, 1);
+}
+
+void ResilientMatcher::Charge(long long amount) const {
+  if (options_.max_model_calls <= 0) {
+    spent_.fetch_add(amount, std::memory_order_relaxed);
+    return;
+  }
+  // Optimistically charge, roll back on overdraft. Exact under
+  // single-threaded callers; under concurrent callers a racing pair of
+  // calls may both be rejected one call early, never admitted late.
+  long long before = spent_.fetch_add(amount, std::memory_order_relaxed);
+  if (before + amount > options_.max_model_calls) {
+    spent_.fetch_sub(amount, std::memory_order_relaxed);
+    throw BudgetExhausted("model-call budget exhausted (" +
+                          std::to_string(options_.max_model_calls) +
+                          " calls)");
+  }
+}
+
+void ResilientMatcher::BreakerGate() const {
+  if (options_.breaker_threshold <= 0) return;
+  std::lock_guard<std::mutex> lock(breaker_mutex_);
+  if (!breaker_open_) return;
+  if (rejections_since_open_ < options_.breaker_cooldown_calls) {
+    ++rejections_since_open_;
+    breaker_rejections_.fetch_add(1, std::memory_order_relaxed);
+    throw UnavailableError("circuit breaker open");
+  }
+  // Half-open: let this probe through; RecordOutcome decides whether
+  // the breaker closes (success) or re-opens for a fresh cooldown.
+  rejections_since_open_ = 0;
+}
+
+void ResilientMatcher::RecordOutcome(bool success) const {
+  if (options_.breaker_threshold <= 0) return;
+  std::lock_guard<std::mutex> lock(breaker_mutex_);
+  if (success) {
+    consecutive_failures_ = 0;
+    breaker_open_ = false;
+    return;
+  }
+  ++consecutive_failures_;
+  if (consecutive_failures_ >= options_.breaker_threshold &&
+      !breaker_open_) {
+    breaker_open_ = true;
+    rejections_since_open_ = 0;
+  }
+}
+
+double ResilientMatcher::ScoreOnce(const data::Record& u,
+                                   const data::Record& v) const {
+  BreakerGate();
+  Charge(1);
+  const int64_t start = clock_->NowMicros();
+  double score = base_->Score(u, v);
+  if (options_.deadline_micros > 0 &&
+      clock_->NowMicros() - start > options_.deadline_micros) {
+    deadline_hits_.fetch_add(1, std::memory_order_relaxed);
+    throw DeadlineExceeded("score call exceeded deadline");
+  }
+  return score;
+}
+
+double ResilientMatcher::Score(const data::Record& u,
+                               const data::Record& v) const {
+  logical_calls_.fetch_add(1, std::memory_order_relaxed);
+  for (int attempt = 1;; ++attempt) {
+    try {
+      double score = ScoreOnce(u, v);
+      RecordOutcome(true);
+      return score;
+    } catch (const BudgetExhausted&) {
+      // Budget errors bypass the breaker (nothing is wrong with the
+      // backing model) and are never retried within the same budget.
+      failures_.fetch_add(1, std::memory_order_relaxed);
+      throw;
+    } catch (const TransientError&) {
+      RecordOutcome(false);
+      if (attempt >= options_.max_attempts) {
+        failures_.fetch_add(1, std::memory_order_relaxed);
+        throw;
+      }
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      const int64_t backoff = std::min(
+          options_.backoff_max_micros,
+          options_.backoff_base_micros << std::min(attempt - 1, 20));
+      clock_->SleepMicros(backoff);
+    } catch (const ScoringError&) {
+      // UnavailableError and anything else non-transient: fail now.
+      RecordOutcome(false);
+      failures_.fetch_add(1, std::memory_order_relaxed);
+      throw;
+    }
+  }
+}
+
+std::vector<double> ResilientMatcher::ScoreBatch(
+    std::span<const RecordPair> pairs) const {
+  if (pairs.empty()) return {};
+  const long long n = static_cast<long long>(pairs.size());
+  // Happy path: one batched base call, preserving the base model's
+  // amortized featurization. Skipped when a deadline is set (per-pair
+  // timing needs per-pair calls) or the batch no longer fits the
+  // budget (the per-pair path spends what remains, then throws).
+  const bool budget_fits =
+      options_.max_model_calls <= 0 ||
+      spent_.load(std::memory_order_relaxed) + n <= options_.max_model_calls;
+  if (!budget_fits) {
+    // Don't silently burn the remaining budget on a batch that cannot
+    // complete — the batch interface has no way to return the partial
+    // results, so the spend would be pure waste. Failing fast lets the
+    // caller fall back to per-pair scoring and salvage exactly as many
+    // pairs as the budget still covers.
+    throw BudgetExhausted("batch of " + std::to_string(n) +
+                          " exceeds the remaining model-call budget");
+  }
+  if (options_.deadline_micros == 0) {
+    bool charged = false;
+    try {
+      Charge(n);
+      charged = true;
+      std::vector<double> scores = base_->ScoreBatch(pairs);
+      logical_calls_.fetch_add(n, std::memory_order_relaxed);
+      RecordOutcome(true);
+      return scores;
+    } catch (const BudgetExhausted&) {
+      throw;
+    } catch (const ScoringError&) {
+      // A failed batch RPC is paid for; isolate the fault per pair.
+      if (!charged) throw;
+      RecordOutcome(false);
+    }
+  }
+  std::vector<double> scores;
+  scores.reserve(pairs.size());
+  for (const RecordPair& pair : pairs) {
+    scores.push_back(Score(*pair.left, *pair.right));
+  }
+  return scores;
+}
+
+ResilientMatcher::Stats ResilientMatcher::stats() const {
+  return {spent_.load(std::memory_order_relaxed),
+          logical_calls_.load(std::memory_order_relaxed),
+          retries_.load(std::memory_order_relaxed),
+          failures_.load(std::memory_order_relaxed),
+          deadline_hits_.load(std::memory_order_relaxed),
+          breaker_rejections_.load(std::memory_order_relaxed)};
+}
+
+ScoringEngine::BatchOutcome TryScoreBatch(const Matcher& model,
+                                          std::span<const RecordPair> pairs) {
+  if (const auto* engine = dynamic_cast<const ScoringEngine*>(&model)) {
+    return engine->TryScoreBatch(pairs);
+  }
+  ScoringEngine::BatchOutcome outcome;
+  outcome.scores.assign(pairs.size(), 0.0);
+  outcome.ok.assign(pairs.size(), 0);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (outcome.budget_exhausted) {
+      ++outcome.failures;
+      continue;
+    }
+    try {
+      outcome.scores[i] = model.Score(*pairs[i].left, *pairs[i].right);
+      outcome.ok[i] = 1;
+    } catch (const BudgetExhausted&) {
+      outcome.budget_exhausted = true;
+      ++outcome.failures;
+    } catch (const ScoringError&) {
+      ++outcome.failures;
+    }
+  }
+  return outcome;
+}
+
+long long ResilientMatcher::budget_remaining() const {
+  if (options_.max_model_calls <= 0) return -1;
+  return std::max(0LL, options_.max_model_calls -
+                           spent_.load(std::memory_order_relaxed));
+}
+
+}  // namespace certa::models

@@ -1,7 +1,9 @@
 #include "models/scoring_engine.h"
 
 #include <algorithm>
+#include <exception>
 
+#include "models/resilience.h"
 #include "util/logging.h"
 
 namespace certa::models {
@@ -123,50 +125,134 @@ std::vector<double> ScoringEngine::ScoreMisses(
   const size_t chunk = std::max<size_t>(1, options_.parallel_chunk);
   const size_t num_chunks = (pairs.size() + chunk - 1) / chunk;
   std::vector<double> scores(pairs.size(), 0.0);
+  // ParallelFor tasks must not throw (a worker has nowhere to put the
+  // exception): capture the first one and rethrow on the calling
+  // thread, after every chunk has finished.
+  std::exception_ptr error;
+  std::mutex error_mutex;
   pool->ParallelFor(num_chunks, [&](size_t c) {
-    size_t begin = c * chunk;
-    size_t end = std::min(pairs.size(), begin + chunk);
-    std::span<const RecordPair> slice(pairs.data() + begin, end - begin);
-    std::vector<double> chunk_scores = base_->ScoreBatch(slice);
-    std::copy(chunk_scores.begin(), chunk_scores.end(),
-              scores.begin() + static_cast<ptrdiff_t>(begin));
+    try {
+      size_t begin = c * chunk;
+      size_t end = std::min(pairs.size(), begin + chunk);
+      std::span<const RecordPair> slice(pairs.data() + begin, end - begin);
+      std::vector<double> chunk_scores = base_->ScoreBatch(slice);
+      std::copy(chunk_scores.begin(), chunk_scores.end(),
+                scores.begin() + static_cast<ptrdiff_t>(begin));
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!error) error = std::current_exception();
+    }
   });
+  if (error) std::rethrow_exception(error);
   return scores;
 }
+
+void ScoringEngine::TryScoreMisses(const std::vector<RecordPair>& pairs,
+                                   std::vector<double>* scores,
+                                   std::vector<uint8_t>* ok,
+                                   bool* budget_exhausted) const {
+  scores->assign(pairs.size(), 0.0);
+  ok->assign(pairs.size(), 0);
+  if (pairs.empty()) return;
+  std::atomic<bool> exhausted{false};
+
+  // Scores [begin, end) with per-pair fault isolation: one batched base
+  // call first, then pair-by-pair for the chunk the error poisoned.
+  auto score_range = [&](size_t begin, size_t end) {
+    std::span<const RecordPair> slice(pairs.data() + begin, end - begin);
+    try {
+      std::vector<double> chunk_scores = base_->ScoreBatch(slice);
+      for (size_t i = 0; i < chunk_scores.size(); ++i) {
+        (*scores)[begin + i] = chunk_scores[i];
+        (*ok)[begin + i] = 1;
+      }
+      return;
+    } catch (const BudgetExhausted&) {
+      // The batch was rejected (it no longer fits the budget); the
+      // per-pair loop below salvages what the remaining budget covers.
+      exhausted.store(true, std::memory_order_relaxed);
+    } catch (const ScoringError&) {
+      // Fall through to per-pair isolation.
+    }
+    for (size_t i = begin; i < end; ++i) {
+      try {
+        (*scores)[i] = base_->Score(*pairs[i].left, *pairs[i].right);
+        (*ok)[i] = 1;
+      } catch (const BudgetExhausted&) {
+        exhausted.store(true, std::memory_order_relaxed);
+        return;
+      } catch (const ScoringError&) {
+        // This pair stays failed; keep scoring the rest.
+      }
+    }
+  };
+
+  util::ThreadPool* pool = options_.pool;
+  if (pool == nullptr || pool->size() < 2 ||
+      pairs.size() < options_.min_parallel_batch) {
+    score_range(0, pairs.size());
+  } else {
+    const size_t chunk = std::max<size_t>(1, options_.parallel_chunk);
+    const size_t num_chunks = (pairs.size() + chunk - 1) / chunk;
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    pool->ParallelFor(num_chunks, [&](size_t c) {
+      try {
+        size_t begin = c * chunk;
+        score_range(begin, std::min(pairs.size(), begin + chunk));
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    });
+    if (error) std::rethrow_exception(error);
+  }
+  *budget_exhausted = exhausted.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Dedupe plan for one batch: identical pairs in one batch are scored
+/// once (even with the persistent cache disabled — lattice frontiers
+/// and candidate scans repeat perturbations within a batch).
+/// `slot[i]` is the unique-pair index serving input i.
+struct BatchPlan {
+  std::vector<PairKey> keys;          // per input
+  std::vector<size_t> slot;           // input -> unique-pair index
+  std::vector<size_t> unique_inputs;  // unique-pair index -> first input
+};
+
+BatchPlan MakePlan(std::span<const RecordPair> pairs) {
+  BatchPlan plan;
+  plan.keys.resize(pairs.size());
+  plan.slot.assign(pairs.size(), 0);
+  std::unordered_map<PairKey, size_t, PairKeyHasher> first_index;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    plan.keys[i] = HashPair(*pairs[i].left, *pairs[i].right);
+    auto [it, inserted] =
+        first_index.emplace(plan.keys[i], plan.unique_inputs.size());
+    if (inserted) plan.unique_inputs.push_back(i);
+    plan.slot[i] = it->second;
+  }
+  return plan;
+}
+
+}  // namespace
 
 std::vector<double> ScoringEngine::ScoreBatch(
     std::span<const RecordPair> pairs) const {
   std::vector<double> scores(pairs.size(), 0.0);
   if (pairs.empty()) return scores;
-
-  // Dedupe by content hash: identical pairs in one batch are scored
-  // once (even with the persistent cache disabled — lattice frontiers
-  // and candidate scans repeat perturbations within a batch).
-  // `slot[i]` is the unique-pair index serving input i.
-  std::vector<PairKey> keys(pairs.size());
-  std::vector<size_t> slot(pairs.size(), 0);
-  struct KeyHasher {
-    size_t operator()(const PairKey& key) const {
-      return static_cast<size_t>(key.lo ^ (key.hi * 0x9E3779B97F4A7C15ULL));
-    }
-  };
-  std::unordered_map<PairKey, size_t, KeyHasher> first_index;
-  std::vector<size_t> unique_inputs;  // input index of each unique pair
-  for (size_t i = 0; i < pairs.size(); ++i) {
-    keys[i] = HashPair(*pairs[i].left, *pairs[i].right);
-    auto [it, inserted] = first_index.emplace(keys[i], unique_inputs.size());
-    if (inserted) unique_inputs.push_back(i);
-    slot[i] = it->second;
-  }
+  BatchPlan plan = MakePlan(pairs);
 
   // Cache probe phase (sequential, so counters stay deterministic).
-  std::vector<double> unique_scores(unique_inputs.size(), 0.0);
+  std::vector<double> unique_scores(plan.unique_inputs.size(), 0.0);
   std::vector<RecordPair> miss_pairs;
   std::vector<size_t> miss_slots;
-  for (size_t s = 0; s < unique_inputs.size(); ++s) {
-    size_t input = unique_inputs[s];
+  for (size_t s = 0; s < plan.unique_inputs.size(); ++s) {
+    size_t input = plan.unique_inputs[s];
     if (options_.enable_cache &&
-        cache_.Lookup(keys[input], &unique_scores[s])) {
+        cache_.Lookup(plan.keys[input], &unique_scores[s])) {
       continue;
     }
     miss_pairs.push_back(pairs[input]);
@@ -174,16 +260,65 @@ std::vector<double> ScoringEngine::ScoreBatch(
   }
 
   // Compute phase (possibly parallel), then sequential insert phase.
+  // ScoreMisses throws on failure, so a failed batch never reaches the
+  // insert loop — the cache only ever holds scores the model produced.
   std::vector<double> miss_scores = ScoreMisses(miss_pairs);
   for (size_t m = 0; m < miss_slots.size(); ++m) {
     unique_scores[miss_slots[m]] = miss_scores[m];
     if (options_.enable_cache) {
-      cache_.Insert(keys[unique_inputs[miss_slots[m]]], miss_scores[m]);
+      cache_.Insert(plan.keys[plan.unique_inputs[miss_slots[m]]],
+                    miss_scores[m]);
     }
   }
 
-  for (size_t i = 0; i < pairs.size(); ++i) scores[i] = unique_scores[slot[i]];
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    scores[i] = unique_scores[plan.slot[i]];
+  }
   return scores;
+}
+
+ScoringEngine::BatchOutcome ScoringEngine::TryScoreBatch(
+    std::span<const RecordPair> pairs) const {
+  BatchOutcome out;
+  out.scores.assign(pairs.size(), 0.0);
+  out.ok.assign(pairs.size(), 0);
+  if (pairs.empty()) return out;
+  BatchPlan plan = MakePlan(pairs);
+
+  std::vector<double> unique_scores(plan.unique_inputs.size(), 0.0);
+  std::vector<uint8_t> unique_ok(plan.unique_inputs.size(), 0);
+  std::vector<RecordPair> miss_pairs;
+  std::vector<size_t> miss_slots;
+  for (size_t s = 0; s < plan.unique_inputs.size(); ++s) {
+    size_t input = plan.unique_inputs[s];
+    if (options_.enable_cache &&
+        cache_.Lookup(plan.keys[input], &unique_scores[s])) {
+      unique_ok[s] = 1;
+      continue;
+    }
+    miss_pairs.push_back(pairs[input]);
+    miss_slots.push_back(s);
+  }
+
+  std::vector<double> miss_scores;
+  std::vector<uint8_t> miss_ok;
+  TryScoreMisses(miss_pairs, &miss_scores, &miss_ok, &out.budget_exhausted);
+  for (size_t m = 0; m < miss_slots.size(); ++m) {
+    if (!miss_ok[m]) continue;  // failed pairs never enter the cache
+    unique_scores[miss_slots[m]] = miss_scores[m];
+    unique_ok[miss_slots[m]] = 1;
+    if (options_.enable_cache) {
+      cache_.Insert(plan.keys[plan.unique_inputs[miss_slots[m]]],
+                    miss_scores[m]);
+    }
+  }
+
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    out.scores[i] = unique_scores[plan.slot[i]];
+    out.ok[i] = unique_ok[plan.slot[i]];
+    if (!out.ok[i]) ++out.failures;
+  }
+  return out;
 }
 
 PredictionCache::Stats ScoringEngine::cache_stats() const {

@@ -32,6 +32,14 @@ struct PairKey {
 /// same framing CachingMatcher uses for its string keys).
 PairKey HashPair(const data::Record& u, const data::Record& v);
 
+/// Hash functor for PairKey-keyed maps (cache shards, batch dedupe,
+/// fault plans).
+struct PairKeyHasher {
+  size_t operator()(const PairKey& key) const {
+    return static_cast<size_t>(key.lo ^ (key.hi * 0x9E3779B97F4A7C15ULL));
+  }
+};
+
 /// Sharded, thread-safe score cache. Each shard has its own mutex and
 /// map, so concurrent lookups from pool workers rarely contend. A shard
 /// that exceeds its entry budget is cleared wholesale (same policy as
@@ -57,14 +65,9 @@ class PredictionCache {
   size_t entry_count() const;
 
  private:
-  struct KeyHasher {
-    size_t operator()(const PairKey& key) const {
-      return static_cast<size_t>(key.lo ^ (key.hi * 0x9E3779B97F4A7C15ULL));
-    }
-  };
   struct Shard {
     std::mutex mutex;
-    std::unordered_map<PairKey, double, KeyHasher> map;
+    std::unordered_map<PairKey, double, PairKeyHasher> map;
   };
 
   Shard& ShardFor(const PairKey& key) {
@@ -115,10 +118,29 @@ class ScoringEngine : public Matcher {
   explicit ScoringEngine(const Matcher* base)
       : ScoringEngine(base, Options()) {}
 
+  /// Outcome of a fault-tolerant batch: scores[i] is meaningful only
+  /// where ok[i] != 0. Failed pairs are never written to the cache.
+  struct BatchOutcome {
+    std::vector<double> scores;
+    std::vector<uint8_t> ok;
+    /// Input pairs whose score was lost to a ScoringError.
+    size_t failures = 0;
+    /// True when at least one failure was a BudgetExhausted — the
+    /// caller should stop issuing work rather than degrade further.
+    bool budget_exhausted = false;
+  };
+
   double Score(const data::Record& u, const data::Record& v) const override;
   std::vector<double> ScoreBatch(
       std::span<const RecordPair> pairs) const override;
   std::string name() const override { return base_->name(); }
+
+  /// Like ScoreBatch, but a ScoringError thrown by the base model fails
+  /// only the pairs it covered instead of the whole call: the failed
+  /// chunk is re-scored pair by pair, surviving pairs keep their
+  /// scores, and only successful scores enter the prediction cache.
+  /// Errors other than ScoringError still propagate.
+  BatchOutcome TryScoreBatch(std::span<const RecordPair> pairs) const;
 
   PredictionCache::Stats cache_stats() const;
   const Options& options() const { return options_; }
@@ -127,8 +149,16 @@ class ScoringEngine : public Matcher {
  private:
   /// Scores `pairs` through the base model, fanning chunks out over the
   /// pool when the batch is large enough. Results are ordered by input
-  /// index regardless of which worker scored them.
+  /// index regardless of which worker scored them. A ScoringError (or
+  /// any other exception) from a pooled chunk is captured on the worker
+  /// and rethrown here — never propagated through the pool.
   std::vector<double> ScoreMisses(const std::vector<RecordPair>& pairs) const;
+
+  /// Fault-tolerant variant: per-pair ok flags instead of exceptions
+  /// for ScoringError failures.
+  void TryScoreMisses(const std::vector<RecordPair>& pairs,
+                      std::vector<double>* scores, std::vector<uint8_t>* ok,
+                      bool* budget_exhausted) const;
 
   const Matcher* base_;
   Options options_;

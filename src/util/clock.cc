@@ -1,0 +1,31 @@
+#include "util/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace certa::util {
+namespace {
+
+class SteadyClock : public Clock {
+ public:
+  int64_t NowMicros() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void SleepMicros(int64_t micros) override {
+    if (micros > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(micros));
+    }
+  }
+};
+
+}  // namespace
+
+Clock* RealClock() {
+  static SteadyClock* clock = new SteadyClock();
+  return clock;
+}
+
+}  // namespace certa::util

@@ -1,0 +1,52 @@
+#ifndef CERTA_UTIL_CLOCK_H_
+#define CERTA_UTIL_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace certa::util {
+
+/// Time source abstraction for the resilience layer (deadlines, retry
+/// backoff, simulated latency). Production code uses the monotonic
+/// RealClock(); tests inject a ManualClock so deadline and backoff
+/// behavior is deterministic and instantaneous.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic timestamp in microseconds. Only differences are
+  /// meaningful; the epoch is unspecified.
+  virtual int64_t NowMicros() const = 0;
+
+  /// Blocks the calling thread for (at least) `micros` microseconds.
+  virtual void SleepMicros(int64_t micros) = 0;
+};
+
+/// Process-wide steady_clock-backed Clock (never null, never deleted).
+Clock* RealClock();
+
+/// Virtual clock: time advances only via SleepMicros/Advance, so tests
+/// can simulate latency spikes and deadline overruns without waiting.
+/// Thread-safe; a sleep advances the shared timeline for every reader
+/// (one simulated timeline, as on a single machine).
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(int64_t start_micros = 0) : now_(start_micros) {}
+
+  int64_t NowMicros() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+
+  void SleepMicros(int64_t micros) override {
+    if (micros > 0) now_.fetch_add(micros, std::memory_order_relaxed);
+  }
+
+  void Advance(int64_t micros) { SleepMicros(micros); }
+
+ private:
+  std::atomic<int64_t> now_;
+};
+
+}  // namespace certa::util
+
+#endif  // CERTA_UTIL_CLOCK_H_

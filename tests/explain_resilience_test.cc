@@ -1,0 +1,290 @@
+// Property and metamorphic tests for the full explainer under the
+// resilience layer: Eq. 1 saliency invariants on seeded pairs, the
+// bit-identical-across-threads/cache core invariant with injected
+// faults, invisibility of the retry layer at fault rate zero, honest
+// partial results under a hard budget, and full recovery from transient
+// faults through retries.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/certa_explainer.h"
+#include "eval/harness.h"
+#include "models/resilience.h"
+#include "util/clock.h"
+
+namespace certa {
+namespace {
+
+using core::CertaExplainer;
+using core::CertaResult;
+using core::ExplainStatus;
+
+eval::HarnessOptions TinyHarness() {
+  eval::HarnessOptions options;
+  options.max_pairs = 6;
+  options.num_triangles = 10;
+  return options;
+}
+
+CertaExplainer::Options BaseOptions() {
+  CertaExplainer::Options options;
+  options.num_triangles = 10;
+  return options;
+}
+
+/// The explanation content of a run — everything except call-count
+/// bookkeeping, which legitimately varies with cache settings and
+/// injected faults.
+void ExpectSameExplanation(const CertaResult& a, const CertaResult& b) {
+  EXPECT_EQ(a.saliency.left_scores(), b.saliency.left_scores());
+  EXPECT_EQ(a.saliency.right_scores(), b.saliency.right_scores());
+  EXPECT_EQ(a.best_sufficiency, b.best_sufficiency);
+  EXPECT_EQ(a.best_side, b.best_side);
+  EXPECT_EQ(a.best_mask, b.best_mask);
+  EXPECT_EQ(a.set_sides, b.set_sides);
+  EXPECT_EQ(a.set_masks, b.set_masks);
+  EXPECT_EQ(a.set_sufficiencies, b.set_sufficiencies);
+  EXPECT_EQ(a.status, b.status);
+  ASSERT_EQ(a.counterfactuals.size(), b.counterfactuals.size());
+  for (size_t i = 0; i < a.counterfactuals.size(); ++i) {
+    EXPECT_EQ(a.counterfactuals[i].left.values,
+              b.counterfactuals[i].left.values);
+    EXPECT_EQ(a.counterfactuals[i].right.values,
+              b.counterfactuals[i].right.values);
+    EXPECT_EQ(a.counterfactuals[i].score, b.counterfactuals[i].score);
+    EXPECT_EQ(a.counterfactuals[i].sufficiency,
+              b.counterfactuals[i].sufficiency);
+  }
+}
+
+class ExplainResilienceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    setup_ = eval::Prepare("AB", models::ModelKind::kDitto, TinyHarness())
+                 .release();
+    pairs_ = new std::vector<data::LabeledPair>(
+        eval::ExplainedPairs(*setup_, TinyHarness()));
+  }
+  static void TearDownTestSuite() {
+    delete pairs_;
+    pairs_ = nullptr;
+    delete setup_;
+    setup_ = nullptr;
+  }
+
+  const data::Record& Left(const data::LabeledPair& pair) {
+    return setup_->dataset.left.record(pair.left_index);
+  }
+  const data::Record& Right(const data::LabeledPair& pair) {
+    return setup_->dataset.right.record(pair.right_index);
+  }
+
+  /// A fresh fault injector over the raw trained model: transient
+  /// faults only, each recovering within the default 3 attempts.
+  std::unique_ptr<models::FaultInjectingMatcher> MakeFaulty(
+      double fault_rate, util::ManualClock* clock) {
+    models::FaultOptions faults;
+    faults.fault_rate = fault_rate;
+    faults.transient_fraction = 1.0;
+    faults.transient_failures_per_pair = 1;
+    faults.seed = 99;
+    return std::make_unique<models::FaultInjectingMatcher>(
+        setup_->model.get(), faults, clock);
+  }
+
+  CertaResult Run(const models::Matcher* model,
+                  const CertaExplainer::Options& options,
+                  const data::LabeledPair& pair) {
+    explain::ExplainContext context;
+    context.model = model;
+    context.left = &setup_->dataset.left;
+    context.right = &setup_->dataset.right;
+    CertaExplainer explainer(context, options);
+    return explainer.Explain(Left(pair), Right(pair));
+  }
+
+  static eval::Setup* setup_;
+  static std::vector<data::LabeledPair>* pairs_;
+};
+
+eval::Setup* ExplainResilienceTest::setup_ = nullptr;
+std::vector<data::LabeledPair>* ExplainResilienceTest::pairs_ = nullptr;
+
+TEST_F(ExplainResilienceTest, SaliencyScoresObeyEquationOneInvariants) {
+  // φ_a = N[a] / f (Eq. 1): every score is a probability, and when any
+  // flip was observed (f > 0) every flipped subset is non-empty, so the
+  // scores of one run sum to at least 1 and at most the larger side's
+  // attribute count l (reached only by supremum flips, which count
+  // every attribute of their side).
+  const size_t l = std::max(setup_->dataset.left.schema().size(),
+                            setup_->dataset.right.schema().size());
+  for (const auto& pair : *pairs_) {
+    CertaResult result = Run(setup_->model.get(), BaseOptions(), pair);
+    double sum = 0.0;
+    for (double score : result.saliency.left_scores()) {
+      EXPECT_GE(score, 0.0);
+      EXPECT_LE(score, 1.0);
+      sum += score;
+    }
+    for (double score : result.saliency.right_scores()) {
+      EXPECT_GE(score, 0.0);
+      EXPECT_LE(score, 1.0);
+      sum += score;
+    }
+    if (result.best_mask == 0) {
+      EXPECT_EQ(sum, 0.0);  // no flips: Eq. 1 leaves all scores at zero
+    } else {
+      EXPECT_GE(sum, 1.0 - 1e-9);
+      EXPECT_LE(sum, static_cast<double>(l) + 1e-9);
+    }
+    EXPECT_GE(result.best_sufficiency, 0.0);
+    EXPECT_LE(result.best_sufficiency, 1.0);
+    for (double sufficiency : result.set_sufficiencies) {
+      EXPECT_GT(sufficiency, 0.0);
+      EXPECT_LE(sufficiency, 1.0);
+    }
+  }
+}
+
+TEST_F(ExplainResilienceTest, ThreadCountInvariantUnderInjectedFaults) {
+  // The core bit-identical invariant must survive fault injection: the
+  // fault plan hashes pair content, not call order, so thread fan-out
+  // cannot change which calls fail or what any score is. Only the
+  // calls/retries accounting is execution metadata — batch-vs-fallback
+  // attempts depend on the engine's chunk layout (docs/RESILIENCE.md) —
+  // so the JSON is compared with the phase counters normalized out.
+  util::ManualClock clock;
+  auto faulty = MakeFaulty(0.2, &clock);
+  CertaExplainer::Options serial = BaseOptions();
+  serial.resilience.enabled = true;
+  serial.resilience.clock = &clock;
+  CertaExplainer::Options threaded = serial;
+  threaded.num_threads = 4;
+
+  const auto normalized_json = [this](CertaResult result) {
+    EXPECT_EQ(result.status, ExplainStatus::kComplete);
+    EXPECT_EQ(result.triangle_phase.cells_skipped, 0);
+    EXPECT_EQ(result.lattice_phase.cells_skipped, 0);
+    EXPECT_EQ(result.cf_phase.cells_skipped, 0);
+    result.triangle_phase = core::PhaseResilience();
+    result.lattice_phase = core::PhaseResilience();
+    result.cf_phase = core::PhaseResilience();
+    return core::CertaResultToJson(result, setup_->dataset.left.schema(),
+                                   setup_->dataset.right.schema());
+  };
+
+  for (const auto& pair : *pairs_) {
+    faulty->ResetAttempts();
+    CertaResult one = Run(faulty.get(), serial, pair);
+    faulty->ResetAttempts();
+    CertaResult many = Run(faulty.get(), threaded, pair);
+    EXPECT_EQ(normalized_json(one), normalized_json(many));
+  }
+}
+
+TEST_F(ExplainResilienceTest, CacheSettingInvariantUnderInjectedFaults) {
+  // Cache on/off changes how often the model is consulted (so call
+  // counters differ) but never what the explanation says, faults or
+  // not: transient faults recover on retry either way.
+  util::ManualClock clock;
+  auto faulty = MakeFaulty(0.2, &clock);
+  CertaExplainer::Options cached = BaseOptions();
+  cached.resilience.enabled = true;
+  cached.resilience.clock = &clock;
+  CertaExplainer::Options uncached = cached;
+  uncached.use_cache = false;
+
+  for (const auto& pair : *pairs_) {
+    faulty->ResetAttempts();
+    CertaResult with = Run(faulty.get(), cached, pair);
+    faulty->ResetAttempts();
+    CertaResult without = Run(faulty.get(), uncached, pair);
+    ExpectSameExplanation(with, without);
+    EXPECT_EQ(with.status, ExplainStatus::kComplete);
+  }
+}
+
+TEST_F(ExplainResilienceTest, RetryLayerIsInvisibleAtFaultRateZero) {
+  // Turning resilience on over a healthy model must not change a single
+  // exported byte beyond the (all-zero-failure) phase counters: zeroing
+  // those yields the exact JSON of the undecorated run.
+  CertaExplainer::Options plain = BaseOptions();
+  CertaExplainer::Options decorated = BaseOptions();
+  decorated.resilience.enabled = true;
+
+  for (const auto& pair : *pairs_) {
+    CertaResult off = Run(setup_->model.get(), plain, pair);
+    CertaResult on = Run(setup_->model.get(), decorated, pair);
+    EXPECT_EQ(on.status, ExplainStatus::kComplete);
+    EXPECT_EQ(on.triangle_phase.retries, 0);
+    EXPECT_EQ(on.lattice_phase.retries, 0);
+    EXPECT_EQ(on.cf_phase.retries, 0);
+    EXPECT_EQ(on.triangle_phase.failures + on.lattice_phase.failures +
+                  on.cf_phase.failures,
+              0);
+    on.triangle_phase = core::PhaseResilience();
+    on.lattice_phase = core::PhaseResilience();
+    on.cf_phase = core::PhaseResilience();
+    EXPECT_EQ(core::CertaResultToJson(off, setup_->dataset.left.schema(),
+                                      setup_->dataset.right.schema()),
+              core::CertaResultToJson(on, setup_->dataset.left.schema(),
+                                      setup_->dataset.right.schema()));
+  }
+}
+
+TEST_F(ExplainResilienceTest, HardBudgetYieldsHonestTruncatedResult) {
+  // 12 calls barely covers the pivot plus a handful of screening
+  // probes — far below what any full run needs — so the budget must
+  // die mid-run and the result must say so.
+  CertaExplainer::Options limited = BaseOptions();
+  limited.resilience.enabled = true;
+  limited.resilience.max_model_calls = 12;
+
+  const auto& pair = pairs_->front();
+  CertaResult result = Run(setup_->model.get(), limited, pair);
+  EXPECT_EQ(result.status, ExplainStatus::kTruncated);
+  // The decorator's accounting proves the ceiling held across phases.
+  EXPECT_LE(result.triangle_phase.calls + result.lattice_phase.calls +
+                result.cf_phase.calls,
+            12);
+  EXPECT_GT(result.triangle_phase.cells_skipped +
+                result.lattice_phase.cells_skipped +
+                result.cf_phase.cells_skipped,
+            0);
+  // Whatever was computed before the budget died is still exported.
+  std::string json =
+      core::CertaResultToJson(result, setup_->dataset.left.schema(),
+                              setup_->dataset.right.schema());
+  EXPECT_NE(json.find("\"status\":\"truncated\""), std::string::npos);
+}
+
+TEST_F(ExplainResilienceTest, RetriesFullyRecoverTransientFaults) {
+  // 20% transient faults, unlimited budget: every fault recovers within
+  // the retry budget, so the explanation equals the fault-free one
+  // bit for bit and the only trace is a positive retry counter.
+  util::ManualClock clock;
+  auto faulty = MakeFaulty(0.2, &clock);
+  CertaExplainer::Options resilient = BaseOptions();
+  resilient.resilience.enabled = true;
+  resilient.resilience.clock = &clock;
+
+  long long total_retries = 0;
+  for (const auto& pair : *pairs_) {
+    CertaResult clean = Run(setup_->model.get(), BaseOptions(), pair);
+    faulty->ResetAttempts();
+    CertaResult recovered = Run(faulty.get(), resilient, pair);
+    EXPECT_EQ(recovered.status, ExplainStatus::kComplete);
+    ExpectSameExplanation(clean, recovered);
+    total_retries += recovered.triangle_phase.retries +
+                     recovered.lattice_phase.retries +
+                     recovered.cf_phase.retries;
+  }
+  EXPECT_GT(total_retries, 0);
+}
+
+}  // namespace
+}  // namespace certa

@@ -1,0 +1,487 @@
+// Tests for the resilience layer: the deterministic fault injector, the
+// ResilientMatcher decorator (retries, deadline, budget, breaker), and
+// the fault-tolerant batch paths of the scoring engine — including the
+// regression pinning that failed scores never enter the prediction
+// cache.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "models/resilience.h"
+#include "models/scoring_engine.h"
+#include "test_util.h"
+#include "util/clock.h"
+
+namespace certa {
+namespace {
+
+using data::Record;
+using models::BudgetExhausted;
+using models::FaultInjectingMatcher;
+using models::FaultOptions;
+using models::RecordPair;
+using models::ResilienceOptions;
+using models::ResilientMatcher;
+using models::ScoringEngine;
+using models::ScoringError;
+using models::TransientError;
+using models::UnavailableError;
+using testing::FakeMatcher;
+using testing::MakeRecord;
+
+std::vector<Record> MakePairsPool(int count) {
+  std::vector<Record> records;
+  for (int i = 0; i < count; ++i) {
+    std::string value = "value-";
+    value += std::to_string(i);
+    std::string extra = "x";
+    extra += std::to_string(i);
+    records.push_back(MakeRecord(i, {value, extra}));
+  }
+  return records;
+}
+
+/// Outcome fingerprint of scoring `pool[i]` against `pivot` once:
+/// 's' success, 't' transient, 'p' permanent.
+std::string OutcomePattern(const FaultInjectingMatcher& faulty,
+                           const std::vector<Record>& pool,
+                           const Record& pivot,
+                           const std::vector<size_t>& order) {
+  std::string pattern(pool.size(), '?');
+  for (size_t index : order) {
+    try {
+      faulty.Score(pool[index], pivot);
+      pattern[index] = 's';
+    } catch (const TransientError&) {
+      pattern[index] = 't';
+    } catch (const UnavailableError&) {
+      pattern[index] = 'p';
+    }
+  }
+  return pattern;
+}
+
+TEST(FaultInjectingMatcherTest, FaultPlanIsContentHashedNotOrderDependent) {
+  FakeMatcher base([](const Record&, const Record&) { return 0.7; });
+  FaultOptions options;
+  options.fault_rate = 0.5;
+  options.transient_fraction = 0.5;
+  options.seed = 11;
+  util::ManualClock clock;
+  FaultInjectingMatcher faulty(&base, options, &clock);
+
+  std::vector<Record> pool = MakePairsPool(64);
+  Record pivot = MakeRecord(1000, {"pivot", "p"});
+  std::vector<size_t> forward, backward;
+  for (size_t i = 0; i < pool.size(); ++i) forward.push_back(i);
+  backward.assign(forward.rbegin(), forward.rend());
+
+  std::string first = OutcomePattern(faulty, pool, pivot, forward);
+  faulty.ResetAttempts();
+  std::string reversed = OutcomePattern(faulty, pool, pivot, backward);
+  EXPECT_EQ(first, reversed);
+  // The rate knobs actually produce a mix at this size.
+  EXPECT_NE(first.find('s'), std::string::npos);
+  EXPECT_NE(first.find('t'), std::string::npos);
+  EXPECT_NE(first.find('p'), std::string::npos);
+}
+
+TEST(FaultInjectingMatcherTest, TransientFaultsRecoverPermanentOnesDoNot) {
+  FakeMatcher base([](const Record&, const Record&) { return 0.7; });
+  Record pivot = MakeRecord(1000, {"pivot", "p"});
+  std::vector<Record> pool = MakePairsPool(64);
+
+  FaultOptions options;
+  options.fault_rate = 1.0;
+  options.transient_fraction = 1.0;
+  options.transient_failures_per_pair = 2;
+  util::ManualClock clock;
+  {
+    FaultInjectingMatcher faulty(&base, options, &clock);
+    EXPECT_THROW(faulty.Score(pool[0], pivot), TransientError);
+    EXPECT_THROW(faulty.Score(pool[0], pivot), TransientError);
+    EXPECT_DOUBLE_EQ(0.7, faulty.Score(pool[0], pivot));
+    EXPECT_EQ(2, faulty.stats().transient_thrown);
+    // ResetAttempts re-arms the transient faults.
+    faulty.ResetAttempts();
+    EXPECT_THROW(faulty.Score(pool[0], pivot), TransientError);
+  }
+  options.transient_fraction = 0.0;
+  {
+    FaultInjectingMatcher faulty(&base, options, &clock);
+    for (int attempt = 0; attempt < 5; ++attempt) {
+      EXPECT_THROW(faulty.Score(pool[0], pivot), UnavailableError);
+    }
+    EXPECT_EQ(5, faulty.stats().permanent_thrown);
+  }
+}
+
+TEST(FaultInjectingMatcherTest, RateZeroIsAPassThrough) {
+  FakeMatcher base([](const Record& u, const Record&) {
+    return u.values[0] == "value-3" ? 0.9 : 0.1;
+  });
+  util::ManualClock clock;
+  FaultInjectingMatcher faulty(&base, FaultOptions(), &clock);
+  std::vector<Record> pool = MakePairsPool(8);
+  Record pivot = MakeRecord(1000, {"pivot", "p"});
+  for (const Record& record : pool) {
+    EXPECT_DOUBLE_EQ(base.Score(record, pivot), faulty.Score(record, pivot));
+  }
+  EXPECT_EQ(0, faulty.stats().transient_thrown);
+  EXPECT_EQ(0, faulty.stats().permanent_thrown);
+  EXPECT_EQ(0, clock.NowMicros());
+}
+
+TEST(FaultInjectingMatcherTest, PerturbationModeStaysDeterministicAndInRange) {
+  FakeMatcher base([](const Record&, const Record&) { return 0.5; });
+  FaultOptions options;
+  options.score_perturbation = 0.8;
+  options.seed = 3;
+  util::ManualClock clock;
+  FaultInjectingMatcher faulty(&base, options, &clock);
+  std::vector<Record> pool = MakePairsPool(32);
+  Record pivot = MakeRecord(1000, {"pivot", "p"});
+  std::set<double> distinct;
+  for (const Record& record : pool) {
+    double score = faulty.Score(record, pivot);
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0);
+    EXPECT_DOUBLE_EQ(score, faulty.Score(record, pivot));
+    distinct.insert(score);
+  }
+  EXPECT_GT(distinct.size(), 16u);  // per-pair offsets, not one global shift
+}
+
+TEST(FaultInjectingMatcherTest, LatencyAdvancesTheInjectedClock) {
+  FakeMatcher base([](const Record&, const Record&) { return 0.7; });
+  FaultOptions options;
+  options.latency_micros = 250;
+  options.spike_rate = 1.0;
+  options.spike_latency_micros = 5000;
+  options.transient_failures_per_pair = 1;
+  util::ManualClock clock;
+  FaultInjectingMatcher faulty(&base, options, &clock);
+  Record pivot = MakeRecord(1000, {"pivot", "p"});
+  Record record = MakeRecord(0, {"a", "b"});
+  faulty.Score(record, pivot);  // attempt 1: spike
+  EXPECT_EQ(5000, clock.NowMicros());
+  faulty.Score(record, pivot);  // attempt 2: base latency
+  EXPECT_EQ(5250, clock.NowMicros());
+}
+
+TEST(ResilientMatcherTest, InertOptionsAndCleanBaseAreInvisible) {
+  FakeMatcher base([](const Record& u, const Record&) {
+    return u.values[0].size() > 4 ? 0.8 : 0.2;
+  });
+  ResilienceOptions options;
+  options.enabled = true;
+  util::ManualClock clock;
+  options.clock = &clock;
+  ResilientMatcher resilient(&base, options);
+  std::vector<Record> pool = MakePairsPool(16);
+  Record pivot = MakeRecord(1000, {"pivot", "p"});
+  std::vector<RecordPair> pairs;
+  for (const Record& record : pool) pairs.push_back({&record, &pivot});
+  std::vector<double> via_decorator = resilient.ScoreBatch(pairs);
+  std::vector<double> direct = base.ScoreBatch(pairs);
+  EXPECT_EQ(direct, via_decorator);
+  ResilientMatcher::Stats stats = resilient.stats();
+  EXPECT_EQ(static_cast<long long>(pool.size()), stats.calls);
+  EXPECT_EQ(0, stats.retries);
+  EXPECT_EQ(0, stats.failures);
+  EXPECT_EQ(0, clock.NowMicros());  // no backoff ever slept
+}
+
+TEST(ResilientMatcherTest, RetriesRecoverTransientFaultsWithBackoff) {
+  FakeMatcher base([](const Record&, const Record&) { return 0.7; });
+  FaultOptions fault_options;
+  fault_options.fault_rate = 1.0;
+  fault_options.transient_failures_per_pair = 2;
+  util::ManualClock clock;
+  FaultInjectingMatcher faulty(&base, fault_options, &clock);
+
+  ResilienceOptions options;
+  options.enabled = true;
+  options.max_attempts = 3;
+  options.backoff_base_micros = 100;
+  options.backoff_max_micros = 1000;
+  options.clock = &clock;
+  ResilientMatcher resilient(&faulty, options);
+
+  Record pivot = MakeRecord(1000, {"pivot", "p"});
+  Record record = MakeRecord(0, {"a", "b"});
+  EXPECT_DOUBLE_EQ(0.7, resilient.Score(record, pivot));
+  ResilientMatcher::Stats stats = resilient.stats();
+  EXPECT_EQ(3, stats.calls);  // 2 failed attempts + 1 success
+  EXPECT_EQ(2, stats.retries);
+  EXPECT_EQ(0, stats.failures);
+  // Exponential backoff: 100 then 200 micros.
+  EXPECT_EQ(300, clock.NowMicros());
+}
+
+TEST(ResilientMatcherTest, GivesUpAfterMaxAttempts) {
+  FakeMatcher base([](const Record&, const Record&) { return 0.7; });
+  FaultOptions fault_options;
+  fault_options.fault_rate = 1.0;
+  fault_options.transient_failures_per_pair = 10;
+  util::ManualClock clock;
+  FaultInjectingMatcher faulty(&base, fault_options, &clock);
+  ResilienceOptions options;
+  options.enabled = true;
+  options.max_attempts = 3;
+  options.clock = &clock;
+  ResilientMatcher resilient(&faulty, options);
+  Record pivot = MakeRecord(1000, {"pivot", "p"});
+  Record record = MakeRecord(0, {"a", "b"});
+  EXPECT_THROW(resilient.Score(record, pivot), TransientError);
+  ResilientMatcher::Stats stats = resilient.stats();
+  EXPECT_EQ(3, stats.calls);
+  EXPECT_EQ(2, stats.retries);
+  EXPECT_EQ(1, stats.failures);
+}
+
+TEST(ResilientMatcherTest, DeadlineExceededIsRetriedOnTheInjectedClock) {
+  FakeMatcher base([](const Record&, const Record&) { return 0.7; });
+  FaultOptions fault_options;
+  fault_options.spike_rate = 1.0;
+  fault_options.spike_latency_micros = 5000;
+  fault_options.latency_micros = 100;
+  fault_options.transient_failures_per_pair = 1;
+  util::ManualClock clock;
+  FaultInjectingMatcher faulty(&base, fault_options, &clock);
+  ResilienceOptions options;
+  options.enabled = true;
+  options.deadline_micros = 1000;
+  options.max_attempts = 2;
+  options.clock = &clock;
+  ResilientMatcher resilient(&faulty, options);
+  Record pivot = MakeRecord(1000, {"pivot", "p"});
+  Record record = MakeRecord(0, {"a", "b"});
+  // Attempt 1 spikes past the deadline; the retry rides the fast path.
+  EXPECT_DOUBLE_EQ(0.7, resilient.Score(record, pivot));
+  ResilientMatcher::Stats stats = resilient.stats();
+  EXPECT_EQ(1, stats.deadline_hits);
+  EXPECT_EQ(1, stats.retries);
+  EXPECT_EQ(0, stats.failures);
+}
+
+TEST(ResilientMatcherTest, BudgetIsAHardCeiling) {
+  FakeMatcher base([](const Record&, const Record&) { return 0.7; });
+  ResilienceOptions options;
+  options.enabled = true;
+  options.max_model_calls = 3;
+  util::ManualClock clock;
+  options.clock = &clock;
+  ResilientMatcher resilient(&base, options);
+  std::vector<Record> pool = MakePairsPool(5);
+  Record pivot = MakeRecord(1000, {"pivot", "p"});
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(0.7, resilient.Score(pool[static_cast<size_t>(i)], pivot));
+  }
+  EXPECT_EQ(0, resilient.budget_remaining());
+  EXPECT_THROW(resilient.Score(pool[3], pivot), BudgetExhausted);
+  EXPECT_THROW(resilient.Score(pool[4], pivot), BudgetExhausted);
+  // The rejected calls never reached the base model.
+  EXPECT_EQ(3, base.calls());
+  EXPECT_EQ(3, resilient.stats().calls);
+  EXPECT_EQ(2, resilient.stats().failures);
+}
+
+TEST(ResilientMatcherTest, BatchThatCannotFitBudgetIsRejectedUpfront) {
+  FakeMatcher base([](const Record&, const Record&) { return 0.7; });
+  ResilienceOptions options;
+  options.enabled = true;
+  options.max_model_calls = 2;
+  util::ManualClock clock;
+  options.clock = &clock;
+  ResilientMatcher resilient(&base, options);
+  std::vector<Record> pool = MakePairsPool(4);
+  Record pivot = MakeRecord(1000, {"pivot", "p"});
+  std::vector<RecordPair> pairs;
+  for (const Record& record : pool) pairs.push_back({&record, &pivot});
+  // The batch does not fit the budget: rejected before any base call,
+  // so the remaining budget stays available for per-pair salvage.
+  EXPECT_THROW(resilient.ScoreBatch(pairs), BudgetExhausted);
+  EXPECT_EQ(0, base.calls());
+  EXPECT_EQ(2, resilient.budget_remaining());
+  // Per-pair calls can still spend it.
+  EXPECT_DOUBLE_EQ(0.7, resilient.Score(pool[0], pivot));
+  EXPECT_DOUBLE_EQ(0.7, resilient.Score(pool[1], pivot));
+  EXPECT_THROW(resilient.Score(pool[2], pivot), BudgetExhausted);
+}
+
+TEST(ResilientMatcherTest, BreakerOpensFailsFastAndHalfOpens) {
+  FakeMatcher base([](const Record&, const Record&) -> double {
+    throw UnavailableError("backend down");
+  });
+  ResilienceOptions options;
+  options.enabled = true;
+  options.max_attempts = 1;
+  options.breaker_threshold = 2;
+  options.breaker_cooldown_calls = 3;
+  util::ManualClock clock;
+  options.clock = &clock;
+  ResilientMatcher resilient(&base, options);
+  std::vector<Record> pool = MakePairsPool(16);
+  Record pivot = MakeRecord(1000, {"pivot", "p"});
+  // Two real failures open the breaker.
+  EXPECT_THROW(resilient.Score(pool[0], pivot), UnavailableError);
+  EXPECT_THROW(resilient.Score(pool[1], pivot), UnavailableError);
+  EXPECT_EQ(2, base.calls());
+  // The next 3 calls are rejected without touching the base model.
+  for (int i = 2; i < 5; ++i) {
+    EXPECT_THROW(resilient.Score(pool[static_cast<size_t>(i)], pivot),
+                 UnavailableError);
+  }
+  EXPECT_EQ(2, base.calls());
+  EXPECT_EQ(3, resilient.stats().breaker_rejections);
+  // Cooldown spent: the next call is a half-open probe that reaches the
+  // base again (and re-opens the breaker when it fails).
+  EXPECT_THROW(resilient.Score(pool[5], pivot), UnavailableError);
+  EXPECT_EQ(3, base.calls());
+}
+
+TEST(ResilientMatcherTest, BreakerClosesOnSuccessfulProbe) {
+  int failures_left = 2;
+  FakeMatcher base([&failures_left](const Record&, const Record&) -> double {
+    if (failures_left > 0) {
+      --failures_left;
+      throw UnavailableError("backend down");
+    }
+    return 0.6;
+  });
+  ResilienceOptions options;
+  options.enabled = true;
+  options.max_attempts = 1;
+  options.breaker_threshold = 2;
+  options.breaker_cooldown_calls = 1;
+  util::ManualClock clock;
+  options.clock = &clock;
+  ResilientMatcher resilient(&base, options);
+  std::vector<Record> pool = MakePairsPool(8);
+  Record pivot = MakeRecord(1000, {"pivot", "p"});
+  EXPECT_THROW(resilient.Score(pool[0], pivot), UnavailableError);
+  EXPECT_THROW(resilient.Score(pool[1], pivot), UnavailableError);
+  EXPECT_THROW(resilient.Score(pool[2], pivot), UnavailableError);  // fast
+  // Half-open probe succeeds; the breaker closes and stays closed.
+  EXPECT_DOUBLE_EQ(0.6, resilient.Score(pool[3], pivot));
+  EXPECT_DOUBLE_EQ(0.6, resilient.Score(pool[4], pivot));
+  EXPECT_EQ(1, resilient.stats().breaker_rejections);
+}
+
+/// Regression for the latent bug class the resilience work uncovered:
+/// scores from failed or partially-failed batches must never be
+/// inserted into the prediction cache, or a later cache hit would
+/// silently serve a value the model never produced.
+TEST(ScoringEngineResilienceTest, FailedPairsNeverPoisonTheCache) {
+  bool broken = true;
+  FakeMatcher base([&broken](const Record& u, const Record&) -> double {
+    if (broken && u.values[0] == "value-2") {
+      throw TransientError("flaky pair");
+    }
+    return u.values[0] == "value-2" ? 0.9 : 0.3;
+  });
+  ScoringEngine engine(&base);
+  std::vector<Record> pool = MakePairsPool(4);
+  Record pivot = MakeRecord(1000, {"pivot", "p"});
+  std::vector<RecordPair> pairs;
+  for (const Record& record : pool) pairs.push_back({&record, &pivot});
+
+  ScoringEngine::BatchOutcome outcome = engine.TryScoreBatch(pairs);
+  ASSERT_EQ(4u, outcome.ok.size());
+  EXPECT_EQ(1u, outcome.failures);
+  EXPECT_FALSE(outcome.budget_exhausted);
+  EXPECT_EQ(0, outcome.ok[2]);
+  for (size_t i : {size_t{0}, size_t{1}, size_t{3}}) {
+    EXPECT_EQ(1, outcome.ok[i]);
+    EXPECT_DOUBLE_EQ(0.3, outcome.scores[i]);
+  }
+
+  // The survivors were cached: re-scoring them costs no base calls.
+  base.reset_calls();
+  std::vector<double> again =
+      engine.ScoreBatch({pairs.begin(), pairs.begin() + 2});
+  EXPECT_DOUBLE_EQ(0.3, again[0]);
+  EXPECT_DOUBLE_EQ(0.3, again[1]);
+  EXPECT_EQ(0, base.calls());
+
+  // The failed pair was NOT cached: once the fault clears, the engine
+  // fetches the real score instead of serving a poisoned entry.
+  broken = false;
+  EXPECT_DOUBLE_EQ(0.9, engine.Score(pool[2], pivot));
+  EXPECT_EQ(1, base.calls());
+}
+
+TEST(ScoringEngineResilienceTest, PlainScoreBatchStillThrowsAndCachesNothing) {
+  FakeMatcher base([](const Record& u, const Record&) -> double {
+    if (u.values[0] == "value-1") throw UnavailableError("down");
+    return 0.4;
+  });
+  ScoringEngine engine(&base);
+  std::vector<Record> pool = MakePairsPool(3);
+  Record pivot = MakeRecord(1000, {"pivot", "p"});
+  std::vector<RecordPair> pairs;
+  for (const Record& record : pool) pairs.push_back({&record, &pivot});
+  EXPECT_THROW(engine.ScoreBatch(pairs), ScoringError);
+  // Nothing from the failed batch entered the cache — not even the
+  // pairs the base scored before the throw.
+  EXPECT_EQ(0, engine.cache_stats().hits);
+  base.reset_calls();
+  EXPECT_DOUBLE_EQ(0.4, engine.Score(pool[0], pivot));
+  EXPECT_EQ(1, base.calls());
+}
+
+TEST(ScoringEngineResilienceTest, BudgetExhaustionFailsTheTailOfTheBatch) {
+  FakeMatcher base([](const Record&, const Record&) { return 0.7; });
+  ResilienceOptions options;
+  options.enabled = true;
+  options.max_model_calls = 2;
+  util::ManualClock clock;
+  options.clock = &clock;
+  ResilientMatcher resilient(&base, options);
+  ScoringEngine engine(&resilient);
+  std::vector<Record> pool = MakePairsPool(5);
+  Record pivot = MakeRecord(1000, {"pivot", "p"});
+  std::vector<RecordPair> pairs;
+  for (const Record& record : pool) pairs.push_back({&record, &pivot});
+  ScoringEngine::BatchOutcome outcome = engine.TryScoreBatch(pairs);
+  EXPECT_TRUE(outcome.budget_exhausted);
+  EXPECT_EQ(2u, outcome.ok.size() - outcome.failures);
+  // Cached survivors stay servable after exhaustion (no model calls).
+  std::vector<double> cached =
+      engine.ScoreBatch({pairs.begin(), pairs.begin() + 2});
+  EXPECT_DOUBLE_EQ(0.7, cached[0]);
+  EXPECT_DOUBLE_EQ(0.7, cached[1]);
+}
+
+TEST(TryScoreBatchHelperTest, GenericPathMatchesEnginePath) {
+  auto behavior = [](const Record& u, const Record&) -> double {
+    if (u.values[0] == "value-1") throw UnavailableError("down");
+    if (u.values[0] == "value-3") throw TransientError("blip");
+    return 0.25;
+  };
+  FakeMatcher plain(behavior);
+  FakeMatcher for_engine(behavior);
+  ScoringEngine engine(&for_engine);
+  std::vector<Record> pool = MakePairsPool(5);
+  Record pivot = MakeRecord(1000, {"pivot", "p"});
+  std::vector<RecordPair> pairs;
+  for (const Record& record : pool) pairs.push_back({&record, &pivot});
+
+  ScoringEngine::BatchOutcome generic = models::TryScoreBatch(plain, pairs);
+  ScoringEngine::BatchOutcome batched = models::TryScoreBatch(engine, pairs);
+  EXPECT_EQ(generic.ok, batched.ok);
+  EXPECT_EQ(generic.failures, batched.failures);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (generic.ok[i] != 0) {
+      EXPECT_DOUBLE_EQ(generic.scores[i], batched.scores[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace certa

@@ -25,6 +25,7 @@
 // tableB.csv, train.csv, test.csv) replaces the synthetic benchmark in
 // any subcommand.
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -32,6 +33,7 @@
 
 #include "certa.h"
 #include "core/token_explainer.h"
+#include "models/resilience.h"
 #include "data/profiling.h"
 #include "explain/aggregate.h"
 #include "models/rule_model.h"
@@ -81,6 +83,7 @@ int Usage() {
          "  certa explain --dataset CODE [--model NAME | --model-file F]\n"
          "                [--pair N] [--triangles T] [--threads K]\n"
          "                [--no-cache] [--json] [--tokens] [--data DIR]\n"
+         "                [--budget N] [--deadline-ms N] [--fault-rate X]\n"
          "  certa export  --dataset CODE --out DIR\n"
          "  certa profile --dataset CODE [--data DIR]\n"
          "  certa rules   --dataset CODE [--data DIR]\n"
@@ -199,10 +202,35 @@ int CmdExplain(const Args& args) {
   } else {
     model = certa::models::TrainMatcher(kind, dataset);
   }
+  const long long budget = std::max(
+      0LL, static_cast<long long>(
+               std::atoll(args.Get("budget", "0").c_str())));
+  const long long deadline_ms = std::max(
+      0LL, static_cast<long long>(
+               std::atoll(args.Get("deadline-ms", "0").c_str())));
+  double fault_rate = 0.0;
+  if (!certa::ParseDouble(args.Get("fault-rate", "0"), &fault_rate) ||
+      fault_rate < 0.0 || fault_rate > 1.0) {
+    std::cerr << "error: --fault-rate must be in [0, 1]\n";
+    return 1;
+  }
+
   certa::models::ScoringEngine::Options engine_options;
   engine_options.enable_cache = !args.Has("no-cache");
   certa::models::ScoringEngine engine(model.get(), engine_options);
-  certa::explain::ExplainContext context{&engine, &dataset.left,
+  // With --fault-rate the explainer scores through the injector
+  // directly (un-cached, like the remote service it simulates); the
+  // clean engine still provides the report-header score below.
+  std::unique_ptr<certa::models::FaultInjectingMatcher> faulty;
+  const certa::models::Matcher* context_model = &engine;
+  if (fault_rate > 0.0) {
+    certa::models::FaultOptions fault_options;
+    fault_options.fault_rate = fault_rate;
+    faulty = std::make_unique<certa::models::FaultInjectingMatcher>(
+        model.get(), fault_options);
+    context_model = faulty.get();
+  }
+  certa::explain::ExplainContext context{context_model, &dataset.left,
                                          &dataset.right};
   certa::core::CertaExplainer::Options options;
   options.num_triangles =
@@ -210,6 +238,10 @@ int CmdExplain(const Args& args) {
   options.num_threads =
       std::max(1, std::atoi(args.Get("threads", "1").c_str()));
   options.use_cache = !args.Has("no-cache");
+  options.resilience.enabled =
+      fault_rate > 0.0 || budget > 0 || deadline_ms > 0;
+  options.resilience.max_model_calls = budget;
+  options.resilience.deadline_micros = deadline_ms * 1000;
   certa::core::CertaExplainer explainer(context, options);
 
   const certa::data::LabeledPair& pair =
@@ -226,6 +258,17 @@ int CmdExplain(const Args& args) {
     std::cout << certa::explain::RenderReport(
         u, v, dataset.left.schema(), dataset.right.schema(),
         engine.Score(u, v), result.saliency, result.counterfactuals);
+    std::cout << certa::explain::RenderStatusLine(
+        certa::core::ExplainStatusName(result.status),
+        result.triangle_phase.calls + result.lattice_phase.calls +
+            result.cf_phase.calls,
+        result.triangle_phase.retries + result.lattice_phase.retries +
+            result.cf_phase.retries,
+        result.triangle_phase.failures + result.lattice_phase.failures +
+            result.cf_phase.failures,
+        result.triangle_phase.cells_skipped +
+            result.lattice_phase.cells_skipped +
+            result.cf_phase.cells_skipped);
   }
 
   if (args.Has("tokens") && !result.saliency.Ranked().empty()) {
