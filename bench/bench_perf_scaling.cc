@@ -18,13 +18,13 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/certa_explainer.h"
 #include "data/benchmarks.h"
+#include "explain/json_export.h"
 #include "models/trainer.h"
 #include "util/json_writer.h"
 
@@ -247,9 +247,10 @@ int WriteSummary() {
 
   const char* path_env = std::getenv("CERTA_BENCH_PERF_JSON");
   std::string path = path_env != nullptr ? path_env : "BENCH_perf.json";
-  std::ofstream out(path);
-  out << json.str() << "\n";
-  out.close();
+  if (!certa::explain::SaveJsonFile(path, json.str())) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
 
   std::printf("\n%-10s %8s %8s  %s\n", "regime", "ms", "speedup", "");
   for (size_t r = 0; r < regimes.size(); ++r) {

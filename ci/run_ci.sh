@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Full CI gate, runnable locally or from .github/workflows/ci.yml:
+#   1. Release build + complete ctest suite;
+#   2. address+undefined sanitizer build + the suites most likely to
+#      hide memory/UB bugs (resilience fault paths, durability journal
+#      recovery and kill/resume).
+# Any failure fails the script.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="${CERTA_CI_JOBS:-$(nproc)}"
+
+echo "== Release build =="
+cmake -B "${REPO_ROOT}/build-ci" -S "${REPO_ROOT}" \
+  -DCMAKE_BUILD_TYPE=Release
+cmake --build "${REPO_ROOT}/build-ci" -j "${JOBS}"
+
+echo "== Full test suite (Release) =="
+ctest --test-dir "${REPO_ROOT}/build-ci" --output-on-failure -j "${JOBS}"
+
+echo "== Labelled suites (Release) =="
+ctest --test-dir "${REPO_ROOT}/build-ci" --output-on-failure -L resilience
+ctest --test-dir "${REPO_ROOT}/build-ci" --output-on-failure -L durability
+
+echo "== address+undefined sanitizer build =="
+cmake -B "${REPO_ROOT}/build-ci-asan" -S "${REPO_ROOT}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCERTA_SANITIZE=address+undefined
+cmake --build "${REPO_ROOT}/build-ci-asan" -j "${JOBS}"
+
+echo "== Sanitized resilience + durability suites =="
+ctest --test-dir "${REPO_ROOT}/build-ci-asan" --output-on-failure -L resilience
+ctest --test-dir "${REPO_ROOT}/build-ci-asan" --output-on-failure -L durability
+
+echo "CI passed."

@@ -69,6 +69,7 @@ CertaResult CertaExplainer::Explain(const data::Record& u,
   models::ScoringEngine::Options engine_options;
   engine_options.enable_cache = options_.use_cache;
   engine_options.pool = pool_.get();
+  engine_options.observer = options_.score_observer;
   // With resilience enabled the chain grows one layer: base model →
   // ResilientMatcher (retries, deadline, breaker, call budget) →
   // ScoringEngine. The decorator sits *below* the cache, so cache hits
@@ -84,6 +85,29 @@ CertaResult CertaExplainer::Explain(const data::Record& u,
   models::ScoringEngine engine(scored_model, engine_options);
   explain::ExplainContext engine_context = context_;
   engine_context.model = &engine;
+
+  // Journal replay: seed the cache with every already-paid score. The
+  // prewarmed entries make the resumed run's model calls a subset of
+  // the original's while keeping counters and results bit-identical.
+  if (options_.replayed_scores != nullptr) {
+    for (const auto& [key, score] : *options_.replayed_scores) {
+      engine.Prewarm(key, score);
+    }
+  }
+
+  auto cancelled = [&] {
+    return options_.cancel != nullptr &&
+           options_.cancel->load(std::memory_order_relaxed);
+  };
+  ExplainProgress progress;
+  auto notify = [&](const char* phase) {
+    if (!options_.progress) return;
+    progress.phase = phase;
+    progress.predictions_performed = result.predictions_performed;
+    progress.last_lattice = nullptr;
+    progress.last_tags = nullptr;
+    options_.progress(progress);
+  };
 
   auto record_cache_stats = [&] {
     models::PredictionCache::Stats stats = engine.cache_stats();
@@ -112,6 +136,13 @@ CertaResult CertaExplainer::Explain(const data::Record& u,
                                   : ExplainStatus::kComplete;
   };
 
+  if (cancelled()) {
+    truncated = true;
+    finish_status();
+    record_cache_stats();
+    return result;
+  }
+  notify("pivot");
   bool original_prediction = false;
   try {
     original_prediction = engine.Predict(u, v);
@@ -127,6 +158,7 @@ CertaResult CertaExplainer::Explain(const data::Record& u,
   }
   Rng rng(options_.seed ^ PairHash(u, v));
 
+  notify("triangles");
   TriangleOptions triangle_options;
   triangle_options.count = options_.num_triangles;
   triangle_options.allow_augmentation = options_.allow_augmentation;
@@ -143,6 +175,8 @@ CertaResult CertaExplainer::Explain(const data::Record& u,
     record_cache_stats();
     return result;
   }
+  progress.triangles_total = static_cast<int>(triangles.size());
+  notify("lattice");
 
   Lattice left_lattice(left_attributes);
   Lattice right_lattice(right_attributes);
@@ -163,7 +197,7 @@ CertaResult CertaExplainer::Explain(const data::Record& u,
   bool stop_lattice = false;
 
   for (size_t t = 0; t < triangles.size(); ++t) {
-    if (stop_lattice) {
+    if (stop_lattice || cancelled()) {
       truncated = true;
       break;
     }
@@ -259,6 +293,21 @@ CertaResult CertaExplainer::Explain(const data::Record& u,
         (is_left ? necessity_left : necessity_right)[index] += 1;
       }
     }
+
+    // Frontier notification: triangle t is fully tagged; its lattice
+    // snapshot rides along so checkpoints can record the antichain.
+    if (options_.progress) {
+      progress.phase = "lattice";
+      progress.triangles_tagged = static_cast<int>(t) + 1;
+      progress.predictions_performed = result.predictions_performed;
+      progress.total_flips = total_flips;
+      progress.last_lattice = &lattice;
+      progress.last_tags = &tags;
+      progress.last_side = triangle.side;
+      options_.progress(progress);
+      progress.last_lattice = nullptr;
+      progress.last_tags = nullptr;
+    }
   }
   if (stop_lattice) truncated = true;
   close_phase(&result.lattice_phase);
@@ -308,6 +357,16 @@ CertaResult CertaExplainer::Explain(const data::Record& u,
   result.best_side = best_side;
   result.best_mask = best_mask;
 
+  notify("counterfactuals");
+  if (cancelled()) {
+    // Parked/shut down between phases: skip the counterfactual scoring
+    // entirely — the resumed run redoes it from journaled scores.
+    truncated = true;
+    close_phase(&result.cf_phase);
+    finish_status();
+    record_cache_stats();
+    return result;
+  }
   // Counterfactual examples: every flipped input whose changed set is
   // the golden set A* (Algorithm 1 lines 30-33).
   if (best_mask != 0) {
@@ -352,6 +411,7 @@ CertaResult CertaExplainer::Explain(const data::Record& u,
   close_phase(&result.cf_phase);
   finish_status();
   record_cache_stats();
+  notify("done");
   return result;
 }
 

@@ -1,16 +1,21 @@
 #ifndef CERTA_CORE_CERTA_EXPLAINER_H_
 #define CERTA_CORE_CERTA_EXPLAINER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/lattice.h"
 #include "core/triangles.h"
 #include "explain/explainer.h"
 #include "explain/explanation.h"
 #include "explain/perturbation.h"
 #include "models/resilience.h"
+#include "models/scoring_engine.h"
 #include "util/thread_pool.h"
 
 namespace certa::core {
@@ -90,6 +95,26 @@ struct CertaResult {
   PhaseResilience cf_phase;
 };
 
+/// Progress snapshot handed to Options::progress at every phase
+/// boundary and after each triangle's lattice is tagged — the
+/// durability layer (src/persist, src/service) checkpoints from these
+/// without the explainer knowing files exist.
+struct ExplainProgress {
+  /// "pivot" | "triangles" | "lattice" | "counterfactuals" | "done".
+  const char* phase = "pivot";
+  int triangles_total = 0;
+  /// Lattice frontier: triangles fully tagged so far.
+  int triangles_tagged = 0;
+  long long predictions_performed = 0;
+  long long total_flips = 0;
+  /// Set only on per-triangle notifications: the lattice and tag result
+  /// of the triangle just finished (valid for the callback's duration —
+  /// serialize, don't store).
+  const Lattice* last_lattice = nullptr;
+  const Lattice::TagResult* last_tags = nullptr;
+  data::Side last_side = data::Side::kLeft;
+};
+
 /// The CERTA algorithm (Algorithm 1). Implements both explainer
 /// interfaces so it drops into the shared evaluation harness alongside
 /// the baselines.
@@ -123,6 +148,25 @@ class CertaExplainer : public explain::SaliencyExplainer,
     /// failures degrade the result instead of propagating; disabled,
     /// Explain is bit-identical to the pre-resilience code path.
     models::ResilienceOptions resilience;
+
+    // -- durability hooks (src/persist, docs/OPERATIONS.md) --
+
+    /// Journal replay: (pair-hash, score) entries seeded into the
+    /// per-Explain cache before any model call, so a resumed job skips
+    /// every already-paid call while producing a bit-identical result
+    /// (prewarmed entries count their first touch as a miss). Not
+    /// owned; must outlive Explain. Ignored when use_cache is false.
+    const std::vector<std::pair<models::PairKey, double>>* replayed_scores =
+        nullptr;
+    /// Invoked once per freshly computed score, sequentially, in
+    /// deterministic order — the write-ahead journal's feed.
+    models::ScoringEngine::ScoreObserver score_observer;
+    /// Cooperative cancellation (watchdog parking, graceful shutdown):
+    /// polled at phase boundaries and between triangles; when set,
+    /// Explain stops issuing work and returns a kTruncated result.
+    const std::atomic<bool>* cancel = nullptr;
+    /// Phase/frontier notifications; empty = zero overhead.
+    std::function<void(const ExplainProgress&)> progress;
   };
 
   CertaExplainer(explain::ExplainContext context, Options options);

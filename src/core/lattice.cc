@@ -151,4 +151,88 @@ std::vector<AttrMask> Lattice::FlippedNodes(const TagResult& tags) const {
   return flipped;
 }
 
+namespace {
+
+void AppendMaskList(const std::vector<uint8_t>& bits, AttrMask limit,
+                    std::string* out) {
+  char buffer[16];
+  bool first = true;
+  for (AttrMask mask = 1; mask <= limit && mask < bits.size(); ++mask) {
+    if (!bits[mask]) continue;
+    std::snprintf(buffer, sizeof(buffer), "%s%x", first ? "" : ",", mask);
+    out->append(buffer);
+    first = false;
+  }
+}
+
+/// Parses "a,1f,3" hex masks into bits[]; empty text = empty set.
+bool ParseMaskList(const std::string& text, AttrMask limit,
+                   std::vector<uint8_t>* bits) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    if (comma == pos) return false;  // empty element
+    unsigned long mask = 0;
+    size_t used = 0;
+    try {
+      mask = std::stoul(text.substr(pos, comma - pos), &used, 16);
+    } catch (...) {
+      return false;
+    }
+    if (used != comma - pos || mask == 0 || mask > limit) return false;
+    (*bits)[mask] = 1;
+    pos = comma + (comma < text.size() ? 1 : 0);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string Lattice::SerializeTags(const TagResult& tags) const {
+  const AttrMask full = (1u << num_attributes_) - 1u;
+  std::string out;
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "v1;l=%d;p=%d;f=", num_attributes_,
+                tags.performed);
+  out.append(buffer);
+  AppendMaskList(tags.flip, full, &out);
+  out.append(";t=");
+  AppendMaskList(tags.tested, full, &out);
+  return out;
+}
+
+bool Lattice::ParseTags(const std::string& text, TagResult* tags) const {
+  // Layout: v1;l=<dec>;p=<dec>;f=<hex,...>;t=<hex,...>
+  int attributes = 0;
+  int performed = 0;
+  int consumed = 0;
+  if (std::sscanf(text.c_str(), "v1;l=%d;p=%d;f=%n", &attributes,
+                  &performed, &consumed) != 2 ||
+      consumed <= 0 || attributes != num_attributes_ || performed < 0) {
+    return false;
+  }
+  const std::string rest = text.substr(static_cast<size_t>(consumed));
+  size_t sep = rest.find(";t=");
+  if (sep == std::string::npos) return false;
+
+  const AttrMask full = (1u << num_attributes_) - 1u;
+  TagResult parsed;
+  parsed.flip.assign(full + 1u, 0);
+  parsed.tested.assign(full + 1u, 0);
+  parsed.performed = performed;
+  if (!ParseMaskList(rest.substr(0, sep), full, &parsed.flip) ||
+      !ParseMaskList(rest.substr(sep + 3), full, &parsed.tested)) {
+    return false;
+  }
+  // The full mask is never a lattice node; reject snapshots claiming it.
+  if (parsed.flip[full] || parsed.tested[full]) return false;
+  parsed.total_flips = 0;
+  for (AttrMask mask = 1; mask < full; ++mask) {
+    if (parsed.flip[mask]) ++parsed.total_flips;
+  }
+  *tags = std::move(parsed);
+  return true;
+}
+
 }  // namespace certa::core

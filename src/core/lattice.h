@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "explain/perturbation.h"
@@ -71,6 +72,17 @@ class Lattice {
   /// All flipped nodes (tested or inferred), ascending by mask — the
   /// inputs get_flipped() derives from the antichain in Algorithm 1.
   std::vector<explain::AttrMask> FlippedNodes(const TagResult& tags) const;
+
+  /// Compact single-token snapshot of a tagged lattice, for the
+  /// durability checkpoints (src/persist): the flipped and tested mask
+  /// sets plus the performed count, e.g. "v1;l=3;p=4;f=1,3,7;t=1,2,4"
+  /// (masks in hex, no whitespace). total_flips is derivable and not
+  /// stored.
+  std::string SerializeTags(const TagResult& tags) const;
+
+  /// Inverse of SerializeTags; false (and *tags untouched) on any
+  /// malformation, mask out of range, or lattice-size mismatch.
+  bool ParseTags(const std::string& text, TagResult* tags) const;
 
  private:
   int num_attributes_;

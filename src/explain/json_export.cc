@@ -1,5 +1,7 @@
 #include "explain/json_export.h"
 
+#include "util/atomic_file.h"
+
 namespace certa::explain {
 namespace {
 
@@ -74,6 +76,10 @@ std::string CounterfactualToJson(const CounterfactualExample& example,
   JsonWriter json;
   WriteCounterfactual(&json, example, left, right);
   return json.str();
+}
+
+bool SaveJsonFile(const std::string& path, const std::string& json) {
+  return util::AtomicWriteFile(path, json + "\n");
 }
 
 }  // namespace certa::explain

@@ -25,6 +25,12 @@ std::string CounterfactualToJson(const CounterfactualExample& example,
                                  const data::Schema& left,
                                  const data::Schema& right);
 
+/// Durably writes a JSON document to `path` via temp-file + fsync +
+/// atomic rename (util::AtomicWriteFile): readers never observe a
+/// half-written document, and a crash mid-export leaves any previous
+/// file intact. All result/bench JSON exports route through here.
+bool SaveJsonFile(const std::string& path, const std::string& json);
+
 /// Streaming building blocks used by both exports and by the core
 /// CertaResult export.
 void WriteSaliency(JsonWriter* json, const SaliencyExplanation& explanation,

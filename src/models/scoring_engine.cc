@@ -64,8 +64,16 @@ bool PredictionCache::Lookup(const PairKey& key, double* score) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  hits_.fetch_add(1, std::memory_order_relaxed);
-  *score = it->second;
+  if (it->second.prewarmed) {
+    // First touch of a replayed entry: the uninterrupted run would
+    // have missed (then computed) here, so count a miss to keep the
+    // counter stream identical; the saved base call is the whole point.
+    it->second.prewarmed = false;
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  *score = it->second.score;
   return true;
 }
 
@@ -78,7 +86,19 @@ void PredictionCache::Insert(const PairKey& key, double score) {
                          std::memory_order_relaxed);
     shard.map.clear();
   }
-  shard.map[key] = score;
+  shard.map[key] = Entry{score, false};
+}
+
+void PredictionCache::Prewarm(const PairKey& key, double score) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.map.size() >= max_entries_per_shard_ &&
+      shard.map.find(key) == shard.map.end()) {
+    // Respect the shard budget even while seeding; dropping a replayed
+    // entry only costs a re-computation later.
+    return;
+  }
+  shard.map.emplace(key, Entry{score, true});
 }
 
 PredictionCache::Stats PredictionCache::stats() const {
@@ -105,12 +125,15 @@ ScoringEngine::ScoringEngine(const Matcher* base, Options options)
 
 double ScoringEngine::Score(const data::Record& u,
                             const data::Record& v) const {
-  if (!options_.enable_cache) return base_->Score(u, v);
+  if (!options_.enable_cache && !options_.observer) {
+    return base_->Score(u, v);
+  }
   PairKey key = HashPair(u, v);
   double score = 0.0;
-  if (cache_.Lookup(key, &score)) return score;
+  if (options_.enable_cache && cache_.Lookup(key, &score)) return score;
   score = base_->Score(u, v);
-  cache_.Insert(key, score);
+  if (options_.enable_cache) cache_.Insert(key, score);
+  if (options_.observer) options_.observer(key, score);
   return score;
 }
 
@@ -265,10 +288,9 @@ std::vector<double> ScoringEngine::ScoreBatch(
   std::vector<double> miss_scores = ScoreMisses(miss_pairs);
   for (size_t m = 0; m < miss_slots.size(); ++m) {
     unique_scores[miss_slots[m]] = miss_scores[m];
-    if (options_.enable_cache) {
-      cache_.Insert(plan.keys[plan.unique_inputs[miss_slots[m]]],
-                    miss_scores[m]);
-    }
+    const PairKey& key = plan.keys[plan.unique_inputs[miss_slots[m]]];
+    if (options_.enable_cache) cache_.Insert(key, miss_scores[m]);
+    if (options_.observer) options_.observer(key, miss_scores[m]);
   }
 
   for (size_t i = 0; i < pairs.size(); ++i) {
@@ -307,10 +329,9 @@ ScoringEngine::BatchOutcome ScoringEngine::TryScoreBatch(
     if (!miss_ok[m]) continue;  // failed pairs never enter the cache
     unique_scores[miss_slots[m]] = miss_scores[m];
     unique_ok[miss_slots[m]] = 1;
-    if (options_.enable_cache) {
-      cache_.Insert(plan.keys[plan.unique_inputs[miss_slots[m]]],
-                    miss_scores[m]);
-    }
+    const PairKey& key = plan.keys[plan.unique_inputs[miss_slots[m]]];
+    if (options_.enable_cache) cache_.Insert(key, miss_scores[m]);
+    if (options_.observer) options_.observer(key, miss_scores[m]);
   }
 
   for (size_t i = 0; i < pairs.size(); ++i) {
@@ -319,6 +340,11 @@ ScoringEngine::BatchOutcome ScoringEngine::TryScoreBatch(
     if (!out.ok[i]) ++out.failures;
   }
   return out;
+}
+
+void ScoringEngine::Prewarm(const PairKey& key, double score) const {
+  if (!options_.enable_cache) return;
+  cache_.Prewarm(key, score);
 }
 
 PredictionCache::Stats ScoringEngine::cache_stats() const {

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -54,20 +55,36 @@ class PredictionCache {
 
   PredictionCache(size_t num_shards, size_t max_entries_per_shard);
 
-  /// True (and *score set) on a hit. Counts one hit or one miss.
+  /// True (and *score set) on a hit. Counts one hit or one miss —
+  /// except on the *first* touch of a prewarmed entry, which returns
+  /// the score but counts a miss (see Prewarm).
   bool Lookup(const PairKey& key, double* score);
 
   /// Stores the score; overwriting an existing entry is harmless
   /// (scores are deterministic). May evict a full shard first.
   void Insert(const PairKey& key, double score);
 
+  /// Seeds the cache with a replayed (journal) score without touching
+  /// the hit/miss counters. The entry is marked prewarmed: its first
+  /// Lookup still counts as a miss (the run being resumed would have
+  /// computed it there), so the counter stream of a resumed run is
+  /// bit-identical to an uninterrupted one — only the base-model call
+  /// is skipped. An existing entry is left untouched.
+  void Prewarm(const PairKey& key, double score);
+
   Stats stats() const;
   size_t entry_count() const;
 
  private:
+  struct Entry {
+    double score = 0.0;
+    /// Replayed, not yet touched: first Lookup counts a miss.
+    bool prewarmed = false;
+  };
+
   struct Shard {
     std::mutex mutex;
-    std::unordered_map<PairKey, double, PairKeyHasher> map;
+    std::unordered_map<PairKey, Entry, PairKeyHasher> map;
   };
 
   Shard& ShardFor(const PairKey& key) {
@@ -98,6 +115,14 @@ class PredictionCache {
 /// a single-threaded caller); only the miss *computation* fans out.
 class ScoringEngine : public Matcher {
  public:
+  /// Durability hook: invoked once per freshly *computed* score (cache
+  /// hits and prewarmed replays never fire it), sequentially on the
+  /// calling thread in input order, after the score is known good. The
+  /// write-ahead journal (src/persist) subscribes here; anything the
+  /// observer durably records can be Prewarm()ed into a later engine to
+  /// resume a killed job without re-paying the model call.
+  using ScoreObserver = std::function<void(const PairKey&, double)>;
+
   struct Options {
     /// Disable to measure the raw batched path (or to bound memory).
     bool enable_cache = true;
@@ -110,6 +135,8 @@ class ScoringEngine : public Matcher {
     size_t min_parallel_batch = 8;
     /// Pairs per pool task when fanning a batch out.
     size_t parallel_chunk = 16;
+    /// Optional journal hook; empty = no observation overhead.
+    ScoreObserver observer;
   };
 
   /// Does not take ownership of `base`, which must outlive the engine
@@ -141,6 +168,12 @@ class ScoringEngine : public Matcher {
   /// scores, and only successful scores enter the prediction cache.
   /// Errors other than ScoringError still propagate.
   BatchOutcome TryScoreBatch(std::span<const RecordPair> pairs) const;
+
+  /// Seeds the prediction cache with a replayed score (no-op with the
+  /// cache disabled — there is nowhere to put it). See
+  /// PredictionCache::Prewarm for the first-touch-counts-as-miss
+  /// accounting that keeps resumed runs bit-identical.
+  void Prewarm(const PairKey& key, double score) const;
 
   PredictionCache::Stats cache_stats() const;
   const Options& options() const { return options_; }

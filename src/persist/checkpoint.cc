@@ -1,0 +1,157 @@
+#include "persist/checkpoint.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "util/archive.h"
+#include "util/atomic_file.h"
+#include "util/crc32.h"
+
+namespace certa::persist {
+namespace {
+
+/// Header line: "CERTACKPT <version> <crc32-hex>\n"; the CRC covers the
+/// payload that follows the newline.
+constexpr char kTag[] = "CERTACKPT";
+constexpr int kVersion = 1;
+
+/// TextArchive cannot round-trip an empty string value (its line
+/// parser requires three fields), so every string field is stored with
+/// a one-character prefix that the reader strips.
+std::string Enc(const std::string& value) { return "-" + value; }
+
+bool Dec(const TextArchive& archive, const std::string& key,
+         std::string* out) {
+  std::string raw;
+  if (!archive.GetString(key, &raw) || raw.empty() || raw[0] != '-') {
+    return false;
+  }
+  *out = raw.substr(1);
+  return true;
+}
+
+std::string PayloadOf(const JobCheckpoint& c) {
+  TextArchive archive;
+  archive.PutString("job_id", Enc(c.job_id));
+  archive.PutString("dataset", Enc(c.dataset));
+  archive.PutString("data_dir", Enc(c.data_dir));
+  archive.PutString("model", Enc(c.model));
+  archive.PutInt("pair_index", c.pair_index);
+  archive.PutInt("triangles", c.triangles);
+  archive.PutInt("threads", c.threads);
+  archive.PutInt("seed", static_cast<long long>(c.seed));
+  archive.PutInt("use_cache", c.use_cache ? 1 : 0);
+  archive.PutString("state", Enc(c.state));
+  archive.PutString("phase", Enc(c.phase));
+  archive.PutInt("triangles_total", c.triangles_total);
+  archive.PutInt("triangles_tagged", c.triangles_tagged);
+  archive.PutInt("predictions_performed", c.predictions_performed);
+  archive.PutInt("total_flips", c.total_flips);
+  archive.PutInt("fresh_scores", c.fresh_scores);
+  archive.PutInt("replayed_scores", c.replayed_scores);
+  archive.PutInt("tagged_lattices",
+                 static_cast<long long>(c.tagged_lattices.size()));
+  for (size_t i = 0; i < c.tagged_lattices.size(); ++i) {
+    archive.PutString("lattice_" + std::to_string(i),
+                      Enc(c.tagged_lattices[i]));
+  }
+  return archive.Serialize();
+}
+
+}  // namespace
+
+std::string SerializeCheckpoint(const JobCheckpoint& checkpoint) {
+  std::string payload = PayloadOf(checkpoint);
+  char header[64];
+  std::snprintf(header, sizeof(header), "%s %d %08x\n", kTag, kVersion,
+                util::Crc32(payload));
+  return std::string(header) + payload;
+}
+
+bool ParseCheckpoint(const std::string& text, JobCheckpoint* checkpoint) {
+  size_t newline = text.find('\n');
+  if (newline == std::string::npos) return false;
+  const std::string header = text.substr(0, newline);
+  char tag[16] = {0};
+  int version = 0;
+  unsigned int stored_crc = 0;
+  if (std::sscanf(header.c_str(), "%15s %d %x", tag, &version,
+                  &stored_crc) != 3 ||
+      std::strcmp(tag, kTag) != 0 || version != kVersion) {
+    return false;
+  }
+  const std::string payload = text.substr(newline + 1);
+  if (util::Crc32(payload) != stored_crc) return false;
+
+  TextArchive archive;
+  if (!TextArchive::Parse(payload, &archive)) return false;
+  JobCheckpoint c;
+  long long value = 0;
+  auto get_int = [&](const char* key, long long* out) {
+    return archive.GetInt(key, out);
+  };
+  if (!Dec(archive, "job_id", &c.job_id) ||
+      !Dec(archive, "dataset", &c.dataset) ||
+      !Dec(archive, "data_dir", &c.data_dir) ||
+      !Dec(archive, "model", &c.model) ||
+      !Dec(archive, "state", &c.state) ||
+      !Dec(archive, "phase", &c.phase)) {
+    return false;
+  }
+  if (!get_int("pair_index", &value)) return false;
+  c.pair_index = static_cast<int>(value);
+  if (!get_int("triangles", &value)) return false;
+  c.triangles = static_cast<int>(value);
+  if (!get_int("threads", &value)) return false;
+  c.threads = static_cast<int>(value);
+  if (!get_int("seed", &value)) return false;
+  c.seed = static_cast<uint64_t>(value);
+  if (!get_int("use_cache", &value)) return false;
+  c.use_cache = value != 0;
+  if (!get_int("triangles_total", &value)) return false;
+  c.triangles_total = static_cast<int>(value);
+  if (!get_int("triangles_tagged", &value)) return false;
+  c.triangles_tagged = static_cast<int>(value);
+  if (!get_int("predictions_performed", &c.predictions_performed) ||
+      !get_int("total_flips", &c.total_flips) ||
+      !get_int("fresh_scores", &c.fresh_scores) ||
+      !get_int("replayed_scores", &c.replayed_scores)) {
+    return false;
+  }
+  if (!get_int("tagged_lattices", &value) || value < 0) return false;
+  c.tagged_lattices.resize(static_cast<size_t>(value));
+  for (size_t i = 0; i < c.tagged_lattices.size(); ++i) {
+    if (!Dec(archive, "lattice_" + std::to_string(i),
+             &c.tagged_lattices[i])) {
+      return false;
+    }
+  }
+  *checkpoint = std::move(c);
+  return true;
+}
+
+bool SaveCheckpoint(const std::string& path,
+                    const JobCheckpoint& checkpoint) {
+  return util::AtomicWriteFile(path, SerializeCheckpoint(checkpoint));
+}
+
+bool LoadCheckpoint(const std::string& path, JobCheckpoint* checkpoint) {
+  std::string text;
+  if (!util::ReadFileToString(path, &text)) return false;
+  return ParseCheckpoint(text, checkpoint);
+}
+
+std::string JournalPathInDir(const std::string& job_dir) {
+  return job_dir + "/journal.wal";
+}
+
+std::string CheckpointPathInDir(const std::string& job_dir) {
+  return job_dir + "/checkpoint.ckpt";
+}
+
+std::string ResultPathInDir(const std::string& job_dir) {
+  return job_dir + "/result.json";
+}
+
+}  // namespace certa::persist

@@ -1,0 +1,81 @@
+#ifndef CERTA_PERSIST_CHECKPOINT_H_
+#define CERTA_PERSIST_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace certa::persist {
+
+/// Periodic snapshot of one explanation job's progress, durably written
+/// (temp + fsync + atomic rename) alongside its score journal. The
+/// journal alone makes resume *correct* (replay → bit-identical rerun);
+/// the checkpoint makes a job dir *self-describing* — it carries the
+/// full job spec, the phase/frontier the run had reached, and the
+/// tagged-lattice snapshots, so `certa serve --resume <job-dir>` needs
+/// nothing but the directory, and operators can inspect how far a
+/// parked or interrupted job got.
+struct JobCheckpoint {
+  // -- job spec (enough to re-create the run exactly) --
+  std::string job_id;
+  std::string dataset;   // benchmark code, e.g. "AB"
+  std::string data_dir;  // external DeepMatcher dir; empty = built-in
+  std::string model;     // "deeper" | "deepmatcher" | "ditto" | "svm"
+  int pair_index = 0;
+  int triangles = 100;
+  int threads = 1;
+  uint64_t seed = 7;
+  bool use_cache = true;
+
+  // -- lifecycle --
+  /// "running" | "complete" | "parked" | "interrupted" | "failed".
+  /// Anything but "complete" is resumable.
+  std::string state = "running";
+  /// Last phase entered: "pivot" | "triangles" | "lattice" |
+  /// "counterfactuals" | "done".
+  std::string phase = "pivot";
+
+  // -- progress counters (the explainer's frontier) --
+  int triangles_total = 0;
+  int triangles_tagged = 0;
+  long long predictions_performed = 0;
+  long long total_flips = 0;
+  /// Model calls actually paid by runs of this job so far.
+  long long fresh_scores = 0;
+  /// Journal entries replayed when the latest run started.
+  long long replayed_scores = 0;
+
+  /// Per-triangle tagged-lattice snapshots (core::Lattice::SerializeTags
+  /// strings), in tagging order — the antichain record of every lattice
+  /// the run finished.
+  std::vector<std::string> tagged_lattices;
+};
+
+/// Canonical text serialization (TextArchive payload behind a CRC'd
+/// header line) and its inverse. Parse returns false — never a partial
+/// object — on any malformation, including a CRC mismatch.
+std::string SerializeCheckpoint(const JobCheckpoint& checkpoint);
+bool ParseCheckpoint(const std::string& text, JobCheckpoint* checkpoint);
+
+/// Atomic durable write; false on I/O error (the previous checkpoint,
+/// if any, is left intact).
+bool SaveCheckpoint(const std::string& path, const JobCheckpoint& checkpoint);
+
+/// Loads and validates; false when missing, unreadable, or corrupt.
+/// A corrupt checkpoint is never trusted — callers fall back to
+/// journal-only resume, which is always safe.
+bool LoadCheckpoint(const std::string& path, JobCheckpoint* checkpoint);
+
+// -- job directory layout --
+// A job dir holds everything one explanation job needs to resume:
+//   journal.wal       write-ahead score journal
+//   checkpoint.ckpt   latest JobCheckpoint (atomic snapshot)
+//   result.json       final CertaResult (atomic; exists iff complete)
+
+std::string JournalPathInDir(const std::string& job_dir);
+std::string CheckpointPathInDir(const std::string& job_dir);
+std::string ResultPathInDir(const std::string& job_dir);
+
+}  // namespace certa::persist
+
+#endif  // CERTA_PERSIST_CHECKPOINT_H_

@@ -1,0 +1,183 @@
+#include "persist/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <unordered_set>
+
+#include "util/atomic_file.h"
+#include "util/crc32.h"
+
+namespace certa::persist {
+namespace {
+
+constexpr char kMagic[8] = {'C', 'E', 'R', 'T', 'A', 'W', 'A', 'L'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderSize = sizeof(kMagic) + sizeof(kVersion);
+constexpr size_t kPayloadSize =
+    sizeof(uint64_t) + sizeof(uint64_t) + sizeof(double);
+constexpr size_t kRecordSize = kPayloadSize + sizeof(uint32_t);
+
+void AppendHeader(std::string* out) {
+  out->append(kMagic, sizeof(kMagic));
+  out->append(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+}
+
+void AppendRecord(const models::PairKey& key, double score,
+                  std::string* out) {
+  char payload[kPayloadSize];
+  std::memcpy(payload, &key.lo, sizeof(key.lo));
+  std::memcpy(payload + sizeof(key.lo), &key.hi, sizeof(key.hi));
+  std::memcpy(payload + sizeof(key.lo) + sizeof(key.hi), &score,
+              sizeof(score));
+  uint32_t crc = util::Crc32(payload, kPayloadSize);
+  out->append(payload, kPayloadSize);
+  out->append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+}
+
+/// Parses the valid record prefix of `data` (which includes the
+/// header). Returns the byte offset one past the last valid record.
+size_t ParseValidPrefix(const std::string& data, JournalReplay* replay) {
+  if (data.size() < kHeaderSize ||
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    replay->bad_header = true;
+    return 0;
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, data.data() + sizeof(kMagic), sizeof(version));
+  if (version != kVersion) {
+    replay->bad_header = true;
+    return 0;
+  }
+  size_t offset = kHeaderSize;
+  std::unordered_set<models::PairKey, models::PairKeyHasher> seen;
+  while (offset + kRecordSize <= data.size()) {
+    const char* record = data.data() + offset;
+    uint32_t stored = 0;
+    std::memcpy(&stored, record + kPayloadSize, sizeof(stored));
+    if (util::Crc32(record, kPayloadSize) != stored) break;
+    JournalEntry entry;
+    std::memcpy(&entry.key.lo, record, sizeof(entry.key.lo));
+    std::memcpy(&entry.key.hi, record + sizeof(entry.key.lo),
+                sizeof(entry.key.hi));
+    std::memcpy(&entry.score,
+                record + sizeof(entry.key.lo) + sizeof(entry.key.hi),
+                sizeof(entry.score));
+    if (!seen.insert(entry.key).second) ++replay->duplicates;
+    replay->entries.push_back(entry);
+    offset += kRecordSize;
+  }
+  if (offset < data.size()) {
+    replay->dropped_bytes = data.size() - offset;
+    replay->corrupt_tail = true;
+  }
+  return offset;
+}
+
+}  // namespace
+
+JournalReplay ReplayJournal(const std::string& path) {
+  JournalReplay replay;
+  std::string data;
+  if (!util::ReadFileToString(path, &data)) {
+    replay.missing = true;
+    return replay;
+  }
+  ParseValidPrefix(data, &replay);
+  return replay;
+}
+
+JournalWriter::~JournalWriter() { Close(); }
+
+bool JournalWriter::Open(const std::string& path, JournalReplay* replay) {
+  Close();
+  JournalReplay local;
+  JournalReplay* out = replay != nullptr ? replay : &local;
+  *out = JournalReplay();
+
+  std::string data;
+  size_t valid_end = 0;
+  bool rewrite = false;
+  if (!util::ReadFileToString(path, &data)) {
+    out->missing = true;
+    rewrite = true;  // fresh file: write the header
+  } else {
+    valid_end = ParseValidPrefix(data, out);
+    // A bad header means nothing in the file is trustworthy; start
+    // over. (valid_end is 0 and entries is empty.)
+    if (out->bad_header) rewrite = true;
+  }
+
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd_ < 0) return false;
+  if (rewrite) {
+    std::string header;
+    AppendHeader(&header);
+    if (::ftruncate(fd_, 0) != 0) {
+      Close();
+      return false;
+    }
+    buffer_ = header;
+    if (!Sync()) {
+      Close();
+      return false;
+    }
+    return true;
+  }
+  // Truncate the torn/corrupt tail so appends extend the valid prefix.
+  if (::ftruncate(fd_, static_cast<off_t>(valid_end)) != 0 ||
+      ::lseek(fd_, 0, SEEK_END) < 0) {
+    Close();
+    return false;
+  }
+  return true;
+}
+
+bool JournalWriter::Append(const models::PairKey& key, double score) {
+  if (fd_ < 0) return false;
+  AppendRecord(key, score, &buffer_);
+  ++appended_;
+  return true;
+}
+
+bool JournalWriter::Sync() {
+  if (fd_ < 0) return false;
+  size_t written = 0;
+  while (written < buffer_.size()) {
+    ssize_t n =
+        ::write(fd_, buffer_.data() + written, buffer_.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // Drop what did make it out of the buffer; the journal's valid
+      // prefix on disk is still consistent (CRCs gate the tail).
+      buffer_.erase(0, written);
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  buffer_.clear();
+  return ::fsync(fd_) == 0;
+}
+
+void JournalWriter::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+bool CompactJournal(const std::string& path,
+                    const std::vector<JournalEntry>& entries) {
+  std::string data;
+  data.reserve(kHeaderSize + entries.size() * kRecordSize);
+  AppendHeader(&data);
+  for (const JournalEntry& entry : entries) {
+    AppendRecord(entry.key, entry.score, &data);
+  }
+  return util::AtomicWriteFile(path, data);
+}
+
+}  // namespace certa::persist

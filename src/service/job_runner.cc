@@ -1,0 +1,443 @@
+#include "service/job_runner.h"
+
+#include <chrono>
+#include <cstdio>
+#include <unordered_set>
+#include <utility>
+
+#include "data/benchmarks.h"
+#include "data/csv.h"
+#include "data/dataset.h"
+#include "models/trainer.h"
+#include "persist/journal.h"
+#include "util/atomic_file.h"
+#include "util/string_utils.h"
+
+namespace certa::service {
+namespace {
+
+bool ModelKindFromName(const std::string& name, models::ModelKind* kind) {
+  std::string lowered = ToLowerAscii(name);
+  if (lowered == "deeper") *kind = models::ModelKind::kDeepEr;
+  else if (lowered == "deepmatcher") *kind = models::ModelKind::kDeepMatcher;
+  else if (lowered == "ditto") *kind = models::ModelKind::kDitto;
+  else if (lowered == "svm") *kind = models::ModelKind::kSvm;
+  else return false;
+  return true;
+}
+
+persist::JobCheckpoint CheckpointFromSpec(const JobSpec& spec) {
+  persist::JobCheckpoint checkpoint;
+  checkpoint.job_id = spec.id;
+  checkpoint.dataset = spec.dataset;
+  checkpoint.data_dir = spec.data_dir;
+  checkpoint.model = spec.model;
+  checkpoint.pair_index = spec.pair_index;
+  checkpoint.triangles = spec.triangles;
+  checkpoint.threads = spec.threads;
+  checkpoint.seed = spec.seed;
+  checkpoint.use_cache = spec.use_cache;
+  return checkpoint;
+}
+
+}  // namespace
+
+JobSpec SpecFromCheckpoint(const persist::JobCheckpoint& checkpoint) {
+  JobSpec spec;
+  spec.id = checkpoint.job_id;
+  spec.dataset = checkpoint.dataset;
+  spec.data_dir = checkpoint.data_dir;
+  spec.model = checkpoint.model;
+  spec.pair_index = checkpoint.pair_index;
+  spec.triangles = checkpoint.triangles;
+  spec.threads = checkpoint.threads;
+  spec.seed = checkpoint.seed;
+  spec.use_cache = checkpoint.use_cache;
+  return spec;
+}
+
+std::string JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kComplete:
+      return "complete";
+    case JobState::kParked:
+      return "parked";
+    case JobState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+JobOutcome RunDurableExplain(const JobSpec& spec, const std::string& job_dir,
+                             const DurableRunOptions& options) {
+  JobOutcome outcome;
+  outcome.job_id = spec.id;
+  outcome.job_dir = job_dir;
+  auto fail = [&](const std::string& error) {
+    outcome.state = JobState::kFailed;
+    outcome.error = error;
+    return outcome;
+  };
+  if (!util::EnsureDirectory(job_dir)) {
+    return fail("cannot create job directory " + job_dir);
+  }
+
+  // -- inputs (validated before any durable state is touched) --
+  data::Dataset dataset;
+  if (!spec.data_dir.empty()) {
+    if (!data::LoadDatasetDirectory(spec.data_dir, spec.dataset, &dataset)) {
+      return fail("cannot load dataset directory " + spec.data_dir);
+    }
+  } else {
+    bool known = false;
+    for (const std::string& code : data::BenchmarkCodes()) {
+      if (code == spec.dataset) known = true;
+    }
+    if (!known) return fail("unknown dataset code " + spec.dataset);
+    dataset = data::MakeBenchmark(spec.dataset);
+  }
+  if (spec.pair_index < 0 ||
+      spec.pair_index >= static_cast<int>(dataset.test.size())) {
+    return fail("pair index out of range (test set has " +
+                std::to_string(dataset.test.size()) + " pairs)");
+  }
+  models::ModelKind kind;
+  if (!ModelKindFromName(spec.model, &kind)) {
+    return fail("unknown model " + spec.model);
+  }
+
+  // -- journal: recover, replay, compact --
+  const std::string journal_path = persist::JournalPathInDir(job_dir);
+  persist::JournalReplay replay;
+  persist::JournalWriter journal;
+  if (!journal.Open(journal_path, &replay)) {
+    return fail("cannot open journal " + journal_path);
+  }
+  outcome.resumed = !replay.entries.empty();
+  outcome.replayed_scores = static_cast<long long>(replay.entries.size());
+  std::vector<std::pair<models::PairKey, double>> prewarm;
+  prewarm.reserve(replay.entries.size());
+  for (const persist::JournalEntry& entry : replay.entries) {
+    prewarm.emplace_back(entry.key, entry.score);
+  }
+  if (replay.duplicates > 0) {
+    // Resumes of resumes re-log replayed-then-recomputed pairs; compact
+    // so the journal stays proportional to the unique work. The rewrite
+    // is atomic — a crash here leaves the old journal.
+    std::vector<persist::JournalEntry> unique;
+    unique.reserve(replay.entries.size() - replay.duplicates);
+    std::unordered_set<models::PairKey, models::PairKeyHasher> seen;
+    for (const persist::JournalEntry& entry : replay.entries) {
+      if (seen.insert(entry.key).second) unique.push_back(entry);
+    }
+    journal.Close();
+    if (!persist::CompactJournal(journal_path, unique) ||
+        !journal.Open(journal_path, nullptr)) {
+      return fail("cannot compact journal " + journal_path);
+    }
+  }
+
+  // -- model (training is seeded and deterministic: every run of this
+  // job dir scores with the identical matcher) --
+  std::unique_ptr<models::Matcher> model = models::TrainMatcher(kind, dataset);
+
+  // -- durable run --
+  persist::JobCheckpoint checkpoint = CheckpointFromSpec(spec);
+  checkpoint.state = "running";
+  checkpoint.replayed_scores = outcome.replayed_scores;
+  const std::string checkpoint_path = persist::CheckpointPathInDir(job_dir);
+  long long fresh = 0;
+  int since_flush = 0;
+  auto flush = [&] {
+    journal.Sync();
+    checkpoint.fresh_scores = fresh;
+    persist::SaveCheckpoint(checkpoint_path, checkpoint);
+  };
+  flush();  // job dir is self-describing before the first model call
+
+  core::CertaExplainer::Options explainer_options;
+  explainer_options.num_triangles = std::max(2, spec.triangles);
+  explainer_options.num_threads = std::max(1, spec.threads);
+  explainer_options.use_cache = spec.use_cache;
+  explainer_options.seed = spec.seed;
+  explainer_options.replayed_scores = &prewarm;
+  explainer_options.cancel = options.cancel;
+  explainer_options.score_observer = [&](const models::PairKey& key,
+                                         double score) {
+    journal.Append(key, score);
+    ++fresh;
+    if (options.heartbeat) options.heartbeat();
+    if (options.checkpoint_every > 0 &&
+        ++since_flush >= options.checkpoint_every) {
+      since_flush = 0;
+      flush();
+    }
+  };
+  explainer_options.progress = [&](const core::ExplainProgress& progress) {
+    checkpoint.phase = progress.phase;
+    checkpoint.triangles_total = progress.triangles_total;
+    checkpoint.triangles_tagged = progress.triangles_tagged;
+    checkpoint.predictions_performed = progress.predictions_performed;
+    checkpoint.total_flips = progress.total_flips;
+    if (progress.last_tags != nullptr) {
+      // Tagged-antichain record of the triangle just finished.
+      checkpoint.tagged_lattices.push_back(
+          progress.last_lattice->SerializeTags(*progress.last_tags));
+    } else {
+      flush();  // phase boundaries are always durable
+    }
+    if (options.heartbeat) options.heartbeat();
+  };
+
+  explain::ExplainContext context{model.get(), &dataset.left,
+                                  &dataset.right};
+  core::CertaExplainer explainer(context, explainer_options);
+  const data::LabeledPair& pair =
+      dataset.test[static_cast<size_t>(spec.pair_index)];
+  core::CertaResult result = explainer.Explain(
+      dataset.left.record(pair.left_index),
+      dataset.right.record(pair.right_index));
+  outcome.fresh_scores = fresh;
+
+  if (options.cancel != nullptr &&
+      options.cancel->load(std::memory_order_relaxed)) {
+    // Parked (watchdog) or interrupted (shutdown): flush everything so
+    // the next run resumes from exactly here.
+    checkpoint.state = options.cancelled_state;
+    flush();
+    outcome.state = JobState::kParked;
+    return outcome;
+  }
+
+  outcome.result_json = core::CertaResultToJson(result, dataset.left.schema(),
+                                                dataset.right.schema());
+  outcome.result = std::move(result);
+  if (!util::AtomicWriteFile(persist::ResultPathInDir(job_dir),
+                             outcome.result_json)) {
+    flush();
+    return fail("cannot write result file");
+  }
+  checkpoint.state = "complete";
+  checkpoint.phase = "done";
+  flush();
+  outcome.state = JobState::kComplete;
+  return outcome;
+}
+
+JobRunner::JobRunner(JobRunnerOptions options)
+    : options_(std::move(options)) {
+  if (options_.workers < 1) options_.workers = 1;
+  if (options_.queue_capacity < 1) options_.queue_capacity = 1;
+  util::EnsureDirectory(options_.job_root);
+  workers_.reserve(static_cast<size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  watchdog_ = std::thread([this] { WatchdogLoop(); });
+}
+
+JobRunner::~JobRunner() { Shutdown(/*drain=*/true); }
+
+int64_t JobRunner::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+JobRunner::SubmitResult JobRunner::Submit(JobSpec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.submitted;
+  if (closed_) {
+    ++counters_.rejected_closed;
+    return {false, "", "admission closed (shutting down)"};
+  }
+  if (queue_.size() >= options_.queue_capacity) {
+    ++counters_.rejected_queue_full;
+    return {false, "",
+            "queue full (" + std::to_string(queue_.size()) +
+                " jobs waiting, capacity " +
+                std::to_string(options_.queue_capacity) + ")"};
+  }
+  if (spec.deadline_ms == 0) spec.deadline_ms = options_.default_deadline_ms;
+  if (spec.deadline_ms > 0 && ema_job_micros_ > 0.0) {
+    // Deadline-aware shedding: if the queue wait alone is already past
+    // the client's deadline, reject now — cheaper for everyone than
+    // admitting work that can only be parked later.
+    const double estimated_wait_micros =
+        static_cast<double>(queue_.size() + running_.size()) *
+        ema_job_micros_;
+    if (estimated_wait_micros > static_cast<double>(spec.deadline_ms) * 1000.0) {
+      ++counters_.rejected_deadline;
+      return {false, "",
+              "deadline unmeetable (~" +
+                  std::to_string(
+                      static_cast<long long>(estimated_wait_micros / 1000.0)) +
+                  "ms estimated wait exceeds " +
+                  std::to_string(spec.deadline_ms) + "ms deadline)"};
+    }
+  }
+  if (spec.id.empty()) {
+    char id[32];
+    std::snprintf(id, sizeof(id), "job-%04d", next_job_number_++);
+    spec.id = id;
+  }
+  ++counters_.accepted;
+  queue_.push_back(QueuedJob{std::move(spec), NowMicros()});
+  work_available_.notify_one();
+  return {true, queue_.back().spec.id, ""};
+}
+
+void JobRunner::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<RunningJob> running;
+    JobSpec spec;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stop_ || closed_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_ || closed_) return;
+        continue;
+      }
+      spec = std::move(queue_.front().spec);
+      queue_.pop_front();
+      running = std::make_shared<RunningJob>();
+      running->id = spec.id;
+      running->started_micros = NowMicros();
+      running->last_heartbeat_micros.store(running->started_micros,
+                                           std::memory_order_relaxed);
+      running->deadline_ms = spec.deadline_ms;
+      if (cancel_running_) running->cancel.store(true);
+      running_.push_back(running);
+    }
+
+    DurableRunOptions run_options;
+    run_options.checkpoint_every = options_.checkpoint_every;
+    run_options.cancel = &running->cancel;
+    run_options.cancelled_state = "parked";
+    RunningJob* heartbeat_target = running.get();
+    run_options.heartbeat = [this, heartbeat_target] {
+      heartbeat_target->last_heartbeat_micros.store(
+          NowMicros(), std::memory_order_relaxed);
+    };
+    JobOutcome outcome = RunDurableExplain(
+        spec, options_.job_root + "/" + spec.id, run_options);
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (size_t i = 0; i < running_.size(); ++i) {
+        if (running_[i].get() == running.get()) {
+          running_.erase(running_.begin() + static_cast<ptrdiff_t>(i));
+          break;
+        }
+      }
+      switch (outcome.state) {
+        case JobState::kComplete: {
+          ++counters_.completed;
+          const double duration = static_cast<double>(
+              NowMicros() - running->started_micros);
+          ema_job_micros_ = ema_job_micros_ == 0.0
+                                ? duration
+                                : 0.7 * ema_job_micros_ + 0.3 * duration;
+          break;
+        }
+        case JobState::kParked:
+          ++counters_.parked;
+          break;
+        case JobState::kFailed:
+          ++counters_.failed;
+          break;
+      }
+      outcomes_.push_back(std::move(outcome));
+      idle_.notify_all();
+    }
+  }
+}
+
+void JobRunner::WatchdogLoop() {
+  for (;;) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(std::max<long long>(1, options_.watchdog_poll_ms)));
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) return;
+    const int64_t now = NowMicros();
+    for (const std::shared_ptr<RunningJob>& job : running_) {
+      if (job->cancel.load(std::memory_order_relaxed)) continue;
+      const bool over_deadline =
+          job->deadline_ms > 0 &&
+          now - job->started_micros > job->deadline_ms * 1000;
+      const bool stalled =
+          options_.stall_timeout_ms > 0 &&
+          now - job->last_heartbeat_micros.load(std::memory_order_relaxed) >
+              options_.stall_timeout_ms * 1000;
+      if (over_deadline || stalled) {
+        // Park, don't kill: the job checkpoints at its next poll point
+        // and every paid model call stays in its journal.
+        job->cancel.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+void JobRunner::Shutdown(bool drain) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ && workers_.empty()) return;  // already shut down
+    closed_ = true;
+    if (!drain) {
+      for (const std::shared_ptr<RunningJob>& job : running_) {
+        job->cancel.store(true, std::memory_order_relaxed);
+      }
+      cancel_running_ = true;
+      // Queued jobs never started; leave each a spec-only checkpoint so
+      // nothing admitted is lost without a resumable trail.
+      for (const QueuedJob& queued : queue_) {
+        const std::string job_dir =
+            options_.job_root + "/" + queued.spec.id;
+        if (util::EnsureDirectory(job_dir)) {
+          persist::JobCheckpoint checkpoint =
+              CheckpointFromSpec(queued.spec);
+          checkpoint.state = "interrupted";
+          persist::SaveCheckpoint(persist::CheckpointPathInDir(job_dir),
+                                  checkpoint);
+        }
+        JobOutcome outcome;
+        outcome.state = JobState::kParked;
+        outcome.job_id = queued.spec.id;
+        outcome.job_dir = job_dir;
+        outcome.error = "interrupted before start (resumable checkpoint written)";
+        outcomes_.push_back(std::move(outcome));
+        ++counters_.parked;
+      }
+      queue_.clear();
+    }
+    work_available_.notify_all();
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    idle_.notify_all();
+  }
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+void JobRunner::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && running_.empty(); });
+}
+
+JobRunner::Counters JobRunner::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+std::vector<JobOutcome> JobRunner::outcomes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return outcomes_;
+}
+
+}  // namespace certa::service

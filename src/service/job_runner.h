@@ -1,0 +1,217 @@
+#ifndef CERTA_SERVICE_JOB_RUNNER_H_
+#define CERTA_SERVICE_JOB_RUNNER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/certa_explainer.h"
+#include "persist/checkpoint.h"
+
+namespace certa::service {
+
+/// One explanation request, as admitted by the serve loop. Everything
+/// needed to re-create the run exactly is here (and is persisted into
+/// the job's checkpoint, so a job dir alone suffices to resume).
+struct JobSpec {
+  /// Job-dir name under the runner's job root; empty = assigned
+  /// ("job-0001", ...).
+  std::string id;
+  /// Built-in benchmark code, or any code when data_dir is set.
+  std::string dataset = "AB";
+  /// DeepMatcher-format directory; empty = built-in benchmark.
+  std::string data_dir;
+  /// "deeper" | "deepmatcher" | "ditto" | "svm".
+  std::string model = "svm";
+  int pair_index = 0;
+  int triangles = 100;
+  int threads = 1;
+  uint64_t seed = 7;
+  bool use_cache = true;
+  /// Whole-job deadline. Admission rejects a job whose estimated queue
+  /// wait already exceeds it (shed early, while rejection is cheap);
+  /// the watchdog parks a *running* job that overruns it (its paid work
+  /// survives in the journal). 0 = none.
+  long long deadline_ms = 0;
+};
+
+/// Reconstructs the spec a checkpoint was written under — the resume
+/// path: `certa serve --resume <job-dir>` needs only the directory.
+JobSpec SpecFromCheckpoint(const persist::JobCheckpoint& checkpoint);
+
+/// Terminal state of one job.
+enum class JobState {
+  /// Finished; result.json written atomically.
+  kComplete = 0,
+  /// Stopped cooperatively (watchdog deadline/stall, or shutdown) with
+  /// journal + checkpoint flushed; resumable.
+  kParked = 1,
+  /// Unrunnable (bad dataset/model/pair, I/O failure). Not resumable.
+  kFailed = 2,
+};
+
+std::string JobStateName(JobState state);
+
+/// What one durable run produced.
+struct JobOutcome {
+  JobState state = JobState::kFailed;
+  std::string job_id;
+  std::string job_dir;
+  std::string error;
+  /// True when an existing journal was found and replayed.
+  bool resumed = false;
+  /// Journal entries replayed at start / fresh model scores paid by
+  /// this run (the resume savings are `replayed` calls never re-paid).
+  long long replayed_scores = 0;
+  long long fresh_scores = 0;
+  /// Valid when state == kComplete.
+  core::CertaResult result;
+  std::string result_json;
+};
+
+/// Knobs for one durable explain run.
+struct DurableRunOptions {
+  /// Journal fsync + checkpoint after this many fresh scores (phase
+  /// boundaries always checkpoint). Smaller = less repaid work after a
+  /// crash, more fsync overhead (bench_durability quantifies).
+  int checkpoint_every = 256;
+  /// Cooperative stop (not owned): when set, the run parks at the next
+  /// poll point with durable state flushed.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Checkpoint `state` recorded when cancelled: "parked" (watchdog)
+  /// or "interrupted" (signal-driven shutdown). Both resume the same.
+  const char* cancelled_state = "parked";
+  /// Invoked on every fresh score and phase boundary — the runner's
+  /// watchdog heartbeat.
+  std::function<void()> heartbeat;
+};
+
+/// Runs one explanation job durably inside `job_dir`:
+///   - replays any existing journal (torn tails discarded) into the
+///     prediction cache, so already-paid model calls are never re-paid;
+///   - write-ahead journals every fresh score, fsync'd on the
+///     checkpoint cadence;
+///   - checkpoints progress (phase, triangle frontier, tagged-lattice
+///     antichains) atomically alongside;
+///   - on completion writes result.json atomically and marks the
+///     checkpoint "complete".
+/// Kill this process at any instruction and re-run: the result is
+/// bit-identical, with strictly fewer model calls.
+JobOutcome RunDurableExplain(const JobSpec& spec, const std::string& job_dir,
+                             const DurableRunOptions& options);
+
+/// Serve-loop configuration.
+struct JobRunnerOptions {
+  /// Job dirs are created under here.
+  std::string job_root = "jobs";
+  /// Bounded admission queue; a full queue sheds new jobs with a clear
+  /// rejection instead of degrading the ones already running.
+  size_t queue_capacity = 8;
+  int workers = 1;
+  int checkpoint_every = 256;
+  /// Default whole-job deadline applied to specs without one; 0 = none.
+  long long default_deadline_ms = 0;
+  /// Park a running job with no heartbeat for this long; 0 = off.
+  long long stall_timeout_ms = 0;
+  /// Watchdog poll period.
+  long long watchdog_poll_ms = 20;
+};
+
+/// Bounded-queue job service: admission control in front, durable
+/// worker runs in the middle, a watchdog on the side. Overload policy
+/// (docs/OPERATIONS.md): reject new work first; a job that was admitted
+/// either completes or parks with a resumable checkpoint — no admitted
+/// job is ever silently lost.
+class JobRunner {
+ public:
+  struct SubmitResult {
+    bool accepted = false;
+    std::string job_id;
+    /// Why admission refused ("admission closed", "queue full ...",
+    /// "deadline unmeetable ...").
+    std::string reason;
+  };
+
+  struct Counters {
+    long long submitted = 0;
+    long long accepted = 0;
+    long long rejected_closed = 0;
+    long long rejected_queue_full = 0;
+    long long rejected_deadline = 0;
+    long long completed = 0;
+    long long parked = 0;
+    long long failed = 0;
+  };
+
+  explicit JobRunner(JobRunnerOptions options);
+  /// Graceful: equivalent to Shutdown(/*drain=*/true).
+  ~JobRunner();
+
+  JobRunner(const JobRunner&) = delete;
+  JobRunner& operator=(const JobRunner&) = delete;
+
+  /// Admission control; never blocks. Accepted specs are queued and
+  /// will run to completion or a resumable park.
+  SubmitResult Submit(JobSpec spec);
+
+  /// Stops admission. drain=true lets queued + running jobs finish;
+  /// drain=false cancels running jobs (they park with flushed state)
+  /// and fails queued ones back as parked-in-queue outcomes. Joins all
+  /// threads; idempotent.
+  void Shutdown(bool drain);
+
+  /// Blocks until every accepted job has a terminal outcome (admission
+  /// stays open).
+  void Wait();
+
+  Counters counters() const;
+  /// Terminal outcomes so far, in completion order.
+  std::vector<JobOutcome> outcomes() const;
+
+ private:
+  struct QueuedJob {
+    JobSpec spec;
+    int64_t enqueued_micros = 0;
+  };
+
+  /// Watchdog view of one in-flight job.
+  struct RunningJob {
+    std::string id;
+    std::atomic<bool> cancel{false};
+    std::atomic<int64_t> last_heartbeat_micros{0};
+    int64_t started_micros = 0;
+    long long deadline_ms = 0;
+  };
+
+  void WorkerLoop();
+  void WatchdogLoop();
+  int64_t NowMicros() const;
+
+  JobRunnerOptions options_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<QueuedJob> queue_;
+  std::vector<std::shared_ptr<RunningJob>> running_;
+  std::vector<JobOutcome> outcomes_;
+  Counters counters_;
+  bool closed_ = false;
+  bool cancel_running_ = false;
+  bool stop_ = false;
+  int next_job_number_ = 1;
+  /// EMA of completed-job wall time, for deadline-aware admission.
+  double ema_job_micros_ = 0.0;
+  std::vector<std::thread> workers_;
+  std::thread watchdog_;
+};
+
+}  // namespace certa::service
+
+#endif  // CERTA_SERVICE_JOB_RUNNER_H_

@@ -1,0 +1,43 @@
+#include "service/signals.h"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace certa::service {
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+
+/// Async-signal-safe: one atomic store, plus re-arming default
+/// disposition so a repeat signal force-kills (escape hatch when the
+/// graceful path wedges).
+void OnSignal(int signum) {
+  g_shutdown.store(true, std::memory_order_relaxed);
+  std::signal(signum, SIG_DFL);
+}
+
+}  // namespace
+
+void InstallShutdownHandlers() {
+  struct sigaction action = {};
+  action.sa_handler = OnSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: interrupt blocking reads
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+bool ShutdownRequested() {
+  return g_shutdown.load(std::memory_order_relaxed);
+}
+
+void RequestShutdown() { g_shutdown.store(true, std::memory_order_relaxed); }
+
+const std::atomic<bool>* ShutdownFlag() { return &g_shutdown; }
+
+void ResetShutdownForTesting() {
+  g_shutdown.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace certa::service

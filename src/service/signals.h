@@ -1,0 +1,38 @@
+#ifndef CERTA_SERVICE_SIGNALS_H_
+#define CERTA_SERVICE_SIGNALS_H_
+
+#include <atomic>
+
+namespace certa::service {
+
+/// Process exit code meaning "interrupted by SIGINT/SIGTERM, durable
+/// state (journal + checkpoint) flushed; resume with the same job dir".
+/// Distinct from 0 (complete), 1 (error), and 2 (usage).
+constexpr int kInterruptedExitCode = 3;
+
+/// Installs SIGINT/SIGTERM handlers that set an internal flag instead
+/// of killing the process — the serve loop and durable explain poll
+/// ShutdownRequested() to stop admission, flush the journal and a final
+/// checkpoint, and exit(kInterruptedExitCode). Idempotent. A second
+/// signal while shutdown is already pending restores default
+/// disposition, so a stuck flush can still be killed with one more ^C.
+void InstallShutdownHandlers();
+
+/// True once a SIGINT/SIGTERM has been received (or RequestShutdown
+/// was called).
+bool ShutdownRequested();
+
+/// Programmatic trigger, equivalent to receiving a signal (tests,
+/// in-process embedding).
+void RequestShutdown();
+
+/// The flag itself, for APIs that take a cooperative-cancel pointer
+/// (DurableRunOptions::cancel). Never null; process lifetime.
+const std::atomic<bool>* ShutdownFlag();
+
+/// Clears the flag (tests only; real shutdowns are one-way).
+void ResetShutdownForTesting();
+
+}  // namespace certa::service
+
+#endif  // CERTA_SERVICE_SIGNALS_H_

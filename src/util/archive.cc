@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/atomic_file.h"
 #include "util/string_utils.h"
 
 namespace certa {
@@ -108,10 +109,9 @@ std::string TextArchive::Serialize() const {
 }
 
 bool TextArchive::SaveToFile(const std::string& path) const {
-  std::ofstream output(path, std::ios::binary);
-  if (!output) return false;
-  output << Serialize();
-  return output.good();
+  // Atomic (temp + fsync + rename): a crash mid-save can never leave a
+  // half-written archive where a previously good one stood.
+  return util::AtomicWriteFile(path, Serialize());
 }
 
 bool TextArchive::Parse(const std::string& text, TextArchive* archive) {

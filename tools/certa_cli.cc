@@ -20,16 +20,33 @@
 //   certa global --dataset AB [--model ditto] [--pairs N]
 //       Aggregate CERTA explanations over the test split: mean
 //       saliency per predicted class + representative pairs.
+//   certa serve [--job-root DIR] [--queue N] [--workers K] ...
+//       Durable job service: reads job lines from stdin, answers
+//       ACCEPT/REJECT per admission control, runs each job crash-safely
+//       in its own job dir (see docs/OPERATIONS.md).
+//   certa serve --resume JOBDIR
+//       Resume a single interrupted/parked job from its directory.
 //
 // A --data DIR pointing at a DeepMatcher-format directory (tableA.csv,
 // tableB.csv, train.csv, test.csv) replaces the synthetic benchmark in
 // any subcommand.
+//
+// `explain --job-dir DIR` makes that one explanation durable: scores
+// are write-ahead journaled and progress checkpointed in DIR, so the
+// same command re-run after a crash (or SIGINT — exit code 3) resumes
+// without re-paying model calls and produces a bit-identical result.
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
+#include <string_view>
+
+#include "persist/checkpoint.h"
+#include "service/job_runner.h"
+#include "service/signals.h"
 
 #include "certa.h"
 #include "core/token_explainer.h"
@@ -89,6 +106,11 @@ int Usage() {
          "  certa rules   --dataset CODE [--data DIR]\n"
          "  certa global  --dataset CODE [--model NAME] [--pairs N]\n"
          "                [--threads K] [--no-cache]\n"
+         "  certa serve   [--job-root DIR] [--queue N] [--workers K]\n"
+         "                [--checkpoint-every N] [--deadline-ms N]\n"
+         "                [--stall-timeout-ms N] [--jobs FILE]\n"
+         "  certa serve   --resume JOBDIR [--checkpoint-every N]\n"
+         "durable explain: explain ... --job-dir DIR [--checkpoint-every N]\n"
          "models: deeper | deepmatcher | ditto | svm\n"
          "dataset codes: ";
   for (const std::string& code : certa::data::BenchmarkCodes()) {
@@ -188,6 +210,54 @@ int CmdExplain(const Args& args) {
     std::cerr << "error: --pair out of range (test set has "
               << dataset.test.size() << " pairs)\n";
     return 1;
+  }
+  if (args.Has("job-dir")) {
+    // Durable path: scores are write-ahead journaled and progress
+    // checkpointed inside --job-dir. Re-running the same command after
+    // a crash (or ^C) resumes without re-paying model calls and yields
+    // a bit-identical result.
+    if (args.Has("model-file")) {
+      std::cerr << "error: --job-dir resumes by retraining --model NAME "
+                   "deterministically; --model-file is not supported\n";
+      return 1;
+    }
+    certa::service::InstallShutdownHandlers();
+    certa::service::JobSpec spec;
+    spec.id = "cli";
+    spec.dataset = args.Get("dataset", "AB");
+    spec.data_dir = args.Get("data", "");
+    spec.model = certa::ToLowerAscii(args.Get("model", "ditto"));
+    spec.pair_index = pair_index;
+    spec.triangles =
+        std::max(2, std::atoi(args.Get("triangles", "100").c_str()));
+    spec.threads = std::max(1, std::atoi(args.Get("threads", "1").c_str()));
+    spec.use_cache = !args.Has("no-cache");
+    certa::service::DurableRunOptions run_options;
+    run_options.checkpoint_every =
+        std::max(1, std::atoi(args.Get("checkpoint-every", "256").c_str()));
+    run_options.cancel = certa::service::ShutdownFlag();
+    run_options.cancelled_state = "interrupted";
+    certa::service::JobOutcome outcome = certa::service::RunDurableExplain(
+        spec, args.Get("job-dir", ""), run_options);
+    if (outcome.state == certa::service::JobState::kFailed) {
+      std::cerr << "error: " << outcome.error << "\n";
+      return 1;
+    }
+    if (outcome.state == certa::service::JobState::kParked) {
+      std::cerr << "interrupted: journal + checkpoint flushed in "
+                << outcome.job_dir << "; re-run the same command to resume\n";
+      return certa::service::kInterruptedExitCode;
+    }
+    if (args.Has("json")) {
+      std::cout << outcome.result_json << "\n";
+    } else {
+      std::cout << "durable explain complete ("
+                << (outcome.resumed ? "resumed: " : "fresh run: ")
+                << outcome.replayed_scores << " scores replayed, "
+                << outcome.fresh_scores << " fresh); result at "
+                << certa::persist::ResultPathInDir(outcome.job_dir) << "\n";
+    }
+    return 0;
   }
   std::unique_ptr<certa::models::Matcher> model;
   if (args.Has("model-file")) {
@@ -371,11 +441,158 @@ int CmdGlobal(const Args& args) {
   return 0;
 }
 
+/// One serve-loop job line: whitespace-separated key=value tokens.
+/// Keys: id dataset data model pair triangles threads seed cache
+/// deadline-ms. Example: "dataset=AB model=svm pair=3 deadline-ms=500".
+bool ParseJobLine(std::string_view line, certa::service::JobSpec* spec,
+                  std::string* error) {
+  for (const std::string& token : certa::SplitWhitespace(line)) {
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      *error = "bad token '" + token + "' (want key=value)";
+      return false;
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "id") spec->id = value;
+    else if (key == "dataset") spec->dataset = value;
+    else if (key == "data") spec->data_dir = value;
+    else if (key == "model") spec->model = certa::ToLowerAscii(value);
+    else if (key == "pair") spec->pair_index = std::atoi(value.c_str());
+    else if (key == "triangles") spec->triangles = std::atoi(value.c_str());
+    else if (key == "threads") spec->threads = std::atoi(value.c_str());
+    else if (key == "seed") spec->seed = std::strtoull(value.c_str(), nullptr, 10);
+    else if (key == "cache") spec->use_cache = value != "0";
+    else if (key == "deadline-ms") spec->deadline_ms = std::atoll(value.c_str());
+    else {
+      *error = "unknown key '" + key + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+int CmdServe(const Args& args) {
+  certa::service::InstallShutdownHandlers();
+  const int checkpoint_every =
+      std::max(1, std::atoi(args.Get("checkpoint-every", "256").c_str()));
+
+  if (args.Has("resume")) {
+    const std::string job_dir = args.Get("resume", "");
+    certa::persist::JobCheckpoint checkpoint;
+    if (!certa::persist::LoadCheckpoint(
+            certa::persist::CheckpointPathInDir(job_dir), &checkpoint)) {
+      std::cerr << "error: no readable checkpoint in " << job_dir << "\n";
+      return 1;
+    }
+    if (checkpoint.state == "complete") {
+      std::cout << "job " << checkpoint.job_id
+                << " already complete; result at "
+                << certa::persist::ResultPathInDir(job_dir) << "\n";
+      return 0;
+    }
+    certa::service::DurableRunOptions run_options;
+    run_options.checkpoint_every = checkpoint_every;
+    run_options.cancel = certa::service::ShutdownFlag();
+    run_options.cancelled_state = "interrupted";
+    certa::service::JobOutcome outcome = certa::service::RunDurableExplain(
+        certa::service::SpecFromCheckpoint(checkpoint), job_dir, run_options);
+    if (outcome.state == certa::service::JobState::kFailed) {
+      std::cerr << "error: " << outcome.error << "\n";
+      return 1;
+    }
+    if (outcome.state == certa::service::JobState::kParked) {
+      std::cerr << "interrupted again: state flushed in " << outcome.job_dir
+                << "\n";
+      return certa::service::kInterruptedExitCode;
+    }
+    std::cout << "resumed job " << outcome.job_id << " to completion ("
+              << outcome.replayed_scores << " scores replayed, "
+              << outcome.fresh_scores << " fresh); result at "
+              << certa::persist::ResultPathInDir(outcome.job_dir) << "\n";
+    return 0;
+  }
+
+  certa::service::JobRunnerOptions options;
+  options.job_root = args.Get("job-root", "jobs");
+  options.queue_capacity = static_cast<size_t>(
+      std::max(1, std::atoi(args.Get("queue", "8").c_str())));
+  options.workers = std::max(1, std::atoi(args.Get("workers", "1").c_str()));
+  options.checkpoint_every = checkpoint_every;
+  options.default_deadline_ms = std::max(
+      0LL, static_cast<long long>(
+               std::atoll(args.Get("deadline-ms", "0").c_str())));
+  options.stall_timeout_ms = std::max(
+      0LL, static_cast<long long>(
+               std::atoll(args.Get("stall-timeout-ms", "0").c_str())));
+  certa::service::JobRunner runner(options);
+
+  std::istream* in = &std::cin;
+  std::ifstream jobs_file;
+  if (args.Has("jobs")) {
+    jobs_file.open(args.Get("jobs", ""));
+    if (!jobs_file) {
+      std::cerr << "error: cannot open jobs file " << args.Get("jobs", "")
+                << "\n";
+      return 1;
+    }
+    in = &jobs_file;
+  }
+
+  // One ACCEPT/REJECT line per job line, in input order. '#' comments
+  // and blank lines are skipped.
+  std::string line;
+  while (!certa::service::ShutdownRequested() && std::getline(*in, line)) {
+    const std::string_view trimmed = certa::StripAsciiWhitespace(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    certa::service::JobSpec spec;
+    std::string parse_error;
+    if (!ParseJobLine(trimmed, &spec, &parse_error)) {
+      std::cout << "REJECT - " << parse_error << "\n" << std::flush;
+      continue;
+    }
+    certa::service::JobRunner::SubmitResult submitted =
+        runner.Submit(std::move(spec));
+    if (submitted.accepted) {
+      std::cout << "ACCEPT " << submitted.job_id << "\n" << std::flush;
+    } else {
+      std::cout << "REJECT - " << submitted.reason << "\n" << std::flush;
+    }
+  }
+
+  // EOF drains; a signal parks running jobs with flushed state instead.
+  const bool interrupted = certa::service::ShutdownRequested();
+  runner.Shutdown(/*drain=*/!interrupted);
+  for (const certa::service::JobOutcome& outcome : runner.outcomes()) {
+    std::cout << "DONE " << outcome.job_id << " "
+              << certa::service::JobStateName(outcome.state)
+              << " replayed=" << outcome.replayed_scores
+              << " fresh=" << outcome.fresh_scores;
+    if (!outcome.error.empty()) std::cout << " (" << outcome.error << ")";
+    std::cout << "\n";
+  }
+  const certa::service::JobRunner::Counters counters = runner.counters();
+  std::cerr << "serve: submitted=" << counters.submitted
+            << " accepted=" << counters.accepted
+            << " rejected_queue_full=" << counters.rejected_queue_full
+            << " rejected_deadline=" << counters.rejected_deadline
+            << " completed=" << counters.completed
+            << " parked=" << counters.parked
+            << " failed=" << counters.failed << "\n";
+  return interrupted ? certa::service::kInterruptedExitCode : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args;
   if (!Parse(argc, argv, &args)) return Usage();
+  // Durable modes trap SIGINT/SIGTERM from the very start, so a signal
+  // during dataset load / training still parks instead of killing.
+  if (args.command == "serve" ||
+      (args.command == "explain" && args.Has("job-dir"))) {
+    certa::service::InstallShutdownHandlers();
+  }
   if (args.command == "datasets") return CmdDatasets();
   if (args.command == "train") return CmdTrain(args);
   if (args.command == "explain") return CmdExplain(args);
@@ -383,5 +600,6 @@ int main(int argc, char** argv) {
   if (args.command == "profile") return CmdProfile(args);
   if (args.command == "rules") return CmdRules(args);
   if (args.command == "global") return CmdGlobal(args);
+  if (args.command == "serve") return CmdServe(args);
   return Usage();
 }
