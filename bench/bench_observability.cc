@@ -1,0 +1,175 @@
+// Observability overhead bench (docs/OBSERVABILITY.md):
+//   1. end-to-end: the same cached explain run with instrumentation
+//      detached vs attached (metrics registry + trace recorder) — the
+//      acceptance bar is < 2% median overhead, and the result JSON must
+//      be byte-identical either way;
+//   2. micro: cost of one counter increment / histogram record, enabled
+//      vs disabled (the disabled path is the "zero overhead" claim).
+// Prints a table and writes BENCH_obs.json (atomically, through the
+// same writer the service uses).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/certa_explainer.h"
+#include "data/benchmarks.h"
+#include "explain/json_export.h"
+#include "models/trainer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/json_writer.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+double Median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  return n % 2 == 1 ? values[n / 2]
+                    : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+}  // namespace
+
+int main() {
+  const int triangles = EnvInt("CERTA_BENCH_TRIANGLES", 200);
+  const int iters = EnvInt("CERTA_BENCH_ITERS", 7);
+
+  certa::data::Dataset dataset = certa::data::MakeBenchmark("BA");
+  auto model =
+      certa::models::TrainMatcher(certa::models::ModelKind::kSvm, dataset);
+  certa::explain::ExplainContext context{model.get(), &dataset.left,
+                                         &dataset.right};
+  const certa::data::LabeledPair& pair = dataset.test[1];
+  const certa::data::Record& u = dataset.left.record(pair.left_index);
+  const certa::data::Record& v = dataset.right.record(pair.right_index);
+
+  // -- 1. end-to-end overhead on the cached regime ----------------------
+  // Each iteration is one full cached explain (the lattice phase's
+  // repeated probes all hit the run's prediction cache). A fresh
+  // explainer per iteration keeps the two variants symmetrical.
+  auto run_once = [&](certa::obs::MetricsRegistry* metrics,
+                      certa::obs::TraceRecorder* trace, double* ms) {
+    certa::core::CertaExplainer::Options options;
+    options.num_triangles = triangles;
+    options.metrics = metrics;
+    options.trace = trace;
+    certa::core::CertaExplainer explainer(context, options);
+    const Clock::time_point start = Clock::now();
+    certa::core::CertaResult result = explainer.Explain(u, v);
+    *ms = MillisSince(start);
+    return certa::core::CertaResultToJson(result, dataset.left.schema(),
+                                          dataset.right.schema());
+  };
+
+  double ms = 0.0;
+  const std::string baseline_json = run_once(nullptr, nullptr, &ms);  // warm
+  std::vector<double> off_ms, on_ms;
+  bool identical = true;
+  long long trace_events = 0;
+  for (int i = 0; i < iters; ++i) {
+    if (run_once(nullptr, nullptr, &ms) != baseline_json) identical = false;
+    off_ms.push_back(ms);
+    certa::obs::MetricsRegistry registry;
+    certa::obs::TraceRecorder recorder;
+    if (run_once(&registry, &recorder, &ms) != baseline_json) {
+      identical = false;
+    }
+    on_ms.push_back(ms);
+    trace_events = static_cast<long long>(recorder.event_count());
+  }
+  const double median_off = Median(off_ms);
+  const double median_on = Median(on_ms);
+  const double overhead_pct =
+      median_off > 0.0 ? 100.0 * (median_on - median_off) / median_off : 0.0;
+
+  std::printf("observability bench (BA, svm, pair 1, %d triangles, %d iters)\n\n",
+              triangles, iters);
+  std::printf("%-24s %10s\n", "variant", "median ms");
+  std::printf("%-24s %10.2f\n", "obs detached", median_off);
+  std::printf("%-24s %10.2f\n", "obs attached", median_on);
+  std::printf("%-24s %9.2f%%\n", "overhead", overhead_pct);
+  std::printf("%-24s %10s\n", "results byte-identical",
+              identical ? "yes" : "NO");
+
+  // -- 2. record-call micro costs ---------------------------------------
+  constexpr long long kOps = 5'000'000;
+  auto nanos_per_op = [&](certa::obs::MetricsRegistry* registry) {
+    certa::obs::Counter* counter = registry->counter("bench.counter");
+    const Clock::time_point start = Clock::now();
+    for (long long i = 0; i < kOps; ++i) counter->Increment();
+    return MillisSince(start) * 1e6 / static_cast<double>(kOps);
+  };
+  certa::obs::MetricsRegistry enabled_registry;
+  certa::obs::MetricsRegistry disabled_registry(/*enabled=*/false);
+  const double enabled_ns = nanos_per_op(&enabled_registry);
+  const double disabled_ns = nanos_per_op(&disabled_registry);
+  certa::obs::Histogram* histogram = enabled_registry.histogram(
+      "bench.histogram", certa::obs::LatencyBuckets());
+  const Clock::time_point hist_start = Clock::now();
+  for (long long i = 0; i < kOps; ++i) {
+    histogram->Record(static_cast<double>(i & 1023));
+  }
+  const double histogram_ns =
+      MillisSince(hist_start) * 1e6 / static_cast<double>(kOps);
+
+  std::printf("\nrecord-call cost (%lld ops)\n", kOps);
+  std::printf("%-24s %8.1f ns/op\n", "counter (enabled)", enabled_ns);
+  std::printf("%-24s %8.1f ns/op\n", "counter (disabled)", disabled_ns);
+  std::printf("%-24s %8.1f ns/op\n", "histogram (enabled)", histogram_ns);
+
+  certa::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench");
+  json.String("observability");
+  json.Key("triangles");
+  json.Int(triangles);
+  json.Key("iterations");
+  json.Int(iters);
+  json.Key("median_ms_obs_off");
+  json.Number(median_off);
+  json.Key("median_ms_obs_on");
+  json.Number(median_on);
+  json.Key("overhead_pct");
+  json.Number(overhead_pct);
+  json.Key("results_byte_identical");
+  json.Bool(identical);
+  json.Key("trace_events_per_run");
+  json.Int(trace_events);
+  json.Key("counter_ns_enabled");
+  json.Number(enabled_ns);
+  json.Key("counter_ns_disabled");
+  json.Number(disabled_ns);
+  json.Key("histogram_ns_enabled");
+  json.Number(histogram_ns);
+  json.EndObject();
+
+  const char* path_env = std::getenv("CERTA_BENCH_OBS_JSON");
+  const std::string path = path_env != nullptr ? path_env : "BENCH_obs.json";
+  if (!certa::explain::SaveJsonFile(path, json.str())) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("\nsummary written to %s\n", path.c_str());
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: results differ with observability attached\n");
+    return 1;
+  }
+  return 0;
+}

@@ -3,7 +3,12 @@
 #   1. Release build + complete ctest suite;
 #   2. address+undefined sanitizer build + the suites most likely to
 #      hide memory/UB bugs (resilience fault paths, durability journal
-#      recovery and kill/resume).
+#      recovery and kill/resume);
+#   3. thread sanitizer build (CERTA_SANITIZE=thread) + the concurrency
+#      suite (thread pool, sharded metrics, cache shards under pooled
+#      writers);
+#   4. the observability overhead bench, which fails if instrumentation
+#      changes a result byte and writes BENCH_obs.json.
 # Any failure fails the script.
 set -euo pipefail
 
@@ -30,5 +35,18 @@ cmake --build "${REPO_ROOT}/build-ci-asan" -j "${JOBS}"
 echo "== Sanitized resilience + durability suites =="
 ctest --test-dir "${REPO_ROOT}/build-ci-asan" --output-on-failure -L resilience
 ctest --test-dir "${REPO_ROOT}/build-ci-asan" --output-on-failure -L durability
+
+echo "== thread sanitizer build =="
+cmake -B "${REPO_ROOT}/build-ci-tsan" -S "${REPO_ROOT}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCERTA_SANITIZE=thread
+cmake --build "${REPO_ROOT}/build-ci-tsan" -j "${JOBS}"
+
+echo "== Sanitized concurrency suite (TSan) =="
+ctest --test-dir "${REPO_ROOT}/build-ci-tsan" --output-on-failure \
+  -L concurrency
+
+echo "== Observability overhead bench =="
+CERTA_BENCH_OBS_JSON="${REPO_ROOT}/BENCH_obs.json" \
+  "${REPO_ROOT}/build-ci/bench/bench_observability"
 
 echo "CI passed."

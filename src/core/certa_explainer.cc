@@ -1,6 +1,8 @@
 #include "core/certa_explainer.h"
 
 #include <map>
+#include <optional>
+#include <string>
 #include <utility>
 
 #include "core/lattice.h"
@@ -70,6 +72,7 @@ CertaResult CertaExplainer::Explain(const data::Record& u,
   engine_options.enable_cache = options_.use_cache;
   engine_options.pool = pool_.get();
   engine_options.observer = options_.score_observer;
+  engine_options.metrics = options_.metrics;
   // With resilience enabled the chain grows one layer: base model →
   // ResilientMatcher (retries, deadline, breaker, call budget) →
   // ScoringEngine. The decorator sits *below* the cache, so cache hits
@@ -78,8 +81,12 @@ CertaResult CertaExplainer::Explain(const data::Record& u,
   std::unique_ptr<models::ResilientMatcher> resilient;
   const models::Matcher* scored_model = context_.model;
   if (options_.resilience.enabled) {
+    models::ResilienceOptions resilience_options = options_.resilience;
+    if (resilience_options.metrics == nullptr) {
+      resilience_options.metrics = options_.metrics;
+    }
     resilient = std::make_unique<models::ResilientMatcher>(
-        context_.model, options_.resilience);
+        context_.model, resilience_options);
     scored_model = resilient.get();
   }
   models::ScoringEngine engine(scored_model, engine_options);
@@ -94,6 +101,38 @@ CertaResult CertaExplainer::Explain(const data::Record& u,
       engine.Prewarm(key, score);
     }
   }
+
+  // Observability: one span for the whole run plus one per phase, and
+  // explain.phase.<name>.model_calls counters derived from the engine's
+  // scores-computed stream. All of it is write-only — nothing below
+  // reads these back into the result.
+  obs::TraceSpan run_span(options_.trace, "explain");
+  std::optional<obs::TraceSpan> phase_span;
+  auto begin_phase_span = [&](const char* name) {
+    phase_span.reset();  // record the previous phase first
+    if (options_.trace != nullptr) {
+      phase_span.emplace(options_.trace, std::string("phase:") + name);
+    }
+  };
+  obs::Counter* computed_counter =
+      options_.metrics != nullptr
+          ? options_.metrics->counter("scoring.scores.computed")
+          : nullptr;
+  long long computed_seen =
+      computed_counter != nullptr ? computed_counter->value() : 0;
+  // Attributes the model calls since the previous boundary to `name`,
+  // and mirrors the delta onto the current phase span.
+  auto record_phase_calls = [&](const char* name) {
+    if (computed_counter == nullptr) return;
+    long long now = computed_counter->value();
+    options_.metrics
+        ->counter(std::string("explain.phase.") + name + ".model_calls")
+        ->Add(now - computed_seen);
+    if (phase_span.has_value()) {
+      phase_span->AddArg("model_calls", now - computed_seen);
+    }
+    computed_seen = now;
+  };
 
   auto cancelled = [&] {
     return options_.cancel != nullptr &&
@@ -142,6 +181,7 @@ CertaResult CertaExplainer::Explain(const data::Record& u,
     record_cache_stats();
     return result;
   }
+  begin_phase_span("pivot");
   notify("pivot");
   bool original_prediction = false;
   try {
@@ -156,8 +196,10 @@ CertaResult CertaExplainer::Explain(const data::Record& u,
     record_cache_stats();
     return result;
   }
+  record_phase_calls("pivot");
   Rng rng(options_.seed ^ PairHash(u, v));
 
+  begin_phase_span("triangles");
   notify("triangles");
   TriangleOptions triangle_options;
   triangle_options.count = options_.num_triangles;
@@ -167,6 +209,10 @@ CertaResult CertaExplainer::Explain(const data::Record& u,
       CollectTriangles(engine_context, u, v, original_prediction,
                        triangle_options, &rng, &result.triangle_stats);
   result.triangles_used = static_cast<int>(triangles.size());
+  if (phase_span.has_value()) {
+    phase_span->AddArg("triangles", result.triangles_used);
+  }
+  record_phase_calls("triangles");
   close_phase(&result.triangle_phase);
   result.triangle_phase.cells_skipped += result.triangle_stats.failed_probes;
   if (result.triangle_stats.aborted) truncated = true;
@@ -176,6 +222,7 @@ CertaResult CertaExplainer::Explain(const data::Record& u,
     return result;
   }
   progress.triangles_total = static_cast<int>(triangles.size());
+  begin_phase_span("lattice");
   notify("lattice");
 
   Lattice left_lattice(left_attributes);
@@ -310,7 +357,15 @@ CertaResult CertaExplainer::Explain(const data::Record& u,
     }
   }
   if (stop_lattice) truncated = true;
+  if (phase_span.has_value()) {
+    phase_span->AddArg("flips", total_flips);
+    phase_span->AddArg("predictions_performed", result.predictions_performed);
+  }
+  record_phase_calls("lattice");
   close_phase(&result.lattice_phase);
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("explain.flips")->Add(total_flips);
+  }
   result.predictions_saved =
       result.predictions_expected - result.predictions_performed;
 
@@ -357,6 +412,7 @@ CertaResult CertaExplainer::Explain(const data::Record& u,
   result.best_side = best_side;
   result.best_mask = best_mask;
 
+  begin_phase_span("counterfactuals");
   notify("counterfactuals");
   if (cancelled()) {
     // Parked/shut down between phases: skip the counterfactual scoring
@@ -408,9 +464,20 @@ CertaResult CertaExplainer::Explain(const data::Record& u,
       }
     }
   }
+  if (phase_span.has_value()) {
+    phase_span->AddArg("counterfactuals",
+                       static_cast<long long>(result.counterfactuals.size()));
+  }
+  record_phase_calls("counterfactuals");
   close_phase(&result.cf_phase);
   finish_status();
   record_cache_stats();
+  phase_span.reset();
+  run_span.AddArg("flips", total_flips);
+  run_span.AddArg("status", static_cast<long long>(result.status));
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("explain.runs")->Increment();
+  }
   notify("done");
   return result;
 }

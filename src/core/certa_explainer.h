@@ -16,6 +16,8 @@
 #include "explain/perturbation.h"
 #include "models/resilience.h"
 #include "models/scoring_engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace certa::core {
@@ -167,6 +169,18 @@ class CertaExplainer : public explain::SaliencyExplainer,
     const std::atomic<bool>* cancel = nullptr;
     /// Phase/frontier notifications; empty = zero overhead.
     std::function<void(const ExplainProgress&)> progress;
+
+    // -- observability (src/obs, docs/OBSERVABILITY.md) --
+
+    /// Metrics registry (not owned; nullptr = uninstrumented). Flows
+    /// down to the ScoringEngine and ResilientMatcher built per
+    /// Explain; the explainer itself adds explain.* phase counters.
+    /// Observation-only: CertaResult is bit-identical with or without
+    /// a registry attached (its counters come from the engine's own
+    /// Stats, never from here).
+    obs::MetricsRegistry* metrics = nullptr;
+    /// Phase-span trace recorder (not owned; nullptr = no tracing).
+    obs::TraceRecorder* trace = nullptr;
   };
 
   CertaExplainer(explain::ExplainContext context, Options options);

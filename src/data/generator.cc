@@ -215,7 +215,7 @@ std::string FormatPrice(double price, Side side, Rng* rng) {
 std::string RenderAttribute(const Entity& entity, const AttributeSpec& spec,
                             Side side, const GeneratorProfile& profile,
                             Rng* rng) {
-  if (rng->Bernoulli(spec.missing_rate)) return "NaN";
+  if (rng->Bernoulli(spec.missing_rate)) return text::kMissingValue;
   switch (spec.kind) {
     case AttrKind::kName: {
       std::vector<std::string> tokens =
@@ -325,7 +325,7 @@ std::string RenderAttribute(const Entity& entity, const AttributeSpec& spec,
       return FormatDouble(entity.abv * jitter, 2) + " %";
     }
   }
-  return "NaN";
+  return text::kMissingValue;
 }
 
 Record RenderRecord(const Entity& entity, int record_id, Side side,
@@ -352,7 +352,7 @@ Record RenderRecord(const Entity& entity, int record_id, Side side,
       } else {
         record.values[target] += " " + record.values[source];
       }
-      record.values[source] = "NaN";
+      record.values[source] = text::kMissingValue;
     }
   }
   return record;

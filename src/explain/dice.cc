@@ -62,14 +62,14 @@ std::vector<CounterfactualExample> DiceExplainer::ExplainCounterfactual(
   auto pool_value = [&](data::Side side, int attribute, Rng* rng) {
     const data::Table& table =
         side == data::Side::kLeft ? *context_.left : *context_.right;
-    if (table.size() == 0) return std::string("NaN");
+    if (table.size() == 0) return std::string(text::kMissingValue);
     for (int attempt = 0; attempt < 8; ++attempt) {
       const std::string& value =
           table.record(static_cast<int>(rng->Index(table.size())))
               .value(attribute);
       if (!text::IsMissing(value)) return value;
     }
-    return std::string("NaN");
+    return std::string(text::kMissingValue);
   };
 
   uint64_t seed = options_.seed;

@@ -93,11 +93,27 @@ ResilientMatcher::ResilientMatcher(const Matcher* base,
       clock_(options.clock != nullptr ? options.clock : util::RealClock()) {
   CERTA_CHECK(base != nullptr);
   CERTA_CHECK_GE(options_.max_attempts, 1);
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *options_.metrics;
+    metric_.calls = reg.counter("resilience.calls");
+    metric_.retries = reg.counter("resilience.retries");
+    metric_.failures = reg.counter("resilience.failures");
+    metric_.deadline_hits = reg.counter("resilience.deadline_hits");
+    metric_.breaker_rejections = reg.counter("resilience.breaker.rejections");
+    metric_.breaker_opens = reg.counter("resilience.breaker.opens");
+    metric_.breaker_closes = reg.counter("resilience.breaker.closes");
+    metric_.breaker_state = reg.gauge("resilience.breaker.state");
+    metric_.budget_remaining = reg.gauge("resilience.budget.remaining");
+    metric_.budget_remaining->Set(options_.max_model_calls > 0
+                                      ? options_.max_model_calls
+                                      : -1);
+  }
 }
 
 void ResilientMatcher::Charge(long long amount) const {
   if (options_.max_model_calls <= 0) {
     spent_.fetch_add(amount, std::memory_order_relaxed);
+    if (metric_.calls != nullptr) metric_.calls->Add(amount);
     return;
   }
   // Optimistically charge, roll back on overdraft. Exact under
@@ -110,6 +126,11 @@ void ResilientMatcher::Charge(long long amount) const {
                           std::to_string(options_.max_model_calls) +
                           " calls)");
   }
+  if (metric_.calls != nullptr) metric_.calls->Add(amount);
+  if (metric_.budget_remaining != nullptr) {
+    metric_.budget_remaining->Set(
+        std::max(0LL, options_.max_model_calls - (before + amount)));
+  }
 }
 
 void ResilientMatcher::BreakerGate() const {
@@ -119,6 +140,9 @@ void ResilientMatcher::BreakerGate() const {
   if (rejections_since_open_ < options_.breaker_cooldown_calls) {
     ++rejections_since_open_;
     breaker_rejections_.fetch_add(1, std::memory_order_relaxed);
+    if (metric_.breaker_rejections != nullptr) {
+      metric_.breaker_rejections->Increment();
+    }
     throw UnavailableError("circuit breaker open");
   }
   // Half-open: let this probe through; RecordOutcome decides whether
@@ -131,7 +155,13 @@ void ResilientMatcher::RecordOutcome(bool success) const {
   std::lock_guard<std::mutex> lock(breaker_mutex_);
   if (success) {
     consecutive_failures_ = 0;
-    breaker_open_ = false;
+    if (breaker_open_) {
+      breaker_open_ = false;
+      if (metric_.breaker_closes != nullptr) {
+        metric_.breaker_closes->Increment();
+      }
+      if (metric_.breaker_state != nullptr) metric_.breaker_state->Set(0);
+    }
     return;
   }
   ++consecutive_failures_;
@@ -139,6 +169,8 @@ void ResilientMatcher::RecordOutcome(bool success) const {
       !breaker_open_) {
     breaker_open_ = true;
     rejections_since_open_ = 0;
+    if (metric_.breaker_opens != nullptr) metric_.breaker_opens->Increment();
+    if (metric_.breaker_state != nullptr) metric_.breaker_state->Set(1);
   }
 }
 
@@ -151,6 +183,7 @@ double ResilientMatcher::ScoreOnce(const data::Record& u,
   if (options_.deadline_micros > 0 &&
       clock_->NowMicros() - start > options_.deadline_micros) {
     deadline_hits_.fetch_add(1, std::memory_order_relaxed);
+    if (metric_.deadline_hits != nullptr) metric_.deadline_hits->Increment();
     throw DeadlineExceeded("score call exceeded deadline");
   }
   return score;
@@ -168,14 +201,17 @@ double ResilientMatcher::Score(const data::Record& u,
       // Budget errors bypass the breaker (nothing is wrong with the
       // backing model) and are never retried within the same budget.
       failures_.fetch_add(1, std::memory_order_relaxed);
+      if (metric_.failures != nullptr) metric_.failures->Increment();
       throw;
     } catch (const TransientError&) {
       RecordOutcome(false);
       if (attempt >= options_.max_attempts) {
         failures_.fetch_add(1, std::memory_order_relaxed);
+        if (metric_.failures != nullptr) metric_.failures->Increment();
         throw;
       }
       retries_.fetch_add(1, std::memory_order_relaxed);
+      if (metric_.retries != nullptr) metric_.retries->Increment();
       const int64_t backoff = std::min(
           options_.backoff_max_micros,
           options_.backoff_base_micros << std::min(attempt - 1, 20));
@@ -184,6 +220,7 @@ double ResilientMatcher::Score(const data::Record& u,
       // UnavailableError and anything else non-transient: fail now.
       RecordOutcome(false);
       failures_.fetch_add(1, std::memory_order_relaxed);
+      if (metric_.failures != nullptr) metric_.failures->Increment();
       throw;
     }
   }

@@ -152,6 +152,10 @@ struct ResilienceOptions {
   /// Not owned; nullptr = RealClock(). Inject a ManualClock in tests so
   /// backoff sleeps and deadline checks cost no wall time.
   util::Clock* clock = nullptr;
+  /// Observability registry (not owned; nullptr = uninstrumented).
+  /// Mirrors the resilience.* metric catalog (docs/OBSERVABILITY.md);
+  /// Stats stays authoritative and registry-independent.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Decorator that makes any Matcher safe to build explanations on:
@@ -213,9 +217,24 @@ class ResilientMatcher : public Matcher {
   void BreakerGate() const;
   void RecordOutcome(bool success) const;
 
+  /// Registry handles, resolved once in the constructor (all null when
+  /// Options::metrics is null).
+  struct MetricHandles {
+    obs::Counter* calls = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* failures = nullptr;
+    obs::Counter* deadline_hits = nullptr;
+    obs::Counter* breaker_rejections = nullptr;
+    obs::Counter* breaker_opens = nullptr;
+    obs::Counter* breaker_closes = nullptr;
+    obs::Gauge* breaker_state = nullptr;
+    obs::Gauge* budget_remaining = nullptr;
+  };
+
   const Matcher* base_;
   ResilienceOptions options_;
   util::Clock* clock_;
+  MetricHandles metric_;
 
   mutable std::atomic<long long> spent_{0};
   mutable std::atomic<long long> logical_calls_{0};

@@ -1,6 +1,7 @@
 #include "models/scoring_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 
 #include "models/resilience.h"
@@ -56,12 +57,20 @@ PredictionCache::PredictionCache(size_t num_shards,
   }
 }
 
+void PredictionCache::BindMetrics(obs::Counter* hits, obs::Counter* misses,
+                                  obs::Counter* evictions) {
+  metric_hits_ = hits;
+  metric_misses_ = misses;
+  metric_evictions_ = evictions;
+}
+
 bool PredictionCache::Lookup(const PairKey& key, double* score) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    if (metric_misses_ != nullptr) metric_misses_->Increment();
     return false;
   }
   if (it->second.prewarmed) {
@@ -70,8 +79,10 @@ bool PredictionCache::Lookup(const PairKey& key, double* score) {
     // counter stream identical; the saved base call is the whole point.
     it->second.prewarmed = false;
     misses_.fetch_add(1, std::memory_order_relaxed);
+    if (metric_misses_ != nullptr) metric_misses_->Increment();
   } else {
     hits_.fetch_add(1, std::memory_order_relaxed);
+    if (metric_hits_ != nullptr) metric_hits_->Increment();
   }
   *score = it->second.score;
   return true;
@@ -84,6 +95,9 @@ void PredictionCache::Insert(const PairKey& key, double score) {
       shard.map.find(key) == shard.map.end()) {
     evictions_.fetch_add(static_cast<long long>(shard.map.size()),
                          std::memory_order_relaxed);
+    if (metric_evictions_ != nullptr) {
+      metric_evictions_->Add(static_cast<long long>(shard.map.size()));
+    }
     shard.map.clear();
   }
   shard.map[key] = Entry{score, false};
@@ -121,6 +135,19 @@ ScoringEngine::ScoringEngine(const Matcher* base, Options options)
       options_(options),
       cache_(options.cache_shards, options.max_cache_entries_per_shard) {
   CERTA_CHECK(base != nullptr);
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *options_.metrics;
+    metric_.batch_size =
+        reg.histogram("scoring.batch.size", obs::SizeBuckets());
+    metric_.batch_latency_us =
+        reg.histogram("scoring.batch.latency_us", obs::LatencyBuckets());
+    metric_.batches = reg.counter("scoring.batches");
+    metric_.pool_chunks = reg.counter("scoring.pool.chunks");
+    metric_.scores_computed = reg.counter("scoring.scores.computed");
+    cache_.BindMetrics(reg.counter("scoring.cache.hits"),
+                       reg.counter("scoring.cache.misses"),
+                       reg.counter("scoring.cache.evictions"));
+  }
 }
 
 double ScoringEngine::Score(const data::Record& u,
@@ -132,6 +159,7 @@ double ScoringEngine::Score(const data::Record& u,
   double score = 0.0;
   if (options_.enable_cache && cache_.Lookup(key, &score)) return score;
   score = base_->Score(u, v);
+  if (metric_.scores_computed != nullptr) metric_.scores_computed->Increment();
   if (options_.enable_cache) cache_.Insert(key, score);
   if (options_.observer) options_.observer(key, score);
   return score;
@@ -147,6 +175,9 @@ std::vector<double> ScoringEngine::ScoreMisses(
   }
   const size_t chunk = std::max<size_t>(1, options_.parallel_chunk);
   const size_t num_chunks = (pairs.size() + chunk - 1) / chunk;
+  if (metric_.pool_chunks != nullptr) {
+    metric_.pool_chunks->Add(static_cast<long long>(num_chunks));
+  }
   std::vector<double> scores(pairs.size(), 0.0);
   // ParallelFor tasks must not throw (a worker has nowhere to put the
   // exception): capture the first one and rethrow on the calling
@@ -217,6 +248,9 @@ void ScoringEngine::TryScoreMisses(const std::vector<RecordPair>& pairs,
   } else {
     const size_t chunk = std::max<size_t>(1, options_.parallel_chunk);
     const size_t num_chunks = (pairs.size() + chunk - 1) / chunk;
+    if (metric_.pool_chunks != nullptr) {
+      metric_.pool_chunks->Add(static_cast<long long>(num_chunks));
+    }
     std::exception_ptr error;
     std::mutex error_mutex;
     pool->ParallelFor(num_chunks, [&](size_t c) {
@@ -266,6 +300,16 @@ std::vector<double> ScoringEngine::ScoreBatch(
     std::span<const RecordPair> pairs) const {
   std::vector<double> scores(pairs.size(), 0.0);
   if (pairs.empty()) return scores;
+  // Time the batch only when a live registry will consume the sample —
+  // with observability off the clock reads are skipped too.
+  const bool timed = metric_.batch_latency_us != nullptr &&
+                     options_.metrics->enabled();
+  const auto batch_start = timed ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point();
+  if (metric_.batches != nullptr) metric_.batches->Increment();
+  if (metric_.batch_size != nullptr) {
+    metric_.batch_size->Record(static_cast<double>(pairs.size()));
+  }
   BatchPlan plan = MakePlan(pairs);
 
   // Cache probe phase (sequential, so counters stay deterministic).
@@ -296,6 +340,15 @@ std::vector<double> ScoringEngine::ScoreBatch(
   for (size_t i = 0; i < pairs.size(); ++i) {
     scores[i] = unique_scores[plan.slot[i]];
   }
+  if (metric_.scores_computed != nullptr) {
+    metric_.scores_computed->Add(static_cast<long long>(miss_pairs.size()));
+  }
+  if (timed) {
+    metric_.batch_latency_us->Record(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - batch_start)
+            .count()));
+  }
   return scores;
 }
 
@@ -305,6 +358,14 @@ ScoringEngine::BatchOutcome ScoringEngine::TryScoreBatch(
   out.scores.assign(pairs.size(), 0.0);
   out.ok.assign(pairs.size(), 0);
   if (pairs.empty()) return out;
+  const bool timed = metric_.batch_latency_us != nullptr &&
+                     options_.metrics->enabled();
+  const auto batch_start = timed ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point();
+  if (metric_.batches != nullptr) metric_.batches->Increment();
+  if (metric_.batch_size != nullptr) {
+    metric_.batch_size->Record(static_cast<double>(pairs.size()));
+  }
   BatchPlan plan = MakePlan(pairs);
 
   std::vector<double> unique_scores(plan.unique_inputs.size(), 0.0);
@@ -338,6 +399,17 @@ ScoringEngine::BatchOutcome ScoringEngine::TryScoreBatch(
     out.scores[i] = unique_scores[plan.slot[i]];
     out.ok[i] = unique_ok[plan.slot[i]];
     if (!out.ok[i]) ++out.failures;
+  }
+  if (metric_.scores_computed != nullptr) {
+    long long computed = 0;
+    for (uint8_t flag : miss_ok) computed += flag;
+    metric_.scores_computed->Add(computed);
+  }
+  if (timed) {
+    metric_.batch_latency_us->Record(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - batch_start)
+            .count()));
   }
   return out;
 }

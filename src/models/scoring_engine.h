@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "models/matcher.h"
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 
 namespace certa::models {
@@ -55,6 +56,13 @@ class PredictionCache {
 
   PredictionCache(size_t num_shards, size_t max_entries_per_shard);
 
+  /// Mirrors every hit/miss/eviction into the given registry counters
+  /// (all may be null). The cache's own Stats stay authoritative — they
+  /// feed CertaResult and must not depend on whether a registry is
+  /// attached or enabled.
+  void BindMetrics(obs::Counter* hits, obs::Counter* misses,
+                   obs::Counter* evictions);
+
   /// True (and *score set) on a hit. Counts one hit or one miss —
   /// except on the *first* touch of a prewarmed entry, which returns
   /// the score but counts a miss (see Prewarm).
@@ -88,7 +96,12 @@ class PredictionCache {
   };
 
   Shard& ShardFor(const PairKey& key) {
-    return *shards_[static_cast<size_t>(key.hi) % shards_.size()];
+    // Mix both words (the hasher's output) before reducing: indexing by
+    // `hi % shards` alone piles every key sharing `hi` into one shard
+    // whenever the shard count is not a power of two that divides the
+    // hash range evenly — and defeats sharding entirely for key sets
+    // that vary only in `lo`.
+    return *shards_[PairKeyHasher{}(key) % shards_.size()];
   }
 
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -96,6 +109,9 @@ class PredictionCache {
   std::atomic<long long> hits_{0};
   std::atomic<long long> misses_{0};
   std::atomic<long long> evictions_{0};
+  obs::Counter* metric_hits_ = nullptr;
+  obs::Counter* metric_misses_ = nullptr;
+  obs::Counter* metric_evictions_ = nullptr;
 };
 
 /// The batched + cached + pooled scoring layer every hot path drains
@@ -137,6 +153,12 @@ class ScoringEngine : public Matcher {
     size_t parallel_chunk = 16;
     /// Optional journal hook; empty = no observation overhead.
     ScoreObserver observer;
+    /// Observability registry (not owned; nullptr = uninstrumented).
+    /// Metric handles are resolved once at engine construction — see
+    /// docs/OBSERVABILITY.md for the scoring.* catalog. Purely
+    /// observational: scores, counters in CertaResult, and the call
+    /// pattern are bit-identical with or without a registry.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   /// Does not take ownership of `base`, which must outlive the engine
@@ -193,9 +215,20 @@ class ScoringEngine : public Matcher {
                       std::vector<double>* scores, std::vector<uint8_t>* ok,
                       bool* budget_exhausted) const;
 
+  /// Registry handles, resolved once in the constructor (all null when
+  /// Options::metrics is null).
+  struct MetricHandles {
+    obs::Histogram* batch_size = nullptr;
+    obs::Histogram* batch_latency_us = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* pool_chunks = nullptr;
+    obs::Counter* scores_computed = nullptr;
+  };
+
   const Matcher* base_;
   Options options_;
   mutable PredictionCache cache_;
+  MetricHandles metric_;
 };
 
 }  // namespace certa::models

@@ -1,0 +1,204 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/json_writer.h"
+
+namespace certa::obs {
+
+size_t ThreadShardSlot() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+Histogram::Histogram(const std::atomic<bool>* enabled,
+                     std::vector<double> bounds)
+    : enabled_(enabled), bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::vector<internal::ShardedCount>(bounds_.size() + 1);
+}
+
+void Histogram::Record(double value) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  if (!std::isfinite(value)) return;  // non-finite samples carry no signal
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  buckets_[bucket].Add(1);
+  count_.Add(1);
+  sum_micros_.Add(static_cast<long long>(value * 1e6));
+  // Extremes are cold (one lock per new min/max, none once the range is
+  // established for most workloads' steady state... but correctness
+  // first: take the lock whenever this sample may extend the range).
+  if (!has_extremes_.load(std::memory_order_acquire) ||
+      value < min_.load(std::memory_order_relaxed) ||
+      value > max_.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(extremes_mutex_);
+    if (!has_extremes_.load(std::memory_order_relaxed)) {
+      min_.store(value, std::memory_order_relaxed);
+      max_.store(value, std::memory_order_relaxed);
+      has_extremes_.store(true, std::memory_order_release);
+    } else {
+      if (value < min_.load(std::memory_order_relaxed)) {
+        min_.store(value, std::memory_order_relaxed);
+      }
+      if (value > max_.load(std::memory_order_relaxed)) {
+        max_.store(value, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+double Histogram::sum() const {
+  return static_cast<double>(sum_micros_.value()) / 1e6;
+}
+
+double Histogram::min() const {
+  return has_extremes_.load(std::memory_order_acquire)
+             ? min_.load(std::memory_order_relaxed)
+             : 0.0;
+}
+
+double Histogram::max() const {
+  return has_extremes_.load(std::memory_order_acquire)
+             ? max_.load(std::memory_order_relaxed)
+             : 0.0;
+}
+
+double Histogram::Quantile(double q) const {
+  const long long total = count_.value();
+  if (total <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample (1-based), then walk the buckets.
+  const double rank = q * static_cast<double>(total);
+  long long seen = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    const long long here = buckets_[b].value();
+    if (here == 0) continue;
+    if (static_cast<double>(seen + here) >= rank) {
+      if (b == bounds_.size()) return max();  // overflow bucket
+      const double hi = bounds_[b];
+      const double lo = b == 0 ? std::min(min(), hi) : bounds_[b - 1];
+      const double into =
+          (rank - static_cast<double>(seen)) / static_cast<double>(here);
+      return lo + (hi - lo) * std::clamp(into, 0.0, 1.0);
+    }
+    seen += here;
+  }
+  return max();
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       int count) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(std::max(0, count)));
+  double bound = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> LatencyBuckets() {
+  return ExponentialBuckets(1.0, 2.0, 26);  // 1us .. ~33.5s
+}
+
+std::vector<double> SizeBuckets() {
+  return ExponentialBuckets(1.0, 2.0, 17);  // 1 .. 65536
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>(&enabled_);
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>(&enabled_);
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  return histogram(name, LatencyBuckets());
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(&enabled_, std::move(bounds));
+  return slot.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonWriter json;
+  json.BeginObject();
+
+  json.Key("counters");
+  json.BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    json.Key(name);
+    json.Int(counter->value());
+  }
+  json.EndObject();
+
+  json.Key("gauges");
+  json.BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    json.Key(name);
+    json.Int(gauge->value());
+  }
+  json.EndObject();
+
+  json.Key("histograms");
+  json.BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    json.Key(name);
+    json.BeginObject();
+    json.Key("count");
+    json.Int(histogram->count());
+    json.Key("sum");
+    json.Number(histogram->sum());
+    json.Key("min");
+    json.Number(histogram->min());
+    json.Key("max");
+    json.Number(histogram->max());
+    json.Key("p50");
+    json.Number(histogram->Quantile(0.50));
+    json.Key("p95");
+    json.Number(histogram->Quantile(0.95));
+    json.Key("p99");
+    json.Number(histogram->Quantile(0.99));
+    json.Key("buckets");
+    json.BeginArray();
+    const std::vector<double>& bounds = histogram->bounds();
+    for (size_t b = 0; b <= bounds.size(); ++b) {
+      json.BeginObject();
+      json.Key("le");
+      if (b < bounds.size()) {
+        json.Number(bounds[b]);
+      } else {
+        json.Null();  // unbounded overflow bucket
+      }
+      json.Key("count");
+      json.Int(histogram->bucket_count(b));
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndObject();
+
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace certa::obs

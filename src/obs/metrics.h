@@ -1,0 +1,194 @@
+#ifndef CERTA_OBS_METRICS_H_
+#define CERTA_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace certa::obs {
+
+/// Lock-cheap metrics for the explanation hot paths (see
+/// docs/OBSERVABILITY.md for the metric catalog).
+///
+/// Design constraints, in order:
+///   1. Recording must never change what is being measured: metrics are
+///      write-only from the instrumented code's point of view, so a
+///      CertaResult is bit-identical with metrics on or off.
+///   2. Recording from pool workers must not serialize them: counters
+///      and histogram buckets are sharded over cache-line-padded
+///      atomics indexed by a per-thread slot, so concurrent increments
+///      rarely touch the same line.
+///   3. Disabled instrumentation must cost (almost) nothing: every
+///      record call starts with one relaxed load of the registry's
+///      enabled flag and a predicted branch.
+///
+/// Handles returned by MetricsRegistry are stable for the registry's
+/// lifetime and safe to use from any thread.
+
+/// Number of atomic slots each counter/bucket is spread over.
+inline constexpr size_t kMetricShards = 8;
+
+/// This thread's shard slot (stable per thread, assigned round-robin).
+size_t ThreadShardSlot();
+
+namespace internal {
+
+/// One cache line per slot so concurrent writers do not false-share.
+struct alignas(64) PaddedCount {
+  std::atomic<long long> value{0};
+};
+
+/// A sharded monotonic count: Add() touches one slot, value() sums all.
+class ShardedCount {
+ public:
+  void Add(long long delta) {
+    shards_[ThreadShardSlot() % kMetricShards].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  long long value() const {
+    long long total = 0;
+    for (const PaddedCount& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  PaddedCount shards_[kMetricShards];
+};
+
+}  // namespace internal
+
+/// Monotonic counter (events, bytes, calls).
+class Counter {
+ public:
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  void Increment() { Add(1); }
+  void Add(long long delta) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    count_.Add(delta);
+  }
+  long long value() const { return count_.value(); }
+
+ private:
+  const std::atomic<bool>* enabled_;
+  internal::ShardedCount count_;
+};
+
+/// Point-in-time value (queue depth, breaker state, budget remaining).
+/// Last writer wins; Add is atomic.
+class Gauge {
+ public:
+  explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  void Set(long long value) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(long long delta) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  long long value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  const std::atomic<bool>* enabled_;
+  std::atomic<long long> value_{0};
+};
+
+/// Fixed-bucket latency/size histogram with p50/p95/p99 estimation.
+/// Bucket upper bounds are set at registration; a value lands in the
+/// first bucket whose bound is >= value, or the unbounded overflow
+/// bucket. Quantiles interpolate linearly inside the chosen bucket
+/// (the overflow bucket reports the observed maximum).
+class Histogram {
+ public:
+  Histogram(const std::atomic<bool>* enabled, std::vector<double> bounds);
+
+  void Record(double value);
+
+  long long count() const { return count_.value(); }
+  double sum() const;
+  double min() const;
+  double max() const;
+  /// q in [0, 1]; 0 with no recorded samples.
+  double Quantile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Samples in bucket `b` (b == bounds().size() is the overflow
+  /// bucket).
+  long long bucket_count(size_t b) const { return buckets_[b].value(); }
+
+ private:
+  const std::atomic<bool>* enabled_;
+  std::vector<double> bounds_;
+  /// bounds_.size() + 1 sharded buckets (last = overflow).
+  std::vector<internal::ShardedCount> buckets_;
+  internal::ShardedCount count_;
+  /// Sum in micro-units to keep it a lock-free integer add; good to
+  /// ~1e-6 absolute resolution, plenty for latencies and sizes.
+  internal::ShardedCount sum_micros_;
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+  std::atomic<bool> has_extremes_{false};
+  std::mutex extremes_mutex_;
+};
+
+/// Exponential bucket bounds: start, start*factor, ... (count bounds).
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       int count);
+/// Default microsecond-latency bounds: 1us .. ~67s, factor 2.
+std::vector<double> LatencyBuckets();
+/// Default size bounds: 1 .. 65536, factor 2.
+std::vector<double> SizeBuckets();
+
+/// Named registry of counters/gauges/histograms. Handles are created on
+/// first use and live as long as the registry; lookups take a mutex,
+/// so resolve handles once (at construction time) on hot paths, not
+/// per record.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(bool enabled = true) : enabled_(enabled) {}
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Master switch: while false every handle's record calls are no-ops.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  /// Registers with LatencyBuckets() when the name is new.
+  Histogram* histogram(const std::string& name);
+  /// Registers with explicit bounds when the name is new (an existing
+  /// histogram keeps its original bounds).
+  Histogram* histogram(const std::string& name, std::vector<double> bounds);
+
+  /// JSON snapshot of every metric, names sorted:
+  ///   {"counters":{...},"gauges":{...},
+  ///    "histograms":{"name":{"count":..,"sum":..,"min":..,"max":..,
+  ///                  "p50":..,"p95":..,"p99":..,
+  ///                  "buckets":[{"le":1,"count":0},...,
+  ///                             {"le":null,"count":0}]}}}
+  /// The final bucket's "le" is null (unbounded overflow).
+  std::string ToJson() const;
+
+ private:
+  std::atomic<bool> enabled_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace certa::obs
+
+#endif  // CERTA_OBS_METRICS_H_

@@ -1,0 +1,86 @@
+#include "obs/trace.h"
+
+#include "util/atomic_file.h"
+#include "util/json_writer.h"
+
+namespace certa::obs {
+
+TraceRecorder::TraceRecorder(bool enabled)
+    : enabled_(enabled), epoch_(std::chrono::steady_clock::now()) {}
+
+int64_t TraceRecorder::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+int TraceRecorder::TidLocked(std::thread::id id) {
+  auto [it, inserted] =
+      tids_.emplace(id, static_cast<int>(tids_.size()) + 1);
+  return it->second;
+}
+
+void TraceRecorder::RecordComplete(
+    std::string_view name, int64_t start_micros, int64_t duration_micros,
+    const std::vector<std::pair<std::string, long long>>& args) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Event event;
+  event.name = std::string(name);
+  event.start_micros = start_micros;
+  event.duration_micros = duration_micros;
+  event.tid = TidLocked(std::this_thread::get_id());
+  event.args = args;
+  events_.push_back(std::move(event));
+}
+
+size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::string TraceRecorder::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("traceEvents");
+  json.BeginArray();
+  for (const Event& event : events_) {
+    json.BeginObject();
+    json.Key("name");
+    json.String(event.name);
+    json.Key("cat");
+    json.String("certa");
+    json.Key("ph");
+    json.String("X");
+    json.Key("ts");
+    json.Int(event.start_micros);
+    json.Key("dur");
+    json.Int(event.duration_micros);
+    json.Key("pid");
+    json.Int(1);
+    json.Key("tid");
+    json.Int(event.tid);
+    if (!event.args.empty()) {
+      json.Key("args");
+      json.BeginObject();
+      for (const auto& [key, value] : event.args) {
+        json.Key(key);
+        json.Int(value);
+      }
+      json.EndObject();
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("displayTimeUnit");
+  json.String("ms");
+  json.EndObject();
+  return json.str();
+}
+
+bool TraceRecorder::SaveToFile(const std::string& path) const {
+  return util::AtomicWriteFile(path, ToJson() + "\n");
+}
+
+}  // namespace certa::obs

@@ -1,0 +1,115 @@
+#ifndef CERTA_OBS_TRACE_H_
+#define CERTA_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace certa::obs {
+
+/// Records nested spans as Chrome `chrome://tracing` / Perfetto
+/// "trace event" JSON (complete events, ph:"X"): load the written file
+/// in https://ui.perfetto.dev or chrome://tracing to see where an
+/// explanation's wall time goes, per thread.
+///
+/// Like MetricsRegistry, recording is observation-only (results are
+/// bit-identical with tracing on or off) and disabled recording costs
+/// one relaxed load + branch. Recording itself takes a mutex — spans
+/// are coarse (phases, batches, jobs), so contention is negligible
+/// next to the model calls they wrap.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(bool enabled = true);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Microseconds since this recorder was created (span timestamps).
+  int64_t NowMicros() const;
+
+  /// Appends one complete event. `args` are integer-valued span
+  /// arguments shown in the viewer's details pane. The calling thread's
+  /// id is recorded as the event's tid.
+  void RecordComplete(
+      std::string_view name, int64_t start_micros, int64_t duration_micros,
+      const std::vector<std::pair<std::string, long long>>& args = {});
+
+  size_t event_count() const;
+
+  /// {"traceEvents":[...],"displayTimeUnit":"ms"} — the format both
+  /// Perfetto and chrome://tracing load directly.
+  std::string ToJson() const;
+
+  /// Atomically writes ToJson() to `path` (util::AtomicWriteFile).
+  bool SaveToFile(const std::string& path) const;
+
+ private:
+  struct Event {
+    std::string name;
+    int64_t start_micros = 0;
+    int64_t duration_micros = 0;
+    int tid = 0;
+    std::vector<std::pair<std::string, long long>> args;
+  };
+
+  /// Small stable per-thread id for the trace (assigned on first use,
+  /// under mutex_).
+  int TidLocked(std::thread::id id);
+
+  std::atomic<bool> enabled_;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+  std::map<std::thread::id, int> tids_;
+};
+
+/// RAII span: times its scope and records one complete event on
+/// destruction. A null recorder (or a disabled one) makes every method
+/// a no-op, so call sites never branch.
+class TraceSpan {
+ public:
+  TraceSpan(TraceRecorder* recorder, std::string_view name)
+      : recorder_(Active(recorder)), name_(name) {
+    if (recorder_ != nullptr) start_micros_ = recorder_->NowMicros();
+  }
+  ~TraceSpan() {
+    if (recorder_ == nullptr) return;
+    recorder_->RecordComplete(name_, start_micros_,
+                              recorder_->NowMicros() - start_micros_, args_);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches an integer argument to the span (viewer details pane).
+  void AddArg(std::string_view key, long long value) {
+    if (recorder_ == nullptr) return;
+    args_.emplace_back(std::string(key), value);
+  }
+
+ private:
+  static TraceRecorder* Active(TraceRecorder* recorder) {
+    return recorder != nullptr && recorder->enabled() ? recorder : nullptr;
+  }
+
+  TraceRecorder* recorder_;
+  std::string name_;
+  int64_t start_micros_ = 0;
+  std::vector<std::pair<std::string, long long>> args_;
+};
+
+}  // namespace certa::obs
+
+#endif  // CERTA_OBS_TRACE_H_

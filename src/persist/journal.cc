@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <unordered_set>
 
@@ -135,15 +136,37 @@ bool JournalWriter::Open(const std::string& path, JournalReplay* replay) {
   return true;
 }
 
+void JournalWriter::BindMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metric_appends_ = nullptr;
+    metric_bytes_ = nullptr;
+    metric_syncs_ = nullptr;
+    metric_fsync_us_ = nullptr;
+    return;
+  }
+  metric_appends_ = registry->counter("journal.appends");
+  metric_bytes_ = registry->counter("journal.bytes");
+  metric_syncs_ = registry->counter("journal.syncs");
+  metric_fsync_us_ =
+      registry->histogram("journal.fsync_us", obs::LatencyBuckets());
+}
+
 bool JournalWriter::Append(const models::PairKey& key, double score) {
   if (fd_ < 0) return false;
   AppendRecord(key, score, &buffer_);
   ++appended_;
+  if (metric_appends_ != nullptr) metric_appends_->Increment();
+  if (metric_bytes_ != nullptr) {
+    metric_bytes_->Add(static_cast<long long>(kRecordSize));
+  }
   return true;
 }
 
 bool JournalWriter::Sync() {
   if (fd_ < 0) return false;
+  const bool timed = metric_fsync_us_ != nullptr;
+  const auto sync_start = timed ? std::chrono::steady_clock::now()
+                                : std::chrono::steady_clock::time_point();
   size_t written = 0;
   while (written < buffer_.size()) {
     ssize_t n =
@@ -158,7 +181,15 @@ bool JournalWriter::Sync() {
     written += static_cast<size_t>(n);
   }
   buffer_.clear();
-  return ::fsync(fd_) == 0;
+  const bool synced = ::fsync(fd_) == 0;
+  if (metric_syncs_ != nullptr) metric_syncs_->Increment();
+  if (timed) {
+    metric_fsync_us_->Record(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - sync_start)
+            .count()));
+  }
+  return synced;
 }
 
 void JournalWriter::Close() {

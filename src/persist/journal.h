@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "models/scoring_engine.h"
+#include "obs/metrics.h"
 
 namespace certa::persist {
 
@@ -86,10 +87,19 @@ class JournalWriter {
   /// Records appended through this writer (not counting replayed ones).
   long long appended() const { return appended_; }
 
+  /// Mirrors appends/bytes/sync latency into the journal.* metrics of
+  /// `registry` (docs/OBSERVABILITY.md); nullptr detaches. Purely
+  /// observational — journal bytes and appended() are unchanged.
+  void BindMetrics(obs::MetricsRegistry* registry);
+
  private:
   int fd_ = -1;
   std::string buffer_;
   long long appended_ = 0;
+  obs::Counter* metric_appends_ = nullptr;
+  obs::Counter* metric_bytes_ = nullptr;
+  obs::Counter* metric_syncs_ = nullptr;
+  obs::Histogram* metric_fsync_us_ = nullptr;
 };
 
 /// Atomically rewrites `path` as a fresh journal containing exactly

@@ -110,6 +110,7 @@ JobOutcome RunDurableExplain(const JobSpec& spec, const std::string& job_dir,
   const std::string journal_path = persist::JournalPathInDir(job_dir);
   persist::JournalReplay replay;
   persist::JournalWriter journal;
+  journal.BindMetrics(options.metrics);
   if (!journal.Open(journal_path, &replay)) {
     return fail("cannot open journal " + journal_path);
   }
@@ -146,12 +147,32 @@ JobOutcome RunDurableExplain(const JobSpec& spec, const std::string& job_dir,
   checkpoint.state = "running";
   checkpoint.replayed_scores = outcome.replayed_scores;
   const std::string checkpoint_path = persist::CheckpointPathInDir(job_dir);
+  obs::Counter* checkpoint_saves =
+      options.metrics != nullptr
+          ? options.metrics->counter("checkpoint.saves")
+          : nullptr;
+  obs::Histogram* checkpoint_save_us =
+      options.metrics != nullptr
+          ? options.metrics->histogram("checkpoint.save_us",
+                                        obs::LatencyBuckets())
+          : nullptr;
   long long fresh = 0;
   int since_flush = 0;
   auto flush = [&] {
     journal.Sync();
     checkpoint.fresh_scores = fresh;
+    const bool timed =
+        checkpoint_save_us != nullptr && options.metrics->enabled();
+    const auto save_start = timed ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point();
     persist::SaveCheckpoint(checkpoint_path, checkpoint);
+    if (checkpoint_saves != nullptr) checkpoint_saves->Increment();
+    if (timed) {
+      checkpoint_save_us->Record(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - save_start)
+              .count()));
+    }
   };
   flush();  // job dir is self-describing before the first model call
 
@@ -162,6 +183,8 @@ JobOutcome RunDurableExplain(const JobSpec& spec, const std::string& job_dir,
   explainer_options.seed = spec.seed;
   explainer_options.replayed_scores = &prewarm;
   explainer_options.cancel = options.cancel;
+  explainer_options.metrics = options.metrics;
+  explainer_options.trace = options.trace;
   explainer_options.score_observer = [&](const models::PairKey& key,
                                          double score) {
     journal.Append(key, score);
@@ -229,6 +252,20 @@ JobRunner::JobRunner(JobRunnerOptions options)
   if (options_.workers < 1) options_.workers = 1;
   if (options_.queue_capacity < 1) options_.queue_capacity = 1;
   util::EnsureDirectory(options_.job_root);
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *options_.metrics;
+    metric_.queue_depth = reg.gauge("service.queue.depth");
+    metric_.running = reg.gauge("service.jobs.running");
+    metric_.submitted = reg.counter("service.jobs.submitted");
+    metric_.accepted = reg.counter("service.jobs.accepted");
+    metric_.rejected_closed = reg.counter("service.rejected.closed");
+    metric_.rejected_queue_full = reg.counter("service.rejected.queue_full");
+    metric_.rejected_deadline = reg.counter("service.rejected.deadline");
+    metric_.completed = reg.counter("service.jobs.completed");
+    metric_.parked = reg.counter("service.jobs.parked");
+    metric_.failed = reg.counter("service.jobs.failed");
+    metric_.job_us = reg.histogram("service.job_us", obs::LatencyBuckets());
+  }
   workers_.reserve(static_cast<size_t>(options_.workers));
   for (int i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -247,12 +284,19 @@ int64_t JobRunner::NowMicros() const {
 JobRunner::SubmitResult JobRunner::Submit(JobSpec spec) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++counters_.submitted;
+  if (metric_.submitted != nullptr) metric_.submitted->Increment();
   if (closed_) {
     ++counters_.rejected_closed;
+    if (metric_.rejected_closed != nullptr) {
+      metric_.rejected_closed->Increment();
+    }
     return {false, "", "admission closed (shutting down)"};
   }
   if (queue_.size() >= options_.queue_capacity) {
     ++counters_.rejected_queue_full;
+    if (metric_.rejected_queue_full != nullptr) {
+      metric_.rejected_queue_full->Increment();
+    }
     return {false, "",
             "queue full (" + std::to_string(queue_.size()) +
                 " jobs waiting, capacity " +
@@ -268,6 +312,9 @@ JobRunner::SubmitResult JobRunner::Submit(JobSpec spec) {
         ema_job_micros_;
     if (estimated_wait_micros > static_cast<double>(spec.deadline_ms) * 1000.0) {
       ++counters_.rejected_deadline;
+      if (metric_.rejected_deadline != nullptr) {
+        metric_.rejected_deadline->Increment();
+      }
       return {false, "",
               "deadline unmeetable (~" +
                   std::to_string(
@@ -282,7 +329,11 @@ JobRunner::SubmitResult JobRunner::Submit(JobSpec spec) {
     spec.id = id;
   }
   ++counters_.accepted;
+  if (metric_.accepted != nullptr) metric_.accepted->Increment();
   queue_.push_back(QueuedJob{std::move(spec), NowMicros()});
+  if (metric_.queue_depth != nullptr) {
+    metric_.queue_depth->Set(static_cast<long long>(queue_.size()));
+  }
   work_available_.notify_one();
   return {true, queue_.back().spec.id, ""};
 }
@@ -301,6 +352,9 @@ void JobRunner::WorkerLoop() {
       }
       spec = std::move(queue_.front().spec);
       queue_.pop_front();
+      if (metric_.queue_depth != nullptr) {
+        metric_.queue_depth->Set(static_cast<long long>(queue_.size()));
+      }
       running = std::make_shared<RunningJob>();
       running->id = spec.id;
       running->started_micros = NowMicros();
@@ -309,20 +363,37 @@ void JobRunner::WorkerLoop() {
       running->deadline_ms = spec.deadline_ms;
       if (cancel_running_) running->cancel.store(true);
       running_.push_back(running);
+      if (metric_.running != nullptr) {
+        metric_.running->Set(static_cast<long long>(running_.size()));
+      }
     }
 
     DurableRunOptions run_options;
     run_options.checkpoint_every = options_.checkpoint_every;
     run_options.cancel = &running->cancel;
     run_options.cancelled_state = "parked";
+    run_options.metrics = options_.metrics;
+    run_options.trace = options_.trace;
     RunningJob* heartbeat_target = running.get();
     run_options.heartbeat = [this, heartbeat_target] {
       heartbeat_target->last_heartbeat_micros.store(
           NowMicros(), std::memory_order_relaxed);
     };
-    JobOutcome outcome = RunDurableExplain(
-        spec, options_.job_root + "/" + spec.id, run_options);
+    JobOutcome outcome;
+    {
+      obs::TraceSpan job_span(options_.trace, "job:" + spec.id);
+      outcome = RunDurableExplain(spec, options_.job_root + "/" + spec.id,
+                                  run_options);
+      job_span.AddArg("state", static_cast<long long>(outcome.state));
+      job_span.AddArg("fresh_scores", outcome.fresh_scores);
+      job_span.AddArg("replayed_scores", outcome.replayed_scores);
+    }
+    if (metric_.job_us != nullptr) {
+      metric_.job_us->Record(
+          static_cast<double>(NowMicros() - running->started_micros));
+    }
 
+    bool dump_stats = false;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       for (size_t i = 0; i < running_.size(); ++i) {
@@ -331,9 +402,13 @@ void JobRunner::WorkerLoop() {
           break;
         }
       }
+      if (metric_.running != nullptr) {
+        metric_.running->Set(static_cast<long long>(running_.size()));
+      }
       switch (outcome.state) {
         case JobState::kComplete: {
           ++counters_.completed;
+          if (metric_.completed != nullptr) metric_.completed->Increment();
           const double duration = static_cast<double>(
               NowMicros() - running->started_micros);
           ema_job_micros_ = ema_job_micros_ == 0.0
@@ -343,15 +418,28 @@ void JobRunner::WorkerLoop() {
         }
         case JobState::kParked:
           ++counters_.parked;
+          if (metric_.parked != nullptr) metric_.parked->Increment();
           break;
         case JobState::kFailed:
           ++counters_.failed;
+          if (metric_.failed != nullptr) metric_.failed->Increment();
           break;
       }
       outcomes_.push_back(std::move(outcome));
+      dump_stats = options_.stats_every > 0 &&
+                   outcomes_.size() %
+                           static_cast<size_t>(options_.stats_every) ==
+                       0;
       idle_.notify_all();
     }
+    if (dump_stats) DumpStats();
   }
+}
+
+void JobRunner::DumpStats() {
+  if (options_.metrics == nullptr || options_.stats_path.empty()) return;
+  util::AtomicWriteFile(options_.stats_path,
+                        options_.metrics->ToJson() + "\n");
 }
 
 void JobRunner::WatchdogLoop() {
@@ -423,6 +511,7 @@ void JobRunner::Shutdown(bool drain) {
     idle_.notify_all();
   }
   if (watchdog_.joinable()) watchdog_.join();
+  DumpStats();  // final snapshot: every terminal outcome is in
 }
 
 void JobRunner::Wait() {

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "core/certa_explainer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "persist/checkpoint.h"
 
 namespace certa::service {
@@ -91,6 +93,12 @@ struct DurableRunOptions {
   /// Invoked on every fresh score and phase boundary — the runner's
   /// watchdog heartbeat.
   std::function<void()> heartbeat;
+  /// Observability (not owned; nullptr = uninstrumented). Flows into
+  /// the journal (journal.*), checkpoint writes (checkpoint.*), and the
+  /// explainer/engine underneath (explain.*, scoring.*). Results and
+  /// durable state are bit-identical either way.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// Runs one explanation job durably inside `job_dir`:
@@ -122,6 +130,16 @@ struct JobRunnerOptions {
   long long stall_timeout_ms = 0;
   /// Watchdog poll period.
   long long watchdog_poll_ms = 20;
+  /// Observability (not owned; nullptr = uninstrumented). The runner
+  /// keeps the service.* gauges/counters/histograms live and passes the
+  /// same registry/recorder down to every durable run.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRecorder* trace = nullptr;
+  /// Write a JSON metrics snapshot to `stats_path` after every N
+  /// terminal job outcomes (plus a final dump on Shutdown); 0 = only
+  /// the final dump. Requires both `metrics` and a non-empty path.
+  int stats_every = 0;
+  std::string stats_path;
 };
 
 /// Bounded-queue job service: admission control in front, durable
@@ -193,8 +211,29 @@ class JobRunner {
   void WorkerLoop();
   void WatchdogLoop();
   int64_t NowMicros() const;
+  /// Writes a metrics snapshot to options_.stats_path (no-op without a
+  /// registry or path). Called outside mutex_ — ToJson locks only the
+  /// registry.
+  void DumpStats();
+
+  /// Registry handles, resolved once in the constructor (all null when
+  /// options_.metrics is null).
+  struct MetricHandles {
+    obs::Gauge* queue_depth = nullptr;
+    obs::Gauge* running = nullptr;
+    obs::Counter* submitted = nullptr;
+    obs::Counter* accepted = nullptr;
+    obs::Counter* rejected_closed = nullptr;
+    obs::Counter* rejected_queue_full = nullptr;
+    obs::Counter* rejected_deadline = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* parked = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Histogram* job_us = nullptr;
+  };
 
   JobRunnerOptions options_;
+  MetricHandles metric_;
   mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable idle_;

@@ -41,9 +41,19 @@ uint64_t SeededStringHash(std::string_view text, uint64_t seed);
 std::vector<uint64_t> CharNgramHashes(std::string_view text, int n,
                                       uint64_t seed = 0);
 
+/// Canonical spelling of a missing cell. It is a *string* marker, never
+/// a numeric NaN: CSV round-trips it byte-identically, JSON export
+/// keeps it as the string "NaN" (only non-finite *numbers* become
+/// null — util::JsonWriter::Number), and util::ParseDouble refuses to
+/// read it back as a number. Producers of missing values (DiCE pool
+/// fallback, the synthetic generator) must use this constant so
+/// IsMissing recognizes their output.
+inline constexpr const char kMissingValue[] = "NaN";
+
 /// True when the value should be treated as missing (empty, "nan",
-/// "null", "n/a" after normalization). The benchmark datasets use "NaN"
-/// for missing prices; models and similarity measures skip them.
+/// "null", "n/a" after normalization). The benchmark datasets use
+/// kMissingValue for missing prices; models and similarity measures
+/// skip them.
 bool IsMissing(std::string_view value);
 
 /// Attempts to interpret the value as a number (e.g., a price or an ABV

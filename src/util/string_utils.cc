@@ -1,6 +1,8 @@
 #include "util/string_utils.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -90,6 +92,26 @@ bool ParseDouble(std::string_view text, double* out) {
   char* end = nullptr;
   double value = std::strtod(owned.c_str(), &end);
   if (end != owned.c_str() + owned.size()) return false;
+  // strtod happily parses "nan"/"inf", but no caller here means them:
+  // numeric flags compare against range bounds (every comparison with
+  // NaN is false, so "nan" would sail through validation) and CSV cells
+  // get cast to int (UB for non-finite values). The exporter already
+  // maps non-finite to JSON null; rejecting them on the way in keeps
+  // the two directions consistent — "NaN" stays the *string* missing
+  // marker (text::IsMissing), never a numeric value.
+  if (!std::isfinite(value)) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseInt64(std::string_view text, long long* out) {
+  std::string owned(StripAsciiWhitespace(text));
+  if (owned.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(owned.c_str(), &end, 10);
+  if (end != owned.c_str() + owned.size()) return false;
+  if (errno == ERANGE) return false;
   *out = value;
   return true;
 }

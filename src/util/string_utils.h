@@ -34,8 +34,15 @@ bool EndsWith(std::string_view text, std::string_view suffix);
 /// scientific notation); used by the experiment table printers.
 std::string FormatDouble(double value, int decimals);
 
-/// Parses a double; returns false on any trailing garbage or empty input.
+/// Parses a finite double; returns false on trailing garbage, empty
+/// input, or a non-finite value ("nan"/"inf" are rejected — "NaN" is
+/// this codebase's *string* missing-value marker, never a number).
 bool ParseDouble(std::string_view text, double* out);
+
+/// Parses a base-10 long long strictly: leading/trailing whitespace is
+/// tolerated, anything else (trailing garbage, empty input, overflow)
+/// returns false with *out untouched.
+bool ParseInt64(std::string_view text, long long* out);
 
 }  // namespace certa
 

@@ -1,0 +1,194 @@
+// CLI flag-parsing regression tests, run through the real certa binary
+// (path injected via CERTA_CLI_PATH). Before the checked-parsing fix,
+// std::atoi/atoll silently turned "--pair=abc" into 0 and overflowed on
+// out-of-range values; every malformed number must now be rejected with
+// a clear error and a nonzero exit. Also covers the --metrics-out /
+// --trace-out / serve --stats-every export paths end to end.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#ifndef CERTA_CLI_PATH
+#error "CERTA_CLI_PATH must be defined to the certa CLI binary path"
+#endif
+
+namespace certa {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path Scratch(const std::string& tag) {
+  fs::path dir = fs::temp_directory_path() /
+                 ("certa_cli_flags_" + tag + "_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string ReadAll(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Runs a shell command, captures stdout+stderr into *output, and
+/// returns the exit code (-1 on spawn failure).
+int RunShell(const std::string& command, std::string* output) {
+  FILE* pipe = ::popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return -1;
+  output->clear();
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = ::fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    output->append(buffer, n);
+  }
+  const int status = ::pclose(pipe);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+/// Runs `certa <args>` (stdin closed so `serve` drains immediately).
+int RunCli(const std::string& args, std::string* output) {
+  return RunShell(std::string(CERTA_CLI_PATH) + " " + args + " </dev/null",
+                  output);
+}
+
+TEST(CliFlagsTest, RejectsNonNumericPair) {
+  std::string output;
+  EXPECT_EQ(RunCli("explain --dataset AB --pair abc", &output), 2) << output;
+  EXPECT_NE(output.find("--pair=abc is not an integer"), std::string::npos)
+      << output;
+}
+
+TEST(CliFlagsTest, RejectsNegativePair) {
+  std::string output;
+  EXPECT_EQ(RunCli("explain --dataset AB --pair -1", &output), 2) << output;
+  EXPECT_NE(output.find("must be >= 0"), std::string::npos) << output;
+}
+
+TEST(CliFlagsTest, RejectsNonNumericTriangles) {
+  std::string output;
+  EXPECT_EQ(RunCli("explain --dataset AB --triangles xyz", &output), 2)
+      << output;
+  EXPECT_NE(output.find("--triangles=xyz is not an integer"),
+            std::string::npos)
+      << output;
+}
+
+TEST(CliFlagsTest, RejectsTrianglesBelowMinimum) {
+  std::string output;
+  EXPECT_EQ(RunCli("explain --dataset AB --triangles 1", &output), 2)
+      << output;
+  EXPECT_NE(output.find("must be >= 2"), std::string::npos) << output;
+}
+
+TEST(CliFlagsTest, RejectsOutOfRangeBudget) {
+  std::string output;
+  EXPECT_EQ(
+      RunCli("explain --dataset AB --budget 99999999999999999999999",
+             &output),
+      2)
+      << output;
+  EXPECT_NE(output.find("not an integer"), std::string::npos) << output;
+}
+
+TEST(CliFlagsTest, RejectsPartiallyNumericValue) {
+  std::string output;
+  // atoi would have happily read "8jobs" as 8.
+  EXPECT_EQ(RunCli("explain --dataset AB --threads 8jobs", &output), 2)
+      << output;
+  EXPECT_NE(output.find("not an integer"), std::string::npos) << output;
+}
+
+TEST(CliFlagsTest, RejectsNonFiniteFaultRate) {
+  std::string output;
+  // strtod accepts "nan" — and NaN slips through a `< 0 || > 1` range
+  // check because every comparison with NaN is false. ParseDouble now
+  // rejects non-finite values outright.
+  EXPECT_EQ(RunCli("explain --dataset AB --fault-rate nan", &output), 1)
+      << output;
+  EXPECT_NE(output.find("--fault-rate must be in [0, 1]"),
+            std::string::npos)
+      << output;
+  EXPECT_EQ(RunCli("explain --dataset AB --fault-rate inf", &output), 1)
+      << output;
+}
+
+TEST(CliFlagsTest, RejectsBadServeFlags) {
+  std::string output;
+  EXPECT_EQ(RunCli("serve --workers zero", &output), 2) << output;
+  EXPECT_NE(output.find("--workers=zero is not an integer"),
+            std::string::npos)
+      << output;
+  EXPECT_EQ(RunCli("serve --stats-every -5", &output), 2) << output;
+}
+
+TEST(CliFlagsTest, ServeRejectsMalformedJobLine) {
+  const fs::path root = Scratch("serve_reject");
+  std::string output;
+  const int exit_code = RunShell(
+      "printf 'pair=abc triangles=4\\n' | " +
+          std::string(CERTA_CLI_PATH) + " serve --job-root " +
+          root.string(),
+      &output);
+  EXPECT_EQ(exit_code, 0) << output;
+  EXPECT_NE(output.find("REJECT - pair=abc is not an integer"),
+            std::string::npos)
+      << output;
+  fs::remove_all(root);
+}
+
+TEST(CliFlagsTest, ExplainWritesMetricsAndTraceFiles) {
+  const fs::path dir = Scratch("explain_obs");
+  const fs::path metrics_path = dir / "metrics.json";
+  const fs::path trace_path = dir / "trace.json";
+  std::string output;
+  const int exit_code = RunCli(
+      "explain --dataset AB --pair 0 --triangles 2 --json --metrics-out " +
+          metrics_path.string() + " --trace-out " + trace_path.string(),
+      &output);
+  EXPECT_EQ(exit_code, 0) << output;
+
+  const std::string metrics = ReadAll(metrics_path);
+  EXPECT_NE(metrics.find("\"counters\""), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("\"explain.runs\":1"), std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("scoring.batch.latency_us"), std::string::npos);
+
+  const std::string trace = ReadAll(trace_path);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos) << trace;
+  EXPECT_NE(trace.find("\"name\":\"explain\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"phase:lattice\""), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(CliFlagsTest, ServeStatsEveryWritesSnapshots) {
+  const fs::path root = Scratch("serve_stats");
+  std::string output;
+  const int exit_code = RunShell(
+      "printf 'id=j1 dataset=AB pair=0 triangles=2\\n' | " +
+          std::string(CERTA_CLI_PATH) + " serve --job-root " +
+          root.string() + " --stats-every 1",
+      &output);
+  EXPECT_EQ(exit_code, 0) << output;
+  EXPECT_NE(output.find("ACCEPT j1"), std::string::npos) << output;
+  EXPECT_NE(output.find("DONE j1"), std::string::npos) << output;
+  const fs::path stats = root / "metrics.json";
+  ASSERT_TRUE(fs::exists(stats)) << output;
+  const std::string json = ReadAll(stats);
+  EXPECT_NE(json.find("\"service.jobs.completed\":1"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("service.job_us"), std::string::npos) << json;
+  EXPECT_NE(json.find("journal.appends"), std::string::npos) << json;
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace certa

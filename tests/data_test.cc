@@ -10,7 +10,9 @@
 #include "data/dataset.h"
 #include "data/table.h"
 #include "test_util.h"
+#include "text/tokenizer.h"
 #include "util/random.h"
+#include "util/string_utils.h"
 
 namespace certa::data {
 namespace {
@@ -170,6 +172,35 @@ TEST_F(CsvFileTest, LoadTableRejectsRaggedRows) {
   {
     std::ofstream out(path);
     out << "id,a,b\n0,x\n";  // row arity mismatch
+  }
+  Table loaded;
+  EXPECT_FALSE(LoadTableCsv(path, "A", &loaded));
+}
+
+TEST_F(CsvFileTest, MissingCellsRoundTripByteIdentically) {
+  // "NaN" is the canonical *string* missing marker
+  // (text::kMissingValue): it must survive a CSV save/load unchanged,
+  // still be recognized as missing, and never be read back as a number.
+  Table table = MakeTable("A", {"name", "price"},
+                          {{"sony", certa::text::kMissingValue}});
+  std::string path = (directory_ / "missing.csv").string();
+  ASSERT_TRUE(SaveTableCsv(path, table));
+  Table loaded;
+  ASSERT_TRUE(LoadTableCsv(path, "A", &loaded));
+  EXPECT_EQ(loaded.record(0).value(1), certa::text::kMissingValue);
+  EXPECT_TRUE(certa::text::IsMissing(loaded.record(0).value(1)));
+  double as_number = 0.0;
+  EXPECT_FALSE(certa::ParseDouble(loaded.record(0).value(1), &as_number));
+}
+
+TEST_F(CsvFileTest, LoadTableRejectsNonNumericId) {
+  // An id cell of "NaN" used to flow through ParseDouble into
+  // static_cast<int>(NaN) — undefined behavior. It must now fail the
+  // load cleanly.
+  std::string path = (directory_ / "nan_id.csv").string();
+  {
+    std::ofstream out(path);
+    out << "id,a\nNaN,x\n";
   }
   Table loaded;
   EXPECT_FALSE(LoadTableCsv(path, "A", &loaded));

@@ -140,6 +140,35 @@ TEST(PredictionCacheTest, ConcurrentInsertLookupIsConsistent) {
   EXPECT_EQ(cache.stats().hits, static_cast<long long>(kKeys));
 }
 
+TEST(PredictionCacheTest, ShardingSpreadsKeysSharingTheHighWord) {
+  // Regression: shard selection used `key.hi % shards`, which piled
+  // every key sharing `hi` (and, with power-of-two shard counts, every
+  // key with the same low bits of `hi`) into one shard. 200 keys that
+  // differ only in `lo` must now spread across 4 shards of 64 — no
+  // shard fills, so nothing is evicted. Under the old indexing they all
+  // landed in one shard and forced repeated wholesale clears.
+  PredictionCache cache(4, 64);
+  constexpr uint64_t kSharedHi = 42;
+  for (uint64_t lo = 0; lo < 200; ++lo) {
+    cache.Insert(PairKey{lo, kSharedHi}, static_cast<double>(lo));
+  }
+  EXPECT_EQ(cache.stats().evictions, 0);
+  EXPECT_EQ(cache.entry_count(), 200u);
+  double score = -1.0;
+  EXPECT_TRUE(cache.Lookup(PairKey{7, kSharedHi}, &score));
+  EXPECT_DOUBLE_EQ(score, 7.0);
+}
+
+TEST(PredictionCacheTest, ShardingSpreadsWithNonPowerOfTwoShardCount) {
+  // Same property with 3 shards (the modulus path, not a mask).
+  PredictionCache cache(3, 64);
+  for (uint64_t lo = 0; lo < 150; ++lo) {
+    cache.Insert(PairKey{lo, 0xDEADBEEFULL}, 0.5);
+  }
+  EXPECT_EQ(cache.stats().evictions, 0);
+  EXPECT_EQ(cache.entry_count(), 150u);
+}
+
 // ---------------------------------------------------------------------------
 // ScoringEngine
 

@@ -84,6 +84,45 @@ TEST(StringUtilsTest, ParseDoubleInvalid) {
   EXPECT_FALSE(ParseDouble("   ", &value));
 }
 
+TEST(StringUtilsTest, ParseDoubleRejectsNonFinite) {
+  // strtod happily reads "nan" and "inf" — but a NaN that reaches a
+  // `< 0 || > 1` range check passes it (every NaN comparison is false),
+  // and "NaN" is this codebase's *string* missing-value marker. Reject
+  // non-finite outright.
+  double value = 123.0;
+  EXPECT_FALSE(ParseDouble("nan", &value));
+  EXPECT_FALSE(ParseDouble("NaN", &value));
+  EXPECT_FALSE(ParseDouble("inf", &value));
+  EXPECT_FALSE(ParseDouble("-inf", &value));
+  EXPECT_FALSE(ParseDouble("infinity", &value));
+  EXPECT_FALSE(ParseDouble("1e999", &value));  // overflows to +inf
+}
+
+TEST(StringUtilsTest, ParseInt64Valid) {
+  long long value = 0;
+  EXPECT_TRUE(ParseInt64("42", &value));
+  EXPECT_EQ(value, 42);
+  EXPECT_TRUE(ParseInt64("  -7 ", &value));
+  EXPECT_EQ(value, -7);
+  EXPECT_TRUE(ParseInt64("0", &value));
+  EXPECT_EQ(value, 0);
+  EXPECT_TRUE(ParseInt64("9223372036854775807", &value));
+  EXPECT_EQ(value, 9223372036854775807LL);
+}
+
+TEST(StringUtilsTest, ParseInt64Invalid) {
+  long long value = 99;
+  EXPECT_FALSE(ParseInt64("", &value));
+  EXPECT_FALSE(ParseInt64("   ", &value));
+  EXPECT_FALSE(ParseInt64("abc", &value));
+  EXPECT_FALSE(ParseInt64("8jobs", &value));  // atoi would read 8
+  EXPECT_FALSE(ParseInt64("1.5", &value));
+  EXPECT_FALSE(ParseInt64("0x10", &value));   // base 10 only
+  EXPECT_FALSE(ParseInt64("9223372036854775808", &value));  // overflow
+  EXPECT_FALSE(ParseInt64("-9223372036854775809", &value));
+  EXPECT_EQ(value, 99) << "*out must stay untouched on failure";
+}
+
 TEST(TablePrinterTest, AlignsColumns) {
   TablePrinter printer({"A", "Long header"});
   printer.AddRow({"wide value", "x"});

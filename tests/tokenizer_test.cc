@@ -112,5 +112,16 @@ TEST(TryParseNumericTest, RejectsText) {
   EXPECT_FALSE(TryParseNumeric("$", &value));
 }
 
+TEST(MissingValueTest, CanonicalMarkerIsRecognizedAsMissing) {
+  // Every producer of missing cells (DiCE's pool fallback, the
+  // synthetic generator) writes kMissingValue; IsMissing must agree,
+  // case-insensitively, along with the other conventional spellings.
+  EXPECT_TRUE(IsMissing(kMissingValue));
+  EXPECT_TRUE(IsMissing("nan"));
+  EXPECT_TRUE(IsMissing(""));
+  EXPECT_FALSE(IsMissing("0"));
+  EXPECT_FALSE(IsMissing("none of the above"));
+}
+
 }  // namespace
 }  // namespace certa::text

@@ -40,9 +40,15 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/atomic_file.h"
 
 #include "persist/checkpoint.h"
 #include "service/job_runner.h"
@@ -101,6 +107,7 @@ int Usage() {
          "                [--pair N] [--triangles T] [--threads K]\n"
          "                [--no-cache] [--json] [--tokens] [--data DIR]\n"
          "                [--budget N] [--deadline-ms N] [--fault-rate X]\n"
+         "                [--metrics-out FILE] [--trace-out FILE]\n"
          "  certa export  --dataset CODE --out DIR\n"
          "  certa profile --dataset CODE [--data DIR]\n"
          "  certa rules   --dataset CODE [--data DIR]\n"
@@ -109,6 +116,8 @@ int Usage() {
          "  certa serve   [--job-root DIR] [--queue N] [--workers K]\n"
          "                [--checkpoint-every N] [--deadline-ms N]\n"
          "                [--stall-timeout-ms N] [--jobs FILE]\n"
+         "                [--stats-every N] [--metrics-out FILE]\n"
+         "                [--trace-out FILE]\n"
          "  certa serve   --resume JOBDIR [--checkpoint-every N]\n"
          "durable explain: explain ... --job-dir DIR [--checkpoint-every N]\n"
          "models: deeper | deepmatcher | ditto | svm\n"
@@ -119,6 +128,86 @@ int Usage() {
   std::cerr << "\n";
   return 2;
 }
+
+// Checked flag parsing. std::atoi was the previous implementation and
+// silently mapped garbage to 0 ("--pair=abc" explained pair 0, and
+// "--pair=-1" reached indexing as a negative); every integer flag and
+// job-line key now goes through these, which print a clear error and
+// make the command exit nonzero.
+
+bool ParseIntFlag(const Args& args, const std::string& key,
+                  long long fallback, long long min_value, long long* out) {
+  if (!args.Has(key)) {
+    *out = fallback;
+    return true;
+  }
+  const std::string text = args.Get(key, "");
+  long long value = 0;
+  if (!certa::ParseInt64(text, &value)) {
+    std::cerr << "error: --" << key << "=" << text
+              << " is not an integer\n";
+    return false;
+  }
+  if (value < min_value) {
+    std::cerr << "error: --" << key << " must be >= " << min_value
+              << " (got " << value << ")\n";
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseIntFlag(const Args& args, const std::string& key, int fallback,
+                  int min_value, int* out) {
+  long long value = 0;
+  if (!ParseIntFlag(args, key, static_cast<long long>(fallback),
+                    static_cast<long long>(min_value), &value)) {
+    return false;
+  }
+  if (value > std::numeric_limits<int>::max()) {
+    std::cerr << "error: --" << key << " is out of range (got " << value
+              << ")\n";
+    return false;
+  }
+  *out = static_cast<int>(value);
+  return true;
+}
+
+/// Shared observability wiring: builds the registry/recorder when the
+/// corresponding output flag is present, and writes both files (via the
+/// atomic writer) when the command finishes.
+struct ObsSink {
+  std::unique_ptr<certa::obs::MetricsRegistry> metrics;
+  std::unique_ptr<certa::obs::TraceRecorder> trace;
+  std::string metrics_path;
+  std::string trace_path;
+
+  void InitFromArgs(const Args& args) {
+    metrics_path = args.Get("metrics-out", "");
+    trace_path = args.Get("trace-out", "");
+    if (!metrics_path.empty()) {
+      metrics = std::make_unique<certa::obs::MetricsRegistry>();
+    }
+    if (!trace_path.empty()) {
+      trace = std::make_unique<certa::obs::TraceRecorder>();
+    }
+  }
+
+  /// Final dump; returns false (with a message) when a write fails.
+  bool Flush() const {
+    if (metrics != nullptr &&
+        !certa::util::AtomicWriteFile(metrics_path,
+                                      metrics->ToJson() + "\n")) {
+      std::cerr << "error: cannot write metrics to " << metrics_path << "\n";
+      return false;
+    }
+    if (trace != nullptr && !trace->SaveToFile(trace_path)) {
+      std::cerr << "error: cannot write trace to " << trace_path << "\n";
+      return false;
+    }
+    return true;
+  }
+};
 
 bool ParseModel(const std::string& name, ModelKind* kind) {
   std::string lowered = certa::ToLowerAscii(name);
@@ -204,13 +293,25 @@ int CmdExplain(const Args& args) {
   if (!LoadData(args, &dataset)) return 1;
   ModelKind kind;
   if (!ParseModel(args.Get("model", "ditto"), &kind)) return Usage();
-  int pair_index = std::atoi(args.Get("pair", "0").c_str());
-  if (pair_index < 0 ||
-      pair_index >= static_cast<int>(dataset.test.size())) {
+  int pair_index = 0;
+  int triangles = 0;
+  int threads = 0;
+  long long budget = 0;
+  long long deadline_ms = 0;
+  if (!ParseIntFlag(args, "pair", 0, 0, &pair_index) ||
+      !ParseIntFlag(args, "triangles", 100, 2, &triangles) ||
+      !ParseIntFlag(args, "threads", 1, 1, &threads) ||
+      !ParseIntFlag(args, "budget", 0LL, 0LL, &budget) ||
+      !ParseIntFlag(args, "deadline-ms", 0LL, 0LL, &deadline_ms)) {
+    return 2;
+  }
+  if (pair_index >= static_cast<int>(dataset.test.size())) {
     std::cerr << "error: --pair out of range (test set has "
               << dataset.test.size() << " pairs)\n";
     return 1;
   }
+  ObsSink obs;
+  obs.InitFromArgs(args);
   if (args.Has("job-dir")) {
     // Durable path: scores are write-ahead journaled and progress
     // checkpointed inside --job-dir. Re-running the same command after
@@ -228,17 +329,21 @@ int CmdExplain(const Args& args) {
     spec.data_dir = args.Get("data", "");
     spec.model = certa::ToLowerAscii(args.Get("model", "ditto"));
     spec.pair_index = pair_index;
-    spec.triangles =
-        std::max(2, std::atoi(args.Get("triangles", "100").c_str()));
-    spec.threads = std::max(1, std::atoi(args.Get("threads", "1").c_str()));
+    spec.triangles = triangles;
+    spec.threads = threads;
     spec.use_cache = !args.Has("no-cache");
     certa::service::DurableRunOptions run_options;
-    run_options.checkpoint_every =
-        std::max(1, std::atoi(args.Get("checkpoint-every", "256").c_str()));
+    if (!ParseIntFlag(args, "checkpoint-every", 256, 1,
+                      &run_options.checkpoint_every)) {
+      return 2;
+    }
     run_options.cancel = certa::service::ShutdownFlag();
     run_options.cancelled_state = "interrupted";
+    run_options.metrics = obs.metrics.get();
+    run_options.trace = obs.trace.get();
     certa::service::JobOutcome outcome = certa::service::RunDurableExplain(
         spec, args.Get("job-dir", ""), run_options);
+    if (!obs.Flush()) return 1;
     if (outcome.state == certa::service::JobState::kFailed) {
       std::cerr << "error: " << outcome.error << "\n";
       return 1;
@@ -272,12 +377,6 @@ int CmdExplain(const Args& args) {
   } else {
     model = certa::models::TrainMatcher(kind, dataset);
   }
-  const long long budget = std::max(
-      0LL, static_cast<long long>(
-               std::atoll(args.Get("budget", "0").c_str())));
-  const long long deadline_ms = std::max(
-      0LL, static_cast<long long>(
-               std::atoll(args.Get("deadline-ms", "0").c_str())));
   double fault_rate = 0.0;
   if (!certa::ParseDouble(args.Get("fault-rate", "0"), &fault_rate) ||
       fault_rate < 0.0 || fault_rate > 1.0) {
@@ -303,15 +402,15 @@ int CmdExplain(const Args& args) {
   certa::explain::ExplainContext context{context_model, &dataset.left,
                                          &dataset.right};
   certa::core::CertaExplainer::Options options;
-  options.num_triangles =
-      std::max(2, std::atoi(args.Get("triangles", "100").c_str()));
-  options.num_threads =
-      std::max(1, std::atoi(args.Get("threads", "1").c_str()));
+  options.num_triangles = triangles;
+  options.num_threads = threads;
   options.use_cache = !args.Has("no-cache");
   options.resilience.enabled =
       fault_rate > 0.0 || budget > 0 || deadline_ms > 0;
   options.resilience.max_model_calls = budget;
   options.resilience.deadline_micros = deadline_ms * 1000;
+  options.metrics = obs.metrics.get();
+  options.trace = obs.trace.get();
   certa::core::CertaExplainer explainer(context, options);
 
   const certa::data::LabeledPair& pair =
@@ -355,6 +454,7 @@ int CmdExplain(const Args& args) {
                 << certa::FormatDouble(explanation.scores[t], 3) << "\n";
     }
   }
+  if (!obs.Flush()) return 1;
   return 0;
 }
 
@@ -409,7 +509,12 @@ int CmdGlobal(const Args& args) {
   if (!LoadData(args, &dataset)) return 1;
   ModelKind kind;
   if (!ParseModel(args.Get("model", "ditto"), &kind)) return Usage();
-  int max_pairs = std::max(1, std::atoi(args.Get("pairs", "20").c_str()));
+  int max_pairs = 0;
+  int threads = 0;
+  if (!ParseIntFlag(args, "pairs", 20, 1, &max_pairs) ||
+      !ParseIntFlag(args, "threads", 1, 1, &threads)) {
+    return 2;
+  }
   auto model = certa::models::TrainMatcher(kind, dataset);
   certa::models::ScoringEngine::Options engine_options;
   engine_options.enable_cache = !args.Has("no-cache");
@@ -417,8 +522,7 @@ int CmdGlobal(const Args& args) {
   certa::explain::ExplainContext context{&engine, &dataset.left,
                                          &dataset.right};
   certa::core::CertaExplainer::Options options;
-  options.num_threads =
-      std::max(1, std::atoi(args.Get("threads", "1").c_str()));
+  options.num_threads = threads;
   options.use_cache = !args.Has("no-cache");
   certa::core::CertaExplainer explainer(context, options);
   std::vector<certa::data::LabeledPair> pairs = dataset.test;
@@ -446,6 +550,23 @@ int CmdGlobal(const Args& args) {
 /// deadline-ms. Example: "dataset=AB model=svm pair=3 deadline-ms=500".
 bool ParseJobLine(std::string_view line, certa::service::JobSpec* spec,
                   std::string* error) {
+  // Same checked parsing as the flags: a malformed number rejects the
+  // job line (the serve loop answers REJECT) instead of silently
+  // becoming 0.
+  auto parse_int = [&](const std::string& key, const std::string& value,
+                       long long min_value, long long* out) {
+    long long parsed = 0;
+    if (!certa::ParseInt64(value, &parsed)) {
+      *error = key + "=" + value + " is not an integer";
+      return false;
+    }
+    if (parsed < min_value) {
+      *error = key + " must be >= " + std::to_string(min_value);
+      return false;
+    }
+    *out = parsed;
+    return true;
+  };
   for (const std::string& token : certa::SplitWhitespace(line)) {
     const size_t eq = token.find('=');
     if (eq == std::string::npos) {
@@ -454,17 +575,29 @@ bool ParseJobLine(std::string_view line, certa::service::JobSpec* spec,
     }
     const std::string key = token.substr(0, eq);
     const std::string value = token.substr(eq + 1);
+    long long parsed = 0;
     if (key == "id") spec->id = value;
     else if (key == "dataset") spec->dataset = value;
     else if (key == "data") spec->data_dir = value;
     else if (key == "model") spec->model = certa::ToLowerAscii(value);
-    else if (key == "pair") spec->pair_index = std::atoi(value.c_str());
-    else if (key == "triangles") spec->triangles = std::atoi(value.c_str());
-    else if (key == "threads") spec->threads = std::atoi(value.c_str());
-    else if (key == "seed") spec->seed = std::strtoull(value.c_str(), nullptr, 10);
-    else if (key == "cache") spec->use_cache = value != "0";
-    else if (key == "deadline-ms") spec->deadline_ms = std::atoll(value.c_str());
-    else {
+    else if (key == "pair") {
+      if (!parse_int(key, value, 0, &parsed)) return false;
+      spec->pair_index = static_cast<int>(parsed);
+    } else if (key == "triangles") {
+      if (!parse_int(key, value, 2, &parsed)) return false;
+      spec->triangles = static_cast<int>(parsed);
+    } else if (key == "threads") {
+      if (!parse_int(key, value, 1, &parsed)) return false;
+      spec->threads = static_cast<int>(parsed);
+    } else if (key == "seed") {
+      if (!parse_int(key, value, 0, &parsed)) return false;
+      spec->seed = static_cast<uint64_t>(parsed);
+    } else if (key == "cache") {
+      spec->use_cache = value != "0";
+    } else if (key == "deadline-ms") {
+      if (!parse_int(key, value, 0, &parsed)) return false;
+      spec->deadline_ms = parsed;
+    } else {
       *error = "unknown key '" + key + "'";
       return false;
     }
@@ -474,8 +607,10 @@ bool ParseJobLine(std::string_view line, certa::service::JobSpec* spec,
 
 int CmdServe(const Args& args) {
   certa::service::InstallShutdownHandlers();
-  const int checkpoint_every =
-      std::max(1, std::atoi(args.Get("checkpoint-every", "256").c_str()));
+  int checkpoint_every = 0;
+  if (!ParseIntFlag(args, "checkpoint-every", 256, 1, &checkpoint_every)) {
+    return 2;
+  }
 
   if (args.Has("resume")) {
     const std::string job_dir = args.Get("resume", "");
@@ -515,16 +650,31 @@ int CmdServe(const Args& args) {
 
   certa::service::JobRunnerOptions options;
   options.job_root = args.Get("job-root", "jobs");
-  options.queue_capacity = static_cast<size_t>(
-      std::max(1, std::atoi(args.Get("queue", "8").c_str())));
-  options.workers = std::max(1, std::atoi(args.Get("workers", "1").c_str()));
+  int queue = 0;
+  if (!ParseIntFlag(args, "queue", 8, 1, &queue) ||
+      !ParseIntFlag(args, "workers", 1, 1, &options.workers) ||
+      !ParseIntFlag(args, "deadline-ms", 0LL, 0LL,
+                    &options.default_deadline_ms) ||
+      !ParseIntFlag(args, "stall-timeout-ms", 0LL, 0LL,
+                    &options.stall_timeout_ms) ||
+      !ParseIntFlag(args, "stats-every", 0, 0, &options.stats_every)) {
+    return 2;
+  }
+  options.queue_capacity = static_cast<size_t>(queue);
   options.checkpoint_every = checkpoint_every;
-  options.default_deadline_ms = std::max(
-      0LL, static_cast<long long>(
-               std::atoll(args.Get("deadline-ms", "0").c_str())));
-  options.stall_timeout_ms = std::max(
-      0LL, static_cast<long long>(
-               std::atoll(args.Get("stall-timeout-ms", "0").c_str())));
+  // Stats export: --stats-every N snapshots the registry after every N
+  // terminal jobs (and always once at shutdown); --metrics-out names
+  // the file (default <job-root>/metrics.json).
+  ObsSink obs;
+  obs.InitFromArgs(args);
+  if (options.stats_every > 0 && obs.metrics == nullptr) {
+    obs.metrics_path = options.job_root + "/metrics.json";
+    obs.metrics = std::make_unique<certa::obs::MetricsRegistry>();
+  }
+  options.metrics = obs.metrics.get();
+  options.trace = obs.trace.get();
+  options.stats_every = std::max(options.stats_every, 0);
+  options.stats_path = obs.metrics_path;
   certa::service::JobRunner runner(options);
 
   std::istream* in = &std::cin;
@@ -579,6 +729,7 @@ int CmdServe(const Args& args) {
             << " completed=" << counters.completed
             << " parked=" << counters.parked
             << " failed=" << counters.failed << "\n";
+  if (!obs.Flush()) return 1;
   return interrupted ? certa::service::kInterruptedExitCode : 0;
 }
 
