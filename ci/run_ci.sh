@@ -26,15 +26,20 @@ ctest --test-dir "${REPO_ROOT}/build-ci" --output-on-failure -j "${JOBS}"
 echo "== Labelled suites (Release) =="
 ctest --test-dir "${REPO_ROOT}/build-ci" --output-on-failure -L resilience
 ctest --test-dir "${REPO_ROOT}/build-ci" --output-on-failure -L durability
+# Networked service: wire edge cases, live server, and the e2e round
+# trip through the real serve/client binaries (8 concurrent clients
+# byte-compared against direct `certa explain`, SIGTERM drain).
+ctest --test-dir "${REPO_ROOT}/build-ci" --output-on-failure -L service-net
 
 echo "== address+undefined sanitizer build =="
 cmake -B "${REPO_ROOT}/build-ci-asan" -S "${REPO_ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCERTA_SANITIZE=address+undefined
 cmake --build "${REPO_ROOT}/build-ci-asan" -j "${JOBS}"
 
-echo "== Sanitized resilience + durability suites =="
+echo "== Sanitized resilience + durability + service-net suites =="
 ctest --test-dir "${REPO_ROOT}/build-ci-asan" --output-on-failure -L resilience
 ctest --test-dir "${REPO_ROOT}/build-ci-asan" --output-on-failure -L durability
+ctest --test-dir "${REPO_ROOT}/build-ci-asan" --output-on-failure -L service-net
 
 echo "== thread sanitizer build =="
 cmake -B "${REPO_ROOT}/build-ci-tsan" -S "${REPO_ROOT}" \

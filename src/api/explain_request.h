@@ -1,0 +1,102 @@
+#ifndef CERTA_API_EXPLAIN_REQUEST_H_
+#define CERTA_API_EXPLAIN_REQUEST_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "api/version.h"
+#include "util/json_parser.h"
+
+namespace certa::api {
+
+/// One explanation request — THE request contract of this codebase.
+///
+/// Every front door builds it through the same parse → validate →
+/// serialize path in this file:
+///   - CLI flags (`certa explain`, tools/certa_cli.cc) via ApplyField;
+///   - serve job lines (`key=value ...`) via ParseKeyValueLine;
+///   - the network wire protocol (src/net) via FromJson;
+///   - job checkpoints (src/persist) via ToJson/FromJson, so a job dir
+///     records exactly the request it is running.
+/// Before this existed the same fields lived in three divergent copies
+/// (ad-hoc CLI parsing, service::JobSpec, a subset of
+/// core::CertaExplainer::Options) with three validation behaviors.
+///
+/// Canonical field names are the snake_case JSON keys listed per field
+/// below; ApplyField also accepts dashed spellings ("deadline-ms") and
+/// the deprecated aliases kept for old clients (DeprecationNote).
+struct ExplainRequest {
+  /// "schema_version". Always serialized; inputs newer than
+  /// kSchemaVersion are rejected, never guessed at.
+  int schema_version = kSchemaVersion;
+  /// "id": job-dir name under the runner's job root; empty = assigned.
+  std::string id;
+  /// "dataset": built-in benchmark code, or any code when data_dir set.
+  std::string dataset = "AB";
+  /// "data_dir" (deprecated alias "data"): DeepMatcher-format
+  /// directory; empty = built-in benchmark.
+  std::string data_dir;
+  /// "model": "deeper" | "deepmatcher" | "ditto" | "svm".
+  std::string model = "svm";
+  /// "pair": index into the dataset's test split.
+  int pair_index = 0;
+  /// "triangles": τ, the number of open triangles (paper uses 100).
+  int triangles = 100;
+  /// "threads": scoring worker threads; results are bit-identical at
+  /// any value.
+  int threads = 1;
+  /// "seed" for triangle sampling and augmentation.
+  uint64_t seed = 7;
+  /// "cache": memoize perturbed-pair scores within the run.
+  bool use_cache = true;
+  /// "budget": hard model-call budget; 0 = unlimited. Exhaustion
+  /// truncates the result (status "truncated") instead of failing.
+  long long budget = 0;
+  /// "deadline_ms": whole-job deadline; 0 = none. Durable runs park on
+  /// overrun (watchdog), in-process runs truncate via resilience.
+  long long deadline_ms = 0;
+  /// "fault_rate" in [0, 1]: injected model-call failure rate (testing
+  /// and chaos drills). Rejected for durable jobs — journaled scores
+  /// must come from the real model.
+  double fault_rate = 0.0;
+
+  /// Range/enum validation (model name, pair >= 0, triangles >= 2,
+  /// threads >= 1, budget/deadline >= 0, fault_rate in [0,1], and
+  /// schema_version <= kSchemaVersion). False + *error on violation.
+  bool Validate(std::string* error) const;
+
+  /// Canonical compact-JSON serialization; FromJson(ToJson()) is the
+  /// identity for any valid request.
+  std::string ToJson() const;
+};
+
+/// Sets one field from its canonical name (or an accepted alias) and a
+/// string value — the single field-level parse used by every text front
+/// end. Key spelling is normalized ('-' == '_'). Returns false with a
+/// clear *error for unknown keys and malformed values; values are
+/// parsed with the strict numeric parsers (never atoi semantics).
+bool ApplyField(std::string_view key, std::string_view value,
+                ExplainRequest* request, std::string* error);
+
+/// Non-empty exactly when `key` is a deprecated alias: a note telling
+/// the caller what to use instead (front ends print it once per use).
+std::string DeprecationNote(std::string_view key);
+
+/// Parses a whitespace-separated "key=value ..." job line (the `certa
+/// serve` stdin protocol). False + *error on the first bad token.
+bool ParseKeyValueLine(std::string_view line, ExplainRequest* request,
+                       std::string* error);
+
+/// Parses a JSON object into *request. Unknown keys are rejected (a
+/// typo'd knob must not silently fall back to a default), and a
+/// schema_version newer than kSchemaVersion fails with a clear
+/// "speaks schema N, this build supports <= M" error.
+bool FromJson(const JsonValue& value, ExplainRequest* request,
+              std::string* error);
+bool FromJsonText(std::string_view text, ExplainRequest* request,
+                  std::string* error);
+
+}  // namespace certa::api
+
+#endif  // CERTA_API_EXPLAIN_REQUEST_H_

@@ -1,0 +1,19 @@
+#ifndef CERTA_API_VERSION_H_
+#define CERTA_API_VERSION_H_
+
+namespace certa::api {
+
+/// Version of the ExplainRequest schema and everything stamped with it:
+/// wire-protocol frames (docs/SERVICE.md), result.json, metrics.json,
+/// and job-checkpoint headers. Bump when a field changes meaning or a
+/// required field is added; readers accept anything up to their own
+/// version and reject newer inputs with a clear error rather than
+/// misparse them.
+///
+/// Header-only on purpose: exporters (core, obs) stamp the constant
+/// without linking the api library.
+inline constexpr int kSchemaVersion = 1;
+
+}  // namespace certa::api
+
+#endif  // CERTA_API_VERSION_H_

@@ -1,5 +1,6 @@
 #include "core/certa_explainer.h"
 
+#include "api/version.h"
 #include "explain/json_export.h"
 #include "explain/perturbation.h"
 #include "util/json_writer.h"
@@ -11,6 +12,11 @@ std::string CertaResultToJson(const CertaResult& result,
                               const data::Schema& right) {
   JsonWriter json;
   json.BeginObject();
+
+  // Consumers can gate on the same version the wire protocol and
+  // checkpoints carry (api::kSchemaVersion).
+  json.Key("schema_version");
+  json.Int(api::kSchemaVersion);
 
   json.Key("saliency");
   explain::WriteSaliency(&json, result.saliency, left, right);

@@ -1,0 +1,579 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/atomic_file.h"
+
+namespace certa::net {
+
+namespace {
+
+bool SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+NetServer::NetServer(NetServerOptions options) : options_(std::move(options)) {
+  // The runner hooks must exist before the first worker starts, so the
+  // runner is built here with them pre-wired. Both hooks run on worker
+  // threads: they serialize the event into a string under events_mutex_
+  // and poke the loop — no socket is ever touched off the loop thread.
+  service::JobRunnerOptions runner_options = options_.runner;
+  runner_options.on_progress = [this](const std::string& job_id,
+                                      const core::ExplainProgress& progress) {
+    std::string frame = ProgressEventFrame(
+        job_id, progress.phase, progress.triangles_total,
+        progress.triangles_tagged, progress.predictions_performed,
+        progress.total_flips);
+    {
+      std::lock_guard<std::mutex> lock(events_mutex_);
+      pending_.progress[job_id] = std::move(frame);  // coalesce: newest wins
+    }
+    Wake();
+  };
+  runner_options.on_terminal = [this](const service::JobOutcome& outcome) {
+    std::string frame = TerminalEventFrame(outcome);
+    {
+      std::lock_guard<std::mutex> lock(events_mutex_);
+      pending_.terminal_frames.push_back(std::move(frame));
+      pending_.terminal_job_ids.push_back(outcome.job_id);
+    }
+    Wake();
+  };
+  runner_ = std::make_unique<service::JobRunner>(std::move(runner_options));
+}
+
+NetServer::~NetServer() {
+  Stop(/*drain=*/true);
+  if (background_.joinable()) background_.join();
+  for (auto& conn : conns_) {
+    if (conn->fd >= 0) close(conn->fd);
+  }
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (wake_read_fd_ >= 0) close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) close(wake_write_fd_);
+}
+
+bool NetServer::Start(std::string* error) {
+  // A client that disconnects mid-stream must not kill the server.
+  signal(SIGPIPE, SIG_IGN);
+
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) {
+    if (error) *error = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  SetNonBlocking(wake_read_fd_);
+  SetNonBlocking(wake_write_fd_);
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    if (error) *error = "invalid listen address: " + options_.host;
+    return false;
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (error)
+      *error = "bind " + options_.host + ":" + std::to_string(options_.port) +
+               ": " + std::strerror(errno);
+    return false;
+  }
+  if (listen(listen_fd_, options_.max_connections) != 0) {
+    if (error) *error = std::string("listen: ") + std::strerror(errno);
+    return false;
+  }
+  SetNonBlocking(listen_fd_);
+
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                  &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = options_.port;
+  }
+  return true;
+}
+
+bool NetServer::StartBackground(std::string* error) {
+  if (!Start(error)) return false;
+  background_ = std::thread([this] { Run(); });
+  return true;
+}
+
+void NetServer::Stop(bool drain) {
+  drain_on_stop_.store(drain);
+  stop_requested_.store(true);
+  Wake();
+}
+
+ServerStats NetServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void NetServer::Wake() {
+  if (wake_write_fd_ < 0) return;
+  char byte = 1;
+  // Best effort: a full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] ssize_t n = write(wake_write_fd_, &byte, 1);
+}
+
+void NetServer::Run() {
+  Loop();
+  loop_done_.store(true);
+}
+
+void NetServer::Loop() {
+  std::vector<pollfd> fds;
+  bool external_stop = false;
+  while (true) {
+    if (stop_requested_.load()) break;
+    if (options_.stop_flag != nullptr && options_.stop_flag->load()) {
+      external_stop = true;
+      break;
+    }
+
+    fds.clear();
+    fds.push_back({wake_read_fd_, POLLIN, 0});
+    if (listen_fd_ >= 0 &&
+        conns_.size() < static_cast<size_t>(options_.max_connections)) {
+      fds.push_back({listen_fd_, POLLIN, 0});
+    }
+    size_t conn_base = fds.size();
+    for (auto& conn : conns_) {
+      short events = 0;
+      // A closing connection only flushes; it no longer reads.
+      if (!conn->closing) events |= POLLIN;
+      if (!conn->write_buffer.empty()) events |= POLLOUT;
+      fds.push_back({conn->fd, events, 0});
+    }
+
+    int ready = poll(fds.data(), fds.size(), options_.poll_interval_ms);
+    if (ready < 0 && errno != EINTR) break;
+
+    if (fds[0].revents & POLLIN) {
+      char drain_buf[256];
+      while (read(wake_read_fd_, drain_buf, sizeof(drain_buf)) > 0) {
+      }
+    }
+
+    bool listener_polled = conn_base > 1;
+    if (listener_polled && (fds[1].revents & POLLIN)) AcceptNew();
+
+    // Index by fd, not position: AcceptNew may have grown conns_.
+    for (size_t i = conn_base; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      Conn* conn = nullptr;
+      for (auto& candidate : conns_) {
+        if (candidate->fd == fds[i].fd) {
+          conn = candidate.get();
+          break;
+        }
+      }
+      if (conn == nullptr) continue;
+      if (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        CloseConn(conn);
+        continue;
+      }
+      if (fds[i].revents & POLLIN) HandleReadable(conn);
+      if (conn->fd >= 0 && (fds[i].revents & POLLOUT)) HandleWritable(conn);
+    }
+
+    DrainEvents();
+
+    // Reap closed connections, and closing ones whose buffers drained.
+    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                [this](const std::unique_ptr<Conn>& c) {
+                                  if (c->fd >= 0 && c->closing &&
+                                      c->write_buffer.empty()) {
+                                    close(c->fd);
+                                    const_cast<Conn*>(c.get())->fd = -1;
+                                  }
+                                  if (c->fd < 0) {
+                                    std::lock_guard<std::mutex> lock(
+                                        stats_mutex_);
+                                    --stats_.connections_active;
+                                    return true;
+                                  }
+                                  return false;
+                                }),
+                 conns_.end());
+  }
+
+  BeginDrain(external_stop ? options_.drain_on_stop_flag
+                           : drain_on_stop_.load());
+}
+
+void NetServer::AcceptNew() {
+  while (true) {
+    int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) break;  // EAGAIN or transient error; poll again
+    SetNonBlocking(fd);
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (conns_.size() >= static_cast<size_t>(options_.max_connections)) {
+      // Over the cap (a burst between polls): answer, then hang up.
+      std::string frame = ErrorFrame(kErrTooManyConnections,
+                                     "connection limit reached; retry later");
+      [[maybe_unused]] ssize_t n = write(fd, frame.data(), frame.size());
+      close(fd);
+      continue;
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conns_.push_back(std::move(conn));
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.connections_accepted;
+    ++stats_.connections_active;
+  }
+}
+
+void NetServer::HandleReadable(Conn* conn) {
+  char buffer[4096];
+  while (conn->fd >= 0) {
+    ssize_t n = read(conn->fd, buffer, sizeof(buffer));
+    if (n > 0) {
+      conn->read_buffer.append(buffer, static_cast<size_t>(n));
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.bytes_in += n;
+      }
+      // Frame-size cap applies to the *unterminated* prefix: a client
+      // that streams forever without a newline is cut off deterministically.
+      if (conn->read_buffer.find('\n') == std::string::npos &&
+          conn->read_buffer.size() > options_.max_frame_bytes) {
+        QueueFrame(conn,
+                   ErrorFrame(kErrFrameTooLarge,
+                              "frame exceeds " +
+                                  std::to_string(options_.max_frame_bytes) +
+                                  " bytes"),
+                   /*droppable=*/false);
+        conn->closing = true;
+        return;
+      }
+      size_t start = 0;
+      size_t newline;
+      while ((newline = conn->read_buffer.find('\n', start)) !=
+             std::string::npos) {
+        std::string_view line(conn->read_buffer.data() + start,
+                              newline - start);
+        if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+        if (!line.empty()) HandleFrame(conn, line);
+        start = newline + 1;
+        if (conn->fd < 0 || conn->closing) break;
+      }
+      if (start > 0) conn->read_buffer.erase(0, start);
+      if (conn->fd < 0 || conn->closing) return;
+      if (conn->read_buffer.size() > options_.max_frame_bytes) {
+        QueueFrame(conn,
+                   ErrorFrame(kErrFrameTooLarge,
+                              "frame exceeds " +
+                                  std::to_string(options_.max_frame_bytes) +
+                                  " bytes"),
+                   /*droppable=*/false);
+        conn->closing = true;
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {
+      CloseConn(conn);  // peer EOF
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    CloseConn(conn);
+    return;
+  }
+}
+
+void NetServer::HandleWritable(Conn* conn) {
+  while (!conn->write_buffer.empty()) {
+    ssize_t n =
+        write(conn->fd, conn->write_buffer.data(), conn->write_buffer.size());
+    if (n > 0) {
+      conn->write_buffer.erase(0, static_cast<size_t>(n));
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.bytes_out += n;
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    CloseConn(conn);
+    return;
+  }
+}
+
+void NetServer::QueueFrame(Conn* conn, const std::string& frame,
+                           bool droppable) {
+  if (conn->fd < 0) return;
+  if (conn->write_buffer.size() + frame.size() > options_.max_write_buffer) {
+    if (droppable) {
+      // Shed the event; the reader catches up from the next snapshot.
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.events_dropped;
+      return;
+    }
+    // A required response that cannot fit means the reader has stalled
+    // past any reasonable buffer: disconnect rather than balloon.
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.slow_reader_closes;
+    }
+    CloseConn(conn);
+    return;
+  }
+  conn->write_buffer += frame;
+  // Opportunistic immediate flush; leftovers drain on POLLOUT.
+  HandleWritable(conn);
+}
+
+void NetServer::HandleFrame(Conn* conn, std::string_view line) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.frames_in;
+  }
+  ClientFrame frame;
+  std::string code;
+  std::string error;
+  if (!ParseClientFrame(line, &frame, &code, &error)) {
+    QueueFrame(conn, ErrorFrame(code, error), /*droppable=*/false);
+    return;
+  }
+  switch (frame.type) {
+    case ClientFrame::Type::kSubmit:
+      HandleSubmit(conn, frame);
+      return;
+    case ClientFrame::Type::kStatus: {
+      service::JobOutcome outcome;
+      service::JobQueryState state = runner_->Query(frame.job_id, &outcome);
+      if (state == service::JobQueryState::kUnknown) {
+        QueueFrame(conn,
+                   ErrorFrame(kErrUnknownJob,
+                              "no job named \"" + frame.job_id + "\"",
+                              frame.job_id),
+                   /*droppable=*/false);
+        return;
+      }
+      QueueFrame(conn, StatusFrame(frame.job_id, state, outcome),
+                 /*droppable=*/false);
+      return;
+    }
+    case ClientFrame::Type::kResult:
+      HandleResult(conn, frame.job_id);
+      return;
+    case ClientFrame::Type::kCancel: {
+      std::string reason;
+      if (runner_->Cancel(frame.job_id, &reason)) {
+        QueueFrame(conn, CancelledFrame(frame.job_id), /*droppable=*/false);
+      } else {
+        QueueFrame(conn, ErrorFrame(kErrUnknownJob, reason, frame.job_id),
+                   /*droppable=*/false);
+      }
+      return;
+    }
+    case ClientFrame::Type::kStats:
+      QueueFrame(conn, StatsFrame(runner_->counters(), stats()),
+                 /*droppable=*/false);
+      return;
+    case ClientFrame::Type::kPing:
+      QueueFrame(conn, PongFrame(), /*droppable=*/false);
+      return;
+  }
+}
+
+void NetServer::HandleSubmit(Conn* conn, const ClientFrame& frame) {
+  if (stop_requested_.load()) {
+    QueueFrame(conn,
+               ErrorFrame(kErrShuttingDown, "server is shutting down"),
+               /*droppable=*/false);
+    return;
+  }
+  service::JobRunner::SubmitResult result = runner_->Submit(frame.request);
+  if (!result.accepted) {
+    const char* code = kErrRejectedClosed;
+    switch (result.reject_code) {
+      case service::JobRunner::RejectCode::kQueueFull:
+        code = kErrRejectedQueueFull;
+        break;
+      case service::JobRunner::RejectCode::kDeadline:
+        code = kErrRejectedDeadline;
+        break;
+      default:
+        break;
+    }
+    QueueFrame(conn, ErrorFrame(code, result.reason), /*droppable=*/false);
+    return;
+  }
+  // Watch registration happens here, on the loop thread, *before*
+  // DrainEvents can run this iteration — so even a job that finishes
+  // instantly delivers its terminal event to this connection.
+  if (frame.watch) conn->watched_jobs.insert(result.job_id);
+  QueueFrame(conn, AcceptedFrame(result.job_id), /*droppable=*/false);
+}
+
+void NetServer::HandleResult(Conn* conn, const std::string& job_id) {
+  service::JobOutcome outcome;
+  service::JobQueryState state = runner_->Query(job_id, &outcome);
+  if (state == service::JobQueryState::kQueued ||
+      state == service::JobQueryState::kRunning) {
+    QueueFrame(conn,
+               ErrorFrame(kErrNotComplete,
+                          "job is " + service::JobQueryStateName(state) +
+                              "; poll status until complete",
+                          job_id),
+               /*droppable=*/false);
+    return;
+  }
+  if (state == service::JobQueryState::kParked ||
+      state == service::JobQueryState::kFailed) {
+    QueueFrame(conn,
+               ErrorFrame(kErrNotComplete,
+                          "job ended " + service::JobQueryStateName(state) +
+                              (outcome.error.empty() ? std::string()
+                                                     : ": " + outcome.error),
+                          job_id),
+               /*droppable=*/false);
+    return;
+  }
+  std::string result_json = outcome.result_json;
+  if (state == service::JobQueryState::kUnknown || result_json.empty()) {
+    // Jobs from a previous server life are still servable from disk —
+    // the job dir is the durable source of truth.
+    std::string path = options_.runner.job_root + "/" + job_id +
+                       "/result.json";
+    if (!util::ReadFileToString(path, &result_json) || result_json.empty()) {
+      QueueFrame(conn,
+                 ErrorFrame(kErrUnknownJob,
+                            "no job named \"" + job_id +
+                                "\" and no stored result at " + path,
+                            job_id),
+                 /*droppable=*/false);
+      return;
+    }
+  }
+  // result.json is written with a trailing newline; the frame supplies
+  // its own line terminator.
+  while (!result_json.empty() &&
+         (result_json.back() == '\n' || result_json.back() == '\r')) {
+    result_json.pop_back();
+  }
+  QueueFrame(conn, ResultFrame(job_id, result_json), /*droppable=*/false);
+}
+
+void NetServer::DrainEvents() {
+  PendingEvents batch;
+  {
+    std::lock_guard<std::mutex> lock(events_mutex_);
+    batch = std::move(pending_);
+    pending_ = PendingEvents();
+  }
+  if (batch.progress.empty() && batch.terminal_frames.empty()) return;
+  for (auto& conn : conns_) {
+    if (conn->fd < 0 || conn->watched_jobs.empty()) continue;
+    for (const auto& [job_id, frame] : batch.progress) {
+      if (conn->watched_jobs.count(job_id)) {
+        QueueFrame(conn.get(), frame, /*droppable=*/true);
+        if (conn->fd < 0) break;
+      }
+    }
+    if (conn->fd < 0) continue;
+    for (size_t i = 0; i < batch.terminal_frames.size(); ++i) {
+      if (conn->watched_jobs.count(batch.terminal_job_ids[i])) {
+        QueueFrame(conn.get(), batch.terminal_frames[i],
+                   /*droppable=*/false);
+        if (conn->fd < 0) break;
+        conn->watched_jobs.erase(batch.terminal_job_ids[i]);
+      }
+    }
+  }
+}
+
+void NetServer::CloseConn(Conn* conn) {
+  if (conn->fd < 0) return;
+  close(conn->fd);
+  conn->fd = -1;
+  conn->write_buffer.clear();
+  conn->watched_jobs.clear();
+}
+
+void NetServer::BeginDrain(bool drain) {
+  // 1. No new work: the listener goes first.
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // 2. Runner winds down. drain=true finishes queued + running jobs
+  // (their terminal events still flow through pending_); drain=false
+  // parks running jobs resumable and parks queued ones back.
+  runner_->Shutdown(drain);
+
+  // 3. Tell every connection, deliver the last events, and flush.
+  DrainEvents();
+  for (auto& conn : conns_) {
+    if (conn->fd < 0) continue;
+    QueueFrame(conn.get(), ShutdownEventFrame(), /*droppable=*/false);
+    conn->closing = true;
+  }
+
+  // 4. Bounded flush window: poll only for writability, then hang up.
+  for (int spin = 0; spin < 100; ++spin) {
+    std::vector<pollfd> fds;
+    for (auto& conn : conns_) {
+      if (conn->fd >= 0 && !conn->write_buffer.empty()) {
+        fds.push_back({conn->fd, POLLOUT, 0});
+      }
+    }
+    if (fds.empty()) break;
+    if (poll(fds.data(), fds.size(), 20) <= 0) continue;
+    for (auto& pfd : fds) {
+      for (auto& conn : conns_) {
+        if (conn->fd == pfd.fd && (pfd.revents & POLLOUT)) {
+          HandleWritable(conn.get());
+        }
+      }
+    }
+  }
+  for (auto& conn : conns_) {
+    if (conn->fd >= 0) {
+      close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.connections_active = 0;
+  }
+  conns_.clear();
+}
+
+}  // namespace certa::net

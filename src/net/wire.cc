@@ -1,0 +1,330 @@
+#include "net/wire.h"
+
+#include "util/json_writer.h"
+
+namespace certa::net {
+
+namespace {
+
+/// Every frame opens the same way: {"schema_version":1,"type":...
+void BeginFrame(JsonWriter* json, std::string_view type) {
+  json->BeginObject();
+  json->Key("schema_version");
+  json->Int(api::kSchemaVersion);
+  json->Key("type");
+  json->String(type);
+}
+
+std::string Finish(JsonWriter* json) {
+  json->EndObject();
+  return json->str() + "\n";
+}
+
+}  // namespace
+
+bool ParseClientFrame(std::string_view line, ClientFrame* frame,
+                      std::string* code, std::string* error) {
+  JsonValue value;
+  std::string parse_error;
+  if (!JsonValue::Parse(line, &value, &parse_error)) {
+    *code = kErrBadJson;
+    *error = "frame is not valid JSON: " + parse_error;
+    return false;
+  }
+  if (!value.is_object()) {
+    *code = kErrBadFrame;
+    *error = "frame must be a JSON object";
+    return false;
+  }
+  // The frame-level schema_version gate comes before anything else so a
+  // future client gets "speak v1" instead of an unknown-field error.
+  if (const JsonValue* version = value.Find("schema_version")) {
+    if (!version->is_integer()) {
+      *code = kErrBadFrame;
+      *error = "schema_version must be an integer";
+      return false;
+    }
+    if (version->int_value() > api::kSchemaVersion) {
+      *code = kErrUnsupportedSchema;
+      *error = "frame speaks schema_version " +
+               std::to_string(version->int_value()) +
+               "; this server supports <= " +
+               std::to_string(api::kSchemaVersion);
+      return false;
+    }
+  }
+  const JsonValue* type = value.Find("type");
+  if (type == nullptr || !type->is_string()) {
+    *code = kErrBadFrame;
+    *error = "frame is missing a string \"type\"";
+    return false;
+  }
+  const std::string& name = type->string_value();
+  ClientFrame parsed;
+  if (name == "submit") {
+    parsed.type = ClientFrame::Type::kSubmit;
+    const JsonValue* request = value.Find("request");
+    if (request == nullptr || !request->is_object()) {
+      *code = kErrBadFrame;
+      *error = "submit frame is missing a \"request\" object";
+      return false;
+    }
+    std::string request_error;
+    if (!api::FromJson(*request, &parsed.request, &request_error)) {
+      // Distinguish "future schema" (retryable against a newer server)
+      // from "malformed request".
+      *code = request_error.find("schema_version") != std::string::npos
+                  ? kErrUnsupportedSchema
+                  : kErrBadRequest;
+      *error = request_error;
+      return false;
+    }
+    if (const JsonValue* watch = value.Find("watch")) {
+      if (!watch->is_bool()) {
+        *code = kErrBadFrame;
+        *error = "\"watch\" must be a boolean";
+        return false;
+      }
+      parsed.watch = watch->bool_value();
+    }
+  } else if (name == "status" || name == "result" || name == "cancel") {
+    parsed.type = name == "status"   ? ClientFrame::Type::kStatus
+                  : name == "result" ? ClientFrame::Type::kResult
+                                     : ClientFrame::Type::kCancel;
+    const JsonValue* job = value.Find("job_id");
+    if (job == nullptr || !job->is_string() || job->string_value().empty()) {
+      *code = kErrBadFrame;
+      *error = "\"" + name + "\" frame is missing a non-empty \"job_id\"";
+      return false;
+    }
+    parsed.job_id = job->string_value();
+  } else if (name == "stats") {
+    parsed.type = ClientFrame::Type::kStats;
+  } else if (name == "ping") {
+    parsed.type = ClientFrame::Type::kPing;
+  } else {
+    *code = kErrBadFrame;
+    *error = "unknown frame type \"" + name + "\"";
+    return false;
+  }
+  *frame = parsed;
+  return true;
+}
+
+std::string ErrorFrame(const std::string& code, const std::string& message,
+                       const std::string& job_id) {
+  JsonWriter json;
+  BeginFrame(&json, "error");
+  json.Key("code");
+  json.String(code);
+  json.Key("message");
+  json.String(message);
+  if (!job_id.empty()) {
+    json.Key("job_id");
+    json.String(job_id);
+  }
+  return Finish(&json);
+}
+
+std::string AcceptedFrame(const std::string& job_id) {
+  JsonWriter json;
+  BeginFrame(&json, "accepted");
+  json.Key("job_id");
+  json.String(job_id);
+  return Finish(&json);
+}
+
+std::string StatusFrame(const std::string& job_id,
+                        service::JobQueryState state,
+                        const service::JobOutcome& outcome) {
+  JsonWriter json;
+  BeginFrame(&json, "status");
+  json.Key("job_id");
+  json.String(job_id);
+  json.Key("state");
+  json.String(service::JobQueryStateName(state));
+  const bool terminal = state == service::JobQueryState::kComplete ||
+                        state == service::JobQueryState::kParked ||
+                        state == service::JobQueryState::kFailed;
+  if (terminal) {
+    json.Key("resumed");
+    json.Bool(outcome.resumed);
+    json.Key("replayed_scores");
+    json.Int(outcome.replayed_scores);
+    json.Key("fresh_scores");
+    json.Int(outcome.fresh_scores);
+    if (!outcome.error.empty()) {
+      json.Key("error");
+      json.String(outcome.error);
+    }
+  }
+  return Finish(&json);
+}
+
+std::string ResultFrame(const std::string& job_id,
+                        const std::string& result_json) {
+  JsonWriter json;
+  BeginFrame(&json, "result");
+  json.Key("job_id");
+  json.String(job_id);
+  json.Key("result");
+  json.Raw(result_json);
+  return Finish(&json);
+}
+
+std::string CancelledFrame(const std::string& job_id) {
+  JsonWriter json;
+  BeginFrame(&json, "cancelled");
+  json.Key("job_id");
+  json.String(job_id);
+  return Finish(&json);
+}
+
+std::string PongFrame() {
+  JsonWriter json;
+  BeginFrame(&json, "pong");
+  return Finish(&json);
+}
+
+std::string StatsFrame(const service::JobRunner::Counters& counters,
+                       const ServerStats& stats) {
+  JsonWriter json;
+  BeginFrame(&json, "stats");
+  json.Key("runner");
+  json.BeginObject();
+  json.Key("submitted");
+  json.Int(counters.submitted);
+  json.Key("accepted");
+  json.Int(counters.accepted);
+  json.Key("rejected_closed");
+  json.Int(counters.rejected_closed);
+  json.Key("rejected_queue_full");
+  json.Int(counters.rejected_queue_full);
+  json.Key("rejected_deadline");
+  json.Int(counters.rejected_deadline);
+  json.Key("completed");
+  json.Int(counters.completed);
+  json.Key("parked");
+  json.Int(counters.parked);
+  json.Key("failed");
+  json.Int(counters.failed);
+  json.EndObject();
+  json.Key("server");
+  json.BeginObject();
+  json.Key("connections_accepted");
+  json.Int(stats.connections_accepted);
+  json.Key("connections_active");
+  json.Int(stats.connections_active);
+  json.Key("frames_in");
+  json.Int(stats.frames_in);
+  json.Key("bytes_in");
+  json.Int(stats.bytes_in);
+  json.Key("bytes_out");
+  json.Int(stats.bytes_out);
+  json.Key("events_dropped");
+  json.Int(stats.events_dropped);
+  json.Key("slow_reader_closes");
+  json.Int(stats.slow_reader_closes);
+  json.EndObject();
+  return Finish(&json);
+}
+
+std::string ProgressEventFrame(const std::string& job_id,
+                               const std::string& phase, int triangles_total,
+                               int triangles_tagged,
+                               long long predictions_performed,
+                               long long total_flips) {
+  JsonWriter json;
+  BeginFrame(&json, "event");
+  json.Key("event");
+  json.String("progress");
+  json.Key("job_id");
+  json.String(job_id);
+  json.Key("phase");
+  json.String(phase);
+  json.Key("triangles_total");
+  json.Int(triangles_total);
+  json.Key("triangles_tagged");
+  json.Int(triangles_tagged);
+  json.Key("predictions_performed");
+  json.Int(predictions_performed);
+  json.Key("total_flips");
+  json.Int(total_flips);
+  return Finish(&json);
+}
+
+std::string TerminalEventFrame(const service::JobOutcome& outcome) {
+  JsonWriter json;
+  BeginFrame(&json, "event");
+  json.Key("event");
+  json.String("terminal");
+  json.Key("job_id");
+  json.String(outcome.job_id);
+  json.Key("state");
+  json.String(service::JobStateName(outcome.state));
+  json.Key("resumed");
+  json.Bool(outcome.resumed);
+  json.Key("replayed_scores");
+  json.Int(outcome.replayed_scores);
+  json.Key("fresh_scores");
+  json.Int(outcome.fresh_scores);
+  if (!outcome.error.empty()) {
+    json.Key("error");
+    json.String(outcome.error);
+  }
+  return Finish(&json);
+}
+
+std::string ShutdownEventFrame() {
+  JsonWriter json;
+  BeginFrame(&json, "event");
+  json.Key("event");
+  json.String("shutdown");
+  return Finish(&json);
+}
+
+std::string SubmitFrame(const api::ExplainRequest& request, bool watch) {
+  JsonWriter json;
+  BeginFrame(&json, "submit");
+  json.Key("request");
+  json.Raw(request.ToJson());
+  json.Key("watch");
+  json.Bool(watch);
+  return Finish(&json);
+}
+
+namespace {
+std::string JobFrame(std::string_view type, const std::string& job_id) {
+  JsonWriter json;
+  BeginFrame(&json, type);
+  json.Key("job_id");
+  json.String(job_id);
+  return Finish(&json);
+}
+}  // namespace
+
+std::string StatusRequestFrame(const std::string& job_id) {
+  return JobFrame("status", job_id);
+}
+
+std::string ResultRequestFrame(const std::string& job_id) {
+  return JobFrame("result", job_id);
+}
+
+std::string CancelRequestFrame(const std::string& job_id) {
+  return JobFrame("cancel", job_id);
+}
+
+std::string StatsRequestFrame() {
+  JsonWriter json;
+  BeginFrame(&json, "stats");
+  return Finish(&json);
+}
+
+std::string PingFrame() {
+  JsonWriter json;
+  BeginFrame(&json, "ping");
+  return Finish(&json);
+}
+
+}  // namespace certa::net

@@ -1,0 +1,104 @@
+#ifndef CERTA_NET_WIRE_H_
+#define CERTA_NET_WIRE_H_
+
+#include <string>
+
+#include "api/explain_request.h"
+#include "core/certa_explainer.h"
+#include "service/job_runner.h"
+#include "util/json_parser.h"
+
+namespace certa::net {
+
+/// Line-delimited JSON wire protocol (docs/SERVICE.md): every frame is
+/// exactly one JSON object on one '\n'-terminated line, stamped with
+/// the api schema_version. Client frames carry a "type" of submit |
+/// status | result | cancel | stats | ping; server frames answer with
+/// accepted | status | result | cancelled | stats | pong | error, plus
+/// asynchronous "event" frames (progress / terminal / shutdown) for
+/// watched jobs.
+///
+/// This header is the single builder/parser both the server and
+/// tools/certa_client use — the frames cannot drift apart.
+
+/// Stable machine-readable error codes (`"code"` in error frames).
+/// Human text rides alongside in `"message"`; clients branch on the
+/// code only.
+inline constexpr char kErrBadJson[] = "bad_json";
+inline constexpr char kErrBadFrame[] = "bad_frame";
+inline constexpr char kErrBadRequest[] = "bad_request";
+inline constexpr char kErrUnsupportedSchema[] = "unsupported_schema";
+inline constexpr char kErrRejectedQueueFull[] = "rejected_queue_full";
+inline constexpr char kErrRejectedClosed[] = "rejected_closed";
+inline constexpr char kErrRejectedDeadline[] = "rejected_deadline";
+inline constexpr char kErrUnknownJob[] = "unknown_job";
+inline constexpr char kErrNotComplete[] = "not_complete";
+inline constexpr char kErrFrameTooLarge[] = "frame_too_large";
+inline constexpr char kErrTooManyConnections[] = "too_many_connections";
+inline constexpr char kErrShuttingDown[] = "shutting_down";
+
+/// One parsed client frame.
+struct ClientFrame {
+  enum class Type { kSubmit, kStatus, kResult, kCancel, kStats, kPing };
+  Type type = Type::kPing;
+  /// Valid for kSubmit.
+  api::ExplainRequest request;
+  /// kSubmit: stream progress/terminal events for this job to the
+  /// submitting connection (default true).
+  bool watch = true;
+  /// Valid for kStatus / kResult / kCancel.
+  std::string job_id;
+};
+
+/// Parses one frame line (without the trailing newline). On failure
+/// returns false and sets *code to one of the kErr constants and
+/// *error to the human-readable message.
+bool ParseClientFrame(std::string_view line, ClientFrame* frame,
+                      std::string* code, std::string* error);
+
+// -- server-side frame builders (each returns one full line, '\n'
+// included) --
+
+std::string ErrorFrame(const std::string& code, const std::string& message,
+                       const std::string& job_id = "");
+std::string AcceptedFrame(const std::string& job_id);
+std::string StatusFrame(const std::string& job_id,
+                        service::JobQueryState state,
+                        const service::JobOutcome& outcome);
+/// `result_json` is the stored result.json document, spliced verbatim.
+std::string ResultFrame(const std::string& job_id,
+                        const std::string& result_json);
+std::string CancelledFrame(const std::string& job_id);
+std::string PongFrame();
+/// Runner counters + server-side connection/byte counters.
+struct ServerStats {
+  long long connections_accepted = 0;
+  long long connections_active = 0;
+  long long frames_in = 0;
+  long long bytes_in = 0;
+  long long bytes_out = 0;
+  long long events_dropped = 0;
+  long long slow_reader_closes = 0;
+};
+std::string StatsFrame(const service::JobRunner::Counters& counters,
+                       const ServerStats& stats);
+std::string ProgressEventFrame(const std::string& job_id,
+                               const std::string& phase, int triangles_total,
+                               int triangles_tagged,
+                               long long predictions_performed,
+                               long long total_flips);
+std::string TerminalEventFrame(const service::JobOutcome& outcome);
+std::string ShutdownEventFrame();
+
+// -- client-side frame builders (tools/certa_client, tests) --
+
+std::string SubmitFrame(const api::ExplainRequest& request, bool watch);
+std::string StatusRequestFrame(const std::string& job_id);
+std::string ResultRequestFrame(const std::string& job_id);
+std::string CancelRequestFrame(const std::string& job_id);
+std::string StatsRequestFrame();
+std::string PingFrame();
+
+}  // namespace certa::net
+
+#endif  // CERTA_NET_WIRE_H_

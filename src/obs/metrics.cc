@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "api/version.h"
 #include "util/json_writer.h"
 
 namespace certa::obs {
@@ -141,6 +142,9 @@ std::string MetricsRegistry::ToJson() const {
   std::lock_guard<std::mutex> lock(mutex_);
   JsonWriter json;
   json.BeginObject();
+
+  json.Key("schema_version");
+  json.Int(api::kSchemaVersion);
 
   json.Key("counters");
   json.BeginObject();

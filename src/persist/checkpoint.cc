@@ -11,10 +11,15 @@
 namespace certa::persist {
 namespace {
 
-/// Header line: "CERTACKPT <version> <crc32-hex>\n"; the CRC covers the
-/// payload that follows the newline.
+/// Header line: "CERTACKPT <format> <schema_version> <crc32-hex>\n";
+/// the CRC covers the payload that follows the newline. Format 1 (the
+/// pre-ExplainRequest layout, header "CERTACKPT 1 <crc>") is still
+/// readable; format 2 stores the request through its canonical JSON
+/// path and stamps the request's schema_version into the header so a
+/// checkpoint from a newer build is rejected up front with a clear
+/// error.
 constexpr char kTag[] = "CERTACKPT";
-constexpr int kVersion = 1;
+constexpr int kFormatVersion = 2;
 
 /// TextArchive cannot round-trip an empty string value (its line
 /// parser requires three fields), so every string field is stored with
@@ -33,15 +38,9 @@ bool Dec(const TextArchive& archive, const std::string& key,
 
 std::string PayloadOf(const JobCheckpoint& c) {
   TextArchive archive;
-  archive.PutString("job_id", Enc(c.job_id));
-  archive.PutString("dataset", Enc(c.dataset));
-  archive.PutString("data_dir", Enc(c.data_dir));
-  archive.PutString("model", Enc(c.model));
-  archive.PutInt("pair_index", c.pair_index);
-  archive.PutInt("triangles", c.triangles);
-  archive.PutInt("threads", c.threads);
-  archive.PutInt("seed", static_cast<long long>(c.seed));
-  archive.PutInt("use_cache", c.use_cache ? 1 : 0);
+  // The whole request rides as its canonical JSON — one serialize path
+  // shared with the wire protocol, not a second field-by-field copy.
+  archive.PutString("request", Enc(c.request.ToJson()));
   archive.PutString("state", Enc(c.state));
   archive.PutString("phase", Enc(c.phase));
   archive.PutInt("triangles_total", c.triangles_total);
@@ -59,72 +58,144 @@ std::string PayloadOf(const JobCheckpoint& c) {
   return archive.Serialize();
 }
 
+bool SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+/// Format-1 payloads carried the spec as loose archive fields; map
+/// them onto the request so old job dirs stay resumable.
+bool ParseLegacySpec(const TextArchive& archive, JobCheckpoint* c) {
+  long long value = 0;
+  if (!Dec(archive, "job_id", &c->request.id) ||
+      !Dec(archive, "dataset", &c->request.dataset) ||
+      !Dec(archive, "data_dir", &c->request.data_dir) ||
+      !Dec(archive, "model", &c->request.model)) {
+    return false;
+  }
+  if (!archive.GetInt("pair_index", &value)) return false;
+  c->request.pair_index = static_cast<int>(value);
+  if (!archive.GetInt("triangles", &value)) return false;
+  c->request.triangles = static_cast<int>(value);
+  if (!archive.GetInt("threads", &value)) return false;
+  c->request.threads = static_cast<int>(value);
+  if (!archive.GetInt("seed", &value)) return false;
+  c->request.seed = static_cast<uint64_t>(value);
+  if (!archive.GetInt("use_cache", &value)) return false;
+  c->request.use_cache = value != 0;
+  c->request.schema_version = 1;
+  return true;
+}
+
 }  // namespace
 
 std::string SerializeCheckpoint(const JobCheckpoint& checkpoint) {
   std::string payload = PayloadOf(checkpoint);
-  char header[64];
-  std::snprintf(header, sizeof(header), "%s %d %08x\n", kTag, kVersion,
+  char header[80];
+  std::snprintf(header, sizeof(header), "%s %d %d %08x\n", kTag,
+                kFormatVersion, checkpoint.request.schema_version,
                 util::Crc32(payload));
   return std::string(header) + payload;
 }
 
-bool ParseCheckpoint(const std::string& text, JobCheckpoint* checkpoint) {
+bool ParseCheckpoint(const std::string& text, JobCheckpoint* checkpoint,
+                     std::string* error) {
   size_t newline = text.find('\n');
-  if (newline == std::string::npos) return false;
+  if (newline == std::string::npos) {
+    return SetError(error, "missing checkpoint header");
+  }
   const std::string header = text.substr(0, newline);
   char tag[16] = {0};
-  int version = 0;
+  int format = 0;
+  int schema_version = 0;
   unsigned int stored_crc = 0;
-  if (std::sscanf(header.c_str(), "%15s %d %x", tag, &version,
-                  &stored_crc) != 3 ||
-      std::strcmp(tag, kTag) != 0 || version != kVersion) {
-    return false;
+  bool legacy = false;
+  if (std::sscanf(header.c_str(), "%15s %d %d %x", tag, &format,
+                  &schema_version, &stored_crc) == 4 &&
+      std::strcmp(tag, kTag) == 0) {
+    if (format > kFormatVersion) {
+      return SetError(error,
+                      "checkpoint format " + std::to_string(format) +
+                          " is newer than this build supports (<= " +
+                          std::to_string(kFormatVersion) + ")");
+    }
+    // Four-token headers started at format 2; anything lower here is
+    // corruption, not an old writer.
+    if (format < 2) {
+      return SetError(error, "malformed checkpoint header");
+    }
+    if (schema_version > api::kSchemaVersion) {
+      return SetError(error,
+                      "checkpoint request schema_version " +
+                          std::to_string(schema_version) +
+                          " is newer than this build supports (<= " +
+                          std::to_string(api::kSchemaVersion) + ")");
+    }
+    if (schema_version < 1) {
+      return SetError(error, "malformed checkpoint header");
+    }
+  } else if (std::sscanf(header.c_str(), "%15s %d %x", tag, &format,
+                         &stored_crc) == 3 &&
+             std::strcmp(tag, kTag) == 0 && format == 1) {
+    legacy = true;
+  } else {
+    return SetError(error, "malformed checkpoint header");
   }
   const std::string payload = text.substr(newline + 1);
-  if (util::Crc32(payload) != stored_crc) return false;
+  if (util::Crc32(payload) != stored_crc) {
+    return SetError(error, "checkpoint CRC mismatch");
+  }
 
   TextArchive archive;
-  if (!TextArchive::Parse(payload, &archive)) return false;
+  if (!TextArchive::Parse(payload, &archive)) {
+    return SetError(error, "malformed checkpoint payload");
+  }
   JobCheckpoint c;
+  if (legacy) {
+    if (!ParseLegacySpec(archive, &c)) {
+      return SetError(error, "malformed legacy checkpoint spec");
+    }
+  } else {
+    std::string request_json;
+    std::string request_error;
+    if (!Dec(archive, "request", &request_json) ||
+        !api::FromJsonText(request_json, &c.request, &request_error)) {
+      return SetError(error, "bad checkpoint request: " + request_error);
+    }
+    // The header stamp must agree with the embedded request — a
+    // disagreement means header corruption the CRC cannot see (it only
+    // covers the payload).
+    if (c.request.schema_version != schema_version) {
+      return SetError(error,
+                      "checkpoint header schema_version disagrees with "
+                      "the stored request");
+    }
+  }
   long long value = 0;
   auto get_int = [&](const char* key, long long* out) {
     return archive.GetInt(key, out);
   };
-  if (!Dec(archive, "job_id", &c.job_id) ||
-      !Dec(archive, "dataset", &c.dataset) ||
-      !Dec(archive, "data_dir", &c.data_dir) ||
-      !Dec(archive, "model", &c.model) ||
-      !Dec(archive, "state", &c.state) ||
-      !Dec(archive, "phase", &c.phase)) {
-    return false;
+  if (!Dec(archive, "state", &c.state) || !Dec(archive, "phase", &c.phase)) {
+    return SetError(error, "malformed checkpoint lifecycle fields");
   }
-  if (!get_int("pair_index", &value)) return false;
-  c.pair_index = static_cast<int>(value);
-  if (!get_int("triangles", &value)) return false;
-  c.triangles = static_cast<int>(value);
-  if (!get_int("threads", &value)) return false;
-  c.threads = static_cast<int>(value);
-  if (!get_int("seed", &value)) return false;
-  c.seed = static_cast<uint64_t>(value);
-  if (!get_int("use_cache", &value)) return false;
-  c.use_cache = value != 0;
-  if (!get_int("triangles_total", &value)) return false;
+  if (!get_int("triangles_total", &value)) return SetError(error, "malformed checkpoint");
   c.triangles_total = static_cast<int>(value);
-  if (!get_int("triangles_tagged", &value)) return false;
+  if (!get_int("triangles_tagged", &value)) return SetError(error, "malformed checkpoint");
   c.triangles_tagged = static_cast<int>(value);
   if (!get_int("predictions_performed", &c.predictions_performed) ||
       !get_int("total_flips", &c.total_flips) ||
       !get_int("fresh_scores", &c.fresh_scores) ||
       !get_int("replayed_scores", &c.replayed_scores)) {
-    return false;
+    return SetError(error, "malformed checkpoint counters");
   }
-  if (!get_int("tagged_lattices", &value) || value < 0) return false;
+  if (!get_int("tagged_lattices", &value) || value < 0) {
+    return SetError(error, "malformed checkpoint lattice count");
+  }
   c.tagged_lattices.resize(static_cast<size_t>(value));
   for (size_t i = 0; i < c.tagged_lattices.size(); ++i) {
     if (!Dec(archive, "lattice_" + std::to_string(i),
              &c.tagged_lattices[i])) {
-      return false;
+      return SetError(error, "malformed checkpoint lattice entry");
     }
   }
   *checkpoint = std::move(c);
@@ -136,10 +207,13 @@ bool SaveCheckpoint(const std::string& path,
   return util::AtomicWriteFile(path, SerializeCheckpoint(checkpoint));
 }
 
-bool LoadCheckpoint(const std::string& path, JobCheckpoint* checkpoint) {
+bool LoadCheckpoint(const std::string& path, JobCheckpoint* checkpoint,
+                    std::string* error) {
   std::string text;
-  if (!util::ReadFileToString(path, &text)) return false;
-  return ParseCheckpoint(text, checkpoint);
+  if (!util::ReadFileToString(path, &text)) {
+    return SetError(error, "cannot read " + path);
+  }
+  return ParseCheckpoint(text, checkpoint, error);
 }
 
 std::string JournalPathInDir(const std::string& job_dir) {

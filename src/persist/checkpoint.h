@@ -5,27 +5,25 @@
 #include <string>
 #include <vector>
 
+#include "api/explain_request.h"
+
 namespace certa::persist {
 
 /// Periodic snapshot of one explanation job's progress, durably written
 /// (temp + fsync + atomic rename) alongside its score journal. The
 /// journal alone makes resume *correct* (replay → bit-identical rerun);
 /// the checkpoint makes a job dir *self-describing* — it carries the
-/// full job spec, the phase/frontier the run had reached, and the
-/// tagged-lattice snapshots, so `certa serve --resume <job-dir>` needs
-/// nothing but the directory, and operators can inspect how far a
+/// full versioned request, the phase/frontier the run had reached, and
+/// the tagged-lattice snapshots, so `certa serve --resume <job-dir>`
+/// needs nothing but the directory, and operators can inspect how far a
 /// parked or interrupted job got.
 struct JobCheckpoint {
-  // -- job spec (enough to re-create the run exactly) --
-  std::string job_id;
-  std::string dataset;   // benchmark code, e.g. "AB"
-  std::string data_dir;  // external DeepMatcher dir; empty = built-in
-  std::string model;     // "deeper" | "deepmatcher" | "ditto" | "svm"
-  int pair_index = 0;
-  int triangles = 100;
-  int threads = 1;
-  uint64_t seed = 7;
-  bool use_cache = true;
+  /// The full versioned request this job runs (api::ExplainRequest is
+  /// the one spec shared by CLI, wire protocol and checkpoints; its
+  /// schema_version is stamped into the checkpoint and re-validated on
+  /// load, so a checkpoint from a newer build is rejected with a clear
+  /// error instead of misparsed). request.id is the job id.
+  api::ExplainRequest request;
 
   // -- lifecycle --
   /// "running" | "complete" | "parked" | "interrupted" | "failed".
@@ -52,10 +50,14 @@ struct JobCheckpoint {
 };
 
 /// Canonical text serialization (TextArchive payload behind a CRC'd
-/// header line) and its inverse. Parse returns false — never a partial
-/// object — on any malformation, including a CRC mismatch.
+/// header line; the header carries both the checkpoint format version
+/// and the request's schema_version) and its inverse. Parse returns
+/// false — never a partial object — on any malformation, including a
+/// CRC mismatch; a future-versioned header fails with a clear message
+/// in *error (optional) instead of being misparsed.
 std::string SerializeCheckpoint(const JobCheckpoint& checkpoint);
-bool ParseCheckpoint(const std::string& text, JobCheckpoint* checkpoint);
+bool ParseCheckpoint(const std::string& text, JobCheckpoint* checkpoint,
+                     std::string* error = nullptr);
 
 /// Atomic durable write; false on I/O error (the previous checkpoint,
 /// if any, is left intact).
@@ -64,7 +66,8 @@ bool SaveCheckpoint(const std::string& path, const JobCheckpoint& checkpoint);
 /// Loads and validates; false when missing, unreadable, or corrupt.
 /// A corrupt checkpoint is never trusted — callers fall back to
 /// journal-only resume, which is always safe.
-bool LoadCheckpoint(const std::string& path, JobCheckpoint* checkpoint);
+bool LoadCheckpoint(const std::string& path, JobCheckpoint* checkpoint,
+                    std::string* error = nullptr);
 
 // -- job directory layout --
 // A job dir holds everything one explanation job needs to resume:

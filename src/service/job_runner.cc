@@ -28,32 +28,30 @@ bool ModelKindFromName(const std::string& name, models::ModelKind* kind) {
 
 persist::JobCheckpoint CheckpointFromSpec(const JobSpec& spec) {
   persist::JobCheckpoint checkpoint;
-  checkpoint.job_id = spec.id;
-  checkpoint.dataset = spec.dataset;
-  checkpoint.data_dir = spec.data_dir;
-  checkpoint.model = spec.model;
-  checkpoint.pair_index = spec.pair_index;
-  checkpoint.triangles = spec.triangles;
-  checkpoint.threads = spec.threads;
-  checkpoint.seed = spec.seed;
-  checkpoint.use_cache = spec.use_cache;
+  checkpoint.request = spec;
   return checkpoint;
 }
 
 }  // namespace
 
 JobSpec SpecFromCheckpoint(const persist::JobCheckpoint& checkpoint) {
-  JobSpec spec;
-  spec.id = checkpoint.job_id;
-  spec.dataset = checkpoint.dataset;
-  spec.data_dir = checkpoint.data_dir;
-  spec.model = checkpoint.model;
-  spec.pair_index = checkpoint.pair_index;
-  spec.triangles = checkpoint.triangles;
-  spec.threads = checkpoint.threads;
-  spec.seed = checkpoint.seed;
-  spec.use_cache = checkpoint.use_cache;
-  return spec;
+  return checkpoint.request;
+}
+
+core::CertaExplainer::Options ExplainerOptionsFromRequest(
+    const api::ExplainRequest& request, bool include_deadline) {
+  core::CertaExplainer::Options options;
+  options.num_triangles = std::max(2, request.triangles);
+  options.num_threads = std::max(1, request.threads);
+  options.use_cache = request.use_cache;
+  options.seed = request.seed;
+  options.resilience.enabled =
+      request.budget > 0 || request.fault_rate > 0.0 ||
+      (include_deadline && request.deadline_ms > 0);
+  options.resilience.max_model_calls = request.budget;
+  options.resilience.deadline_micros =
+      include_deadline ? request.deadline_ms * 1000 : 0;
+  return options;
 }
 
 std::string JobStateName(JobState state) {
@@ -63,6 +61,24 @@ std::string JobStateName(JobState state) {
     case JobState::kParked:
       return "parked";
     case JobState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+std::string JobQueryStateName(JobQueryState state) {
+  switch (state) {
+    case JobQueryState::kUnknown:
+      return "unknown";
+    case JobQueryState::kQueued:
+      return "queued";
+    case JobQueryState::kRunning:
+      return "running";
+    case JobQueryState::kComplete:
+      return "complete";
+    case JobQueryState::kParked:
+      return "parked";
+    case JobQueryState::kFailed:
       return "failed";
   }
   return "unknown";
@@ -78,6 +94,15 @@ JobOutcome RunDurableExplain(const JobSpec& spec, const std::string& job_dir,
     outcome.error = error;
     return outcome;
   };
+  std::string request_error;
+  if (!spec.Validate(&request_error)) {
+    return fail("invalid request: " + request_error);
+  }
+  if (spec.fault_rate > 0.0) {
+    // Journaled scores must come from the real model: a replayed fault
+    // would poison every future resume of this job dir.
+    return fail("fault_rate is not supported for durable jobs");
+  }
   if (!util::EnsureDirectory(job_dir)) {
     return fail("cannot create job directory " + job_dir);
   }
@@ -176,11 +201,10 @@ JobOutcome RunDurableExplain(const JobSpec& spec, const std::string& job_dir,
   };
   flush();  // job dir is self-describing before the first model call
 
-  core::CertaExplainer::Options explainer_options;
-  explainer_options.num_triangles = std::max(2, spec.triangles);
-  explainer_options.num_threads = std::max(1, spec.threads);
-  explainer_options.use_cache = spec.use_cache;
-  explainer_options.seed = spec.seed;
+  // The runner's watchdog owns deadline_ms for durable jobs (park and
+  // resume, not truncate), so the adapter leaves it out here.
+  core::CertaExplainer::Options explainer_options =
+      ExplainerOptionsFromRequest(spec, /*include_deadline=*/false);
   explainer_options.replayed_scores = &prewarm;
   explainer_options.cancel = options.cancel;
   explainer_options.metrics = options.metrics;
@@ -210,6 +234,7 @@ JobOutcome RunDurableExplain(const JobSpec& spec, const std::string& job_dir,
       flush();  // phase boundaries are always durable
     }
     if (options.heartbeat) options.heartbeat();
+    if (options.progress) options.progress(progress);
   };
 
   explain::ExplainContext context{model.get(), &dataset.left,
@@ -290,7 +315,8 @@ JobRunner::SubmitResult JobRunner::Submit(JobSpec spec) {
     if (metric_.rejected_closed != nullptr) {
       metric_.rejected_closed->Increment();
     }
-    return {false, "", "admission closed (shutting down)"};
+    return {false, "", "admission closed (shutting down)",
+            RejectCode::kClosed};
   }
   if (queue_.size() >= options_.queue_capacity) {
     ++counters_.rejected_queue_full;
@@ -300,7 +326,8 @@ JobRunner::SubmitResult JobRunner::Submit(JobSpec spec) {
     return {false, "",
             "queue full (" + std::to_string(queue_.size()) +
                 " jobs waiting, capacity " +
-                std::to_string(options_.queue_capacity) + ")"};
+                std::to_string(options_.queue_capacity) + ")",
+            RejectCode::kQueueFull};
   }
   if (spec.deadline_ms == 0) spec.deadline_ms = options_.default_deadline_ms;
   if (spec.deadline_ms > 0 && ema_job_micros_ > 0.0) {
@@ -320,7 +347,8 @@ JobRunner::SubmitResult JobRunner::Submit(JobSpec spec) {
                   std::to_string(
                       static_cast<long long>(estimated_wait_micros / 1000.0)) +
                   "ms estimated wait exceeds " +
-                  std::to_string(spec.deadline_ms) + "ms deadline)"};
+                  std::to_string(spec.deadline_ms) + "ms deadline)",
+              RejectCode::kDeadline};
     }
   }
   if (spec.id.empty()) {
@@ -335,7 +363,7 @@ JobRunner::SubmitResult JobRunner::Submit(JobSpec spec) {
     metric_.queue_depth->Set(static_cast<long long>(queue_.size()));
   }
   work_available_.notify_one();
-  return {true, queue_.back().spec.id, ""};
+  return {true, queue_.back().spec.id, "", RejectCode::kNone};
 }
 
 void JobRunner::WorkerLoop() {
@@ -379,6 +407,13 @@ void JobRunner::WorkerLoop() {
       heartbeat_target->last_heartbeat_micros.store(
           NowMicros(), std::memory_order_relaxed);
     };
+    if (options_.on_progress) {
+      const std::string job_id = spec.id;
+      run_options.progress = [this,
+                              job_id](const core::ExplainProgress& progress) {
+        options_.on_progress(job_id, progress);
+      };
+    }
     JobOutcome outcome;
     {
       obs::TraceSpan job_span(options_.trace, "job:" + spec.id);
@@ -425,13 +460,14 @@ void JobRunner::WorkerLoop() {
           if (metric_.failed != nullptr) metric_.failed->Increment();
           break;
       }
-      outcomes_.push_back(std::move(outcome));
+      outcomes_.push_back(outcome);
       dump_stats = options_.stats_every > 0 &&
                    outcomes_.size() %
                            static_cast<size_t>(options_.stats_every) ==
                        0;
       idle_.notify_all();
     }
+    if (options_.on_terminal) options_.on_terminal(outcome);
     if (dump_stats) DumpStats();
   }
 }
@@ -468,6 +504,7 @@ void JobRunner::WatchdogLoop() {
 }
 
 void JobRunner::Shutdown(bool drain) {
+  std::vector<JobOutcome> parked_in_queue;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (closed_ && workers_.empty()) return;  // already shut down
@@ -494,12 +531,18 @@ void JobRunner::Shutdown(bool drain) {
         outcome.job_id = queued.spec.id;
         outcome.job_dir = job_dir;
         outcome.error = "interrupted before start (resumable checkpoint written)";
-        outcomes_.push_back(std::move(outcome));
+        outcomes_.push_back(outcome);
+        parked_in_queue.push_back(std::move(outcome));
         ++counters_.parked;
       }
       queue_.clear();
     }
     work_available_.notify_all();
+  }
+  if (options_.on_terminal) {
+    for (const JobOutcome& outcome : parked_in_queue) {
+      options_.on_terminal(outcome);
+    }
   }
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
@@ -517,6 +560,79 @@ void JobRunner::Shutdown(bool drain) {
 void JobRunner::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_.wait(lock, [this] { return queue_.empty() && running_.empty(); });
+}
+
+JobQueryState JobRunner::Query(const std::string& job_id,
+                               JobOutcome* outcome) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const QueuedJob& queued : queue_) {
+    if (queued.spec.id == job_id) return JobQueryState::kQueued;
+  }
+  for (const std::shared_ptr<RunningJob>& job : running_) {
+    if (job->id == job_id) return JobQueryState::kRunning;
+  }
+  // Latest outcome wins: a parked job can be re-submitted and finish.
+  for (auto it = outcomes_.rbegin(); it != outcomes_.rend(); ++it) {
+    if (it->job_id != job_id) continue;
+    if (outcome != nullptr) *outcome = *it;
+    switch (it->state) {
+      case JobState::kComplete:
+        return JobQueryState::kComplete;
+      case JobState::kParked:
+        return JobQueryState::kParked;
+      case JobState::kFailed:
+        return JobQueryState::kFailed;
+    }
+  }
+  return JobQueryState::kUnknown;
+}
+
+bool JobRunner::Cancel(const std::string& job_id, std::string* reason) {
+  JobOutcome cancelled;
+  bool notify_terminal = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t i = 0; i < queue_.size(); ++i) {
+      if (queue_[i].spec.id != job_id) continue;
+      // Same trail as a drain-less shutdown: the job never started, so
+      // a spec-only resumable checkpoint is its whole durable state.
+      const JobSpec spec = queue_[i].spec;
+      queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(i));
+      if (metric_.queue_depth != nullptr) {
+        metric_.queue_depth->Set(static_cast<long long>(queue_.size()));
+      }
+      const std::string job_dir = options_.job_root + "/" + spec.id;
+      if (util::EnsureDirectory(job_dir)) {
+        persist::JobCheckpoint checkpoint = CheckpointFromSpec(spec);
+        checkpoint.state = "interrupted";
+        persist::SaveCheckpoint(persist::CheckpointPathInDir(job_dir),
+                                checkpoint);
+      }
+      cancelled.state = JobState::kParked;
+      cancelled.job_id = spec.id;
+      cancelled.job_dir = job_dir;
+      cancelled.error = "cancelled before start (resumable checkpoint written)";
+      outcomes_.push_back(cancelled);
+      ++counters_.parked;
+      if (metric_.parked != nullptr) metric_.parked->Increment();
+      notify_terminal = true;
+      idle_.notify_all();
+      break;
+    }
+    if (!notify_terminal) {
+      for (const std::shared_ptr<RunningJob>& job : running_) {
+        if (job->id != job_id) continue;
+        job->cancel.store(true, std::memory_order_relaxed);
+        return true;  // parks at its next poll point
+      }
+    }
+  }
+  if (notify_terminal) {
+    if (options_.on_terminal) options_.on_terminal(cancelled);
+    return true;
+  }
+  if (reason != nullptr) *reason = "job is not queued or running";
+  return false;
 }
 
 JobRunner::Counters JobRunner::counters() const {

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "api/explain_request.h"
 #include "core/certa_explainer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -19,34 +20,30 @@
 
 namespace certa::service {
 
-/// One explanation request, as admitted by the serve loop. Everything
-/// needed to re-create the run exactly is here (and is persisted into
-/// the job's checkpoint, so a job dir alone suffices to resume).
-struct JobSpec {
-  /// Job-dir name under the runner's job root; empty = assigned
-  /// ("job-0001", ...).
-  std::string id;
-  /// Built-in benchmark code, or any code when data_dir is set.
-  std::string dataset = "AB";
-  /// DeepMatcher-format directory; empty = built-in benchmark.
-  std::string data_dir;
-  /// "deeper" | "deepmatcher" | "ditto" | "svm".
-  std::string model = "svm";
-  int pair_index = 0;
-  int triangles = 100;
-  int threads = 1;
-  uint64_t seed = 7;
-  bool use_cache = true;
-  /// Whole-job deadline. Admission rejects a job whose estimated queue
-  /// wait already exceeds it (shed early, while rejection is cheap);
-  /// the watchdog parks a *running* job that overruns it (its paid work
-  /// survives in the journal). 0 = none.
-  long long deadline_ms = 0;
-};
+/// One explanation request, as admitted by the serve loop — the
+/// versioned api::ExplainRequest is the single spec shared by the CLI,
+/// the wire protocol (src/net) and job checkpoints; the service layer
+/// uses it directly. `id` is the job-dir name under the runner's job
+/// root (empty = assigned "job-0001", ...); `deadline_ms` is the
+/// whole-job deadline: admission rejects a job whose estimated queue
+/// wait already exceeds it, and the watchdog parks a *running* job
+/// that overruns it (its paid work survives in the journal).
+using JobSpec = api::ExplainRequest;
 
-/// Reconstructs the spec a checkpoint was written under — the resume
-/// path: `certa serve --resume <job-dir>` needs only the directory.
+/// Reconstructs the request a checkpoint was written under — the
+/// resume path: `certa serve --resume <job-dir>` needs only the
+/// directory.
 JobSpec SpecFromCheckpoint(const persist::JobCheckpoint& checkpoint);
+
+/// The one spec → explainer translation (shared by the durable runner
+/// and the CLI's in-process explain). `include_deadline` applies
+/// request.deadline_ms as a resilience deadline — the in-process path
+/// wants that; durable runs leave it false because the runner's
+/// watchdog owns the job deadline (park + resume, not truncate).
+/// Durability hooks (cancel/observer/progress) are the caller's to
+/// fill in afterwards.
+core::CertaExplainer::Options ExplainerOptionsFromRequest(
+    const api::ExplainRequest& request, bool include_deadline);
 
 /// Terminal state of one job.
 enum class JobState {
@@ -93,6 +90,11 @@ struct DurableRunOptions {
   /// Invoked on every fresh score and phase boundary — the runner's
   /// watchdog heartbeat.
   std::function<void()> heartbeat;
+  /// Observes the same ExplainProgress snapshots the checkpoint is fed
+  /// from (phase boundaries and per-triangle frontier advances) — the
+  /// network layer streams progress events from here. Pointer fields
+  /// inside the snapshot are valid only for the callback's duration.
+  std::function<void(const core::ExplainProgress&)> progress;
   /// Observability (not owned; nullptr = uninstrumented). Flows into
   /// the journal (journal.*), checkpoint writes (checkpoint.*), and the
   /// explainer/engine underneath (explain.*, scoring.*). Results and
@@ -140,7 +142,29 @@ struct JobRunnerOptions {
   /// the final dump. Requires both `metrics` and a non-empty path.
   int stats_every = 0;
   std::string stats_path;
+  /// Progress/terminal event hooks (the network front-end's feed).
+  /// Both are invoked from worker threads — on_progress from inside a
+  /// running job, on_terminal after its outcome is recorded (never
+  /// under the runner's lock) — so sinks must be thread-safe.
+  std::function<void(const std::string& job_id,
+                     const core::ExplainProgress& progress)>
+      on_progress;
+  std::function<void(const JobOutcome& outcome)> on_terminal;
 };
+
+/// Where one job currently is, as seen by JobRunner::Query.
+enum class JobQueryState {
+  /// Never submitted to this runner (or id unknown).
+  kUnknown = 0,
+  kQueued = 1,
+  kRunning = 2,
+  /// Terminal states mirror JobState; Query carries the outcome.
+  kComplete = 3,
+  kParked = 4,
+  kFailed = 5,
+};
+
+std::string JobQueryStateName(JobQueryState state);
 
 /// Bounded-queue job service: admission control in front, durable
 /// worker runs in the middle, a watchdog on the side. Overload policy
@@ -149,12 +173,22 @@ struct JobRunnerOptions {
 /// job is ever silently lost.
 class JobRunner {
  public:
+  /// Machine-readable admission verdict (the wire protocol maps these
+  /// to stable error codes; `reason` stays the human-readable text).
+  enum class RejectCode {
+    kNone = 0,
+    kClosed = 1,
+    kQueueFull = 2,
+    kDeadline = 3,
+  };
+
   struct SubmitResult {
     bool accepted = false;
     std::string job_id;
     /// Why admission refused ("admission closed", "queue full ...",
     /// "deadline unmeetable ...").
     std::string reason;
+    RejectCode reject_code = RejectCode::kNone;
   };
 
   struct Counters {
@@ -188,6 +222,17 @@ class JobRunner {
   /// Blocks until every accepted job has a terminal outcome (admission
   /// stays open).
   void Wait();
+
+  /// Point-in-time lookup of one job by id. For terminal states
+  /// *outcome (optional) receives the recorded outcome.
+  JobQueryState Query(const std::string& job_id,
+                      JobOutcome* outcome = nullptr) const;
+
+  /// Cooperative cancel: a queued job is removed and parked with a
+  /// spec-only resumable checkpoint; a running job is flagged and
+  /// parks at its next poll point (journal + checkpoint flushed).
+  /// False (with *reason) for unknown or already-terminal jobs.
+  bool Cancel(const std::string& job_id, std::string* reason);
 
   Counters counters() const;
   /// Terminal outcomes so far, in completion order.

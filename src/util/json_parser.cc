@@ -1,0 +1,310 @@
+#include "util/json_parser.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace certa {
+namespace {
+
+/// Appends one Unicode code point as UTF-8.
+void AppendUtf8(unsigned long code_point, std::string* out) {
+  if (code_point < 0x80) {
+    out->push_back(static_cast<char>(code_point));
+  } else if (code_point < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (code_point >> 6)));
+    out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+  } else if (code_point < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (code_point >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (code_point >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((code_point >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+  }
+}
+
+}  // namespace
+
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool Run(JsonValue* out) {
+    SkipWhitespace();
+    if (!ParseValue(out, 0)) return false;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing bytes after JSON value");
+    }
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& message) {
+    if (error_ != nullptr) {
+      *error_ = message + " (at byte " + std::to_string(pos_) + ")";
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return Fail("invalid literal");
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > JsonValue::kMaxDepth) {
+      return Fail("nesting deeper than " +
+                  std::to_string(JsonValue::kMaxDepth) + " levels");
+    }
+    if (AtEnd()) return Fail("unexpected end of input");
+    switch (Peek()) {
+      case 'n':
+        out->type_ = JsonValue::Type::kNull;
+        return Literal("null");
+      case 't':
+        out->type_ = JsonValue::Type::kBool;
+        out->bool_ = true;
+        return Literal("true");
+      case 'f':
+        out->type_ = JsonValue::Type::kBool;
+        out->bool_ = false;
+        return Literal("false");
+      case '"':
+        out->type_ = JsonValue::Type::kString;
+        return ParseString(&out->string_);
+      case '[':
+        return ParseArray(out, depth);
+      case '{':
+        return ParseObject(out, depth);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseHex4(unsigned* out) {
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
+      else return Fail("invalid \\u escape digit");
+    }
+    pos_ += 4;
+    *out = value;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (true) {
+      if (AtEnd()) return Fail("unterminated string");
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      if (AtEnd()) return Fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          unsigned unit = 0;
+          if (!ParseHex4(&unit)) return false;
+          unsigned long code_point = unit;
+          if (unit >= 0xD800 && unit <= 0xDBFF) {
+            // High surrogate: a low surrogate must follow.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Fail("unpaired UTF-16 surrogate");
+            }
+            pos_ += 2;
+            unsigned low = 0;
+            if (!ParseHex4(&low)) return false;
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Fail("invalid UTF-16 low surrogate");
+            }
+            code_point = 0x10000ul + ((unit - 0xD800ul) << 10) +
+                         (low - 0xDC00ul);
+          } else if (unit >= 0xDC00 && unit <= 0xDFFF) {
+            return Fail("unpaired UTF-16 surrogate");
+          }
+          AppendUtf8(code_point, out);
+          break;
+        }
+        default:
+          return Fail("invalid escape character");
+      }
+    }
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (!AtEnd() && Peek() == '-') ++pos_;
+    bool saw_digit = false;
+    while (!AtEnd() && Peek() >= '0' && Peek() <= '9') {
+      ++pos_;
+      saw_digit = true;
+    }
+    bool integral = true;
+    if (!AtEnd() && Peek() == '.') {
+      integral = false;
+      ++pos_;
+      bool frac_digit = false;
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') {
+        ++pos_;
+        frac_digit = true;
+      }
+      if (!frac_digit) return Fail("digit expected after decimal point");
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      bool exp_digit = false;
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') {
+        ++pos_;
+        exp_digit = true;
+      }
+      if (!exp_digit) return Fail("digit expected in exponent");
+    }
+    if (!saw_digit) return Fail("invalid value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(value)) {
+      return Fail("invalid number");
+    }
+    out->type_ = JsonValue::Type::kNumber;
+    out->number_ = value;
+    out->is_integer_ = false;
+    if (integral) {
+      errno = 0;
+      const long long as_int = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        out->is_integer_ = true;
+        out->int_ = as_int;
+      }
+    }
+    return true;
+  }
+
+  bool ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    out->type_ = JsonValue::Type::kArray;
+    out->array_.clear();
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue item;
+      SkipWhitespace();
+      if (!ParseValue(&item, depth + 1)) return false;
+      out->array_.push_back(std::move(item));
+      SkipWhitespace();
+      if (AtEnd()) return Fail("unterminated array");
+      const char c = text_[pos_++];
+      if (c == ']') return true;
+      if (c != ',') {
+        --pos_;
+        return Fail("',' or ']' expected in array");
+      }
+    }
+  }
+
+  bool ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    out->type_ = JsonValue::Type::kObject;
+    out->object_.clear();
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '"') return Fail("object key expected");
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWhitespace();
+      if (AtEnd() || text_[pos_] != ':') return Fail("':' expected");
+      ++pos_;
+      SkipWhitespace();
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      if (!out->object_.emplace(std::move(key), std::move(value)).second) {
+        return Fail("duplicate object key");
+      }
+      SkipWhitespace();
+      if (AtEnd()) return Fail("unterminated object");
+      const char c = text_[pos_++];
+      if (c == '}') return true;
+      if (c != ',') {
+        --pos_;
+        return Fail("',' or '}' expected in object");
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+bool JsonValue::Parse(std::string_view text, JsonValue* out,
+                      std::string* error) {
+  JsonValue parsed;
+  JsonParser parser(text, error);
+  if (!parser.Run(&parsed)) return false;
+  *out = std::move(parsed);
+  return true;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  auto it = object_.find(key);
+  return it != object_.end() ? &it->second : nullptr;
+}
+
+}  // namespace certa

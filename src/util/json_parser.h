@@ -1,0 +1,78 @@
+#ifndef CERTA_UTIL_JSON_PARSER_H_
+#define CERTA_UTIL_JSON_PARSER_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace certa {
+
+/// Minimal JSON document model + recursive-descent parser — the inverse
+/// of JsonWriter, added for the networked service (docs/SERVICE.md):
+/// every wire frame and every ExplainRequest comes in as one line of
+/// JSON and must be either fully understood or cleanly rejected.
+///
+/// Deliberate limits (each rejected with a clear error, never a crash
+/// or a partial value):
+///   - nesting deeper than kMaxDepth (garbage/hostile frames);
+///   - invalid UTF-16 escapes, control characters inside strings;
+///   - trailing bytes after the top-level value;
+///   - non-finite numbers (JSON has none; "NaN" stays a string).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parse guard against stack exhaustion from e.g. 10k nested '['.
+  static constexpr int kMaxDepth = 64;
+
+  /// Parses exactly one JSON value spanning all of `text` (surrounding
+  /// whitespace allowed). On failure returns false and sets *error to a
+  /// byte-offset-tagged message; *out is untouched.
+  static bool Parse(std::string_view text, JsonValue* out,
+                    std::string* error);
+
+  JsonValue() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Valid only for the matching type (asserted in debug builds).
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array_items() const { return array_; }
+  const std::map<std::string, JsonValue>& object_items() const {
+    return object_;
+  }
+
+  /// True when the number was written without '.'/'e' and fits a long
+  /// long exactly — wire fields like pair/seed must not round-trip
+  /// through double truncation silently.
+  bool is_integer() const { return type_ == Type::kNumber && is_integer_; }
+  long long int_value() const { return int_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  bool is_integer_ = false;
+  long long int_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+}  // namespace certa
+
+#endif  // CERTA_UTIL_JSON_PARSER_H_

@@ -107,4 +107,10 @@ void JsonWriter::Null() {
   needs_comma_ = true;
 }
 
+void JsonWriter::Raw(std::string_view json) {
+  MaybeComma();
+  out_ += json;
+  needs_comma_ = true;
+}
+
 }  // namespace certa

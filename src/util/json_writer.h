@@ -38,6 +38,12 @@ class JsonWriter {
   void Bool(bool value);
   void Null();
 
+  /// Splices `json` in verbatim as one value — for embedding an
+  /// already-serialized document (a stored result.json, a request's
+  /// canonical ToJson) without reparsing. The caller vouches that the
+  /// text is exactly one valid JSON value.
+  void Raw(std::string_view json);
+
   /// The serialized document so far.
   const std::string& str() const { return out_; }
 

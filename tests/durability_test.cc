@@ -306,15 +306,15 @@ TEST(JournalTest, CompactRewritesExactly) {
 
 persist::JobCheckpoint SampleCheckpoint() {
   persist::JobCheckpoint checkpoint;
-  checkpoint.job_id = "job-0042";
-  checkpoint.dataset = "BA";
-  checkpoint.data_dir = "";  // empty string must round-trip
-  checkpoint.model = "svm";
-  checkpoint.pair_index = 3;
-  checkpoint.triangles = 40;
-  checkpoint.threads = 2;
-  checkpoint.seed = 12345;
-  checkpoint.use_cache = true;
+  checkpoint.request.id = "job-0042";
+  checkpoint.request.dataset = "BA";
+  checkpoint.request.data_dir = "";  // empty string must round-trip
+  checkpoint.request.model = "svm";
+  checkpoint.request.pair_index = 3;
+  checkpoint.request.triangles = 40;
+  checkpoint.request.threads = 2;
+  checkpoint.request.seed = 12345;
+  checkpoint.request.use_cache = true;
   checkpoint.state = "parked";
   checkpoint.phase = "lattice";
   checkpoint.triangles_total = 40;
@@ -330,15 +330,15 @@ persist::JobCheckpoint SampleCheckpoint() {
 
 void ExpectCheckpointsEqual(const persist::JobCheckpoint& a,
                             const persist::JobCheckpoint& b) {
-  EXPECT_EQ(a.job_id, b.job_id);
-  EXPECT_EQ(a.dataset, b.dataset);
-  EXPECT_EQ(a.data_dir, b.data_dir);
-  EXPECT_EQ(a.model, b.model);
-  EXPECT_EQ(a.pair_index, b.pair_index);
-  EXPECT_EQ(a.triangles, b.triangles);
-  EXPECT_EQ(a.threads, b.threads);
-  EXPECT_EQ(a.seed, b.seed);
-  EXPECT_EQ(a.use_cache, b.use_cache);
+  EXPECT_EQ(a.request.id, b.request.id);
+  EXPECT_EQ(a.request.dataset, b.request.dataset);
+  EXPECT_EQ(a.request.data_dir, b.request.data_dir);
+  EXPECT_EQ(a.request.model, b.request.model);
+  EXPECT_EQ(a.request.pair_index, b.request.pair_index);
+  EXPECT_EQ(a.request.triangles, b.request.triangles);
+  EXPECT_EQ(a.request.threads, b.request.threads);
+  EXPECT_EQ(a.request.seed, b.request.seed);
+  EXPECT_EQ(a.request.use_cache, b.request.use_cache);
   EXPECT_EQ(a.state, b.state);
   EXPECT_EQ(a.phase, b.phase);
   EXPECT_EQ(a.triangles_total, b.triangles_total);

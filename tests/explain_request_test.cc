@@ -1,0 +1,227 @@
+// The versioned ExplainRequest contract: one parse → validate →
+// serialize path shared by CLI flags, serve job lines, the wire
+// protocol, and checkpoints. These tests pin the contract down:
+// canonical JSON round-trips exactly, aliases keep old spellings
+// working (with deprecation notes), unknown keys and malformed values
+// are rejected with clear errors, and inputs from a FUTURE schema
+// version are refused outright — never misparsed.
+
+#include "api/explain_request.h"
+
+#include <gtest/gtest.h>
+
+#include "util/json_parser.h"
+
+namespace certa::api {
+namespace {
+
+ExplainRequest SampleRequest() {
+  ExplainRequest request;
+  request.id = "job-7";
+  request.dataset = "BA";
+  request.data_dir = "/data/dm";
+  request.model = "ditto";
+  request.pair_index = 3;
+  request.triangles = 42;
+  request.threads = 4;
+  request.seed = 99;
+  request.use_cache = false;
+  request.budget = 1000;
+  request.deadline_ms = 2500;
+  request.fault_rate = 0.25;
+  return request;
+}
+
+TEST(ExplainRequestTest, DefaultsAreValid) {
+  ExplainRequest request;
+  std::string error;
+  EXPECT_TRUE(request.Validate(&error)) << error;
+  EXPECT_EQ(request.schema_version, kSchemaVersion);
+}
+
+TEST(ExplainRequestTest, JsonRoundTripIsIdentity) {
+  const ExplainRequest original = SampleRequest();
+  ExplainRequest parsed;
+  std::string error;
+  ASSERT_TRUE(FromJsonText(original.ToJson(), &parsed, &error)) << error;
+  // The canonical serialization of the parse must equal the input's —
+  // the definition of one serialize path.
+  EXPECT_EQ(parsed.ToJson(), original.ToJson());
+  EXPECT_EQ(parsed.id, "job-7");
+  EXPECT_EQ(parsed.pair_index, 3);
+  EXPECT_EQ(parsed.seed, 99u);
+  EXPECT_FALSE(parsed.use_cache);
+  EXPECT_DOUBLE_EQ(parsed.fault_rate, 0.25);
+}
+
+TEST(ExplainRequestTest, DashAndUnderscoreSpellTheSameKey) {
+  ExplainRequest a;
+  ExplainRequest b;
+  std::string error;
+  ASSERT_TRUE(ApplyField("deadline-ms", "1500", &a, &error)) << error;
+  ASSERT_TRUE(ApplyField("deadline_ms", "1500", &b, &error)) << error;
+  EXPECT_EQ(a.deadline_ms, 1500);
+  EXPECT_EQ(a.deadline_ms, b.deadline_ms);
+}
+
+TEST(ExplainRequestTest, DeprecatedAliasesStillParse) {
+  ExplainRequest request;
+  std::string error;
+  ASSERT_TRUE(ApplyField("data", "/old/dir", &request, &error)) << error;
+  EXPECT_EQ(request.data_dir, "/old/dir");
+  ASSERT_TRUE(ApplyField("pair_index", "5", &request, &error)) << error;
+  EXPECT_EQ(request.pair_index, 5);
+  // ...and announce themselves as deprecated; canonical keys do not.
+  EXPECT_FALSE(DeprecationNote("data").empty());
+  EXPECT_FALSE(DeprecationNote("pair-index").empty());
+  EXPECT_TRUE(DeprecationNote("data_dir").empty());
+  EXPECT_TRUE(DeprecationNote("pair").empty());
+  EXPECT_TRUE(DeprecationNote("triangles").empty());
+}
+
+TEST(ExplainRequestTest, RejectsUnknownKeyAndBadValues) {
+  ExplainRequest request;
+  std::string error;
+  EXPECT_FALSE(ApplyField("quantum", "1", &request, &error));
+  EXPECT_NE(error.find("not a known request field"), std::string::npos);
+  EXPECT_FALSE(ApplyField("pair", "abc", &request, &error));
+  EXPECT_NE(error.find("not an integer"), std::string::npos);
+  EXPECT_FALSE(ApplyField("triangles", "1", &request, &error));
+  EXPECT_NE(error.find(">= 2"), std::string::npos);
+  EXPECT_FALSE(ApplyField("fault-rate", "1.5", &request, &error));
+  EXPECT_FALSE(ApplyField("fault-rate", "nan", &request, &error));
+}
+
+TEST(ExplainRequestTest, ValidateRejectsUnknownModel) {
+  ExplainRequest request = SampleRequest();
+  request.model = "gpt";
+  std::string error;
+  EXPECT_FALSE(request.Validate(&error));
+  EXPECT_NE(error.find("unknown model"), std::string::npos);
+}
+
+TEST(ExplainRequestTest, FutureSchemaVersionIsRefusedWithClearError) {
+  // A v9 request may contain fields this build has never heard of; the
+  // reader must say "too new" — not guess, not complain about a field.
+  const std::string future =
+      "{\"schema_version\":9,\"hyperdrive\":true,\"dataset\":\"AB\"}";
+  ExplainRequest request;
+  std::string error;
+  EXPECT_FALSE(FromJsonText(future, &request, &error));
+  EXPECT_NE(error.find("schema_version 9"), std::string::npos) << error;
+  EXPECT_NE(error.find("supports <= 1"), std::string::npos) << error;
+}
+
+TEST(ExplainRequestTest, FromJsonRejectsUnknownFieldAtCurrentVersion) {
+  ExplainRequest request;
+  std::string error;
+  EXPECT_FALSE(
+      FromJsonText("{\"schema_version\":1,\"typo_knob\":3}", &request,
+                   &error));
+  EXPECT_NE(error.find("typo_knob"), std::string::npos) << error;
+}
+
+TEST(ExplainRequestTest, KeyValueLineParsesAtomically) {
+  ExplainRequest request;
+  request.triangles = 50;
+  std::string error;
+  // The second token is bad: the request must be left untouched, not
+  // half-updated.
+  EXPECT_FALSE(
+      ParseKeyValueLine("triangles=80 pair=oops", &request, &error));
+  EXPECT_EQ(request.triangles, 50);
+  ASSERT_TRUE(ParseKeyValueLine("id=j9 dataset=FZ pair=2 cache=0 "
+                                "deadline-ms=750",
+                                &request, &error))
+      << error;
+  EXPECT_EQ(request.id, "j9");
+  EXPECT_EQ(request.dataset, "FZ");
+  EXPECT_EQ(request.pair_index, 2);
+  EXPECT_FALSE(request.use_cache);
+  EXPECT_EQ(request.deadline_ms, 750);
+}
+
+TEST(ExplainRequestTest, ModelIsLowercased) {
+  ExplainRequest request;
+  std::string error;
+  ASSERT_TRUE(ApplyField("model", "DiTTo", &request, &error));
+  EXPECT_EQ(request.model, "ditto");
+  EXPECT_TRUE(request.Validate(&error)) << error;
+}
+
+// ---------------------------------------------------------------------
+// The JSON parser underneath the request (and the wire protocol).
+
+TEST(JsonParserTest, ParsesScalarsWithIntegerFidelity) {
+  JsonValue value;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse("9007199254740993", &value, &error));
+  ASSERT_TRUE(value.is_integer());
+  // 2^53 + 1 survives exactly (a double would round it).
+  EXPECT_EQ(value.int_value(), 9007199254740993LL);
+}
+
+TEST(JsonParserTest, RejectsDuplicateKeys) {
+  JsonValue value;
+  std::string error;
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":1,\"a\":2}", &value, &error));
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+}
+
+TEST(JsonParserTest, RejectsTrailingGarbageAndBareValuesWithSuffix) {
+  JsonValue value;
+  std::string error;
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":1} trailing", &value, &error));
+  EXPECT_FALSE(JsonValue::Parse("12 34", &value, &error));
+}
+
+TEST(JsonParserTest, RejectsTooDeepNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  JsonValue value;
+  std::string error;
+  EXPECT_FALSE(JsonValue::Parse(deep, &value, &error));
+  EXPECT_NE(error.find("deep"), std::string::npos) << error;
+}
+
+TEST(JsonParserTest, DecodesEscapesAndSurrogatePairs) {
+  JsonValue value;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse("\"a\\n\\u0041\\uD83D\\uDE00\"", &value,
+                               &error))
+      << error;
+  EXPECT_EQ(value.string_value(), "a\nA\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParserTest, RejectsLoneSurrogateAndRawControlChars) {
+  JsonValue value;
+  std::string error;
+  EXPECT_FALSE(JsonValue::Parse("\"\\uD83D\"", &value, &error));
+  EXPECT_FALSE(JsonValue::Parse(std::string_view("\"a\nb\"", 5), &value,
+                                &error));
+}
+
+TEST(JsonParserTest, RejectsNonFiniteNumbersAndBadLiterals) {
+  JsonValue value;
+  std::string error;
+  EXPECT_FALSE(JsonValue::Parse("NaN", &value, &error));
+  EXPECT_FALSE(JsonValue::Parse("Infinity", &value, &error));
+  EXPECT_FALSE(JsonValue::Parse("tru", &value, &error));
+  EXPECT_FALSE(JsonValue::Parse("", &value, &error));
+}
+
+TEST(JsonParserTest, FindOnObjects) {
+  JsonValue value;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse("{\"x\":{\"y\":[1,2,3]},\"z\":null}",
+                               &value, &error));
+  ASSERT_NE(value.Find("x"), nullptr);
+  EXPECT_EQ(value.Find("missing"), nullptr);
+  ASSERT_NE(value.Find("z"), nullptr);
+  EXPECT_TRUE(value.Find("z")->is_null());
+  EXPECT_EQ(value.Find("x")->Find("y")->array_items().size(), 3u);
+}
+
+}  // namespace
+}  // namespace certa::api

@@ -24,8 +24,17 @@
 //       Durable job service: reads job lines from stdin, answers
 //       ACCEPT/REJECT per admission control, runs each job crash-safely
 //       in its own job dir (see docs/OPERATIONS.md).
+//   certa serve --listen PORT [--host ADDR] [--max-connections N] ...
+//       Same durable service behind a TCP socket speaking the
+//       line-delimited JSON protocol of docs/SERVICE.md (submit /
+//       status / result / cancel / stats, streamed progress events).
+//       Pair with tools/certa_client.
 //   certa serve --resume JOBDIR
 //       Resume a single interrupted/parked job from its directory.
+//
+// Every explanation entry point — `explain` flags, serve job lines,
+// and the socket protocol — parses into the same versioned
+// api::ExplainRequest, so validation and defaults cannot drift.
 //
 // A --data DIR pointing at a DeepMatcher-format directory (tableA.csv,
 // tableB.csv, train.csv, test.csv) replaces the synthetic benchmark in
@@ -46,6 +55,8 @@
 #include <string>
 #include <string_view>
 
+#include "api/explain_request.h"
+#include "net/server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/atomic_file.h"
@@ -105,9 +116,10 @@ int Usage() {
          "  certa train   --dataset CODE [--model NAME] [--save FILE]\n"
          "  certa explain --dataset CODE [--model NAME | --model-file F]\n"
          "                [--pair N] [--triangles T] [--threads K]\n"
-         "                [--no-cache] [--json] [--tokens] [--data DIR]\n"
-         "                [--budget N] [--deadline-ms N] [--fault-rate X]\n"
-         "                [--metrics-out FILE] [--trace-out FILE]\n"
+         "                [--seed N] [--no-cache] [--json] [--tokens]\n"
+         "                [--data-dir DIR] [--budget N] [--deadline-ms N]\n"
+         "                [--fault-rate X] [--metrics-out FILE]\n"
+         "                [--trace-out FILE]\n"
          "  certa export  --dataset CODE --out DIR\n"
          "  certa profile --dataset CODE [--data DIR]\n"
          "  certa rules   --dataset CODE [--data DIR]\n"
@@ -118,6 +130,8 @@ int Usage() {
          "                [--stall-timeout-ms N] [--jobs FILE]\n"
          "                [--stats-every N] [--metrics-out FILE]\n"
          "                [--trace-out FILE]\n"
+         "  certa serve   --listen PORT [--host ADDR]\n"
+         "                [--max-connections N] [...same serve flags]\n"
          "  certa serve   --resume JOBDIR [--checkpoint-every N]\n"
          "durable explain: explain ... --job-dir DIR [--checkpoint-every N]\n"
          "models: deeper | deepmatcher | ditto | svm\n"
@@ -242,6 +256,63 @@ bool LoadData(const Args& args, Dataset* dataset) {
   return true;
 }
 
+/// The explain-request flags, in one place. Each key funnels through
+/// api::ApplyField, so `certa explain` flags, serve job lines, and the
+/// socket protocol accept the same fields with the same validation —
+/// the flag spelling (dashes) and the wire spelling (underscores) are
+/// normalized to the same field.
+constexpr const char* kRequestFlagKeys[] = {
+    "dataset", "data", "data-dir", "model",       "pair",
+    "pair-index", "triangles", "threads", "seed", "budget",
+    "deadline-ms", "fault-rate"};
+
+bool BuildRequestFromArgs(const Args& args,
+                          certa::api::ExplainRequest* request) {
+  for (const char* key : kRequestFlagKeys) {
+    if (!args.Has(key)) continue;
+    std::string error;
+    if (!certa::api::ApplyField(key, args.Get(key, ""), request, &error)) {
+      std::cerr << "error: --" << key << ": " << error << "\n";
+      return false;
+    }
+    // Old spellings still work, with a nudge toward the canonical one.
+    const std::string note = certa::api::DeprecationNote(key);
+    if (!note.empty()) std::cerr << "warning: " << note << "\n";
+  }
+  if (args.Has("no-cache")) request->use_cache = false;
+  std::string error;
+  if (!request->Validate(&error)) {
+    std::cerr << "error: " << error << "\n";
+    return false;
+  }
+  return true;
+}
+
+/// LoadData for the request path: same lookup, keyed off the parsed
+/// request instead of raw flags.
+bool LoadDataForRequest(const certa::api::ExplainRequest& request,
+                        Dataset* dataset) {
+  if (!request.data_dir.empty()) {
+    if (!certa::data::LoadDatasetDirectory(request.data_dir, request.dataset,
+                                           dataset)) {
+      std::cerr << "error: cannot load dataset directory "
+                << request.data_dir << "\n";
+      return false;
+    }
+    return true;
+  }
+  bool known = false;
+  for (const std::string& candidate : certa::data::BenchmarkCodes()) {
+    if (candidate == request.dataset) known = true;
+  }
+  if (!known) {
+    std::cerr << "error: unknown dataset code " << request.dataset << "\n";
+    return false;
+  }
+  *dataset = certa::data::MakeBenchmark(request.dataset);
+  return true;
+}
+
 int CmdDatasets() {
   certa::TablePrinter table(
       {"Code", "Name", "Matches", "Attr.s", "Records", "Values"});
@@ -289,23 +360,16 @@ int CmdTrain(const Args& args) {
 }
 
 int CmdExplain(const Args& args) {
+  certa::api::ExplainRequest request;
+  // The CLI's historical default model is ditto (the request type
+  // itself defaults to svm, which serve job lines keep).
+  request.model = "ditto";
+  if (!BuildRequestFromArgs(args, &request)) return 2;
   Dataset dataset;
-  if (!LoadData(args, &dataset)) return 1;
+  if (!LoadDataForRequest(request, &dataset)) return 1;
   ModelKind kind;
-  if (!ParseModel(args.Get("model", "ditto"), &kind)) return Usage();
-  int pair_index = 0;
-  int triangles = 0;
-  int threads = 0;
-  long long budget = 0;
-  long long deadline_ms = 0;
-  if (!ParseIntFlag(args, "pair", 0, 0, &pair_index) ||
-      !ParseIntFlag(args, "triangles", 100, 2, &triangles) ||
-      !ParseIntFlag(args, "threads", 1, 1, &threads) ||
-      !ParseIntFlag(args, "budget", 0LL, 0LL, &budget) ||
-      !ParseIntFlag(args, "deadline-ms", 0LL, 0LL, &deadline_ms)) {
-    return 2;
-  }
-  if (pair_index >= static_cast<int>(dataset.test.size())) {
+  if (!ParseModel(request.model, &kind)) return Usage();
+  if (request.pair_index >= static_cast<int>(dataset.test.size())) {
     std::cerr << "error: --pair out of range (test set has "
               << dataset.test.size() << " pairs)\n";
     return 1;
@@ -323,15 +387,8 @@ int CmdExplain(const Args& args) {
       return 1;
     }
     certa::service::InstallShutdownHandlers();
-    certa::service::JobSpec spec;
+    certa::service::JobSpec spec = request;
     spec.id = "cli";
-    spec.dataset = args.Get("dataset", "AB");
-    spec.data_dir = args.Get("data", "");
-    spec.model = certa::ToLowerAscii(args.Get("model", "ditto"));
-    spec.pair_index = pair_index;
-    spec.triangles = triangles;
-    spec.threads = threads;
-    spec.use_cache = !args.Has("no-cache");
     certa::service::DurableRunOptions run_options;
     if (!ParseIntFlag(args, "checkpoint-every", 256, 1,
                       &run_options.checkpoint_every)) {
@@ -377,44 +434,34 @@ int CmdExplain(const Args& args) {
   } else {
     model = certa::models::TrainMatcher(kind, dataset);
   }
-  double fault_rate = 0.0;
-  if (!certa::ParseDouble(args.Get("fault-rate", "0"), &fault_rate) ||
-      fault_rate < 0.0 || fault_rate > 1.0) {
-    std::cerr << "error: --fault-rate must be in [0, 1]\n";
-    return 1;
-  }
-
   certa::models::ScoringEngine::Options engine_options;
-  engine_options.enable_cache = !args.Has("no-cache");
+  engine_options.enable_cache = request.use_cache;
   certa::models::ScoringEngine engine(model.get(), engine_options);
   // With --fault-rate the explainer scores through the injector
   // directly (un-cached, like the remote service it simulates); the
   // clean engine still provides the report-header score below.
   std::unique_ptr<certa::models::FaultInjectingMatcher> faulty;
   const certa::models::Matcher* context_model = &engine;
-  if (fault_rate > 0.0) {
+  if (request.fault_rate > 0.0) {
     certa::models::FaultOptions fault_options;
-    fault_options.fault_rate = fault_rate;
+    fault_options.fault_rate = request.fault_rate;
     faulty = std::make_unique<certa::models::FaultInjectingMatcher>(
         model.get(), fault_options);
     context_model = faulty.get();
   }
   certa::explain::ExplainContext context{context_model, &dataset.left,
                                          &dataset.right};
-  certa::core::CertaExplainer::Options options;
-  options.num_triangles = triangles;
-  options.num_threads = threads;
-  options.use_cache = !args.Has("no-cache");
-  options.resilience.enabled =
-      fault_rate > 0.0 || budget > 0 || deadline_ms > 0;
-  options.resilience.max_model_calls = budget;
-  options.resilience.deadline_micros = deadline_ms * 1000;
+  // The in-process path honors --deadline-ms as a resilience deadline
+  // (truncate-and-report); durable runs leave it to the watchdog.
+  certa::core::CertaExplainer::Options options =
+      certa::service::ExplainerOptionsFromRequest(request,
+                                                  /*include_deadline=*/true);
   options.metrics = obs.metrics.get();
   options.trace = obs.trace.get();
   certa::core::CertaExplainer explainer(context, options);
 
   const certa::data::LabeledPair& pair =
-      dataset.test[static_cast<size_t>(pair_index)];
+      dataset.test[static_cast<size_t>(request.pair_index)];
   const certa::data::Record& u = dataset.left.record(pair.left_index);
   const certa::data::Record& v = dataset.right.record(pair.right_index);
   certa::core::CertaResult result = explainer.Explain(u, v);
@@ -545,64 +592,60 @@ int CmdGlobal(const Args& args) {
   return 0;
 }
 
-/// One serve-loop job line: whitespace-separated key=value tokens.
-/// Keys: id dataset data model pair triangles threads seed cache
-/// deadline-ms. Example: "dataset=AB model=svm pair=3 deadline-ms=500".
-bool ParseJobLine(std::string_view line, certa::service::JobSpec* spec,
-                  std::string* error) {
-  // Same checked parsing as the flags: a malformed number rejects the
-  // job line (the serve loop answers REJECT) instead of silently
-  // becoming 0.
-  auto parse_int = [&](const std::string& key, const std::string& value,
-                       long long min_value, long long* out) {
-    long long parsed = 0;
-    if (!certa::ParseInt64(value, &parsed)) {
-      *error = key + "=" + value + " is not an integer";
-      return false;
-    }
-    if (parsed < min_value) {
-      *error = key + " must be >= " + std::to_string(min_value);
-      return false;
-    }
-    *out = parsed;
-    return true;
-  };
-  for (const std::string& token : certa::SplitWhitespace(line)) {
-    const size_t eq = token.find('=');
-    if (eq == std::string::npos) {
-      *error = "bad token '" + token + "' (want key=value)";
-      return false;
-    }
-    const std::string key = token.substr(0, eq);
-    const std::string value = token.substr(eq + 1);
-    long long parsed = 0;
-    if (key == "id") spec->id = value;
-    else if (key == "dataset") spec->dataset = value;
-    else if (key == "data") spec->data_dir = value;
-    else if (key == "model") spec->model = certa::ToLowerAscii(value);
-    else if (key == "pair") {
-      if (!parse_int(key, value, 0, &parsed)) return false;
-      spec->pair_index = static_cast<int>(parsed);
-    } else if (key == "triangles") {
-      if (!parse_int(key, value, 2, &parsed)) return false;
-      spec->triangles = static_cast<int>(parsed);
-    } else if (key == "threads") {
-      if (!parse_int(key, value, 1, &parsed)) return false;
-      spec->threads = static_cast<int>(parsed);
-    } else if (key == "seed") {
-      if (!parse_int(key, value, 0, &parsed)) return false;
-      spec->seed = static_cast<uint64_t>(parsed);
-    } else if (key == "cache") {
-      spec->use_cache = value != "0";
-    } else if (key == "deadline-ms") {
-      if (!parse_int(key, value, 0, &parsed)) return false;
-      spec->deadline_ms = parsed;
-    } else {
-      *error = "unknown key '" + key + "'";
-      return false;
-    }
+/// Socket front-end: the same runner, behind `--listen PORT` speaking
+/// the docs/SERVICE.md line-delimited JSON protocol. A SIGINT/SIGTERM
+/// closes the listener, parks running jobs resumable, and exits with
+/// kInterruptedExitCode — identical drain semantics to the stdin loop.
+int ServeOverSocket(const Args& args,
+                    certa::service::JobRunnerOptions runner_options,
+                    const ObsSink& obs) {
+  certa::net::NetServerOptions options;
+  options.host = args.Get("host", "127.0.0.1");
+  if (!ParseIntFlag(args, "listen", 0, 0, &options.port) ||
+      !ParseIntFlag(args, "max-connections", 64, 1,
+                    &options.max_connections)) {
+    return 2;
   }
-  return true;
+  options.stop_flag = certa::service::ShutdownFlag();
+  options.runner = std::move(runner_options);
+  certa::net::NetServer server(std::move(options));
+  std::string error;
+  if (!server.Start(&error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  // Machine-parseable (tests and scripts scrape the port when
+  // --listen 0 asked for an ephemeral one).
+  std::cout << "LISTENING " << args.Get("host", "127.0.0.1") << ":"
+            << server.port() << "\n"
+            << std::flush;
+  server.Run();
+
+  const bool interrupted = certa::service::ShutdownRequested();
+  for (const certa::service::JobOutcome& outcome :
+       server.runner().outcomes()) {
+    std::cout << "DONE " << outcome.job_id << " "
+              << certa::service::JobStateName(outcome.state)
+              << " replayed=" << outcome.replayed_scores
+              << " fresh=" << outcome.fresh_scores;
+    if (!outcome.error.empty()) std::cout << " (" << outcome.error << ")";
+    std::cout << "\n";
+  }
+  const certa::service::JobRunner::Counters counters =
+      server.runner().counters();
+  const certa::net::ServerStats net_stats = server.stats();
+  std::cerr << "serve: submitted=" << counters.submitted
+            << " accepted=" << counters.accepted
+            << " rejected_queue_full=" << counters.rejected_queue_full
+            << " rejected_deadline=" << counters.rejected_deadline
+            << " completed=" << counters.completed
+            << " parked=" << counters.parked
+            << " failed=" << counters.failed
+            << " connections=" << net_stats.connections_accepted
+            << " frames=" << net_stats.frames_in
+            << " events_dropped=" << net_stats.events_dropped << "\n";
+  if (!obs.Flush()) return 1;
+  return interrupted ? certa::service::kInterruptedExitCode : 0;
 }
 
 int CmdServe(const Args& args) {
@@ -621,7 +664,7 @@ int CmdServe(const Args& args) {
       return 1;
     }
     if (checkpoint.state == "complete") {
-      std::cout << "job " << checkpoint.job_id
+      std::cout << "job " << checkpoint.request.id
                 << " already complete; result at "
                 << certa::persist::ResultPathInDir(job_dir) << "\n";
       return 0;
@@ -675,6 +718,11 @@ int CmdServe(const Args& args) {
   options.trace = obs.trace.get();
   options.stats_every = std::max(options.stats_every, 0);
   options.stats_path = obs.metrics_path;
+
+  if (args.Has("listen")) {
+    return ServeOverSocket(args, std::move(options), obs);
+  }
+
   certa::service::JobRunner runner(options);
 
   std::istream* in = &std::cin;
@@ -695,9 +743,11 @@ int CmdServe(const Args& args) {
   while (!certa::service::ShutdownRequested() && std::getline(*in, line)) {
     const std::string_view trimmed = certa::StripAsciiWhitespace(line);
     if (trimmed.empty() || trimmed.front() == '#') continue;
+    // Job lines share the api::ExplainRequest field set; legacy keys
+    // ("data", "pair-index") still parse as aliases.
     certa::service::JobSpec spec;
     std::string parse_error;
-    if (!ParseJobLine(trimmed, &spec, &parse_error)) {
+    if (!certa::api::ParseKeyValueLine(trimmed, &spec, &parse_error)) {
       std::cout << "REJECT - " << parse_error << "\n" << std::flush;
       continue;
     }

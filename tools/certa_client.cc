@@ -1,0 +1,326 @@
+// certa_client — companion client for `certa serve --listen PORT`.
+//
+// Speaks the line-delimited JSON protocol of docs/SERVICE.md:
+//   certa_client submit --port P [--host H] [request flags] [--no-watch]
+//       Submit one explanation job. With watching (default) streams
+//       progress/terminal events, then fetches and prints the result
+//       JSON on completion. Exit: 0 complete, 1 error, 3 parked.
+//   certa_client status --port P --job ID
+//   certa_client result --port P --job ID
+//   certa_client cancel --port P --job ID
+//   certa_client stats  --port P
+//   certa_client ping   --port P
+//       One request frame, one response frame, printed verbatim.
+//
+// Request flags mirror `certa explain` (--dataset --model --pair
+// --triangles --threads --seed --budget --deadline-ms --no-cache ...):
+// both sides parse into the same versioned api::ExplainRequest.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "api/explain_request.h"
+#include "net/wire.h"
+#include "util/json_parser.h"
+#include "util/string_utils.h"
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  bool Has(const std::string& key) const { return options.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = options.find(key);
+    return it != options.end() ? it->second : fallback;
+  }
+};
+
+bool Parse(int argc, char** argv, Args* args) {
+  if (argc < 2) return false;
+  args->command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const char* token = argv[i];
+    if (std::strncmp(token, "--", 2) != 0) return false;
+    std::string key(token + 2);
+    if (key == "no-cache" || key == "no-watch" || key == "quiet") {
+      args->options[key] = "1";
+      continue;
+    }
+    if (i + 1 >= argc) return false;
+    args->options[key] = argv[++i];
+  }
+  return true;
+}
+
+int Usage() {
+  std::cerr << "usage:\n"
+               "  certa_client submit --port P [--host H] [--id NAME]\n"
+               "               [--dataset CODE] [--model NAME] [--pair N]\n"
+               "               [--triangles T] [--threads K] [--seed N]\n"
+               "               [--budget N] [--deadline-ms N] [--no-cache]\n"
+               "               [--data-dir DIR] [--no-watch] [--quiet]\n"
+               "  certa_client status --port P [--host H] --job ID\n"
+               "  certa_client result --port P [--host H] --job ID\n"
+               "  certa_client cancel --port P [--host H] --job ID\n"
+               "  certa_client stats  --port P [--host H]\n"
+               "  certa_client ping   --port P [--host H]\n";
+  return 2;
+}
+
+/// Blocking line-oriented connection — the client is sequential by
+/// design; all the event-loop machinery lives server-side.
+class Connection {
+ public:
+  ~Connection() {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  bool Connect(const std::string& host, int port, std::string* error) {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      *error = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      *error = "invalid host address: " + host;
+      return false;
+    }
+    if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      *error = "connect " + host + ":" + std::to_string(port) + ": " +
+               std::strerror(errno);
+      return false;
+    }
+    int one = 1;
+    setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return true;
+  }
+
+  bool Send(const std::string& frame, std::string* error) {
+    size_t sent = 0;
+    while (sent < frame.size()) {
+      ssize_t n = write(fd_, frame.data() + sent, frame.size() - sent);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        *error = std::string("write: ") + std::strerror(errno);
+        return false;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Next full frame line (newline stripped). False on EOF/error.
+  bool ReadLine(std::string* line, std::string* error) {
+    while (true) {
+      size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        *line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return true;
+      }
+      char chunk[4096];
+      ssize_t n = read(fd_, chunk, sizeof(chunk));
+      if (n > 0) {
+        buffer_.append(chunk, static_cast<size_t>(n));
+        continue;
+      }
+      if (n == 0) {
+        *error = "server closed the connection";
+        return false;
+      }
+      if (errno == EINTR) continue;
+      *error = std::string("read: ") + std::strerror(errno);
+      return false;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// Pulls type/fields out of a server frame (tolerantly: unknown frames
+/// just echo through).
+struct ServerFrame {
+  std::string type;
+  std::string event;
+  std::string state;
+  std::string code;
+  std::string message;
+  std::string job_id;
+};
+
+bool ParseServerFrame(const std::string& line, ServerFrame* frame) {
+  certa::JsonValue value;
+  std::string error;
+  if (!certa::JsonValue::Parse(line, &value, &error) || !value.is_object()) {
+    return false;
+  }
+  auto text = [&](const char* key) -> std::string {
+    const certa::JsonValue* member = value.Find(key);
+    return member != nullptr && member->is_string() ? member->string_value()
+                                                    : std::string();
+  };
+  frame->type = text("type");
+  frame->event = text("event");
+  frame->state = text("state");
+  frame->code = text("code");
+  frame->message = text("message");
+  frame->job_id = text("job_id");
+  return true;
+}
+
+int RoundTrip(Connection* conn, const std::string& request) {
+  std::string error;
+  if (!conn->Send(request, &error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  std::string line;
+  if (!conn->ReadLine(&line, &error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  std::cout << line << "\n";
+  ServerFrame frame;
+  return ParseServerFrame(line, &frame) && frame.type == "error" ? 1 : 0;
+}
+
+/// The request-field flags submit forwards (same spellings as `certa
+/// explain`; api::ApplyField validates).
+constexpr const char* kRequestFlagKeys[] = {
+    "id",        "dataset", "data", "data-dir", "model",       "pair",
+    "pair-index", "triangles", "threads", "seed", "budget", "deadline-ms",
+    "fault-rate"};
+
+int CmdSubmit(const Args& args, Connection* conn) {
+  certa::api::ExplainRequest request;
+  for (const char* key : kRequestFlagKeys) {
+    if (!args.Has(key)) continue;
+    std::string error;
+    if (!certa::api::ApplyField(key, args.Get(key, ""), &request, &error)) {
+      std::cerr << "error: --" << key << ": " << error << "\n";
+      return 2;
+    }
+    const std::string note = certa::api::DeprecationNote(key);
+    if (!note.empty()) std::cerr << "warning: " << note << "\n";
+  }
+  if (args.Has("no-cache")) request.use_cache = false;
+  std::string error;
+  if (!request.Validate(&error)) {
+    std::cerr << "error: " << error << "\n";
+    return 2;
+  }
+  const bool watch = !args.Has("no-watch");
+  const bool quiet = args.Has("quiet");
+  if (!conn->Send(certa::net::SubmitFrame(request, watch), &error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  std::string line;
+  if (!conn->ReadLine(&line, &error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  ServerFrame frame;
+  if (!ParseServerFrame(line, &frame) || frame.type == "error") {
+    std::cout << line << "\n";
+    return 1;
+  }
+  if (frame.type != "accepted") {
+    std::cerr << "error: unexpected response: " << line << "\n";
+    return 1;
+  }
+  const std::string job_id = frame.job_id;
+  if (!quiet) std::cout << line << "\n";
+  if (!watch) return 0;
+
+  // Stream events until this job's terminal one.
+  std::string terminal_state;
+  while (true) {
+    if (!conn->ReadLine(&line, &error)) {
+      std::cerr << "error: " << error << "\n";
+      return 1;
+    }
+    if (!ParseServerFrame(line, &frame)) continue;
+    if (frame.type == "event" && frame.event == "shutdown") {
+      std::cerr << "server shut down before the job finished; "
+                   "its job dir stays resumable\n";
+      return 3;
+    }
+    if (frame.type != "event" || frame.job_id != job_id) continue;
+    if (!quiet) std::cout << line << "\n";
+    if (frame.event == "terminal") {
+      terminal_state = frame.state;
+      break;
+    }
+  }
+  if (terminal_state == "parked") return 3;
+  if (terminal_state != "complete") return 1;
+
+  // Fetch the stored result and print just the result document.
+  if (!conn->Send(certa::net::ResultRequestFrame(job_id), &error) ||
+      !conn->ReadLine(&line, &error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  if (!ParseServerFrame(line, &frame) || frame.type != "result") {
+    std::cout << line << "\n";
+    return 1;
+  }
+  std::cout << line << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!Parse(argc, argv, &args)) return Usage();
+  long long port = 0;
+  if (!args.Has("port") ||
+      !certa::ParseInt64(args.Get("port", ""), &port) || port <= 0 ||
+      port > 65535) {
+    std::cerr << "error: --port is required (1-65535)\n";
+    return 2;
+  }
+  Connection conn;
+  std::string error;
+  if (!conn.Connect(args.Get("host", "127.0.0.1"), static_cast<int>(port),
+                    &error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  if (args.command == "submit") return CmdSubmit(args, &conn);
+  if (args.command == "ping") return RoundTrip(&conn, certa::net::PingFrame());
+  if (args.command == "stats") {
+    return RoundTrip(&conn, certa::net::StatsRequestFrame());
+  }
+  const std::string job = args.Get("job", "");
+  if (job.empty()) return Usage();
+  if (args.command == "status") {
+    return RoundTrip(&conn, certa::net::StatusRequestFrame(job));
+  }
+  if (args.command == "result") {
+    return RoundTrip(&conn, certa::net::ResultRequestFrame(job));
+  }
+  if (args.command == "cancel") {
+    return RoundTrip(&conn, certa::net::CancelRequestFrame(job));
+  }
+  return Usage();
+}
