@@ -15,6 +15,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -26,7 +27,9 @@
 #include "data/benchmarks.h"
 #include "explain/json_export.h"
 #include "models/trainer.h"
+#include "text/simd.h"
 #include "util/json_writer.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -157,10 +160,24 @@ std::string ComparableJson(CertaResult result, const Fixture& fixture) {
                            fixture.dataset.right.schema());
 }
 
-/// Times one full sweep over the explained pairs; fills `payloads` with
-/// the comparable JSON of each result (first repetition only).
-double SweepMillis(const Regime& regime, const Fixture& fixture,
-                   std::vector<std::string>* payloads) {
+/// Repetitions per regime (>= 5 so the min and median are meaningful
+/// on a shared machine; CERTA_BENCH_REPS raises it for quieter boxes).
+int SweepReps() {
+  const char* reps = std::getenv("CERTA_BENCH_REPS");
+  return reps != nullptr ? std::max(5, std::atoi(reps)) : 7;
+}
+
+struct SweepTiming {
+  double min_ms = 0.0;
+  double median_ms = 0.0;
+};
+
+/// Times `SweepReps()` full sweeps over the explained pairs; fills
+/// `payloads` with the comparable JSON of each result (warm-up
+/// repetition only). The minimum is the least noise-contaminated
+/// estimate; the median shows how far the tail sits from it.
+SweepTiming SweepMillis(const Regime& regime, const Fixture& fixture,
+                        std::vector<std::string>* payloads) {
   CertaExplainer explainer = fixture.MakeExplainer(regime);
   // Warm-up run outside the clock (thread spawn, allocator steady
   // state); also the run whose payloads are compared across regimes.
@@ -170,10 +187,9 @@ double SweepMillis(const Regime& regime, const Fixture& fixture,
       payloads->push_back(ComparableJson(std::move(result), fixture));
     }
   }
-  // Best-of-reps: the minimum is the least noise-contaminated estimate
-  // on a shared machine.
-  const int reps = 3;
-  double best = 0.0;
+  const int reps = SweepReps();
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(reps));
   for (int rep = 0; rep < reps; ++rep) {
     auto start = std::chrono::steady_clock::now();
     for (const auto& pair : fixture.pairs) {
@@ -181,11 +197,14 @@ double SweepMillis(const Regime& regime, const Fixture& fixture,
       benchmark::DoNotOptimize(result.triangles_used);
     }
     auto stop = std::chrono::steady_clock::now();
-    double ms =
-        std::chrono::duration<double, std::milli>(stop - start).count();
-    if (rep == 0 || ms < best) best = ms;
+    samples.push_back(
+        std::chrono::duration<double, std::milli>(stop - start).count());
   }
-  return best;
+  std::sort(samples.begin(), samples.end());
+  SweepTiming timing;
+  timing.min_ms = samples.front();
+  timing.median_ms = samples[samples.size() / 2];
+  return timing;
 }
 
 int WriteSummary() {
@@ -196,7 +215,7 @@ int WriteSummary() {
   }
 
   std::vector<Regime> regimes = Regimes();
-  std::vector<double> millis;
+  std::vector<SweepTiming> millis;
   std::vector<std::vector<std::string>> payloads(regimes.size());
   for (size_t r = 0; r < regimes.size(); ++r) {
     millis.push_back(SweepMillis(regimes[r], fixture, &payloads[r]));
@@ -213,7 +232,7 @@ int WriteSummary() {
     }
   }
 
-  const double serial_ms = millis[0];
+  const double serial_ms = millis[0].min_ms;
   certa::JsonWriter json;
   json.BeginObject();
   json.Key("benchmark");
@@ -224,6 +243,16 @@ int WriteSummary() {
   json.String(fixture.model->name());
   json.Key("pairs_per_sweep");
   json.Int(static_cast<long long>(fixture.pairs.size()));
+  json.Key("reps");
+  json.Int(SweepReps());
+  // Thread scaling is only physically possible up to this: with one
+  // hardware thread every pooled_N row measures the same serialized
+  // execution plus pool bookkeeping, and the wins must come from the
+  // batch/cache/kernel layers instead.
+  json.Key("hardware_threads");
+  json.Int(certa::util::ThreadPool::HardwareThreads());
+  json.Key("kernels");
+  json.String(certa::text::simd::ActiveModeName());
   json.Key("results_identical");
   json.Bool(identical);
   json.Key("regimes");
@@ -237,9 +266,11 @@ int WriteSummary() {
     json.Key("cache");
     json.Bool(regimes[r].use_cache);
     json.Key("sweep_ms");
-    json.Number(millis[r]);
+    json.Number(millis[r].min_ms);
+    json.Key("sweep_ms_median");
+    json.Number(millis[r].median_ms);
     json.Key("speedup_vs_serial");
-    json.Number(millis[r] > 0.0 ? serial_ms / millis[r] : 0.0);
+    json.Number(millis[r].min_ms > 0.0 ? serial_ms / millis[r].min_ms : 0.0);
     json.EndObject();
   }
   json.EndArray();
@@ -252,10 +283,12 @@ int WriteSummary() {
     return 1;
   }
 
-  std::printf("\n%-10s %8s %8s  %s\n", "regime", "ms", "speedup", "");
+  std::printf("\n%-10s %8s %8s %8s\n", "regime", "min_ms", "med_ms",
+              "speedup");
   for (size_t r = 0; r < regimes.size(); ++r) {
-    std::printf("%-10s %8.2f %8.2fx\n", regimes[r].key.c_str(), millis[r],
-                millis[r] > 0.0 ? serial_ms / millis[r] : 0.0);
+    std::printf("%-10s %8.2f %8.2f %7.2fx\n", regimes[r].key.c_str(),
+                millis[r].min_ms, millis[r].median_ms,
+                millis[r].min_ms > 0.0 ? serial_ms / millis[r].min_ms : 0.0);
   }
   std::printf("results identical across regimes: %s\n",
               identical ? "yes" : "NO");

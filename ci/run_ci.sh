@@ -7,7 +7,12 @@
 #   3. thread sanitizer build (CERTA_SANITIZE=thread) + the concurrency
 #      suite (thread pool, sharded metrics, cache shards under pooled
 #      writers);
-#   4. the observability overhead bench, which fails if instrumentation
+#   4. the perf suite (SIMD kernel differentials + scaling determinism):
+#      portable build with the dispatched kernels, the same build with
+#      CERTA_KERNELS=scalar forcing the reference kernels, a
+#      -DCERTA_NATIVE=ON build when the host compiler supports
+#      -march=native, and the TSan build;
+#   5. the observability overhead bench, which fails if instrumentation
 #      changes a result byte and writes BENCH_obs.json.
 # Any failure fails the script.
 set -euo pipefail
@@ -49,6 +54,26 @@ cmake --build "${REPO_ROOT}/build-ci-tsan" -j "${JOBS}"
 echo "== Sanitized concurrency suite (TSan) =="
 ctest --test-dir "${REPO_ROOT}/build-ci-tsan" --output-on-failure \
   -L concurrency
+
+echo "== Perf suite: portable build, dispatched (vector) kernels =="
+ctest --test-dir "${REPO_ROOT}/build-ci" --output-on-failure -L perf
+
+echo "== Perf suite: forced scalar kernels (CERTA_KERNELS=scalar) =="
+CERTA_KERNELS=scalar \
+  ctest --test-dir "${REPO_ROOT}/build-ci" --output-on-failure -L perf
+
+echo "== Perf suite: -march=native build (skipped if unsupported) =="
+if cmake -B "${REPO_ROOT}/build-ci-native" -S "${REPO_ROOT}" \
+  -DCMAKE_BUILD_TYPE=Release -DCERTA_NATIVE=ON; then
+  cmake --build "${REPO_ROOT}/build-ci-native" -j "${JOBS}" --target \
+    simd_kernel_test scoring_engine_test
+  ctest --test-dir "${REPO_ROOT}/build-ci-native" --output-on-failure -L perf
+else
+  echo "   -march=native unavailable; skipping the native perf pass"
+fi
+
+echo "== Perf suite under TSan =="
+ctest --test-dir "${REPO_ROOT}/build-ci-tsan" --output-on-failure -L perf
 
 echo "== Observability overhead bench =="
 CERTA_BENCH_OBS_JSON="${REPO_ROOT}/BENCH_obs.json" \

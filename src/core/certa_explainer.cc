@@ -1,5 +1,6 @@
 #include "core/certa_explainer.h"
 
+#include <algorithm>
 #include <map>
 #include <optional>
 #include <string>
@@ -243,117 +244,175 @@ CertaResult CertaExplainer::Explain(const data::Record& u,
   // count below stays an honest partial over the tagged prefix.
   bool stop_lattice = false;
 
-  for (size_t t = 0; t < triangles.size(); ++t) {
+  // Group-lockstep tagging: triangles are tagged lattice_group_size at
+  // a time, and each round merges the pending level of every unfinished
+  // lattice in the group into ONE engine batch. Per-triangle node order
+  // is exactly the batched Tag's, so the tags are bit-identical to
+  // tagging each triangle alone — only the batch boundaries change,
+  // which turns dozens of small per-level batches into a few large
+  // ones the engine (memoized featurization, pool chunks) can amortize.
+  const size_t group_size =
+      static_cast<size_t>(std::max(1, options_.lattice_group_size));
+  for (size_t g = 0; g < triangles.size(); g += group_size) {
     if (stop_lattice || cancelled()) {
       truncated = true;
       break;
     }
-    const OpenTriangle& triangle = triangles[t];
-    const bool is_left = triangle.side == data::Side::kLeft;
-    (is_left ? left_triangles : right_triangles) += 1;
-    const data::Record& free_record = is_left ? u : v;
-    const Lattice& lattice = is_left ? left_lattice : right_lattice;
+    const size_t group_end = std::min(triangles.size(), g + group_size);
 
-    auto flips = [&](AttrMask mask) {
-      data::Record perturbed =
-          explain::CopyAttributes(free_record, triangle.support, mask);
-      bool prediction = is_left ? engine.Predict(perturbed, v)
-                                : engine.Predict(u, perturbed);
-      return prediction != original_prediction;
-    };
+    std::vector<Lattice::Tagger> taggers;
+    taggers.reserve(group_end - g);
+    for (size_t t = g; t < group_end; ++t) {
+      const bool is_left = triangles[t].side == data::Side::kLeft;
+      taggers.emplace_back(is_left ? left_lattice : right_lattice,
+                           options_.assume_monotone);
+    }
 
-    // Each lattice BFS level is scored as one batch (see the batched
-    // Tag overload for why that reproduces the serial tagging).
-    auto flips_batch = [&](const std::vector<AttrMask>& masks) {
-      std::vector<data::Record> perturbed;
-      perturbed.reserve(masks.size());
-      for (AttrMask mask : masks) {
-        perturbed.push_back(
-            explain::CopyAttributes(free_record, triangle.support, mask));
+    // Lockstep rounds: gather every group member's pending masks (in
+    // triangle order), score once, hand each tagger its slice.
+    std::vector<data::Record> perturbed;
+    std::vector<models::RecordPair> pairs;
+    while (!stop_lattice) {
+      size_t total = 0;
+      for (const Lattice::Tagger& tagger : taggers) {
+        if (!tagger.done()) total += tagger.pending().size();
       }
-      std::vector<models::RecordPair> pairs;
-      pairs.reserve(perturbed.size());
-      for (const data::Record& record : perturbed) {
-        pairs.push_back(is_left ? models::RecordPair{&record, &v}
-                                : models::RecordPair{&u, &record});
+      if (total == 0) break;
+      if (cancelled()) {
+        truncated = true;
+        break;
       }
-      models::ScoringEngine::BatchOutcome outcome = engine.TryScoreBatch(pairs);
+      // Materialize all perturbations first (reserved, so the pair
+      // pointers below stay stable), then the pair rows.
+      perturbed.clear();
+      perturbed.reserve(total);
+      for (size_t k = 0; k < taggers.size(); ++k) {
+        if (taggers[k].done()) continue;
+        const OpenTriangle& triangle = triangles[g + k];
+        const data::Record& free_record =
+            triangle.side == data::Side::kLeft ? u : v;
+        for (AttrMask mask : taggers[k].pending()) {
+          perturbed.push_back(
+              explain::CopyAttributes(free_record, triangle.support, mask));
+        }
+      }
+      pairs.clear();
+      pairs.reserve(total);
+      size_t offset = 0;
+      for (size_t k = 0; k < taggers.size(); ++k) {
+        if (taggers[k].done()) continue;
+        const bool is_left = triangles[g + k].side == data::Side::kLeft;
+        for (size_t i = 0; i < taggers[k].pending().size(); ++i) {
+          const data::Record& record = perturbed[offset++];
+          pairs.push_back(is_left ? models::RecordPair{&record, &v}
+                                  : models::RecordPair{&u, &record});
+        }
+      }
+
+      models::ScoringEngine::BatchOutcome outcome =
+          engine.TryScoreBatch(pairs);
       if (outcome.budget_exhausted) stop_lattice = true;
       result.lattice_phase.cells_skipped +=
           static_cast<long long>(outcome.failures);
-      std::vector<uint8_t> out(masks.size(), 0);
-      for (size_t i = 0; i < outcome.scores.size(); ++i) {
-        // A failed cell conservatively counts as "no flip": it adds
-        // nothing to the counters and never seeds monotone propagation.
-        out[i] = (outcome.ok[i] != 0 &&
-                  (outcome.scores[i] >= 0.5) != original_prediction)
-                     ? 1
-                     : 0;
+      offset = 0;
+      std::vector<uint8_t> flips_out;
+      for (Lattice::Tagger& tagger : taggers) {
+        if (tagger.done()) continue;  // finished before this round
+        const size_t count = tagger.pending().size();
+        flips_out.assign(count, 0);
+        for (size_t i = 0; i < count; ++i) {
+          // A failed cell conservatively counts as "no flip": it adds
+          // nothing to the counters and never seeds monotone
+          // propagation.
+          flips_out[i] =
+              (outcome.ok[offset + i] != 0 &&
+               (outcome.scores[offset + i] >= 0.5) != original_prediction)
+                  ? 1
+                  : 0;
+        }
+        offset += count;
+        tagger.Supply(flips_out);
       }
-      return out;
-    };
+    }
 
-    Lattice::TagResult tags =
-        lattice.Tag(flips_batch, options_.assume_monotone);
-    result.predictions_expected += lattice.node_count();
-    result.predictions_performed += tags.performed;
+    // Per-triangle accounting in triangle order — identical to the
+    // one-triangle-at-a-time loop this replaces. A group cut short by
+    // budget death or cancellation still accounts its (honest, partial)
+    // tags; finish_status() reports the truncation.
+    for (size_t t = g; t < group_end; ++t) {
+      const OpenTriangle& triangle = triangles[t];
+      const bool is_left = triangle.side == data::Side::kLeft;
+      (is_left ? left_triangles : right_triangles) += 1;
+      const data::Record& free_record = is_left ? u : v;
+      const Lattice& lattice = is_left ? left_lattice : right_lattice;
+      Lattice::TagResult tags = taggers[t - g].TakeTags();
+      result.predictions_expected += lattice.node_count();
+      result.predictions_performed += tags.performed;
 
-    if (options_.audit_inferences && options_.assume_monotone) {
-      // Re-test every inferred node; a disagreement is a monotonicity
-      // violation that CERTA silently absorbed (Table 7's error rate).
-      const AttrMask full =
-          (1u << (is_left ? left_attributes : right_attributes)) - 1u;
-      for (AttrMask mask = 1; mask < full; ++mask) {
-        if (!tags.flip[mask] || tags.tested[mask]) continue;
-        try {
-          if (!flips(mask)) ++result.inference_errors;
-        } catch (const models::BudgetExhausted&) {
-          ++result.lattice_phase.cells_skipped;
-          stop_lattice = true;
-          break;
-        } catch (const models::ScoringError&) {
-          // Unauditable cell; the inferred tag stands.
-          ++result.lattice_phase.cells_skipped;
+      if (options_.audit_inferences && options_.assume_monotone) {
+        // Re-test every inferred node; a disagreement is a monotonicity
+        // violation that CERTA silently absorbed (Table 7's error rate).
+        auto flips = [&](AttrMask mask) {
+          data::Record single =
+              explain::CopyAttributes(free_record, triangle.support, mask);
+          bool prediction = is_left ? engine.Predict(single, v)
+                                    : engine.Predict(u, single);
+          return prediction != original_prediction;
+        };
+        const AttrMask full =
+            (1u << (is_left ? left_attributes : right_attributes)) - 1u;
+        for (AttrMask mask = 1; mask < full; ++mask) {
+          if (!tags.flip[mask] || tags.tested[mask]) continue;
+          try {
+            if (!flips(mask)) ++result.inference_errors;
+          } catch (const models::BudgetExhausted&) {
+            ++result.lattice_phase.cells_skipped;
+            stop_lattice = true;
+            break;
+          } catch (const models::ScoringError&) {
+            // Unauditable cell; the inferred tag stands.
+            ++result.lattice_phase.cells_skipped;
+          }
         }
       }
-    }
 
-    std::vector<AttrMask> flipped = lattice.FlippedNodes(tags);
-    for (AttrMask mask : flipped) {
-      ++total_flips;
-      ++sufficiency_counts[{triangle.side, mask}];
-      provenance[{triangle.side, mask}].push_back(static_cast<int>(t));
-      for (int index : explain::MaskToIndices(mask)) {
-        (is_left ? necessity_left : necessity_right)[index] += 1;
+      std::vector<AttrMask> flipped = lattice.FlippedNodes(tags);
+      for (AttrMask mask : flipped) {
+        ++total_flips;
+        ++sufficiency_counts[{triangle.side, mask}];
+        provenance[{triangle.side, mask}].push_back(static_cast<int>(t));
+        for (int index : explain::MaskToIndices(mask)) {
+          (is_left ? necessity_left : necessity_right)[index] += 1;
+        }
       }
-    }
-    // The supremum (full attribute set) is never tested (footnote 2 of
-    // the paper) but inherits a flip from any flipped proper subset by
-    // monotone propagation, and the paper's Sect. 4 example counts it
-    // among the flips for the necessity probabilities. It stays
-    // excluded from the counterfactual argmax (Eq. 3 ranges over
-    // proper subsets only).
-    if (!flipped.empty()) {
-      ++total_flips;
-      const int attributes = is_left ? left_attributes : right_attributes;
-      for (int index = 0; index < attributes; ++index) {
-        (is_left ? necessity_left : necessity_right)[index] += 1;
+      // The supremum (full attribute set) is never tested (footnote 2
+      // of the paper) but inherits a flip from any flipped proper
+      // subset by monotone propagation, and the paper's Sect. 4 example
+      // counts it among the flips for the necessity probabilities. It
+      // stays excluded from the counterfactual argmax (Eq. 3 ranges
+      // over proper subsets only).
+      if (!flipped.empty()) {
+        ++total_flips;
+        const int attributes = is_left ? left_attributes : right_attributes;
+        for (int index = 0; index < attributes; ++index) {
+          (is_left ? necessity_left : necessity_right)[index] += 1;
+        }
       }
-    }
 
-    // Frontier notification: triangle t is fully tagged; its lattice
-    // snapshot rides along so checkpoints can record the antichain.
-    if (options_.progress) {
-      progress.phase = "lattice";
-      progress.triangles_tagged = static_cast<int>(t) + 1;
-      progress.predictions_performed = result.predictions_performed;
-      progress.total_flips = total_flips;
-      progress.last_lattice = &lattice;
-      progress.last_tags = &tags;
-      progress.last_side = triangle.side;
-      options_.progress(progress);
-      progress.last_lattice = nullptr;
-      progress.last_tags = nullptr;
+      // Frontier notification: triangle t is fully tagged; its lattice
+      // snapshot rides along so checkpoints can record the antichain.
+      if (options_.progress) {
+        progress.phase = "lattice";
+        progress.triangles_tagged = static_cast<int>(t) + 1;
+        progress.predictions_performed = result.predictions_performed;
+        progress.total_flips = total_flips;
+        progress.last_lattice = &lattice;
+        progress.last_tags = &tags;
+        progress.last_side = triangle.side;
+        options_.progress(progress);
+        progress.last_lattice = nullptr;
+        progress.last_tags = nullptr;
+      }
     }
   }
   if (stop_lattice) truncated = true;

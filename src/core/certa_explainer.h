@@ -141,6 +141,13 @@ class CertaExplainer : public explain::SaliencyExplainer,
     /// Worker threads for batched model scoring; 1 keeps everything on
     /// the calling thread. Results are bit-identical at any value.
     int num_threads = 1;
+    /// Lattice triangles tagged in lockstep: each scoring batch merges
+    /// the pending level of up to this many triangles' lattices, so
+    /// the engine (and its pool) sees a few hundred pairs per call
+    /// instead of a few dozen. Tags are bit-identical at any value
+    /// (the per-triangle node order never changes — only the batch
+    /// boundaries do). Clamped to >= 1.
+    int lattice_group_size = 16;
     /// Memoize perturbed-pair scores for the duration of each Explain
     /// call. Bit-identical on or off (the model is deterministic); off
     /// only the call counts change.

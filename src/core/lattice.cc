@@ -69,56 +69,74 @@ Lattice::TagResult Lattice::Tag(
     const std::function<std::vector<uint8_t>(const std::vector<AttrMask>&)>&
         flips_batch,
     bool assume_monotone) const {
+  // The batched walk is the incremental walk driven to completion with
+  // one flips_batch call per round, so both visit identical nodes.
+  Tagger tagger(*this, assume_monotone);
+  while (!tagger.done()) {
+    tagger.Supply(flips_batch(tagger.pending()));
+  }
+  return tagger.TakeTags();
+}
+
+Lattice::Tagger::Tagger(const Lattice& lattice, bool assume_monotone)
+    : num_attributes_(lattice.num_attributes()),
+      assume_monotone_(assume_monotone) {
   const AttrMask full = (1u << num_attributes_) - 1u;
-  TagResult result;
-  result.flip.assign(full + 1u, 0);
-  result.tested.assign(full + 1u, 0);
+  result_.flip.assign(full + 1u, 0);
+  result_.tested.assign(full + 1u, 0);
 
   // Same bottom-up level order as the serial walk: group masks by
   // subset size, ascending within each level.
-  std::vector<std::vector<AttrMask>> levels(num_attributes_);
+  levels_.resize(static_cast<size_t>(num_attributes_));
   for (AttrMask mask = 1; mask < full; ++mask) {
-    levels[__builtin_popcount(mask) - 1].push_back(mask);
+    levels_[__builtin_popcount(mask) - 1].push_back(mask);
   }
+  Advance();
+}
 
-  std::vector<AttrMask> to_test;
-  for (const std::vector<AttrMask>& level : levels) {
-    to_test.clear();
+void Lattice::Tagger::Advance() {
+  pending_.clear();
+  while (next_level_ < levels_.size()) {
     // Inference within a level is order-independent: direct children
     // live strictly one level down, never alongside.
-    for (AttrMask mask : level) {
-      if (assume_monotone) {
+    for (AttrMask mask : levels_[next_level_]) {
+      if (assume_monotone_) {
         bool inferred = false;
         for (int bit = 0; bit < num_attributes_; ++bit) {
           AttrMask child = mask & ~(1u << bit);
           if (child == mask || child == 0u) continue;
-          if (result.flip[child]) {
+          if (result_.flip[child]) {
             inferred = true;
             break;
           }
         }
         if (inferred) {
-          result.flip[mask] = 1;
-          ++result.total_flips;
+          result_.flip[mask] = 1;
+          ++result_.total_flips;
           continue;
         }
       }
-      to_test.push_back(mask);
+      pending_.push_back(mask);
     }
-    if (to_test.empty()) continue;
-    std::vector<uint8_t> flipped = flips_batch(to_test);
-    CERTA_CHECK_EQ(flipped.size(), to_test.size());
-    for (size_t i = 0; i < to_test.size(); ++i) {
-      AttrMask mask = to_test[i];
-      result.tested[mask] = 1;
-      ++result.performed;
-      if (flipped[i]) {
-        result.flip[mask] = 1;
-        ++result.total_flips;
-      }
+    ++next_level_;
+    if (!pending_.empty()) return;  // this level needs the model
+  }
+  done_ = true;
+}
+
+void Lattice::Tagger::Supply(const std::vector<uint8_t>& flipped) {
+  CERTA_CHECK(!done_);
+  CERTA_CHECK_EQ(flipped.size(), pending_.size());
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    AttrMask mask = pending_[i];
+    result_.tested[mask] = 1;
+    ++result_.performed;
+    if (flipped[i]) {
+      result_.flip[mask] = 1;
+      ++result_.total_flips;
     }
   }
-  return result;
+  Advance();
 }
 
 std::vector<AttrMask> Lattice::MinimalFlippingAntichain(

@@ -63,6 +63,54 @@ class Lattice {
                     const std::vector<explain::AttrMask>&)>& flips_batch,
                 bool assume_monotone) const;
 
+  /// Incremental tagging: the control-flow of the batched Tag turned
+  /// inside out, so a caller can interleave MANY lattices' levels into
+  /// one shared model batch (the explainer's group-lockstep loop).
+  ///
+  ///   Tagger tagger(lattice, /*assume_monotone=*/true);
+  ///   while (!tagger.done()) {
+  ///     flips = score(tagger.pending());   // merge across taggers here
+  ///     tagger.Supply(flips);
+  ///   }
+  ///   TagResult tags = tagger.TakeTags();
+  ///
+  /// The pending/Supply rounds visit exactly the nodes (in exactly the
+  /// order) that the batched Tag hands to flips_batch, so the resulting
+  /// flip/tested/performed are identical to Tag's.
+  class Tagger {
+   public:
+    Tagger(const Lattice& lattice, bool assume_monotone);
+
+    /// True once every node has been tagged (tested or inferred).
+    bool done() const { return done_; }
+
+    /// The untested nodes of the current level, ascending. Non-empty
+    /// unless done(). Invalidated by Supply.
+    const std::vector<explain::AttrMask>& pending() const { return pending_; }
+
+    /// Supplies flip verdicts for pending() (same size, same order) and
+    /// advances to the next level with untested nodes.
+    void Supply(const std::vector<uint8_t>& flipped);
+
+    /// Tags accumulated so far; complete once done().
+    const TagResult& tags() const { return result_; }
+    TagResult TakeTags() { return std::move(result_); }
+
+   private:
+    /// Applies monotone inference level by level and refills pending_
+    /// with the next nodes that need the model; sets done_ when no
+    /// level has any left.
+    void Advance();
+
+    int num_attributes_;
+    bool assume_monotone_;
+    bool done_ = false;
+    size_t next_level_ = 0;
+    std::vector<std::vector<explain::AttrMask>> levels_;
+    std::vector<explain::AttrMask> pending_;
+    TagResult result_;
+  };
+
   /// The largest Minimal Flipping Antichain of a tagged lattice: all
   /// flipped nodes none of whose proper subsets flipped. Masks are
   /// returned ascending.

@@ -1,6 +1,8 @@
 #include "core/triangles.h"
 
 #include <algorithm>
+#include <string_view>
+#include <unordered_map>
 
 #include "explain/perturbation.h"
 #include "models/matcher.h"
@@ -24,14 +26,6 @@ void CollectSide(const explain::ExplainContext& context,
   const data::Table& pool =
       side == data::Side::kLeft ? *context.left : *context.right;
   const data::Record& self = side == data::Side::kLeft ? u : v;
-
-  auto opposite_prediction = [&](const data::Record& candidate) {
-    bool prediction = side == data::Side::kLeft
-                          ? context.model->Predict(candidate, v)
-                          : context.model->Predict(u, candidate);
-    ++stats->probes;
-    return prediction != original_prediction;
-  };
 
   int found = 0;
   std::vector<size_t> order;
@@ -98,6 +92,9 @@ void CollectSide(const explain::ExplainContext& context,
 
   if (!options.allow_augmentation && !options.only_augmentation) return;
   if (pool.size() == 0) return;
+  // Screening already filled the quota: the sampling weights below are
+  // O(pool * attributes) of similarity work that would feed zero draws.
+  if (found >= wanted) return;
 
   // Data augmentation (Sect. 3.3): token-drop variants of pool records.
   // Base records are sampled with weights sharpened toward similarity
@@ -107,12 +104,24 @@ void CollectSide(const explain::ExplainContext& context,
   const data::Record& pivot = side == data::Side::kLeft ? v : u;
   std::vector<double> weights(static_cast<size_t>(pool.size()), 1.0);
   if (pivot.values.size() == pool.record(0).values.size()) {
+    // Pool columns repeat heavily (cities, categories, missing values),
+    // and the pivot value is fixed per column, so memoizing
+    // AttributeSimilarity per distinct column value turns the
+    // O(pool × attributes) similarity scan into one evaluation per
+    // distinct value. Same doubles, same summation order.
+    std::vector<std::unordered_map<std::string_view, double>> value_memo(
+        pivot.values.size());
     for (int r = 0; r < pool.size(); ++r) {
       double similarity = 0.0;
       const data::Record& candidate = pool.record(r);
       for (size_t a = 0; a < pivot.values.size(); ++a) {
-        similarity += text::AttributeSimilarity(candidate.values[a],
-                                                pivot.values[a]);
+        auto [it, inserted] =
+            value_memo[a].try_emplace(candidate.values[a], 0.0);
+        if (inserted) {
+          it->second = text::AttributeSimilarity(candidate.values[a],
+                                                 pivot.values[a]);
+        }
+        similarity += it->second;
       }
       similarity /= static_cast<double>(pivot.values.size());
       weights[static_cast<size_t>(r)] =
@@ -124,32 +133,70 @@ void CollectSide(const explain::ExplainContext& context,
   long long budget =
       static_cast<long long>(wanted - found) *
       options.max_augmentation_attempts_per_triangle;
+  // Probes run a chunk at a time through TryScoreBatch (amortized
+  // featurization against the shared pivot side) but are consumed
+  // strictly in generation order. Variant generation is a pure function
+  // of the rng stream, so speculatively generating a chunk and — when
+  // the quota fills mid-chunk — restoring the (rng, budget) snapshot
+  // taken after the last consumed variant reproduces the one-at-a-time
+  // loop's stream position exactly: triangles, stats and every
+  // downstream random draw are bit-identical to serial probing.
+  constexpr size_t kProbeChunk = 64;
+  std::vector<data::Record> variants;
+  std::vector<Rng> rng_after;
+  std::vector<long long> budget_after;
+  std::vector<models::RecordPair> probe_pairs;
   while (found < wanted && budget > 0) {
-    --budget;
-    const data::Record& base =
-        pool.record(static_cast<int>(rng->WeightedIndex(weights)));
-    explain::AttrMask mask =
-        num_attributes >= 2
-            ? explain::RandomProperSubset(num_attributes, rng)
-            : 1u;
-    data::Record variant = explain::DropTokenRuns(base, mask, rng);
-    if (variant.values == base.values) continue;  // nothing droppable
-    if (variant.values == self.values) continue;
-    bool opposite = false;
-    try {
-      opposite = opposite_prediction(variant);
-    } catch (const models::BudgetExhausted&) {
-      ++stats->failed_probes;
+    variants.clear();
+    rng_after.clear();
+    budget_after.clear();
+    while (variants.size() < kProbeChunk && budget > 0) {
+      --budget;
+      const data::Record& base =
+          pool.record(static_cast<int>(rng->WeightedIndex(weights)));
+      explain::AttrMask mask =
+          num_attributes >= 2
+              ? explain::RandomProperSubset(num_attributes, rng)
+              : 1u;
+      data::Record variant = explain::DropTokenRuns(base, mask, rng);
+      if (variant.values == base.values) continue;  // nothing droppable
+      if (variant.values == self.values) continue;
+      variants.push_back(std::move(variant));
+      rng_after.push_back(*rng);
+      budget_after.push_back(budget);
+    }
+    if (variants.empty()) break;  // attempt budget spent on duds
+    probe_pairs.clear();
+    for (const data::Record& variant : variants) {
+      probe_pairs.push_back(side == data::Side::kLeft
+                                ? models::RecordPair{&variant, &v}
+                                : models::RecordPair{&u, &variant});
+    }
+    models::ScoringEngine::BatchOutcome outcome =
+        models::TryScoreBatch(*context.model, probe_pairs);
+    size_t consumed = 0;
+    for (; consumed < variants.size() && found < wanted; ++consumed) {
+      if (!outcome.ok[consumed]) {
+        ++stats->failed_probes;
+        continue;
+      }
+      ++stats->probes;
+      bool prediction = outcome.scores[consumed] >= 0.5;
+      if (prediction == original_prediction) continue;
+      triangles->push_back(
+          {side, std::move(variants[consumed]), /*augmented=*/true});
+      ++stats->augmented;
+      ++found;
+    }
+    if (found >= wanted && consumed < variants.size()) {
+      // Quota filled mid-chunk: unconsume the speculative tail.
+      *rng = rng_after[consumed - 1];
+      budget = budget_after[consumed - 1];
+    }
+    if (outcome.budget_exhausted) {
       stats->aborted = true;
       return;
-    } catch (const models::ScoringError&) {
-      ++stats->failed_probes;
-      continue;
     }
-    if (!opposite) continue;
-    triangles->push_back({side, std::move(variant), /*augmented=*/true});
-    ++stats->augmented;
-    ++found;
   }
 }
 

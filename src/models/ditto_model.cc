@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "text/simd.h"
 #include "text/similarity.h"
 #include "text/tokenizer.h"
 
@@ -132,6 +133,180 @@ ml::Vector PairFeatures(const RecordRep& u, const RecordRep& v) {
   };
 }
 
+// --- batch-local memoization -------------------------------------------
+//
+// SoftAlignment is the model's cost center: O(|u|·|v|) Jaro-Winkler
+// calls per pair. Within one ScoreBatch the same records (and the same
+// tokens) recur constantly — a lattice level perturbs one record's
+// attributes, every pair shares the pivot side — so FeaturesBatch
+// interns the batch's tokens once and memoizes every distinct
+// Jaro-Winkler evaluation. Identical token strings get identical ids,
+// and the memo stores the exact double JaroWinklerSimilarity returned,
+// so the features are bit-identical to the uninterned per-pair path
+// (which Features() keeps using).
+
+/// Distinct tokens of one batch: id -> string/marker-flag/parsed-number.
+struct TokenTable {
+  std::unordered_map<std::string, int> index;
+  std::vector<const std::string*> token;  // stable: points at map keys
+  std::vector<uint8_t> marker;
+  std::vector<uint8_t> numeric_ok;
+  std::vector<double> numeric_val;
+
+  int Intern(const std::string& s) {
+    auto [it, inserted] = index.try_emplace(s, static_cast<int>(token.size()));
+    if (inserted) {
+      token.push_back(&it->first);
+      marker.push_back(s.size() >= 2 && s[0] == '[' ? 1 : 0);
+      double value = 0.0;
+      uint8_t ok = text::TryParseNumeric(s, &value) ? 1 : 0;
+      numeric_ok.push_back(ok);
+      numeric_val.push_back(ok ? value : 0.0);
+    }
+    return it->second;
+  }
+  size_t size() const { return token.size(); }
+};
+
+/// Directional (a, b) -> JaroWinklerSimilarity(a, b) memo: a dense
+/// matrix while the batch vocabulary is small, a hash map beyond that.
+class JaroWinklerMemo {
+ public:
+  explicit JaroWinklerMemo(size_t vocab) : vocab_(vocab) {
+    if (vocab_ <= kDenseLimit) dense_.assign(vocab_ * vocab_, -1.0);
+  }
+
+  double Get(const TokenTable& table, int a, int b) {
+    if (!dense_.empty()) {
+      double& slot = dense_[static_cast<size_t>(a) * vocab_ +
+                            static_cast<size_t>(b)];
+      if (slot < 0.0) {
+        slot = text::JaroWinklerSimilarity(*table.token[a], *table.token[b]);
+      }
+      return slot;
+    }
+    uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+                   static_cast<uint32_t>(b);
+    auto [it, inserted] = sparse_.try_emplace(key, 0.0);
+    if (inserted) {
+      it->second =
+          text::JaroWinklerSimilarity(*table.token[a], *table.token[b]);
+    }
+    return it->second;
+  }
+
+ private:
+  static constexpr size_t kDenseLimit = 1024;  // 8 MiB of doubles at most
+  size_t vocab_;
+  std::vector<double> dense_;
+  std::unordered_map<uint64_t, double> sparse_;
+};
+
+/// (token id, rep index) -> the best Jaro-Winkler of that token against
+/// the rep's non-marker tokens. In the engine's hot batches most pairs
+/// share one side (every lattice cell pairs a perturbation with the
+/// same pivot record), so the inner loop of SoftAlignment re-runs over
+/// the same sequence for every pair; caching its result per (token,
+/// sequence) collapses alignment to one add per token after the first
+/// pair. The cached value is computed by the exact inner loop it
+/// replaces, so features stay bit-identical.
+class BestMatchMemo {
+ public:
+  BestMatchMemo(size_t vocab, size_t reps) : vocab_(vocab), reps_(reps) {
+    if (vocab_ * reps_ <= kDenseLimit) dense_.assign(vocab_ * reps_, -1.0);
+  }
+
+  double Get(const TokenTable& table, JaroWinklerMemo* jw, int id_a,
+             size_t rep, const std::vector<int>& rep_ids) {
+    double* slot = nullptr;
+    if (!dense_.empty()) {
+      slot = &dense_[static_cast<size_t>(id_a) * reps_ + rep];
+      if (*slot >= 0.0) return *slot;
+    } else {
+      uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(id_a))
+                      << 32) |
+                     static_cast<uint32_t>(rep);
+      auto [it, inserted] = sparse_.try_emplace(key, -1.0);
+      if (!inserted) return it->second;
+      slot = &it->second;
+    }
+    // The original SoftAlignment inner loop, verbatim.
+    double best = 0.0;
+    for (int id_b : rep_ids) {
+      if (table.marker[id_b]) continue;
+      if (id_a == id_b) {
+        best = 1.0;
+        break;
+      }
+      best = std::max(best, jw->Get(table, id_a, id_b));
+    }
+    *slot = best;
+    return best;
+  }
+
+ private:
+  static constexpr size_t kDenseLimit = size_t{1} << 22;  // 32 MiB cap
+  size_t vocab_;
+  size_t reps_;
+  std::vector<double> dense_;
+  std::unordered_map<uint64_t, double> sparse_;
+};
+
+/// SoftAlignment over interned sequences: same per-token best-match
+/// semantics (exact id match short-circuits to 1.0), with the inner
+/// loop served from the per-(token, rep) memo.
+double SoftAlignmentInterned(const std::vector<int>& a, size_t rep_b,
+                             const std::vector<int>& b,
+                             const TokenTable& table, JaroWinklerMemo* jw,
+                             BestMatchMemo* best_memo) {
+  if (a.empty() || b.empty()) return 0.0;
+  double total = 0.0;
+  int counted = 0;
+  for (int id_a : a) {
+    if (table.marker[id_a]) continue;
+    total += best_memo->Get(table, jw, id_a, rep_b, b);
+    ++counted;
+  }
+  return counted > 0 ? total / counted : 0.0;
+}
+
+/// JaccardOfUnique over interned sequences: distinct ids correspond
+/// one-to-one with distinct token strings, so the intersection and
+/// union cardinalities — and therefore the coefficient — are identical
+/// to the sorted-unique-string computation in text/similarity.cc.
+double JaccardOfUniqueIds(const std::vector<uint64_t>& a,
+                          const std::vector<uint64_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t intersection =
+      text::simd::SortedIntersectionCount(a.data(), a.size(), b.data(),
+                                          b.size());
+  size_t union_size = a.size() + b.size() - intersection;
+  if (union_size == 0) return 1.0;
+  return static_cast<double>(intersection) / static_cast<double>(union_size);
+}
+
+/// NumericAgreement over interned sequences with the per-token parse
+/// done once at interning time.
+double NumericAgreementInterned(const std::vector<int>& a,
+                                const std::vector<int>& b,
+                                const TokenTable& table) {
+  int numeric = 0;
+  int agreed = 0;
+  for (int id_a : a) {
+    if (!table.numeric_ok[id_a]) continue;
+    ++numeric;
+    for (int id_b : b) {
+      if (table.numeric_ok[id_b] &&
+          text::NumericSimilarity(table.numeric_val[id_a],
+                                  table.numeric_val[id_b]) > 0.98) {
+        ++agreed;
+        break;
+      }
+    }
+  }
+  return numeric > 0 ? static_cast<double>(agreed) / numeric : 0.5;
+}
+
 }  // namespace
 
 DittoModel::DittoModel()
@@ -160,19 +335,65 @@ ml::Vector DittoModel::Features(const data::Record& u,
 
 std::vector<ml::Vector> DittoModel::FeaturesBatch(
     std::span<const RecordPair> pairs) const {
+  // Pass 1: one rep per distinct record (by address), tokens interned
+  // into the batch table as each rep is built.
   std::vector<RecordRep> reps;
+  std::vector<std::vector<int>> rep_ids;
+  std::vector<std::vector<uint64_t>> rep_unique_ids;
+  TokenTable table;
   std::unordered_map<const data::Record*, size_t> rep_index;
   auto rep_of = [&](const data::Record* record) {
     auto [it, inserted] = rep_index.try_emplace(record, reps.size());
-    if (inserted) reps.push_back(MakeRep(*record, ngram_embedder_));
+    if (inserted) {
+      reps.push_back(MakeRep(*record, ngram_embedder_));
+      std::vector<int> ids;
+      ids.reserve(reps.back().seq.size());
+      for (const std::string& token : reps.back().seq) {
+        ids.push_back(table.Intern(token));
+      }
+      // Sorted unique ids stand in for the sorted unique token strings:
+      // same distinct elements, so the same Jaccard cardinalities.
+      std::vector<uint64_t> unique_ids(ids.begin(), ids.end());
+      std::sort(unique_ids.begin(), unique_ids.end());
+      unique_ids.erase(std::unique(unique_ids.begin(), unique_ids.end()),
+                       unique_ids.end());
+      rep_ids.push_back(std::move(ids));
+      rep_unique_ids.push_back(std::move(unique_ids));
+    }
     return it->second;
   };
-  std::vector<ml::Vector> rows;
-  rows.reserve(pairs.size());
+  std::vector<std::pair<size_t, size_t>> pair_reps;
+  pair_reps.reserve(pairs.size());
   for (const RecordPair& pair : pairs) {
     size_t left = rep_of(pair.left);
     size_t right = rep_of(pair.right);
-    rows.push_back(PairFeatures(reps[left], reps[right]));
+    pair_reps.emplace_back(left, right);
+  }
+
+  // Pass 2: features through the batch-wide Jaro-Winkler memo — every
+  // distinct (token, token) evaluation is paid once per batch instead
+  // of once per pair. Values are bit-identical to PairFeatures.
+  JaroWinklerMemo memo(table.size());
+  BestMatchMemo best_memo(table.size(), reps.size());
+  std::vector<ml::Vector> rows;
+  rows.reserve(pairs.size());
+  for (const auto& [left, right] : pair_reps) {
+    const RecordRep& u = reps[left];
+    const RecordRep& v = reps[right];
+    const std::vector<int>& u_ids = rep_ids[left];
+    const std::vector<int>& v_ids = rep_ids[right];
+    double align_uv =
+        SoftAlignmentInterned(u_ids, right, v_ids, table, &memo, &best_memo);
+    double align_vu =
+        SoftAlignmentInterned(v_ids, left, u_ids, table, &memo, &best_memo);
+    rows.push_back({
+        align_uv,
+        align_vu,
+        std::min(align_uv, align_vu),
+        text::CosineSimilarity(u.gram_embed, v.gram_embed),
+        JaccardOfUniqueIds(rep_unique_ids[left], rep_unique_ids[right]),
+        NumericAgreementInterned(u_ids, v_ids, table),
+    });
   }
   return rows;
 }

@@ -64,6 +64,12 @@ void PredictionCache::BindMetrics(obs::Counter* hits, obs::Counter* misses,
   metric_evictions_ = evictions;
 }
 
+void PredictionCache::BindViewMetrics(obs::Counter* view_hits,
+                                      obs::Counter* flush_locks) {
+  metric_view_hits_ = view_hits;
+  metric_flush_locks_ = flush_locks;
+}
+
 bool PredictionCache::Lookup(const PairKey& key, double* score) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
@@ -88,9 +94,8 @@ bool PredictionCache::Lookup(const PairKey& key, double* score) {
   return true;
 }
 
-void PredictionCache::Insert(const PairKey& key, double score) {
-  Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+void PredictionCache::InsertLocked(Shard& shard, const PairKey& key,
+                                   double score) {
   if (shard.map.size() >= max_entries_per_shard_ &&
       shard.map.find(key) == shard.map.end()) {
     evictions_.fetch_add(static_cast<long long>(shard.map.size()),
@@ -101,6 +106,69 @@ void PredictionCache::Insert(const PairKey& key, double score) {
     shard.map.clear();
   }
   shard.map[key] = Entry{score, false};
+}
+
+void PredictionCache::Insert(const PairKey& key, double score) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  InsertLocked(shard, key, score);
+}
+
+bool PredictionCache::View::Lookup(const PairKey& key, double* score) {
+  auto it = local_.find(key);
+  if (it != local_.end()) {
+    // Lock-free hit: counts as an ordinary hit (the shards hold the
+    // same deterministic score) plus the view_hits marker.
+    cache_->hits_.fetch_add(1, std::memory_order_relaxed);
+    if (cache_->metric_hits_ != nullptr) cache_->metric_hits_->Increment();
+    if (cache_->metric_view_hits_ != nullptr) {
+      cache_->metric_view_hits_->Increment();
+    }
+    *score = it->second;
+    return true;
+  }
+  // Read through with the normal hit/miss (and prewarm first-touch)
+  // accounting, then remember the score locally.
+  if (!cache_->Lookup(key, score)) return false;
+  RememberLocal(key, *score);
+  return true;
+}
+
+void PredictionCache::View::Insert(const PairKey& key, double score) {
+  RememberLocal(key, score);
+  pending_.emplace_back(key, score);
+}
+
+void PredictionCache::View::RememberLocal(const PairKey& key, double score) {
+  // The local table mirrors the shard budget; clearing it only costs
+  // re-reads through the shards (deterministic: size-triggered).
+  if (local_.size() >= cache_->max_entries_per_shard_) local_.clear();
+  local_[key] = score;
+}
+
+void PredictionCache::View::Flush() {
+  if (pending_.empty()) return;
+  const size_t shards = cache_->shards_.size();
+  if (by_shard_.size() != shards) by_shard_.resize(shards);
+  for (const auto& entry : pending_) {
+    by_shard_[cache_->ShardIndex(entry.first)].push_back(entry);
+  }
+  pending_.clear();
+  for (size_t s = 0; s < shards; ++s) {
+    std::vector<std::pair<PairKey, double>>& entries = by_shard_[s];
+    if (entries.empty()) continue;
+    if (cache_->metric_flush_locks_ != nullptr) {
+      cache_->metric_flush_locks_->Increment();
+    }
+    Shard& shard = *cache_->shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    // Per-shard insertion order is preserved, so eviction points (and
+    // the eviction counters) match inserting each entry directly.
+    for (const auto& [key, score] : entries) {
+      cache_->InsertLocked(shard, key, score);
+    }
+    entries.clear();
+  }
 }
 
 void PredictionCache::Prewarm(const PairKey& key, double score) {
@@ -133,7 +201,8 @@ size_t PredictionCache::entry_count() const {
 ScoringEngine::ScoringEngine(const Matcher* base, Options options)
     : base_(base),
       options_(options),
-      cache_(options.cache_shards, options.max_cache_entries_per_shard) {
+      cache_(options.cache_shards, options.max_cache_entries_per_shard),
+      view_(&cache_) {
   CERTA_CHECK(base != nullptr);
   if (options_.metrics != nullptr) {
     obs::MetricsRegistry& reg = *options_.metrics;
@@ -144,11 +213,49 @@ ScoringEngine::ScoringEngine(const Matcher* base, Options options)
     metric_.batches = reg.counter("scoring.batches");
     metric_.pool_chunks = reg.counter("scoring.pool.chunks");
     metric_.scores_computed = reg.counter("scoring.scores.computed");
+    metric_.cache_contended = reg.counter("scoring.cache.contended_batches");
     cache_.BindMetrics(reg.counter("scoring.cache.hits"),
                        reg.counter("scoring.cache.misses"),
                        reg.counter("scoring.cache.evictions"));
+    cache_.BindViewMetrics(reg.counter("scoring.cache.view_hits"),
+                           reg.counter("scoring.cache.flush_locks"));
   }
 }
+
+namespace {
+
+/// Scoped ownership of the engine's batched cache view: the winning
+/// batch probes/inserts lock-free and merges at scope exit (normal or
+/// exceptional); concurrent batches fall back to the locked path.
+class ViewLease {
+ public:
+  ViewLease(bool enable_cache, PredictionCache::View* view,
+            std::atomic<bool>* busy, obs::Counter* contended)
+      : view_(view), busy_(busy) {
+    owned_ = enable_cache &&
+             !busy_->exchange(true, std::memory_order_acq_rel);
+    if (enable_cache && !owned_ && contended != nullptr) {
+      contended->Increment();
+    }
+  }
+  ~ViewLease() {
+    if (owned_) {
+      view_->Flush();
+      busy_->store(false, std::memory_order_release);
+    }
+  }
+  ViewLease(const ViewLease&) = delete;
+  ViewLease& operator=(const ViewLease&) = delete;
+
+  bool owned() const { return owned_; }
+
+ private:
+  PredictionCache::View* view_;
+  std::atomic<bool>* busy_;
+  bool owned_ = false;
+};
+
+}  // namespace
 
 double ScoringEngine::Score(const data::Record& u,
                             const data::Record& v) const {
@@ -184,10 +291,8 @@ std::vector<double> ScoringEngine::ScoreMisses(
   // thread, after every chunk has finished.
   std::exception_ptr error;
   std::mutex error_mutex;
-  pool->ParallelFor(num_chunks, [&](size_t c) {
+  pool->ParallelFor(pairs.size(), chunk, [&](size_t begin, size_t end) {
     try {
-      size_t begin = c * chunk;
-      size_t end = std::min(pairs.size(), begin + chunk);
       std::span<const RecordPair> slice(pairs.data() + begin, end - begin);
       std::vector<double> chunk_scores = base_->ScoreBatch(slice);
       std::copy(chunk_scores.begin(), chunk_scores.end(),
@@ -253,10 +358,9 @@ void ScoringEngine::TryScoreMisses(const std::vector<RecordPair>& pairs,
     }
     std::exception_ptr error;
     std::mutex error_mutex;
-    pool->ParallelFor(num_chunks, [&](size_t c) {
+    pool->ParallelFor(pairs.size(), chunk, [&](size_t begin, size_t end) {
       try {
-        size_t begin = c * chunk;
-        score_range(begin, std::min(pairs.size(), begin + chunk));
+        score_range(begin, end);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!error) error = std::current_exception();
@@ -312,6 +416,12 @@ std::vector<double> ScoringEngine::ScoreBatch(
   }
   BatchPlan plan = MakePlan(pairs);
 
+  // One batch at a time owns the engine's thread-local-style view and
+  // probes/inserts without touching shard locks until the final flush;
+  // a losing concurrent batch takes the locked per-lookup path.
+  ViewLease lease(options_.enable_cache, &view_, &view_busy_,
+                  metric_.cache_contended);
+
   // Cache probe phase (sequential, so counters stay deterministic).
   std::vector<double> unique_scores(plan.unique_inputs.size(), 0.0);
   std::vector<RecordPair> miss_pairs;
@@ -319,7 +429,8 @@ std::vector<double> ScoringEngine::ScoreBatch(
   for (size_t s = 0; s < plan.unique_inputs.size(); ++s) {
     size_t input = plan.unique_inputs[s];
     if (options_.enable_cache &&
-        cache_.Lookup(plan.keys[input], &unique_scores[s])) {
+        (lease.owned() ? view_.Lookup(plan.keys[input], &unique_scores[s])
+                       : cache_.Lookup(plan.keys[input], &unique_scores[s]))) {
       continue;
     }
     miss_pairs.push_back(pairs[input]);
@@ -333,7 +444,13 @@ std::vector<double> ScoringEngine::ScoreBatch(
   for (size_t m = 0; m < miss_slots.size(); ++m) {
     unique_scores[miss_slots[m]] = miss_scores[m];
     const PairKey& key = plan.keys[plan.unique_inputs[miss_slots[m]]];
-    if (options_.enable_cache) cache_.Insert(key, miss_scores[m]);
+    if (options_.enable_cache) {
+      if (lease.owned()) {
+        view_.Insert(key, miss_scores[m]);
+      } else {
+        cache_.Insert(key, miss_scores[m]);
+      }
+    }
     if (options_.observer) options_.observer(key, miss_scores[m]);
   }
 
@@ -368,6 +485,10 @@ ScoringEngine::BatchOutcome ScoringEngine::TryScoreBatch(
   }
   BatchPlan plan = MakePlan(pairs);
 
+  // Same single-owner view protocol as ScoreBatch.
+  ViewLease lease(options_.enable_cache, &view_, &view_busy_,
+                  metric_.cache_contended);
+
   std::vector<double> unique_scores(plan.unique_inputs.size(), 0.0);
   std::vector<uint8_t> unique_ok(plan.unique_inputs.size(), 0);
   std::vector<RecordPair> miss_pairs;
@@ -375,7 +496,8 @@ ScoringEngine::BatchOutcome ScoringEngine::TryScoreBatch(
   for (size_t s = 0; s < plan.unique_inputs.size(); ++s) {
     size_t input = plan.unique_inputs[s];
     if (options_.enable_cache &&
-        cache_.Lookup(plan.keys[input], &unique_scores[s])) {
+        (lease.owned() ? view_.Lookup(plan.keys[input], &unique_scores[s])
+                       : cache_.Lookup(plan.keys[input], &unique_scores[s]))) {
       unique_ok[s] = 1;
       continue;
     }
@@ -391,7 +513,13 @@ ScoringEngine::BatchOutcome ScoringEngine::TryScoreBatch(
     unique_scores[miss_slots[m]] = miss_scores[m];
     unique_ok[miss_slots[m]] = 1;
     const PairKey& key = plan.keys[plan.unique_inputs[miss_slots[m]]];
-    if (options_.enable_cache) cache_.Insert(key, miss_scores[m]);
+    if (options_.enable_cache) {
+      if (lease.owned()) {
+        view_.Insert(key, miss_scores[m]);
+      } else {
+        cache_.Insert(key, miss_scores[m]);
+      }
+    }
     if (options_.observer) options_.observer(key, miss_scores[m]);
   }
 

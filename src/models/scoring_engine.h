@@ -63,6 +63,55 @@ class PredictionCache {
   void BindMetrics(obs::Counter* hits, obs::Counter* misses,
                    obs::Counter* evictions);
 
+  /// Hot-path instrumentation for the batched View below (both may be
+  /// null): `view_hits` counts lookups served lock-free from a view's
+  /// local table (these also count as ordinary hits), `flush_locks`
+  /// counts shard-mutex acquisitions made by View::Flush — the number
+  /// of times the whole batch touched a shard lock at all, versus one
+  /// lock per lookup/insert on the direct path.
+  void BindViewMetrics(obs::Counter* view_hits, obs::Counter* flush_locks);
+
+  /// Single-writer read-through view for one batch producer: lookups
+  /// are served from a local open-address table when possible (no shard
+  /// mutex), misses fall through to the shards with normal hit/miss
+  /// accounting, and inserts are buffered locally and merged into the
+  /// shards — each shard locked once — at batch boundaries via Flush().
+  ///
+  /// Determinism: for a single-threaded caller, the hit/miss/eviction
+  /// counter stream is identical to using Lookup/Insert directly
+  /// (pending inserts are applied per shard in insertion order, and the
+  /// engine's probe phase precedes its insert phase within a batch
+  /// anyway). The view itself is NOT thread-safe — it is the per-batch
+  /// single-writer arm of the cache; concurrent producers use the
+  /// locked path directly.
+  class View {
+   public:
+    explicit View(PredictionCache* cache) : cache_(cache) {}
+    View(const View&) = delete;
+    View& operator=(const View&) = delete;
+    ~View() { Flush(); }
+
+    /// True (and *score set) on a hit, served locally when possible.
+    bool Lookup(const PairKey& key, double* score);
+
+    /// Buffers the insert; visible to this view immediately and to the
+    /// shards (and hence other threads) after the next Flush.
+    void Insert(const PairKey& key, double score);
+
+    /// Merges every buffered insert into the shards, one lock per
+    /// touched shard, applying the normal eviction policy and counters.
+    void Flush();
+
+   private:
+    void RememberLocal(const PairKey& key, double score);
+
+    PredictionCache* cache_;
+    std::unordered_map<PairKey, double, PairKeyHasher> local_;
+    std::vector<std::pair<PairKey, double>> pending_;
+    /// Reusable per-shard grouping buffers for Flush.
+    std::vector<std::vector<std::pair<PairKey, double>>> by_shard_;
+  };
+
   /// True (and *score set) on a hit. Counts one hit or one miss —
   /// except on the *first* touch of a prewarmed entry, which returns
   /// the score but counts a miss (see Prewarm).
@@ -95,14 +144,19 @@ class PredictionCache {
     std::unordered_map<PairKey, Entry, PairKeyHasher> map;
   };
 
-  Shard& ShardFor(const PairKey& key) {
+  size_t ShardIndex(const PairKey& key) const {
     // Mix both words (the hasher's output) before reducing: indexing by
     // `hi % shards` alone piles every key sharing `hi` into one shard
     // whenever the shard count is not a power of two that divides the
     // hash range evenly — and defeats sharding entirely for key sets
     // that vary only in `lo`.
-    return *shards_[PairKeyHasher{}(key) % shards_.size()];
+    return PairKeyHasher{}(key) % shards_.size();
   }
+
+  Shard& ShardFor(const PairKey& key) { return *shards_[ShardIndex(key)]; }
+
+  /// Insert body shared by Insert and View::Flush; `shard.mutex` held.
+  void InsertLocked(Shard& shard, const PairKey& key, double score);
 
   std::vector<std::unique_ptr<Shard>> shards_;
   size_t max_entries_per_shard_;
@@ -112,6 +166,8 @@ class PredictionCache {
   obs::Counter* metric_hits_ = nullptr;
   obs::Counter* metric_misses_ = nullptr;
   obs::Counter* metric_evictions_ = nullptr;
+  obs::Counter* metric_view_hits_ = nullptr;
+  obs::Counter* metric_flush_locks_ = nullptr;
 };
 
 /// The batched + cached + pooled scoring layer every hot path drains
@@ -149,8 +205,12 @@ class ScoringEngine : public Matcher {
     /// Batches smaller than this skip the pool (dispatch overhead would
     /// dominate the scoring work).
     size_t min_parallel_batch = 8;
-    /// Pairs per pool task when fanning a batch out.
-    size_t parallel_chunk = 16;
+    /// Pairs per pool task when fanning a batch out. Deliberately
+    /// independent of the worker count: chunk boundaries fix the base
+    /// model's ScoreBatch slices (and hence its batch-local
+    /// memoization reuse), so the total work is identical at any thread
+    /// count — threads only change who runs a chunk.
+    size_t parallel_chunk = 32;
     /// Optional journal hook; empty = no observation overhead.
     ScoreObserver observer;
     /// Observability registry (not owned; nullptr = uninstrumented).
@@ -223,11 +283,21 @@ class ScoringEngine : public Matcher {
     obs::Counter* batches = nullptr;
     obs::Counter* pool_chunks = nullptr;
     obs::Counter* scores_computed = nullptr;
+    /// Batches that found the view taken by a concurrent producer and
+    /// fell back to the locked per-lookup path (shard contention
+    /// indicator; always 0 for a single-threaded caller).
+    obs::Counter* cache_contended = nullptr;
   };
 
   const Matcher* base_;
   Options options_;
   mutable PredictionCache cache_;
+  /// Single-writer batched cache arm: the batch that wins `view_busy_`
+  /// probes and inserts through `view_` (no shard locks on hits, one
+  /// lock per shard at flush); losers — only possible with concurrent
+  /// external callers — use the locked path and count cache_contended.
+  mutable PredictionCache::View view_;
+  mutable std::atomic<bool> view_busy_{false};
   MetricHandles metric_;
 };
 

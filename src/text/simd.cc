@@ -1,0 +1,371 @@
+#include "text/simd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_map>
+
+#include "text/tokenizer.h"
+
+namespace certa::text::simd {
+
+KernelMode ActiveMode() {
+#ifdef CERTA_FORCE_SCALAR_KERNELS
+  return KernelMode::kScalar;
+#else
+  static const KernelMode mode = [] {
+    const char* env = std::getenv("CERTA_KERNELS");
+    if (env != nullptr && std::strcmp(env, "scalar") == 0) {
+      return KernelMode::kScalar;
+    }
+    return KernelMode::kVector;
+  }();
+  return mode;
+#endif
+}
+
+const char* ActiveModeName() {
+  return ActiveMode() == KernelMode::kScalar ? "scalar" : "vector";
+}
+
+namespace scalar {
+
+int LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  std::vector<int> previous(a.size() + 1);
+  std::vector<int> current(a.size() + 1);
+  for (size_t i = 0; i <= a.size(); ++i) previous[i] = static_cast<int>(i);
+  for (size_t j = 1; j <= b.size(); ++j) {
+    current[0] = static_cast<int>(j);
+    for (size_t i = 1; i <= a.size(); ++i) {
+      int substitution = previous[i - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      current[i] =
+          std::min({previous[i] + 1, current[i - 1] + 1, substitution});
+    }
+    std::swap(previous, current);
+  }
+  return previous[a.size()];
+}
+
+size_t SortedIntersectionCount(const uint64_t* a, size_t a_size,
+                               const uint64_t* b, size_t b_size) {
+  size_t intersection = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a_size && j < b_size) {
+    if (a[i] == b[j]) {
+      ++intersection;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return intersection;
+}
+
+namespace {
+
+std::unordered_map<std::string, int> Counts(
+    const std::vector<std::string>& tokens) {
+  std::unordered_map<std::string, int> counts;
+  for (const auto& token : tokens) ++counts[token];
+  return counts;
+}
+
+}  // namespace
+
+double CosineTokenSimilarity(const std::vector<std::string>& a,
+                             const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  auto counts_a = Counts(a);
+  auto counts_b = Counts(b);
+  double dot = 0.0;
+  for (const auto& [token, count] : counts_a) {
+    auto it = counts_b.find(token);
+    if (it != counts_b.end()) dot += static_cast<double>(count) * it->second;
+  }
+  auto norm = [](const std::unordered_map<std::string, int>& counts) {
+    double sum = 0.0;
+    for (const auto& [token, count] : counts) {
+      sum += static_cast<double>(count) * count;
+    }
+    return std::sqrt(sum);
+  };
+  double denom = norm(counts_a) * norm(counts_b);
+  return denom > 0.0 ? dot / denom : 0.0;
+}
+
+void AppendNgramWindowHashes(std::string_view padded, int n, uint64_t seed,
+                             std::vector<uint64_t>* out) {
+  if (n <= 0 || padded.size() < static_cast<size_t>(n)) return;
+  const size_t count = padded.size() - static_cast<size_t>(n) + 1;
+  out->reserve(out->size() + count);
+  for (size_t i = 0; i < count; ++i) {
+    out->push_back(
+        SeededStringHash(padded.substr(i, static_cast<size_t>(n)), seed));
+  }
+}
+
+}  // namespace scalar
+
+namespace vec {
+namespace {
+
+/// Myers' bit-parallel edit distance (G. Myers, JACM 1999) for a
+/// pattern of at most 64 characters: each text character updates the
+/// whole DP column in O(1) word operations. Produces exactly the
+/// unit-cost Levenshtein distance of the DP recurrence.
+int MyersLevenshtein64(std::string_view pattern, std::string_view text) {
+  const size_t m = pattern.size();
+  uint64_t peq[256] = {0};
+  for (size_t i = 0; i < m; ++i) {
+    peq[static_cast<unsigned char>(pattern[i])] |= 1ULL << i;
+  }
+  uint64_t pv = ~0ULL;
+  uint64_t mv = 0;
+  int score = static_cast<int>(m);
+  const uint64_t last = 1ULL << (m - 1);
+  for (char c : text) {
+    const uint64_t eq = peq[static_cast<unsigned char>(c)];
+    const uint64_t xv = eq | mv;
+    const uint64_t xh = (((eq & pv) + pv) ^ pv) | eq;
+    uint64_t ph = mv | ~(xh | pv);
+    uint64_t mh = pv & xh;
+    if (ph & last) {
+      ++score;
+    } else if (mh & last) {
+      --score;
+    }
+    ph = (ph << 1) | 1ULL;
+    mh <<= 1;
+    pv = mh | ~(xv | ph);
+    mv = ph & xv;
+  }
+  return score;
+}
+
+}  // namespace
+
+int LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) return static_cast<int>(b.size());
+  if (a.size() <= 64) return MyersLevenshtein64(a, b);
+  return scalar::LevenshteinDistance(a, b);
+}
+
+namespace {
+
+/// Branchless two-pointer merge count over one [a, b) range pair.
+size_t MergeCountRange(const uint64_t* a, size_t a_size, const uint64_t* b,
+                       size_t b_size) {
+  size_t intersection = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a_size && j < b_size) {
+    const uint64_t x = a[i];
+    const uint64_t y = b[j];
+    intersection += static_cast<size_t>(x == y);
+    i += static_cast<size_t>(x <= y);
+    j += static_cast<size_t>(y <= x);
+  }
+  return intersection;
+}
+
+}  // namespace
+
+size_t SortedIntersectionCount(const uint64_t* a, size_t a_size,
+                               const uint64_t* b, size_t b_size) {
+  // The merge loop's bottleneck is the loop-carried dependency on the
+  // cursors, not arithmetic. Splitting both arrays at a shared pivot
+  // yields two independent merges whose iterations interleave in one
+  // loop, so the CPU overlaps the two dependency chains. Every element
+  // lands strictly left or right of the pivot value in both arrays, so
+  // the two partial counts partition the matches exactly.
+  constexpr size_t kSplitThreshold = 32;
+  if (a_size < kSplitThreshold || b_size < kSplitThreshold) {
+    return MergeCountRange(a, a_size, b, b_size);
+  }
+  const uint64_t pivot = a[a_size / 2];
+  const size_t a1 = static_cast<size_t>(
+      std::lower_bound(a, a + a_size, pivot) - a);
+  const size_t b1 = static_cast<size_t>(
+      std::lower_bound(b, b + b_size, pivot) - b);
+  size_t intersection = 0;
+  size_t i0 = 0;
+  size_t j0 = 0;
+  size_t i1 = a1;
+  size_t j1 = b1;
+  while (i0 < a1 && j0 < b1 && i1 < a_size && j1 < b_size) {
+    const uint64_t x0 = a[i0];
+    const uint64_t y0 = b[j0];
+    intersection += static_cast<size_t>(x0 == y0);
+    i0 += static_cast<size_t>(x0 <= y0);
+    j0 += static_cast<size_t>(y0 <= x0);
+    const uint64_t x1 = a[i1];
+    const uint64_t y1 = b[j1];
+    intersection += static_cast<size_t>(x1 == y1);
+    i1 += static_cast<size_t>(x1 <= y1);
+    j1 += static_cast<size_t>(y1 <= x1);
+  }
+  intersection += MergeCountRange(a + i0, a1 - i0, b + j0, b1 - j0);
+  intersection += MergeCountRange(a + i1, a_size - i1, b + j1, b_size - j1);
+  return intersection;
+}
+
+namespace {
+
+std::vector<const std::string*> SortedPointers(
+    const std::vector<std::string>& tokens) {
+  std::vector<const std::string*> sorted;
+  sorted.reserve(tokens.size());
+  for (const std::string& token : tokens) sorted.push_back(&token);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const std::string* x, const std::string* y) { return *x < *y; });
+  return sorted;
+}
+
+size_t RunEnd(const std::vector<const std::string*>& sorted, size_t begin) {
+  size_t end = begin + 1;
+  while (end < sorted.size() && *sorted[end] == *sorted[begin]) ++end;
+  return end;
+}
+
+}  // namespace
+
+double CosineTokenSimilarity(const std::vector<std::string>& a,
+                             const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  // Equal runs of the sorted views are the distinct tokens with their
+  // multiplicities; dot and the squared norms are sums of products of
+  // those integer counts, which doubles accumulate exactly in any
+  // order — hence bit-identity with the hash-map reference.
+  std::vector<const std::string*> sa = SortedPointers(a);
+  std::vector<const std::string*> sb = SortedPointers(b);
+  double dot = 0.0;
+  double norm_a = 0.0;
+  double norm_b = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < sa.size() && j < sb.size()) {
+    const int cmp = sa[i]->compare(*sb[j]);
+    if (cmp == 0) {
+      const size_t ia = RunEnd(sa, i);
+      const size_t jb = RunEnd(sb, j);
+      const double ca = static_cast<double>(ia - i);
+      const double cb = static_cast<double>(jb - j);
+      dot += ca * cb;
+      norm_a += ca * ca;
+      norm_b += cb * cb;
+      i = ia;
+      j = jb;
+    } else if (cmp < 0) {
+      const size_t ia = RunEnd(sa, i);
+      const double ca = static_cast<double>(ia - i);
+      norm_a += ca * ca;
+      i = ia;
+    } else {
+      const size_t jb = RunEnd(sb, j);
+      const double cb = static_cast<double>(jb - j);
+      norm_b += cb * cb;
+      j = jb;
+    }
+  }
+  while (i < sa.size()) {
+    const size_t ia = RunEnd(sa, i);
+    const double ca = static_cast<double>(ia - i);
+    norm_a += ca * ca;
+    i = ia;
+  }
+  while (j < sb.size()) {
+    const size_t jb = RunEnd(sb, j);
+    const double cb = static_cast<double>(jb - j);
+    norm_b += cb * cb;
+    j = jb;
+  }
+  const double denom = std::sqrt(norm_a) * std::sqrt(norm_b);
+  return denom > 0.0 ? dot / denom : 0.0;
+}
+
+void AppendNgramWindowHashes(std::string_view padded, int n, uint64_t seed,
+                             std::vector<uint64_t>* out) {
+  if (n <= 0 || padded.size() < static_cast<size_t>(n)) return;
+  const size_t count = padded.size() - static_cast<size_t>(n) + 1;
+  const size_t base = out->size();
+  out->resize(base + count);
+  uint64_t* dst = out->data() + base;
+  const unsigned char* s =
+      reinterpret_cast<const unsigned char*>(padded.data());
+  constexpr uint64_t kBasis = 0xcbf29ce484222325ULL;
+  constexpr uint64_t kPrime = 0x100000001b3ULL;
+  // Windows are independent, so the whole FNV chain of each window is
+  // unrolled and the loop over positions vectorizes (integer-only; the
+  // arithmetic per window is identical to SeededStringHash).
+  if (n == 3) {
+#pragma omp simd
+    for (size_t i = 0; i < count; ++i) {
+      uint64_t h = kBasis ^ seed;
+      h = (h ^ s[i]) * kPrime;
+      h = (h ^ s[i + 1]) * kPrime;
+      h = (h ^ s[i + 2]) * kPrime;
+      h ^= h >> 33;
+      h *= 0xff51afd7ed558ccdULL;
+      h ^= h >> 33;
+      dst[i] = h;
+    }
+  } else if (n == 4) {
+#pragma omp simd
+    for (size_t i = 0; i < count; ++i) {
+      uint64_t h = kBasis ^ seed;
+      h = (h ^ s[i]) * kPrime;
+      h = (h ^ s[i + 1]) * kPrime;
+      h = (h ^ s[i + 2]) * kPrime;
+      h = (h ^ s[i + 3]) * kPrime;
+      h ^= h >> 33;
+      h *= 0xff51afd7ed558ccdULL;
+      h ^= h >> 33;
+      dst[i] = h;
+    }
+  } else {
+    out->resize(base);
+    scalar::AppendNgramWindowHashes(padded, n, seed, out);
+  }
+}
+
+}  // namespace vec
+
+int LevenshteinDistance(std::string_view a, std::string_view b) {
+  return ActiveMode() == KernelMode::kVector
+             ? vec::LevenshteinDistance(a, b)
+             : scalar::LevenshteinDistance(a, b);
+}
+
+size_t SortedIntersectionCount(const uint64_t* a, size_t a_size,
+                               const uint64_t* b, size_t b_size) {
+  return ActiveMode() == KernelMode::kVector
+             ? vec::SortedIntersectionCount(a, a_size, b, b_size)
+             : scalar::SortedIntersectionCount(a, a_size, b, b_size);
+}
+
+double CosineTokenSimilarity(const std::vector<std::string>& a,
+                             const std::vector<std::string>& b) {
+  return ActiveMode() == KernelMode::kVector
+             ? vec::CosineTokenSimilarity(a, b)
+             : scalar::CosineTokenSimilarity(a, b);
+}
+
+void AppendNgramWindowHashes(std::string_view padded, int n, uint64_t seed,
+                             std::vector<uint64_t>* out) {
+  if (ActiveMode() == KernelMode::kVector) {
+    vec::AppendNgramWindowHashes(padded, n, seed, out);
+  } else {
+    scalar::AppendNgramWindowHashes(padded, n, seed, out);
+  }
+}
+
+}  // namespace certa::text::simd

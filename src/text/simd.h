@@ -1,0 +1,101 @@
+#ifndef CERTA_TEXT_SIMD_H_
+#define CERTA_TEXT_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace certa::text::simd {
+
+/// Which implementation the dispatched kernel entry points run.
+///
+/// Every vectorized kernel keeps a scalar reference implementation in
+/// simd::scalar; the pair is differentially tested (tests/
+/// simd_kernel_test.cc) and both variants are required to produce
+/// bit-identical outputs — the vector forms only reorganize integer
+/// arithmetic (bit-parallel rows, branchless merges, integer-count
+/// sums), never floating-point reduction order.
+enum class KernelMode {
+  kScalar,  // reference loops, no vector-friendly restructuring
+  kVector,  // bit-parallel / branchless / omp-simd inner loops
+};
+
+/// Mode the dispatched entry points use, resolved once per process:
+/// CERTA_KERNELS=scalar forces the reference kernels (CI runs the perf
+/// suite both ways); anything else — including unset — selects the
+/// vector kernels. Compile with -DCERTA_FORCE_SCALAR_KERNELS to pin
+/// scalar regardless of the environment.
+KernelMode ActiveMode();
+
+/// "scalar" or "vector" — for logs and bench metadata.
+const char* ActiveModeName();
+
+/// Reference implementations. Exact specified behavior, no layout
+/// tricks; the differential tests and the micro benchmark's baselines
+/// call these directly.
+namespace scalar {
+
+/// Two-row dynamic-programming Levenshtein distance.
+int LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Branchy sorted-merge intersection count over sorted unique arrays.
+size_t SortedIntersectionCount(const uint64_t* a, size_t a_size,
+                               const uint64_t* b, size_t b_size);
+
+/// Cosine of token-count vectors via hash-map count tables.
+double CosineTokenSimilarity(const std::vector<std::string>& a,
+                             const std::vector<std::string>& b);
+
+/// Appends the seeded FNV-1a + avalanche hash of every length-n window
+/// of `padded` (one call to text::SeededStringHash per window).
+void AppendNgramWindowHashes(std::string_view padded, int n, uint64_t seed,
+                             std::vector<uint64_t>* out);
+
+}  // namespace scalar
+
+/// Vectorized implementations. Bit-identical outputs to simd::scalar.
+namespace vec {
+
+/// Myers' bit-parallel Levenshtein (one uint64 row per input column)
+/// when the shorter string fits 64 characters; falls back to the scalar
+/// rows beyond that.
+int LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Branchless sorted-merge intersection count: the advance of each
+/// cursor is computed arithmetically, so random hash sets don't pay a
+/// mispredicted branch per element.
+size_t SortedIntersectionCount(const uint64_t* a, size_t a_size,
+                               const uint64_t* b, size_t b_size);
+
+/// Cosine of token-count vectors via sorted run-length merge — no hash
+/// maps, no per-call node allocations. All partial sums are small
+/// integers held in doubles, so the result is bit-identical to the
+/// hash-map reference despite the different accumulation order.
+double CosineTokenSimilarity(const std::vector<std::string>& a,
+                             const std::vector<std::string>& b);
+
+/// Window hashes with the per-window FNV chain unrolled for n = 3 and
+/// n = 4 under `#pragma omp simd` (independent windows, integer-only);
+/// other n fall back to the scalar loop.
+void AppendNgramWindowHashes(std::string_view padded, int n, uint64_t seed,
+                             std::vector<uint64_t>* out);
+
+}  // namespace vec
+
+// Dispatched entry points — what the text layer (similarity.cc,
+// tokenizer.cc) actually calls. Each resolves ActiveMode() once per
+// call via a relaxed static; the branch predicts perfectly.
+
+int LevenshteinDistance(std::string_view a, std::string_view b);
+size_t SortedIntersectionCount(const uint64_t* a, size_t a_size,
+                               const uint64_t* b, size_t b_size);
+double CosineTokenSimilarity(const std::vector<std::string>& a,
+                             const std::vector<std::string>& b);
+void AppendNgramWindowHashes(std::string_view padded, int n, uint64_t seed,
+                             std::vector<uint64_t>* out);
+
+}  // namespace certa::text::simd
+
+#endif  // CERTA_TEXT_SIMD_H_

@@ -2,20 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 #include <unordered_set>
 
+#include "text/simd.h"
 #include "text/tokenizer.h"
 
 namespace certa::text {
 namespace {
-
-std::unordered_map<std::string, int> Counts(
-    const std::vector<std::string>& tokens) {
-  std::unordered_map<std::string, int> counts;
-  for (const auto& token : tokens) ++counts[token];
-  return counts;
-}
 
 std::unordered_set<std::string> AsSet(const std::vector<std::string>& tokens) {
   return {tokens.begin(), tokens.end()};
@@ -35,20 +28,7 @@ size_t IntersectionSize(const std::unordered_set<std::string>& a,
 }  // namespace
 
 int LevenshteinDistance(std::string_view a, std::string_view b) {
-  if (a.size() > b.size()) std::swap(a, b);
-  std::vector<int> previous(a.size() + 1);
-  std::vector<int> current(a.size() + 1);
-  for (size_t i = 0; i <= a.size(); ++i) previous[i] = static_cast<int>(i);
-  for (size_t j = 1; j <= b.size(); ++j) {
-    current[0] = static_cast<int>(j);
-    for (size_t i = 1; i <= a.size(); ++i) {
-      int substitution = previous[i - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
-      current[i] =
-          std::min({previous[i] + 1, current[i - 1] + 1, substitution});
-    }
-    std::swap(previous, current);
-  }
-  return previous[a.size()];
+  return simd::LevenshteinDistance(a, b);
 }
 
 double LevenshteinSimilarity(std::string_view a, std::string_view b) {
@@ -157,13 +137,10 @@ double OverlapOfUnique(const std::vector<std::string>& a,
 
 double JaccardSimilarity(const std::vector<std::string>& a,
                          const std::vector<std::string>& b) {
-  if (a.empty() && b.empty()) return 1.0;
-  auto set_a = AsSet(a);
-  auto set_b = AsSet(b);
-  size_t intersection = IntersectionSize(set_a, set_b);
-  size_t union_size = set_a.size() + set_b.size() - intersection;
-  if (union_size == 0) return 1.0;
-  return static_cast<double>(intersection) / static_cast<double>(union_size);
+  // Same sets, same coefficient as the hash-set formulation, via the
+  // sorted-unique representation (cheaper: no node allocations, and the
+  // augmentation-weight scan calls this per pool record).
+  return JaccardOfUnique(UniqueTokens(a), UniqueTokens(b));
 }
 
 double OverlapCoefficient(const std::vector<std::string>& a,
@@ -190,24 +167,7 @@ double DiceCoefficient(const std::vector<std::string>& a,
 
 double CosineTokenSimilarity(const std::vector<std::string>& a,
                              const std::vector<std::string>& b) {
-  if (a.empty() && b.empty()) return 1.0;
-  if (a.empty() || b.empty()) return 0.0;
-  auto counts_a = Counts(a);
-  auto counts_b = Counts(b);
-  double dot = 0.0;
-  for (const auto& [token, count] : counts_a) {
-    auto it = counts_b.find(token);
-    if (it != counts_b.end()) dot += static_cast<double>(count) * it->second;
-  }
-  auto norm = [](const std::unordered_map<std::string, int>& counts) {
-    double sum = 0.0;
-    for (const auto& [token, count] : counts) {
-      sum += static_cast<double>(count) * count;
-    }
-    return std::sqrt(sum);
-  };
-  double denom = norm(counts_a) * norm(counts_b);
-  return denom > 0.0 ? dot / denom : 0.0;
+  return simd::CosineTokenSimilarity(a, b);
 }
 
 double MongeElkanSimilarity(const std::vector<std::string>& a,
@@ -245,21 +205,8 @@ std::vector<uint64_t> TrigramShingles(std::string_view text) {
 double TrigramSimilarityOfShingles(const std::vector<uint64_t>& a,
                                    const std::vector<uint64_t>& b) {
   if (a.empty() && b.empty()) return 1.0;
-  // Sorted-merge intersection count.
-  size_t intersection = 0;
-  size_t i = 0;
-  size_t j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] == b[j]) {
-      ++intersection;
-      ++i;
-      ++j;
-    } else if (a[i] < b[j]) {
-      ++i;
-    } else {
-      ++j;
-    }
-  }
+  size_t intersection =
+      simd::SortedIntersectionCount(a.data(), a.size(), b.data(), b.size());
   size_t union_size = a.size() + b.size() - intersection;
   if (union_size == 0) return 1.0;
   return static_cast<double>(intersection) / static_cast<double>(union_size);

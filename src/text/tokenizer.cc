@@ -2,6 +2,7 @@
 
 #include <cctype>
 
+#include "text/simd.h"
 #include "util/string_utils.h"
 
 namespace certa::text {
@@ -97,12 +98,9 @@ std::vector<uint64_t> CharNgramHashes(std::string_view text, int n,
     hashes.push_back(SeededStringHash(padded, seed));
     return hashes;
   }
-  hashes.reserve(padded.size() - static_cast<size_t>(n) + 1);
-  std::string_view view(padded);
-  for (size_t i = 0; i + static_cast<size_t>(n) <= view.size(); ++i) {
-    hashes.push_back(
-        SeededStringHash(view.substr(i, static_cast<size_t>(n)), seed));
-  }
+  // Every length-n window hashed by the (possibly vectorized) kernel;
+  // bit-identical to calling SeededStringHash per window.
+  simd::AppendNgramWindowHashes(padded, n, seed, &hashes);
   return hashes;
 }
 

@@ -29,16 +29,19 @@ int ThreadPool::HardwareThreads() {
 void ThreadPool::DrainBatch(std::unique_lock<std::mutex>& lock,
                             const std::shared_ptr<Batch>& batch) {
   while (batch->next < batch->count) {
-    size_t index = batch->next++;
+    size_t begin = batch->next;
+    size_t end = std::min(batch->count, begin + batch->grain);
+    batch->next = end;
     if (batch->next >= batch->count) {
       // Batch exhausted: stop offering it to other workers.
       auto it = std::find(queue_.begin(), queue_.end(), batch);
       if (it != queue_.end()) queue_.erase(it);
     }
     lock.unlock();
-    (*batch->fn)(index);
+    (*batch->range_fn)(begin, end);
     lock.lock();
-    if (++batch->done == batch->count) batch->finished.notify_all();
+    batch->done += end - begin;
+    if (batch->done == batch->count) batch->finished.notify_all();
   }
 }
 
@@ -57,17 +60,39 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(size_t count,
                              const std::function<void(size_t)>& fn) {
+  std::function<void(size_t, size_t)> range_fn = [&fn](size_t begin,
+                                                       size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  };
+  ParallelFor(count, 1, range_fn);
+}
+
+void ThreadPool::ParallelFor(
+    size_t count, size_t grain,
+    const std::function<void(size_t, size_t)>& range_fn) {
   if (count == 0) return;
-  if (count == 1) {
-    fn(0);
+  grain = std::max<size_t>(1, grain);
+  if (count <= grain) {
+    range_fn(0, count);
     return;
   }
   auto batch = std::make_shared<Batch>();
   batch->count = count;
-  batch->fn = &fn;
+  batch->grain = grain;
+  batch->range_fn = &range_fn;
   std::unique_lock<std::mutex> lock(mutex_);
   queue_.push_back(batch);
-  work_available_.notify_all();
+  // Wake only as many workers as there are chunks the caller won't
+  // drain itself: a blanket notify_all turns every small fan-out into a
+  // thundering herd of wakeups that immediately find the queue empty —
+  // pure context-switch cost, worst when threads outnumber cores.
+  const size_t chunks = (count + grain - 1) / grain;
+  const size_t helpers = std::min(workers_.size(), chunks - 1);
+  if (helpers >= workers_.size()) {
+    work_available_.notify_all();
+  } else {
+    for (size_t i = 0; i < helpers; ++i) work_available_.notify_one();
+  }
   // The caller helps with its own batch, which guarantees progress even
   // when every worker is busy (including nested ParallelFor calls).
   DrainBatch(lock, batch);

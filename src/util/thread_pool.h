@@ -38,15 +38,29 @@ class ThreadPool {
   /// multiple threads and must not throw.
   void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
 
+  /// Chunked variant: runs range_fn(begin, end) over a partition of
+  /// [0, count) into contiguous chunks of `grain` indices (the last
+  /// chunk may be shorter). A worker claims a whole chunk per queue
+  /// visit, so the per-index synchronization cost of the index-at-a-
+  /// time overload is amortized over `grain` items — the difference
+  /// between the pool helping and the pool being pure overhead for
+  /// cheap loop bodies. Chunk boundaries depend only on (count, grain),
+  /// never on the worker count, so index-addressed output slots stay
+  /// deterministic.
+  void ParallelFor(size_t count, size_t grain,
+                   const std::function<void(size_t, size_t)>& range_fn);
+
   /// Sensible default worker count for this machine (>= 1).
   static int HardwareThreads();
 
  private:
-  /// One ParallelFor invocation: indices are claimed via `next`, and
-  /// the batch is complete when `done` reaches `count`.
+  /// One ParallelFor invocation: index ranges are claimed `grain` at a
+  /// time via `next`, and the batch is complete when `done` reaches
+  /// `count`.
   struct Batch {
     size_t count = 0;
-    const std::function<void(size_t)>* fn = nullptr;
+    size_t grain = 1;
+    const std::function<void(size_t, size_t)>* range_fn = nullptr;
     size_t next = 0;  // guarded by pool mutex
     size_t done = 0;  // guarded by pool mutex
     std::condition_variable finished;

@@ -3,9 +3,12 @@
 // for every trained model kind, and bit-identical CertaExplainer output
 // at any thread count / cache setting.
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -71,6 +74,56 @@ TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
     pool.ParallelFor(8, [&](size_t) { ++inner_total; });
   });
   EXPECT_EQ(inner_total.load(), 32);
+}
+
+TEST(ThreadPoolTest, ChunkedRunsEveryIndexExactlyOnce) {
+  util::ThreadPool pool(4);
+  constexpr size_t kCount = 1003;  // not a multiple of any grain below
+  for (size_t grain : {size_t{1}, size_t{7}, size_t{32}, size_t{5000}}) {
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.ParallelFor(kCount, grain, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) ++hits[i];
+    });
+    for (size_t i = 0; i < kCount; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "grain " << grain << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesDependOnlyOnCountAndGrain) {
+  // The partition into [begin, end) ranges must be the fixed grid
+  // {0, g, 2g, ...} regardless of how many workers raced for chunks —
+  // that is what keeps index-addressed outputs (and everything built
+  // on them) deterministic at any thread count.
+  constexpr size_t kCount = 257;
+  constexpr size_t kGrain = 16;
+  for (int threads : {1, 2, 8}) {
+    util::ThreadPool pool(threads);
+    std::mutex mutex;
+    std::vector<std::pair<size_t, size_t>> ranges;
+    pool.ParallelFor(kCount, kGrain, [&](size_t begin, size_t end) {
+      std::lock_guard<std::mutex> lock(mutex);
+      ranges.emplace_back(begin, end);
+    });
+    std::sort(ranges.begin(), ranges.end());
+    ASSERT_EQ(ranges.size(), (kCount + kGrain - 1) / kGrain);
+    for (size_t c = 0; c < ranges.size(); ++c) {
+      EXPECT_EQ(ranges[c].first, c * kGrain);
+      EXPECT_EQ(ranges[c].second, std::min(kCount, (c + 1) * kGrain));
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ChunkedGrainZeroAndEmptyAreSafe) {
+  util::ThreadPool pool(2);
+  pool.ParallelFor(0, 8, [](size_t, size_t) {
+    FAIL() << "range_fn called for count 0";
+  });
+  std::atomic<int> total{0};
+  pool.ParallelFor(5, 0, [&](size_t begin, size_t end) {  // grain clamps to 1
+    total += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(total.load(), 5);
 }
 
 // ---------------------------------------------------------------------------
@@ -167,6 +220,106 @@ TEST(PredictionCacheTest, ShardingSpreadsWithNonPowerOfTwoShardCount) {
   }
   EXPECT_EQ(cache.stats().evictions, 0);
   EXPECT_EQ(cache.entry_count(), 150u);
+}
+
+TEST(PredictionCacheTest, OverflowingOneShardDoesNotEvictOthers) {
+  // Regression guard for the eviction policy: a shard that fills past
+  // its budget clears ITSELF only. Keys are pre-classified by the same
+  // hash the cache shards with, so the flood provably targets shard 0.
+  constexpr size_t kShards = 4;
+  constexpr size_t kPerShard = 8;
+  PredictionCache cache(kShards, kPerShard);
+  models::PairKeyHasher hasher;
+
+  // A few residents in every non-flooded shard.
+  std::vector<PairKey> residents;
+  for (uint64_t i = 0; residents.size() < 3 * (kShards - 1) && i < 4096;
+       ++i) {
+    PairKey key{i, i * 131};
+    if (hasher(key) % kShards == 0) continue;
+    residents.push_back(key);
+    cache.Insert(key, static_cast<double>(i));
+  }
+  ASSERT_EQ(residents.size(), 3 * (kShards - 1));
+  ASSERT_EQ(cache.stats().evictions, 0);
+
+  // Flood shard 0 far past its budget: multiple wholesale clears.
+  long long flooded = 0;
+  for (uint64_t i = 0; flooded < 10 * static_cast<long long>(kPerShard) &&
+                       i < 1 << 16;
+       ++i) {
+    PairKey key{i * 7919, i};
+    if (hasher(key) % kShards != 0) continue;
+    cache.Insert(key, 1.0);
+    ++flooded;
+  }
+  ASSERT_EQ(flooded, 10 * static_cast<long long>(kPerShard));
+  EXPECT_GT(cache.stats().evictions, 0);
+
+  // Every other-shard resident survived the flood, score intact.
+  for (size_t r = 0; r < residents.size(); ++r) {
+    double score = -1.0;
+    EXPECT_TRUE(cache.Lookup(residents[r], &score)) << "resident " << r;
+  }
+  // Counter consistency: everything ever inserted is either resident
+  // now or accounted for by the eviction counter.
+  EXPECT_EQ(static_cast<long long>(cache.entry_count()) +
+                cache.stats().evictions,
+            static_cast<long long>(residents.size()) + flooded);
+}
+
+TEST(PredictionCacheViewTest, BuffersInsertsUntilFlush) {
+  PredictionCache cache(4, 64);
+  PairKey key{11, 22};
+  double score = -1.0;
+  {
+    PredictionCache::View view(&cache);
+    view.Insert(key, 0.25);
+    // The view sees its own write immediately...
+    EXPECT_TRUE(view.Lookup(key, &score));
+    EXPECT_DOUBLE_EQ(score, 0.25);
+    // ...but the shards only get it at flush time.
+    EXPECT_EQ(cache.entry_count(), 0u);
+    view.Flush();
+    EXPECT_EQ(cache.entry_count(), 1u);
+    view.Insert(PairKey{33, 44}, 0.5);
+  }  // destructor flushes the tail
+  EXPECT_EQ(cache.entry_count(), 2u);
+  EXPECT_TRUE(cache.Lookup(PairKey{33, 44}, &score));
+  EXPECT_DOUBLE_EQ(score, 0.5);
+}
+
+TEST(PredictionCacheViewTest, ReadThroughCountsLikeDirectLookups) {
+  PredictionCache cache(4, 64);
+  cache.Insert(PairKey{1, 1}, 0.9);
+  PredictionCache::View view(&cache);
+  double score = -1.0;
+  EXPECT_FALSE(view.Lookup(PairKey{2, 2}, &score));  // shard miss
+  EXPECT_TRUE(view.Lookup(PairKey{1, 1}, &score));   // shard hit
+  EXPECT_DOUBLE_EQ(score, 0.9);
+  EXPECT_TRUE(view.Lookup(PairKey{1, 1}, &score));   // local hit
+  PredictionCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2);
+  EXPECT_EQ(stats.misses, 1);
+}
+
+TEST(PredictionCacheViewTest, FlushPreservesEvictionAccounting) {
+  // Inserting N distinct keys through a view must trip the same
+  // shard-budget evictions as inserting them directly.
+  constexpr uint64_t kKeys = 200;
+  PredictionCache direct(2, 16);
+  for (uint64_t i = 0; i < kKeys; ++i) {
+    direct.Insert(PairKey{i, i * 31}, 0.5);
+  }
+  PredictionCache viewed(2, 16);
+  {
+    PredictionCache::View view(&viewed);
+    for (uint64_t i = 0; i < kKeys; ++i) {
+      view.Insert(PairKey{i, i * 31}, 0.5);
+    }
+  }
+  EXPECT_EQ(viewed.stats().evictions, direct.stats().evictions);
+  EXPECT_EQ(viewed.entry_count(), direct.entry_count());
 }
 
 // ---------------------------------------------------------------------------
@@ -344,11 +497,47 @@ TEST_P(ExplainDeterminismTest, MatchesSingleThreadCachedRun) {
 INSTANTIATE_TEST_SUITE_P(
     ThreadsAndCache, ExplainDeterminismTest,
     ::testing::Values(ExplainConfig{1, false}, ExplainConfig{2, true},
-                      ExplainConfig{4, true}, ExplainConfig{4, false}),
+                      ExplainConfig{4, true}, ExplainConfig{4, false},
+                      ExplainConfig{8, true}),
     [](const auto& info) {
       return "Threads" + std::to_string(info.param.num_threads) +
              (info.param.use_cache ? "Cached" : "NoCache");
     });
+
+TEST(ExplainGroupLockstepTest, GroupSizeNeverChangesTheResult) {
+  // The lattice phase merges up to lattice_group_size triangles into
+  // each scoring batch; only batch boundaries may move, never the
+  // per-triangle node order — so every group size (including 1, the
+  // old one-triangle-at-a-time shape) must yield the same CertaResult.
+  data::Dataset dataset = data::MakeBenchmark("AB");
+  auto model = models::TrainMatcher(models::ModelKind::kDeepEr, dataset);
+  explain::ExplainContext context{model.get(), &dataset.left,
+                                  &dataset.right};
+  const data::LabeledPair& pair = dataset.test.front();
+  const data::Record& u = dataset.left.record(pair.left_index);
+  const data::Record& v = dataset.right.record(pair.right_index);
+
+  core::CertaExplainer::Options options;
+  options.num_triangles = 12;
+  options.lattice_group_size = 1;
+  core::CertaResult reference =
+      core::CertaExplainer(context, options).Explain(u, v);
+  reference.cache_hits = reference.cache_misses = reference.cache_evictions =
+      0;
+  const std::string expected = core::CertaResultToJson(
+      reference, dataset.left.schema(), dataset.right.schema());
+
+  for (int group : {2, 5, 16, 1000}) {
+    options.lattice_group_size = group;
+    core::CertaResult actual =
+        core::CertaExplainer(context, options).Explain(u, v);
+    actual.cache_hits = actual.cache_misses = actual.cache_evictions = 0;
+    EXPECT_EQ(core::CertaResultToJson(actual, dataset.left.schema(),
+                                      dataset.right.schema()),
+              expected)
+        << "group size " << group;
+  }
+}
 
 }  // namespace
 }  // namespace certa

@@ -1,0 +1,260 @@
+// Differential tests for the vectorized similarity kernels
+// (src/text/simd.*): every vec:: kernel must produce BIT-IDENTICAL
+// output to its scalar:: reference on random inputs and on the
+// adversarial shapes (empty, single char, all-identical, non-ASCII
+// bytes, >64-char Myers fallback). Run under both kernel modes by CI
+// (ctest -L perf, once plain and once with CERTA_KERNELS=scalar).
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "text/simd.h"
+#include "text/similarity.h"
+#include "text/tokenizer.h"
+#include "util/random.h"
+
+namespace certa {
+namespace {
+
+namespace simd = text::simd;
+
+std::string RandomString(Rng* rng, int max_len, bool ascii_only) {
+  int len = rng->UniformInt(0, max_len);
+  std::string s;
+  s.reserve(static_cast<size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    if (ascii_only) {
+      s.push_back(static_cast<char>('a' + rng->UniformInt(0, 3)));
+    } else {
+      // Full byte range, including 0x00 and 0x80-0xFF (UTF-8 tails,
+      // latin-1 junk): the kernels treat strings as raw bytes.
+      s.push_back(static_cast<char>(rng->UniformInt(0, 255)));
+    }
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Levenshtein
+
+TEST(SimdLevenshteinTest, AdversarialShapesMatchScalar) {
+  const std::string sixty_five(65, 'x');
+  std::string near = sixty_five;
+  near[10] = 'y';
+  const std::pair<std::string, std::string> cases[] = {
+      {"", ""},
+      {"", "a"},
+      {"a", ""},
+      {"a", "a"},
+      {"a", "b"},
+      {"aaaa", "aaaa"},
+      {"kitten", "sitting"},
+      {std::string("\x00\x01\xff", 3), std::string("\xff\x01", 2)},
+      {std::string(64, 'q'), std::string(64, 'q')},
+      {sixty_five, near},  // exceeds the 64-char bit-parallel window
+      {std::string(200, 'a'), std::string(100, 'b')},
+  };
+  for (const auto& [a, b] : cases) {
+    EXPECT_EQ(simd::vec::LevenshteinDistance(a, b),
+              simd::scalar::LevenshteinDistance(a, b))
+        << "a=" << a.size() << "B b=" << b.size() << "B";
+  }
+}
+
+TEST(SimdLevenshteinTest, RandomStringsMatchScalar) {
+  Rng rng(0x1eef);
+  for (int round = 0; round < 400; ++round) {
+    const bool ascii = round % 2 == 0;
+    std::string a = RandomString(&rng, 90, ascii);
+    std::string b = RandomString(&rng, 90, ascii);
+    ASSERT_EQ(simd::vec::LevenshteinDistance(a, b),
+              simd::scalar::LevenshteinDistance(a, b))
+        << "round " << round;
+  }
+}
+
+TEST(SimdLevenshteinTest, DispatchedEntryPointAgreesWithActiveMode) {
+  const std::string_view a = "alphabet";
+  const std::string_view b = "alphabets";
+  const int expected = simd::ActiveMode() == simd::KernelMode::kVector
+                           ? simd::vec::LevenshteinDistance(a, b)
+                           : simd::scalar::LevenshteinDistance(a, b);
+  EXPECT_EQ(simd::LevenshteinDistance(a, b), expected);
+  const char* name = simd::ActiveModeName();
+  EXPECT_TRUE(std::string(name) == "scalar" || std::string(name) == "vector");
+}
+
+// ---------------------------------------------------------------------------
+// Sorted intersection
+
+std::vector<uint64_t> RandomSortedUnique(Rng* rng, int max_len) {
+  std::vector<uint64_t> values;
+  int len = rng->UniformInt(0, max_len);
+  values.reserve(static_cast<size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    // Small range forces heavy overlap between the two sides.
+    values.push_back(rng->UniformUint64(64));
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+size_t ReferenceIntersection(const std::vector<uint64_t>& a,
+                             const std::vector<uint64_t>& b) {
+  size_t count = 0;
+  for (uint64_t x : a) {
+    count += std::binary_search(b.begin(), b.end(), x) ? 1 : 0;
+  }
+  return count;
+}
+
+TEST(SimdIntersectionTest, AdversarialShapesMatchScalar) {
+  const std::vector<std::pair<std::vector<uint64_t>, std::vector<uint64_t>>>
+      cases = {
+          {{}, {}},
+          {{}, {1, 2, 3}},
+          {{5}, {5}},
+          {{5}, {6}},
+          {{1, 2, 3}, {1, 2, 3}},
+          {{0, UINT64_MAX}, {0, 1, UINT64_MAX}},
+          {{1, 3, 5, 7}, {2, 4, 6, 8}},
+      };
+  for (const auto& [a, b] : cases) {
+    size_t expected =
+        simd::scalar::SortedIntersectionCount(a.data(), a.size(), b.data(),
+                                              b.size());
+    EXPECT_EQ(simd::vec::SortedIntersectionCount(a.data(), a.size(), b.data(),
+                                                 b.size()),
+              expected);
+    EXPECT_EQ(ReferenceIntersection(a, b), expected);
+  }
+}
+
+TEST(SimdIntersectionTest, RandomSetsMatchScalarAndBinarySearch) {
+  Rng rng(0xcafe);
+  for (int round = 0; round < 500; ++round) {
+    std::vector<uint64_t> a = RandomSortedUnique(&rng, 80);
+    std::vector<uint64_t> b = RandomSortedUnique(&rng, 80);
+    size_t scalar = simd::scalar::SortedIntersectionCount(
+        a.data(), a.size(), b.data(), b.size());
+    ASSERT_EQ(simd::vec::SortedIntersectionCount(a.data(), a.size(), b.data(),
+                                                 b.size()),
+              scalar)
+        << "round " << round;
+    ASSERT_EQ(ReferenceIntersection(a, b), scalar) << "round " << round;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cosine over token counts
+
+std::vector<std::string> RandomTokens(Rng* rng, int max_len, bool ascii) {
+  std::vector<std::string> tokens;
+  int len = rng->UniformInt(0, max_len);
+  tokens.reserve(static_cast<size_t>(len));
+  for (int i = 0; i < len; ++i) tokens.push_back(RandomString(rng, 6, ascii));
+  return tokens;
+}
+
+TEST(SimdCosineTokenTest, AdversarialShapesMatchScalarBitExact) {
+  using V = std::vector<std::string>;
+  const std::pair<V, V> cases[] = {
+      {{}, {}},
+      {{}, {"a"}},
+      {{"a"}, {"a"}},
+      {{"a", "a", "a"}, {"a"}},
+      {{"x", "x", "x", "x"}, {"x", "x", "x", "x"}},  // all-identical
+      {{"a", "b", "a"}, {"b", "a", "b"}},
+      {{std::string("\xc3\xa9", 2)}, {std::string("\xc3\xa9", 2), "e"}},
+      {{""}, {"", ""}},  // empty-string tokens are still tokens
+  };
+  for (const auto& [a, b] : cases) {
+    double expected = simd::scalar::CosineTokenSimilarity(a, b);
+    double actual = simd::vec::CosineTokenSimilarity(a, b);
+    // Bit-exact, not just close: all partial sums are small integers.
+    EXPECT_EQ(expected, actual);
+  }
+}
+
+TEST(SimdCosineTokenTest, RandomTokenBagsMatchScalarBitExact) {
+  Rng rng(0xbeadu);
+  for (int round = 0; round < 300; ++round) {
+    std::vector<std::string> a = RandomTokens(&rng, 30, round % 2 == 0);
+    std::vector<std::string> b = RandomTokens(&rng, 30, round % 2 == 0);
+    ASSERT_EQ(simd::scalar::CosineTokenSimilarity(a, b),
+              simd::vec::CosineTokenSimilarity(a, b))
+        << "round " << round;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// N-gram window hashing
+
+TEST(SimdNgramHashTest, AdversarialShapesMatchScalar) {
+  const std::string cases[] = {
+      "",
+      "a",
+      "ab",
+      "abc",
+      "aaaaaaa",
+      std::string("\x00\xff\x80\x7f\x01", 5),
+      "  padded value  ",
+  };
+  for (int n : {3, 4, 5}) {  // 5 exercises the vec:: scalar fallback
+    for (const std::string& padded : cases) {
+      std::vector<uint64_t> expected;
+      std::vector<uint64_t> actual;
+      simd::scalar::AppendNgramWindowHashes(padded, n, 0xD1770, &expected);
+      simd::vec::AppendNgramWindowHashes(padded, n, 0xD1770, &actual);
+      EXPECT_EQ(actual, expected) << "n=" << n << " len=" << padded.size();
+    }
+  }
+}
+
+TEST(SimdNgramHashTest, RandomStringsMatchScalarAndAppend) {
+  Rng rng(0x9d);
+  for (int round = 0; round < 300; ++round) {
+    std::string padded = RandomString(&rng, 120, round % 2 == 0);
+    for (int n : {3, 4}) {
+      // Both variants must APPEND (not overwrite) after existing data.
+      std::vector<uint64_t> expected = {7u};
+      std::vector<uint64_t> actual = {7u};
+      simd::scalar::AppendNgramWindowHashes(padded, n, 0xABCD, &expected);
+      simd::vec::AppendNgramWindowHashes(padded, n, 0xABCD, &actual);
+      ASSERT_EQ(actual, expected) << "round " << round << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdNgramHashTest, MatchesTokenizerCharNgramHashes) {
+  // CharNgramHashes pads the normalized value with '#' markers;
+  // reproduce that and check the tokenizer output rides on these
+  // kernels. "certa kernels" is already in normal form.
+  const std::string value = "certa kernels";
+  const std::string padded = "#" + value + "#";
+  std::vector<uint64_t> expected;
+  simd::scalar::AppendNgramWindowHashes(padded, 4, 99, &expected);
+  EXPECT_EQ(text::CharNgramHashes(value, 4, 99), expected);
+}
+
+// ---------------------------------------------------------------------------
+// Public similarity API stays on the differential-tested kernels
+
+TEST(SimdPublicApiTest, SimilarityFunctionsAgreeWithScalarKernels) {
+  Rng rng(0x51);
+  for (int round = 0; round < 100; ++round) {
+    std::string a = RandomString(&rng, 40, true);
+    std::string b = RandomString(&rng, 40, true);
+    int direct = simd::scalar::LevenshteinDistance(a, b);
+    EXPECT_EQ(text::LevenshteinDistance(a, b), direct);
+  }
+}
+
+}  // namespace
+}  // namespace certa
