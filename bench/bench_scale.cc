@@ -1,0 +1,314 @@
+// Scale-sensitivity bench for the cross-job prediction store and the
+// inverted candidate index (docs/PERSISTENCE.md):
+//   1. candidate discovery at 10k/100k/... records — CandidateIndex
+//      build cost, per-probe lookup vs the reference linear scan
+//      (differential: both mechanisms must return the same set), and
+//      end-to-end CertaResult byte-identity with the index on vs off;
+//   2. store hit-rate across a simulated restart — two durable runs of
+//      the same job spec in different job dirs sharing one ScoreStore;
+//      the second run must pay zero fresh model calls and produce a
+//      byte-identical result.
+// Prints a table and writes BENCH_scale.json (atomically, through the
+// same writer the service uses).
+//
+// Record counts: repeatable `--records N` flags, or the
+// CERTA_BENCH_SCALE_RECORDS env var ("10000,100000"); default
+// 10000 + 100000. The explain byte-identity leg is skipped above
+// 200k records (training dominates; the set-equality differential
+// still covers the index at every size).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/certa_explainer.h"
+#include "data/benchmarks.h"
+#include "data/candidate_index.h"
+#include "explain/json_export.h"
+#include "models/scoring_engine.h"
+#include "models/trainer.h"
+#include "persist/score_store.h"
+#include "service/job_runner.h"
+#include "util/json_writer.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+fs::path FreshDir(const std::string& tag) {
+  fs::path dir = fs::temp_directory_path() /
+                 ("certa_bench_scale_" + tag + "_" +
+                  std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+struct IndexLeg {
+  long long records_target = 0;
+  long long records_actual = 0;
+  int probes = 0;
+  double build_ms = 0.0;
+  double index_ms = 0.0;
+  double linear_ms = 0.0;
+  double speedup = 0.0;
+  bool sets_equal = true;
+  bool explain_ran = false;
+  bool explain_identical = false;
+  double explain_index_ms = 0.0;
+  double explain_linear_ms = 0.0;
+};
+
+/// One record-count sweep over the DS profile (its right source dwarfs
+/// the left one, Scholar-style — the shape the index exists for).
+IndexLeg RunIndexLeg(long long records) {
+  IndexLeg leg;
+  leg.records_target = records;
+  const double scale = certa::data::ScaleForRecords("DS", records);
+  certa::data::Dataset dataset = certa::data::MakeBenchmark("DS", scale);
+  const certa::data::Table& pool = dataset.right;
+  leg.records_actual =
+      static_cast<long long>(dataset.left.size()) + dataset.right.size();
+
+  Clock::time_point start = Clock::now();
+  certa::data::CandidateIndex index(pool);
+  leg.build_ms = MillisSince(start);
+
+  // Probes are left-source records striding the table; fewer at the
+  // large end (each linear probe is a full O(pool) scan).
+  leg.probes = records >= 500'000 ? 8 : records >= 50'000 ? 24 : 64;
+  leg.probes = std::min(leg.probes, dataset.left.size());
+  std::vector<const certa::data::Record*> probes;
+  for (int p = 0; p < leg.probes; ++p) {
+    probes.push_back(&dataset.left.record(
+        static_cast<int>(static_cast<long long>(p) * dataset.left.size() /
+                         leg.probes)));
+  }
+
+  std::vector<std::vector<int>> via_index;
+  start = Clock::now();
+  for (const certa::data::Record* probe : probes) {
+    via_index.push_back(index.Candidates(*probe));
+  }
+  leg.index_ms = MillisSince(start);
+
+  start = Clock::now();
+  for (size_t p = 0; p < probes.size(); ++p) {
+    if (certa::data::LinearScanCandidates(pool, *probes[p]) !=
+        via_index[p]) {
+      leg.sets_equal = false;
+    }
+  }
+  leg.linear_ms = MillisSince(start);
+  leg.speedup = leg.index_ms > 0.0 ? leg.linear_ms / leg.index_ms : 0.0;
+
+  // End-to-end byte-identity: the same explanation with discovery
+  // answered by the index vs the reference scan.
+  if (records <= 200'000 && !dataset.test.empty()) {
+    leg.explain_ran = true;
+    auto model =
+        certa::models::TrainMatcher(certa::models::ModelKind::kSvm, dataset);
+    const certa::data::LabeledPair& pair = dataset.test[0];
+    const certa::data::Record& u = dataset.left.record(pair.left_index);
+    const certa::data::Record& v = dataset.right.record(pair.right_index);
+    auto run = [&](bool use_index, double* ms) {
+      certa::models::ScoringEngine engine(model.get());
+      certa::explain::ExplainContext context{&engine, &dataset.left,
+                                             &dataset.right};
+      certa::core::CertaExplainer::Options options;
+      options.num_triangles = 50;
+      options.use_candidate_index = use_index;
+      certa::core::CertaExplainer explainer(context, options);
+      const Clock::time_point t0 = Clock::now();
+      certa::core::CertaResult result = explainer.Explain(u, v);
+      *ms = MillisSince(t0);
+      return certa::core::CertaResultToJson(result, dataset.left.schema(),
+                                            dataset.right.schema());
+    };
+    const std::string with_index = run(true, &leg.explain_index_ms);
+    const std::string without = run(false, &leg.explain_linear_ms);
+    leg.explain_identical = with_index == without;
+  }
+  return leg;
+}
+
+struct StoreLeg {
+  long long run1_fresh = 0;
+  long long run2_fresh = 0;
+  long long run2_store_hits = 0;
+  double hit_rate = 0.0;
+  bool results_identical = false;
+  double run1_ms = 0.0;
+  double run2_ms = 0.0;
+};
+
+/// Simulated restart: same spec, two job dirs, one store directory
+/// (reopened in between, like a new process would).
+StoreLeg RunStoreLeg() {
+  StoreLeg leg;
+  const fs::path root = FreshDir("store");
+  certa::service::JobSpec spec;
+  spec.id = "bench";
+  spec.dataset = "BA";
+  spec.model = "svm";
+  spec.pair_index = 1;
+  spec.triangles = 200;
+
+  std::string results[2];
+  for (int run = 0; run < 2; ++run) {
+    certa::persist::ScoreStore store;
+    if (!store.Open((root / "store").string())) return leg;
+    certa::service::DurableRunOptions options;
+    options.store = &store;
+    const Clock::time_point start = Clock::now();
+    certa::service::JobOutcome outcome = certa::service::RunDurableExplain(
+        spec, (root / ("job" + std::to_string(run))).string(), options);
+    const double ms = MillisSince(start);
+    store.Sync();
+    results[run] = outcome.result_json;
+    if (run == 0) {
+      leg.run1_fresh = outcome.fresh_scores;
+      leg.run1_ms = ms;
+    } else {
+      leg.run2_fresh = outcome.fresh_scores;
+      leg.run2_store_hits = outcome.store_hits;
+      leg.run2_ms = ms;
+      const long long lookups = outcome.fresh_scores + outcome.store_hits;
+      leg.hit_rate = lookups > 0 ? static_cast<double>(outcome.store_hits) /
+                                       static_cast<double>(lookups)
+                                 : 0.0;
+    }
+  }
+  leg.results_identical =
+      !results[0].empty() && results[0] == results[1];
+  fs::remove_all(root);
+  return leg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<long long> record_counts;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--records") == 0) {
+      record_counts.push_back(std::atoll(argv[++i]));
+    }
+  }
+  if (const char* env = std::getenv("CERTA_BENCH_SCALE_RECORDS")) {
+    for (const char* p = env; *p != '\0';) {
+      record_counts.push_back(std::atoll(p));
+      while (*p != '\0' && *p != ',') ++p;
+      if (*p == ',') ++p;
+    }
+  }
+  if (record_counts.empty()) record_counts = {10'000, 100'000};
+
+  certa::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench");
+  json.String("scale");
+
+  std::printf("candidate discovery at scale (DS profile)\n\n");
+  std::printf("%10s %10s %9s %10s %10s %8s %6s %9s\n", "records", "actual",
+              "build ms", "index ms", "linear ms", "speedup", "equal",
+              "explain");
+  bool ok = true;
+  json.Key("index");
+  json.BeginArray();
+  for (long long records : record_counts) {
+    const IndexLeg leg = RunIndexLeg(records);
+    const char* explain_cell = !leg.explain_ran ? "skipped"
+                               : leg.explain_identical ? "identical"
+                                                       : "DIFFERS";
+    std::printf("%10lld %10lld %9.1f %10.3f %10.1f %7.1fx %6s %9s\n",
+                leg.records_target, leg.records_actual, leg.build_ms,
+                leg.index_ms, leg.linear_ms, leg.speedup,
+                leg.sets_equal ? "yes" : "NO", explain_cell);
+    ok = ok && leg.sets_equal && (!leg.explain_ran || leg.explain_identical);
+    json.BeginObject();
+    json.Key("records_target");
+    json.Int(leg.records_target);
+    json.Key("records_actual");
+    json.Int(leg.records_actual);
+    json.Key("probes");
+    json.Int(leg.probes);
+    json.Key("index_build_ms");
+    json.Number(leg.build_ms);
+    json.Key("index_lookup_ms");
+    json.Number(leg.index_ms);
+    json.Key("linear_scan_ms");
+    json.Number(leg.linear_ms);
+    json.Key("speedup");
+    json.Number(leg.speedup);
+    json.Key("sets_equal");
+    json.Bool(leg.sets_equal);
+    json.Key("explain_ran");
+    json.Bool(leg.explain_ran);
+    json.Key("explain_byte_identical");
+    json.Bool(leg.explain_identical);
+    json.Key("explain_index_ms");
+    json.Number(leg.explain_index_ms);
+    json.Key("explain_linear_ms");
+    json.Number(leg.explain_linear_ms);
+    json.EndObject();
+  }
+  json.EndArray();
+
+  const StoreLeg store = RunStoreLeg();
+  std::printf("\nstore hit-rate across restart (BA, svm, 200 triangles)\n");
+  std::printf("  run 1 (cold store): %lld fresh calls, %.1f ms\n",
+              store.run1_fresh, store.run1_ms);
+  std::printf("  run 2 (warm store): %lld fresh, %lld store hits "
+              "(hit rate %.3f), %.1f ms\n",
+              store.run2_fresh, store.run2_store_hits, store.hit_rate,
+              store.run2_ms);
+  std::printf("  results byte-identical: %s\n",
+              store.results_identical ? "yes" : "NO");
+  ok = ok && store.results_identical && store.run2_fresh == 0;
+
+  json.Key("store");
+  json.BeginObject();
+  json.Key("run1_fresh_scores");
+  json.Int(store.run1_fresh);
+  json.Key("run2_fresh_scores");
+  json.Int(store.run2_fresh);
+  json.Key("run2_store_hits");
+  json.Int(store.run2_store_hits);
+  json.Key("hit_rate");
+  json.Number(store.hit_rate);
+  json.Key("results_byte_identical");
+  json.Bool(store.results_identical);
+  json.Key("run1_ms");
+  json.Number(store.run1_ms);
+  json.Key("run2_ms");
+  json.Number(store.run2_ms);
+  json.EndObject();
+  json.EndObject();
+
+  const char* path_env = std::getenv("CERTA_BENCH_SCALE_JSON");
+  const std::string path =
+      path_env != nullptr ? path_env : "BENCH_scale.json";
+  if (!certa::explain::SaveJsonFile(path, json.str())) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("\nsummary written to %s\n", path.c_str());
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: differential or identity check failed\n");
+    return 1;
+  }
+  return 0;
+}

@@ -13,7 +13,10 @@
 #      -DCERTA_NATIVE=ON build when the host compiler supports
 #      -march=native, and the TSan build;
 #   5. the observability overhead bench, which fails if instrumentation
-#      changes a result byte and writes BENCH_obs.json.
+#      changes a result byte and writes BENCH_obs.json;
+#   6. the store suite (score-store crash-fuzz + candidate-index
+#      differential battery) in the Release, ASan and TSan builds, plus
+#      an optional 100k-record scale smoke gated on CERTA_CI_SCALE=1.
 # Any failure fails the script.
 set -euo pipefail
 
@@ -35,16 +38,22 @@ ctest --test-dir "${REPO_ROOT}/build-ci" --output-on-failure -L durability
 # trip through the real serve/client binaries (8 concurrent clients
 # byte-compared against direct `certa explain`, SIGTERM drain).
 ctest --test-dir "${REPO_ROOT}/build-ci" --output-on-failure -L service-net
+# Cross-job score store + candidate index: CRC known answers, crash-fuzz
+# (SIGKILL mid-append/mid-compaction, kill the real CLI mid-run), the
+# index-vs-linear-scan differential battery, and flag/thread/restart
+# byte-identity.
+ctest --test-dir "${REPO_ROOT}/build-ci" --output-on-failure -L store
 
 echo "== address+undefined sanitizer build =="
 cmake -B "${REPO_ROOT}/build-ci-asan" -S "${REPO_ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCERTA_SANITIZE=address+undefined
 cmake --build "${REPO_ROOT}/build-ci-asan" -j "${JOBS}"
 
-echo "== Sanitized resilience + durability + service-net suites =="
+echo "== Sanitized resilience + durability + service-net + store suites =="
 ctest --test-dir "${REPO_ROOT}/build-ci-asan" --output-on-failure -L resilience
 ctest --test-dir "${REPO_ROOT}/build-ci-asan" --output-on-failure -L durability
 ctest --test-dir "${REPO_ROOT}/build-ci-asan" --output-on-failure -L service-net
+ctest --test-dir "${REPO_ROOT}/build-ci-asan" --output-on-failure -L store
 
 echo "== thread sanitizer build =="
 cmake -B "${REPO_ROOT}/build-ci-tsan" -S "${REPO_ROOT}" \
@@ -54,6 +63,9 @@ cmake --build "${REPO_ROOT}/build-ci-tsan" -j "${JOBS}"
 echo "== Sanitized concurrency suite (TSan) =="
 ctest --test-dir "${REPO_ROOT}/build-ci-tsan" --output-on-failure \
   -L concurrency
+
+echo "== Sanitized store suite (TSan) =="
+ctest --test-dir "${REPO_ROOT}/build-ci-tsan" --output-on-failure -L store
 
 echo "== Perf suite: portable build, dispatched (vector) kernels =="
 ctest --test-dir "${REPO_ROOT}/build-ci" --output-on-failure -L perf
@@ -78,5 +90,16 @@ ctest --test-dir "${REPO_ROOT}/build-ci-tsan" --output-on-failure -L perf
 echo "== Observability overhead bench =="
 CERTA_BENCH_OBS_JSON="${REPO_ROOT}/BENCH_obs.json" \
   "${REPO_ROOT}/build-ci/bench/bench_observability"
+
+# Scale smoke: candidate-index speedup + store warm-hit verification at
+# 100k records. Minutes of wall clock, so gated — set CERTA_CI_SCALE=1
+# (the nightly workflow does) to run it.
+if [[ "${CERTA_CI_SCALE:-0}" == "1" ]]; then
+  echo "== Scale smoke (bench_scale, 100k records) =="
+  CERTA_BENCH_SCALE_JSON="${REPO_ROOT}/BENCH_scale.json" \
+    "${REPO_ROOT}/build-ci/bench/bench_scale" --records 100000
+else
+  echo "== Scale smoke skipped (set CERTA_CI_SCALE=1 to run) =="
+fi
 
 echo "CI passed."

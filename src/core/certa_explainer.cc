@@ -55,6 +55,17 @@ CertaExplainer::CertaExplainer(explain::ExplainContext context,
   if (options_.num_threads > 1) {
     pool_ = std::make_unique<util::ThreadPool>(options_.num_threads);
   }
+  if (options_.use_candidate_index) {
+    // Build only for sources the partition threshold will ever consult
+    // — indexing a small table would be pure constructor waste.
+    const size_t min_pool = options_.support_partition_min_pool;
+    if (static_cast<size_t>(context_.left->size()) >= min_pool) {
+      left_index_ = std::make_unique<data::CandidateIndex>(*context_.left);
+    }
+    if (static_cast<size_t>(context_.right->size()) >= min_pool) {
+      right_index_ = std::make_unique<data::CandidateIndex>(*context_.right);
+    }
+  }
 }
 
 CertaResult CertaExplainer::Explain(const data::Record& u,
@@ -73,6 +84,8 @@ CertaResult CertaExplainer::Explain(const data::Record& u,
   engine_options.enable_cache = options_.use_cache;
   engine_options.pool = pool_.get();
   engine_options.observer = options_.score_observer;
+  engine_options.store_probe = options_.store_probe;
+  engine_options.store_write = options_.store_write;
   engine_options.metrics = options_.metrics;
   // With resilience enabled the chain grows one layer: base model →
   // ResilientMatcher (retries, deadline, breaker, call budget) →
@@ -206,6 +219,10 @@ CertaResult CertaExplainer::Explain(const data::Record& u,
   triangle_options.count = options_.num_triangles;
   triangle_options.allow_augmentation = options_.allow_augmentation;
   triangle_options.only_augmentation = options_.only_augmentation;
+  triangle_options.left_index = left_index_.get();
+  triangle_options.right_index = right_index_.get();
+  triangle_options.support_partition_min_pool =
+      options_.support_partition_min_pool;
   std::vector<OpenTriangle> triangles =
       CollectTriangles(engine_context, u, v, original_prediction,
                        triangle_options, &rng, &result.triangle_stats);

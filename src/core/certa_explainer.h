@@ -170,6 +170,27 @@ class CertaExplainer : public explain::SaliencyExplainer,
     /// Invoked once per freshly computed score, sequentially, in
     /// deterministic order — the write-ahead journal's feed.
     models::ScoringEngine::ScoreObserver score_observer;
+    /// Cross-job durable score store read-through (persist::ScoreStore
+    /// bound by the service/CLI layer): `store_probe` may serve a
+    /// cache miss without a model call, `store_write` records every
+    /// freshly computed score. Byte-identity with the hooks detached
+    /// is part of the engine contract — see
+    /// models::ScoringEngine::Options.
+    models::ScoringEngine::Options::StoreProbe store_probe;
+    models::ScoringEngine::Options::StoreWrite store_write;
+    /// Answer triangle support discovery from inverted candidate
+    /// indexes built once over the sources (default), instead of the
+    /// reference per-probe linear scan. Results are byte-identical
+    /// either way; on large sources discovery drops from O(|source| ×
+    /// tokens) per probe to the matched postings only. See
+    /// TriangleOptions::support_partition_min_pool — sources smaller
+    /// than that threshold skip the partition and never consult either
+    /// mechanism.
+    bool use_candidate_index = true;
+    /// Pool-size floor for the partitioned screening (forwarded to
+    /// TriangleOptions::support_partition_min_pool; tests set 0 to
+    /// exercise the machinery on small tables).
+    size_t support_partition_min_pool = 4096;
     /// Cooperative cancellation (watchdog parking, graceful shutdown):
     /// polled at phase boundaries and between triangles; when set,
     /// Explain stops issuing work and returns a kTruncated result.
@@ -213,6 +234,12 @@ class CertaExplainer : public explain::SaliencyExplainer,
   /// Shared across Explain calls (worker startup is not free); null when
   /// num_threads <= 1.
   std::unique_ptr<util::ThreadPool> pool_;
+  /// Inverted support-candidate indexes over the sources, built once
+  /// at construction when use_candidate_index is on and a source is
+  /// large enough to ever consult them; null otherwise (triangle
+  /// collection falls back to the linear reference scan).
+  std::unique_ptr<data::CandidateIndex> left_index_;
+  std::unique_ptr<data::CandidateIndex> right_index_;
 };
 
 /// JSON export of a full CERTA result (saliency, counterfactuals,

@@ -1,6 +1,7 @@
 #include "core/triangles.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <string_view>
 #include <unordered_map>
 
@@ -47,6 +48,28 @@ void CollectSide(const explain::ExplainContext& context,
       const data::Record& candidate = pool.record(static_cast<int>(index));
       if (candidate.values == self.values) continue;  // w ∈ U \ {u}
       screen.push_back(index);
+    }
+    if (screen.size() >= options.support_partition_min_pool) {
+      // Screen the likely-flipping records first: sharers of a pivot
+      // token when a Match flip is needed, non-sharers for a Non-Match
+      // flip. The partition is stable over the shuffled order and the
+      // sharer set is mechanism-independent (index == linear scan), so
+      // the rng stream and the collected triangles are unchanged by
+      // which mechanism answered — and on large pools the quota fills
+      // before the unlikely tail is ever probed.
+      const data::Record& pivot = side == data::Side::kLeft ? v : u;
+      const data::CandidateIndex* index = side == data::Side::kLeft
+                                              ? options.left_index
+                                              : options.right_index;
+      std::vector<uint8_t> shares(static_cast<size_t>(pool.size()), 0);
+      for (int r : index != nullptr
+                       ? index->Candidates(pivot)
+                       : data::LinearScanCandidates(pool, pivot)) {
+        shares[static_cast<size_t>(r)] = 1;
+      }
+      const uint8_t first = original_prediction ? 0 : 1;
+      std::stable_partition(screen.begin(), screen.end(),
+                            [&](size_t s) { return shares[s] == first; });
     }
     size_t next = 0;
     std::vector<models::RecordPair> pairs;

@@ -1,8 +1,10 @@
 #ifndef CERTA_CORE_TRIANGLES_H_
 #define CERTA_CORE_TRIANGLES_H_
 
+#include <cstddef>
 #include <vector>
 
+#include "data/candidate_index.h"
 #include "data/table.h"
 #include "explain/explainer.h"
 #include "util/random.h"
@@ -33,6 +35,23 @@ struct TriangleOptions {
   /// Cap on augmentation attempts per missing triangle, to bound work
   /// on datasets where opposite predictions are genuinely rare.
   int max_augmentation_attempts_per_triangle = 12;
+
+  /// Support-candidate discovery. On pools with at least
+  /// `support_partition_min_pool` screenable records, the shuffled
+  /// screen order is stably partitioned so the likely-flipping side
+  /// goes first: records sharing a normalized token with the pivot
+  /// when the scarce direction is "flip to Match", non-sharers when it
+  /// is "flip to Non-Match". The sharer set is answered by the
+  /// inverted `left_index`/`right_index` when attached (the flag path
+  /// — see CertaExplainer::Options::use_candidate_index), or by the
+  /// reference linear scan otherwise; both return the identical set,
+  /// so triangles, stats, and every downstream byte match across
+  /// mechanisms — only discovery cost differs. Small pools skip the
+  /// partition entirely (a linear screen already finishes in
+  /// microseconds there), keeping the historical screen order.
+  const data::CandidateIndex* left_index = nullptr;
+  const data::CandidateIndex* right_index = nullptr;
+  size_t support_partition_min_pool = 4096;
 };
 
 /// Tally of how triangle collection went (feeds Table 8).

@@ -226,6 +226,16 @@ Dataset MakeBenchmark(const std::string& code, double scale) {
   return GenerateDataset(profile);
 }
 
+double ScaleForRecords(const std::string& code, long long target_records) {
+  CERTA_CHECK_GT(target_records, 0);
+  const Dataset reference = MakeBenchmark(code);
+  const long long reference_records =
+      static_cast<long long>(reference.left.size()) + reference.right.size();
+  CERTA_CHECK_GT(reference_records, 0);
+  return static_cast<double>(target_records) /
+         static_cast<double>(reference_records);
+}
+
 std::vector<Dataset> MakeAllBenchmarks(double scale) {
   std::vector<Dataset> datasets;
   for (const std::string& code : BenchmarkCodes()) {

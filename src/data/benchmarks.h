@@ -24,6 +24,15 @@ Dataset MakeBenchmark(const std::string& code, double scale = 1.0);
 /// Synthesizes all twelve benchmarks in paper order.
 std::vector<Dataset> MakeAllBenchmarks(double scale = 1.0);
 
+/// Scale factor that makes MakeBenchmark(code, scale) synthesize
+/// approximately `target_records` records across both sources. Record
+/// counts grow linearly in scale (modulo rounding and coverage draws),
+/// so the estimate comes from one cheap scale-1.0 generation; the
+/// realized count typically lands within a few percent of the target.
+/// Scale-sensitivity benchmarks (bench_scale) use this to sweep
+/// 10k/100k/1M-record tables without hand-tuning per profile.
+double ScaleForRecords(const std::string& code, long long target_records);
+
 }  // namespace certa::data
 
 #endif  // CERTA_DATA_BENCHMARKS_H_

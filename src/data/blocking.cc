@@ -9,7 +9,6 @@
 #include "util/logging.h"
 
 namespace certa::data {
-namespace {
 
 std::unordered_set<std::string> RecordTokenSet(const Record& record) {
   std::unordered_set<std::string> tokens;
@@ -21,8 +20,6 @@ std::unordered_set<std::string> RecordTokenSet(const Record& record) {
   }
   return tokens;
 }
-
-}  // namespace
 
 TokenBlocker::TokenBlocker(const Table& table, BlockingOptions options)
     : table_(&table), options_(options) {

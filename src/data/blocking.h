@@ -3,6 +3,7 @@
 
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -10,6 +11,13 @@
 #include "data/table.h"
 
 namespace certa::data {
+
+/// The deduplicated normalized tokens of a record's non-missing
+/// attribute values — the exact token set the blocker indexes. Shared
+/// with CandidateIndex (src/data/candidate_index) so "records sharing
+/// a token" means the same thing in blocking and in support-candidate
+/// discovery.
+std::unordered_set<std::string> RecordTokenSet(const Record& record);
 
 /// Candidate-pair generation ("blocking"), the stage that precedes
 /// pairwise matching in a real ER pipeline. The benchmark datasets ship

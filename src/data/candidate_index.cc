@@ -1,0 +1,51 @@
+#include "data/candidate_index.h"
+
+#include <algorithm>
+
+#include "data/blocking.h"
+
+namespace certa::data {
+
+CandidateIndex::CandidateIndex(const Table& table) {
+  for (int r = 0; r < table.size(); ++r) {
+    for (const std::string& token : RecordTokenSet(table.record(r))) {
+      index_[token].push_back(r);
+      ++postings_;
+    }
+  }
+}
+
+std::vector<int> CandidateIndex::Candidates(const Record& probe) const {
+  // Union of the probe tokens' postings. Each postings list is
+  // ascending (built by the r = 0..n ctor scan); sort+unique over the
+  // gathered lists costs O(P log P) in the matched postings P — probe
+  // work scales with how much actually overlaps, never with the table.
+  std::vector<int> merged;
+  for (const std::string& token : RecordTokenSet(probe)) {
+    auto it = index_.find(token);
+    if (it == index_.end()) continue;
+    merged.insert(merged.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  return merged;
+}
+
+std::vector<int> LinearScanCandidates(const Table& table,
+                                      const Record& probe) {
+  const std::unordered_set<std::string> probe_tokens =
+      RecordTokenSet(probe);
+  std::vector<int> candidates;
+  if (probe_tokens.empty()) return candidates;
+  for (int r = 0; r < table.size(); ++r) {
+    for (const std::string& token : RecordTokenSet(table.record(r))) {
+      if (probe_tokens.count(token) > 0) {
+        candidates.push_back(r);
+        break;
+      }
+    }
+  }
+  return candidates;
+}
+
+}  // namespace certa::data

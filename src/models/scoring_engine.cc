@@ -58,10 +58,17 @@ PredictionCache::PredictionCache(size_t num_shards,
 }
 
 void PredictionCache::BindMetrics(obs::Counter* hits, obs::Counter* misses,
-                                  obs::Counter* evictions) {
+                                  obs::Counter* evictions,
+                                  obs::Counter* store_hits) {
   metric_hits_ = hits;
   metric_misses_ = misses;
   metric_evictions_ = evictions;
+  metric_store_hits_ = store_hits;
+}
+
+void PredictionCache::CountStoreHit() {
+  store_hits_.fetch_add(1, std::memory_order_relaxed);
+  if (metric_store_hits_ != nullptr) metric_store_hits_->Increment();
 }
 
 void PredictionCache::BindViewMetrics(obs::Counter* view_hits,
@@ -186,7 +193,8 @@ void PredictionCache::Prewarm(const PairKey& key, double score) {
 PredictionCache::Stats PredictionCache::stats() const {
   return {hits_.load(std::memory_order_relaxed),
           misses_.load(std::memory_order_relaxed),
-          evictions_.load(std::memory_order_relaxed)};
+          evictions_.load(std::memory_order_relaxed),
+          store_hits_.load(std::memory_order_relaxed)};
 }
 
 size_t PredictionCache::entry_count() const {
@@ -216,7 +224,8 @@ ScoringEngine::ScoringEngine(const Matcher* base, Options options)
     metric_.cache_contended = reg.counter("scoring.cache.contended_batches");
     cache_.BindMetrics(reg.counter("scoring.cache.hits"),
                        reg.counter("scoring.cache.misses"),
-                       reg.counter("scoring.cache.evictions"));
+                       reg.counter("scoring.cache.evictions"),
+                       reg.counter("scoring.cache.store_hits"));
     cache_.BindViewMetrics(reg.counter("scoring.cache.view_hits"),
                            reg.counter("scoring.cache.flush_locks"));
   }
@@ -259,16 +268,26 @@ class ViewLease {
 
 double ScoringEngine::Score(const data::Record& u,
                             const data::Record& v) const {
-  if (!options_.enable_cache && !options_.observer) {
+  if (!options_.enable_cache && !options_.observer &&
+      !options_.store_probe && !options_.store_write) {
     return base_->Score(u, v);
   }
   PairKey key = HashPair(u, v);
   double score = 0.0;
   if (options_.enable_cache && cache_.Lookup(key, &score)) return score;
+  if (options_.store_probe && options_.store_probe(key, &score)) {
+    // Store-served miss: same insertion (and hence eviction) sequence
+    // as computing, minus the paid base call. The observer stays
+    // silent — nothing fresh happened.
+    cache_.CountStoreHit();
+    if (options_.enable_cache) cache_.Insert(key, score);
+    return score;
+  }
   score = base_->Score(u, v);
   if (metric_.scores_computed != nullptr) metric_.scores_computed->Increment();
   if (options_.enable_cache) cache_.Insert(key, score);
   if (options_.observer) options_.observer(key, score);
+  if (options_.store_write) options_.store_write(key, score);
   return score;
 }
 
@@ -423,9 +442,15 @@ std::vector<double> ScoringEngine::ScoreBatch(
                   metric_.cache_contended);
 
   // Cache probe phase (sequential, so counters stay deterministic).
+  // A miss the durable store can serve is remembered as a store fill:
+  // it skips the compute phase but is inserted in the same relative
+  // slot order as a computed miss, so the eviction sequence — and
+  // hence every counter in CertaResult — is identical with the store
+  // detached.
   std::vector<double> unique_scores(plan.unique_inputs.size(), 0.0);
   std::vector<RecordPair> miss_pairs;
-  std::vector<size_t> miss_slots;
+  std::vector<size_t> fill_slots;          // ascending unique-slot order
+  std::vector<uint8_t> fill_from_store;    // parallel to fill_slots
   for (size_t s = 0; s < plan.unique_inputs.size(); ++s) {
     size_t input = plan.unique_inputs[s];
     if (options_.enable_cache &&
@@ -433,25 +458,38 @@ std::vector<double> ScoringEngine::ScoreBatch(
                        : cache_.Lookup(plan.keys[input], &unique_scores[s]))) {
       continue;
     }
+    if (options_.store_probe &&
+        options_.store_probe(plan.keys[input], &unique_scores[s])) {
+      cache_.CountStoreHit();
+      fill_slots.push_back(s);
+      fill_from_store.push_back(1);
+      continue;
+    }
     miss_pairs.push_back(pairs[input]);
-    miss_slots.push_back(s);
+    fill_slots.push_back(s);
+    fill_from_store.push_back(0);
   }
 
   // Compute phase (possibly parallel), then sequential insert phase.
   // ScoreMisses throws on failure, so a failed batch never reaches the
   // insert loop — the cache only ever holds scores the model produced.
   std::vector<double> miss_scores = ScoreMisses(miss_pairs);
-  for (size_t m = 0; m < miss_slots.size(); ++m) {
-    unique_scores[miss_slots[m]] = miss_scores[m];
-    const PairKey& key = plan.keys[plan.unique_inputs[miss_slots[m]]];
+  size_t next_miss = 0;
+  for (size_t f = 0; f < fill_slots.size(); ++f) {
+    const size_t s = fill_slots[f];
+    const bool from_store = fill_from_store[f] != 0;
+    if (!from_store) unique_scores[s] = miss_scores[next_miss++];
+    const PairKey& key = plan.keys[plan.unique_inputs[s]];
     if (options_.enable_cache) {
       if (lease.owned()) {
-        view_.Insert(key, miss_scores[m]);
+        view_.Insert(key, unique_scores[s]);
       } else {
-        cache_.Insert(key, miss_scores[m]);
+        cache_.Insert(key, unique_scores[s]);
       }
     }
-    if (options_.observer) options_.observer(key, miss_scores[m]);
+    if (from_store) continue;  // nothing fresh: observer/store stay quiet
+    if (options_.observer) options_.observer(key, unique_scores[s]);
+    if (options_.store_write) options_.store_write(key, unique_scores[s]);
   }
 
   for (size_t i = 0; i < pairs.size(); ++i) {
@@ -489,10 +527,14 @@ ScoringEngine::BatchOutcome ScoringEngine::TryScoreBatch(
   ViewLease lease(options_.enable_cache, &view_, &view_busy_,
                   metric_.cache_contended);
 
+  // Probe phase mirrors ScoreBatch: store-served misses are recorded
+  // as fills and inserted in slot order alongside computed misses, so
+  // cache counters match a store-detached run exactly.
   std::vector<double> unique_scores(plan.unique_inputs.size(), 0.0);
   std::vector<uint8_t> unique_ok(plan.unique_inputs.size(), 0);
   std::vector<RecordPair> miss_pairs;
-  std::vector<size_t> miss_slots;
+  std::vector<size_t> fill_slots;
+  std::vector<uint8_t> fill_from_store;
   for (size_t s = 0; s < plan.unique_inputs.size(); ++s) {
     size_t input = plan.unique_inputs[s];
     if (options_.enable_cache &&
@@ -501,26 +543,42 @@ ScoringEngine::BatchOutcome ScoringEngine::TryScoreBatch(
       unique_ok[s] = 1;
       continue;
     }
+    if (options_.store_probe &&
+        options_.store_probe(plan.keys[input], &unique_scores[s])) {
+      cache_.CountStoreHit();
+      fill_slots.push_back(s);
+      fill_from_store.push_back(1);
+      continue;
+    }
     miss_pairs.push_back(pairs[input]);
-    miss_slots.push_back(s);
+    fill_slots.push_back(s);
+    fill_from_store.push_back(0);
   }
 
   std::vector<double> miss_scores;
   std::vector<uint8_t> miss_ok;
   TryScoreMisses(miss_pairs, &miss_scores, &miss_ok, &out.budget_exhausted);
-  for (size_t m = 0; m < miss_slots.size(); ++m) {
-    if (!miss_ok[m]) continue;  // failed pairs never enter the cache
-    unique_scores[miss_slots[m]] = miss_scores[m];
-    unique_ok[miss_slots[m]] = 1;
-    const PairKey& key = plan.keys[plan.unique_inputs[miss_slots[m]]];
+  size_t next_miss = 0;
+  for (size_t f = 0; f < fill_slots.size(); ++f) {
+    const size_t s = fill_slots[f];
+    const bool from_store = fill_from_store[f] != 0;
+    if (!from_store) {
+      const size_t m = next_miss++;
+      if (!miss_ok[m]) continue;  // failed pairs never enter the cache
+      unique_scores[s] = miss_scores[m];
+    }
+    unique_ok[s] = 1;
+    const PairKey& key = plan.keys[plan.unique_inputs[s]];
     if (options_.enable_cache) {
       if (lease.owned()) {
-        view_.Insert(key, miss_scores[m]);
+        view_.Insert(key, unique_scores[s]);
       } else {
-        cache_.Insert(key, miss_scores[m]);
+        cache_.Insert(key, unique_scores[s]);
       }
     }
-    if (options_.observer) options_.observer(key, miss_scores[m]);
+    if (from_store) continue;
+    if (options_.observer) options_.observer(key, unique_scores[s]);
+    if (options_.store_write) options_.store_write(key, unique_scores[s]);
   }
 
   for (size_t i = 0; i < pairs.size(); ++i) {

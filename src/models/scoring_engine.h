@@ -52,6 +52,12 @@ class PredictionCache {
     long long hits = 0;
     long long misses = 0;
     long long evictions = 0;
+    /// Misses served from the durable score store instead of the base
+    /// model (see ScoringEngine::Options::store_probe). Distinct from
+    /// `hits` — a store-served probe already counted one miss, so
+    /// hits + misses still tallies every lookup, and store_hits says
+    /// how many of those misses skipped a paid model call anyway.
+    long long store_hits = 0;
   };
 
   PredictionCache(size_t num_shards, size_t max_entries_per_shard);
@@ -61,7 +67,8 @@ class PredictionCache {
   /// feed CertaResult and must not depend on whether a registry is
   /// attached or enabled.
   void BindMetrics(obs::Counter* hits, obs::Counter* misses,
-                   obs::Counter* evictions);
+                   obs::Counter* evictions,
+                   obs::Counter* store_hits = nullptr);
 
   /// Hot-path instrumentation for the batched View below (both may be
   /// null): `view_hits` counts lookups served lock-free from a view's
@@ -121,6 +128,11 @@ class PredictionCache {
   /// (scores are deterministic). May evict a full shard first.
   void Insert(const PairKey& key, double score);
 
+  /// Counts one store-served miss (the engine calls this when its
+  /// store_probe hook supplies the score a cache miss would otherwise
+  /// have paid the base model for).
+  void CountStoreHit();
+
   /// Seeds the cache with a replayed (journal) score without touching
   /// the hit/miss counters. The entry is marked prewarmed: its first
   /// Lookup still counts as a miss (the run being resumed would have
@@ -163,7 +175,9 @@ class PredictionCache {
   std::atomic<long long> hits_{0};
   std::atomic<long long> misses_{0};
   std::atomic<long long> evictions_{0};
+  std::atomic<long long> store_hits_{0};
   obs::Counter* metric_hits_ = nullptr;
+  obs::Counter* metric_store_hits_ = nullptr;
   obs::Counter* metric_misses_ = nullptr;
   obs::Counter* metric_evictions_ = nullptr;
   obs::Counter* metric_view_hits_ = nullptr;
@@ -213,6 +227,19 @@ class ScoringEngine : public Matcher {
     size_t parallel_chunk = 32;
     /// Optional journal hook; empty = no observation overhead.
     ScoreObserver observer;
+    /// Durable read-through hooks (src/persist's ScoreStore binds
+    /// them): `store_probe` is consulted after a cache miss — true
+    /// (and *score set) serves the miss without a base-model call —
+    /// and `store_write` is invoked once per freshly computed score,
+    /// right after `observer`, on the calling thread in input order.
+    /// Store-served scores keep the hit/miss/eviction counter stream
+    /// and every result byte identical to computing (the store only
+    /// holds values the deterministic model produced); they are
+    /// tallied separately as PredictionCache::Stats::store_hits.
+    using StoreProbe = std::function<bool(const PairKey&, double*)>;
+    using StoreWrite = std::function<void(const PairKey&, double)>;
+    StoreProbe store_probe;
+    StoreWrite store_write;
     /// Observability registry (not owned; nullptr = uninstrumented).
     /// Metric handles are resolved once at engine construction — see
     /// docs/OBSERVABILITY.md for the scoring.* catalog. Purely

@@ -1,0 +1,413 @@
+#include "persist/score_store.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/atomic_file.h"
+#include "util/crc32.h"
+#include "util/logging.h"
+
+namespace certa::persist {
+namespace {
+
+constexpr char kMagic[8] = {'C', 'E', 'R', 'T', 'A', 'S', 'S', 'T'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderSize = sizeof(kMagic) + sizeof(uint32_t);  // 12
+constexpr size_t kPayloadSize =
+    sizeof(uint64_t) * 3 + sizeof(double);                    // 32
+constexpr size_t kRecordSize = kPayloadSize + sizeof(uint32_t);  // 36
+
+std::string SegmentHeader() {
+  std::string header(kHeaderSize, '\0');
+  std::memcpy(header.data(), kMagic, sizeof(kMagic));
+  std::memcpy(header.data() + sizeof(kMagic), &kVersion, sizeof(kVersion));
+  return header;
+}
+
+void AppendRecord(std::string* out, uint64_t scope, uint64_t lo, uint64_t hi,
+                  double score) {
+  char payload[kPayloadSize];
+  std::memcpy(payload, &scope, sizeof(scope));
+  std::memcpy(payload + 8, &lo, sizeof(lo));
+  std::memcpy(payload + 16, &hi, sizeof(hi));
+  std::memcpy(payload + 24, &score, sizeof(score));
+  uint32_t crc = util::Crc32(payload, kPayloadSize);
+  out->append(payload, kPayloadSize);
+  out->append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+}
+
+/// Parses "segment-NNNNNN.seg" → NNNNNN; -1 for anything else
+/// (temp leftovers, foreign files).
+long long SegmentNumber(const std::string& name) {
+  constexpr std::string_view kPrefix = "segment-";
+  constexpr std::string_view kSuffix = ".seg";
+  if (name.size() <= kPrefix.size() + kSuffix.size()) return -1;
+  if (name.compare(0, kPrefix.size(), kPrefix) != 0) return -1;
+  if (name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+      0) {
+    return -1;
+  }
+  long long number = 0;
+  for (size_t i = kPrefix.size(); i < name.size() - kSuffix.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return -1;
+    number = number * 10 + (name[i] - '0');
+  }
+  return number;
+}
+
+/// fsync on the directory makes newly created/renamed segment files
+/// durable; failure is ignored (some filesystems refuse dir fsync).
+void SyncDirectory(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+bool WriteAll(int fd, const char* data, size_t size, size_t* written) {
+  *written = 0;
+  while (*written < size) {
+    ssize_t n = ::write(fd, data + *written, size - *written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    *written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+ScoreStore::~ScoreStore() { Close(); }
+
+std::string ScoreStore::SegmentPath(long long number) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "segment-%06lld.seg", number);
+  return dir_ + "/" + name;
+}
+
+size_t ScoreStore::AbsorbSegment(const char* data, size_t size,
+                                 bool* bad_header) {
+  *bad_header = false;
+  if (size < kHeaderSize || std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    *bad_header = true;
+    return 0;
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, data + sizeof(kMagic), sizeof(version));
+  if (version != kVersion) {
+    *bad_header = true;
+    return 0;
+  }
+  size_t offset = kHeaderSize;
+  while (offset + kRecordSize <= size) {
+    const char* payload = data + offset;
+    uint32_t stored = 0;
+    std::memcpy(&stored, payload + kPayloadSize, sizeof(stored));
+    if (util::Crc32(payload, kPayloadSize) != stored) break;
+    StoreKey key;
+    double score = 0.0;
+    std::memcpy(&key.scope, payload, sizeof(key.scope));
+    std::memcpy(&key.lo, payload + 8, sizeof(key.lo));
+    std::memcpy(&key.hi, payload + 16, sizeof(key.hi));
+    std::memcpy(&score, payload + 24, sizeof(score));
+    index_[key] = score;
+    ++stats_.replayed_records;
+    offset += kRecordSize;
+  }
+  return offset;
+}
+
+bool ScoreStore::LoadSegment(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  bool bad_header = false;
+  size_t valid = 0;
+  bool absorbed = false;
+  if (options_.use_mmap && size > 0) {
+    void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (mapped != MAP_FAILED) {
+      valid = AbsorbSegment(static_cast<const char*>(mapped), size,
+                            &bad_header);
+      ::munmap(mapped, size);
+      absorbed = true;
+    }
+  }
+  ::close(fd);
+  if (!absorbed) {
+    std::string content;
+    if (!util::ReadFileToString(path, &content)) return false;
+    valid = AbsorbSegment(content.data(), content.size(), &bad_header);
+  }
+  if (bad_header) {
+    ++stats_.bad_headers;
+    return true;
+  }
+  if (valid < size) {
+    stats_.dropped_bytes += static_cast<long long>(size - valid);
+    ++stats_.corrupt_tails;
+  }
+  segment_valid_bytes_ = valid;
+  return true;
+}
+
+bool ScoreStore::OpenActiveSegment(long long number, bool truncate_to,
+                                   size_t valid) {
+  const std::string path = SegmentPath(number);
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) return false;
+  if (truncate_to) {
+    // Cut any torn/corrupt tail away so appended records extend the
+    // valid prefix instead of hiding behind garbage forever.
+    if (::ftruncate(fd_, static_cast<off_t>(valid)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      return false;
+    }
+    active_bytes_ = valid;
+  } else {
+    std::string header = SegmentHeader();
+    size_t written = 0;
+    if (::ftruncate(fd_, 0) != 0 ||
+        !WriteAll(fd_, header.data(), header.size(), &written) ||
+        ::fsync(fd_) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      return false;
+    }
+    SyncDirectory(dir_);
+    active_bytes_ = header.size();
+  }
+  if (::lseek(fd_, 0, SEEK_END) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  active_segment_ = number;
+  return true;
+}
+
+bool ScoreStore::Open(const std::string& dir, const Options& options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CERTA_CHECK(fd_ < 0);
+  dir_ = dir;
+  options_ = options;
+  index_.clear();
+  buffer_.clear();
+  unsynced_appends_ = 0;
+  stats_ = Stats();
+  if (!util::EnsureDirectory(dir_)) return false;
+
+  std::vector<long long> segments;
+  std::vector<std::string> leftovers;
+  DIR* handle = ::opendir(dir_.c_str());
+  if (handle == nullptr) return false;
+  while (struct dirent* entry = ::readdir(handle)) {
+    const std::string name = entry->d_name;
+    long long number = SegmentNumber(name);
+    if (number >= 0) {
+      segments.push_back(number);
+    } else if (name.find(".seg.tmp") != std::string::npos) {
+      // A compaction killed between temp-write and rename; the temp
+      // file was never trusted and is swept here.
+      leftovers.push_back(dir_ + "/" + name);
+    }
+  }
+  ::closedir(handle);
+  for (const std::string& path : leftovers) ::unlink(path.c_str());
+  std::sort(segments.begin(), segments.end());
+
+  if (segments.empty()) {
+    if (!OpenActiveSegment(1, /*truncate_to=*/false, 0)) return false;
+    stats_.segments = 1;
+    return true;
+  }
+  for (long long number : segments) {
+    segment_valid_bytes_ = 0;
+    if (!LoadSegment(SegmentPath(number))) {
+      // Unreadable segment file: treat like a bad header — skip it.
+      ++stats_.bad_headers;
+    }
+  }
+  // The highest-numbered segment stays active; its recovery scan told
+  // us the valid prefix to truncate to. A bad-header active segment is
+  // rewritten from scratch (nothing in it was trusted).
+  const long long active = segments.back();
+  const bool rewrite = segment_valid_bytes_ < kHeaderSize;
+  if (!OpenActiveSegment(active, /*truncate_to=*/!rewrite,
+                         segment_valid_bytes_)) {
+    return false;
+  }
+  stats_.segments = segments.size();
+  return true;
+}
+
+bool ScoreStore::Lookup(uint64_t scope, const models::PairKey& key,
+                        double* score) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return false;
+  ++stats_.lookups;
+  if (metric_lookups_ != nullptr) metric_lookups_->Increment();
+  auto it = index_.find(StoreKey{scope, key.lo, key.hi});
+  if (it == index_.end()) return false;
+  ++stats_.hits;
+  if (metric_hits_ != nullptr) metric_hits_->Increment();
+  if (score != nullptr) *score = it->second;
+  return true;
+}
+
+bool ScoreStore::Put(uint64_t scope, const models::PairKey& key,
+                     double score) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return false;
+  auto [it, inserted] = index_.try_emplace(StoreKey{scope, key.lo, key.hi},
+                                           score);
+  if (!inserted) return true;  // deterministic scores: re-put is a no-op
+  AppendRecord(&buffer_, scope, key.lo, key.hi, score);
+  ++stats_.appends;
+  if (metric_appends_ != nullptr) metric_appends_->Increment();
+  ++unsynced_appends_;
+  if (options_.sync_every > 0 && unsynced_appends_ >= options_.sync_every) {
+    if (!SyncLocked()) return false;
+  }
+  if (active_bytes_ + buffer_.size() > options_.max_segment_bytes) {
+    if (!SyncLocked()) return false;
+    if (!RollSegmentLocked()) return false;
+  }
+  return true;
+}
+
+bool ScoreStore::RollSegmentLocked() {
+  ::close(fd_);
+  fd_ = -1;
+  if (!OpenActiveSegment(active_segment_ + 1, /*truncate_to=*/false, 0)) {
+    return false;
+  }
+  ++stats_.segments;
+  return true;
+}
+
+bool ScoreStore::SyncLocked() {
+  if (fd_ < 0) return false;
+  if (!buffer_.empty()) {
+    size_t written = 0;
+    bool ok = WriteAll(fd_, buffer_.data(), buffer_.size(), &written);
+    active_bytes_ += written;
+    buffer_.erase(0, written);
+    if (!ok) return false;
+  }
+  unsynced_appends_ = 0;
+  if (metric_syncs_ != nullptr) metric_syncs_->Increment();
+  return ::fsync(fd_) == 0;
+}
+
+bool ScoreStore::Sync() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return false;
+  return SyncLocked();
+}
+
+bool ScoreStore::Compact() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return false;
+  if (!SyncLocked()) return false;
+
+  std::string content = SegmentHeader();
+  content.reserve(kHeaderSize + index_.size() * kRecordSize);
+  for (const auto& [key, score] : index_) {
+    AppendRecord(&content, key.scope, key.lo, key.hi, score);
+  }
+  const long long next = active_segment_ + 1;
+  // util::AtomicWriteFile is the append-then-rename discipline: temp in
+  // the same directory, fsync, rename, directory fsync. A kill before
+  // the rename leaves only a swept-on-open temp; after it, the new
+  // segment is complete and old ones are at worst duplicated.
+  if (!util::AtomicWriteFile(SegmentPath(next), content)) return false;
+  ::close(fd_);
+  fd_ = -1;
+  for (long long number = active_segment_; number >= 1; --number) {
+    const std::string path = SegmentPath(number);
+    if (util::PathExists(path)) ::unlink(path.c_str());
+  }
+  SyncDirectory(dir_);
+  if (!OpenActiveSegment(next, /*truncate_to=*/true, content.size())) {
+    return false;
+  }
+  stats_.segments = 1;
+  ++stats_.compactions;
+  if (metric_compactions_ != nullptr) metric_compactions_->Increment();
+  return true;
+}
+
+void ScoreStore::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return;
+  SyncLocked();
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void ScoreStore::BindMetrics(obs::MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (registry == nullptr) {
+    metric_lookups_ = metric_hits_ = metric_appends_ = metric_syncs_ =
+        metric_compactions_ = nullptr;
+    return;
+  }
+  metric_lookups_ = registry->counter("store.lookups");
+  metric_hits_ = registry->counter("store.hits");
+  metric_appends_ = registry->counter("store.appends");
+  metric_syncs_ = registry->counter("store.syncs");
+  metric_compactions_ = registry->counter("store.compactions");
+}
+
+ScoreStore::Stats ScoreStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats out = stats_;
+  out.entries = index_.size();
+  return out;
+}
+
+size_t ScoreStore::entry_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return index_.size();
+}
+
+uint64_t HashScope(const std::string& matcher_id,
+                   uint64_t model_fingerprint) {
+  uint64_t hash = 1469598103934665603ULL;  // FNV-1a offset basis
+  auto mix = [&hash](unsigned char byte) {
+    hash ^= byte;
+    hash *= 1099511628211ULL;  // FNV-1a prime
+  };
+  for (char c : matcher_id) mix(static_cast<unsigned char>(c));
+  mix(0x1F);  // unit separator: "ab"+"c" != "a"+"bc"
+  for (int i = 0; i < 8; ++i) {
+    mix(static_cast<unsigned char>(model_fingerprint >> (8 * i)));
+  }
+  // splitmix64 finalizer: avalanche so nearby fingerprints land far
+  // apart.
+  hash ^= hash >> 30;
+  hash *= 0xBF58476D1CE4E5B9ULL;
+  hash ^= hash >> 27;
+  hash *= 0x94D049BB133111EBULL;
+  hash ^= hash >> 31;
+  return hash;
+}
+
+}  // namespace certa::persist

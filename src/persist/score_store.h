@@ -1,0 +1,191 @@
+#ifndef CERTA_PERSIST_SCORE_STORE_H_
+#define CERTA_PERSIST_SCORE_STORE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "models/scoring_engine.h"
+#include "obs/metrics.h"
+
+namespace certa::persist {
+
+/// Durable, cross-job prediction store.
+///
+/// The write-ahead journal (src/persist/journal) makes ONE job
+/// resumable; it lives inside that job's directory and dies with it.
+/// The score store is the cross-job complement: a directory of
+/// CRC32-checksummed segment files shared by every job that runs the
+/// same model over the same data, surviving server restarts. The
+/// ScoringEngine reads through it (Options::store_probe /
+/// store_write), so a repeated or resumed job skips every model call
+/// the store already holds while producing byte-identical results —
+/// scores are deterministic, so a stored value IS the value the model
+/// would return.
+///
+/// Keying. Entries are keyed by a fixed-size hashed triple: a 64-bit
+/// *scope* identifying (matcher id, model fingerprint) and the 128-bit
+/// pair content hash (models::PairKey). Different models — or the same
+/// model retrained on different data — land in disjoint scopes, so one
+/// store directory safely serves heterogeneous traffic.
+///
+/// On-disk format (host-endian, single-machine durability), one or
+/// more `segment-NNNNNN.seg` files:
+///   header:  8-byte magic "CERTASST" + uint32 version (1)
+///   record:  uint64 scope | uint64 key.lo | uint64 key.hi |
+///            double score | uint32 crc
+/// where crc is CRC-32 (util::Crc32) over the 32 payload bytes. The
+/// highest-numbered segment is the active one; appends go there
+/// (buffered; Sync() is the durability boundary, journal-style).
+/// Recovery trusts exactly the longest CRC-valid record prefix of each
+/// segment — torn, truncated, or bit-flipped tails are truncated away,
+/// never interpreted — and segments are loaded mmap(2)-ed read-only
+/// when possible (falling back to a plain read).
+///
+/// Compaction rewrites the live entries into a single next-numbered
+/// segment via the append-then-rename discipline (temp file + fsync +
+/// atomic rename + directory fsync, util::AtomicWriteFile), then
+/// unlinks the old segments. A crash at any point leaves either the
+/// old segments (rename not reached) or the new one plus some
+/// not-yet-unlinked old ones (duplicate entries across segments are
+/// harmless — deterministic scores agree); leftover temp files are
+/// ignored and swept on the next Open.
+class ScoreStore {
+ public:
+  struct Options {
+    /// Roll the active segment once it exceeds this many bytes (keeps
+    /// any single recovery scan and compaction rewrite bounded).
+    size_t max_segment_bytes = 8u << 20;
+    /// When > 0, Put() self-syncs after this many buffered appends;
+    /// 0 leaves durability entirely to explicit Sync() calls.
+    int sync_every = 0;
+    /// Load segments through mmap(2); disable to force the plain-read
+    /// path (the two are byte-equivalent — see score_store_test).
+    bool use_mmap = true;
+  };
+
+  struct Stats {
+    /// Live unique (scope, pair) entries in memory.
+    size_t entries = 0;
+    /// Segment files currently on disk (including the active one).
+    size_t segments = 0;
+    /// CRC-valid records loaded by Open across all segments.
+    long long replayed_records = 0;
+    /// Torn/corrupt tail bytes discarded by Open.
+    long long dropped_bytes = 0;
+    /// Segments whose tail failed CRC validation on Open.
+    int corrupt_tails = 0;
+    /// Segments whose header was unreadable or wrong; their contents
+    /// are untrusted and skipped entirely.
+    int bad_headers = 0;
+    long long appends = 0;
+    long long lookups = 0;
+    long long hits = 0;
+    long long compactions = 0;
+  };
+
+  ScoreStore() = default;
+  ~ScoreStore();
+
+  ScoreStore(const ScoreStore&) = delete;
+  ScoreStore& operator=(const ScoreStore&) = delete;
+
+  /// Opens (creating `dir` and a first segment when missing) and loads
+  /// every valid record into the in-memory index. Returns false when
+  /// the directory or active segment cannot be created/opened.
+  bool Open(const std::string& dir, const Options& options);
+  bool Open(const std::string& dir) { return Open(dir, Options()); }
+
+  bool is_open() const { return fd_ >= 0; }
+
+  /// True (and *score set) on a hit. Thread-safe; counts one lookup
+  /// and, on success, one hit.
+  bool Lookup(uint64_t scope, const models::PairKey& key, double* score);
+
+  /// Records the score (buffered; durable after Sync). A key already
+  /// present is skipped — scores are deterministic, so re-puts carry
+  /// the same value and would only grow the segment. Thread-safe.
+  bool Put(uint64_t scope, const models::PairKey& key, double score);
+
+  /// Writes every buffered record through and fsyncs the active
+  /// segment. The durability boundary: records Put before a returning
+  /// Sync survive SIGKILL/power loss.
+  bool Sync();
+
+  /// Rewrites the live entries into one fresh segment (atomic
+  /// temp+rename) and unlinks the old ones. Lookups/Puts are excluded
+  /// for the duration. No-op (true) on an empty store.
+  bool Compact();
+
+  void Close();
+
+  /// Mirrors lookups/hits/appends into registry counters (store.*
+  /// catalog; null registry detaches). The store's own Stats stay
+  /// authoritative.
+  void BindMetrics(obs::MetricsRegistry* registry);
+
+  Stats stats() const;
+  size_t entry_count() const;
+  const std::string& dir() const { return dir_; }
+
+ private:
+  struct StoreKey {
+    uint64_t scope = 0;
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+    bool operator==(const StoreKey& other) const {
+      return scope == other.scope && lo == other.lo && hi == other.hi;
+    }
+  };
+  struct StoreKeyHasher {
+    size_t operator()(const StoreKey& key) const {
+      uint64_t h = key.scope * 0x9E3779B97F4A7C15ULL;
+      h ^= key.lo + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+      h ^= key.hi + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  /// Parses one segment file into the index. Returns false only on an
+  /// unreadable file (missing/IO error); corruption is handled by
+  /// truncation-to-valid-prefix accounting, not failure.
+  bool LoadSegment(const std::string& path);
+  /// Validates `data` (header + records) and merges the valid prefix
+  /// into `index_`; returns the number of valid bytes (0 on a bad
+  /// header).
+  size_t AbsorbSegment(const char* data, size_t size, bool* bad_header);
+  bool OpenActiveSegment(long long number, bool truncate_to, size_t valid);
+  bool RollSegmentLocked();
+  bool SyncLocked();
+  std::string SegmentPath(long long number) const;
+
+  mutable std::mutex mutex_;
+  std::string dir_;
+  Options options_;
+  int fd_ = -1;
+  long long active_segment_ = 0;
+  size_t active_bytes_ = 0;
+  /// Valid byte count reported by the most recent LoadSegment call
+  /// (consulted for the active segment's truncation point on Open).
+  size_t segment_valid_bytes_ = 0;
+  std::string buffer_;
+  int unsynced_appends_ = 0;
+  std::unordered_map<StoreKey, double, StoreKeyHasher> index_;
+  Stats stats_;
+  obs::Counter* metric_lookups_ = nullptr;
+  obs::Counter* metric_hits_ = nullptr;
+  obs::Counter* metric_appends_ = nullptr;
+  obs::Counter* metric_syncs_ = nullptr;
+  obs::Counter* metric_compactions_ = nullptr;
+};
+
+/// 64-bit scope hash of (matcher id, model fingerprint) — the
+/// fixed-size model half of a store key. FNV-1a over both parts with a
+/// separator, finalized with an avalanche mix.
+uint64_t HashScope(const std::string& matcher_id, uint64_t model_fingerprint);
+
+}  // namespace certa::persist
+
+#endif  // CERTA_PERSIST_SCORE_STORE_H_

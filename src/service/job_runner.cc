@@ -32,6 +32,44 @@ persist::JobCheckpoint CheckpointFromSpec(const JobSpec& spec) {
   return checkpoint;
 }
 
+/// Content fingerprint of the dataset a model was trained on — the
+/// model half of a score-store key. Training is seeded and
+/// deterministic, so (model kind, training data) pins the matcher's
+/// parameters exactly; hashing the full record contents (not the
+/// dataset code or path) means a store entry can never be served to a
+/// model trained on different data that happens to share a name.
+uint64_t DatasetFingerprint(const data::Dataset& dataset) {
+  uint64_t hash = 1469598103934665603ULL;
+  auto mix = [&hash](const std::string& value) {
+    for (char c : value) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 1099511628211ULL;
+    }
+    hash ^= 0x1F;
+    hash *= 1099511628211ULL;
+  };
+  auto mix_int = [&hash](long long value) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= static_cast<unsigned char>(value >> (8 * i));
+      hash *= 1099511628211ULL;
+    }
+  };
+  for (const data::Table* table : {&dataset.left, &dataset.right}) {
+    for (const std::string& name : table->schema().names()) mix(name);
+    mix_int(table->size());
+    for (int r = 0; r < table->size(); ++r) {
+      for (const std::string& value : table->record(r).values) mix(value);
+    }
+  }
+  mix_int(static_cast<long long>(dataset.train.size()));
+  for (const data::LabeledPair& pair : dataset.train) {
+    mix_int(pair.left_index);
+    mix_int(pair.right_index);
+    mix_int(pair.label);
+  }
+  return hash;
+}
+
 }  // namespace
 
 JobSpec SpecFromCheckpoint(const persist::JobCheckpoint& checkpoint) {
@@ -185,6 +223,9 @@ JobOutcome RunDurableExplain(const JobSpec& spec, const std::string& job_dir,
   int since_flush = 0;
   auto flush = [&] {
     journal.Sync();
+    // The cross-job store shares the journal's durability cadence: a
+    // score that survived a crash in one is in the other too.
+    if (options.store != nullptr) options.store->Sync();
     checkpoint.fresh_scores = fresh;
     const bool timed =
         checkpoint_save_us != nullptr && options.metrics->enabled();
@@ -209,6 +250,27 @@ JobOutcome RunDurableExplain(const JobSpec& spec, const std::string& job_dir,
   explainer_options.cancel = options.cancel;
   explainer_options.metrics = options.metrics;
   explainer_options.trace = options.trace;
+  explainer_options.use_candidate_index = options.use_candidate_index;
+  if (options.store != nullptr && options.store->is_open()) {
+    // Scope store entries to (matcher id, model fingerprint): the
+    // deterministic trainer makes (kind, training data) the model's
+    // identity, so jobs over the same benchmark share paid scores
+    // while different models/data can never collide.
+    const uint64_t scope =
+        persist::HashScope(spec.model, DatasetFingerprint(dataset));
+    persist::ScoreStore* store = options.store;
+    explainer_options.store_probe = [store, scope, &outcome](
+                                        const models::PairKey& key,
+                                        double* score) {
+      if (!store->Lookup(scope, key, score)) return false;
+      ++outcome.store_hits;
+      return true;
+    };
+    explainer_options.store_write = [store, scope](const models::PairKey& key,
+                                                   double score) {
+      store->Put(scope, key, score);
+    };
+  }
   explainer_options.score_observer = [&](const models::PairKey& key,
                                          double score) {
     journal.Append(key, score);
@@ -290,6 +352,16 @@ JobRunner::JobRunner(JobRunnerOptions options)
     metric_.parked = reg.counter("service.jobs.parked");
     metric_.failed = reg.counter("service.jobs.failed");
     metric_.job_us = reg.histogram("service.job_us", obs::LatencyBuckets());
+  }
+  if (!options_.store_dir.empty()) {
+    auto store = std::make_unique<persist::ScoreStore>();
+    if (store->Open(options_.store_dir)) {
+      store->BindMetrics(options_.metrics);
+      store_ = std::move(store);
+    } else {
+      std::fprintf(stderr, "warning: cannot open score store %s; running without\n",
+                   options_.store_dir.c_str());
+    }
   }
   workers_.reserve(static_cast<size_t>(options_.workers));
   for (int i = 0; i < options_.workers; ++i) {
@@ -402,6 +474,8 @@ void JobRunner::WorkerLoop() {
     run_options.cancelled_state = "parked";
     run_options.metrics = options_.metrics;
     run_options.trace = options_.trace;
+    run_options.store = store_.get();
+    run_options.use_candidate_index = options_.use_candidate_index;
     RunningJob* heartbeat_target = running.get();
     run_options.heartbeat = [this, heartbeat_target] {
       heartbeat_target->last_heartbeat_micros.store(
@@ -554,6 +628,7 @@ void JobRunner::Shutdown(bool drain) {
     idle_.notify_all();
   }
   if (watchdog_.joinable()) watchdog_.join();
+  if (store_ != nullptr) store_->Sync();  // every worker has stopped
   DumpStats();  // final snapshot: every terminal outcome is in
 }
 

@@ -17,6 +17,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "persist/checkpoint.h"
+#include "persist/score_store.h"
 
 namespace certa::service {
 
@@ -70,6 +71,11 @@ struct JobOutcome {
   /// this run (the resume savings are `replayed` calls never re-paid).
   long long replayed_scores = 0;
   long long fresh_scores = 0;
+  /// Cache misses served from the cross-job score store instead of the
+  /// model (0 when no store is attached). Like replayed_scores these
+  /// are calls never re-paid; unlike them they survive across jobs and
+  /// server restarts.
+  long long store_hits = 0;
   /// Valid when state == kComplete.
   core::CertaResult result;
   std::string result_json;
@@ -101,6 +107,16 @@ struct DurableRunOptions {
   /// durable state are bit-identical either way.
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceRecorder* trace = nullptr;
+  /// Cross-job durable prediction store (not owned; nullptr = none).
+  /// Scoped to (model, dataset fingerprint): the run probes it on
+  /// cache misses — skipping the paid model call on a hit — and feeds
+  /// every fresh score back. Synced on the checkpoint cadence.
+  /// Results are byte-identical with or without a store attached.
+  persist::ScoreStore* store = nullptr;
+  /// Answer support discovery from the inverted candidate index
+  /// (byte-identical to the linear reference scan; see
+  /// CertaExplainer::Options::use_candidate_index).
+  bool use_candidate_index = true;
 };
 
 /// Runs one explanation job durably inside `job_dir`:
@@ -142,6 +158,12 @@ struct JobRunnerOptions {
   /// the final dump. Requires both `metrics` and a non-empty path.
   int stats_every = 0;
   std::string stats_path;
+  /// Directory of the cross-job score store; empty = no store. The
+  /// runner opens it once, shares it across workers (the store is
+  /// internally locked), and closes it (final sync) on Shutdown.
+  std::string store_dir;
+  /// Forwarded to every durable run (see DurableRunOptions).
+  bool use_candidate_index = true;
   /// Progress/terminal event hooks (the network front-end's feed).
   /// Both are invoked from worker threads — on_progress from inside a
   /// running job, on_terminal after its outcome is recorded (never
@@ -238,6 +260,10 @@ class JobRunner {
   /// Terminal outcomes so far, in completion order.
   std::vector<JobOutcome> outcomes() const;
 
+  /// The cross-job score store (null when options_.store_dir is empty
+  /// or the directory could not be opened).
+  const persist::ScoreStore* store() const { return store_.get(); }
+
  private:
   struct QueuedJob {
     JobSpec spec;
@@ -279,6 +305,9 @@ class JobRunner {
 
   JobRunnerOptions options_;
   MetricHandles metric_;
+  /// Cross-job score store shared by every worker; see
+  /// JobRunnerOptions::store_dir.
+  std::unique_ptr<persist::ScoreStore> store_;
   mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable idle_;

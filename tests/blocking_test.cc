@@ -84,6 +84,62 @@ TEST(TokenBlockerTest, MissingValuesIgnored) {
   EXPECT_EQ(blocker.Candidates(MakeRecord(0, {"x", "match"})).size(), 1u);
 }
 
+TEST(TokenBlockerTest, EmptyAttributesYieldNoTokens) {
+  // Records whose every value is empty contribute nothing to the
+  // index, and an all-empty probe matches nothing.
+  Table right = MakeTable("V", {"a", "b"},
+                          {{"", ""}, {"real thing", ""}});
+  TokenBlocker blocker(right);
+  EXPECT_TRUE(blocker.Candidates(MakeRecord(0, {"", ""})).empty());
+  EXPECT_EQ(blocker.Candidates(MakeRecord(0, {"real", ""})).size(), 1u);
+  // RecordTokenSet (shared with CandidateIndex) agrees: empty in,
+  // empty out.
+  EXPECT_TRUE(RecordTokenSet(MakeRecord(0, {"", ""})).empty());
+}
+
+TEST(TokenBlockerTest, AllStopwordRecordsPruneToEmptyIndex) {
+  // Every token exceeds max_token_frequency, so pruning empties the
+  // whole index — probes must return nothing rather than everything.
+  Table right = MakeTable("V", {"name"},
+                          {{"the item"}, {"the item"}, {"the item"}});
+  BlockingOptions options;
+  options.max_token_frequency = 0.5;
+  TokenBlocker blocker(right, options);
+  EXPECT_EQ(blocker.IndexedTokenCount(), 0);
+  EXPECT_TRUE(blocker.Candidates(MakeRecord(0, {"the item"})).empty());
+}
+
+TEST(TokenBlockerTest, UnicodeTokensSurviveNormalization) {
+  // Normalization lowercases ASCII only; multi-byte UTF-8 sequences
+  // must pass through byte-identical, so "café" matches "café" and
+  // not its ASCII-folded lookalike.
+  Table right = MakeTable("V", {"name"},
+                          {{"Café MÜNCHEN"}, {"cafe munchen"}});
+  BlockingOptions options;
+  options.max_token_frequency = 1.1;
+  TokenBlocker blocker(right, options);
+  std::vector<int> candidates = blocker.Candidates(MakeRecord(0, {"café"}));
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0], 0);
+  EXPECT_EQ(blocker.Candidates(MakeRecord(0, {"cafe"})).size(), 1u);
+}
+
+TEST(TokenBlockerTest, CanonicalizedMissingMarkersProduceNoTokens) {
+  // Every spelling text::IsMissing canonicalizes — NaN, null, n/a,
+  // dashes — is a non-value: indexed records built from them are
+  // empty, and probing with them finds nothing.
+  Table right = MakeTable("V", {"a", "b"},
+                          {{"NaN", "null"}, {"n/a", "-"}, {"widget", "NaN"}});
+  TokenBlocker blocker(right);
+  for (const char* marker : {"NaN", "null", "n/a", "-"}) {
+    EXPECT_TRUE(RecordTokenSet(MakeRecord(0, {marker, marker})).empty())
+        << marker;
+    EXPECT_TRUE(blocker.Candidates(MakeRecord(0, {marker, marker})).empty())
+        << marker;
+  }
+  EXPECT_EQ(blocker.Candidates(MakeRecord(0, {"widget", ""})).size(), 1u);
+}
+
 TEST(BlockingRecallTest, CountsRecoveredMatches) {
   std::vector<std::pair<int, int>> candidates = {{0, 0}, {1, 1}, {2, 9}};
   std::vector<LabeledPair> truth = {

@@ -1,0 +1,197 @@
+// CandidateIndex unit tests + the differential battery: on 100+
+// randomized tables (missing markers, unicode bytes, heavy token
+// repetition, empty values) the inverted index must return exactly the
+// set the reference linear scan returns, for every probe. The two
+// mechanisms answering identically is what makes the triangle-phase
+// screening partition flag-independent (core/triangles.cc).
+
+#include "data/candidate_index.h"
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/benchmarks.h"
+#include "data/blocking.h"
+#include "test_util.h"
+
+namespace certa::data {
+namespace {
+
+using certa::testing::MakeRecord;
+using certa::testing::MakeTable;
+
+TEST(CandidateIndexTest, SharersAscendingAndDeduplicated) {
+  Table pool = MakeTable("V", {"name", "desc"},
+                         {{"sony bravia tv", "oled panel"},
+                          {"altec speaker", "bass"},
+                          {"sony headphones", "wired sony"},
+                          {"unrelated widget", "none"}});
+  CandidateIndex index(pool);
+  // Probe shares "sony" with records 0 and 2 — record 2 holds it in
+  // two attributes and twice, but appears once.
+  std::vector<int> got = index.Candidates(MakeRecord(0, {"sony", "thing"}));
+  EXPECT_EQ(got, (std::vector<int>{0, 2}));
+  EXPECT_EQ(got, LinearScanCandidates(pool, MakeRecord(0, {"sony", "thing"})));
+}
+
+TEST(CandidateIndexTest, NoStopTokenPruningUnlikeBlocker) {
+  // The blocker drops high-frequency tokens for selectivity; the
+  // candidate index must NOT — the screening partition needs the exact
+  // sharer set, and a token in every record means every record shares.
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 10; ++i) rows.push_back({"common item" + std::to_string(i)});
+  Table pool = MakeTable("V", {"name"}, rows);
+  CandidateIndex index(pool);
+  std::vector<int> got = index.Candidates(MakeRecord(0, {"common"}));
+  ASSERT_EQ(got.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(got[static_cast<size_t>(i)], i);
+}
+
+TEST(CandidateIndexTest, MissingValuesProduceNoTokens) {
+  Table pool = MakeTable("V", {"a", "b"},
+                         {{"NaN", "null"}, {"", "n/a"}, {"real value", ""}});
+  CandidateIndex index(pool);
+  // An all-missing probe shares nothing with anyone.
+  EXPECT_TRUE(index.Candidates(MakeRecord(0, {"NaN", ""})).empty());
+  EXPECT_TRUE(LinearScanCandidates(pool, MakeRecord(0, {"NaN", ""})).empty());
+  // Records 0 and 1 contribute no postings at all.
+  EXPECT_EQ(index.Candidates(MakeRecord(0, {"real", "x"})),
+            (std::vector<int>{2}));
+}
+
+TEST(CandidateIndexTest, EmptyTableAndEmptyProbe) {
+  Table empty("E", Schema({"a"}));
+  CandidateIndex index(empty);
+  EXPECT_TRUE(index.Candidates(MakeRecord(0, {"anything"})).empty());
+  EXPECT_TRUE(LinearScanCandidates(empty, MakeRecord(0, {"anything"})).empty());
+}
+
+TEST(CandidateIndexTest, UnicodeBytesMatchExactly) {
+  // Tokenization is byte-oriented with ASCII lowercasing: multi-byte
+  // sequences pass through untouched inside mixed tokens ("café" !=
+  // "cafe"), while tokens with no ASCII alphanumerics at all ("東京")
+  // are dropped by the tokenizer — in the index and the linear scan
+  // alike.
+  Table pool = MakeTable("V", {"name"},
+                         {{"café münchen"}, {"cafe munchen"}, {"東京 tower"}});
+  CandidateIndex index(pool);
+  EXPECT_EQ(index.Candidates(MakeRecord(0, {"café"})),
+            LinearScanCandidates(pool, MakeRecord(0, {"café"})));
+  EXPECT_EQ(index.Candidates(MakeRecord(0, {"café"})),
+            (std::vector<int>{0}));
+  EXPECT_EQ(index.Candidates(MakeRecord(0, {"東京"})),
+            LinearScanCandidates(pool, MakeRecord(0, {"東京"})));
+  EXPECT_TRUE(index.Candidates(MakeRecord(0, {"東京"})).empty());
+  EXPECT_EQ(index.Candidates(MakeRecord(0, {"東京 tower"})),
+            (std::vector<int>{2}));
+}
+
+TEST(CandidateIndexTest, AgreesWithRecordTokenSetPredicate) {
+  // The documented predicate: r is a candidate iff the normalized
+  // token sets intersect. Spot-check against RecordTokenSet directly.
+  Table pool = MakeTable("V", {"name", "price"},
+                         {{"Sony TV", "120"}, {"LG oled", "999"}});
+  CandidateIndex index(pool);
+  const Record probe = MakeRecord(0, {"the tv 120", "7"});
+  const auto probe_tokens = RecordTokenSet(probe);
+  std::vector<int> expected;
+  for (int r = 0; r < pool.size(); ++r) {
+    bool shares = false;
+    for (const std::string& token : RecordTokenSet(pool.record(r))) {
+      if (probe_tokens.count(token) > 0) shares = true;
+    }
+    if (shares) expected.push_back(r);
+  }
+  EXPECT_EQ(index.Candidates(probe), expected);
+  EXPECT_EQ(LinearScanCandidates(pool, probe), expected);
+}
+
+// -- differential battery ----------------------------------------------
+
+/// Vocabulary mixing ordinary tokens, canonical missing markers,
+/// unicode, punctuation-adjacent and numeric strings — everything the
+/// tokenizer normalizes in interesting ways.
+const char* const kVocabulary[] = {
+    "sony",  "tv",      "oled",   "4k",     "café",   "münchen", "NaN",
+    "null",  "n/a",     "-",      "12.99",  "USB-C",  "東京",     "the",
+    "panel", "SPEAKER", "bass",   "wired",  "",       "a",       "zz9",
+};
+
+std::string RandomValue(std::mt19937* rng) {
+  const int tokens = static_cast<int>((*rng)() % 4);  // 0..3 tokens
+  std::string value;
+  for (int t = 0; t < tokens; ++t) {
+    if (!value.empty()) value += ' ';
+    value += kVocabulary[(*rng)() % (sizeof(kVocabulary) /
+                                     sizeof(kVocabulary[0]))];
+  }
+  return value;
+}
+
+TEST(CandidateIndexDifferentialTest, MatchesLinearScanOn120RandomTables) {
+  std::mt19937 rng(987654321);
+  for (int round = 0; round < 120; ++round) {
+    const int attributes = 1 + static_cast<int>(rng() % 3);
+    const int records = 1 + static_cast<int>(rng() % 60);
+    std::vector<std::string> schema;
+    for (int a = 0; a < attributes; ++a) {
+      schema.push_back("attr" + std::to_string(a));
+    }
+    std::vector<std::vector<std::string>> rows;
+    for (int r = 0; r < records; ++r) {
+      std::vector<std::string> row;
+      for (int a = 0; a < attributes; ++a) row.push_back(RandomValue(&rng));
+      rows.push_back(std::move(row));
+    }
+    Table pool = MakeTable("T" + std::to_string(round), schema, rows);
+    CandidateIndex index(pool);
+    for (int p = 0; p < 8; ++p) {
+      std::vector<std::string> probe_values;
+      for (int a = 0; a < attributes; ++a) {
+        probe_values.push_back(RandomValue(&rng));
+      }
+      const Record probe = MakeRecord(1000 + p, probe_values);
+      EXPECT_EQ(index.Candidates(probe), LinearScanCandidates(pool, probe))
+          << "round " << round << " probe " << p;
+    }
+    // Probing with the pool's own records exercises self-matches.
+    for (int r = 0; r < std::min(records, 4); ++r) {
+      const Record& probe = pool.record(r);
+      EXPECT_EQ(index.Candidates(probe), LinearScanCandidates(pool, probe))
+          << "round " << round << " self-probe " << r;
+    }
+  }
+}
+
+TEST(CandidateIndexDifferentialTest, MatchesLinearScanOnBenchmarks) {
+  // Realistic value distributions: every benchmark profile, probing
+  // each source with records of the other.
+  for (const std::string& code : BenchmarkCodes()) {
+    const Dataset dataset = MakeBenchmark(code, 0.5);
+    const CandidateIndex right_index(dataset.right);
+    const CandidateIndex left_index(dataset.left);
+    const int probes = std::min(10, dataset.left.size());
+    for (int p = 0; p < probes; ++p) {
+      const Record& probe =
+          dataset.left.record(p * dataset.left.size() / probes);
+      EXPECT_EQ(right_index.Candidates(probe),
+                LinearScanCandidates(dataset.right, probe))
+          << code << " left probe " << p;
+    }
+    const int rprobes = std::min(10, dataset.right.size());
+    for (int p = 0; p < rprobes; ++p) {
+      const Record& probe =
+          dataset.right.record(p * dataset.right.size() / rprobes);
+      EXPECT_EQ(left_index.Candidates(probe),
+                LinearScanCandidates(dataset.left, probe))
+          << code << " right probe " << p;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace certa::data

@@ -1,0 +1,186 @@
+// End-to-end byte-identity battery for the scale features: the full
+// CertaResult JSON must be identical with the candidate index on vs
+// off, across thread counts, with the score store detached, cold, and
+// warm — and across a real CLI process restart sharing a store
+// directory (the second process pays zero fresh model calls). These
+// are the contracts that let the flags default on (docs/PERSISTENCE.md).
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/certa_explainer.h"
+#include "data/benchmarks.h"
+#include "models/scoring_engine.h"
+#include "models/trainer.h"
+#include "persist/score_store.h"
+
+#ifndef CERTA_CLI_PATH
+#error "CERTA_CLI_PATH must be defined to the certa CLI binary path"
+#endif
+
+namespace certa {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path Scratch(const std::string& tag) {
+  fs::path dir = fs::temp_directory_path() /
+                 ("certa_scale_eq_" + tag + "_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+struct RunConfig {
+  bool use_index = true;
+  int threads = 1;
+  persist::ScoreStore* store = nullptr;
+};
+
+/// One full explain over BA/svm with the screening partition forced on
+/// (min_pool 0 — the tables are small), returning the result JSON.
+std::string RunOnce(const data::Dataset& dataset,
+                    const models::Matcher* model, const RunConfig& config) {
+  models::ScoringEngine engine(model);
+  explain::ExplainContext context{&engine, &dataset.left, &dataset.right};
+  core::CertaExplainer::Options options;
+  options.num_triangles = 100;
+  options.num_threads = config.threads;
+  options.use_candidate_index = config.use_index;
+  options.support_partition_min_pool = 0;
+  if (config.store != nullptr) {
+    persist::ScoreStore* store = config.store;
+    options.store_probe = [store](const models::PairKey& key, double* score) {
+      return store->Lookup(9, key, score);
+    };
+    options.store_write = [store](const models::PairKey& key, double score) {
+      store->Put(9, key, score);
+    };
+  }
+  core::CertaExplainer explainer(context, options);
+  const data::LabeledPair& pair = dataset.test[1];
+  core::CertaResult result =
+      explainer.Explain(dataset.left.record(pair.left_index),
+                        dataset.right.record(pair.right_index));
+  return core::CertaResultToJson(result, dataset.left.schema(),
+                                 dataset.right.schema());
+}
+
+TEST(ScaleEquivalenceTest, IndexThreadsAndStoreAllByteIdentical) {
+  const data::Dataset dataset = data::MakeBenchmark("BA");
+  auto model = models::TrainMatcher(models::ModelKind::kSvm, dataset);
+  const fs::path dir = Scratch("matrix");
+  persist::ScoreStore store;
+  ASSERT_TRUE(store.Open((dir / "store").string()));
+
+  // Reference: index on, single thread, no store.
+  const std::string reference =
+      RunOnce(dataset, model.get(), {true, 1, nullptr});
+  ASSERT_FALSE(reference.empty());
+
+  EXPECT_EQ(RunOnce(dataset, model.get(), {false, 1, nullptr}), reference)
+      << "index off changed the result";
+  EXPECT_EQ(RunOnce(dataset, model.get(), {true, 4, nullptr}), reference)
+      << "4 threads changed the result";
+  EXPECT_EQ(RunOnce(dataset, model.get(), {false, 4, nullptr}), reference)
+      << "index off + 4 threads changed the result";
+  // Cold store (fills it), then warm store (serves from it), then a
+  // warm run with the index off and threads up — every cell equal.
+  EXPECT_EQ(RunOnce(dataset, model.get(), {true, 1, &store}), reference)
+      << "cold store changed the result";
+  ASSERT_TRUE(store.Sync());
+  EXPECT_GT(store.entry_count(), 0u);
+  EXPECT_EQ(RunOnce(dataset, model.get(), {true, 1, &store}), reference)
+      << "warm store changed the result";
+  EXPECT_EQ(RunOnce(dataset, model.get(), {false, 4, &store}), reference)
+      << "warm store + index off + threads changed the result";
+  fs::remove_all(dir);
+}
+
+TEST(ScaleEquivalenceTest, WarmStoreServesWithoutModelCalls) {
+  const data::Dataset dataset = data::MakeBenchmark("BA");
+  auto model = models::TrainMatcher(models::ModelKind::kSvm, dataset);
+  const fs::path dir = Scratch("calls");
+  persist::ScoreStore store;
+  ASSERT_TRUE(store.Open((dir / "store").string()));
+
+  const std::string cold = RunOnce(dataset, model.get(), {true, 1, &store});
+  const long long paid = store.stats().appends;
+  EXPECT_GT(paid, 0);
+  const std::string warm = RunOnce(dataset, model.get(), {true, 1, &store});
+  EXPECT_EQ(warm, cold);
+  // The warm run re-put nothing: every score it needed came back from
+  // the store (appends are deduped by key, so a fresh compute of an
+  // already-stored pair would not append either — the hits counter is
+  // the positive signal).
+  EXPECT_EQ(store.stats().appends, paid);
+  EXPECT_GT(store.stats().hits, 0);
+  fs::remove_all(dir);
+}
+
+// -- across a real process restart --------------------------------------
+
+int RunCli(const std::vector<std::string>& args, std::string* stdout_text) {
+  std::string command = std::string("'") + CERTA_CLI_PATH + "'";
+  for (const std::string& arg : args) command += " '" + arg + "'";
+  command += " 2>/dev/null";
+  FILE* pipe = ::popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  std::string output;
+  char buffer[4096];
+  size_t n;
+  while ((n = ::fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    output.append(buffer, n);
+  }
+  const int status = ::pclose(pipe);
+  if (stdout_text != nullptr) *stdout_text = std::move(output);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string ReadAll(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(ScaleEquivalenceTest, CliRestartWithSharedStoreIsFreeAndIdentical) {
+  const fs::path root = Scratch("cli");
+  const std::string store_dir = (root / "store").string();
+  auto args = [&](const std::string& job, bool with_store) {
+    std::vector<std::string> a{"explain",     "--dataset", "BA",
+                               "--model",     "svm",       "--pair",
+                               "1",           "--triangles", "200",
+                               "--job-dir",   job};
+    if (with_store) {
+      a.push_back("--store-dir");
+      a.push_back(store_dir);
+    }
+    return a;
+  };
+  std::string out1, out2, out3;
+  ASSERT_EQ(RunCli(args((root / "j1").string(), true), &out1), 0);
+  ASSERT_EQ(RunCli(args((root / "j2").string(), true), &out2), 0);
+  ASSERT_EQ(RunCli(args((root / "j3").string(), false), &out3), 0);
+
+  // First process paid fresh calls; the second paid none.
+  EXPECT_NE(out1.find("store hits"), std::string::npos) << out1;
+  EXPECT_NE(out2.find("0 fresh"), std::string::npos) << out2;
+  EXPECT_EQ(out3.find("store hits"), std::string::npos)
+      << "no-store run should not mention the store: " << out3;
+  // All three result files are byte-identical.
+  const std::string r1 = ReadAll(root / "j1" / "result.json");
+  EXPECT_EQ(ReadAll(root / "j2" / "result.json"), r1);
+  EXPECT_EQ(ReadAll(root / "j3" / "result.json"), r1);
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace certa

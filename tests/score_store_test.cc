@@ -1,0 +1,409 @@
+// Unit + corruption-fuzz tests for persist::ScoreStore: roundtrip and
+// reopen, scope separation, torn/bit-flipped/truncated segments (the
+// longest-valid-prefix recovery rule), bad headers, segment roll and
+// compaction, mmap/read parity, and concurrent access. The crash
+// battery proper (SIGKILL subprocesses) lives in
+// score_store_crash_test.cc.
+
+#include "persist/score_store.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace certa::persist {
+namespace {
+
+namespace fs = std::filesystem;
+
+// On-disk layout constants (score_store.cc) — the corruption tests
+// need byte positions, not just the API.
+constexpr size_t kHeaderSize = 12;
+constexpr size_t kRecordSize = 36;
+
+fs::path Scratch(const std::string& tag) {
+  fs::path dir = fs::temp_directory_path() /
+                 ("certa_score_store_" + tag + "_" +
+                  std::to_string(::getpid()));
+  fs::remove_all(dir);
+  return dir;
+}
+
+models::PairKey Key(uint64_t i) {
+  return models::PairKey{i * 2654435761u + 1, ~i * 40503u + 7};
+}
+
+double ScoreOf(uint64_t i) {
+  return 0.001 * static_cast<double>(i % 997) + 1e-9;
+}
+
+std::string ActiveSegment(const fs::path& dir) {
+  std::string latest;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".seg") == 0 &&
+        name > latest) {
+      latest = name;
+    }
+  }
+  return (dir / latest).string();
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Fills a store with entries i in [0, n) under `scope` and syncs.
+void Fill(ScoreStore* store, uint64_t scope, uint64_t n) {
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(store->Put(scope, Key(i), ScoreOf(i)));
+  }
+  ASSERT_TRUE(store->Sync());
+}
+
+/// Counts how many of entries [0, n) are present AND correct; any hit
+/// with a wrong score fails the test immediately (a corrupted entry
+/// served is the one unacceptable outcome).
+uint64_t CountIntact(ScoreStore* store, uint64_t scope, uint64_t n) {
+  uint64_t intact = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    double score = 0.0;
+    if (!store->Lookup(scope, Key(i), &score)) continue;
+    EXPECT_DOUBLE_EQ(score, ScoreOf(i)) << "entry " << i;
+    ++intact;
+  }
+  return intact;
+}
+
+TEST(ScoreStoreTest, RoundtripAcrossReopen) {
+  const fs::path dir = Scratch("roundtrip");
+  constexpr uint64_t kN = 500;
+  {
+    ScoreStore store;
+    ASSERT_TRUE(store.Open(dir.string()));
+    Fill(&store, 42, kN);
+    EXPECT_EQ(store.entry_count(), kN);
+    store.Close();
+  }
+  ScoreStore store;
+  ASSERT_TRUE(store.Open(dir.string()));
+  EXPECT_EQ(store.entry_count(), kN);
+  EXPECT_EQ(CountIntact(&store, 42, kN), kN);
+  EXPECT_EQ(store.stats().replayed_records, static_cast<long long>(kN));
+  EXPECT_EQ(store.stats().dropped_bytes, 0);
+  double score = 0.0;
+  EXPECT_FALSE(store.Lookup(42, Key(kN + 1), &score));
+  fs::remove_all(dir);
+}
+
+TEST(ScoreStoreTest, OpenCreatesMissingDirectory) {
+  const fs::path dir = Scratch("create") / "nested";
+  ScoreStore store;
+  ASSERT_TRUE(store.Open(dir.string()));
+  EXPECT_TRUE(fs::exists(dir));
+  EXPECT_TRUE(store.is_open());
+  fs::remove_all(dir.parent_path());
+}
+
+TEST(ScoreStoreTest, ScopesAreDisjoint) {
+  const fs::path dir = Scratch("scopes");
+  ScoreStore store;
+  ASSERT_TRUE(store.Open(dir.string()));
+  const models::PairKey shared = Key(9);
+  ASSERT_TRUE(store.Put(1, shared, 0.25));
+  ASSERT_TRUE(store.Put(2, shared, 0.75));
+  double score = 0.0;
+  ASSERT_TRUE(store.Lookup(1, shared, &score));
+  EXPECT_DOUBLE_EQ(score, 0.25);
+  ASSERT_TRUE(store.Lookup(2, shared, &score));
+  EXPECT_DOUBLE_EQ(score, 0.75);
+  EXPECT_FALSE(store.Lookup(3, shared, &score));
+  fs::remove_all(dir);
+}
+
+TEST(ScoreStoreTest, HashScopeSeparatesModelsAndData) {
+  const uint64_t a = HashScope("svm", 111);
+  EXPECT_NE(a, HashScope("ditto", 111));  // different matcher
+  EXPECT_NE(a, HashScope("svm", 112));    // different fingerprint
+  EXPECT_EQ(a, HashScope("svm", 111));    // stable
+  // The separator prevents ("ab", ...) / ("a", ...) style collisions
+  // from concatenation.
+  EXPECT_NE(HashScope("ab", 0), HashScope("a", 0));
+}
+
+TEST(ScoreStoreTest, PutDedupesRepeatedKeys) {
+  const fs::path dir = Scratch("dedupe");
+  ScoreStore store;
+  ASSERT_TRUE(store.Open(dir.string()));
+  for (int round = 0; round < 5; ++round) {
+    ASSERT_TRUE(store.Put(1, Key(1), 0.5));
+  }
+  ASSERT_TRUE(store.Sync());
+  EXPECT_EQ(store.stats().appends, 1);
+  EXPECT_EQ(fs::file_size(ActiveSegment(dir)), kHeaderSize + kRecordSize);
+  fs::remove_all(dir);
+}
+
+TEST(ScoreStoreTest, TornTailIsTruncatedNotTrusted) {
+  const fs::path dir = Scratch("torn");
+  constexpr uint64_t kN = 64;
+  {
+    ScoreStore store;
+    ASSERT_TRUE(store.Open(dir.string()));
+    Fill(&store, 7, kN);
+    store.Close();
+  }
+  // A torn write: half a record of garbage at the tail.
+  const std::string segment = ActiveSegment(dir);
+  std::string bytes = ReadAll(segment);
+  bytes.append(kRecordSize / 2, '\x5A');
+  WriteAll(segment, bytes);
+
+  ScoreStore store;
+  ASSERT_TRUE(store.Open(dir.string()));
+  EXPECT_EQ(CountIntact(&store, 7, kN), kN);
+  EXPECT_EQ(store.stats().dropped_bytes,
+            static_cast<long long>(kRecordSize / 2));
+  EXPECT_EQ(store.stats().corrupt_tails, 1);
+  // The open truncated the file back to the valid prefix, so appends
+  // land on a clean boundary and survive the next reopen.
+  Fill(&store, 7, kN + 8);
+  store.Close();
+  ScoreStore reopened;
+  ASSERT_TRUE(reopened.Open(dir.string()));
+  EXPECT_EQ(CountIntact(&reopened, 7, kN + 8), kN + 8);
+  EXPECT_EQ(reopened.stats().dropped_bytes, 0);
+  fs::remove_all(dir);
+}
+
+TEST(ScoreStoreTest, BitFlipFuzzNeverServesCorruptEntries) {
+  const fs::path dir = Scratch("bitflip");
+  constexpr uint64_t kN = 48;
+  {
+    ScoreStore store;
+    ASSERT_TRUE(store.Open(dir.string()));
+    Fill(&store, 3, kN);
+    store.Close();
+  }
+  const std::string segment = ActiveSegment(dir);
+  const std::string clean = ReadAll(segment);
+  ASSERT_EQ(clean.size(), kHeaderSize + kN * kRecordSize);
+
+  std::mt19937 rng(1234);
+  for (int round = 0; round < 200; ++round) {
+    const size_t bit =
+        kHeaderSize * 8 + rng() % ((clean.size() - kHeaderSize) * 8);
+    std::string flipped = clean;
+    flipped[bit / 8] = static_cast<char>(flipped[bit / 8] ^ (1 << (bit % 8)));
+    WriteAll(segment, flipped);
+
+    ScoreStore store;
+    ASSERT_TRUE(store.Open(dir.string()));
+    // Prefix rule: everything before the flipped record loads intact,
+    // the flipped record and everything after are dropped. CountIntact
+    // fails the test if any served score is wrong.
+    const uint64_t flipped_record = (bit / 8 - kHeaderSize) / kRecordSize;
+    EXPECT_EQ(CountIntact(&store, 3, kN), flipped_record) << "bit " << bit;
+    EXPECT_EQ(store.stats().corrupt_tails, 1);
+    store.Close();
+    WriteAll(segment, clean);  // restore for the next round
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ScoreStoreTest, TruncationAtEveryLengthIsSafe) {
+  const fs::path dir = Scratch("truncate");
+  constexpr uint64_t kN = 8;
+  {
+    ScoreStore store;
+    ASSERT_TRUE(store.Open(dir.string()));
+    Fill(&store, 5, kN);
+    store.Close();
+  }
+  const std::string segment = ActiveSegment(dir);
+  const std::string clean = ReadAll(segment);
+  for (size_t len = 0; len <= clean.size(); ++len) {
+    WriteAll(segment, clean.substr(0, len));
+    ScoreStore store;
+    ASSERT_TRUE(store.Open(dir.string()));
+    const uint64_t expected =
+        len < kHeaderSize ? 0 : (len - kHeaderSize) / kRecordSize;
+    EXPECT_EQ(CountIntact(&store, 5, kN), expected) << "len " << len;
+    store.Close();
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ScoreStoreTest, BadHeaderSegmentIsSkippedEntirely) {
+  const fs::path dir = Scratch("badheader");
+  constexpr uint64_t kN = 16;
+  {
+    ScoreStore store;
+    ASSERT_TRUE(store.Open(dir.string()));
+    Fill(&store, 11, kN);
+    store.Close();
+  }
+  const std::string segment = ActiveSegment(dir);
+  std::string bytes = ReadAll(segment);
+  bytes[0] ^= 0x20;  // wrong magic: nothing in this file is trusted
+  WriteAll(segment, bytes);
+
+  ScoreStore store;
+  ASSERT_TRUE(store.Open(dir.string()));
+  EXPECT_EQ(store.entry_count(), 0u);
+  EXPECT_EQ(store.stats().bad_headers, 1);
+  // Still a usable store: the active segment was rewritten clean.
+  Fill(&store, 11, 4);
+  store.Close();
+  ScoreStore reopened;
+  ASSERT_TRUE(reopened.Open(dir.string()));
+  EXPECT_EQ(CountIntact(&reopened, 11, 4), 4u);
+  EXPECT_EQ(reopened.stats().bad_headers, 0);
+  fs::remove_all(dir);
+}
+
+TEST(ScoreStoreTest, SegmentsRollAndCompactToOne) {
+  const fs::path dir = Scratch("compact");
+  constexpr uint64_t kN = 300;
+  ScoreStore::Options options;
+  options.max_segment_bytes = 1024;  // force frequent rolls
+  ScoreStore store;
+  ASSERT_TRUE(store.Open(dir.string(), options));
+  Fill(&store, 1, kN);
+  EXPECT_GT(store.stats().segments, 3u);
+  ASSERT_TRUE(store.Compact());
+  EXPECT_EQ(store.stats().segments, 1u);
+  EXPECT_EQ(store.stats().compactions, 1);
+  EXPECT_EQ(CountIntact(&store, 1, kN), kN);
+  // No stale segment or temp files survive.
+  size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    ++files;
+    EXPECT_EQ(entry.path().extension(), ".seg") << entry.path();
+  }
+  EXPECT_EQ(files, 1u);
+  // The compacted store reopens whole, and the compacted segment
+  // accepts appends.
+  Fill(&store, 1, kN + 16);
+  store.Close();
+  ScoreStore reopened;
+  ASSERT_TRUE(reopened.Open(dir.string(), options));
+  EXPECT_EQ(CountIntact(&reopened, 1, kN + 16), kN + 16);
+  fs::remove_all(dir);
+}
+
+TEST(ScoreStoreTest, LeftoverTempFilesAreSweptOnOpen) {
+  const fs::path dir = Scratch("sweep");
+  fs::create_directories(dir);
+  WriteAll((dir / "segment-000009.seg.tmp").string(), "half-written junk");
+  ScoreStore store;
+  ASSERT_TRUE(store.Open(dir.string()));
+  EXPECT_FALSE(fs::exists(dir / "segment-000009.seg.tmp"));
+  fs::remove_all(dir);
+}
+
+TEST(ScoreStoreTest, MmapAndPlainReadLoadsAgree) {
+  const fs::path dir = Scratch("mmap");
+  constexpr uint64_t kN = 200;
+  {
+    ScoreStore store;
+    ASSERT_TRUE(store.Open(dir.string()));
+    Fill(&store, 21, kN);
+    store.Close();
+  }
+  for (const bool use_mmap : {true, false}) {
+    ScoreStore::Options options;
+    options.use_mmap = use_mmap;
+    ScoreStore store;
+    ASSERT_TRUE(store.Open(dir.string(), options));
+    EXPECT_EQ(CountIntact(&store, 21, kN), kN) << "mmap=" << use_mmap;
+    EXPECT_EQ(store.stats().replayed_records, static_cast<long long>(kN));
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ScoreStoreTest, SyncEverySelfSyncs) {
+  const fs::path dir = Scratch("synccadence");
+  ScoreStore::Options options;
+  options.sync_every = 1;
+  constexpr uint64_t kN = 32;
+  {
+    ScoreStore store;
+    ASSERT_TRUE(store.Open(dir.string(), options));
+    for (uint64_t i = 0; i < kN; ++i) {
+      ASSERT_TRUE(store.Put(8, Key(i), ScoreOf(i)));
+    }
+    // No explicit Sync: every Put self-synced, so the bytes are on
+    // disk regardless of how this handle goes away.
+  }
+  ScoreStore store;
+  ASSERT_TRUE(store.Open(dir.string()));
+  EXPECT_EQ(CountIntact(&store, 8, kN), kN);
+  fs::remove_all(dir);
+}
+
+TEST(ScoreStoreTest, BindMetricsMirrorsCounters) {
+  const fs::path dir = Scratch("metrics");
+  obs::MetricsRegistry registry;
+  ScoreStore store;
+  ASSERT_TRUE(store.Open(dir.string()));
+  store.BindMetrics(&registry);
+  Fill(&store, 2, 10);
+  double score = 0.0;
+  EXPECT_TRUE(store.Lookup(2, Key(3), &score));
+  EXPECT_FALSE(store.Lookup(2, Key(99), &score));
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("store.appends"), std::string::npos);
+  EXPECT_NE(json.find("store.lookups"), std::string::npos);
+  EXPECT_NE(json.find("store.hits"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(ScoreStoreTest, ConcurrentPutsAndLookupsStayConsistent) {
+  const fs::path dir = Scratch("threads");
+  ScoreStore store;
+  ASSERT_TRUE(store.Open(dir.string()));
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 400;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&store, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        const uint64_t id = static_cast<uint64_t>(t) * kPerThread + i;
+        store.Put(6, Key(id), ScoreOf(id));
+        double score = 0.0;
+        // Lookups race with writers; a hit must carry the right score.
+        if (store.Lookup(6, Key(id / 2), &score)) {
+          EXPECT_DOUBLE_EQ(score, ScoreOf(id / 2));
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  ASSERT_TRUE(store.Sync());
+  EXPECT_EQ(store.entry_count(), kThreads * kPerThread);
+  store.Close();
+  ScoreStore reopened;
+  ASSERT_TRUE(reopened.Open(dir.string()));
+  EXPECT_EQ(CountIntact(&reopened, 6, kThreads * kPerThread),
+            kThreads * kPerThread);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace certa::persist

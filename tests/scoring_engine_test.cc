@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "data/benchmarks.h"
 #include "models/scoring_engine.h"
 #include "models/trainer.h"
+#include "obs/metrics.h"
 #include "test_util.h"
 #include "util/thread_pool.h"
 
@@ -231,12 +233,20 @@ TEST(PredictionCacheTest, OverflowingOneShardDoesNotEvictOthers) {
   PredictionCache cache(kShards, kPerShard);
   models::PairKeyHasher hasher;
 
-  // A few residents in every non-flooded shard.
+  // A few residents in every non-flooded shard — at most 3 per shard,
+  // so no shard crosses its own budget during setup. (The key words
+  // must have independent parities: the shard hash is
+  // lo ^ hi * odd-constant, so keys built as {i*odd, i*odd} all share
+  // low bits and pile into one shard.)
   std::vector<PairKey> residents;
+  std::vector<int> per_shard(kShards, 0);
   for (uint64_t i = 0; residents.size() < 3 * (kShards - 1) && i < 4096;
        ++i) {
-    PairKey key{i, i * 131};
-    if (hasher(key) % kShards == 0) continue;
+    PairKey key{i * 0xBF58476D1CE4E5B9ULL,
+                (i >> 1) * 0x94D049BB133111EBULL + i};
+    const size_t shard = hasher(key) % kShards;
+    if (shard == 0 || per_shard[shard] >= 3) continue;
+    ++per_shard[shard];
     residents.push_back(key);
     cache.Insert(key, static_cast<double>(i));
   }
@@ -355,6 +365,175 @@ TEST(ScoringEngineTest, DisabledCacheAlwaysCallsBase) {
   PredictionCache::Stats stats = engine.cache_stats();
   EXPECT_EQ(stats.hits, 0);
   EXPECT_EQ(stats.misses, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-job store read-through hooks (the persist::ScoreStore side is
+// tested in score_store_test.cc; here a plain map stands in, which
+// pins the engine-side contract independent of the store format).
+
+/// Map-backed store double wired into engine options.
+struct MapStore {
+  std::unordered_map<PairKey, double, models::PairKeyHasher> entries;
+  int probes = 0;
+  int writes = 0;
+
+  void Wire(ScoringEngine::Options* options) {
+    options->store_probe = [this](const PairKey& key, double* score) {
+      ++probes;
+      auto it = entries.find(key);
+      if (it == entries.end()) return false;
+      *score = it->second;
+      return true;
+    };
+    options->store_write = [this](const PairKey& key, double score) {
+      ++writes;
+      entries.emplace(key, score);
+    };
+  }
+};
+
+TEST(ScoringEngineTest, StoreProbeServesMissWithoutBaseCall) {
+  FakeMatcher base([](const data::Record&, const data::Record&) {
+    return 0.6;
+  });
+  data::Record u = MakeRecord(0, {"left"});
+  data::Record v = MakeRecord(1, {"right"});
+  MapStore store;
+  store.entries[HashPair(u, v)] = 0.6;
+  ScoringEngine::Options options;
+  store.Wire(&options);
+  ScoringEngine engine(&base, options);
+  EXPECT_DOUBLE_EQ(engine.Score(u, v), 0.6);
+  EXPECT_EQ(base.calls(), 0);  // served by the store, not the model
+  PredictionCache::Stats stats = engine.cache_stats();
+  // A store-served probe still counts the cache miss it intercepted —
+  // hits/misses stay identical with the store detached — and the
+  // distinct store_hits counter is the only trace.
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.store_hits, 1);
+  // The served score was inserted: the next probe is a plain cache
+  // hit, no second store probe.
+  EXPECT_DOUBLE_EQ(engine.Score(u, v), 0.6);
+  EXPECT_EQ(store.probes, 1);
+  EXPECT_EQ(engine.cache_stats().store_hits, 1);
+  EXPECT_EQ(engine.cache_stats().hits, 1);
+}
+
+TEST(ScoringEngineTest, StoreWriteFiresForFreshComputesOnly) {
+  FakeMatcher base([](const data::Record& u, const data::Record& v) {
+    return u.values[0] == v.values[0] ? 1.0 : 0.0;
+  });
+  MapStore store;
+  ScoringEngine::Options options;
+  store.Wire(&options);
+  ScoringEngine engine(&base, options);
+  data::Record a = MakeRecord(0, {"a"});
+  data::Record b = MakeRecord(1, {"b"});
+  data::Record c = MakeRecord(2, {"c"});
+  std::vector<RecordPair> pairs = {{&a, &b}, {&a, &b}, {&a, &c}};
+  engine.ScoreBatch(pairs);
+  EXPECT_EQ(store.writes, 2);  // one per unique computed pair
+  // Cache hits and store-served probes never re-write.
+  engine.ScoreBatch(pairs);
+  EXPECT_EQ(store.writes, 2);
+  ScoringEngine warm(&base, options);  // fresh cache, warm store
+  base.reset_calls();
+  warm.ScoreBatch(pairs);
+  EXPECT_EQ(base.calls(), 0);
+  EXPECT_EQ(store.writes, 2);
+  EXPECT_EQ(warm.cache_stats().store_hits, 2);
+}
+
+TEST(ScoringEngineTest, AccountingIdenticalWithStoreAttached) {
+  auto score_fn = [](const data::Record& u, const data::Record& v) {
+    return 0.1 * static_cast<double>(u.values[0].size() + v.values[0].size());
+  };
+  std::vector<data::Record> records;
+  for (int i = 0; i < 12; ++i) {
+    records.push_back(MakeRecord(i, {std::string(1 + i % 5, 'x') +
+                                     std::to_string(i)}));
+  }
+  std::vector<RecordPair> pairs;
+  for (int i = 0; i + 1 < 12; ++i) {
+    pairs.push_back({&records[i], &records[i + 1]});
+    pairs.push_back({&records[0], &records[i]});
+  }
+  // Detached reference.
+  FakeMatcher base_a(score_fn);
+  ScoringEngine plain(&base_a);
+  const std::vector<double> expected = plain.ScoreBatch(pairs);
+  const PredictionCache::Stats reference = plain.cache_stats();
+  // Cold store: same scores, same hit/miss/eviction stream.
+  FakeMatcher base_b(score_fn);
+  MapStore store;
+  ScoringEngine::Options options;
+  store.Wire(&options);
+  ScoringEngine cold(&base_b, options);
+  EXPECT_EQ(cold.ScoreBatch(pairs), expected);
+  PredictionCache::Stats cold_stats = cold.cache_stats();
+  EXPECT_EQ(cold_stats.hits, reference.hits);
+  EXPECT_EQ(cold_stats.misses, reference.misses);
+  EXPECT_EQ(cold_stats.evictions, reference.evictions);
+  EXPECT_EQ(cold_stats.store_hits, 0);
+  // Warm store: zero base calls, still the same counter stream.
+  FakeMatcher base_c(score_fn);
+  ScoringEngine warm(&base_c, options);
+  EXPECT_EQ(warm.ScoreBatch(pairs), expected);
+  PredictionCache::Stats warm_stats = warm.cache_stats();
+  EXPECT_EQ(base_c.calls(), 0);
+  EXPECT_EQ(warm_stats.hits, reference.hits);
+  EXPECT_EQ(warm_stats.misses, reference.misses);
+  EXPECT_EQ(warm_stats.evictions, reference.evictions);
+  EXPECT_EQ(warm_stats.store_hits, reference.misses);
+}
+
+TEST(ScoringEngineTest, ObserverStaysSilentForStoreServedScores) {
+  // The observer feeds the write-ahead journal; a store-served score
+  // was never computed in this run, so journaling it would double-pay
+  // on replay. Only fresh computes may fire it.
+  FakeMatcher base([](const data::Record&, const data::Record&) {
+    return 0.5;
+  });
+  data::Record u = MakeRecord(0, {"u"});
+  data::Record v = MakeRecord(1, {"v"});
+  data::Record w = MakeRecord(2, {"w"});
+  MapStore store;
+  store.entries[HashPair(u, v)] = 0.5;
+  ScoringEngine::Options options;
+  store.Wire(&options);
+  std::vector<PairKey> observed;
+  options.observer = [&observed](const PairKey& key, double) {
+    observed.push_back(key);
+  };
+  ScoringEngine engine(&base, options);
+  std::vector<RecordPair> pairs = {{&u, &v}, {&u, &w}};
+  engine.ScoreBatch(pairs);
+  ASSERT_EQ(observed.size(), 1u);           // only the fresh {u, w}
+  EXPECT_EQ(observed[0], HashPair(u, w));
+  EXPECT_EQ(engine.cache_stats().store_hits, 1);
+}
+
+TEST(ScoringEngineTest, StoreHitsExportedToMetricsRegistry) {
+  FakeMatcher base([](const data::Record&, const data::Record&) {
+    return 0.3;
+  });
+  data::Record u = MakeRecord(0, {"u"});
+  data::Record v = MakeRecord(1, {"v"});
+  MapStore store;
+  store.entries[HashPair(u, v)] = 0.3;
+  obs::MetricsRegistry registry;
+  ScoringEngine::Options options;
+  store.Wire(&options);
+  options.metrics = &registry;
+  ScoringEngine engine(&base, options);
+  engine.Score(u, v);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("scoring.cache.store_hits"), std::string::npos)
+      << json;
+  // Regression guard: the registry value mirrors the engine's own
+  // counter (1 store-served probe).
+  EXPECT_EQ(engine.cache_stats().store_hits, 1);
 }
 
 TEST(ScoringEngineTest, BatchDedupesIdenticalPairs) {

@@ -62,6 +62,7 @@
 #include "util/atomic_file.h"
 
 #include "persist/checkpoint.h"
+#include "persist/score_store.h"
 #include "service/job_runner.h"
 #include "service/signals.h"
 
@@ -98,8 +99,9 @@ bool Parse(int argc, char** argv, Args* args) {
     const char* token = argv[i];
     if (std::strncmp(token, "--", 2) != 0) return false;
     std::string key(token + 2);
-    // Flags without values: --json, --tokens, --no-cache.
-    if (key == "json" || key == "tokens" || key == "no-cache") {
+    // Flags without values: --json, --tokens, --no-cache, --no-index.
+    if (key == "json" || key == "tokens" || key == "no-cache" ||
+        key == "no-index") {
       args->options[key] = "1";
       continue;
     }
@@ -119,7 +121,7 @@ int Usage() {
          "                [--seed N] [--no-cache] [--json] [--tokens]\n"
          "                [--data-dir DIR] [--budget N] [--deadline-ms N]\n"
          "                [--fault-rate X] [--metrics-out FILE]\n"
-         "                [--trace-out FILE]\n"
+         "                [--trace-out FILE] [--no-index]\n"
          "  certa export  --dataset CODE --out DIR\n"
          "  certa profile --dataset CODE [--data DIR]\n"
          "  certa rules   --dataset CODE [--data DIR]\n"
@@ -129,11 +131,13 @@ int Usage() {
          "                [--checkpoint-every N] [--deadline-ms N]\n"
          "                [--stall-timeout-ms N] [--jobs FILE]\n"
          "                [--stats-every N] [--metrics-out FILE]\n"
-         "                [--trace-out FILE]\n"
+         "                [--trace-out FILE] [--store-dir DIR] [--no-index]\n"
          "  certa serve   --listen PORT [--host ADDR]\n"
          "                [--max-connections N] [...same serve flags]\n"
          "  certa serve   --resume JOBDIR [--checkpoint-every N]\n"
+         "                [--store-dir DIR]\n"
          "durable explain: explain ... --job-dir DIR [--checkpoint-every N]\n"
+         "                 [--store-dir DIR] (cross-job score store)\n"
          "models: deeper | deepmatcher | ditto | svm\n"
          "dataset codes: ";
   for (const std::string& code : certa::data::BenchmarkCodes()) {
@@ -222,6 +226,23 @@ struct ObsSink {
     return true;
   }
 };
+
+/// Opens the cross-job prediction store named by --store-dir. Returns
+/// nullptr when the flag is absent or the directory cannot be opened;
+/// an open failure warns and the command runs without the store — the
+/// result is byte-identical either way, only the model-call count
+/// changes (docs/PERSISTENCE.md).
+std::unique_ptr<certa::persist::ScoreStore> OpenStoreFromArgs(
+    const Args& args) {
+  if (!args.Has("store-dir")) return nullptr;
+  auto store = std::make_unique<certa::persist::ScoreStore>();
+  if (!store->Open(args.Get("store-dir", ""))) {
+    std::cerr << "warning: cannot open score store in "
+              << args.Get("store-dir", "") << "; running without it\n";
+    return nullptr;
+  }
+  return store;
+}
 
 bool ParseModel(const std::string& name, ModelKind* kind) {
   std::string lowered = certa::ToLowerAscii(name);
@@ -398,8 +419,13 @@ int CmdExplain(const Args& args) {
     run_options.cancelled_state = "interrupted";
     run_options.metrics = obs.metrics.get();
     run_options.trace = obs.trace.get();
+    std::unique_ptr<certa::persist::ScoreStore> store =
+        OpenStoreFromArgs(args);
+    run_options.store = store.get();
+    run_options.use_candidate_index = !args.Has("no-index");
     certa::service::JobOutcome outcome = certa::service::RunDurableExplain(
         spec, args.Get("job-dir", ""), run_options);
+    if (store != nullptr) store->Sync();
     if (!obs.Flush()) return 1;
     if (outcome.state == certa::service::JobState::kFailed) {
       std::cerr << "error: " << outcome.error << "\n";
@@ -416,7 +442,11 @@ int CmdExplain(const Args& args) {
       std::cout << "durable explain complete ("
                 << (outcome.resumed ? "resumed: " : "fresh run: ")
                 << outcome.replayed_scores << " scores replayed, "
-                << outcome.fresh_scores << " fresh); result at "
+                << outcome.fresh_scores << " fresh";
+      if (store != nullptr) {
+        std::cout << ", " << outcome.store_hits << " store hits";
+      }
+      std::cout << "); result at "
                 << certa::persist::ResultPathInDir(outcome.job_dir) << "\n";
     }
     return 0;
@@ -458,6 +488,7 @@ int CmdExplain(const Args& args) {
                                                   /*include_deadline=*/true);
   options.metrics = obs.metrics.get();
   options.trace = obs.trace.get();
+  options.use_candidate_index = !args.Has("no-index");
   certa::core::CertaExplainer explainer(context, options);
 
   const certa::data::LabeledPair& pair =
@@ -571,6 +602,7 @@ int CmdGlobal(const Args& args) {
   certa::core::CertaExplainer::Options options;
   options.num_threads = threads;
   options.use_cache = !args.Has("no-cache");
+  options.use_candidate_index = !args.Has("no-index");
   certa::core::CertaExplainer explainer(context, options);
   std::vector<certa::data::LabeledPair> pairs = dataset.test;
   if (static_cast<int>(pairs.size()) > max_pairs) {
@@ -673,8 +705,13 @@ int CmdServe(const Args& args) {
     run_options.checkpoint_every = checkpoint_every;
     run_options.cancel = certa::service::ShutdownFlag();
     run_options.cancelled_state = "interrupted";
+    std::unique_ptr<certa::persist::ScoreStore> store =
+        OpenStoreFromArgs(args);
+    run_options.store = store.get();
+    run_options.use_candidate_index = !args.Has("no-index");
     certa::service::JobOutcome outcome = certa::service::RunDurableExplain(
         certa::service::SpecFromCheckpoint(checkpoint), job_dir, run_options);
+    if (store != nullptr) store->Sync();
     if (outcome.state == certa::service::JobState::kFailed) {
       std::cerr << "error: " << outcome.error << "\n";
       return 1;
@@ -705,6 +742,8 @@ int CmdServe(const Args& args) {
   }
   options.queue_capacity = static_cast<size_t>(queue);
   options.checkpoint_every = checkpoint_every;
+  options.store_dir = args.Get("store-dir", "");
+  options.use_candidate_index = !args.Has("no-index");
   // Stats export: --stats-every N snapshots the registry after every N
   // terminal jobs (and always once at shutdown); --metrics-out names
   // the file (default <job-root>/metrics.json).
