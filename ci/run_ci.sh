@@ -16,7 +16,10 @@
 #      changes a result byte and writes BENCH_obs.json;
 #   6. the store suite (score-store crash-fuzz + candidate-index
 #      differential battery) in the Release, ASan and TSan builds, plus
-#      an optional 100k-record scale smoke gated on CERTA_CI_SCALE=1.
+#      an optional 100k-record scale smoke gated on CERTA_CI_SCALE=1;
+#   7. the fleet suite (multi-process master/worker serving: dir-lock
+#      contention, crash recovery, rolling restart, and the randomized
+#      SIGKILL chaos battery) in the Release, ASan and TSan builds.
 # Any failure fails the script.
 set -euo pipefail
 
@@ -43,6 +46,11 @@ ctest --test-dir "${REPO_ROOT}/build-ci" --output-on-failure -L service-net
 # index-vs-linear-scan differential battery, and flag/thread/restart
 # byte-identity.
 ctest --test-dir "${REPO_ROOT}/build-ci" --output-on-failure -L store
+# Multi-process fleet serving: flock exclusivity across processes,
+# supervised worker SIGKILL recovery, SIGHUP rolling restart, per-worker
+# backpressure, and the chaos battery (random worker kills under live
+# multi-client load, byte-compared against single-process explains).
+ctest --test-dir "${REPO_ROOT}/build-ci" --output-on-failure -L fleet
 
 echo "== address+undefined sanitizer build =="
 cmake -B "${REPO_ROOT}/build-ci-asan" -S "${REPO_ROOT}" \
@@ -54,6 +62,7 @@ ctest --test-dir "${REPO_ROOT}/build-ci-asan" --output-on-failure -L resilience
 ctest --test-dir "${REPO_ROOT}/build-ci-asan" --output-on-failure -L durability
 ctest --test-dir "${REPO_ROOT}/build-ci-asan" --output-on-failure -L service-net
 ctest --test-dir "${REPO_ROOT}/build-ci-asan" --output-on-failure -L store
+ctest --test-dir "${REPO_ROOT}/build-ci-asan" --output-on-failure -L fleet
 
 echo "== thread sanitizer build =="
 cmake -B "${REPO_ROOT}/build-ci-tsan" -S "${REPO_ROOT}" \
@@ -66,6 +75,9 @@ ctest --test-dir "${REPO_ROOT}/build-ci-tsan" --output-on-failure \
 
 echo "== Sanitized store suite (TSan) =="
 ctest --test-dir "${REPO_ROOT}/build-ci-tsan" --output-on-failure -L store
+
+echo "== Sanitized fleet suite (TSan) =="
+ctest --test-dir "${REPO_ROOT}/build-ci-tsan" --output-on-failure -L fleet
 
 echo "== Perf suite: portable build, dispatched (vector) kernels =="
 ctest --test-dir "${REPO_ROOT}/build-ci" --output-on-failure -L perf
@@ -91,13 +103,15 @@ echo "== Observability overhead bench =="
 CERTA_BENCH_OBS_JSON="${REPO_ROOT}/BENCH_obs.json" \
   "${REPO_ROOT}/build-ci/bench/bench_observability"
 
-# Scale smoke: candidate-index speedup + store warm-hit verification at
-# 100k records. Minutes of wall clock, so gated — set CERTA_CI_SCALE=1
-# (the nightly workflow does) to run it.
+# Scale smoke: candidate-index speedup + store warm-hit verification.
+# Minutes of wall clock, so gated — set CERTA_CI_SCALE=1 to run it.
+# Defaults to 100k records (manual dispatch); the nightly workflow sets
+# CERTA_CI_SCALE_RECORDS=1000000 for the full 1M-record pass.
 if [[ "${CERTA_CI_SCALE:-0}" == "1" ]]; then
-  echo "== Scale smoke (bench_scale, 100k records) =="
+  SCALE_RECORDS="${CERTA_CI_SCALE_RECORDS:-100000}"
+  echo "== Scale smoke (bench_scale, ${SCALE_RECORDS} records) =="
   CERTA_BENCH_SCALE_JSON="${REPO_ROOT}/BENCH_scale.json" \
-    "${REPO_ROOT}/build-ci/bench/bench_scale" --records 100000
+    "${REPO_ROOT}/build-ci/bench/bench_scale" --records "${SCALE_RECORDS}"
 else
   echo "== Scale smoke skipped (set CERTA_CI_SCALE=1 to run) =="
 fi

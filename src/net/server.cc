@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "persist/checkpoint.h"
 #include "util/atomic_file.h"
 
 namespace certa::net {
@@ -82,34 +83,47 @@ bool NetServer::Start(std::string* error) {
   SetNonBlocking(wake_read_fd_);
   SetNonBlocking(wake_write_fd_);
 
-  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    if (error) *error = std::string("socket: ") + std::strerror(errno);
-    return false;
-  }
-  int one = 1;
-  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (options_.inherited_listen_fd >= 0) {
+    // Fleet fallback: the master bound + listened before forking; every
+    // worker accepts from the one shared queue through this fd.
+    listen_fd_ = options_.inherited_listen_fd;
+    SetNonBlocking(listen_fd_);
+  } else {
+    listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      if (error) *error = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    int one = 1;
+    setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (options_.reuse_port &&
+        setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) !=
+            0) {
+      if (error) *error = std::string("SO_REUSEPORT: ") + std::strerror(errno);
+      return false;
+    }
 
-  sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
-  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
-    if (error) *error = "invalid listen address: " + options_.host;
-    return false;
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+    if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+      if (error) *error = "invalid listen address: " + options_.host;
+      return false;
+    }
+    if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      if (error)
+        *error = "bind " + options_.host + ":" + std::to_string(options_.port) +
+                 ": " + std::strerror(errno);
+      return false;
+    }
+    if (listen(listen_fd_, options_.max_connections) != 0) {
+      if (error) *error = std::string("listen: ") + std::strerror(errno);
+      return false;
+    }
+    SetNonBlocking(listen_fd_);
   }
-  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    if (error)
-      *error = "bind " + options_.host + ":" + std::to_string(options_.port) +
-               ": " + std::strerror(errno);
-    return false;
-  }
-  if (listen(listen_fd_, options_.max_connections) != 0) {
-    if (error) *error = std::string("listen: ") + std::strerror(errno);
-    return false;
-  }
-  SetNonBlocking(listen_fd_);
 
   sockaddr_in bound;
   socklen_t bound_len = sizeof(bound);
@@ -372,21 +386,9 @@ void NetServer::HandleFrame(Conn* conn, std::string_view line) {
     case ClientFrame::Type::kSubmit:
       HandleSubmit(conn, frame);
       return;
-    case ClientFrame::Type::kStatus: {
-      service::JobOutcome outcome;
-      service::JobQueryState state = runner_->Query(frame.job_id, &outcome);
-      if (state == service::JobQueryState::kUnknown) {
-        QueueFrame(conn,
-                   ErrorFrame(kErrUnknownJob,
-                              "no job named \"" + frame.job_id + "\"",
-                              frame.job_id),
-                   /*droppable=*/false);
-        return;
-      }
-      QueueFrame(conn, StatusFrame(frame.job_id, state, outcome),
-                 /*droppable=*/false);
+    case ClientFrame::Type::kStatus:
+      HandleStatus(conn, frame.job_id);
       return;
-    }
     case ClientFrame::Type::kResult:
       HandleResult(conn, frame.job_id);
       return;
@@ -400,10 +402,16 @@ void NetServer::HandleFrame(Conn* conn, std::string_view line) {
       }
       return;
     }
-    case ClientFrame::Type::kStats:
-      QueueFrame(conn, StatsFrame(runner_->counters(), stats()),
+    case ClientFrame::Type::kStats: {
+      std::string fleet_json;
+      {
+        std::lock_guard<std::mutex> lock(fleet_stats_mutex_);
+        fleet_json = fleet_stats_json_;
+      }
+      QueueFrame(conn, StatsFrame(runner_->counters(), stats(), fleet_json),
                  /*droppable=*/false);
       return;
+    }
     case ClientFrame::Type::kPing:
       QueueFrame(conn, PongFrame(), /*droppable=*/false);
       return;
@@ -440,6 +448,79 @@ void NetServer::HandleSubmit(Conn* conn, const ClientFrame& frame) {
   QueueFrame(conn, AcceptedFrame(result.job_id), /*droppable=*/false);
 }
 
+void NetServer::SetFleetStats(std::string fleet_json) {
+  std::lock_guard<std::mutex> lock(fleet_stats_mutex_);
+  fleet_stats_json_ = std::move(fleet_json);
+}
+
+std::string NetServer::FindJobOnDisk(const std::string& job_id,
+                                     std::string* state) const {
+  // The job id is a directory name; refuse anything path-like so a
+  // crafted id can never escape the job roots.
+  if (job_id.empty() || job_id.find('/') != std::string::npos ||
+      job_id.find("..") != std::string::npos) {
+    return "";
+  }
+  std::vector<std::string> roots;
+  roots.push_back(options_.runner.job_root);
+  for (const std::string& peer : options_.peer_job_roots) {
+    if (peer != options_.runner.job_root) roots.push_back(peer);
+  }
+  for (const std::string& root : roots) {
+    const std::string job_dir = root + "/" + job_id;
+    persist::JobCheckpoint checkpoint;
+    if (persist::LoadCheckpoint(persist::CheckpointPathInDir(job_dir),
+                                &checkpoint)) {
+      if (state != nullptr) *state = checkpoint.state;
+      return job_dir;
+    }
+    // A result without a readable checkpoint still counts: result.json
+    // is only ever written complete.
+    if (util::PathExists(persist::ResultPathInDir(job_dir))) {
+      if (state != nullptr) *state = "complete";
+      return job_dir;
+    }
+  }
+  return "";
+}
+
+void NetServer::HandleStatus(Conn* conn, const std::string& job_id) {
+  service::JobOutcome outcome;
+  service::JobQueryState state = runner_->Query(job_id, &outcome);
+  if (state == service::JobQueryState::kUnknown) {
+    // Not this runner's job — maybe a sibling worker's (client landed
+    // on a different worker after a restart), or a previous server
+    // life's. The disk is the durable truth either way.
+    std::string disk_state;
+    const std::string job_dir = FindJobOnDisk(job_id, &disk_state);
+    if (job_dir.empty()) {
+      QueueFrame(conn,
+                 ErrorFrame(kErrUnknownJob,
+                            "no job named \"" + job_id + "\"", job_id),
+                 /*droppable=*/false);
+      return;
+    }
+    outcome.job_id = job_id;
+    outcome.job_dir = job_dir;
+    if (disk_state == "complete") {
+      state = service::JobQueryState::kComplete;
+    } else if (disk_state == "failed") {
+      state = service::JobQueryState::kFailed;
+    } else if (disk_state == "running") {
+      // Live on another worker (or orphaned mid-crash, in which case
+      // the master will re-run it): either way, not terminal yet.
+      state = service::JobQueryState::kRunning;
+    } else if (disk_state == "queued") {
+      // Durably admitted, waiting in a sibling worker's queue.
+      state = service::JobQueryState::kQueued;
+    } else {  // parked / interrupted
+      state = service::JobQueryState::kParked;
+    }
+  }
+  QueueFrame(conn, StatusFrame(job_id, state, outcome),
+             /*droppable=*/false);
+}
+
 void NetServer::HandleResult(Conn* conn, const std::string& job_id) {
   service::JobOutcome outcome;
   service::JobQueryState state = runner_->Query(job_id, &outcome);
@@ -466,10 +547,15 @@ void NetServer::HandleResult(Conn* conn, const std::string& job_id) {
   }
   std::string result_json = outcome.result_json;
   if (state == service::JobQueryState::kUnknown || result_json.empty()) {
-    // Jobs from a previous server life are still servable from disk —
-    // the job dir is the durable source of truth.
-    std::string path = options_.runner.job_root + "/" + job_id +
-                       "/result.json";
+    // Jobs from a previous server life — or a sibling worker's
+    // partition — are still servable from disk: the job dir is the
+    // durable source of truth.
+    std::string disk_state;
+    const std::string job_dir = FindJobOnDisk(job_id, &disk_state);
+    std::string path = job_dir.empty()
+                           ? options_.runner.job_root + "/" + job_id +
+                                 "/result.json"
+                           : persist::ResultPathInDir(job_dir);
     if (!util::ReadFileToString(path, &result_json) || result_json.empty()) {
       QueueFrame(conn,
                  ErrorFrame(kErrUnknownJob,

@@ -41,6 +41,22 @@ struct NetServerOptions {
   size_t max_write_buffer = 1 << 20;
   /// Poll timeout — bounds shutdown-flag latency when no fd is ready.
   int poll_interval_ms = 50;
+  /// Fleet mode: bind with SO_REUSEPORT so N worker processes can each
+  /// own a listener on the same port and let the kernel spread accepts
+  /// across them. Start() fails if the option cannot be set — the
+  /// master then falls back to inherited_listen_fd.
+  bool reuse_port = false;
+  /// Fleet fallback mode: adopt this already-bound, already-listening
+  /// socket (inherited across fork from the master) instead of creating
+  /// one. Every worker accepts from the shared queue. Takes precedence
+  /// over reuse_port. The server owns (closes) the fd.
+  int inherited_listen_fd = -1;
+  /// Sibling workers' job roots. status/result for a job this runner
+  /// has never seen fall back to scanning these partitions on disk —
+  /// checkpoints and result.json are the durable truth, so a client
+  /// reconnecting into a different worker after a restart still gets
+  /// its answer. The local runner.job_root is always checked first.
+  std::vector<std::string> peer_job_roots;
   /// External stop flag polled every loop iteration (the CLI passes
   /// service::ShutdownFlag() so SIGTERM starts the drain). May be null.
   const std::atomic<bool>* stop_flag = nullptr;
@@ -101,6 +117,11 @@ class NetServer {
   ServerStats stats() const;
   service::JobRunner& runner() { return *runner_; }
 
+  /// Installs the latest fleet-wide aggregate (a serialized JSON
+  /// object, broadcast by the master over the control channel) to be
+  /// spliced into every stats response. Thread-safe; empty clears.
+  void SetFleetStats(std::string fleet_json);
+
  private:
   /// Per-connection state machine: buffered reads until '\n', buffered
   /// writes drained on POLLOUT, watch-set membership for event fanout.
@@ -129,7 +150,13 @@ class NetServer {
   void HandleWritable(Conn* conn);
   void HandleFrame(Conn* conn, std::string_view line);
   void HandleSubmit(Conn* conn, const ClientFrame& frame);
+  void HandleStatus(Conn* conn, const std::string& job_id);
   void HandleResult(Conn* conn, const std::string& job_id);
+  /// Looks `job_id` up on disk across the local job root and every
+  /// peer partition. Returns the job dir that has a checkpoint (empty
+  /// when none does); *state receives the checkpoint's lifecycle state.
+  std::string FindJobOnDisk(const std::string& job_id,
+                            std::string* state) const;
   /// Queues `frame` on `conn`, enforcing max_write_buffer. Droppable
   /// frames vanish under pressure; required ones close the slow reader.
   void QueueFrame(Conn* conn, const std::string& frame, bool droppable);
@@ -152,6 +179,8 @@ class NetServer {
   PendingEvents pending_;
   mutable std::mutex stats_mutex_;
   ServerStats stats_;
+  mutable std::mutex fleet_stats_mutex_;
+  std::string fleet_stats_json_;
   std::thread background_;
 };
 

@@ -187,7 +187,8 @@ std::string PongFrame() {
 }
 
 std::string StatsFrame(const service::JobRunner::Counters& counters,
-                       const ServerStats& stats) {
+                       const ServerStats& stats,
+                       const std::string& fleet_json) {
   JsonWriter json;
   BeginFrame(&json, "stats");
   json.Key("runner");
@@ -226,6 +227,10 @@ std::string StatsFrame(const service::JobRunner::Counters& counters,
   json.Key("slow_reader_closes");
   json.Int(stats.slow_reader_closes);
   json.EndObject();
+  if (!fleet_json.empty()) {
+    json.Key("fleet");
+    json.Raw(fleet_json);
+  }
   return Finish(&json);
 }
 

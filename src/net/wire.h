@@ -80,8 +80,14 @@ struct ServerStats {
   long long events_dropped = 0;
   long long slow_reader_closes = 0;
 };
+/// `fleet_json`, when non-empty, is a pre-serialized JSON object
+/// spliced in verbatim as a "fleet" section — the master's fan-in of
+/// every worker's runner/server counters (eventually consistent; see
+/// docs/SERVICE.md). Single-process servers leave it empty and emit no
+/// "fleet" key, so clients can distinguish the two deployments.
 std::string StatsFrame(const service::JobRunner::Counters& counters,
-                       const ServerStats& stats);
+                       const ServerStats& stats,
+                       const std::string& fleet_json = "");
 std::string ProgressEventFrame(const std::string& job_id,
                                const std::string& phase, int triangles_total,
                                int triangles_tagged,

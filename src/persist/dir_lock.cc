@@ -1,0 +1,89 @@
+#include "persist/dir_lock.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "util/atomic_file.h"
+
+namespace certa::persist {
+
+DirLock::DirLock(DirLock&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+  other.path_.clear();
+}
+
+DirLock& DirLock::operator=(DirLock&& other) noexcept {
+  if (this != &other) {
+    Release();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+    other.path_.clear();
+  }
+  return *this;
+}
+
+const char* DirLock::LockFileName() { return ".lock"; }
+
+bool DirLock::Acquire(const std::string& dir, std::string* error) {
+  Release();
+  if (!util::EnsureDirectory(dir)) {
+    if (error) *error = "cannot create " + dir + ": " + std::strerror(errno);
+    return false;
+  }
+  const std::string lock_path = dir + "/" + LockFileName();
+  int fd = ::open(lock_path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    if (error) {
+      *error = "cannot open " + lock_path + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    std::string holder;
+    char buffer[64];
+    ssize_t n = ::pread(fd, buffer, sizeof(buffer) - 1, 0);
+    if (n > 0) {
+      buffer[n] = '\0';
+      holder = buffer;
+      while (!holder.empty() &&
+             (holder.back() == '\n' || holder.back() == '\r')) {
+        holder.pop_back();
+      }
+    }
+    if (error) {
+      *error = dir + " is locked by another process" +
+               (holder.empty() ? std::string()
+                               : " (holder pid " + holder + ")");
+    }
+    ::close(fd);
+    return false;
+  }
+  // Record the holder pid for operators. Best-effort: the flock is
+  // already held, so a write failure only loses the diagnostic.
+  const std::string pid = std::to_string(::getpid()) + "\n";
+  if (::ftruncate(fd, 0) == 0) {
+    (void)::pwrite(fd, pid.data(), pid.size(), 0);
+  }
+  fd_ = fd;
+  path_ = lock_path;
+  return true;
+}
+
+void DirLock::Release() {
+  if (fd_ >= 0) {
+    ::flock(fd_, LOCK_UN);
+    ::close(fd_);
+    fd_ = -1;
+  }
+  path_.clear();
+}
+
+}  // namespace certa::persist

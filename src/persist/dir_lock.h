@@ -1,0 +1,56 @@
+#ifndef CERTA_PERSIST_DIR_LOCK_H_
+#define CERTA_PERSIST_DIR_LOCK_H_
+
+#include <string>
+
+namespace certa::persist {
+
+/// RAII advisory exclusivity lock on a directory, implemented as
+/// flock(LOCK_EX | LOCK_NB) on `<dir>/.lock`. Guards the namespaces two
+/// processes must never share: a serve job-root (or fleet partition), a
+/// score-store directory, and an individual job dir mid-run. flock is
+/// inherited across fork but released automatically when the last
+/// holder's descriptor closes — including on SIGKILL — so a crashed
+/// owner never wedges the directory. The lock file also records the
+/// holder's pid for operator diagnostics; the pid is informational
+/// only (never trusted for liveness — flock itself is the truth).
+class DirLock {
+ public:
+  DirLock() = default;
+  ~DirLock() { Release(); }
+
+  DirLock(DirLock&& other) noexcept;
+  DirLock& operator=(DirLock&& other) noexcept;
+  DirLock(const DirLock&) = delete;
+  DirLock& operator=(const DirLock&) = delete;
+
+  /// Attempts to acquire the lock, creating `dir` and the lock file if
+  /// needed. Non-blocking: returns false immediately when another
+  /// process holds the lock (error describes the conflict, quoting the
+  /// recorded holder pid when readable) or on I/O failure.
+  bool Acquire(const std::string& dir, std::string* error);
+
+  /// Drops the lock and closes the descriptor. Idempotent. The lock
+  /// file itself is left in place: unlinking would race a concurrent
+  /// acquirer that already opened the old inode.
+  void Release();
+
+  bool held() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  /// The lock file descriptor (-1 when not held). flock is shared
+  /// across fork(), so a process that forks while holding a DirLock
+  /// must close this fd in the child or the lock outlives the parent.
+  int fd() const { return fd_; }
+
+  /// Name of the lock file created inside a locked directory.
+  static const char* LockFileName();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace certa::persist
+
+#endif  // CERTA_PERSIST_DIR_LOCK_H_

@@ -211,7 +211,14 @@ bool ScoreStore::Open(const std::string& dir, const Options& options) {
   buffer_.clear();
   unsynced_appends_ = 0;
   stats_ = Stats();
-  if (!util::EnsureDirectory(dir_)) return false;
+  open_error_.clear();
+  if (!util::EnsureDirectory(dir_)) {
+    open_error_ = "cannot create " + dir_;
+    return false;
+  }
+  if (options_.exclusive_lock && !dir_lock_.Acquire(dir_, &open_error_)) {
+    return false;
+  }
 
   std::vector<long long> segments;
   std::vector<std::string> leftovers;
@@ -356,10 +363,12 @@ bool ScoreStore::Compact() {
 
 void ScoreStore::Close() {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (fd_ < 0) return;
-  SyncLocked();
-  ::close(fd_);
-  fd_ = -1;
+  if (fd_ >= 0) {
+    SyncLocked();
+    ::close(fd_);
+    fd_ = -1;
+  }
+  dir_lock_.Release();
 }
 
 void ScoreStore::BindMetrics(obs::MetricsRegistry* registry) {

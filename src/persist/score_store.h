@@ -9,6 +9,7 @@
 
 #include "models/scoring_engine.h"
 #include "obs/metrics.h"
+#include "persist/dir_lock.h"
 
 namespace certa::persist {
 
@@ -64,6 +65,12 @@ class ScoreStore {
     /// Load segments through mmap(2); disable to force the plain-read
     /// path (the two are byte-equivalent — see score_store_test).
     bool use_mmap = true;
+    /// Hold a flock-based DirLock on the store directory for the
+    /// lifetime of the open store, so two processes can never attach to
+    /// the same store namespace (serve and the fleet workers enable
+    /// this; plain library use stays lock-free so read-only tooling can
+    /// inspect a live store's segments).
+    bool exclusive_lock = false;
   };
 
   struct Stats {
@@ -130,6 +137,11 @@ class ScoreStore {
   size_t entry_count() const;
   const std::string& dir() const { return dir_; }
 
+  /// Human-readable reason the last Open returned false (empty when the
+  /// last Open succeeded). Lets callers distinguish "directory locked
+  /// by another process" from plain I/O failure.
+  const std::string& open_error() const { return open_error_; }
+
  private:
   struct StoreKey {
     uint64_t scope = 0;
@@ -164,6 +176,8 @@ class ScoreStore {
   mutable std::mutex mutex_;
   std::string dir_;
   Options options_;
+  DirLock dir_lock_;
+  std::string open_error_;
   int fd_ = -1;
   long long active_segment_ = 0;
   size_t active_bytes_ = 0;

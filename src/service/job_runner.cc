@@ -1,7 +1,9 @@
 #include "service/job_runner.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <unordered_set>
 #include <utility>
 
@@ -9,6 +11,7 @@
 #include "data/csv.h"
 #include "data/dataset.h"
 #include "models/trainer.h"
+#include "persist/dir_lock.h"
 #include "persist/journal.h"
 #include "util/atomic_file.h"
 #include "util/string_utils.h"
@@ -143,6 +146,19 @@ JobOutcome RunDurableExplain(const JobSpec& spec, const std::string& job_dir,
   }
   if (!util::EnsureDirectory(job_dir)) {
     return fail("cannot create job directory " + job_dir);
+  }
+  // Exclusivity: two runs in one job dir would interleave journal
+  // appends and checkpoint writes. Held for the rest of this run (flock
+  // dies with the process, so a SIGKILL never wedges the dir). A busy
+  // lock is the fleet's double-execution safety net — the master
+  // guarantees restart XOR adopt per partition, and if that ever
+  // breaks, the loser parks here without touching durable state.
+  persist::DirLock job_lock;
+  std::string lock_error;
+  if (!job_lock.Acquire(job_dir, &lock_error)) {
+    outcome.state = JobState::kParked;
+    outcome.error = "job dir busy: " + lock_error;
+    return outcome;
   }
 
   // -- inputs (validated before any durable state is touched) --
@@ -355,12 +371,14 @@ JobRunner::JobRunner(JobRunnerOptions options)
   }
   if (!options_.store_dir.empty()) {
     auto store = std::make_unique<persist::ScoreStore>();
-    if (store->Open(options_.store_dir)) {
+    persist::ScoreStore::Options store_options;
+    store_options.exclusive_lock = options_.store_exclusive_lock;
+    if (store->Open(options_.store_dir, store_options)) {
       store->BindMetrics(options_.metrics);
       store_ = std::move(store);
     } else {
-      std::fprintf(stderr, "warning: cannot open score store %s; running without\n",
-                   options_.store_dir.c_str());
+      std::fprintf(stderr, "warning: cannot open score store %s (%s); running without\n",
+                   options_.store_dir.c_str(), store->open_error().c_str());
     }
   }
   workers_.reserve(static_cast<size_t>(options_.workers));
@@ -426,11 +444,23 @@ JobRunner::SubmitResult JobRunner::Submit(JobSpec spec) {
   if (spec.id.empty()) {
     char id[32];
     std::snprintf(id, sizeof(id), "job-%04d", next_job_number_++);
-    spec.id = id;
+    spec.id = options_.job_id_prefix + id;
   }
   ++counters_.accepted;
   if (metric_.accepted != nullptr) metric_.accepted->Increment();
-  queue_.push_back(QueuedJob{std::move(spec), NowMicros()});
+  // Durable admission: a spec-only checkpoint written before the accept
+  // response means even a SIGKILL of this process loses nothing — the
+  // resume sweep (or an adopting sibling worker) re-admits the job from
+  // disk exactly as it re-admits parked work.
+  std::string job_dir = options_.job_root + "/" + spec.id;
+  if (util::EnsureDirectory(job_dir)) {
+    persist::JobCheckpoint checkpoint = CheckpointFromSpec(spec);
+    checkpoint.state = "queued";
+    persist::SaveCheckpoint(persist::CheckpointPathInDir(job_dir),
+                            checkpoint);
+  }
+  queue_.push_back(QueuedJob{std::move(spec), NowMicros(),
+                             std::move(job_dir)});
   if (metric_.queue_depth != nullptr) {
     metric_.queue_depth->Set(static_cast<long long>(queue_.size()));
   }
@@ -442,6 +472,7 @@ void JobRunner::WorkerLoop() {
   for (;;) {
     std::shared_ptr<RunningJob> running;
     JobSpec spec;
+    std::string job_dir;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_available_.wait(lock,
@@ -451,6 +482,7 @@ void JobRunner::WorkerLoop() {
         continue;
       }
       spec = std::move(queue_.front().spec);
+      job_dir = std::move(queue_.front().job_dir);
       queue_.pop_front();
       if (metric_.queue_depth != nullptr) {
         metric_.queue_depth->Set(static_cast<long long>(queue_.size()));
@@ -491,8 +523,8 @@ void JobRunner::WorkerLoop() {
     JobOutcome outcome;
     {
       obs::TraceSpan job_span(options_.trace, "job:" + spec.id);
-      outcome = RunDurableExplain(spec, options_.job_root + "/" + spec.id,
-                                  run_options);
+      if (job_dir.empty()) job_dir = options_.job_root + "/" + spec.id;
+      outcome = RunDurableExplain(spec, job_dir, run_options);
       job_span.AddArg("state", static_cast<long long>(outcome.state));
       job_span.AddArg("fresh_scores", outcome.fresh_scores);
       job_span.AddArg("replayed_scores", outcome.replayed_scores);
@@ -592,7 +624,8 @@ void JobRunner::Shutdown(bool drain) {
       // nothing admitted is lost without a resumable trail.
       for (const QueuedJob& queued : queue_) {
         const std::string job_dir =
-            options_.job_root + "/" + queued.spec.id;
+            queued.job_dir.empty() ? options_.job_root + "/" + queued.spec.id
+                                   : queued.job_dir;
         if (util::EnsureDirectory(job_dir)) {
           persist::JobCheckpoint checkpoint =
               CheckpointFromSpec(queued.spec);
@@ -672,11 +705,13 @@ bool JobRunner::Cancel(const std::string& job_id, std::string* reason) {
       // Same trail as a drain-less shutdown: the job never started, so
       // a spec-only resumable checkpoint is its whole durable state.
       const JobSpec spec = queue_[i].spec;
+      const std::string job_dir =
+          queue_[i].job_dir.empty() ? options_.job_root + "/" + spec.id
+                                    : queue_[i].job_dir;
       queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(i));
       if (metric_.queue_depth != nullptr) {
         metric_.queue_depth->Set(static_cast<long long>(queue_.size()));
       }
-      const std::string job_dir = options_.job_root + "/" + spec.id;
       if (util::EnsureDirectory(job_dir)) {
         persist::JobCheckpoint checkpoint = CheckpointFromSpec(spec);
         checkpoint.state = "interrupted";
@@ -708,6 +743,87 @@ bool JobRunner::Cancel(const std::string& job_id, std::string* reason) {
   }
   if (reason != nullptr) *reason = "job is not queued or running";
   return false;
+}
+
+int JobRunner::AdoptParked(const std::string& partition_root,
+                           std::vector<std::string>* adopted_ids) {
+  namespace fs = std::filesystem;
+  struct Candidate {
+    JobSpec spec;
+    std::string job_dir;
+    persist::JobCheckpoint checkpoint;
+  };
+  std::vector<Candidate> candidates;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(partition_root, ec)) {
+    if (ec) break;
+    if (!entry.is_directory(ec)) continue;
+    const std::string job_dir = entry.path().string();
+    persist::JobCheckpoint checkpoint;
+    if (!persist::LoadCheckpoint(persist::CheckpointPathInDir(job_dir),
+                                 &checkpoint)) {
+      continue;  // no (or corrupt) checkpoint: nothing admitted to honor
+    }
+    if (checkpoint.state == "complete" || checkpoint.state == "failed") {
+      continue;
+    }
+    Candidate candidate;
+    candidate.spec = SpecFromCheckpoint(checkpoint);
+    if (candidate.spec.id.empty()) {
+      candidate.spec.id = entry.path().filename().string();
+    }
+    candidate.job_dir = job_dir;
+    candidate.checkpoint = std::move(checkpoint);
+    candidates.push_back(std::move(candidate));
+  }
+  // Deterministic adoption order regardless of readdir order.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.job_dir < b.job_dir;
+            });
+
+  int adopted = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return 0;
+    for (Candidate& candidate : candidates) {
+      bool in_flight = false;
+      for (const QueuedJob& queued : queue_) {
+        if (queued.spec.id == candidate.spec.id) in_flight = true;
+      }
+      for (const std::shared_ptr<RunningJob>& job : running_) {
+        if (job->id == candidate.spec.id) in_flight = true;
+      }
+      if (in_flight) continue;
+      // Deliberately past queue_capacity: these jobs were admitted once
+      // (by the dead worker); shedding them now would silently lose
+      // admitted work.
+      ++counters_.submitted;
+      ++counters_.accepted;
+      if (metric_.submitted != nullptr) metric_.submitted->Increment();
+      if (metric_.accepted != nullptr) metric_.accepted->Increment();
+      if (adopted_ids != nullptr) adopted_ids->push_back(candidate.spec.id);
+      // Rewrite the durable state before the job enters the queue:
+      // sibling workers answer status polls from this checkpoint, and a
+      // re-admitted job must read as active ("queued"), not still
+      // "parked"/"interrupted", while it waits for a worker thread.
+      // Progress fields are preserved — this re-saves the loaded
+      // checkpoint, only flipping the state label.
+      candidate.checkpoint.state = "queued";
+      persist::SaveCheckpoint(persist::CheckpointPathInDir(candidate.job_dir),
+                              candidate.checkpoint);
+      queue_.push_back(QueuedJob{std::move(candidate.spec), NowMicros(),
+                                 std::move(candidate.job_dir)});
+      ++adopted;
+    }
+    if (adopted > 0) {
+      if (metric_.queue_depth != nullptr) {
+        metric_.queue_depth->Set(static_cast<long long>(queue_.size()));
+      }
+      work_available_.notify_all();
+    }
+  }
+  return adopted;
 }
 
 JobRunner::Counters JobRunner::counters() const {

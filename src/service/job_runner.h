@@ -137,6 +137,10 @@ JobOutcome RunDurableExplain(const JobSpec& spec, const std::string& job_dir,
 struct JobRunnerOptions {
   /// Job dirs are created under here.
   std::string job_root = "jobs";
+  /// Prepended to auto-assigned job ids ("job-0001" → "w2-job-0001").
+  /// Fleet workers set their slot prefix so ids stay unique across the
+  /// whole fleet even though every worker numbers from 1.
+  std::string job_id_prefix;
   /// Bounded admission queue; a full queue sheds new jobs with a clear
   /// rejection instead of degrading the ones already running.
   size_t queue_capacity = 8;
@@ -162,6 +166,10 @@ struct JobRunnerOptions {
   /// runner opens it once, shares it across workers (the store is
   /// internally locked), and closes it (final sync) on Shutdown.
   std::string store_dir;
+  /// Hold a flock DirLock on store_dir for the runner's lifetime (the
+  /// serve paths set this so two serve processes can never attach the
+  /// same store namespace; see persist::DirLock).
+  bool store_exclusive_lock = false;
   /// Forwarded to every durable run (see DurableRunOptions).
   bool use_candidate_index = true;
   /// Progress/terminal event hooks (the network front-end's feed).
@@ -260,6 +268,19 @@ class JobRunner {
   /// Terminal outcomes so far, in completion order.
   std::vector<JobOutcome> outcomes() const;
 
+  /// Sweeps `partition_root` for job dirs whose checkpoint is not
+  /// "complete" and enqueues each for a resume run *in place* (the job
+  /// keeps its original directory, so its journal and checkpoint are
+  /// reused and the result lands where the original submitter will look
+  /// for it). Bypasses queue capacity — adopted jobs were already
+  /// admitted once, by a worker that since died; re-shedding them would
+  /// break the admitted-jobs-complete-or-park invariant. Jobs already
+  /// queued or running under the same id are skipped. Returns the
+  /// number adopted. This is both the fleet master's orphan-adoption
+  /// path and a restarted worker's own-partition resume sweep.
+  int AdoptParked(const std::string& partition_root,
+                  std::vector<std::string>* adopted_ids = nullptr);
+
   /// The cross-job score store (null when options_.store_dir is empty
   /// or the directory could not be opened).
   const persist::ScoreStore* store() const { return store_.get(); }
@@ -268,6 +289,10 @@ class JobRunner {
   struct QueuedJob {
     JobSpec spec;
     int64_t enqueued_micros = 0;
+    /// Non-empty for adopted jobs: run in this existing directory
+    /// instead of options_.job_root + "/" + id (the adopted dir lives
+    /// in a dead worker's partition).
+    std::string job_dir;
   };
 
   /// Watchdog view of one in-flight job.

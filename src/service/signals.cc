@@ -8,6 +8,7 @@ namespace certa::service {
 namespace {
 
 std::atomic<bool> g_shutdown{false};
+std::atomic<bool> g_rolling_restart{false};
 
 /// Async-signal-safe: one atomic store, plus re-arming default
 /// disposition so a repeat signal force-kills (escape hatch when the
@@ -15,6 +16,12 @@ std::atomic<bool> g_shutdown{false};
 void OnSignal(int signum) {
   g_shutdown.store(true, std::memory_order_relaxed);
   std::signal(signum, SIG_DFL);
+}
+
+/// Async-signal-safe: one atomic store; the handler stays armed so
+/// every SIGHUP requests another rolling restart pass.
+void OnRollingRestartSignal(int) {
+  g_rolling_restart.store(true, std::memory_order_relaxed);
 }
 
 }  // namespace
@@ -38,6 +45,22 @@ const std::atomic<bool>* ShutdownFlag() { return &g_shutdown; }
 
 void ResetShutdownForTesting() {
   g_shutdown.store(false, std::memory_order_relaxed);
+}
+
+void InstallRollingRestartHandler() {
+  struct sigaction action = {};
+  action.sa_handler = OnRollingRestartSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: interrupt blocking waits
+  sigaction(SIGHUP, &action, nullptr);
+}
+
+bool RollingRestartRequested() {
+  return g_rolling_restart.load(std::memory_order_relaxed);
+}
+
+bool ConsumeRollingRestartRequest() {
+  return g_rolling_restart.exchange(false, std::memory_order_relaxed);
 }
 
 }  // namespace certa::service

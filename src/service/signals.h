@@ -33,6 +33,22 @@ const std::atomic<bool>* ShutdownFlag();
 /// Clears the flag (tests only; real shutdowns are one-way).
 void ResetShutdownForTesting();
 
+/// Installs a SIGHUP handler that latches a rolling-restart request
+/// instead of killing the process (default SIGHUP disposition is
+/// terminate). Used by the fleet master: each SIGHUP triggers one
+/// rolling restart pass over the workers. The handler stays armed, so
+/// repeated SIGHUPs request repeated rolling restarts. Idempotent.
+void InstallRollingRestartHandler();
+
+/// True once a SIGHUP has been received since the last Clear. Unlike
+/// shutdown, rolling restart is a repeatable event, so consumers clear
+/// the latch after acting on it.
+bool RollingRestartRequested();
+
+/// Consumes the rolling-restart latch (returns the previous value, so
+/// a check-and-clear is race-free against a concurrent SIGHUP).
+bool ConsumeRollingRestartRequest();
+
 }  // namespace certa::service
 
 #endif  // CERTA_SERVICE_SIGNALS_H_

@@ -1,0 +1,224 @@
+// DirLock exclusivity tests (label: fleet): the flock-based directory
+// lock that guarantees one process per job-root / store-dir / job-dir
+// namespace. Covers in-process conflicts, real two-process contention
+// over fork(), automatic release on holder death (the property the
+// fleet's crash recovery leans on — a SIGKILL'd worker must not wedge
+// its partition), the ScoreStore's opt-in exclusive_lock, and the CLI
+// refusing to start a second serve on a busy job root.
+
+#include "persist/dir_lock.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "persist/score_store.h"
+
+#ifndef CERTA_CLI_PATH
+#error "CERTA_CLI_PATH must be defined to the certa CLI binary path"
+#endif
+
+namespace certa::persist {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path Scratch(const std::string& tag) {
+  fs::path dir = fs::temp_directory_path() /
+                 ("certa_dirlock_" + tag + "_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+TEST(DirLockTest, AcquireCreatesDirRecordsPidAndReleases) {
+  const fs::path root = Scratch("basic");
+  const std::string dir = (root / "made" / "by" / "lock").string();
+  DirLock lock;
+  std::string error;
+  ASSERT_TRUE(lock.Acquire(dir, &error)) << error;
+  EXPECT_TRUE(lock.held());
+  EXPECT_TRUE(fs::exists(fs::path(dir) / DirLock::LockFileName()));
+
+  std::ifstream in(lock.path());
+  long long pid = 0;
+  in >> pid;
+  EXPECT_EQ(pid, static_cast<long long>(::getpid()));
+
+  lock.Release();
+  EXPECT_FALSE(lock.held());
+  // The lock file stays (unlinking would race a concurrent acquirer),
+  // but the directory is immediately re-lockable.
+  ASSERT_TRUE(lock.Acquire(dir, &error)) << error;
+  fs::remove_all(root);
+}
+
+TEST(DirLockTest, SecondHolderRejectedAndErrorNamesTheHolder) {
+  const fs::path root = Scratch("conflict");
+  const std::string dir = root.string();
+  DirLock first;
+  std::string error;
+  ASSERT_TRUE(first.Acquire(dir, &error)) << error;
+
+  // flock ownership is per open file description, so even a second
+  // descriptor in the same process conflicts — exactly what guards two
+  // JobRunner threads racing one job dir.
+  DirLock second;
+  EXPECT_FALSE(second.Acquire(dir, &error));
+  EXPECT_FALSE(second.held());
+  EXPECT_NE(error.find("locked"), std::string::npos) << error;
+  EXPECT_NE(error.find(std::to_string(::getpid())), std::string::npos)
+      << error;
+
+  first.Release();
+  ASSERT_TRUE(second.Acquire(dir, &error)) << error;
+  fs::remove_all(root);
+}
+
+TEST(DirLockTest, TwoProcessContentionThenHandoff) {
+  const fs::path root = Scratch("twoproc");
+  const std::string dir = root.string();
+  DirLock mine;
+  std::string error;
+  ASSERT_TRUE(mine.Acquire(dir, &error)) << error;
+
+  // While this process holds the lock, a forked child must fail.
+  pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    DirLock theirs;
+    std::string child_error;
+    _exit(theirs.Acquire(dir, &child_error) ? 10 : 11);
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 11) << "child acquired a held lock";
+
+  // After release, a fresh child succeeds.
+  mine.Release();
+  child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    DirLock theirs;
+    std::string child_error;
+    _exit(theirs.Acquire(dir, &child_error) ? 10 : 11);
+  }
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 10);
+  fs::remove_all(root);
+}
+
+TEST(DirLockTest, LockDiesWithTheHolderProcess) {
+  const fs::path root = Scratch("death");
+  const std::string dir = root.string();
+  int ready[2];
+  ASSERT_EQ(pipe(ready), 0);
+
+  // The child takes the lock and exits WITHOUT releasing (_exit skips
+  // destructors) — the crash-recovery case. The kernel must release.
+  pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    close(ready[0]);
+    DirLock theirs;
+    std::string child_error;
+    const char ok = theirs.Acquire(dir, &child_error) ? '1' : '0';
+    ssize_t n = write(ready[1], &ok, 1);
+    (void)n;
+    _exit(0);  // lock fd still open; never Released
+  }
+  close(ready[1]);
+  char ok = '0';
+  ASSERT_EQ(read(ready[0], &ok, 1), 1);
+  close(ready[0]);
+  ASSERT_EQ(ok, '1');
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+
+  DirLock mine;
+  std::string error;
+  EXPECT_TRUE(mine.Acquire(dir, &error))
+      << "dead holder still owns the lock: " << error;
+  fs::remove_all(root);
+}
+
+TEST(DirLockTest, ScoreStoreExclusiveLockIsOptIn) {
+  const fs::path root = Scratch("store");
+  const std::string dir = (root / "store").string();
+  ScoreStore::Options locked;
+  locked.exclusive_lock = true;
+
+  ScoreStore first;
+  ASSERT_TRUE(first.Open(dir, locked)) << first.open_error();
+
+  ScoreStore second;
+  EXPECT_FALSE(second.Open(dir, locked));
+  EXPECT_NE(second.open_error().find("locked"), std::string::npos)
+      << second.open_error();
+
+  // Lock-free open (the default) still works against a locked store —
+  // read-only tooling may inspect a live store's segments.
+  ScoreStore reader;
+  EXPECT_TRUE(reader.Open(dir)) << reader.open_error();
+  reader.Close();
+
+  // Close releases; the namespace is reusable.
+  first.Close();
+  EXPECT_TRUE(second.Open(dir, locked)) << second.open_error();
+  second.Close();
+  fs::remove_all(root);
+}
+
+TEST(DirLockTest, ServeCliRefusesBusyJobRoot) {
+  const fs::path root = Scratch("cli");
+  const std::string job_root = (root / "jobs").string();
+
+  // First serve: stdin held open through a pipe so it keeps running.
+  FILE* serve = ::popen((std::string(CERTA_CLI_PATH) + " serve --job-root " +
+                         job_root + " > /dev/null 2>&1")
+                            .c_str(),
+                        "w");
+  ASSERT_NE(serve, nullptr);
+  // Wait until the first serve actually holds the lock.
+  const fs::path lock_file = fs::path(job_root) / DirLock::LockFileName();
+  for (int i = 0; i < 400 && !fs::exists(lock_file); ++i) {
+    usleep(25 * 1000);
+  }
+  ASSERT_TRUE(fs::exists(lock_file));
+  usleep(100 * 1000);  // let it flock, not just create the file
+
+  // Second serve over the same root: fails fast with "busy", touching
+  // nothing.
+  FILE* second = ::popen((std::string(CERTA_CLI_PATH) + " serve --job-root " +
+                          job_root + " --jobs /dev/null 2>&1")
+                             .c_str(),
+                         "r");
+  ASSERT_NE(second, nullptr);
+  std::string output;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = fread(buffer, 1, sizeof(buffer), second)) > 0) {
+    output.append(buffer, n);
+  }
+  const int second_status = ::pclose(second);
+  ASSERT_TRUE(WIFEXITED(second_status));
+  EXPECT_EQ(WEXITSTATUS(second_status), 1) << output;
+  EXPECT_NE(output.find("busy"), std::string::npos) << output;
+
+  // EOF on stdin drains the first serve cleanly.
+  const int first_status = ::pclose(serve);
+  ASSERT_TRUE(WIFEXITED(first_status));
+  EXPECT_EQ(WEXITSTATUS(first_status), 0);
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace certa::persist

@@ -1,0 +1,273 @@
+// Fleet chaos test (label: fleet) — the ISSUE's headline acceptance
+// criterion. A 4-worker fleet serves 8 concurrent watching clients
+// while the test SIGKILLs random live workers mid-load. Required
+// outcome: every client exits 0 with its result, every job has exactly
+// one result.json across the partitioned namespace (no lost work, no
+// duplicated execution), every result is byte-identical to a direct
+// single-process `certa explain --json`, and the master drains to exit
+// 0 on SIGTERM. Runs under ASan and TSan in CI via `ctest -L fleet`.
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#ifndef CERTA_CLI_PATH
+#error "CERTA_CLI_PATH must be defined to the certa CLI binary path"
+#endif
+#ifndef CERTA_CLIENT_PATH
+#error "CERTA_CLIENT_PATH must be defined to the certa_client binary path"
+#endif
+
+namespace certa {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path Scratch(const std::string& tag) {
+  fs::path dir = fs::temp_directory_path() /
+                 ("certa_chaos_" + tag + "_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string ReadAll(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+std::string Chomp(std::string text) {
+  while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+    text.pop_back();
+  }
+  return text;
+}
+
+int RunShell(const std::string& command, std::string* output) {
+  FILE* pipe = ::popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return -1;
+  output->clear();
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = ::fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    output->append(buffer, n);
+  }
+  const int status = ::pclose(pipe);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+pid_t SpawnFleet(const std::vector<std::string>& args, const fs::path& log) {
+  pid_t pid = fork();
+  if (pid != 0) return pid;
+  std::freopen("/dev/null", "r", stdin);
+  FILE* out = std::freopen(log.string().c_str(), "w", stdout);
+  if (out != nullptr) dup2(fileno(stdout), fileno(stderr));
+  std::vector<char*> argv;
+  std::string binary = CERTA_CLI_PATH;
+  argv.push_back(binary.data());
+  std::string serve = "serve";
+  argv.push_back(serve.data());
+  std::vector<std::string> owned = args;
+  for (std::string& arg : owned) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+  execv(CERTA_CLI_PATH, argv.data());
+  _exit(127);
+}
+
+int WaitForPort(const fs::path& log) {
+  for (int attempt = 0; attempt < 800; ++attempt) {
+    const std::string text = ReadAll(log);
+    const size_t at = text.find("LISTENING ");
+    if (at != std::string::npos) {
+      const size_t colon = text.find(':', at);
+      const size_t end = text.find('\n', at);
+      if (colon != std::string::npos && end != std::string::npos) {
+        return std::stoi(text.substr(colon + 1, end - colon - 1));
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  return 0;
+}
+
+int StopServer(pid_t pid, int sig) {
+  kill(pid, sig);
+  int status = 0;
+  if (waitpid(pid, &status, 0) != pid) {
+    std::fprintf(stderr, "StopServer: waitpid failed: %s\n",
+                 std::strerror(errno));
+    return -1;
+  }
+  if (!WIFEXITED(status)) {
+    std::fprintf(stderr, "StopServer: abnormal exit, raw status 0x%x%s\n",
+                 status,
+                 WIFSIGNALED(status)
+                     ? (" signal " + std::to_string(WTERMSIG(status))).c_str()
+                     : "");
+    return -1;
+  }
+  return WEXITSTATUS(status);
+}
+
+std::string ClientCmd(int port, const std::string& rest) {
+  return std::string(CERTA_CLIENT_PATH) + " " + rest + " --port " +
+         std::to_string(port);
+}
+
+/// Latest pid per slot from the master's "WORKER <slot> pid=<pid>"
+/// lines — respawns overwrite, so this is the fleet's current census.
+std::vector<pid_t> CurrentWorkerPids(const std::string& text, int workers) {
+  std::vector<pid_t> pids(static_cast<size_t>(workers), -1);
+  size_t at = 0;
+  while ((at = text.find("WORKER ", at)) != std::string::npos) {
+    if (at == 0 || text[at - 1] == '\n') {
+      int slot = -1;
+      int pid = -1;
+      if (std::sscanf(text.c_str() + at, "WORKER %d pid=%d", &slot, &pid) ==
+              2 &&
+          slot >= 0 && slot < workers) {
+        pids[static_cast<size_t>(slot)] = pid;
+      }
+    }
+    at += 7;
+  }
+  return pids;
+}
+
+TEST(FleetChaosTest, SigkillStormLosesNoWorkAndStaysByteIdentical) {
+  constexpr int kWorkers = 4;
+  constexpr int kClients = 8;
+  constexpr int kKills = 3;
+
+  const fs::path root = Scratch("storm");
+  const fs::path log = root / "server.log";
+  const std::string job_root = (root / "jobs").string();
+  pid_t master = SpawnFleet(
+      {"--listen", "0", "--job-root", job_root, "--workers",
+       std::to_string(kWorkers), "--queue", "16", "--checkpoint-every", "32",
+       "--restart-backoff-ms", "50", "--stable-after-ms", "200",
+       "--stats-interval-ms", "50"},
+      log);
+  ASSERT_GT(master, 0);
+  const int port = WaitForPort(log);
+  ASSERT_GT(port, 0) << ReadAll(log);
+
+  // 8 watching clients, each a real `certa_client` process with default
+  // reconnect retries. The jobs are slow enough (~0.5s of uncached
+  // ditto inference each) that kills land mid-run and mid-queue.
+  std::vector<int> exit_codes(kClients, -1);
+  std::vector<std::string> outputs(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      exit_codes[i] = RunShell(
+          ClientCmd(port, "submit --id k" + std::to_string(i) +
+                              " --dataset AB --model ditto --pair " +
+                              std::to_string(i % 4) +
+                              " --triangles 1000 --no-cache --quiet"),
+          &outputs[i]);
+    });
+  }
+
+  // Kill storm: after the submits have landed, SIGKILL a random live
+  // worker every ~300ms. Deterministic seed so a failure reproduces.
+  std::mt19937 rng(20260807);
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  int kills = 0;
+  for (int round = 0; round < 10 && kills < kKills; ++round) {
+    std::vector<pid_t> pids = CurrentWorkerPids(ReadAll(log), kWorkers);
+    std::vector<pid_t> live;
+    for (pid_t pid : pids) {
+      if (pid > 0 && kill(pid, 0) == 0) live.push_back(pid);
+    }
+    if (!live.empty()) {
+      const pid_t victim = live[rng() % live.size()];
+      if (kill(victim, SIGKILL) == 0) ++kills;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  }
+  EXPECT_EQ(kills, kKills);
+
+  for (std::thread& t : clients) t.join();
+
+  // The master must have outlived the storm; a premature death here
+  // (reaped with WNOHANG) is its own failure with the raw status.
+  {
+    int status = 0;
+    const pid_t reaped = waitpid(master, &status, WNOHANG);
+    EXPECT_EQ(reaped, 0) << "master died mid-test, raw status 0x" << std::hex
+                         << status << std::dec
+                         << (WIFSIGNALED(status)
+                                 ? " (signal " +
+                                       std::to_string(WTERMSIG(status)) + ")"
+                                 : "")
+                         << "\nserver log:\n"
+                         << ReadAll(log);
+  }
+
+  // Zero lost jobs: every client got its result despite the kills.
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_EQ(exit_codes[i], 0) << "client " << i << ": " << outputs[i]
+                                << "\nserver log:\n" << ReadAll(log);
+  }
+
+  // Zero duplicated work: exactly one result.json per job id across the
+  // whole partitioned namespace (an adopted or resumed job must not
+  // also re-run in a second partition).
+  std::vector<fs::path> result_dirs(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    const std::string id = "k" + std::to_string(i);
+    int copies = 0;
+    std::error_code ec;
+    for (const auto& partition : fs::directory_iterator(job_root, ec)) {
+      if (!partition.is_directory()) continue;
+      const fs::path candidate = partition.path() / id;
+      if (fs::exists(candidate / "result.json")) {
+        ++copies;
+        result_dirs[static_cast<size_t>(i)] = candidate;
+      }
+    }
+    EXPECT_EQ(copies, 1) << id;
+  }
+
+  // Zero corruption: each stored result is byte-identical to a direct
+  // single-process run of the same request.
+  for (int pair = 0; pair < 4; ++pair) {
+    std::string direct;
+    ASSERT_EQ(RunShell(std::string(CERTA_CLI_PATH) +
+                           " explain --dataset AB --model ditto --pair " +
+                           std::to_string(pair) +
+                           " --triangles 1000 --no-cache --json",
+                       &direct),
+              0)
+        << direct;
+    for (int i = pair; i < kClients; i += 4) {
+      const fs::path dir = result_dirs[static_cast<size_t>(i)];
+      ASSERT_FALSE(dir.empty()) << "client " << i;
+      EXPECT_EQ(Chomp(ReadAll(dir / "result.json")), Chomp(direct))
+          << "client " << i;
+    }
+  }
+
+  // All work complete fleet-wide → the drain exits 0.
+  EXPECT_EQ(StopServer(master, SIGTERM), 0) << ReadAll(log);
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace certa

@@ -45,6 +45,9 @@
 // same command re-run after a crash (or SIGINT — exit code 3) resumes
 // without re-paying model calls and produces a bit-identical result.
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -54,6 +57,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "api/explain_request.h"
 #include "net/server.h"
@@ -62,9 +66,12 @@
 #include "util/atomic_file.h"
 
 #include "persist/checkpoint.h"
+#include "persist/dir_lock.h"
 #include "persist/score_store.h"
 #include "service/job_runner.h"
 #include "service/signals.h"
+#include "service/supervisor.h"
+#include "util/json_writer.h"
 
 #include "certa.h"
 #include "core/token_explainer.h"
@@ -624,6 +631,229 @@ int CmdGlobal(const Args& args) {
   return 0;
 }
 
+/// One worker's STATS payload for the fleet control channel: the same
+/// counter names the wire-protocol stats frame uses, so the master can
+/// sum every numeric field without a schema of its own.
+std::string WorkerStatsJson(int slot,
+                            const certa::service::JobRunner::Counters& c,
+                            const certa::net::ServerStats& s) {
+  certa::JsonWriter json;
+  json.BeginObject();
+  json.Key("slot");
+  json.Int(slot);
+  json.Key("pid");
+  json.Int(static_cast<long long>(::getpid()));
+  json.Key("runner");
+  json.BeginObject();
+  json.Key("submitted");
+  json.Int(c.submitted);
+  json.Key("accepted");
+  json.Int(c.accepted);
+  json.Key("rejected_closed");
+  json.Int(c.rejected_closed);
+  json.Key("rejected_queue_full");
+  json.Int(c.rejected_queue_full);
+  json.Key("rejected_deadline");
+  json.Int(c.rejected_deadline);
+  json.Key("completed");
+  json.Int(c.completed);
+  json.Key("parked");
+  json.Int(c.parked);
+  json.Key("failed");
+  json.Int(c.failed);
+  json.EndObject();
+  json.Key("server");
+  json.BeginObject();
+  json.Key("connections_accepted");
+  json.Int(s.connections_accepted);
+  json.Key("connections_active");
+  json.Int(s.connections_active);
+  json.Key("frames_in");
+  json.Int(s.frames_in);
+  json.Key("bytes_in");
+  json.Int(s.bytes_in);
+  json.Key("bytes_out");
+  json.Int(s.bytes_out);
+  json.Key("events_dropped");
+  json.Int(s.events_dropped);
+  json.Key("slow_reader_closes");
+  json.Int(s.slow_reader_closes);
+  json.EndObject();
+  json.EndObject();
+  return json.str();
+}
+
+/// Fleet mode: `--listen` with `--workers N` (N >= 2) forks N worker
+/// processes that each run ServeOverSocket's machinery over a private
+/// partition (`<job-root>/w<slot>`, `<store-dir>/w<slot>`) and share
+/// the TCP port (SO_REUSEPORT, or one inherited listener as fallback).
+/// The master process only supervises: crash restarts with backoff,
+/// flap-capped abandonment with partition adoption, SIGHUP rolling
+/// restart, SIGTERM fleet drain, stats fan-in. See docs/SERVICE.md.
+int ServeFleet(const Args& args,
+               certa::service::JobRunnerOptions runner_options) {
+  certa::service::SupervisorOptions sup;
+  sup.host = args.Get("host", "127.0.0.1");
+  int max_connections = 0;
+  int max_write_buffer = 0;
+  if (!ParseIntFlag(args, "listen", 0, 0, &sup.port) ||
+      !ParseIntFlag(args, "max-connections", 64, 1, &max_connections) ||
+      !ParseIntFlag(args, "max-write-buffer", 1 << 20, 64,
+                    &max_write_buffer) ||
+      !ParseIntFlag(args, "restart-backoff-ms", 200LL, 1LL,
+                    &sup.restart_backoff_initial_ms) ||
+      !ParseIntFlag(args, "flap-limit", 5, 1, &sup.flap_limit) ||
+      !ParseIntFlag(args, "stable-after-ms", 2000LL, 1LL,
+                    &sup.stable_after_ms) ||
+      !ParseIntFlag(args, "shutdown-grace-ms", 30000LL, 100LL,
+                    &sup.shutdown_grace_ms) ||
+      !ParseIntFlag(args, "stats-interval-ms", 200LL, 20LL,
+                    &sup.stats_interval_ms)) {
+    return 2;
+  }
+  sup.restart_backoff_max_ms =
+      std::max(sup.restart_backoff_max_ms, sup.restart_backoff_initial_ms);
+  sup.workers = runner_options.workers;
+  sup.job_root = runner_options.job_root;
+  sup.store_dir = runner_options.store_dir;
+  if (const char* env = std::getenv("CERTA_FLEET_NO_REUSEPORT")) {
+    sup.disable_reuse_port = env[0] != '\0' && std::string_view(env) != "0";
+  }
+
+  // One fleet per job root / store root — and the lock fds must not
+  // leak into workers (flock is shared across fork, so an inheriting
+  // child would keep the root "busy" after the master died).
+  certa::persist::DirLock root_lock;
+  certa::persist::DirLock store_lock;
+  std::string lock_error;
+  if (!root_lock.Acquire(sup.job_root, &lock_error)) {
+    std::cerr << "error: job root " << sup.job_root
+              << " is busy: " << lock_error << "\n";
+    return 1;
+  }
+  sup.close_in_child.push_back(root_lock.fd());
+  if (!sup.store_dir.empty()) {
+    if (!store_lock.Acquire(sup.store_dir, &lock_error)) {
+      std::cerr << "error: store dir " << sup.store_dir
+                << " is busy: " << lock_error << "\n";
+      return 1;
+    }
+    sup.close_in_child.push_back(store_lock.fd());
+  }
+
+  std::vector<std::string> partitions;
+  for (int slot = 0; slot < sup.workers; ++slot) {
+    partitions.push_back(sup.job_root + "/w" + std::to_string(slot));
+  }
+  const std::string host = sup.host;
+  const long long stats_interval_ms = sup.stats_interval_ms;
+
+  auto worker_main = [&](const certa::service::WorkerLaunch& launch) -> int {
+    certa::service::JobRunnerOptions worker_runner = runner_options;
+    worker_runner.workers = 1;
+    worker_runner.job_root = launch.partition_root;
+    worker_runner.store_dir = launch.store_partition;
+    worker_runner.job_id_prefix = "w" + std::to_string(launch.slot) + "-";
+    worker_runner.store_exclusive_lock = true;
+    if (!worker_runner.stats_path.empty()) {
+      worker_runner.stats_path = launch.partition_root + "/metrics.json";
+    }
+
+    certa::persist::DirLock partition_lock;
+    std::string error;
+    if (!partition_lock.Acquire(launch.partition_root, &error)) {
+      std::cerr << "worker " << launch.slot << ": partition busy: " << error
+                << "\n";
+      return 1;
+    }
+
+    certa::net::NetServerOptions server_options;
+    server_options.host = host;
+    server_options.port = launch.listen_port;
+    server_options.max_connections = max_connections;
+    server_options.max_write_buffer = static_cast<size_t>(max_write_buffer);
+    server_options.reuse_port = launch.inherited_listen_fd < 0;
+    server_options.inherited_listen_fd = launch.inherited_listen_fd;
+    server_options.peer_job_roots = partitions;
+    server_options.stop_flag = certa::service::ShutdownFlag();
+    server_options.drain_on_stop_flag = false;
+    server_options.runner = std::move(worker_runner);
+
+    certa::net::NetServer server(std::move(server_options));
+    if (!server.Start(&error)) {
+      std::cerr << "worker " << launch.slot << ": " << error << "\n";
+      return 1;
+    }
+
+    // Resume sweep: whatever a predecessor in this slot left parked on
+    // disk (crash or rolling restart) is re-admitted before READY.
+    const int resumed = server.runner().AdoptParked(launch.partition_root);
+    if (resumed > 0) {
+      std::cerr << "worker " << launch.slot << ": resuming " << resumed
+                << " parked job(s)\n";
+    }
+
+    certa::service::WorkerControl control(launch.control_fd,
+                                          stats_interval_ms);
+    control.SendReady(server.port());
+    certa::service::WorkerControl::Hooks hooks;
+    hooks.on_adopt = [&server, slot = launch.slot](const std::string& dir) {
+      const int adopted = server.runner().AdoptParked(dir);
+      std::cerr << "worker " << slot << ": adopted " << adopted
+                << " job(s) from " << dir << "\n";
+    };
+    hooks.on_fleet = [&server](const std::string& fleet_json) {
+      server.SetFleetStats(fleet_json);
+    };
+    hooks.stats_provider = [&server, slot = launch.slot] {
+      return WorkerStatsJson(slot, server.runner().counters(),
+                             server.stats());
+    };
+    control.Start(std::move(hooks));
+
+    server.Run();
+    control.Stop();
+
+    // DONE lines, one write per worker so concurrent drains don't
+    // interleave mid-line. A job that parked and then completed after
+    // adoption reports per-outcome here; the exit code judges only the
+    // latest state of each job this worker owned at the end.
+    std::string done;
+    bool any_parked = false;
+    std::map<std::string, certa::service::JobOutcome> latest;
+    for (const certa::service::JobOutcome& outcome :
+         server.runner().outcomes()) {
+      latest[outcome.job_id] = outcome;
+    }
+    for (const auto& [job_id, outcome] : latest) {
+      if (outcome.state == certa::service::JobState::kParked) {
+        any_parked = true;
+      }
+      done += "DONE " + job_id + " " +
+              std::string(certa::service::JobStateName(outcome.state)) +
+              " replayed=" + std::to_string(outcome.replayed_scores) +
+              " fresh=" + std::to_string(outcome.fresh_scores);
+      if (!outcome.error.empty()) done += " (" + outcome.error + ")";
+      done += "\n";
+    }
+    std::cout << done << std::flush;
+    return any_parked ? certa::service::kInterruptedExitCode : 0;
+  };
+
+  certa::service::Supervisor supervisor(std::move(sup));
+  std::string error;
+  if (!supervisor.Start(worker_main, &error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  std::cerr << "serve: fleet of " << runner_options.workers << " worker(s) on "
+            << host << ":" << supervisor.port() << " ("
+            << (supervisor.reuse_port_mode() ? "SO_REUSEPORT"
+                                             : "inherited listener")
+            << ")\n";
+  return supervisor.Run();
+}
+
 /// Socket front-end: the same runner, behind `--listen PORT` speaking
 /// the docs/SERVICE.md line-delimited JSON protocol. A SIGINT/SIGTERM
 /// closes the listener, parks running jobs resumable, and exits with
@@ -633,11 +863,15 @@ int ServeOverSocket(const Args& args,
                     const ObsSink& obs) {
   certa::net::NetServerOptions options;
   options.host = args.Get("host", "127.0.0.1");
+  int max_write_buffer = 0;
   if (!ParseIntFlag(args, "listen", 0, 0, &options.port) ||
       !ParseIntFlag(args, "max-connections", 64, 1,
-                    &options.max_connections)) {
+                    &options.max_connections) ||
+      !ParseIntFlag(args, "max-write-buffer", 1 << 20, 64,
+                    &max_write_buffer)) {
     return 2;
   }
+  options.max_write_buffer = static_cast<size_t>(max_write_buffer);
   options.stop_flag = certa::service::ShutdownFlag();
   options.runner = std::move(runner_options);
   certa::net::NetServer server(std::move(options));
@@ -757,6 +991,23 @@ int CmdServe(const Args& args) {
   options.trace = obs.trace.get();
   options.stats_every = std::max(options.stats_every, 0);
   options.stats_path = obs.metrics_path;
+
+  if (args.Has("listen") && options.workers >= 2) {
+    // Fleet mode forks per-worker processes; it takes its own root
+    // locks (a lock acquired here would conflict with the master's).
+    return ServeFleet(args, std::move(options));
+  }
+
+  // One serve process per job root: a second `certa serve` pointed at
+  // the same namespace fails fast instead of corrupting it.
+  certa::persist::DirLock job_root_lock;
+  std::string lock_error;
+  if (!job_root_lock.Acquire(options.job_root, &lock_error)) {
+    std::cerr << "error: job root " << options.job_root
+              << " is busy: " << lock_error << "\n";
+    return 1;
+  }
+  options.store_exclusive_lock = true;
 
   if (args.Has("listen")) {
     return ServeOverSocket(args, std::move(options), obs);

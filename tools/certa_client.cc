@@ -12,6 +12,15 @@
 //   certa_client ping   --port P
 //       One request frame, one response frame, printed verbatim.
 //
+// Reconnects: against a worker fleet (`serve --listen --workers N`) a
+// connection can die mid-conversation when its worker is killed or
+// rolled — the port itself stays up. Every command retries
+// connect/IO failures with exponential backoff (--retries N, default
+// 8; --no-retry disables). A dropped watch stream resumes by polling
+// `status` — the job's durable state, not the lost connection, is the
+// truth — and the poll treats a parked job as transient for a grace
+// window, because the respawned worker's resume sweep re-admits it.
+//
 // Request flags mirror `certa explain` (--dataset --model --pair
 // --triangles --threads --seed --budget --deadline-ms --no-cache ...):
 // both sides parse into the same versioned api::ExplainRequest.
@@ -19,14 +28,17 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <string>
 #include <string_view>
+#include <thread>
 
 #include "api/explain_request.h"
 #include "net/wire.h"
@@ -53,7 +65,8 @@ bool Parse(int argc, char** argv, Args* args) {
     const char* token = argv[i];
     if (std::strncmp(token, "--", 2) != 0) return false;
     std::string key(token + 2);
-    if (key == "no-cache" || key == "no-watch" || key == "quiet") {
+    if (key == "no-cache" || key == "no-watch" || key == "quiet" ||
+        key == "no-retry") {
       args->options[key] = "1";
       continue;
     }
@@ -70,23 +83,49 @@ int Usage() {
                "               [--triangles T] [--threads K] [--seed N]\n"
                "               [--budget N] [--deadline-ms N] [--no-cache]\n"
                "               [--data-dir DIR] [--no-watch] [--quiet]\n"
+               "               [--retries N] [--no-retry]\n"
                "  certa_client status --port P [--host H] --job ID\n"
                "  certa_client result --port P [--host H] --job ID\n"
                "  certa_client cancel --port P [--host H] --job ID\n"
                "  certa_client stats  --port P [--host H]\n"
-               "  certa_client ping   --port P [--host H]\n";
+               "  certa_client ping   --port P [--host H]\n"
+               "(every command takes --retries N / --no-retry)\n";
   return 2;
+}
+
+/// Where and how persistently to reach the server.
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Consecutive connect/IO failures tolerated before giving up.
+  int retries = 8;
+};
+
+constexpr long long kBackoffInitialMs = 100;
+constexpr long long kBackoffMaxMs = 2000;
+
+long long BackoffMs(int consecutive_failures) {
+  long long ms = kBackoffInitialMs;
+  for (int i = 1; i < consecutive_failures; ++i) {
+    ms = std::min(ms * 2, kBackoffMaxMs);
+  }
+  return ms;
 }
 
 /// Blocking line-oriented connection — the client is sequential by
 /// design; all the event-loop machinery lives server-side.
 class Connection {
  public:
-  ~Connection() {
+  ~Connection() { Close(); }
+
+  void Close() {
     if (fd_ >= 0) close(fd_);
+    fd_ = -1;
+    buffer_.clear();
   }
 
   bool Connect(const std::string& host, int port, std::string* error) {
+    Close();
     fd_ = socket(AF_INET, SOCK_STREAM, 0);
     if (fd_ < 0) {
       *error = std::string("socket: ") + std::strerror(errno);
@@ -103,6 +142,7 @@ class Connection {
     if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
       *error = "connect " + host + ":" + std::to_string(port) + ": " +
                std::strerror(errno);
+      Close();
       return false;
     }
     int one = 1;
@@ -111,6 +151,10 @@ class Connection {
   }
 
   bool Send(const std::string& frame, std::string* error) {
+    if (fd_ < 0) {
+      *error = "not connected";
+      return false;
+    }
     size_t sent = 0;
     while (sent < frame.size()) {
       ssize_t n = write(fd_, frame.data() + sent, frame.size() - sent);
@@ -133,6 +177,10 @@ class Connection {
         buffer_.erase(0, newline + 1);
         return true;
       }
+      if (fd_ < 0) {
+        *error = "not connected";
+        return false;
+      }
       char chunk[4096];
       ssize_t n = read(fd_, chunk, sizeof(chunk));
       if (n > 0) {
@@ -153,6 +201,21 @@ class Connection {
   int fd_ = -1;
   std::string buffer_;
 };
+
+/// Connects with bounded retries. ECONNREFUSED while a fleet worker
+/// restarts (or before the next one binds) is expected and brief; the
+/// listen port itself is held by the master for the fleet's whole life.
+bool ConnectWithRetry(const Endpoint& endpoint, Connection* conn,
+                      std::string* error) {
+  for (int failures = 0;; ++failures) {
+    if (conn->Connect(endpoint.host, endpoint.port, error)) return true;
+    if (failures >= endpoint.retries) return false;
+    std::cerr << "reconnect " << (failures + 1) << "/" << endpoint.retries
+              << ": " << *error << "\n";
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(BackoffMs(failures + 1)));
+  }
+}
 
 /// Pulls type/fields out of a server frame (tolerantly: unknown frames
 /// just echo through).
@@ -185,20 +248,109 @@ bool ParseServerFrame(const std::string& line, ServerFrame* frame) {
   return true;
 }
 
-int RoundTrip(Connection* conn, const std::string& request) {
+/// One request frame, one response frame, printed verbatim — retried
+/// on a fresh connection after any IO failure. Safe for every verb
+/// here: status/result/stats/ping are reads, cancel is idempotent.
+int RoundTrip(const Endpoint& endpoint, const std::string& request) {
   std::string error;
-  if (!conn->Send(request, &error)) {
-    std::cerr << "error: " << error << "\n";
-    return 1;
+  for (int failures = 0;; ++failures) {
+    Connection conn;
+    if (!ConnectWithRetry(endpoint, &conn, &error)) break;
+    std::string line;
+    if (conn.Send(request, &error) && conn.ReadLine(&line, &error)) {
+      std::cout << line << "\n";
+      ServerFrame frame;
+      return ParseServerFrame(line, &frame) && frame.type == "error" ? 1 : 0;
+    }
+    if (failures >= endpoint.retries) break;
+    std::cerr << "retrying: " << error << "\n";
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(BackoffMs(failures + 1)));
   }
-  std::string line;
-  if (!conn->ReadLine(&line, &error)) {
-    std::cerr << "error: " << error << "\n";
-    return 1;
+  std::cerr << "error: " << error << "\n";
+  return 1;
+}
+
+/// Watch fallback once the event stream is gone (worker killed or
+/// rolled mid-watch): poll `status` until the job is terminal. The
+/// job's durable state on disk — reachable through any worker via the
+/// peer-partition fallback — is the truth the lost stream was only
+/// mirroring. A parked answer is transient while the fleet is
+/// restarting (the respawned worker's resume sweep re-admits the job),
+/// so parked only becomes the final answer after a grace window.
+int WatchByPolling(const Endpoint& endpoint, const std::string& job_id,
+                   bool quiet) {
+  constexpr std::chrono::milliseconds kStalledGrace(5000);
+  constexpr auto kNever = std::chrono::steady_clock::time_point::min();
+  std::string error;
+  auto stalled_since = kNever;  // first parked/unknown observation
+  int failures = 0;
+  bool connected = false;
+  Connection conn;
+  for (;;) {
+    if (!connected) {
+      if (failures > endpoint.retries ||
+          !ConnectWithRetry(endpoint, &conn, &error)) {
+        std::cerr << "server unreachable while the job was in flight; "
+                     "its job dir stays resumable\n";
+        return 3;
+      }
+      connected = true;
+    }
+    std::string line;
+    if (!conn.Send(certa::net::StatusRequestFrame(job_id), &error) ||
+        !conn.ReadLine(&line, &error)) {
+      connected = false;
+      ++failures;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(BackoffMs(failures)));
+      continue;
+    }
+    failures = 0;
+    ServerFrame frame;
+    if (ParseServerFrame(line, &frame)) {
+      if (frame.type == "status") {
+        if (frame.state == "complete") {
+          if (!quiet) std::cout << line << "\n";
+          if (!conn.Send(certa::net::ResultRequestFrame(job_id), &error) ||
+              !conn.ReadLine(&line, &error)) {
+            connected = false;
+            ++failures;
+            continue;
+          }
+          std::cout << line << "\n";
+          return ParseServerFrame(line, &frame) && frame.type == "result" ? 0
+                                                                          : 1;
+        }
+        if (frame.state == "failed") {
+          std::cout << line << "\n";
+          return 1;
+        }
+        const bool stalled =
+            frame.state == "parked" || frame.state == "interrupted";
+        if (stalled) {
+          const auto now = std::chrono::steady_clock::now();
+          if (stalled_since == kNever) stalled_since = now;
+          if (now - stalled_since > kStalledGrace) {
+            std::cout << line << "\n";
+            return 3;
+          }
+        } else {
+          stalled_since = kNever;  // queued/running: alive again
+        }
+      } else if (frame.type == "error") {
+        // unknown_job can be a brief pre-adoption window right after a
+        // crash; past the grace window it is a real failure.
+        const auto now = std::chrono::steady_clock::now();
+        if (stalled_since == kNever) stalled_since = now;
+        if (now - stalled_since > kStalledGrace) {
+          std::cout << line << "\n";
+          return 1;
+        }
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
   }
-  std::cout << line << "\n";
-  ServerFrame frame;
-  return ParseServerFrame(line, &frame) && frame.type == "error" ? 1 : 0;
 }
 
 /// The request-field flags submit forwards (same spellings as `certa
@@ -208,7 +360,7 @@ constexpr const char* kRequestFlagKeys[] = {
     "pair-index", "triangles", "threads", "seed", "budget", "deadline-ms",
     "fault-rate"};
 
-int CmdSubmit(const Args& args, Connection* conn) {
+int CmdSubmit(const Args& args, const Endpoint& endpoint) {
   certa::api::ExplainRequest request;
   for (const char* key : kRequestFlagKeys) {
     if (!args.Has(key)) continue;
@@ -228,57 +380,97 @@ int CmdSubmit(const Args& args, Connection* conn) {
   }
   const bool watch = !args.Has("no-watch");
   const bool quiet = args.Has("quiet");
-  if (!conn->Send(certa::net::SubmitFrame(request, watch), &error)) {
-    std::cerr << "error: " << error << "\n";
-    return 1;
-  }
-  std::string line;
-  if (!conn->ReadLine(&line, &error)) {
-    std::cerr << "error: " << error << "\n";
-    return 1;
-  }
-  ServerFrame frame;
-  if (!ParseServerFrame(line, &frame) || frame.type == "error") {
-    std::cout << line << "\n";
-    return 1;
-  }
-  if (frame.type != "accepted") {
-    std::cerr << "error: unexpected response: " << line << "\n";
-    return 1;
-  }
-  const std::string job_id = frame.job_id;
-  if (!quiet) std::cout << line << "\n";
-  if (!watch) return 0;
+  // The admission id the durable layer will use: known up front only
+  // when the caller named one. A named job lets a broken submit fall
+  // back to status polling instead of risking a duplicate submission.
+  const std::string named_id = args.Get("id", "");
 
-  // Stream events until this job's terminal one.
-  std::string terminal_state;
-  while (true) {
-    if (!conn->ReadLine(&line, &error)) {
+  Connection conn;
+  std::string job_id;
+  std::string line;
+  for (int failures = 0; job_id.empty(); ++failures) {
+    if (!ConnectWithRetry(endpoint, &conn, &error)) {
       std::cerr << "error: " << error << "\n";
       return 1;
     }
+    if (!conn.Send(certa::net::SubmitFrame(request, watch), &error) ||
+        !conn.ReadLine(&line, &error)) {
+      // The submit may or may not have been admitted. With a caller-
+      // named id the status poll resolves the ambiguity; resubmitting
+      // an anonymous job could run it twice, so that is an error.
+      if (!named_id.empty() && endpoint.retries > 0) {
+        std::cerr << "submit connection lost (" << error
+                  << "); polling status of " << named_id << "\n";
+        return WatchByPolling(endpoint, named_id, quiet);
+      }
+      if (failures < endpoint.retries) {
+        std::cerr << "retrying submit: " << error << "\n";
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(BackoffMs(failures + 1)));
+        continue;
+      }
+      std::cerr << "error: " << error << "\n";
+      return 1;
+    }
+    ServerFrame frame;
+    if (!ParseServerFrame(line, &frame) || frame.type == "error") {
+      std::cout << line << "\n";
+      return 1;
+    }
+    if (frame.type != "accepted") {
+      std::cerr << "error: unexpected response: " << line << "\n";
+      return 1;
+    }
+    job_id = frame.job_id;
+  }
+  if (!quiet) std::cout << line << "\n";
+  if (!watch) return 0;
+
+  // Stream events until this job's terminal one. A dropped stream (or
+  // a shutdown event from a worker being rolled) downgrades to status
+  // polling — the job survives its worker.
+  std::string terminal_state;
+  while (terminal_state.empty()) {
+    if (!conn.ReadLine(&line, &error)) {
+      if (endpoint.retries > 0) {
+        std::cerr << "watch stream lost (" << error << "); polling status of "
+                  << job_id << "\n";
+        return WatchByPolling(endpoint, job_id, quiet);
+      }
+      std::cerr << "error: " << error << "\n";
+      return 1;
+    }
+    ServerFrame frame;
     if (!ParseServerFrame(line, &frame)) continue;
     if (frame.type == "event" && frame.event == "shutdown") {
+      if (endpoint.retries > 0) {
+        return WatchByPolling(endpoint, job_id, quiet);
+      }
       std::cerr << "server shut down before the job finished; "
                    "its job dir stays resumable\n";
       return 3;
     }
     if (frame.type != "event" || frame.job_id != job_id) continue;
     if (!quiet) std::cout << line << "\n";
-    if (frame.event == "terminal") {
-      terminal_state = frame.state;
-      break;
-    }
+    if (frame.event == "terminal") terminal_state = frame.state;
   }
-  if (terminal_state == "parked") return 3;
+  if (terminal_state == "parked") {
+    // A worker being drained (rolling restart, fleet shutdown) parks
+    // its in-flight jobs; a respawned worker resumes them. With
+    // retries enabled, parked is a pause, not an outcome.
+    if (endpoint.retries > 0) return WatchByPolling(endpoint, job_id, quiet);
+    return 3;
+  }
   if (terminal_state != "complete") return 1;
 
   // Fetch the stored result and print just the result document.
-  if (!conn->Send(certa::net::ResultRequestFrame(job_id), &error) ||
-      !conn->ReadLine(&line, &error)) {
+  if (!conn.Send(certa::net::ResultRequestFrame(job_id), &error) ||
+      !conn.ReadLine(&line, &error)) {
+    if (endpoint.retries > 0) return WatchByPolling(endpoint, job_id, quiet);
     std::cerr << "error: " << error << "\n";
     return 1;
   }
+  ServerFrame frame;
   if (!ParseServerFrame(line, &frame) || frame.type != "result") {
     std::cout << line << "\n";
     return 1;
@@ -290,8 +482,12 @@ int CmdSubmit(const Args& args, Connection* conn) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A worker being restarted closes sockets mid-write; that must
+  // surface as a retryable EPIPE, not kill the client.
+  signal(SIGPIPE, SIG_IGN);
   Args args;
   if (!Parse(argc, argv, &args)) return Usage();
+  Endpoint endpoint;
   long long port = 0;
   if (!args.Has("port") ||
       !certa::ParseInt64(args.Get("port", ""), &port) || port <= 0 ||
@@ -299,28 +495,34 @@ int main(int argc, char** argv) {
     std::cerr << "error: --port is required (1-65535)\n";
     return 2;
   }
-  Connection conn;
-  std::string error;
-  if (!conn.Connect(args.Get("host", "127.0.0.1"), static_cast<int>(port),
-                    &error)) {
-    std::cerr << "error: " << error << "\n";
-    return 1;
+  endpoint.host = args.Get("host", "127.0.0.1");
+  endpoint.port = static_cast<int>(port);
+  long long retries = 8;
+  if (args.Has("retries") &&
+      (!certa::ParseInt64(args.Get("retries", ""), &retries) || retries < 0 ||
+       retries > 1000)) {
+    std::cerr << "error: --retries must be an integer in [0, 1000]\n";
+    return 2;
   }
-  if (args.command == "submit") return CmdSubmit(args, &conn);
-  if (args.command == "ping") return RoundTrip(&conn, certa::net::PingFrame());
+  endpoint.retries = args.Has("no-retry") ? 0 : static_cast<int>(retries);
+
+  if (args.command == "submit") return CmdSubmit(args, endpoint);
+  if (args.command == "ping") {
+    return RoundTrip(endpoint, certa::net::PingFrame());
+  }
   if (args.command == "stats") {
-    return RoundTrip(&conn, certa::net::StatsRequestFrame());
+    return RoundTrip(endpoint, certa::net::StatsRequestFrame());
   }
   const std::string job = args.Get("job", "");
   if (job.empty()) return Usage();
   if (args.command == "status") {
-    return RoundTrip(&conn, certa::net::StatusRequestFrame(job));
+    return RoundTrip(endpoint, certa::net::StatusRequestFrame(job));
   }
   if (args.command == "result") {
-    return RoundTrip(&conn, certa::net::ResultRequestFrame(job));
+    return RoundTrip(endpoint, certa::net::ResultRequestFrame(job));
   }
   if (args.command == "cancel") {
-    return RoundTrip(&conn, certa::net::CancelRequestFrame(job));
+    return RoundTrip(endpoint, certa::net::CancelRequestFrame(job));
   }
   return Usage();
 }
