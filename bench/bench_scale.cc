@@ -7,7 +7,12 @@
 //   2. store hit-rate across a simulated restart — two durable runs of
 //      the same job spec in different job dirs sharing one ScoreStore;
 //      the second run must pay zero fresh model calls and produce a
-//      byte-identical result.
+//      byte-identical result;
+//   3. the same reuse across a simulated 2-worker fleet — worker
+//      stream 0 pays the scores, worker stream 1 opens the SAME store
+//      directory and must serve the whole job from its sibling's
+//      stream: zero fresh calls, fleet-wide warm hit_rate == 1.0,
+//      every hit a peer hit.
 // Prints a table and writes BENCH_scale.json (atomically, through the
 // same writer the service uses).
 //
@@ -198,6 +203,68 @@ StoreLeg RunStoreLeg() {
   return leg;
 }
 
+struct SharedStoreLeg {
+  bool opened = false;
+  long long cold_fresh = 0;
+  long long warm_fresh = 0;
+  long long warm_store_hits = 0;
+  long long warm_peer_hits = 0;
+  double hit_rate = 0.0;
+  bool results_identical = false;
+  double cold_ms = 0.0;
+  double warm_ms = 0.0;
+};
+
+/// Simulated 2-worker shared store: stream 0 pays every score, then
+/// stream 1 joins the same directory and reruns the spec. The warm run
+/// must make ZERO model calls and be served entirely by entries the
+/// sibling stream paid for (hit_rate == 1.0, all hits peer hits).
+SharedStoreLeg RunSharedStoreLeg() {
+  SharedStoreLeg leg;
+  const fs::path root = FreshDir("store_shared");
+  certa::service::JobSpec spec;
+  spec.id = "bench";
+  spec.dataset = "BA";
+  spec.model = "svm";
+  spec.pair_index = 1;
+  spec.triangles = 200;
+
+  std::string results[2];
+  for (int slot = 0; slot < 2; ++slot) {
+    certa::persist::ScoreStore store;
+    certa::persist::ScoreStore::Options store_options;
+    store_options.stream_slot = slot;
+    store_options.exclusive_lock = true;
+    if (!store.Open((root / "store").string(), store_options)) return leg;
+    leg.opened = true;
+    certa::service::DurableRunOptions options;
+    options.store = &store;
+    const Clock::time_point start = Clock::now();
+    certa::service::JobOutcome outcome = certa::service::RunDurableExplain(
+        spec, (root / ("job" + std::to_string(slot))).string(), options);
+    const double ms = MillisSince(start);
+    store.Sync();
+    results[slot] = outcome.result_json;
+    if (slot == 0) {
+      leg.cold_fresh = outcome.fresh_scores;
+      leg.cold_ms = ms;
+    } else {
+      leg.warm_fresh = outcome.fresh_scores;
+      leg.warm_store_hits = outcome.store_hits;
+      leg.warm_peer_hits = outcome.store_peer_hits;
+      leg.warm_ms = ms;
+      const long long lookups = outcome.fresh_scores + outcome.store_hits;
+      leg.hit_rate = lookups > 0 ? static_cast<double>(outcome.store_hits) /
+                                       static_cast<double>(lookups)
+                                 : 0.0;
+    }
+  }
+  leg.results_identical =
+      !results[0].empty() && results[0] == results[1];
+  fs::remove_all(root);
+  return leg;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -295,6 +362,44 @@ int main(int argc, char** argv) {
   json.Number(store.run1_ms);
   json.Key("run2_ms");
   json.Number(store.run2_ms);
+  json.EndObject();
+
+  // The nightly scale job asserts on this leg: a 2-worker fleet over
+  // one shared store must be fully warm on the second stream.
+  const SharedStoreLeg shared = RunSharedStoreLeg();
+  std::printf("\nshared store across 2 worker streams (BA, svm, "
+              "200 triangles)\n");
+  std::printf("  stream 0 (cold): %lld fresh calls, %.1f ms\n",
+              shared.cold_fresh, shared.cold_ms);
+  std::printf("  stream 1 (warm): %lld fresh, %lld store hits "
+              "(%lld peer, hit rate %.3f), %.1f ms\n",
+              shared.warm_fresh, shared.warm_store_hits,
+              shared.warm_peer_hits, shared.hit_rate, shared.warm_ms);
+  std::printf("  results byte-identical: %s\n",
+              shared.results_identical ? "yes" : "NO");
+  ok = ok && shared.opened && shared.results_identical &&
+       shared.warm_fresh == 0 && shared.hit_rate == 1.0 &&
+       shared.warm_peer_hits > 0 &&
+       shared.warm_peer_hits == shared.warm_store_hits;
+
+  json.Key("store_shared");
+  json.BeginObject();
+  json.Key("cold_fresh_scores");
+  json.Int(shared.cold_fresh);
+  json.Key("warm_fresh_scores");
+  json.Int(shared.warm_fresh);
+  json.Key("warm_store_hits");
+  json.Int(shared.warm_store_hits);
+  json.Key("warm_peer_hits");
+  json.Int(shared.warm_peer_hits);
+  json.Key("hit_rate");
+  json.Number(shared.hit_rate);
+  json.Key("results_byte_identical");
+  json.Bool(shared.results_identical);
+  json.Key("cold_ms");
+  json.Number(shared.cold_ms);
+  json.Key("warm_ms");
+  json.Number(shared.warm_ms);
   json.EndObject();
   json.EndObject();
 

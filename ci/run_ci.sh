@@ -14,12 +14,16 @@
 #      -march=native, and the TSan build;
 #   5. the observability overhead bench, which fails if instrumentation
 #      changes a result byte and writes BENCH_obs.json;
-#   6. the store suite (score-store crash-fuzz + candidate-index
+#   6. the store suite (score-store crash-fuzz — including SIGKILLed
+#      sibling streams sharing one directory — + candidate-index
 #      differential battery) in the Release, ASan and TSan builds, plus
-#      an optional 100k-record scale smoke gated on CERTA_CI_SCALE=1;
+#      an optional 100k-record scale smoke gated on CERTA_CI_SCALE=1
+#      whose bench also asserts the 2-worker shared-store warm rerun
+#      (fleet-wide hit_rate == 1.0, zero fresh model calls);
 #   7. the fleet suite (multi-process master/worker serving: dir-lock
-#      contention, crash recovery, rolling restart, and the randomized
-#      SIGKILL chaos battery) in the Release, ASan and TSan builds.
+#      contention, crash recovery, rolling restart, the shared
+#      cross-worker score store, and the randomized SIGKILL chaos
+#      battery) in the Release, ASan and TSan builds.
 # Any failure fails the script.
 set -euo pipefail
 
@@ -48,8 +52,10 @@ ctest --test-dir "${REPO_ROOT}/build-ci" --output-on-failure -L service-net
 ctest --test-dir "${REPO_ROOT}/build-ci" --output-on-failure -L store
 # Multi-process fleet serving: flock exclusivity across processes,
 # supervised worker SIGKILL recovery, SIGHUP rolling restart, per-worker
-# backpressure, and the chaos battery (random worker kills under live
-# multi-client load, byte-compared against single-process explains).
+# backpressure, the shared cross-worker score store (sibling reuse,
+# warm-fleet reruns, retry-streak budgets, torn-STATS fan-in), and the
+# chaos battery (random worker kills under live multi-client load over
+# one shared store dir, byte-compared against single-process explains).
 ctest --test-dir "${REPO_ROOT}/build-ci" --output-on-failure -L fleet
 
 echo "== address+undefined sanitizer build =="
@@ -103,7 +109,10 @@ echo "== Observability overhead bench =="
 CERTA_BENCH_OBS_JSON="${REPO_ROOT}/BENCH_obs.json" \
   "${REPO_ROOT}/build-ci/bench/bench_observability"
 
-# Scale smoke: candidate-index speedup + store warm-hit verification.
+# Scale smoke: candidate-index speedup + store warm-hit verification,
+# including the 2-worker shared-store leg (stream 1 must rerun the job
+# with zero fresh model calls, hit_rate == 1.0, every hit paid by its
+# sibling stream — the bench exits nonzero otherwise).
 # Minutes of wall clock, so gated — set CERTA_CI_SCALE=1 to run it.
 # Defaults to 100k records (manual dispatch); the nightly workflow sets
 # CERTA_CI_SCALE_RECORDS=1000000 for the full 1M-record pass.

@@ -59,16 +59,24 @@ PredictionCache::PredictionCache(size_t num_shards,
 
 void PredictionCache::BindMetrics(obs::Counter* hits, obs::Counter* misses,
                                   obs::Counter* evictions,
-                                  obs::Counter* store_hits) {
+                                  obs::Counter* store_hits,
+                                  obs::Counter* store_peer_hits) {
   metric_hits_ = hits;
   metric_misses_ = misses;
   metric_evictions_ = evictions;
   metric_store_hits_ = store_hits;
+  metric_store_peer_hits_ = store_peer_hits;
 }
 
-void PredictionCache::CountStoreHit() {
+void PredictionCache::CountStoreHit(bool peer) {
   store_hits_.fetch_add(1, std::memory_order_relaxed);
   if (metric_store_hits_ != nullptr) metric_store_hits_->Increment();
+  if (peer) {
+    store_peer_hits_.fetch_add(1, std::memory_order_relaxed);
+    if (metric_store_peer_hits_ != nullptr) {
+      metric_store_peer_hits_->Increment();
+    }
+  }
 }
 
 void PredictionCache::BindViewMetrics(obs::Counter* view_hits,
@@ -194,7 +202,8 @@ PredictionCache::Stats PredictionCache::stats() const {
   return {hits_.load(std::memory_order_relaxed),
           misses_.load(std::memory_order_relaxed),
           evictions_.load(std::memory_order_relaxed),
-          store_hits_.load(std::memory_order_relaxed)};
+          store_hits_.load(std::memory_order_relaxed),
+          store_peer_hits_.load(std::memory_order_relaxed)};
 }
 
 size_t PredictionCache::entry_count() const {
@@ -225,7 +234,8 @@ ScoringEngine::ScoringEngine(const Matcher* base, Options options)
     cache_.BindMetrics(reg.counter("scoring.cache.hits"),
                        reg.counter("scoring.cache.misses"),
                        reg.counter("scoring.cache.evictions"),
-                       reg.counter("scoring.cache.store_hits"));
+                       reg.counter("scoring.cache.store_hits"),
+                       reg.counter("scoring.cache.store_peer_hits"));
     cache_.BindViewMetrics(reg.counter("scoring.cache.view_hits"),
                            reg.counter("scoring.cache.flush_locks"));
   }
@@ -275,13 +285,16 @@ double ScoringEngine::Score(const data::Record& u,
   PairKey key = HashPair(u, v);
   double score = 0.0;
   if (options_.enable_cache && cache_.Lookup(key, &score)) return score;
-  if (options_.store_probe && options_.store_probe(key, &score)) {
-    // Store-served miss: same insertion (and hence eviction) sequence
-    // as computing, minus the paid base call. The observer stays
-    // silent — nothing fresh happened.
-    cache_.CountStoreHit();
-    if (options_.enable_cache) cache_.Insert(key, score);
-    return score;
+  if (options_.store_probe) {
+    const int served = options_.store_probe(key, &score);
+    if (served != 0) {
+      // Store-served miss: same insertion (and hence eviction) sequence
+      // as computing, minus the paid base call. The observer stays
+      // silent — nothing fresh happened.
+      cache_.CountStoreHit(/*peer=*/served == 2);
+      if (options_.enable_cache) cache_.Insert(key, score);
+      return score;
+    }
   }
   score = base_->Score(u, v);
   if (metric_.scores_computed != nullptr) metric_.scores_computed->Increment();
@@ -458,12 +471,15 @@ std::vector<double> ScoringEngine::ScoreBatch(
                        : cache_.Lookup(plan.keys[input], &unique_scores[s]))) {
       continue;
     }
-    if (options_.store_probe &&
-        options_.store_probe(plan.keys[input], &unique_scores[s])) {
-      cache_.CountStoreHit();
-      fill_slots.push_back(s);
-      fill_from_store.push_back(1);
-      continue;
+    if (options_.store_probe) {
+      const int served =
+          options_.store_probe(plan.keys[input], &unique_scores[s]);
+      if (served != 0) {
+        cache_.CountStoreHit(/*peer=*/served == 2);
+        fill_slots.push_back(s);
+        fill_from_store.push_back(1);
+        continue;
+      }
     }
     miss_pairs.push_back(pairs[input]);
     fill_slots.push_back(s);
@@ -543,12 +559,15 @@ ScoringEngine::BatchOutcome ScoringEngine::TryScoreBatch(
       unique_ok[s] = 1;
       continue;
     }
-    if (options_.store_probe &&
-        options_.store_probe(plan.keys[input], &unique_scores[s])) {
-      cache_.CountStoreHit();
-      fill_slots.push_back(s);
-      fill_from_store.push_back(1);
-      continue;
+    if (options_.store_probe) {
+      const int served =
+          options_.store_probe(plan.keys[input], &unique_scores[s]);
+      if (served != 0) {
+        cache_.CountStoreHit(/*peer=*/served == 2);
+        fill_slots.push_back(s);
+        fill_from_store.push_back(1);
+        continue;
+      }
     }
     miss_pairs.push_back(pairs[input]);
     fill_slots.push_back(s);

@@ -58,6 +58,11 @@ class PredictionCache {
     /// hits + misses still tallies every lookup, and store_hits says
     /// how many of those misses skipped a paid model call anyway.
     long long store_hits = 0;
+    /// Subset of store_hits whose score was paid for by a *sibling*
+    /// worker sharing the store directory (probe returned 2, see
+    /// Options::StoreProbe) — the cross-worker reuse a shared fleet
+    /// store exists to prove.
+    long long store_peer_hits = 0;
   };
 
   PredictionCache(size_t num_shards, size_t max_entries_per_shard);
@@ -68,7 +73,8 @@ class PredictionCache {
   /// attached or enabled.
   void BindMetrics(obs::Counter* hits, obs::Counter* misses,
                    obs::Counter* evictions,
-                   obs::Counter* store_hits = nullptr);
+                   obs::Counter* store_hits = nullptr,
+                   obs::Counter* store_peer_hits = nullptr);
 
   /// Hot-path instrumentation for the batched View below (both may be
   /// null): `view_hits` counts lookups served lock-free from a view's
@@ -130,8 +136,9 @@ class PredictionCache {
 
   /// Counts one store-served miss (the engine calls this when its
   /// store_probe hook supplies the score a cache miss would otherwise
-  /// have paid the base model for).
-  void CountStoreHit();
+  /// have paid the base model for). `peer` additionally counts a
+  /// store_peer_hit — the serving entry was paid by a sibling worker.
+  void CountStoreHit(bool peer = false);
 
   /// Seeds the cache with a replayed (journal) score without touching
   /// the hit/miss counters. The entry is marked prewarmed: its first
@@ -176,8 +183,10 @@ class PredictionCache {
   std::atomic<long long> misses_{0};
   std::atomic<long long> evictions_{0};
   std::atomic<long long> store_hits_{0};
+  std::atomic<long long> store_peer_hits_{0};
   obs::Counter* metric_hits_ = nullptr;
   obs::Counter* metric_store_hits_ = nullptr;
+  obs::Counter* metric_store_peer_hits_ = nullptr;
   obs::Counter* metric_misses_ = nullptr;
   obs::Counter* metric_evictions_ = nullptr;
   obs::Counter* metric_view_hits_ = nullptr;
@@ -228,15 +237,20 @@ class ScoringEngine : public Matcher {
     /// Optional journal hook; empty = no observation overhead.
     ScoreObserver observer;
     /// Durable read-through hooks (src/persist's ScoreStore binds
-    /// them): `store_probe` is consulted after a cache miss — true
+    /// them): `store_probe` is consulted after a cache miss — nonzero
     /// (and *score set) serves the miss without a base-model call —
     /// and `store_write` is invoked once per freshly computed score,
     /// right after `observer`, on the calling thread in input order.
-    /// Store-served scores keep the hit/miss/eviction counter stream
-    /// and every result byte identical to computing (the store only
-    /// holds values the deterministic model produced); they are
-    /// tallied separately as PredictionCache::Stats::store_hits.
-    using StoreProbe = std::function<bool(const PairKey&, double*)>;
+    /// The probe's return value says who paid for the score: 0 = miss,
+    /// 1 = this worker's own store entry, 2 = an entry absorbed from a
+    /// sibling worker sharing the store directory (tallied as
+    /// store_peer_hits on top of store_hits). A bool-returning lambda
+    /// still converts — false/true map to 0/1. Store-served scores
+    /// keep the hit/miss/eviction counter stream and every result byte
+    /// identical to computing (the store only holds values the
+    /// deterministic model produced); they are tallied separately as
+    /// PredictionCache::Stats::store_hits.
+    using StoreProbe = std::function<int(const PairKey&, double*)>;
     using StoreWrite = std::function<void(const PairKey&, double)>;
     StoreProbe store_probe;
     StoreWrite store_write;

@@ -349,15 +349,21 @@ void NetServer::HandleWritable(Conn* conn) {
 void NetServer::QueueFrame(Conn* conn, const std::string& frame,
                            bool droppable) {
   if (conn->fd < 0) return;
-  if (conn->write_buffer.size() + frame.size() > options_.max_write_buffer) {
-    if (droppable) {
+  if (droppable) {
+    if (conn->write_buffer.size() + frame.size() >
+        options_.max_write_buffer) {
       // Shed the event; the reader catches up from the next snapshot.
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.events_dropped;
       return;
     }
-    // A required response that cannot fit means the reader has stalled
-    // past any reasonable buffer: disconnect rather than balloon.
+  } else if (conn->write_buffer.size() > options_.max_write_buffer) {
+    // The cap bounds the *backlog a stalled reader can pin*, not the
+    // intrinsic size of one response: a single frame over the cap (a
+    // multi-megabyte result.json) must still be deliverable, or the
+    // client retries forever and every retry re-pays the disk read.
+    // Backlog already past the cap means the reader has genuinely
+    // stalled: disconnect rather than balloon.
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.slow_reader_closes;

@@ -33,12 +33,18 @@ DirLock& DirLock::operator=(DirLock&& other) noexcept {
 const char* DirLock::LockFileName() { return ".lock"; }
 
 bool DirLock::Acquire(const std::string& dir, std::string* error) {
+  return AcquireFile(dir, LockFileName(), error);
+}
+
+bool DirLock::AcquireFile(const std::string& dir,
+                          const std::string& lock_file_name,
+                          std::string* error) {
   Release();
   if (!util::EnsureDirectory(dir)) {
     if (error) *error = "cannot create " + dir + ": " + std::strerror(errno);
     return false;
   }
-  const std::string lock_path = dir + "/" + LockFileName();
+  const std::string lock_path = dir + "/" + lock_file_name;
   int fd = ::open(lock_path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
   if (fd < 0) {
     if (error) {

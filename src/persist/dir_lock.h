@@ -30,6 +30,14 @@ class DirLock {
   /// recorded holder pid when readable) or on I/O failure.
   bool Acquire(const std::string& dir, std::string* error);
 
+  /// Same, but on a caller-named lock file inside `dir` instead of the
+  /// default LockFileName(). Lets several cooperating lock files share
+  /// one directory — a shared score store uses one per append stream
+  /// (".lock-w<slot>") plus a compaction lease, so siblings coexist
+  /// while two processes can still never own the same stream.
+  bool AcquireFile(const std::string& dir, const std::string& lock_file_name,
+                   std::string* error);
+
   /// Drops the lock and closes the descriptor. Idempotent. The lock
   /// file itself is left in place: unlinking would race a concurrent
   /// acquirer that already opened the old inode.

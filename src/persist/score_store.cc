@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <unordered_set>
 
 #include "util/atomic_file.h"
 #include "util/crc32.h"
@@ -44,23 +45,42 @@ void AppendRecord(std::string* out, uint64_t scope, uint64_t lo, uint64_t hi,
   out->append(reinterpret_cast<const char*>(&crc), sizeof(crc));
 }
 
-/// Parses "segment-NNNNNN.seg" → NNNNNN; -1 for anything else
-/// (temp leftovers, foreign files).
-long long SegmentNumber(const std::string& name) {
+/// Parses a segment file name into (stream slot, segment number).
+/// "segment-NNNNNN.seg" → slot -1 (legacy single-writer naming);
+/// "segment-w<slot>-NNNNNN.seg" → that stream's slot. False for
+/// anything else (temp leftovers, lock files, foreign files).
+bool ParseSegmentName(const std::string& name, int* slot, long long* number) {
   constexpr std::string_view kPrefix = "segment-";
   constexpr std::string_view kSuffix = ".seg";
-  if (name.size() <= kPrefix.size() + kSuffix.size()) return -1;
-  if (name.compare(0, kPrefix.size(), kPrefix) != 0) return -1;
+  if (name.size() <= kPrefix.size() + kSuffix.size()) return false;
+  if (name.compare(0, kPrefix.size(), kPrefix) != 0) return false;
   if (name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
       0) {
-    return -1;
+    return false;
   }
-  long long number = 0;
-  for (size_t i = kPrefix.size(); i < name.size() - kSuffix.size(); ++i) {
-    if (name[i] < '0' || name[i] > '9') return -1;
-    number = number * 10 + (name[i] - '0');
+  size_t pos = kPrefix.size();
+  const size_t end = name.size() - kSuffix.size();
+  int parsed_slot = -1;
+  if (name[pos] == 'w') {
+    ++pos;
+    size_t dash = name.find('-', pos);
+    if (dash == std::string::npos || dash >= end || dash == pos) return false;
+    parsed_slot = 0;
+    for (size_t i = pos; i < dash; ++i) {
+      if (name[i] < '0' || name[i] > '9') return false;
+      parsed_slot = parsed_slot * 10 + (name[i] - '0');
+    }
+    pos = dash + 1;
   }
-  return number;
+  if (pos >= end) return false;
+  long long parsed_number = 0;
+  for (size_t i = pos; i < end; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    parsed_number = parsed_number * 10 + (name[i] - '0');
+  }
+  *slot = parsed_slot;
+  *number = parsed_number;
+  return true;
 }
 
 /// fsync on the directory makes newly created/renamed segment files
@@ -85,14 +105,41 @@ bool WriteAll(int fd, const char* data, size_t size, size_t* written) {
   return true;
 }
 
+bool PreadAll(int fd, char* data, size_t size, off_t offset) {
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::pread(fd, data + done, size - done,
+                        offset + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // shrank under us; retry next refresh
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
 }  // namespace
 
 ScoreStore::~ScoreStore() { Close(); }
 
+const char* ScoreStore::CompactionLeaseFileName() { return ".compact-lease"; }
+
 std::string ScoreStore::SegmentPath(long long number) const {
-  char name[32];
-  std::snprintf(name, sizeof(name), "segment-%06lld.seg", number);
+  char name[48];
+  if (options_.stream_slot >= 0) {
+    std::snprintf(name, sizeof(name), "segment-w%d-%06lld.seg",
+                  options_.stream_slot, number);
+  } else {
+    std::snprintf(name, sizeof(name), "segment-%06lld.seg", number);
+  }
   return dir_ + "/" + name;
+}
+
+std::string ScoreStore::StreamLockName() const {
+  if (options_.stream_slot < 0) return DirLock::LockFileName();
+  return ".lock-w" + std::to_string(options_.stream_slot);
 }
 
 size_t ScoreStore::AbsorbSegment(const char* data, size_t size,
@@ -120,7 +167,9 @@ size_t ScoreStore::AbsorbSegment(const char* data, size_t size,
     std::memcpy(&key.lo, payload + 8, sizeof(key.lo));
     std::memcpy(&key.hi, payload + 16, sizeof(key.hi));
     std::memcpy(&score, payload + 24, sizeof(score));
-    index_[key] = score;
+    // Own bytes: overwrite, so a key a peer was absorbed for first
+    // regains its own provenance (this writer also paid for it).
+    index_[key] = Entry{score, /*from_peer=*/false};
     ++stats_.replayed_records;
     offset += kRecordSize;
   }
@@ -166,6 +215,123 @@ bool ScoreStore::LoadSegment(const std::string& path) {
   return true;
 }
 
+void ScoreStore::AbsorbPeerTail(const std::string& name, PeerFile* peer) {
+  if (peer->ignored) return;
+  const std::string path = dir_ + "/" + name;
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return;  // vanished between scan and open; next pass prunes
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (!peer->header_ok) {
+    // Too small to judge: the owner may still be writing its header.
+    // Not an error and not ignorable yet — just not absorbable.
+    if (size < kHeaderSize) {
+      ::close(fd);
+      return;
+    }
+    char header[kHeaderSize];
+    if (!PreadAll(fd, header, kHeaderSize, 0)) {
+      ::close(fd);
+      return;
+    }
+    uint32_t version = 0;
+    std::memcpy(&version, header + sizeof(kMagic), sizeof(version));
+    if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0 ||
+        version != kVersion) {
+      // A complete header that is wrong never becomes right: skip this
+      // file forever (mirrors bad_headers handling of own segments,
+      // but the count is the owner's to report).
+      peer->ignored = true;
+      ::close(fd);
+      return;
+    }
+    peer->header_ok = true;
+    peer->absorbed = kHeaderSize;
+  }
+  if (size <= peer->absorbed) {
+    ::close(fd);
+    return;
+  }
+  std::string tail(size - peer->absorbed, '\0');
+  if (!PreadAll(fd, tail.data(), tail.size(),
+                static_cast<off_t>(peer->absorbed))) {
+    ::close(fd);
+    return;
+  }
+  ::close(fd);
+  // Absorb exactly the whole-record CRC-valid prefix. A failing CRC in
+  // a live sibling file is most often an append in flight, not
+  // corruption — so unlike own-segment recovery we neither truncate
+  // the file (its owner will, if it really is torn) nor count
+  // dropped_bytes: we simply stop and re-check from the same offset on
+  // the next refresh.
+  size_t offset = 0;
+  while (offset + kRecordSize <= tail.size()) {
+    const char* payload = tail.data() + offset;
+    uint32_t stored = 0;
+    std::memcpy(&stored, payload + kPayloadSize, sizeof(stored));
+    if (util::Crc32(payload, kPayloadSize) != stored) break;
+    StoreKey key;
+    double score = 0.0;
+    std::memcpy(&key.scope, payload, sizeof(key.scope));
+    std::memcpy(&key.lo, payload + 8, sizeof(key.lo));
+    std::memcpy(&key.hi, payload + 16, sizeof(key.hi));
+    std::memcpy(&score, payload + 24, sizeof(score));
+    // try_emplace: an entry this writer paid for (or absorbed earlier)
+    // wins — deterministic scores agree, only provenance differs.
+    auto [it, inserted] = index_.try_emplace(key, Entry{score, true});
+    (void)it;
+    if (inserted) {
+      ++stats_.peer_records;
+      if (metric_peer_records_ != nullptr) metric_peer_records_->Increment();
+    }
+    offset += kRecordSize;
+  }
+  peer->absorbed += offset;
+}
+
+bool ScoreStore::RefreshPeersLocked() {
+  DIR* handle = ::opendir(dir_.c_str());
+  if (handle == nullptr) return false;
+  std::unordered_set<std::string> present;
+  while (struct dirent* entry = ::readdir(handle)) {
+    const std::string name = entry->d_name;
+    int slot = -1;
+    long long number = 0;
+    if (!ParseSegmentName(name, &slot, &number)) continue;
+    if (slot == options_.stream_slot) continue;  // own stream
+    present.insert(name);
+    AbsorbPeerTail(name, &peers_[name]);
+  }
+  ::closedir(handle);
+  // A tracked peer file that vanished was compacted (or removed) by
+  // its owner. Its absorbed entries stay in memory; the replacement
+  // segment shows up as a new name and re-absorbs from offset 0, with
+  // try_emplace deduplicating the overlap.
+  for (auto it = peers_.begin(); it != peers_.end();) {
+    if (present.count(it->first) == 0) {
+      it = peers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return true;
+}
+
+bool ScoreStore::RefreshPeers() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return false;
+  if (options_.stream_slot < 0) return true;  // single-writer namespace
+  const long long before = stats_.peer_records;
+  if (!RefreshPeersLocked()) return false;
+  if (stats_.peer_records > before) ++stats_.peer_refreshes;
+  return true;
+}
+
 bool ScoreStore::OpenActiveSegment(long long number, bool truncate_to,
                                    size_t valid) {
   const std::string path = SegmentPath(number);
@@ -202,34 +368,64 @@ bool ScoreStore::OpenActiveSegment(long long number, bool truncate_to,
   return true;
 }
 
+bool ScoreStore::FailOpen(const std::string& message) {
+  if (open_error_.empty()) open_error_ = message;
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  dir_lock_.Release();
+  return false;
+}
+
 bool ScoreStore::Open(const std::string& dir, const Options& options) {
   std::lock_guard<std::mutex> lock(mutex_);
   CERTA_CHECK(fd_ < 0);
   dir_ = dir;
   options_ = options;
   index_.clear();
+  peers_.clear();
   buffer_.clear();
   unsynced_appends_ = 0;
   stats_ = Stats();
   open_error_.clear();
   if (!util::EnsureDirectory(dir_)) {
-    open_error_ = "cannot create " + dir_;
-    return false;
+    return FailOpen("cannot create " + dir_ + ": " + std::strerror(errno));
   }
-  if (options_.exclusive_lock && !dir_lock_.Acquire(dir_, &open_error_)) {
-    return false;
+  if (options_.exclusive_lock &&
+      !dir_lock_.AcquireFile(dir_, StreamLockName(), &open_error_)) {
+    return FailOpen("cannot lock " + dir_);
   }
 
+  const bool shared = options_.stream_slot >= 0;
+  // Shared mode: a temp is sweepable only when it belongs to this
+  // writer's own stream — a sibling's `.seg.tmp` may be an in-flight
+  // compaction, and unlinking it mid-rename would lose the rewrite.
+  const std::string own_temp_prefix =
+      "segment-w" + std::to_string(options_.stream_slot) + "-";
   std::vector<long long> segments;
+  std::vector<std::string> peer_names;
   std::vector<std::string> leftovers;
   DIR* handle = ::opendir(dir_.c_str());
-  if (handle == nullptr) return false;
+  if (handle == nullptr) {
+    return FailOpen("cannot scan " + dir_ + ": " + std::strerror(errno));
+  }
   while (struct dirent* entry = ::readdir(handle)) {
     const std::string name = entry->d_name;
-    long long number = SegmentNumber(name);
-    if (number >= 0) {
-      segments.push_back(number);
-    } else if (name.find(".seg.tmp") != std::string::npos) {
+    int slot = -1;
+    long long number = 0;
+    if (ParseSegmentName(name, &slot, &number)) {
+      if (slot == options_.stream_slot) {
+        segments.push_back(number);
+      } else {
+        // A sibling stream's segment — or, in single-writer mode, a
+        // stream-named file left by an ex-fleet directory. Either way
+        // it is absorbed read-only below, never written or swept.
+        peer_names.push_back(name);
+      }
+    } else if (name.find(".seg.tmp") != std::string::npos &&
+               (!shared || name.compare(0, own_temp_prefix.size(),
+                                        own_temp_prefix) == 0)) {
       // A compaction killed between temp-write and rename; the temp
       // file was never trusted and is swept here.
       leftovers.push_back(dir_ + "/" + name);
@@ -238,35 +434,47 @@ bool ScoreStore::Open(const std::string& dir, const Options& options) {
   ::closedir(handle);
   for (const std::string& path : leftovers) ::unlink(path.c_str());
   std::sort(segments.begin(), segments.end());
+  std::sort(peer_names.begin(), peer_names.end());
 
   if (segments.empty()) {
-    if (!OpenActiveSegment(1, /*truncate_to=*/false, 0)) return false;
-    stats_.segments = 1;
-    return true;
-  }
-  for (long long number : segments) {
-    segment_valid_bytes_ = 0;
-    if (!LoadSegment(SegmentPath(number))) {
-      // Unreadable segment file: treat like a bad header — skip it.
-      ++stats_.bad_headers;
+    if (!OpenActiveSegment(1, /*truncate_to=*/false, 0)) {
+      return FailOpen("cannot create active segment " + SegmentPath(1) +
+                      ": " + std::strerror(errno));
     }
+    stats_.segments = 1;
+  } else {
+    for (long long number : segments) {
+      segment_valid_bytes_ = 0;
+      if (!LoadSegment(SegmentPath(number))) {
+        // Unreadable segment file: treat like a bad header — skip it.
+        ++stats_.bad_headers;
+      }
+    }
+    // The highest-numbered segment stays active; its recovery scan told
+    // us the valid prefix to truncate to. A bad-header active segment
+    // is rewritten from scratch (nothing in it was trusted).
+    const long long active = segments.back();
+    const bool rewrite = segment_valid_bytes_ < kHeaderSize;
+    if (!OpenActiveSegment(active, /*truncate_to=*/!rewrite,
+                           segment_valid_bytes_)) {
+      return FailOpen("cannot open active segment " + SegmentPath(active) +
+                      ": " + std::strerror(errno));
+    }
+    stats_.segments = segments.size();
   }
-  // The highest-numbered segment stays active; its recovery scan told
-  // us the valid prefix to truncate to. A bad-header active segment is
-  // rewritten from scratch (nothing in it was trusted).
-  const long long active = segments.back();
-  const bool rewrite = segment_valid_bytes_ < kHeaderSize;
-  if (!OpenActiveSegment(active, /*truncate_to=*/!rewrite,
-                         segment_valid_bytes_)) {
-    return false;
+  // Own segments first, peers second: a key both paid for keeps its
+  // own provenance (own loads overwrite, peer absorption only inserts)
+  // and peer_records counts only genuinely foreign entries.
+  for (const std::string& name : peer_names) {
+    AbsorbPeerTail(name, &peers_[name]);
   }
-  stats_.segments = segments.size();
   return true;
 }
 
 bool ScoreStore::Lookup(uint64_t scope, const models::PairKey& key,
-                        double* score) {
+                        double* score, bool* from_peer) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (from_peer != nullptr) *from_peer = false;
   if (fd_ < 0) return false;
   ++stats_.lookups;
   if (metric_lookups_ != nullptr) metric_lookups_->Increment();
@@ -274,7 +482,12 @@ bool ScoreStore::Lookup(uint64_t scope, const models::PairKey& key,
   if (it == index_.end()) return false;
   ++stats_.hits;
   if (metric_hits_ != nullptr) metric_hits_->Increment();
-  if (score != nullptr) *score = it->second;
+  if (it->second.from_peer) {
+    ++stats_.peer_hits;
+    if (metric_peer_hits_ != nullptr) metric_peer_hits_->Increment();
+  }
+  if (score != nullptr) *score = it->second.score;
+  if (from_peer != nullptr) *from_peer = it->second.from_peer;
   return true;
 }
 
@@ -283,7 +496,8 @@ bool ScoreStore::Put(uint64_t scope, const models::PairKey& key,
   std::lock_guard<std::mutex> lock(mutex_);
   if (fd_ < 0) return false;
   auto [it, inserted] = index_.try_emplace(StoreKey{scope, key.lo, key.hi},
-                                           score);
+                                           Entry{score, /*from_peer=*/false});
+  (void)it;
   if (!inserted) return true;  // deterministic scores: re-put is a no-op
   AppendRecord(&buffer_, scope, key.lo, key.hi, score);
   ++stats_.appends;
@@ -305,6 +519,10 @@ bool ScoreStore::RollSegmentLocked() {
   if (!OpenActiveSegment(active_segment_ + 1, /*truncate_to=*/false, 0)) {
     return false;
   }
+  // The roll was preceded by a SyncLocked (nothing buffered crosses a
+  // segment boundary), so the self-sync cadence starts over with the
+  // fresh segment rather than inheriting the old file's countdown.
+  unsynced_appends_ = 0;
   ++stats_.segments;
   return true;
 }
@@ -334,10 +552,28 @@ bool ScoreStore::Compact() {
   if (fd_ < 0) return false;
   if (!SyncLocked()) return false;
 
+  // Shared mode: the directory-wide lease serializes compactions so at
+  // most one worker churns the directory at a time. Busy means a
+  // sibling is mid-rewrite — skipping is safe (this stream's segments
+  // are untouched by the sibling, and a later Compact retries), so a
+  // held lease is "done for now", not failure.
+  DirLock lease;
+  if (options_.stream_slot >= 0) {
+    std::string lease_error;
+    if (!lease.AcquireFile(dir_, CompactionLeaseFileName(), &lease_error)) {
+      return true;
+    }
+  }
+
+  // Only entries this writer paid for (or replayed from its own
+  // stream) are rewritten: every byte on disk keeps exactly one
+  // writer, and a sibling-paid entry stays durable in the sibling's
+  // stream where its owner compacts it.
   std::string content = SegmentHeader();
   content.reserve(kHeaderSize + index_.size() * kRecordSize);
-  for (const auto& [key, score] : index_) {
-    AppendRecord(&content, key.scope, key.lo, key.hi, score);
+  for (const auto& [key, entry] : index_) {
+    if (entry.from_peer) continue;
+    AppendRecord(&content, key.scope, key.lo, key.hi, entry.score);
   }
   const long long next = active_segment_ + 1;
   // util::AtomicWriteFile is the append-then-rename discipline: temp in
@@ -355,6 +591,9 @@ bool ScoreStore::Compact() {
   if (!OpenActiveSegment(next, /*truncate_to=*/true, content.size())) {
     return false;
   }
+  // Everything buffered was flushed above and the rewrite is fully
+  // fsynced — the self-sync countdown restarts at zero.
+  unsynced_appends_ = 0;
   stats_.segments = 1;
   ++stats_.compactions;
   if (metric_compactions_ != nullptr) metric_compactions_->Increment();
@@ -374,12 +613,15 @@ void ScoreStore::Close() {
 void ScoreStore::BindMetrics(obs::MetricsRegistry* registry) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (registry == nullptr) {
-    metric_lookups_ = metric_hits_ = metric_appends_ = metric_syncs_ =
-        metric_compactions_ = nullptr;
+    metric_lookups_ = metric_hits_ = metric_peer_hits_ =
+        metric_peer_records_ = metric_appends_ = metric_syncs_ =
+            metric_compactions_ = nullptr;
     return;
   }
   metric_lookups_ = registry->counter("store.lookups");
   metric_hits_ = registry->counter("store.hits");
+  metric_peer_hits_ = registry->counter("store.peer_hits");
+  metric_peer_records_ = registry->counter("store.peer_records");
   metric_appends_ = registry->counter("store.appends");
   metric_syncs_ = registry->counter("store.syncs");
   metric_compactions_ = registry->counter("store.compactions");

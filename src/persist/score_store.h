@@ -33,7 +33,7 @@ namespace certa::persist {
 /// store directory safely serves heterogeneous traffic.
 ///
 /// On-disk format (host-endian, single-machine durability), one or
-/// more `segment-NNNNNN.seg` files:
+/// more segment files:
 ///   header:  8-byte magic "CERTASST" + uint32 version (1)
 ///   record:  uint64 scope | uint64 key.lo | uint64 key.hi |
 ///            double score | uint32 crc
@@ -45,14 +45,36 @@ namespace certa::persist {
 /// never interpreted — and segments are loaded mmap(2)-ed read-only
 /// when possible (falling back to a plain read).
 ///
-/// Compaction rewrites the live entries into a single next-numbered
-/// segment via the append-then-rename discipline (temp file + fsync +
-/// atomic rename + directory fsync, util::AtomicWriteFile), then
-/// unlinks the old segments. A crash at any point leaves either the
-/// old segments (rename not reached) or the new one plus some
-/// not-yet-unlinked old ones (duplicate entries across segments are
-/// harmless — deterministic scores agree); leftover temp files are
-/// ignored and swept on the next Open.
+/// Sharing (Options::stream_slot >= 0). One directory can be the
+/// namespace for a whole worker fleet: every byte on disk has exactly
+/// one writer because each worker appends only to its own stream of
+/// segments, `segment-w<slot>-NNNNNN.seg`, while reading every other
+/// stream lock-free. Exclusivity shrinks from the whole directory to
+/// the stream (".lock-w<slot>"): two processes can never own the same
+/// stream, but siblings coexist. Sibling segments are absorbed on Open
+/// and re-absorbed incrementally by RefreshPeers(), which extends each
+/// peer file's trusted prefix exactly as recovery would — a torn or
+/// in-flight sibling tail is simply not absorbed yet, never
+/// interpreted, and never modified on disk (its owner truncates it on
+/// its own next Open). Entries paid by a sibling are flagged, so
+/// Stats::peer_hits tells cross-worker reuse apart from own hits.
+/// With stream_slot = -1 (default) the store is a single-writer
+/// namespace using legacy `segment-NNNNNN.seg` names; stream-named
+/// segments found in the directory (an ex-fleet store) are still
+/// absorbed read-only as peers.
+///
+/// Compaction rewrites this writer's live entries into a single
+/// next-numbered segment of its own stream via the append-then-rename
+/// discipline (temp file + fsync + atomic rename + directory fsync,
+/// util::AtomicWriteFile), then unlinks the stream's old segments —
+/// never a sibling's. In shared mode the directory-wide flock'd
+/// compaction lease (".compact-lease") serializes rewrites so at most
+/// one worker churns the directory at a time; a busy lease skips the
+/// compaction (it retries on a later call). A crash at any point
+/// leaves either the old segments (rename not reached) or the new one
+/// plus some not-yet-unlinked old ones (duplicate entries across
+/// segments are harmless — deterministic scores agree); leftover temp
+/// files are ignored and swept on the stream owner's next Open.
 class ScoreStore {
  public:
   struct Options {
@@ -65,24 +87,35 @@ class ScoreStore {
     /// Load segments through mmap(2); disable to force the plain-read
     /// path (the two are byte-equivalent — see score_store_test).
     bool use_mmap = true;
-    /// Hold a flock-based DirLock on the store directory for the
-    /// lifetime of the open store, so two processes can never attach to
-    /// the same store namespace (serve and the fleet workers enable
-    /// this; plain library use stays lock-free so read-only tooling can
-    /// inspect a live store's segments).
+    /// Hold a flock-based DirLock for the lifetime of the open store,
+    /// so two processes can never attach the same writer namespace
+    /// (serve and the fleet workers enable this; plain library use
+    /// stays lock-free so read-only tooling can inspect a live store's
+    /// segments). The lock file is ".lock" for a whole-directory store
+    /// and ".lock-w<slot>" for a shared-mode stream — sibling streams
+    /// in one directory never contend.
     bool exclusive_lock = false;
+    /// >= 0 selects shared-stream mode (see class comment): appends go
+    /// to this writer's own `segment-w<slot>-NNNNNN.seg` stream,
+    /// sibling streams are absorbed read-only, and Compact() takes the
+    /// directory's compaction lease. -1 = single-writer namespace.
+    int stream_slot = -1;
   };
 
   struct Stats {
     /// Live unique (scope, pair) entries in memory.
     size_t entries = 0;
-    /// Segment files currently on disk (including the active one).
+    /// Segment files of this writer's own stream currently on disk
+    /// (including the active one). Sibling streams are not counted —
+    /// each sibling reports its own.
     size_t segments = 0;
-    /// CRC-valid records loaded by Open across all segments.
+    /// CRC-valid records loaded by Open from this writer's own
+    /// segments.
     long long replayed_records = 0;
-    /// Torn/corrupt tail bytes discarded by Open.
+    /// Torn/corrupt tail bytes discarded by Open (own segments only —
+    /// an unabsorbed sibling tail is pending, not dropped).
     long long dropped_bytes = 0;
-    /// Segments whose tail failed CRC validation on Open.
+    /// Own segments whose tail failed CRC validation on Open.
     int corrupt_tails = 0;
     /// Segments whose header was unreadable or wrong; their contents
     /// are untrusted and skipped entirely.
@@ -90,6 +123,15 @@ class ScoreStore {
     long long appends = 0;
     long long lookups = 0;
     long long hits = 0;
+    /// Subset of `hits` served by an entry a sibling stream paid for
+    /// (absorbed on Open or by RefreshPeers) — the cross-worker reuse
+    /// the shared directory exists for.
+    long long peer_hits = 0;
+    /// Entries absorbed from sibling/foreign segments (Open +
+    /// refreshes), counting only keys this store did not already hold.
+    long long peer_records = 0;
+    /// RefreshPeers passes that absorbed at least one new record.
+    long long peer_refreshes = 0;
     long long compactions = 0;
   };
 
@@ -101,15 +143,23 @@ class ScoreStore {
 
   /// Opens (creating `dir` and a first segment when missing) and loads
   /// every valid record into the in-memory index. Returns false when
-  /// the directory or active segment cannot be created/opened.
+  /// the directory or active segment cannot be created/opened — and
+  /// then always leaves open_error() describing why, with no lock
+  /// held. A later Open on the same object (after the failure, or
+  /// after Close) starts clean: stats, counters and the error text
+  /// reset before anything is read.
   bool Open(const std::string& dir, const Options& options);
   bool Open(const std::string& dir) { return Open(dir, Options()); }
 
   bool is_open() const { return fd_ >= 0; }
 
   /// True (and *score set) on a hit. Thread-safe; counts one lookup
-  /// and, on success, one hit.
-  bool Lookup(uint64_t scope, const models::PairKey& key, double* score);
+  /// and, on success, one hit. When `from_peer` is non-null it is set
+  /// to whether the serving entry was paid for by a sibling stream
+  /// (always false for entries this writer appended or loaded from its
+  /// own segments).
+  bool Lookup(uint64_t scope, const models::PairKey& key, double* score,
+              bool* from_peer = nullptr);
 
   /// Records the score (buffered; durable after Sync). A key already
   /// present is skipped — scores are deterministic, so re-puts carry
@@ -121,9 +171,24 @@ class ScoreStore {
   /// Sync survive SIGKILL/power loss.
   bool Sync();
 
-  /// Rewrites the live entries into one fresh segment (atomic
-  /// temp+rename) and unlinks the old ones. Lookups/Puts are excluded
-  /// for the duration. No-op (true) on an empty store.
+  /// Re-scans the directory for sibling/foreign segments and absorbs
+  /// each one's newly CRC-valid prefix into the in-memory index —
+  /// the read half of shared-stream mode. Cheap when nothing changed
+  /// (one directory scan plus a size check per peer file). Never
+  /// touches peer bytes on disk; a torn or in-flight tail stays
+  /// unabsorbed until its owner completes or truncates it. A peer
+  /// segment that vanished (its owner compacted) keeps its absorbed
+  /// entries in memory and is re-discovered under the compacted name.
+  /// No-op (true) outside shared mode. Thread-safe.
+  bool RefreshPeers();
+
+  /// Rewrites this writer's live entries into one fresh own-stream
+  /// segment (atomic temp+rename) and unlinks the stream's old ones —
+  /// sibling-paid entries stay where their owners keep them.
+  /// Lookups/Puts are excluded for the duration. In shared mode the
+  /// flock'd compaction lease serializes directory churn; a busy lease
+  /// skips the compaction (returns true, stats unchanged). No-op
+  /// (true) on an empty store.
   bool Compact();
 
   void Close();
@@ -142,6 +207,9 @@ class ScoreStore {
   /// by another process" from plain I/O failure.
   const std::string& open_error() const { return open_error_; }
 
+  /// Name of the flock'd lease file a shared-mode Compact() takes.
+  static const char* CompactionLeaseFileName();
+
  private:
   struct StoreKey {
     uint64_t scope = 0;
@@ -159,19 +227,44 @@ class ScoreStore {
       return static_cast<size_t>(h);
     }
   };
+  struct Entry {
+    double score = 0.0;
+    /// Paid by a sibling stream (vs appended/loaded by this writer).
+    bool from_peer = false;
+  };
+  /// Incremental absorption state of one sibling/foreign segment file,
+  /// keyed by file name. `absorbed` is the trusted prefix already
+  /// merged; RefreshPeers extends it monotonically.
+  struct PeerFile {
+    size_t absorbed = 0;
+    bool header_ok = false;
+    /// Bad magic/version once the header was big enough to judge:
+    /// never trusted, never re-read.
+    bool ignored = false;
+  };
 
-  /// Parses one segment file into the index. Returns false only on an
-  /// unreadable file (missing/IO error); corruption is handled by
-  /// truncation-to-valid-prefix accounting, not failure.
+  /// Parses one own-stream segment file into the index. Returns false
+  /// only on an unreadable file (missing/IO error); corruption is
+  /// handled by truncation-to-valid-prefix accounting, not failure.
   bool LoadSegment(const std::string& path);
   /// Validates `data` (header + records) and merges the valid prefix
   /// into `index_`; returns the number of valid bytes (0 on a bad
   /// header).
   size_t AbsorbSegment(const char* data, size_t size, bool* bad_header);
+  /// Extends `peer`'s absorbed prefix from the file's current bytes.
+  void AbsorbPeerTail(const std::string& name, PeerFile* peer);
+  bool RefreshPeersLocked();
   bool OpenActiveSegment(long long number, bool truncate_to, size_t valid);
   bool RollSegmentLocked();
   bool SyncLocked();
+  /// Records the failure reason (keeping an earlier, more specific one
+  /// if already set), drops any held lock/fd, and returns false — the
+  /// single exit for every Open failure path.
+  bool FailOpen(const std::string& message);
   std::string SegmentPath(long long number) const;
+  /// The lock file exclusive_lock guards: ".lock", or ".lock-w<slot>"
+  /// in shared-stream mode.
+  std::string StreamLockName() const;
 
   mutable std::mutex mutex_;
   std::string dir_;
@@ -186,17 +279,20 @@ class ScoreStore {
   size_t segment_valid_bytes_ = 0;
   std::string buffer_;
   int unsynced_appends_ = 0;
-  std::unordered_map<StoreKey, double, StoreKeyHasher> index_;
+  std::unordered_map<StoreKey, Entry, StoreKeyHasher> index_;
+  std::unordered_map<std::string, PeerFile> peers_;
   Stats stats_;
   obs::Counter* metric_lookups_ = nullptr;
   obs::Counter* metric_hits_ = nullptr;
+  obs::Counter* metric_peer_hits_ = nullptr;
+  obs::Counter* metric_peer_records_ = nullptr;
   obs::Counter* metric_appends_ = nullptr;
   obs::Counter* metric_syncs_ = nullptr;
   obs::Counter* metric_compactions_ = nullptr;
 };
 
 /// 64-bit scope hash of (matcher id, model fingerprint) — the
-/// fixed-size model half of a store key. FNV-1a over both parts with a
+/// fixed-size model half of a score key. FNV-1a over both parts with a
 /// separator, finalized with an avalanche mix.
 uint64_t HashScope(const std::string& matcher_id, uint64_t model_fingerprint);
 

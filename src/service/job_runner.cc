@@ -240,8 +240,15 @@ JobOutcome RunDurableExplain(const JobSpec& spec, const std::string& job_dir,
   auto flush = [&] {
     journal.Sync();
     // The cross-job store shares the journal's durability cadence: a
-    // score that survived a crash in one is in the other too.
-    if (options.store != nullptr) options.store->Sync();
+    // score that survived a crash in one is in the other too. The same
+    // beat absorbs whatever sibling streams have published since the
+    // last flush (no-op outside shared-store fleet mode), so a
+    // long-running job keeps benefiting from scores its siblings are
+    // paying for right now.
+    if (options.store != nullptr) {
+      options.store->Sync();
+      options.store->RefreshPeers();
+    }
     checkpoint.fresh_scores = fresh;
     const bool timed =
         checkpoint_save_us != nullptr && options.metrics->enabled();
@@ -275,12 +282,17 @@ JobOutcome RunDurableExplain(const JobSpec& spec, const std::string& job_dir,
     const uint64_t scope =
         persist::HashScope(spec.model, DatasetFingerprint(dataset));
     persist::ScoreStore* store = options.store;
+    // Start the run with the freshest view of sibling streams a shared
+    // store can offer (no-op for a single-writer store).
+    store->RefreshPeers();
     explainer_options.store_probe = [store, scope, &outcome](
                                         const models::PairKey& key,
                                         double* score) {
-      if (!store->Lookup(scope, key, score)) return false;
+      bool from_peer = false;
+      if (!store->Lookup(scope, key, score, &from_peer)) return 0;
       ++outcome.store_hits;
-      return true;
+      if (from_peer) ++outcome.store_peer_hits;
+      return from_peer ? 2 : 1;
     };
     explainer_options.store_write = [store, scope](const models::PairKey& key,
                                                    double score) {
@@ -373,6 +385,7 @@ JobRunner::JobRunner(JobRunnerOptions options)
     auto store = std::make_unique<persist::ScoreStore>();
     persist::ScoreStore::Options store_options;
     store_options.exclusive_lock = options_.store_exclusive_lock;
+    store_options.stream_slot = options_.store_stream_slot;
     if (store->Open(options_.store_dir, store_options)) {
       store->BindMetrics(options_.metrics);
       store_ = std::move(store);

@@ -76,6 +76,10 @@ struct JobOutcome {
   /// are calls never re-paid; unlike them they survive across jobs and
   /// server restarts.
   long long store_hits = 0;
+  /// Subset of store_hits served by an entry a *sibling* worker paid
+  /// for (absorbed from its stream in a shared store directory); 0
+  /// outside shared-store fleet mode.
+  long long store_peer_hits = 0;
   /// Valid when state == kComplete.
   core::CertaResult result;
   std::string result_json;
@@ -168,8 +172,16 @@ struct JobRunnerOptions {
   std::string store_dir;
   /// Hold a flock DirLock on store_dir for the runner's lifetime (the
   /// serve paths set this so two serve processes can never attach the
-  /// same store namespace; see persist::DirLock).
+  /// same store namespace; see persist::DirLock). In shared-stream
+  /// mode the lock covers only this runner's stream (".lock-w<slot>"),
+  /// so fleet siblings coexist in one directory.
   bool store_exclusive_lock = false;
+  /// >= 0 opens the store in shared-stream mode with this stream slot
+  /// (fleet workers pass their worker slot): the runner appends only
+  /// to its own segment stream and absorbs sibling streams read-only,
+  /// at job start and on the checkpoint/sync cadence. -1 = the store
+  /// directory is this runner's single-writer namespace.
+  int store_stream_slot = -1;
   /// Forwarded to every durable run (see DurableRunOptions).
   bool use_candidate_index = true;
   /// Progress/terminal event hooks (the network front-end's feed).

@@ -64,6 +64,18 @@ bool PartitionHasUnfinishedJobs(const std::string& partition_root) {
 
 }  // namespace
 
+void SplitControlLines(
+    std::string* buffer,
+    const std::function<void(const std::string&)>& on_line) {
+  size_t start = 0;
+  size_t newline;
+  while ((newline = buffer->find('\n', start)) != std::string::npos) {
+    on_line(buffer->substr(start, newline - start));
+    start = newline + 1;
+  }
+  if (start > 0) buffer->erase(0, start);
+}
+
 Supervisor::Supervisor(SupervisorOptions options)
     : options_(std::move(options)) {
   if (options_.workers < 1) options_.workers = 1;
@@ -91,11 +103,6 @@ int64_t Supervisor::NowMs() const {
 
 std::string Supervisor::PartitionRoot(int slot) const {
   return options_.job_root + "/w" + std::to_string(slot);
-}
-
-std::string Supervisor::StorePartition(int slot) const {
-  if (options_.store_dir.empty()) return "";
-  return options_.store_dir + "/w" + std::to_string(slot);
 }
 
 bool Supervisor::SetupListenSocket(std::string* error) {
@@ -227,7 +234,9 @@ bool Supervisor::SpawnWorker(int slot, std::string* error) {
     launch.slot = slot;
     launch.master_pid = getppid();
     launch.partition_root = PartitionRoot(slot);
-    launch.store_partition = StorePartition(slot);
+    // The store is deliberately NOT partitioned: every worker shares
+    // one directory, each writing its own slot-named segment stream.
+    launch.store_dir = options_.store_dir;
     launch.control_fd = pair[1];
     launch.listen_port = port_;
     if (reuse_port_mode_) {
@@ -313,14 +322,14 @@ void Supervisor::HandleExit(int slot, int status) {
     while ((n = read(state.control_fd, buffer, sizeof(buffer))) > 0) {
       state.line_buffer.append(buffer, static_cast<size_t>(n));
     }
-    size_t start = 0;
-    size_t newline;
-    while ((newline = state.line_buffer.find('\n', start)) !=
-           std::string::npos) {
-      ProcessControlLine(slot,
-                         state.line_buffer.substr(start, newline - start));
-      start = newline + 1;
-    }
+    SplitControlLines(&state.line_buffer, [this, slot](
+                                              const std::string& line) {
+      ProcessControlLine(slot, line);
+    });
+    // Anything left is a line the worker died mid-write (e.g. SIGKILL
+    // landed inside a STATS send). It is torn by definition — drop it
+    // whole rather than let a truncated JSON fragment reach the
+    // aggregate.
     state.line_buffer.clear();
     close(state.control_fd);
     state.control_fd = -1;
@@ -511,8 +520,21 @@ std::string Supervisor::AggregateFleetJson() const {
   // to one interval (documented in docs/SERVICE.md).
   std::map<std::string, long long> runner_sums;
   std::map<std::string, long long> server_sums;
+  std::map<std::string, long long> store_sums;
   int workers_live = 0;
   int workers_ready = 0;
+  const auto sum_section = [](const JsonValue& parsed, const char* section,
+                              std::map<std::string, long long>* sums) {
+    const JsonValue* object = parsed.Find(section);
+    if (object == nullptr || !object->is_object()) return;
+    for (const auto& [key, value] : object->object_items()) {
+      if (value.is_number()) {
+        (*sums)[key] +=
+            value.is_integer() ? value.int_value()
+                               : static_cast<long long>(value.number_value());
+      }
+    }
+  };
   for (const Slot& slot : slots_) {
     if (slot.alive) ++workers_live;
     if (slot.alive && slot.ready) ++workers_ready;
@@ -520,26 +542,12 @@ std::string Supervisor::AggregateFleetJson() const {
     JsonValue parsed;
     std::string parse_error;
     if (!JsonValue::Parse(slot.stats_json, &parsed, &parse_error)) continue;
-    const JsonValue* runner = parsed.Find("runner");
-    if (runner != nullptr && runner->is_object()) {
-      for (const auto& [key, value] : runner->object_items()) {
-        if (value.is_number()) {
-          runner_sums[key] +=
-              value.is_integer() ? value.int_value()
-                                 : static_cast<long long>(value.number_value());
-        }
-      }
-    }
-    const JsonValue* server = parsed.Find("server");
-    if (server != nullptr && server->is_object()) {
-      for (const auto& [key, value] : server->object_items()) {
-        if (value.is_number()) {
-          server_sums[key] +=
-              value.is_integer() ? value.int_value()
-                                 : static_cast<long long>(value.number_value());
-        }
-      }
-    }
+    sum_section(parsed, "runner", &runner_sums);
+    sum_section(parsed, "server", &server_sums);
+    // Per-worker views of the one shared store: `hits`/`peer_hits`
+    // sum meaningfully (each worker's lookups are disjoint traffic);
+    // `entries` sums to fleet-wide bytes-in-memory, not unique keys.
+    sum_section(parsed, "store", &store_sums);
   }
   JsonWriter json;
   json.BeginObject();
@@ -565,6 +573,13 @@ std::string Supervisor::AggregateFleetJson() const {
   json.Key("server");
   json.BeginObject();
   for (const auto& [key, value] : server_sums) {
+    json.Key(key);
+    json.Int(value);
+  }
+  json.EndObject();
+  json.Key("store");
+  json.BeginObject();
+  for (const auto& [key, value] : store_sums) {
     json.Key(key);
     json.Int(value);
   }
@@ -612,15 +627,11 @@ void Supervisor::PollOnce(int timeout_ms) {
       while ((n = read(state.control_fd, buffer, sizeof(buffer))) > 0) {
         state.line_buffer.append(buffer, static_cast<size_t>(n));
       }
-      size_t start = 0;
-      size_t newline;
-      while ((newline = state.line_buffer.find('\n', start)) !=
-             std::string::npos) {
-        ProcessControlLine(fd_slots[i],
-                           state.line_buffer.substr(start, newline - start));
-        start = newline + 1;
-      }
-      if (start > 0) state.line_buffer.erase(0, start);
+      const int line_slot = fd_slots[i];
+      SplitControlLines(&state.line_buffer, [this, line_slot](
+                                                const std::string& line) {
+        ProcessControlLine(line_slot, line);
+      });
       // EOF without exit is fine: the exit is reaped via SIGCHLD.
     }
   }
@@ -800,18 +811,13 @@ void WorkerControl::ThreadMain() {
       ssize_t n = read(fd_, chunk, sizeof(chunk));
       if (n > 0) {
         buffer.append(chunk, static_cast<size_t>(n));
-        size_t start = 0;
-        size_t newline;
-        while ((newline = buffer.find('\n', start)) != std::string::npos) {
-          const std::string line = buffer.substr(start, newline - start);
-          start = newline + 1;
+        SplitControlLines(&buffer, [this](const std::string& line) {
           if (line.rfind("ADOPT ", 0) == 0) {
             if (hooks_.on_adopt) hooks_.on_adopt(line.substr(6));
           } else if (line.rfind("FLEET ", 0) == 0) {
             if (hooks_.on_fleet) hooks_.on_fleet(line.substr(6));
           }
-        }
-        if (start > 0) buffer.erase(0, start);
+        });
       } else if (n == 0 || (n < 0 && errno != EAGAIN && errno != EINTR &&
                             errno != EWOULDBLOCK)) {
         // Master died: a fleet worker must not outlive its supervisor

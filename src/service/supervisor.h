@@ -15,8 +15,10 @@ namespace certa::service {
 /// Multi-process master/worker serving (the dovecot master-service
 /// model). The master is a supervisor, not a data path: it resolves and
 /// holds the fleet's TCP port, forks N worker processes that each run
-/// their own NetServer+JobRunner over a private job-dir/store-dir
-/// partition (`<root>/w<slot>`), and then only watches:
+/// their own NetServer+JobRunner over a private job-dir partition
+/// (`<root>/w<slot>`) plus one SHARED score-store directory (each
+/// worker appends to its own stream inside it and reuses siblings'
+/// paid scores — see WorkerLaunch::store_dir), and then only watches:
 ///
 ///   - waitpid(2) supervision distinguishing clean exit, exit-3
 ///     (parked work on disk), and crashes;
@@ -43,8 +45,15 @@ struct WorkerLaunch {
   pid_t master_pid = 0;
   /// This worker's private job-dir partition: <job_root>/w<slot>.
   std::string partition_root;
-  /// This worker's score-store partition ("" = no store).
-  std::string store_partition;
+  /// The fleet's SHARED score-store directory ("" = no store). Unlike
+  /// job dirs, the store is not partitioned: every worker opens the
+  /// same directory in shared-stream mode with its slot as the stream
+  /// slot, appending to its own `segment-w<slot>-*.seg` stream while
+  /// absorbing siblings' paid scores read-only (see
+  /// persist::ScoreStore::Options::stream_slot). A worker crash
+  /// strands nothing and adoption never moves store data — the
+  /// surviving workers already read the dead worker's stream.
+  std::string store_dir;
   /// Worker end of the master<->worker control socketpair.
   int control_fd = -1;
   /// The fleet's resolved TCP port.
@@ -157,7 +166,6 @@ class Supervisor {
   int LiveWorkerForAdoption() const;
   int64_t NowMs() const;
   std::string PartitionRoot(int slot) const;
-  std::string StorePartition(int slot) const;
 
   SupervisorOptions options_;
   WorkerMain worker_main_;
@@ -182,6 +190,16 @@ class Supervisor {
   long long rolling_restarts_ = 0;
   int64_t last_broadcast_ms_ = 0;
 };
+
+/// Splits the newline-framed control-channel buffer into complete
+/// lines: invokes `on_line` once per line (newline stripped, in order)
+/// and erases the consumed prefix, leaving any trailing partial line in
+/// `buffer` for the next read to complete. Both ends of the control
+/// protocol frame with this; it is what makes a worker SIGKILLed
+/// mid-`STATS` write harmless — the torn fragment stays in the buffer
+/// and is dropped wholesale (never parsed) when the fd reaches EOF.
+void SplitControlLines(std::string* buffer,
+                       const std::function<void(const std::string&)>& on_line);
 
 /// Worker-process side of the control channel. Owns one background
 /// thread that polls the control fd for master lines — "ADOPT <dir>"

@@ -1,11 +1,14 @@
-// Fleet chaos test (label: fleet) — the ISSUE's headline acceptance
-// criterion. A 4-worker fleet serves 8 concurrent watching clients
-// while the test SIGKILLs random live workers mid-load. Required
-// outcome: every client exits 0 with its result, every job has exactly
-// one result.json across the partitioned namespace (no lost work, no
-// duplicated execution), every result is byte-identical to a direct
-// single-process `certa explain --json`, and the master drains to exit
-// 0 on SIGTERM. Runs under ASan and TSan in CI via `ctest -L fleet`.
+// Fleet chaos test (label: fleet) — the headline acceptance criterion.
+// A 4-worker fleet shares ONE `--store-dir` and serves 8 concurrent
+// watching clients while the test SIGKILLs random live workers
+// mid-load. Required outcome: every client exits 0 with its result,
+// every job has exactly one result.json across the partitioned
+// namespace (no lost work, no duplicated execution), every result is
+// byte-identical to a direct single-process `certa explain --json`,
+// the shared store shows cross-worker reuse (`store.peer_hits` > 0)
+// despite workers dying mid-append to their streams, and the master
+// drains to exit 0 on SIGTERM. Runs under ASan and TSan in CI via
+// `ctest -L fleet`.
 
 #include <signal.h>
 #include <sys/wait.h>
@@ -23,6 +26,8 @@
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "util/json_parser.h"
 
 #ifndef CERTA_CLI_PATH
 #error "CERTA_CLI_PATH must be defined to the certa CLI binary path"
@@ -148,6 +153,26 @@ std::vector<pid_t> CurrentWorkerPids(const std::string& text, int workers) {
   return pids;
 }
 
+/// Digs a number out of the stats frame: stats["fleet"][section][key].
+long long FleetStat(const std::string& stats_output,
+                    const std::string& section, const std::string& key) {
+  const size_t brace = stats_output.find('{');
+  if (brace == std::string::npos) return -1;
+  const size_t end = stats_output.find('\n', brace);
+  JsonValue frame;
+  std::string error;
+  if (!JsonValue::Parse(stats_output.substr(brace, end - brace), &frame,
+                        &error)) {
+    return -1;
+  }
+  const JsonValue* fleet = frame.Find("fleet");
+  if (fleet == nullptr || !fleet->is_object()) return -1;
+  const JsonValue* node = fleet->Find(section);
+  if (node == nullptr || !node->is_object()) return -1;
+  const JsonValue* value = node->Find(key);
+  return value != nullptr && value->is_integer() ? value->int_value() : -1;
+}
+
 TEST(FleetChaosTest, SigkillStormLosesNoWorkAndStaysByteIdentical) {
   constexpr int kWorkers = 4;
   constexpr int kClients = 8;
@@ -156,11 +181,12 @@ TEST(FleetChaosTest, SigkillStormLosesNoWorkAndStaysByteIdentical) {
   const fs::path root = Scratch("storm");
   const fs::path log = root / "server.log";
   const std::string job_root = (root / "jobs").string();
+  const std::string store_dir = (root / "store").string();
   pid_t master = SpawnFleet(
       {"--listen", "0", "--job-root", job_root, "--workers",
        std::to_string(kWorkers), "--queue", "16", "--checkpoint-every", "32",
        "--restart-backoff-ms", "50", "--stable-after-ms", "200",
-       "--stats-interval-ms", "50"},
+       "--stats-interval-ms", "50", "--store-dir", store_dir},
       log);
   ASSERT_GT(master, 0);
   const int port = WaitForPort(log);
@@ -263,6 +289,39 @@ TEST(FleetChaosTest, SigkillStormLosesNoWorkAndStaysByteIdentical) {
           << "client " << i;
     }
   }
+
+  // The storm must not have broken the shared store: warm reruns of
+  // the storm's own requests (new ids, so the job layer re-runs them)
+  // are served from scores a sibling paid. SIGKILLed workers died
+  // mid-append to their streams; torn tails are skipped, paid prefixes
+  // still count. One rerun lands on the paying worker's stream about
+  // half the time, so a handful of attempts makes a miss astronomically
+  // unlikely.
+  long long peer_hits = 0;
+  std::string warm_output;
+  for (int attempt = 0; attempt < 20 && peer_hits <= 0; ++attempt) {
+    ASSERT_EQ(
+        RunShell(ClientCmd(port, "submit --id warm" + std::to_string(attempt) +
+                                     " --dataset AB --model ditto --pair " +
+                                     std::to_string(attempt % 4) +
+                                     " --triangles 1000 --no-cache --quiet"),
+                 &warm_output),
+        0)
+        << warm_output;
+    for (int waited = 0; waited < 2000 && peer_hits <= 0; waited += 100) {
+      ASSERT_EQ(RunShell(ClientCmd(port, "stats"), &warm_output), 0)
+          << warm_output;
+      peer_hits = FleetStat(warm_output, "store", "peer_hits");
+      if (peer_hits <= 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    }
+  }
+  EXPECT_GT(peer_hits, 0)
+      << "no cross-worker score reuse after the storm\n"
+      << warm_output << "\nserver log:\n"
+      << ReadAll(log);
+  EXPECT_GT(FleetStat(warm_output, "store", "entries"), 0) << warm_output;
 
   // All work complete fleet-wide → the drain exits 0.
   EXPECT_EQ(StopServer(master, SIGTERM), 0) << ReadAll(log);

@@ -365,9 +365,11 @@ TEST(FleetE2eTest, SlowReadersAreShedPerWorkerAndCountedFleetWide) {
   const fs::path root = Scratch("slowread");
   const fs::path log = root / "server.log";
   const std::string job_root = (root / "jobs").string();
-  // 2048 bytes fits a stats frame (~700B) so the stats verb still
-  // works, but not a multi-KB result frame — a watcher that has not
-  // drained its connection by result time is shed as a slow reader.
+  // A 2 KiB cap keeps the backlog threshold small, so a reader that
+  // pipelines requests without ever draining the answers is shed
+  // quickly. The cap bounds *backlog*, not the size of one frame — a
+  // single response larger than the cap is still delivered whole
+  // (net_service_test pins that side of the contract).
   pid_t master = SpawnFleet({"--listen", "0", "--job-root", job_root,
                              "--workers", "2", "--stats-interval-ms", "50",
                              "--max-write-buffer", "2048"},
@@ -376,56 +378,40 @@ TEST(FleetE2eTest, SlowReadersAreShedPerWorkerAndCountedFleetWide) {
   const int port = WaitForPort(log);
   ASSERT_GT(port, 0) << ReadAll(log);
 
-  // Two quick jobs whose multi-KB result documents are the oversized
-  // payload the shed protects against (pair 0's explanation is ~13KB;
-  // other pairs can produce sub-2KB documents that would fit).
-  std::string output;
-  for (int i = 0; i < 2; ++i) {
-    ASSERT_EQ(RunShell(ClientCmd(port, "submit --no-watch --id slow" +
-                                           std::to_string(i) +
-                                           " --dataset AB --model svm "
-                                           "--pair 0 --triangles " +
-                                           std::to_string(60 + i)),
-                       &output),
-              0)
-        << output;
-  }
-  for (int i = 0; i < 2; ++i) {
-    const std::string id = "slow" + std::to_string(i);
-    for (int waited = 0; waited < 15000; waited += 100) {
-      if (RunShell(ClientCmd(port, "status --job " + id), &output) == 0 &&
-          output.find("\"state\":\"complete\"") != std::string::npos) {
-        break;
-      }
-      std::this_thread::sleep_for(std::chrono::milliseconds(100));
-    }
-    ASSERT_NE(output.find("\"state\":\"complete\""), std::string::npos)
-        << output;
-  }
-
-  // Two readers that request the result and never drain it: the
-  // required response cannot fit behind the capped write buffer, so
+  // Two readers that pipeline stats requests and never read a byte
+  // back: once the kernel buffers between them and their worker fill,
+  // the per-connection write buffer backs up past the cap and the
+  // next required response finds the backlog over the limit —
   // whichever worker serves each closes it as a slow reader.
   std::vector<int> fds;
   for (int i = 0; i < 2; ++i) {
     const int fd = ConnectNonBlocking(port, 2000);
     ASSERT_GE(fd, 0);
-    const std::string request =
-        "{\"schema_version\":1,\"type\":\"result\",\"job_id\":\"slow" +
-        std::to_string(i) + "\"}\n";
-    ASSERT_EQ(write(fd, request.data(), request.size()),
-              static_cast<ssize_t>(request.size()));
     fds.push_back(fd);  // never read
   }
+  const std::string request = "{\"schema_version\":1,\"type\":\"stats\"}\n";
+  std::string batch;
+  for (int i = 0; i < 100; ++i) batch += request;
+  std::vector<size_t> offsets(fds.size(), 0);
 
   // The shed shows up in the fleet aggregate regardless of which
   // worker each slow reader landed on.
+  std::string output;
   long long closes = -1;
-  for (int waited = 0; waited < 15000; waited += 100) {
-    ASSERT_EQ(RunShell(ClientCmd(port, "stats"), &output), 0) << output;
-    closes = FleetStat(output, "server", "slow_reader_closes");
-    if (closes >= 2) break;
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  for (int attempt = 0; attempt < 3000 && closes < 2; ++attempt) {
+    for (size_t i = 0; i < fds.size(); ++i) {
+      // Resume mid-batch after a partial write so frames stay aligned
+      // (a torn line would draw bad_json errors, not backlog).
+      const ssize_t n =
+          send(fds[i], batch.data() + offsets[i], batch.size() - offsets[i],
+               MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (n > 0) offsets[i] = (offsets[i] + n) % batch.size();
+    }
+    if (attempt % 20 == 0) {
+      ASSERT_EQ(RunShell(ClientCmd(port, "stats"), &output), 0) << output;
+      closes = FleetStat(output, "server", "slow_reader_closes");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   EXPECT_EQ(closes, 2) << output;
   for (int fd : fds) close(fd);

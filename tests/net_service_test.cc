@@ -594,24 +594,61 @@ TEST(NetServerTest, ClientDisconnectMidJobDoesNotLoseTheJob) {
   EXPECT_EQ(FrameType(frame), "result");
 }
 
-TEST(NetServerTest, SlowReaderIsDisconnectedNotBuffered) {
-  ScratchDir scratch("slowreader");
+TEST(NetServerTest, OversizedRequiredResponseIsDeliveredNotDropped) {
+  ScratchDir scratch("bigframe");
   NetServerOptions options = BaseOptions(scratch.dir());
-  // A stats frame cannot fit: the required-response path must close the
-  // connection instead of growing the buffer past the cap.
+  // The cap bounds a stalled reader's backlog, never the size of one
+  // response: with an empty buffer, a frame bigger than the whole cap
+  // must still arrive. (The regression this pins: a result.json larger
+  // than --max-write-buffer was unconditionally answered with a
+  // disconnect, so the client re-requested it forever.)
   options.max_write_buffer = 64;
   auto server = StartServer(std::move(options));
   TestClient client(server->port());
   ASSERT_TRUE(client.connected());
 
   ASSERT_TRUE(client.Send(StatsRequestFrame()));
-  std::string line;
-  EXPECT_FALSE(client.ReadLine(&line)) << line;  // EOF, no frame
+  JsonValue frame;
+  ASSERT_TRUE(client.ReadFrame(&frame));
+  EXPECT_EQ(FrameType(frame), "stats");
+  EXPECT_EQ(server->stats().slow_reader_closes, 0);
+}
+
+TEST(NetServerTest, SlowReaderWithBacklogIsDisconnectedNotBuffered) {
+  ScratchDir scratch("slowreader");
+  NetServerOptions options = BaseOptions(scratch.dir());
+  options.max_write_buffer = 64;
+  auto server = StartServer(std::move(options));
+  TestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+
+  // Pipeline stats requests without ever reading a response. Once the
+  // kernel socket buffers fill, responses accumulate in the server's
+  // write buffer past the cap and the next required response closes
+  // the connection instead of ballooning memory. Send() starts failing
+  // (EPIPE/RST) once the server hangs up.
+  const std::string request = StatsRequestFrame();
+  for (int batch = 0; batch < 2000; ++batch) {
+    if (server->stats().slow_reader_closes > 0) break;
+    bool sendable = true;
+    for (int i = 0; i < 100 && sendable; ++i) sendable = client.Send(request);
+    if (!sendable) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   for (int attempt = 0; attempt < 100; ++attempt) {
     if (server->stats().slow_reader_closes > 0) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   EXPECT_EQ(server->stats().slow_reader_closes, 1);
+
+  // The shed protected the server, not just punished the client: a
+  // fresh connection still gets served.
+  TestClient second(server->port());
+  ASSERT_TRUE(second.connected());
+  ASSERT_TRUE(second.Send(PingFrame()));
+  JsonValue frame;
+  ASSERT_TRUE(second.ReadFrame(&frame));
+  EXPECT_EQ(FrameType(frame), "pong");
 }
 
 TEST(NetServerTest, StopWithoutDrainParksRunningJobResumable) {

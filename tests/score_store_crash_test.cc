@@ -161,6 +161,89 @@ TEST(ScoreStoreCrashTest, SigkillDuringAppendsNeverCorrupts) {
   }
 }
 
+/// Forked shared-stream writer: appends entries [begin, end) to its own
+/// stream slot inside one shared directory, sync_every=1.
+pid_t SpawnStreamWriter(const fs::path& dir, int slot, uint64_t begin,
+                        uint64_t end) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    ScoreStore store;
+    ScoreStore::Options options;
+    options.sync_every = 1;
+    options.stream_slot = slot;
+    options.exclusive_lock = true;
+    if (!store.Open(dir.string(), options)) _exit(1);
+    for (uint64_t i = begin; i < end; ++i) {
+      store.Put(kScope, Key(i), ScoreOf(i));
+    }
+    store.Sync();
+    _exit(0);
+  }
+  return pid;
+}
+
+TEST(ScoreStoreCrashTest, SigkillSharedStreamsNeverCorruptSiblings) {
+  // Two sibling writers share one directory, each on its own stream;
+  // both are SIGKILLed mid-append. A reader joining the shared dir
+  // afterwards must absorb every durable record from BOTH streams and
+  // serve zero corrupted entries — a sibling's torn tail is skipped,
+  // never interpreted.
+  constexpr uint64_t kPerWriter = 12000;
+  constexpr int kRounds = 4;
+  for (int round = 0; round < kRounds; ++round) {
+    const fs::path dir = Scratch("shared" + std::to_string(round));
+    const pid_t w0 = SpawnStreamWriter(dir, 0, 0, kPerWriter);
+    const pid_t w1 = SpawnStreamWriter(dir, 1, kPerWriter, 2 * kPerWriter);
+    ASSERT_GT(w0, 0);
+    ASSERT_GT(w1, 0);
+    // Kill once the combined streams reach a round-varying size so the
+    // two writers die at interleaved, unsynchronized points.
+    const long long threshold =
+        2 * kHeaderSize +
+        kRecordSize * static_cast<long long>(2 * kPerWriter) * (round + 1) /
+            (kRounds + 2);
+    for (;;) {
+      if (TotalSegmentBytes(dir) >= threshold) break;
+      int status = 0;
+      if (::waitpid(w0, &status, WNOHANG) == w0 &&
+          ::waitpid(w1, &status, WNOHANG) == w1) {
+        break;  // both finished before the kill point
+      }
+      ::usleep(500);
+    }
+    ::kill(w0, SIGKILL);
+    ::kill(w1, SIGKILL);
+    int status = 0;
+    ::waitpid(w0, &status, 0);
+    ::waitpid(w1, &status, 0);
+
+    // A slot-2 reader in the same shared namespace sees the union.
+    ScoreStore store;
+    ScoreStore::Options options;
+    options.stream_slot = 2;
+    ASSERT_TRUE(store.Open(dir.string(), options)) << store.open_error();
+    uint64_t intact = 0;
+    for (uint64_t i = 0; i < 2 * kPerWriter; ++i) {
+      double score = 0.0;
+      if (!store.Lookup(kScope, Key(i), &score)) continue;
+      EXPECT_DOUBLE_EQ(score, ScoreOf(i))
+          << "corrupted entry " << i << " round " << round;
+      ++intact;
+    }
+    // sync_every=1 both sides: everything below the kill threshold is
+    // durable minus at most one torn record per stream — and the reader
+    // never truncates the dead siblings' files.
+    const uint64_t durable_floor =
+        static_cast<uint64_t>((threshold - 2 * kHeaderSize) / kRecordSize);
+    EXPECT_GE(intact + 2, durable_floor) << "round " << round;
+    EXPECT_EQ(store.stats().dropped_bytes, 0)
+        << "reader truncated a sibling stream";
+    EXPECT_GT(store.stats().peer_records, 0) << "round " << round;
+    store.Close();
+    fs::remove_all(dir);
+  }
+}
+
 TEST(ScoreStoreCrashTest, SigkillDuringCompactionNeverLosesEntries) {
   constexpr uint64_t kN = 3000;
   constexpr int kRounds = 6;

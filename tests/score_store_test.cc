@@ -1,13 +1,15 @@
 // Unit + corruption-fuzz tests for persist::ScoreStore: roundtrip and
 // reopen, scope separation, torn/bit-flipped/truncated segments (the
 // longest-valid-prefix recovery rule), bad headers, segment roll and
-// compaction, mmap/read parity, and concurrent access. The crash
-// battery proper (SIGKILL subprocesses) lives in
+// compaction, mmap/read parity, concurrent access, and shared-stream
+// mode (per-stream locks, peer absorption, lease'd compaction). The
+// crash battery proper (SIGKILL subprocesses) lives in
 // score_store_crash_test.cc.
 
 #include "persist/score_store.h"
 
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <random>
@@ -18,6 +20,8 @@
 #include <gtest/gtest.h>
 
 #include "obs/metrics.h"
+#include "persist/dir_lock.h"
+#include "util/crc32.h"
 
 namespace certa::persist {
 namespace {
@@ -402,6 +406,482 @@ TEST(ScoreStoreTest, ConcurrentPutsAndLookupsStayConsistent) {
   ASSERT_TRUE(reopened.Open(dir.string()));
   EXPECT_EQ(CountIntact(&reopened, 6, kThreads * kPerThread),
             kThreads * kPerThread);
+  fs::remove_all(dir);
+}
+
+// -- hand-crafted segment bytes (for forging peer-stream files) --
+
+std::string RawHeader() {
+  std::string header("CERTASST", 8);
+  const uint32_t version = 1;
+  header.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  return header;
+}
+
+std::string RawRecord(uint64_t scope, const models::PairKey& key,
+                      double score) {
+  char payload[32];
+  std::memcpy(payload, &scope, 8);
+  std::memcpy(payload + 8, &key.lo, 8);
+  std::memcpy(payload + 16, &key.hi, 8);
+  std::memcpy(payload + 24, &score, 8);
+  const uint32_t crc = util::Crc32(payload, sizeof(payload));
+  std::string out(payload, sizeof(payload));
+  out.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  return out;
+}
+
+// -- satellite: reopen hygiene --
+
+TEST(ScoreStoreTest, FailedOpenSetsErrorAndReopenStartsClean) {
+  const fs::path good = Scratch("reopen_good");
+  const fs::path locked = Scratch("reopen_locked");
+
+  ScoreStore store;
+  // Build up non-trivial counters first, so leakage would be visible.
+  ASSERT_TRUE(store.Open(good.string()));
+  Fill(&store, 4, 5);
+  EXPECT_EQ(store.stats().appends, 5);
+  store.Close();
+
+  // Failure path 1: directory held by another "process".
+  DirLock holder;
+  std::string error;
+  ASSERT_TRUE(holder.Acquire(locked.string(), &error));
+  ScoreStore::Options exclusive;
+  exclusive.exclusive_lock = true;
+  EXPECT_FALSE(store.Open(locked.string(), exclusive));
+  EXPECT_FALSE(store.is_open());
+  EXPECT_FALSE(store.open_error().empty())
+      << "a failed Open must say why";
+  EXPECT_NE(store.open_error().find("locked"), std::string::npos)
+      << store.open_error();
+
+  // Failure path 2: the store path is a plain file.
+  const fs::path file_path = Scratch("reopen_file");
+  fs::create_directories(file_path.parent_path());
+  WriteAll(file_path.string(), "not a directory");
+  EXPECT_FALSE(store.Open(file_path.string()));
+  EXPECT_FALSE(store.open_error().empty());
+
+  // A subsequent successful Open on the SAME object starts clean:
+  // no stale error text, no stale counters from the earlier namespace
+  // or the failed attempts.
+  holder.Release();
+  ASSERT_TRUE(store.Open(locked.string(), exclusive));
+  EXPECT_TRUE(store.is_open());
+  EXPECT_TRUE(store.open_error().empty());
+  EXPECT_EQ(store.stats().appends, 0);
+  EXPECT_EQ(store.stats().lookups, 0);
+  EXPECT_EQ(store.entry_count(), 0u);
+  Fill(&store, 4, 3);
+  EXPECT_EQ(store.stats().appends, 3);
+  store.Close();
+
+  fs::remove_all(good);
+  fs::remove_all(locked);
+  fs::remove(file_path);
+}
+
+TEST(ScoreStoreTest, FailedExclusiveOpenHoldsNoLock) {
+  const fs::path dir = Scratch("faillock");
+  DirLock holder;
+  std::string error;
+  ASSERT_TRUE(holder.Acquire(dir.string(), &error));
+  {
+    ScoreStore store;
+    ScoreStore::Options exclusive;
+    exclusive.exclusive_lock = true;
+    EXPECT_FALSE(store.Open(dir.string(), exclusive));
+    // The failed store must not die holding the lock: destruction (or
+    // reuse) of the object must leave the directory acquirable.
+  }
+  holder.Release();
+  DirLock probe;
+  EXPECT_TRUE(probe.Acquire(dir.string(), &error))
+      << "failed Open leaked a lock: " << error;
+  probe.Release();
+  fs::remove_all(dir);
+}
+
+// -- satellite: sync_every cadence across Compact --
+
+TEST(ScoreStoreTest, CompactRestartsSyncEveryCadence) {
+  const fs::path dir = Scratch("cadence");
+  obs::MetricsRegistry registry;
+  ScoreStore::Options options;
+  options.sync_every = 4;
+  ScoreStore store;
+  ASSERT_TRUE(store.Open(dir.string(), options));
+  store.BindMetrics(&registry);
+  obs::Counter* syncs = registry.counter("store.syncs");
+
+  // Three appends: under the cadence, so no self-sync yet.
+  for (uint64_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(store.Put(1, Key(i), ScoreOf(i)));
+  }
+  EXPECT_EQ(syncs->value(), 0);
+
+  // Compact flushes everything (its own sync) and must reset the
+  // countdown: the pre-compact backlog of 3 is gone, so the next 3
+  // appends are again under the cadence — a carried-over count would
+  // force a premature fsync on the very first post-compact append.
+  ASSERT_TRUE(store.Compact());
+  const long long after_compact = syncs->value();
+  EXPECT_GE(after_compact, 1);
+  for (uint64_t i = 3; i < 6; ++i) {
+    ASSERT_TRUE(store.Put(1, Key(i), ScoreOf(i)));
+  }
+  EXPECT_EQ(syncs->value(), after_compact)
+      << "an append under the cadence fsynced right after a compact: "
+         "unsynced_appends_ leaked through Compact()";
+  // The fourth post-compact append completes the cadence: exactly one
+  // self-sync.
+  ASSERT_TRUE(store.Put(1, Key(6), ScoreOf(6)));
+  EXPECT_EQ(syncs->value(), after_compact + 1);
+  fs::remove_all(dir);
+}
+
+// -- shared-stream mode --
+
+TEST(ScoreStoreSharedTest, TwoStreamsShareOneDirectory) {
+  const fs::path dir = Scratch("shared_two");
+  constexpr uint64_t kA = 100, kB = 60;
+
+  ScoreStore::Options opt_a;
+  opt_a.stream_slot = 0;
+  opt_a.exclusive_lock = true;
+  ScoreStore::Options opt_b;
+  opt_b.stream_slot = 1;
+  opt_b.exclusive_lock = true;
+
+  ScoreStore a;
+  ScoreStore b;
+  // Both exclusive locks coexist: exclusivity is per stream, not per
+  // directory.
+  ASSERT_TRUE(a.Open(dir.string(), opt_a)) << a.open_error();
+  ASSERT_TRUE(b.Open(dir.string(), opt_b)) << b.open_error();
+
+  Fill(&a, 1, kA);
+  ASSERT_TRUE(b.RefreshPeers());
+  EXPECT_EQ(b.stats().peer_records, static_cast<long long>(kA));
+  EXPECT_EQ(b.stats().peer_refreshes, 1);
+  EXPECT_EQ(CountIntact(&b, 1, kA), kA);
+  EXPECT_EQ(b.stats().peer_hits, static_cast<long long>(kA));
+
+  // Peer provenance is reported per lookup.
+  double score = 0.0;
+  bool from_peer = false;
+  ASSERT_TRUE(b.Lookup(1, Key(0), &score, &from_peer));
+  EXPECT_TRUE(from_peer);
+
+  // B pays for its own range; A absorbs it symmetrically.
+  for (uint64_t i = kA; i < kA + kB; ++i) {
+    ASSERT_TRUE(b.Put(1, Key(i), ScoreOf(i)));
+  }
+  ASSERT_TRUE(b.Sync());
+  ASSERT_TRUE(a.RefreshPeers());
+  EXPECT_EQ(CountIntact(&a, 1, kA + kB), kA + kB);
+  ASSERT_TRUE(a.Lookup(1, Key(0), &score, &from_peer));
+  EXPECT_FALSE(from_peer) << "own entry misreported as peer-paid";
+  ASSERT_TRUE(a.Lookup(1, Key(kA), &score, &from_peer));
+  EXPECT_TRUE(from_peer);
+
+  // Segment accounting is per stream: each writer reports only its own
+  // file chain.
+  EXPECT_EQ(a.stats().segments, 1u);
+  EXPECT_EQ(b.stats().segments, 1u);
+
+  // A refresh with nothing new absorbs nothing and counts no refresh.
+  const long long refreshes = a.stats().peer_refreshes;
+  ASSERT_TRUE(a.RefreshPeers());
+  EXPECT_EQ(a.stats().peer_refreshes, refreshes);
+
+  a.Close();
+  b.Close();
+  // A fresh slot-2 reader opening the shared dir sees both streams.
+  ScoreStore::Options opt_c;
+  opt_c.stream_slot = 2;
+  ScoreStore c;
+  ASSERT_TRUE(c.Open(dir.string(), opt_c));
+  EXPECT_EQ(CountIntact(&c, 1, kA + kB), kA + kB);
+  EXPECT_EQ(c.stats().peer_records, static_cast<long long>(kA + kB));
+  fs::remove_all(dir);
+}
+
+TEST(ScoreStoreSharedTest, SameStreamSlotIsExclusive) {
+  const fs::path dir = Scratch("shared_excl");
+  ScoreStore::Options options;
+  options.stream_slot = 3;
+  options.exclusive_lock = true;
+  ScoreStore first;
+  ASSERT_TRUE(first.Open(dir.string(), options));
+  ScoreStore second;
+  EXPECT_FALSE(second.Open(dir.string(), options))
+      << "two writers must never own one stream";
+  EXPECT_FALSE(second.open_error().empty());
+  fs::remove_all(dir);
+}
+
+TEST(ScoreStoreSharedTest, PeerTornTailIsNeverInterpretedOrModified) {
+  const fs::path dir = Scratch("shared_torn");
+  ScoreStore::Options options;
+  options.stream_slot = 0;
+  ScoreStore store;
+  ASSERT_TRUE(store.Open(dir.string(), options));
+
+  // Forge a sibling stream file: two whole records, then half a third
+  // — exactly what a SIGKILL mid-append (or an append still in flight)
+  // leaves behind.
+  const std::string peer_path = (dir / "segment-w7-000001.seg").string();
+  const std::string full_third = RawRecord(9, Key(2), ScoreOf(2));
+  std::string bytes = RawHeader();
+  bytes += RawRecord(9, Key(0), ScoreOf(0));
+  bytes += RawRecord(9, Key(1), ScoreOf(1));
+  bytes += full_third.substr(0, full_third.size() / 2);
+  WriteAll(peer_path, bytes);
+
+  ASSERT_TRUE(store.RefreshPeers());
+  EXPECT_EQ(store.stats().peer_records, 2);
+  EXPECT_EQ(CountIntact(&store, 9, 2), 2u);
+  double score = 0.0;
+  EXPECT_FALSE(store.Lookup(9, Key(2), &score))
+      << "a torn peer record must not be served";
+  // Unlike own-segment recovery, the peer file is NOT truncated or
+  // counted as corruption — the tail may simply be an append its owner
+  // has not finished yet.
+  EXPECT_EQ(ReadAll(peer_path), bytes) << "peer file bytes were modified";
+  EXPECT_EQ(store.stats().dropped_bytes, 0);
+  EXPECT_EQ(store.stats().corrupt_tails, 0);
+
+  // The owner finishes the append: the completed record is absorbed
+  // from exactly where the last refresh stopped.
+  bytes.resize(bytes.size() - full_third.size() / 2);
+  bytes += full_third;
+  WriteAll(peer_path, bytes);
+  ASSERT_TRUE(store.RefreshPeers());
+  EXPECT_EQ(store.stats().peer_records, 3);
+  ASSERT_TRUE(store.Lookup(9, Key(2), &score));
+  EXPECT_DOUBLE_EQ(score, ScoreOf(2));
+  fs::remove_all(dir);
+}
+
+TEST(ScoreStoreSharedTest, BadHeaderPeerFileIsIgnoredForever) {
+  const fs::path dir = Scratch("shared_badpeer");
+  ScoreStore::Options options;
+  options.stream_slot = 0;
+  ScoreStore store;
+  ASSERT_TRUE(store.Open(dir.string(), options));
+  std::string bytes = RawHeader();
+  bytes[0] ^= 0x20;  // wrong magic
+  bytes += RawRecord(5, Key(0), ScoreOf(0));
+  WriteAll((dir / "segment-w4-000001.seg").string(), bytes);
+  ASSERT_TRUE(store.RefreshPeers());
+  EXPECT_EQ(store.stats().peer_records, 0);
+  double score = 0.0;
+  EXPECT_FALSE(store.Lookup(5, Key(0), &score));
+  // Still ignored on later refreshes (no re-reads, no absorption).
+  ASSERT_TRUE(store.RefreshPeers());
+  EXPECT_EQ(store.stats().peer_records, 0);
+  fs::remove_all(dir);
+}
+
+TEST(ScoreStoreSharedTest, CompactRewritesOwnEntriesOnlyAndHonorsLease) {
+  const fs::path dir = Scratch("shared_compact");
+  constexpr uint64_t kOwn = 50, kPeer = 30;
+  ScoreStore::Options opt_a;
+  opt_a.stream_slot = 0;
+  ScoreStore::Options opt_b;
+  opt_b.stream_slot = 1;
+
+  ScoreStore a;
+  ScoreStore b;
+  ASSERT_TRUE(a.Open(dir.string(), opt_a));
+  ASSERT_TRUE(b.Open(dir.string(), opt_b));
+  Fill(&a, 1, kOwn);
+  for (uint64_t i = kOwn; i < kOwn + kPeer; ++i) {
+    ASSERT_TRUE(b.Put(1, Key(i), ScoreOf(i)));
+  }
+  ASSERT_TRUE(b.Sync());
+  ASSERT_TRUE(a.RefreshPeers());
+  ASSERT_EQ(CountIntact(&a, 1, kOwn + kPeer), kOwn + kPeer);
+
+  // A busy lease skips the compaction silently (a sibling is already
+  // churning the directory); nothing changes.
+  {
+    DirLock lease;
+    std::string error;
+    ASSERT_TRUE(lease.AcquireFile(dir.string(),
+                                  ScoreStore::CompactionLeaseFileName(),
+                                  &error));
+    ASSERT_TRUE(a.Compact());
+    EXPECT_EQ(a.stats().compactions, 0);
+  }
+
+  // With the lease free, A compacts: its rewritten segment holds ONLY
+  // the entries A paid for — sibling-paid entries stay durable in the
+  // sibling's stream, where their owner compacts them.
+  ASSERT_TRUE(a.Compact());
+  EXPECT_EQ(a.stats().compactions, 1);
+  EXPECT_EQ(a.stats().segments, 1u);
+  // Still serves everything from memory...
+  EXPECT_EQ(CountIntact(&a, 1, kOwn + kPeer), kOwn + kPeer);
+  a.Close();
+  b.Close();
+  // ...and a reopen reloads own entries from the compacted segment and
+  // peer entries from the sibling stream: nothing was lost.
+  ScoreStore reopened;
+  ASSERT_TRUE(reopened.Open(dir.string(), opt_a));
+  EXPECT_EQ(CountIntact(&reopened, 1, kOwn + kPeer), kOwn + kPeer);
+  EXPECT_EQ(reopened.stats().replayed_records, static_cast<long long>(kOwn));
+  EXPECT_EQ(reopened.stats().peer_records, static_cast<long long>(kPeer));
+  fs::remove_all(dir);
+}
+
+TEST(ScoreStoreSharedTest, VanishedPeerSegmentKeepsAbsorbedEntries) {
+  const fs::path dir = Scratch("shared_vanish");
+  constexpr uint64_t kPeer = 40;
+  ScoreStore::Options opt_a;
+  opt_a.stream_slot = 0;
+  ScoreStore::Options opt_b;
+  opt_b.stream_slot = 1;
+  opt_b.max_segment_bytes = 512;  // force B onto several segments
+
+  ScoreStore a;
+  ScoreStore b;
+  ASSERT_TRUE(a.Open(dir.string(), opt_a));
+  ASSERT_TRUE(b.Open(dir.string(), opt_b));
+  for (uint64_t i = 0; i < kPeer; ++i) {
+    ASSERT_TRUE(b.Put(2, Key(i), ScoreOf(i)));
+  }
+  ASSERT_TRUE(b.Sync());
+  ASSERT_TRUE(a.RefreshPeers());
+  ASSERT_EQ(CountIntact(&a, 2, kPeer), kPeer);
+
+  // B compacts: its old segment names vanish and one new name appears.
+  ASSERT_TRUE(b.Compact());
+  ASSERT_TRUE(a.RefreshPeers());
+  // Absorbed entries survive the vanish, and re-absorbing B's compacted
+  // segment deduplicates (no double counting beyond the file overlap).
+  EXPECT_EQ(CountIntact(&a, 2, kPeer), kPeer);
+  fs::remove_all(dir);
+}
+
+TEST(ScoreStoreSharedTest, ReopenTruncatesOwnTornTailButNeverPeerFiles) {
+  const fs::path dir = Scratch("shared_owntail");
+  constexpr uint64_t kOwn = 20;
+  ScoreStore::Options options;
+  options.stream_slot = 0;
+  {
+    ScoreStore store;
+    ASSERT_TRUE(store.Open(dir.string(), options));
+    Fill(&store, 6, kOwn);
+    store.Close();
+  }
+  // Tear this stream's own tail and forge a torn sibling alongside.
+  const std::string own_path = (dir / "segment-w0-000001.seg").string();
+  std::string own_bytes = ReadAll(own_path);
+  ASSERT_EQ(own_bytes.size(), kHeaderSize + kOwn * kRecordSize);
+  own_bytes.append(kRecordSize / 2, '\x5A');
+  WriteAll(own_path, own_bytes);
+  const std::string peer_path = (dir / "segment-w1-000001.seg").string();
+  std::string peer_bytes = RawHeader();
+  peer_bytes += RawRecord(6, Key(kOwn), ScoreOf(kOwn));
+  peer_bytes.append(kRecordSize / 2, '\x33');  // torn peer tail
+  WriteAll(peer_path, peer_bytes);
+
+  ScoreStore store;
+  ASSERT_TRUE(store.Open(dir.string(), options));
+  // Own torn tail: truncated and accounted, exactly as in single-writer
+  // mode.
+  EXPECT_EQ(store.stats().dropped_bytes,
+            static_cast<long long>(kRecordSize / 2));
+  EXPECT_EQ(store.stats().corrupt_tails, 1);
+  EXPECT_EQ(fs::file_size(own_path), kHeaderSize + kOwn * kRecordSize);
+  // Peer torn tail: valid prefix absorbed, file untouched.
+  EXPECT_EQ(store.stats().peer_records, 1);
+  EXPECT_EQ(ReadAll(peer_path), peer_bytes);
+  EXPECT_EQ(CountIntact(&store, 6, kOwn + 1), kOwn + 1);
+  fs::remove_all(dir);
+}
+
+TEST(ScoreStoreSharedTest, MixedLegacyAndStreamSegments) {
+  const fs::path dir = Scratch("shared_mixed");
+  constexpr uint64_t kLegacy = 25, kStream = 15;
+  // A legacy single-writer store populates the directory first.
+  {
+    ScoreStore store;
+    ASSERT_TRUE(store.Open(dir.string()));
+    Fill(&store, 8, kLegacy);
+    store.Close();
+  }
+  // A shared-mode writer joining the directory treats the legacy
+  // segments as a peer stream: absorbed read-only, never rewritten.
+  {
+    ScoreStore::Options options;
+    options.stream_slot = 0;
+    ScoreStore store;
+    ASSERT_TRUE(store.Open(dir.string(), options));
+    EXPECT_EQ(store.stats().peer_records, static_cast<long long>(kLegacy));
+    EXPECT_EQ(store.stats().replayed_records, 0);
+    for (uint64_t i = kLegacy; i < kLegacy + kStream; ++i) {
+      ASSERT_TRUE(store.Put(8, Key(i), ScoreOf(i)));
+    }
+    ASSERT_TRUE(store.Sync());
+    EXPECT_EQ(CountIntact(&store, 8, kLegacy + kStream), kLegacy + kStream);
+    store.Close();
+  }
+  EXPECT_TRUE(fs::exists(dir / "segment-000001.seg"))
+      << "legacy segment must survive a shared-mode writer";
+  // And the reverse: a single-writer open of the ex-fleet directory
+  // absorbs the stream-named segments as peers.
+  ScoreStore store;
+  ASSERT_TRUE(store.Open(dir.string()));
+  EXPECT_EQ(store.stats().replayed_records, static_cast<long long>(kLegacy));
+  EXPECT_EQ(store.stats().peer_records, static_cast<long long>(kStream));
+  EXPECT_EQ(CountIntact(&store, 8, kLegacy + kStream), kLegacy + kStream);
+  // RefreshPeers outside shared mode is a harmless no-op.
+  EXPECT_TRUE(store.RefreshPeers());
+  fs::remove_all(dir);
+}
+
+TEST(ScoreStoreSharedTest, OpenSweepsOnlyOwnStreamTemps) {
+  const fs::path dir = Scratch("shared_sweep");
+  fs::create_directories(dir);
+  // A sibling's in-flight compaction temp must survive this writer's
+  // Open — unlinking it mid-rename would lose the sibling's rewrite.
+  WriteAll((dir / "segment-w1-000005.seg.tmp").string(), "sibling temp");
+  WriteAll((dir / "segment-w0-000003.seg.tmp").string(), "own stale temp");
+  ScoreStore::Options options;
+  options.stream_slot = 0;
+  ScoreStore store;
+  ASSERT_TRUE(store.Open(dir.string(), options));
+  EXPECT_TRUE(fs::exists(dir / "segment-w1-000005.seg.tmp"));
+  EXPECT_FALSE(fs::exists(dir / "segment-w0-000003.seg.tmp"));
+  fs::remove_all(dir);
+}
+
+TEST(ScoreStoreSharedTest, PeerMetricsAreMirrored) {
+  const fs::path dir = Scratch("shared_metrics");
+  obs::MetricsRegistry registry;
+  // Bind B's metrics before the peer writes land: counters mirror
+  // events after binding (absorption at Open time predates any
+  // registry and lands only in stats()).
+  ScoreStore::Options opt_b;
+  opt_b.stream_slot = 1;
+  ScoreStore b;
+  ASSERT_TRUE(b.Open(dir.string(), opt_b));
+  b.BindMetrics(&registry);
+  ScoreStore::Options opt_a;
+  opt_a.stream_slot = 0;
+  ScoreStore a;
+  ASSERT_TRUE(a.Open(dir.string(), opt_a));
+  Fill(&a, 3, 10);
+  ASSERT_TRUE(b.RefreshPeers());
+  double score = 0.0;
+  ASSERT_TRUE(b.Lookup(3, Key(0), &score));
+  EXPECT_EQ(registry.counter("store.peer_records")->value(), 10);
+  EXPECT_EQ(registry.counter("store.peer_hits")->value(), 1);
   fs::remove_all(dir);
 }
 

@@ -1,0 +1,82 @@
+// Unit tests for the control-channel line framing shared by both ends
+// of the master<->worker protocol (service::SplitControlLines). The
+// framing is what makes a worker SIGKILLed mid-`STATS` write harmless:
+// only newline-terminated lines are ever surfaced; a torn fragment
+// stays buffered and is dropped wholesale at EOF, never parsed. The
+// end-to-end version (a real fleet worker killed at a 20ms stats
+// cadence) lives in fleet_store_test.cc.
+
+#include "service/supervisor.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace certa::service {
+namespace {
+
+std::vector<std::string> Collect(std::string* buffer) {
+  std::vector<std::string> lines;
+  SplitControlLines(buffer,
+                    [&lines](const std::string& line) { lines.push_back(line); });
+  return lines;
+}
+
+TEST(SplitControlLinesTest, ExtractsCompleteLinesInOrder) {
+  std::string buffer = "READY 8080\nSTATS {\"slot\":0}\n";
+  const std::vector<std::string> lines = Collect(&buffer);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "READY 8080");
+  EXPECT_EQ(lines[1], "STATS {\"slot\":0}");
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(SplitControlLinesTest, RetainsPartialTailForNextRead) {
+  // A read() boundary mid-line: the torn fragment must not be surfaced.
+  std::string buffer = "STATS {\"slot\":0,\"runner\":{\"compl";
+  EXPECT_TRUE(Collect(&buffer).empty());
+  EXPECT_EQ(buffer, "STATS {\"slot\":0,\"runner\":{\"compl");
+
+  // The next read completes it (and starts another partial line).
+  buffer += "eted\":4}}\nSTATS {\"sl";
+  const std::vector<std::string> lines = Collect(&buffer);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "STATS {\"slot\":0,\"runner\":{\"completed\":4}}");
+  EXPECT_EQ(buffer, "STATS {\"sl");
+}
+
+TEST(SplitControlLinesTest, EmptyBufferIsANoOp) {
+  std::string buffer;
+  EXPECT_TRUE(Collect(&buffer).empty());
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(SplitControlLinesTest, HandlesEmptyAndBackToBackLines) {
+  std::string buffer = "\nA\n\nB\n";
+  const std::vector<std::string> lines = Collect(&buffer);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "");
+  EXPECT_EQ(lines[1], "A");
+  EXPECT_EQ(lines[2], "");
+  EXPECT_EQ(lines[3], "B");
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(SplitControlLinesTest, TornTailAtEofIsDroppedWholesale) {
+  // What HandleExit does when a SIGKILLed worker's fd reaches EOF:
+  // drain complete lines, then discard whatever fragment remains.
+  // The fragment must never reach the parser — clearing the buffer is
+  // the drop.
+  std::string buffer = "STATS {\"slot\":1,\"runner\":{\"completed\":9}}\n"
+                       "STATS {\"slot\":1,\"run";
+  const std::vector<std::string> lines = Collect(&buffer);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "STATS {\"slot\":1,\"runner\":{\"completed\":9}}");
+  EXPECT_EQ(buffer, "STATS {\"slot\":1,\"run");
+  buffer.clear();  // the EOF drop
+  EXPECT_TRUE(Collect(&buffer).empty());
+}
+
+}  // namespace
+}  // namespace certa::service

@@ -141,6 +141,8 @@ int Usage() {
          "                [--trace-out FILE] [--store-dir DIR] [--no-index]\n"
          "  certa serve   --listen PORT [--host ADDR]\n"
          "                [--max-connections N] [...same serve flags]\n"
+         "                (--workers K >= 2 forks a fleet; --store-dir is\n"
+         "                 one directory shared by every worker)\n"
          "  certa serve   --resume JOBDIR [--checkpoint-every N]\n"
          "                [--store-dir DIR]\n"
          "durable explain: explain ... --job-dir DIR [--checkpoint-every N]\n"
@@ -636,7 +638,8 @@ int CmdGlobal(const Args& args) {
 /// sum every numeric field without a schema of its own.
 std::string WorkerStatsJson(int slot,
                             const certa::service::JobRunner::Counters& c,
-                            const certa::net::ServerStats& s) {
+                            const certa::net::ServerStats& s,
+                            const certa::persist::ScoreStore* store) {
   certa::JsonWriter json;
   json.BeginObject();
   json.Key("slot");
@@ -679,15 +682,39 @@ std::string WorkerStatsJson(int slot,
   json.Key("slow_reader_closes");
   json.Int(s.slow_reader_closes);
   json.EndObject();
+  if (store != nullptr) {
+    const certa::persist::ScoreStore::Stats st = store->stats();
+    json.Key("store");
+    json.BeginObject();
+    json.Key("entries");
+    json.Int(static_cast<long long>(st.entries));
+    json.Key("lookups");
+    json.Int(st.lookups);
+    json.Key("hits");
+    json.Int(st.hits);
+    json.Key("peer_hits");
+    json.Int(st.peer_hits);
+    json.Key("peer_records");
+    json.Int(st.peer_records);
+    json.Key("appends");
+    json.Int(st.appends);
+    json.Key("compactions");
+    json.Int(st.compactions);
+    json.EndObject();
+  }
   json.EndObject();
   return json.str();
 }
 
 /// Fleet mode: `--listen` with `--workers N` (N >= 2) forks N worker
 /// processes that each run ServeOverSocket's machinery over a private
-/// partition (`<job-root>/w<slot>`, `<store-dir>/w<slot>`) and share
-/// the TCP port (SO_REUSEPORT, or one inherited listener as fallback).
-/// The master process only supervises: crash restarts with backoff,
+/// job partition (`<job-root>/w<slot>`) plus ONE shared `--store-dir`:
+/// every worker appends paid scores to its own segment stream inside
+/// the directory and absorbs its siblings' streams read-only, so a
+/// score any worker pays is a hit for the whole fleet (`peer_hits` in
+/// the stats counts the cross-worker reuse). Workers share the TCP
+/// port (SO_REUSEPORT, or one inherited listener as fallback). The
+/// master process only supervises: crash restarts with backoff,
 /// flap-capped abandonment with partition adoption, SIGHUP rolling
 /// restart, SIGTERM fleet drain, stats fan-in. See docs/SERVICE.md.
 int ServeFleet(const Args& args,
@@ -722,7 +749,12 @@ int ServeFleet(const Args& args,
 
   // One fleet per job root / store root — and the lock fds must not
   // leak into workers (flock is shared across fork, so an inheriting
-  // child would keep the root "busy" after the master died).
+  // child would keep the root "busy" after the master died). The
+  // master's store lock is the whole-directory ".lock", which is what
+  // a single-process serve or durable explain would take: a fleet and
+  // a single-process writer can never share the directory, while the
+  // fleet's own workers lock only their streams (".lock-w<slot>") and
+  // so coexist under it.
   certa::persist::DirLock root_lock;
   certa::persist::DirLock store_lock;
   std::string lock_error;
@@ -752,7 +784,11 @@ int ServeFleet(const Args& args,
     certa::service::JobRunnerOptions worker_runner = runner_options;
     worker_runner.workers = 1;
     worker_runner.job_root = launch.partition_root;
-    worker_runner.store_dir = launch.store_partition;
+    // The whole fleet shares launch.store_dir; this worker's slot picks
+    // the one segment stream it may write (and locks only that stream,
+    // so siblings coexist while a second fleet cannot steal a slot).
+    worker_runner.store_dir = launch.store_dir;
+    worker_runner.store_stream_slot = launch.slot;
     worker_runner.job_id_prefix = "w" + std::to_string(launch.slot) + "-";
     worker_runner.store_exclusive_lock = true;
     if (!worker_runner.stats_path.empty()) {
@@ -807,7 +843,7 @@ int ServeFleet(const Args& args,
     };
     hooks.stats_provider = [&server, slot = launch.slot] {
       return WorkerStatsJson(slot, server.runner().counters(),
-                             server.stats());
+                             server.stats(), server.runner().store());
     };
     control.Start(std::move(hooks));
 
@@ -832,7 +868,9 @@ int ServeFleet(const Args& args,
       done += "DONE " + job_id + " " +
               std::string(certa::service::JobStateName(outcome.state)) +
               " replayed=" + std::to_string(outcome.replayed_scores) +
-              " fresh=" + std::to_string(outcome.fresh_scores);
+              " fresh=" + std::to_string(outcome.fresh_scores) +
+              " store=" + std::to_string(outcome.store_hits) +
+              " peer=" + std::to_string(outcome.store_peer_hits);
       if (!outcome.error.empty()) done += " (" + outcome.error + ")";
       done += "\n";
     }

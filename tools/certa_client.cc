@@ -16,7 +16,11 @@
 // connection can die mid-conversation when its worker is killed or
 // rolled — the port itself stays up. Every command retries
 // connect/IO failures with exponential backoff (--retries N, default
-// 8; --no-retry disables). A dropped watch stream resumes by polling
+// 8; --no-retry disables). The budget bounds each consecutive-failure
+// streak, not the client's lifetime: a successful reconnect restores
+// it in full, so a long rolling restart — one brief outage per worker
+// — can never exhaust --retries cumulatively. A dropped watch stream
+// resumes by polling
 // `status` — the job's durable state, not the lost connection, is the
 // truth — and the poll treats a parked job as transient for a grace
 // window, because the respawned worker's resume sweep re-admits it.
@@ -251,21 +255,29 @@ bool ParseServerFrame(const std::string& line, ServerFrame* frame) {
 /// One request frame, one response frame, printed verbatim — retried
 /// on a fresh connection after any IO failure. Safe for every verb
 /// here: status/result/stats/ping are reads, cancel is idempotent.
+///
+/// Budget semantics: --retries bounds each *streak* of consecutive
+/// failures, not the client's lifetime total — every successful
+/// reconnect restores the full budget. A long rolling restart of an
+/// N-worker fleet is N brief outages in a row; each is individually
+/// survivable and must not drain a shared cumulative counter.
 int RoundTrip(const Endpoint& endpoint, const std::string& request) {
   std::string error;
-  for (int failures = 0;; ++failures) {
+  int failures = 0;
+  for (;;) {
     Connection conn;
     if (!ConnectWithRetry(endpoint, &conn, &error)) break;
+    failures = 0;  // successful reconnect: the budget starts over
     std::string line;
     if (conn.Send(request, &error) && conn.ReadLine(&line, &error)) {
       std::cout << line << "\n";
       ServerFrame frame;
       return ParseServerFrame(line, &frame) && frame.type == "error" ? 1 : 0;
     }
-    if (failures >= endpoint.retries) break;
+    if (++failures > endpoint.retries) break;
     std::cerr << "retrying: " << error << "\n";
     std::this_thread::sleep_for(
-        std::chrono::milliseconds(BackoffMs(failures + 1)));
+        std::chrono::milliseconds(BackoffMs(failures)));
   }
   std::cerr << "error: " << error << "\n";
   return 1;
@@ -296,6 +308,11 @@ int WatchByPolling(const Endpoint& endpoint, const std::string& job_id,
         return 3;
       }
       connected = true;
+      // Successful reconnect: the retry budget starts over. Without
+      // this, each worker rolled during a long SIGHUP restart eats a
+      // slice of one cumulative budget and a watch spanning N rolls
+      // dies on outage N+1 even though every single outage was brief.
+      failures = 0;
     }
     std::string line;
     if (!conn.Send(certa::net::StatusRequestFrame(job_id), &error) ||
@@ -388,11 +405,13 @@ int CmdSubmit(const Args& args, const Endpoint& endpoint) {
   Connection conn;
   std::string job_id;
   std::string line;
-  for (int failures = 0; job_id.empty(); ++failures) {
+  int failures = 0;
+  while (job_id.empty()) {
     if (!ConnectWithRetry(endpoint, &conn, &error)) {
       std::cerr << "error: " << error << "\n";
       return 1;
     }
+    failures = 0;  // successful reconnect: the budget starts over
     if (!conn.Send(certa::net::SubmitFrame(request, watch), &error) ||
         !conn.ReadLine(&line, &error)) {
       // The submit may or may not have been admitted. With a caller-
@@ -403,10 +422,10 @@ int CmdSubmit(const Args& args, const Endpoint& endpoint) {
                   << "); polling status of " << named_id << "\n";
         return WatchByPolling(endpoint, named_id, quiet);
       }
-      if (failures < endpoint.retries) {
+      if (++failures <= endpoint.retries) {
         std::cerr << "retrying submit: " << error << "\n";
         std::this_thread::sleep_for(
-            std::chrono::milliseconds(BackoffMs(failures + 1)));
+            std::chrono::milliseconds(BackoffMs(failures)));
         continue;
       }
       std::cerr << "error: " << error << "\n";
