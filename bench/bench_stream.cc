@@ -1,0 +1,408 @@
+// Streaming-serving bench (docs/OPERATIONS.md "Streaming mode"):
+//   1. sustained mutation load — a single StreamCoordinator absorbing
+//      upsert/match/remove traffic over the AB overlay, with per-op
+//      latency recorded into obs::Histogram and reported as
+//      p50/p95/p99 (microseconds) plus ops/sec;
+//   2. staleness churn — a registered job dependency is re-upserted
+//      repeatedly; every hit must flag the job stale (lazy recompute
+//      is the service layer's job, the bench pins the detection);
+//   3. SIGKILL-and-resume durability — a forked writer process streams
+//      upserts and reports each durable ack through a pipe; the parent
+//      SIGKILLs it mid-stream, reopens the same directory, and every
+//      acked record must still be matchable. Zero lost acked upserts
+//      is a hard pass/fail.
+// Prints a table and writes BENCH_stream.json (path override:
+// CERTA_BENCH_STREAM_JSON). Op count: --ops N or
+// CERTA_BENCH_STREAM_OPS (default 2000).
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "data/benchmarks.h"
+#include "data/dataset.h"
+#include "explain/json_export.h"
+#include "obs/metrics.h"
+#include "service/stream_coordinator.h"
+#include "util/json_writer.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+using certa::service::StreamCoordinator;
+
+double MicrosSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+fs::path FreshDir(const std::string& tag) {
+  fs::path dir = fs::temp_directory_path() /
+                 ("certa_bench_stream_" + tag + "_" +
+                  std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// AB-arity record whose first value is a unique probe token.
+certa::data::Record TokenRecord(int id, int arity,
+                                const std::string& token) {
+  certa::data::Record record;
+  record.id = id;
+  record.values.assign(static_cast<size_t>(arity), "streampad");
+  record.values[0] = token;
+  return record;
+}
+
+struct LatencyLeg {
+  long long ops = 0;
+  double wall_ms = 0.0;
+  double ops_per_sec = 0.0;
+  double upsert_p50 = 0.0, upsert_p95 = 0.0, upsert_p99 = 0.0;
+  double match_p50 = 0.0, match_p95 = 0.0, match_p99 = 0.0;
+  double remove_p50 = 0.0, remove_p95 = 0.0, remove_p99 = 0.0;
+  long long checkpoints = 0;
+  bool ok = false;
+};
+
+LatencyLeg RunLatencyLeg(long long ops, int arity) {
+  LatencyLeg leg;
+  leg.ops = ops;
+  const fs::path root = FreshDir("latency");
+  certa::obs::MetricsRegistry metrics;
+  StreamCoordinator coordinator;
+  StreamCoordinator::Options options;
+  options.dir = (root / "stream").string();
+  options.metrics = &metrics;
+  std::string error;
+  if (!coordinator.Open(options, &error)) {
+    std::fprintf(stderr, "open: %s\n", error.c_str());
+    return leg;
+  }
+
+  certa::obs::Histogram* upsert_us = metrics.histogram("bench.upsert_us");
+  certa::obs::Histogram* match_us = metrics.histogram("bench.match_us");
+  certa::obs::Histogram* remove_us = metrics.histogram("bench.remove_us");
+
+  // Mix: mostly upserts (the sustained-write story), a match every 4th
+  // op (reads absorb + rank), a remove every 16th.
+  StreamCoordinator::Ack ack;
+  std::vector<StreamCoordinator::Invalidation> invalidated;
+  std::vector<StreamCoordinator::MatchCandidate> candidates;
+  bool ok = true;
+  const Clock::time_point wall0 = Clock::now();
+  for (long long i = 0; i < ops && ok; ++i) {
+    const int id = 950000 + static_cast<int>(i % 512);
+    const std::string token = "benchtok" + std::to_string(i % 512);
+    if (i % 16 == 15) {
+      const Clock::time_point t0 = Clock::now();
+      ok = coordinator.Remove("AB", "", 0, id, &ack, &invalidated, &error) ==
+           StreamCoordinator::OpStatus::kOk;
+      remove_us->Record(MicrosSince(t0));
+    } else if (i % 4 == 3) {
+      std::vector<std::string> probe(static_cast<size_t>(arity), "NaN");
+      probe[0] = token;
+      const Clock::time_point t0 = Clock::now();
+      ok = coordinator.Match("AB", "", 0, probe, 5, &candidates, &error) ==
+           StreamCoordinator::OpStatus::kOk;
+      match_us->Record(MicrosSince(t0));
+    } else {
+      const Clock::time_point t0 = Clock::now();
+      ok = coordinator.Upsert("AB", "", 0, TokenRecord(id, arity, token),
+                              &ack, &invalidated, &error) ==
+           StreamCoordinator::OpStatus::kOk;
+      upsert_us->Record(MicrosSince(t0));
+    }
+  }
+  leg.wall_ms = MicrosSince(wall0) / 1000.0;
+  if (!ok) std::fprintf(stderr, "mutation failed: %s\n", error.c_str());
+  leg.ok = ok;
+  leg.ops_per_sec =
+      leg.wall_ms > 0.0 ? 1000.0 * static_cast<double>(ops) / leg.wall_ms
+                        : 0.0;
+  leg.upsert_p50 = upsert_us->Quantile(0.50);
+  leg.upsert_p95 = upsert_us->Quantile(0.95);
+  leg.upsert_p99 = upsert_us->Quantile(0.99);
+  leg.match_p50 = match_us->Quantile(0.50);
+  leg.match_p95 = match_us->Quantile(0.95);
+  leg.match_p99 = match_us->Quantile(0.99);
+  leg.remove_p50 = remove_us->Quantile(0.50);
+  leg.remove_p95 = remove_us->Quantile(0.95);
+  leg.remove_p99 = remove_us->Quantile(0.99);
+  leg.checkpoints = coordinator.stats().checkpoints;
+  coordinator.Close();
+  fs::remove_all(root);
+  return leg;
+}
+
+struct StalenessLeg {
+  int rounds = 0;
+  int flagged = 0;
+  bool ok = false;
+};
+
+/// Register a job's deps via the runner hook, then hammer one of the
+/// dep records: every upsert must flag the job stale again after the
+/// mark is cleared by re-registration.
+StalenessLeg RunStalenessLeg(const certa::data::Dataset& base, int arity) {
+  StalenessLeg leg;
+  leg.rounds = 50;
+  const fs::path root = FreshDir("stale");
+  StreamCoordinator coordinator;
+  StreamCoordinator::Options options;
+  options.dir = (root / "stream").string();
+  std::string error;
+  if (!coordinator.Open(options, &error)) return leg;
+
+  certa::api::ExplainRequest request;
+  request.id = "bench-job";
+  request.dataset = "AB";
+  request.pair_index = 0;
+  const int left_id = base.left.record(base.test[0].left_index).id;
+
+  StreamCoordinator::Ack ack;
+  std::vector<StreamCoordinator::Invalidation> invalidated;
+  bool ok = true;
+  for (int round = 0; round < leg.rounds && ok; ++round) {
+    // (Re-)register the deps — clears the stale mark, like the
+    // recompute's dataset hook does.
+    certa::data::Dataset snapshot;
+    ok = coordinator.ProvideDataset(request, &snapshot, &error);
+    if (!ok) break;
+    ok = coordinator.Upsert(
+             "AB", "", 0,
+             TokenRecord(left_id, arity, "drift" + std::to_string(round)),
+             &ack, &invalidated, &error) == StreamCoordinator::OpStatus::kOk;
+    if (coordinator.IsStale("bench-job")) ++leg.flagged;
+  }
+  leg.ok = ok && leg.flagged == leg.rounds;
+  coordinator.Close();
+  fs::remove_all(root);
+  return leg;
+}
+
+struct DurabilityLeg {
+  int acked = 0;
+  int recovered = 0;
+  int lost = 0;
+  double reopen_ms = 0.0;
+  bool killed_mid_stream = false;
+  bool ok = false;
+};
+
+/// Child process streams upserts and reports each durable ack id over
+/// a pipe; the parent SIGKILLs it mid-stream, reopens the directory,
+/// and re-finds every acked record. WAL fsync-before-ack makes zero
+/// loss a hard guarantee, not a race.
+DurabilityLeg RunDurabilityLeg(int arity) {
+  DurabilityLeg leg;
+  const fs::path root = FreshDir("durability");
+  const std::string dir = (root / "stream").string();
+  int fds[2];
+  if (pipe(fds) != 0) return leg;
+
+  const pid_t child = fork();
+  if (child == 0) {
+    close(fds[0]);
+    StreamCoordinator coordinator;
+    StreamCoordinator::Options options;
+    options.dir = dir;
+    std::string error;
+    if (!coordinator.Open(options, &error)) _exit(2);
+    StreamCoordinator::Ack ack;
+    std::vector<StreamCoordinator::Invalidation> invalidated;
+    for (int i = 0; i < 100000; ++i) {
+      if (coordinator.Upsert("AB", "", 0,
+                             TokenRecord(960000 + i, arity,
+                                         "killtok" + std::to_string(i)),
+                             &ack, &invalidated,
+                             &error) != StreamCoordinator::OpStatus::kOk) {
+        _exit(3);
+      }
+      // The ack is durable (WAL fsync'd) the moment Upsert returned.
+      const int32_t acked_id = 960000 + i;
+      if (write(fds[1], &acked_id, sizeof(acked_id)) !=
+          static_cast<ssize_t>(sizeof(acked_id))) {
+        _exit(4);
+      }
+    }
+    _exit(0);  // never reached at sane fsync latency
+  }
+  close(fds[1]);
+
+  // Let a few dozen acks land, then kill without warning.
+  std::vector<int32_t> acked_ids;
+  int32_t id = 0;
+  while (acked_ids.size() < 48 &&
+         read(fds[0], &id, sizeof(id)) == static_cast<ssize_t>(sizeof(id))) {
+    acked_ids.push_back(id);
+  }
+  kill(child, SIGKILL);
+  int status = 0;
+  waitpid(child, &status, 0);
+  leg.killed_mid_stream = WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+  // Drain acks that raced the kill — they were durable too.
+  while (read(fds[0], &id, sizeof(id)) == static_cast<ssize_t>(sizeof(id))) {
+    acked_ids.push_back(id);
+  }
+  close(fds[0]);
+  leg.acked = static_cast<int>(acked_ids.size());
+
+  // Reopen the directory like a restarted server and probe every
+  // acked record.
+  const Clock::time_point t0 = Clock::now();
+  StreamCoordinator coordinator;
+  StreamCoordinator::Options options;
+  options.dir = dir;
+  std::string error;
+  if (!coordinator.Open(options, &error)) {
+    std::fprintf(stderr, "reopen: %s\n", error.c_str());
+    return leg;
+  }
+  leg.reopen_ms = MicrosSince(t0) / 1000.0;
+  for (const int32_t acked_id : acked_ids) {
+    std::vector<std::string> probe(static_cast<size_t>(arity), "NaN");
+    probe[0] = "killtok" + std::to_string(acked_id - 960000);
+    std::vector<StreamCoordinator::MatchCandidate> candidates;
+    if (coordinator.Match("AB", "", 0, probe, 3, &candidates, &error) !=
+        StreamCoordinator::OpStatus::kOk) {
+      break;
+    }
+    bool found = false;
+    for (const auto& candidate : candidates) {
+      if (candidate.id == acked_id) found = true;
+    }
+    if (found) ++leg.recovered;
+  }
+  leg.lost = leg.acked - leg.recovered;
+  leg.ok = leg.killed_mid_stream && leg.acked > 0 && leg.lost == 0;
+  coordinator.Close();
+  fs::remove_all(root);
+  return leg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long ops = 2000;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--ops") == 0) ops = std::atoll(argv[++i]);
+  }
+  if (const char* env = std::getenv("CERTA_BENCH_STREAM_OPS")) {
+    ops = std::atoll(env);
+  }
+  const certa::data::Dataset base = certa::data::MakeBenchmark("AB");
+  const int arity = base.left.schema().size();
+
+  std::printf("streaming ingestion (AB overlay, WAL fsync per op)\n\n");
+  const LatencyLeg latency = RunLatencyLeg(ops, arity);
+  std::printf("  %lld ops in %.1f ms (%.0f ops/sec), %lld checkpoints\n",
+              latency.ops, latency.wall_ms, latency.ops_per_sec,
+              latency.checkpoints);
+  std::printf("  %-8s %10s %10s %10s\n", "op", "p50 us", "p95 us", "p99 us");
+  std::printf("  %-8s %10.1f %10.1f %10.1f\n", "upsert", latency.upsert_p50,
+              latency.upsert_p95, latency.upsert_p99);
+  std::printf("  %-8s %10.1f %10.1f %10.1f\n", "match", latency.match_p50,
+              latency.match_p95, latency.match_p99);
+  std::printf("  %-8s %10.1f %10.1f %10.1f\n", "remove", latency.remove_p50,
+              latency.remove_p95, latency.remove_p99);
+
+  const StalenessLeg stale = RunStalenessLeg(base, arity);
+  std::printf("\nstaleness detection: %d/%d dep hits flagged\n",
+              stale.flagged, stale.rounds);
+
+  const DurabilityLeg durability = RunDurabilityLeg(arity);
+  std::printf("\nSIGKILL-and-resume: %d acked, %d recovered, %d lost "
+              "(reopen %.1f ms)\n",
+              durability.acked, durability.recovered, durability.lost,
+              durability.reopen_ms);
+
+  certa::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench");
+  json.String("stream");
+  json.Key("latency");
+  json.BeginObject();
+  json.Key("ops");
+  json.Int(latency.ops);
+  json.Key("wall_ms");
+  json.Number(latency.wall_ms);
+  json.Key("ops_per_sec");
+  json.Number(latency.ops_per_sec);
+  json.Key("checkpoints");
+  json.Int(latency.checkpoints);
+  json.Key("upsert_us");
+  json.BeginObject();
+  json.Key("p50");
+  json.Number(latency.upsert_p50);
+  json.Key("p95");
+  json.Number(latency.upsert_p95);
+  json.Key("p99");
+  json.Number(latency.upsert_p99);
+  json.EndObject();
+  json.Key("match_us");
+  json.BeginObject();
+  json.Key("p50");
+  json.Number(latency.match_p50);
+  json.Key("p95");
+  json.Number(latency.match_p95);
+  json.Key("p99");
+  json.Number(latency.match_p99);
+  json.EndObject();
+  json.Key("remove_us");
+  json.BeginObject();
+  json.Key("p50");
+  json.Number(latency.remove_p50);
+  json.Key("p95");
+  json.Number(latency.remove_p95);
+  json.Key("p99");
+  json.Number(latency.remove_p99);
+  json.EndObject();
+  json.EndObject();
+  json.Key("staleness");
+  json.BeginObject();
+  json.Key("rounds");
+  json.Int(stale.rounds);
+  json.Key("flagged");
+  json.Int(stale.flagged);
+  json.EndObject();
+  json.Key("durability");
+  json.BeginObject();
+  json.Key("acked");
+  json.Int(durability.acked);
+  json.Key("recovered");
+  json.Int(durability.recovered);
+  json.Key("lost");
+  json.Int(durability.lost);
+  json.Key("reopen_ms");
+  json.Number(durability.reopen_ms);
+  json.Key("killed_mid_stream");
+  json.Bool(durability.killed_mid_stream);
+  json.EndObject();
+  json.EndObject();
+
+  const char* path_env = std::getenv("CERTA_BENCH_STREAM_JSON");
+  const std::string path =
+      path_env != nullptr ? path_env : "BENCH_stream.json";
+  if (!certa::explain::SaveJsonFile(path, json.str())) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("\nsummary written to %s\n", path.c_str());
+  if (!latency.ok || !stale.ok || !durability.ok) {
+    std::fprintf(stderr, "FAIL: latency=%d staleness=%d durability=%d\n",
+                 latency.ok, stale.ok, durability.ok);
+    return 1;
+  }
+  return 0;
+}

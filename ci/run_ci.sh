@@ -23,7 +23,13 @@
 #   7. the fleet suite (multi-process master/worker serving: dir-lock
 #      contention, crash recovery, rolling restart, the shared
 #      cross-worker score store, and the randomized SIGKILL chaos
-#      battery) in the Release, ASan and TSan builds.
+#      battery — which also absorbs a concurrent v2 upsert stream) in
+#      the Release, ASan and TSan builds;
+#   8. the stream suite (incremental MutableTable differential, v2 wire
+#      verbs + negotiation + golden v1 byte corpus, SIGKILL/resume and
+#      recompute-equals-fresh-batch e2e) in the Release, ASan and TSan
+#      builds, plus the streaming-latency/durability bench which writes
+#      BENCH_stream.json and fails on any lost acked upsert.
 # Any failure fails the script.
 set -euo pipefail
 
@@ -57,6 +63,11 @@ ctest --test-dir "${REPO_ROOT}/build-ci" --output-on-failure -L store
 # chaos battery (random worker kills under live multi-client load over
 # one shared store dir, byte-compared against single-process explains).
 ctest --test-dir "${REPO_ROOT}/build-ci" --output-on-failure -L fleet
+# Streaming/incremental serving: the MutableTable incremental-index
+# differential, v2 wire verbs + per-connection version negotiation +
+# the golden v1 byte-for-byte corpus, and the SIGKILL/resume +
+# stale-recompute-equals-fresh-batch e2e through the real binaries.
+ctest --test-dir "${REPO_ROOT}/build-ci" --output-on-failure -L stream
 
 echo "== address+undefined sanitizer build =="
 cmake -B "${REPO_ROOT}/build-ci-asan" -S "${REPO_ROOT}" \
@@ -69,6 +80,7 @@ ctest --test-dir "${REPO_ROOT}/build-ci-asan" --output-on-failure -L durability
 ctest --test-dir "${REPO_ROOT}/build-ci-asan" --output-on-failure -L service-net
 ctest --test-dir "${REPO_ROOT}/build-ci-asan" --output-on-failure -L store
 ctest --test-dir "${REPO_ROOT}/build-ci-asan" --output-on-failure -L fleet
+ctest --test-dir "${REPO_ROOT}/build-ci-asan" --output-on-failure -L stream
 
 echo "== thread sanitizer build =="
 cmake -B "${REPO_ROOT}/build-ci-tsan" -S "${REPO_ROOT}" \
@@ -84,6 +96,9 @@ ctest --test-dir "${REPO_ROOT}/build-ci-tsan" --output-on-failure -L store
 
 echo "== Sanitized fleet suite (TSan) =="
 ctest --test-dir "${REPO_ROOT}/build-ci-tsan" --output-on-failure -L fleet
+
+echo "== Sanitized stream suite (TSan) =="
+ctest --test-dir "${REPO_ROOT}/build-ci-tsan" --output-on-failure -L stream
 
 echo "== Perf suite: portable build, dispatched (vector) kernels =="
 ctest --test-dir "${REPO_ROOT}/build-ci" --output-on-failure -L perf
@@ -108,6 +123,13 @@ ctest --test-dir "${REPO_ROOT}/build-ci-tsan" --output-on-failure -L perf
 echo "== Observability overhead bench =="
 CERTA_BENCH_OBS_JSON="${REPO_ROOT}/BENCH_obs.json" \
   "${REPO_ROOT}/build-ci/bench/bench_observability"
+
+# Streaming bench: sustained upsert/match/remove p50/p95/p99 through the
+# WAL'd coordinator, staleness-detection churn, and a SIGKILL-and-resume
+# leg that fails the build on any lost acked upsert.
+echo "== Streaming latency + durability bench =="
+CERTA_BENCH_STREAM_JSON="${REPO_ROOT}/BENCH_stream.json" \
+  "${REPO_ROOT}/build-ci/bench/bench_stream"
 
 # Scale smoke: candidate-index speedup + store warm-hit verification,
 # including the 2-worker shared-store leg (stream 1 must rerun the job

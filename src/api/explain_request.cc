@@ -224,7 +224,8 @@ bool ParseKeyValueLine(std::string_view line, ExplainRequest* request,
 }
 
 bool FromJson(const JsonValue& value, ExplainRequest* request,
-              std::string* error) {
+              std::string* error,
+              std::vector<std::string>* deprecation_notes) {
   auto fail = [&](const std::string& message) {
     if (error != nullptr) *error = message;
     return false;
@@ -234,6 +235,7 @@ bool FromJson(const JsonValue& value, ExplainRequest* request,
   // Version first: a future-versioned request must get the version
   // error, not a confusing unknown-key one for a field we do not know.
   const JsonValue* version = value.Find("schema_version");
+  long long declared_version = 1;
   if (version != nullptr) {
     if (!version->is_integer()) {
       return fail("schema_version must be an integer");
@@ -244,10 +246,35 @@ bool FromJson(const JsonValue& value, ExplainRequest* request,
                   "; this build supports <= " +
                   std::to_string(kSchemaVersion));
     }
+    declared_version = version->int_value();
   }
+  // The request's own declared version picks the key surface: v2 is
+  // canonical-only, v1 keeps the legacy spellings bit-identically.
+  const bool canonical_only = declared_version >= 2;
 
   ExplainRequest parsed;
   for (const auto& [key, member] : value.object_items()) {
+    if (canonical_only) {
+      const std::string normalized = NormalizeKey(key);
+      if (normalized != key) {
+        return fail("'" + key + "' is not accepted at schema_version " +
+                    std::to_string(declared_version) +
+                    "; canonical keys are snake_case (use '" + normalized +
+                    "')");
+      }
+      if (key == "data" || key == "pair_index") {
+        return fail("'" + key + "' was retired at schema_version 2; use '" +
+                    std::string(key == "data" ? "data_dir" : "pair") + "'");
+      }
+    } else if (deprecation_notes != nullptr) {
+      std::string note = DeprecationNote(key);
+      if (note.empty() && key.find('-') != std::string::npos) {
+        note = "'" + key + "' uses a dashed key; canonical wire keys are "
+               "snake_case ('" + NormalizeKey(key) +
+               "'), required from schema_version 2";
+      }
+      if (!note.empty()) deprecation_notes->push_back(note);
+    }
     std::string text;
     switch (member.type()) {
       case JsonValue::Type::kString:
@@ -273,10 +300,11 @@ bool FromJson(const JsonValue& value, ExplainRequest* request,
 }
 
 bool FromJsonText(std::string_view text, ExplainRequest* request,
-                  std::string* error) {
+                  std::string* error,
+                  std::vector<std::string>* deprecation_notes) {
   JsonValue value;
   if (!JsonValue::Parse(text, &value, error)) return false;
-  return FromJson(value, request, error);
+  return FromJson(value, request, error, deprecation_notes);
 }
 
 }  // namespace certa::api

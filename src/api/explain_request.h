@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "api/version.h"
 #include "util/json_parser.h"
@@ -92,10 +93,22 @@ bool ParseKeyValueLine(std::string_view line, ExplainRequest* request,
 /// typo'd knob must not silently fall back to a default), and a
 /// schema_version newer than kSchemaVersion fails with a clear
 /// "speaks schema N, this build supports <= M" error.
+///
+/// Strictness follows the request's own declared version: a request
+/// declaring schema_version >= 2 must use canonical snake_case keys —
+/// dashed spellings and the deprecated aliases ("data", "pair_index")
+/// are rejected with a pointer to the canonical key. Requests
+/// declaring v1 (or nothing) keep the permissive surface; when
+/// `deprecation_notes` is non-null each accepted legacy spelling
+/// appends one human-readable migration note (callers decide how
+/// often to surface them — the wire server emits at most one per
+/// connection).
 bool FromJson(const JsonValue& value, ExplainRequest* request,
-              std::string* error);
+              std::string* error,
+              std::vector<std::string>* deprecation_notes = nullptr);
 bool FromJsonText(std::string_view text, ExplainRequest* request,
-                  std::string* error);
+                  std::string* error,
+                  std::vector<std::string>* deprecation_notes = nullptr);
 
 }  // namespace certa::api
 

@@ -12,7 +12,17 @@ namespace certa::api {
 ///
 /// Header-only on purpose: exporters (core, obs) stamp the constant
 /// without linking the api library.
-inline constexpr int kSchemaVersion = 1;
+///
+/// Version history:
+///   1 — batch protocol: submit/status/result/cancel/stats/ping;
+///       dashed key spellings and the aliases "data"/"pair_index"
+///       accepted everywhere.
+///   2 — streaming protocol: adds upsert/remove/match/invalidations
+///       verbs and the ping `capabilities` block; requests declaring
+///       schema_version >= 2 accept canonical snake_case keys only
+///       (aliases and dashed spellings are rejected, not renamed).
+///       v1 frames keep parsing bit-identically.
+inline constexpr int kSchemaVersion = 2;
 
 }  // namespace certa::api
 

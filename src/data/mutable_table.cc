@@ -1,0 +1,140 @@
+#include "data/mutable_table.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "data/blocking.h"
+
+namespace certa::data {
+
+MutableTable::MutableTable(const Table& base)
+    : name_(base.name()), schema_(base.schema()) {
+  records_.reserve(static_cast<size_t>(base.size()));
+  for (int r = 0; r < base.size(); ++r) {
+    records_.push_back(base.record(r));
+    alive_.push_back(1);
+    ++live_;
+    row_by_id_[base.record(r).id] = r;
+    IndexRow(r);
+  }
+}
+
+void MutableTable::IndexRow(int row) {
+  for (const std::string& token : RecordTokenSet(records_[row])) {
+    std::vector<int>& postings = index_[token];
+    postings.insert(
+        std::lower_bound(postings.begin(), postings.end(), row), row);
+  }
+}
+
+void MutableTable::DeindexRow(int row) {
+  for (const std::string& token : RecordTokenSet(records_[row])) {
+    auto it = index_.find(token);
+    if (it == index_.end()) continue;
+    std::vector<int>& postings = it->second;
+    auto pos = std::lower_bound(postings.begin(), postings.end(), row);
+    if (pos != postings.end() && *pos == row) postings.erase(pos);
+    if (postings.empty()) index_.erase(it);
+  }
+}
+
+int MutableTable::Upsert(const Record& record, bool* created,
+                         std::string* error) {
+  if (static_cast<int>(record.values.size()) != schema_.size()) {
+    if (error != nullptr) {
+      *error = "record has " + std::to_string(record.values.size()) +
+               " values; schema wants " + std::to_string(schema_.size());
+    }
+    return -1;
+  }
+  auto it = row_by_id_.find(record.id);
+  if (it != row_by_id_.end()) {
+    const int row = it->second;
+    if (alive_[row]) {
+      DeindexRow(row);
+    } else {
+      alive_[row] = 1;
+      ++live_;
+    }
+    records_[row] = record;
+    IndexRow(row);
+    if (created != nullptr) *created = false;
+    return row;
+  }
+  const int row = static_cast<int>(records_.size());
+  records_.push_back(record);
+  alive_.push_back(1);
+  ++live_;
+  row_by_id_[record.id] = row;
+  IndexRow(row);
+  if (created != nullptr) *created = true;
+  return row;
+}
+
+bool MutableTable::Remove(int id) {
+  auto it = row_by_id_.find(id);
+  if (it == row_by_id_.end()) return false;
+  const int row = it->second;
+  if (!alive_[row]) return false;
+  DeindexRow(row);
+  // All-missing values: the token set empties, so the materialized
+  // rebuild drops the row's postings exactly as the in-place update
+  // just did. The id keeps its slot (and its id field) for reuse.
+  for (std::string& value : records_[row].values) value = "NaN";
+  alive_[row] = 0;
+  --live_;
+  return true;
+}
+
+const Record* MutableTable::FindById(int id) const {
+  auto it = row_by_id_.find(id);
+  if (it == row_by_id_.end() || !alive_[it->second]) return nullptr;
+  return &records_[it->second];
+}
+
+std::vector<int> MutableTable::Candidates(const Record& probe) const {
+  // Same union/sort/unique shape as CandidateIndex::Candidates — the
+  // differential contract is byte-identical output.
+  std::vector<int> merged;
+  for (const std::string& token : RecordTokenSet(probe)) {
+    auto it = index_.find(token);
+    if (it == index_.end()) continue;
+    merged.insert(merged.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  return merged;
+}
+
+std::vector<MutableTable::MatchCandidate> MutableTable::TopK(
+    const Record& probe, int k) const {
+  std::unordered_map<int, int> overlap;
+  for (const std::string& token : RecordTokenSet(probe)) {
+    auto it = index_.find(token);
+    if (it == index_.end()) continue;
+    for (int row : it->second) ++overlap[row];
+  }
+  std::vector<MatchCandidate> ranked;
+  ranked.reserve(overlap.size());
+  for (const auto& [row, shared] : overlap) {
+    ranked.push_back(MatchCandidate{row, records_[row].id, shared});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const MatchCandidate& a, const MatchCandidate& b) {
+              if (a.overlap != b.overlap) return a.overlap > b.overlap;
+              return a.row < b.row;
+            });
+  if (k >= 0 && static_cast<int>(ranked.size()) > k) {
+    ranked.resize(static_cast<size_t>(k));
+  }
+  return ranked;
+}
+
+Table MutableTable::Materialize() const {
+  Table table(name_, schema_);
+  for (const Record& record : records_) table.Add(record);
+  return table;
+}
+
+}  // namespace certa::data

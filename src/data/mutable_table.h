@@ -1,0 +1,104 @@
+#ifndef CERTA_DATA_MUTABLE_TABLE_H_
+#define CERTA_DATA_MUTABLE_TABLE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/table.h"
+
+namespace certa::data {
+
+/// Online, mutable view over one source table — the data half of the
+/// streaming workload (docs/OPERATIONS.md "Streaming mode").
+///
+/// `Table` is append-only and frozen once a dataset is loaded;
+/// `CandidateIndex` is built in one pass over a frozen table. Streaming
+/// traffic needs neither assumption: records arrive as upserts and
+/// removals while match queries keep hitting the index. MutableTable
+/// keeps both views consistent *incrementally*:
+///
+///   - rows have stable slots: an upsert of a known id replaces the
+///     record in place, a new id appends; Remove tombstones the slot
+///     (values become all-missing, so its token set — and therefore
+///     every posting — vanishes) and keeps it reserved for the id, so
+///     a later re-upsert reuses the slot instead of shifting rows;
+///   - the inverted token index (same RecordTokenSet tokenization as
+///     CandidateIndex) is updated in place on every mutation: old
+///     postings removed, new postings inserted in row order.
+///
+/// The contract, differential-tested in tests/mutable_table_test.cc
+/// over randomized upsert/remove sequences: after ANY mutation history,
+/// `Candidates(probe)` is byte-identical to
+/// `CandidateIndex(Materialize()).Candidates(probe)` — the from-scratch
+/// rebuild over the materialized table. Explanation jobs therefore see
+/// exactly the table a batch run over the same data would load.
+class MutableTable {
+ public:
+  MutableTable() = default;
+  /// Seeds from a frozen base table (records copied, index built).
+  explicit MutableTable(const Table& base);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Rows including tombstones — the row-space Candidates() indexes
+  /// into, identical to Materialize().size().
+  int size() const { return static_cast<int>(records_.size()); }
+  /// Rows currently holding a live (non-tombstoned) record.
+  int live_size() const { return live_; }
+
+  const Record& record(int row) const { return records_[row]; }
+  bool alive(int row) const { return alive_[row] != 0; }
+
+  /// Inserts or replaces by record id. A known id (live or tombstoned)
+  /// is replaced in its slot; a new id appends a row. Returns the row,
+  /// or -1 when the value count does not match the schema (*error set).
+  /// `created` (optional) reports append vs in-place replace.
+  int Upsert(const Record& record, bool* created = nullptr,
+             std::string* error = nullptr);
+
+  /// Tombstones the id's row: values become all-missing, postings drop,
+  /// FindById stops returning it. The slot stays reserved for the id.
+  /// False when the id is unknown or already tombstoned.
+  bool Remove(int id);
+
+  /// Live record with the given id, or nullptr.
+  const Record* FindById(int id) const;
+
+  /// Ascending rows sharing >= 1 token with `probe` — byte-identical to
+  /// CandidateIndex(Materialize()).Candidates(probe).
+  std::vector<int> Candidates(const Record& probe) const;
+
+  struct MatchCandidate {
+    int row = -1;
+    int id = -1;
+    /// Distinct shared tokens with the probe.
+    int overlap = 0;
+  };
+  /// Top-k candidates ranked by (overlap desc, row asc) — the `match`
+  /// wire verb. Deterministic for a given table state.
+  std::vector<MatchCandidate> TopK(const Record& probe, int k) const;
+
+  /// Plain frozen Table of the current state. Tombstoned slots ride
+  /// along as all-missing records so row numbering (and therefore any
+  /// index built over the copy) lines up with this table's.
+  Table Materialize() const;
+
+ private:
+  void IndexRow(int row);
+  void DeindexRow(int row);
+
+  std::string name_;
+  Schema schema_;
+  std::vector<Record> records_;
+  std::vector<char> alive_;
+  int live_ = 0;
+  std::unordered_map<int, int> row_by_id_;
+  /// token -> ascending rows whose live record contains it.
+  std::unordered_map<std::string, std::vector<int>> index_;
+};
+
+}  // namespace certa::data
+
+#endif  // CERTA_DATA_MUTABLE_TABLE_H_

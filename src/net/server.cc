@@ -26,6 +26,32 @@ bool SetNonBlocking(int fd) {
   return fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
+/// Event frames are serialized once, worker-side, at the current
+/// schema version and re-stamped per connection at fan-out time. The
+/// version is always the frame's leading field (wire.cc BeginFrame),
+/// so a prefix swap is exact.
+std::string RestampFrame(const std::string& frame, int version) {
+  if (version == api::kSchemaVersion) return frame;
+  const std::string built =
+      "{\"schema_version\":" + std::to_string(api::kSchemaVersion);
+  if (frame.compare(0, built.size(), built) != 0) return frame;
+  return "{\"schema_version\":" + std::to_string(version) +
+         frame.substr(built.size());
+}
+
+/// Stable error code for one failed streaming call.
+const char* StreamErrorCode(service::StreamCoordinator::OpStatus status) {
+  switch (status) {
+    case service::StreamCoordinator::OpStatus::kUnknownDataset:
+      return kErrUnknownDataset;
+    case service::StreamCoordinator::OpStatus::kBadRecord:
+      return kErrBadRecord;
+    default:
+      // kIo: the stream cannot take writes right now.
+      return kErrStreamingUnavailable;
+  }
+}
+
 }  // namespace
 
 NetServer::NetServer(NetServerOptions options) : options_(std::move(options)) {
@@ -223,6 +249,13 @@ void NetServer::Loop() {
 
     DrainEvents();
 
+    // Streaming: absorb whatever sibling workers appended to the
+    // shared stream (time-gated inside; most beats are no-ops) and
+    // push the resulting invalidations to subscribers.
+    if (options_.stream != nullptr) {
+      BroadcastInvalidations(options_.stream->MaybeAbsorbPeers());
+    }
+
     // Reap closed connections, and closing ones whose buffers drained.
     conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
                                 [this](const std::unique_ptr<Conn>& c) {
@@ -255,8 +288,10 @@ void NetServer::AcceptNew() {
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     if (conns_.size() >= static_cast<size_t>(options_.max_connections)) {
       // Over the cap (a burst between polls): answer, then hang up.
-      std::string frame = ErrorFrame(kErrTooManyConnections,
-                                     "connection limit reached; retry later");
+      // Nothing was negotiated on this connection, so stamp v1.
+      std::string frame =
+          ErrorFrame(kErrTooManyConnections,
+                     "connection limit reached; retry later", "", 1);
       [[maybe_unused]] ssize_t n = write(fd, frame.data(), frame.size());
       close(fd);
       continue;
@@ -288,7 +323,8 @@ void NetServer::HandleReadable(Conn* conn) {
                    ErrorFrame(kErrFrameTooLarge,
                               "frame exceeds " +
                                   std::to_string(options_.max_frame_bytes) +
-                                  " bytes"),
+                                  " bytes",
+                              "", conn->schema_version),
                    /*droppable=*/false);
         conn->closing = true;
         return;
@@ -311,7 +347,8 @@ void NetServer::HandleReadable(Conn* conn) {
                    ErrorFrame(kErrFrameTooLarge,
                               "frame exceeds " +
                                   std::to_string(options_.max_frame_bytes) +
-                                  " bytes"),
+                                  " bytes",
+                              "", conn->schema_version),
                    /*droppable=*/false);
         conn->closing = true;
         return;
@@ -385,9 +422,17 @@ void NetServer::HandleFrame(Conn* conn, std::string_view line) {
   std::string code;
   std::string error;
   if (!ParseClientFrame(line, &frame, &code, &error)) {
-    QueueFrame(conn, ErrorFrame(code, error), /*droppable=*/false);
+    QueueFrame(conn, ErrorFrame(code, error, "", conn->schema_version),
+               /*droppable=*/false);
     return;
   }
+  // Sticky per-connection negotiation: any frame declaring a higher
+  // schema_version upgrades the connection; it never downgrades, so
+  // replies stay consistently stamped for the client's whole session.
+  if (frame.schema_version > conn->schema_version) {
+    conn->schema_version = frame.schema_version;
+  }
+  const int version = conn->schema_version;
   switch (frame.type) {
     case ClientFrame::Type::kSubmit:
       HandleSubmit(conn, frame);
@@ -401,9 +446,11 @@ void NetServer::HandleFrame(Conn* conn, std::string_view line) {
     case ClientFrame::Type::kCancel: {
       std::string reason;
       if (runner_->Cancel(frame.job_id, &reason)) {
-        QueueFrame(conn, CancelledFrame(frame.job_id), /*droppable=*/false);
+        QueueFrame(conn, CancelledFrame(frame.job_id, version),
+                   /*droppable=*/false);
       } else {
-        QueueFrame(conn, ErrorFrame(kErrUnknownJob, reason, frame.job_id),
+        QueueFrame(conn,
+                   ErrorFrame(kErrUnknownJob, reason, frame.job_id, version),
                    /*droppable=*/false);
       }
       return;
@@ -414,20 +461,50 @@ void NetServer::HandleFrame(Conn* conn, std::string_view line) {
         std::lock_guard<std::mutex> lock(fleet_stats_mutex_);
         fleet_json = fleet_stats_json_;
       }
-      QueueFrame(conn, StatsFrame(runner_->counters(), stats(), fleet_json),
+      std::string stream_json;
+      if (options_.stream != nullptr) {
+        stream_json = options_.stream->StatsJson();
+      }
+      QueueFrame(conn,
+                 StatsFrame(runner_->counters(), stats(), fleet_json,
+                            stream_json, version),
                  /*droppable=*/false);
       return;
     }
-    case ClientFrame::Type::kPing:
-      QueueFrame(conn, PongFrame(), /*droppable=*/false);
+    case ClientFrame::Type::kPing: {
+      Capabilities capabilities;
+      capabilities.workers = options_.fleet_workers;
+      capabilities.store_mode =
+          options_.runner.store_dir.empty()
+              ? "none"
+              : (options_.runner.store_stream_slot >= 0 ? "shared"
+                                                        : "private");
+      capabilities.streaming = options_.stream != nullptr;
+      QueueFrame(conn, PongFrame(capabilities, version),
+                 /*droppable=*/false);
+      return;
+    }
+    case ClientFrame::Type::kUpsert:
+      HandleUpsert(conn, frame);
+      return;
+    case ClientFrame::Type::kRemove:
+      HandleRemove(conn, frame);
+      return;
+    case ClientFrame::Type::kMatch:
+      HandleMatch(conn, frame);
+      return;
+    case ClientFrame::Type::kInvalidations:
+      HandleInvalidations(conn, frame);
       return;
   }
 }
 
 void NetServer::HandleSubmit(Conn* conn, const ClientFrame& frame) {
+  const int version = conn->schema_version;
   if (stop_requested_.load()) {
     QueueFrame(conn,
-               ErrorFrame(kErrShuttingDown, "server is shutting down"),
+               ErrorFrame(kErrShuttingDown, "server is shutting down", "",
+                          version),
                /*droppable=*/false);
     return;
   }
@@ -444,14 +521,23 @@ void NetServer::HandleSubmit(Conn* conn, const ClientFrame& frame) {
       default:
         break;
     }
-    QueueFrame(conn, ErrorFrame(code, result.reason), /*droppable=*/false);
+    QueueFrame(conn, ErrorFrame(code, result.reason, "", version),
+               /*droppable=*/false);
     return;
   }
   // Watch registration happens here, on the loop thread, *before*
   // DrainEvents can run this iteration — so even a job that finishes
   // instantly delivers its terminal event to this connection.
   if (frame.watch) conn->watched_jobs.insert(result.job_id);
-  QueueFrame(conn, AcceptedFrame(result.job_id), /*droppable=*/false);
+  // Legacy key spellings get one migration nudge per connection, not
+  // one per frame — steady-state v1 traffic stays un-nagged.
+  std::string note;
+  if (!frame.deprecation_notes.empty() && !conn->deprecation_noted) {
+    note = frame.deprecation_notes.front();
+    conn->deprecation_noted = true;
+  }
+  QueueFrame(conn, AcceptedFrame(result.job_id, note, version),
+             /*droppable=*/false);
 }
 
 void NetServer::SetFleetStats(std::string fleet_json) {
@@ -491,6 +577,7 @@ std::string NetServer::FindJobOnDisk(const std::string& job_id,
 }
 
 void NetServer::HandleStatus(Conn* conn, const std::string& job_id) {
+  const int version = conn->schema_version;
   service::JobOutcome outcome;
   service::JobQueryState state = runner_->Query(job_id, &outcome);
   if (state == service::JobQueryState::kUnknown) {
@@ -502,7 +589,8 @@ void NetServer::HandleStatus(Conn* conn, const std::string& job_id) {
     if (job_dir.empty()) {
       QueueFrame(conn,
                  ErrorFrame(kErrUnknownJob,
-                            "no job named \"" + job_id + "\"", job_id),
+                            "no job named \"" + job_id + "\"", job_id,
+                            version),
                  /*droppable=*/false);
       return;
     }
@@ -523,20 +611,30 @@ void NetServer::HandleStatus(Conn* conn, const std::string& job_id) {
       state = service::JobQueryState::kParked;
     }
   }
-  QueueFrame(conn, StatusFrame(job_id, state, outcome),
+  QueueFrame(conn, StatusFrame(job_id, state, outcome, version),
              /*droppable=*/false);
 }
 
 void NetServer::HandleResult(Conn* conn, const std::string& job_id) {
+  const int version = conn->schema_version;
+  // Result reads refresh shared-store peers (no-op outside shared-store
+  // fleet mode): a fetch landing right after a sibling finished sees
+  // the scores that sibling paid for, instead of waiting for the
+  // scoring engine's next periodic refresh.
+  runner_->RefreshStorePeers();
   service::JobOutcome outcome;
   service::JobQueryState state = runner_->Query(job_id, &outcome);
+  if (options_.stream != nullptr && options_.stream->IsStale(job_id)) {
+    HandleStaleResult(conn, job_id, state);
+    return;
+  }
   if (state == service::JobQueryState::kQueued ||
       state == service::JobQueryState::kRunning) {
     QueueFrame(conn,
                ErrorFrame(kErrNotComplete,
                           "job is " + service::JobQueryStateName(state) +
                               "; poll status until complete",
-                          job_id),
+                          job_id, version),
                /*droppable=*/false);
     return;
   }
@@ -547,7 +645,7 @@ void NetServer::HandleResult(Conn* conn, const std::string& job_id) {
                           "job ended " + service::JobQueryStateName(state) +
                               (outcome.error.empty() ? std::string()
                                                      : ": " + outcome.error),
-                          job_id),
+                          job_id, version),
                /*droppable=*/false);
     return;
   }
@@ -567,7 +665,7 @@ void NetServer::HandleResult(Conn* conn, const std::string& job_id) {
                  ErrorFrame(kErrUnknownJob,
                             "no job named \"" + job_id +
                                 "\" and no stored result at " + path,
-                            job_id),
+                            job_id, version),
                  /*droppable=*/false);
       return;
     }
@@ -578,7 +676,182 @@ void NetServer::HandleResult(Conn* conn, const std::string& job_id) {
          (result_json.back() == '\n' || result_json.back() == '\r')) {
     result_json.pop_back();
   }
-  QueueFrame(conn, ResultFrame(job_id, result_json), /*droppable=*/false);
+  QueueFrame(conn, ResultFrame(job_id, result_json, version),
+             /*droppable=*/false);
+}
+
+void NetServer::HandleStaleResult(Conn* conn, const std::string& job_id,
+                                  service::JobQueryState state) {
+  const int version = conn->schema_version;
+  if (state == service::JobQueryState::kQueued ||
+      state == service::JobQueryState::kRunning) {
+    // The recompute is already in flight (it clears the stale mark
+    // when it re-registers its dependencies at the new snapshot).
+    QueueFrame(conn,
+               ErrorFrame(kErrStaleRecomputing,
+                          "inputs changed; recompute in flight — poll "
+                          "status, then refetch the result",
+                          job_id, version),
+               /*droppable=*/false);
+    return;
+  }
+  // Lazy recompute: re-own only jobs in this runner's partition (a
+  // sibling's job recomputes on a fetch that lands there — every
+  // worker applies the same rule, so exactly the owner recomputes).
+  std::string disk_state;
+  const std::string job_dir = FindJobOnDisk(job_id, &disk_state);
+  if (job_dir == options_.runner.job_root + "/" + job_id &&
+      !stop_requested_.load()) {
+    persist::JobCheckpoint checkpoint;
+    if (persist::LoadCheckpoint(persist::CheckpointPathInDir(job_dir),
+                                &checkpoint)) {
+      service::JobSpec spec = service::SpecFromCheckpoint(checkpoint);
+      if (spec.id.empty()) spec.id = job_id;
+      // Same id → same job dir: the journal's paid scores replay, and
+      // content-hashed pair keys mean only pairs whose records really
+      // changed are re-bought. A full queue just defers the recompute
+      // to the next fetch.
+      runner_->Submit(std::move(spec));
+    }
+  }
+  QueueFrame(conn,
+             ErrorFrame(kErrStaleRecomputing,
+                        "inputs changed since this result was computed; "
+                        "recomputing — poll status, then refetch",
+                        job_id, version),
+             /*droppable=*/false);
+}
+
+void NetServer::HandleUpsert(Conn* conn, const ClientFrame& frame) {
+  const int version = conn->schema_version;
+  if (options_.stream == nullptr) {
+    QueueFrame(conn,
+               ErrorFrame(kErrStreamingUnavailable,
+                          "server started without a stream directory "
+                          "(--stream-dir)",
+                          "", version),
+               /*droppable=*/false);
+    return;
+  }
+  data::Record record;
+  record.id = frame.record_id;
+  record.values = frame.values;
+  service::StreamCoordinator::Ack ack;
+  std::vector<service::StreamCoordinator::Invalidation> invalidated;
+  std::string error;
+  const service::StreamCoordinator::OpStatus status =
+      options_.stream->Upsert(frame.dataset, frame.data_dir, frame.side,
+                              record, &ack, &invalidated, &error);
+  if (status != service::StreamCoordinator::OpStatus::kOk) {
+    QueueFrame(conn, ErrorFrame(StreamErrorCode(status), error, "", version),
+               /*droppable=*/false);
+    return;
+  }
+  // The WAL was fsync'd before Upsert returned: this ack is durable.
+  QueueFrame(conn,
+             UpsertedFrame(frame.dataset, frame.side, frame.record_id,
+                           static_cast<long long>(ack.seq), ack.slot,
+                           ack.created, version),
+             /*droppable=*/false);
+  BroadcastInvalidations(invalidated);
+}
+
+void NetServer::HandleRemove(Conn* conn, const ClientFrame& frame) {
+  const int version = conn->schema_version;
+  if (options_.stream == nullptr) {
+    QueueFrame(conn,
+               ErrorFrame(kErrStreamingUnavailable,
+                          "server started without a stream directory "
+                          "(--stream-dir)",
+                          "", version),
+               /*droppable=*/false);
+    return;
+  }
+  service::StreamCoordinator::Ack ack;
+  std::vector<service::StreamCoordinator::Invalidation> invalidated;
+  std::string error;
+  const service::StreamCoordinator::OpStatus status =
+      options_.stream->Remove(frame.dataset, frame.data_dir, frame.side,
+                              frame.record_id, &ack, &invalidated, &error);
+  if (status != service::StreamCoordinator::OpStatus::kOk) {
+    QueueFrame(conn, ErrorFrame(StreamErrorCode(status), error, "", version),
+               /*droppable=*/false);
+    return;
+  }
+  QueueFrame(conn,
+             RemovedFrame(frame.dataset, frame.side, frame.record_id,
+                          static_cast<long long>(ack.seq), ack.slot,
+                          ack.removed, version),
+             /*droppable=*/false);
+  BroadcastInvalidations(invalidated);
+}
+
+void NetServer::HandleMatch(Conn* conn, const ClientFrame& frame) {
+  const int version = conn->schema_version;
+  if (options_.stream == nullptr) {
+    QueueFrame(conn,
+               ErrorFrame(kErrStreamingUnavailable,
+                          "server started without a stream directory "
+                          "(--stream-dir)",
+                          "", version),
+               /*droppable=*/false);
+    return;
+  }
+  // Match is a read: refresh shared-store peers on the same beat as
+  // result fetches (Match itself absorbs sibling *op* streams).
+  runner_->RefreshStorePeers();
+  std::vector<service::StreamCoordinator::MatchCandidate> candidates;
+  std::string error;
+  const service::StreamCoordinator::OpStatus status =
+      options_.stream->Match(frame.dataset, frame.data_dir, frame.side,
+                             frame.values, frame.top_k, &candidates, &error);
+  if (status != service::StreamCoordinator::OpStatus::kOk) {
+    QueueFrame(conn, ErrorFrame(StreamErrorCode(status), error, "", version),
+               /*droppable=*/false);
+    return;
+  }
+  std::vector<WireMatchCandidate> wire;
+  wire.reserve(candidates.size());
+  for (const service::StreamCoordinator::MatchCandidate& candidate :
+       candidates) {
+    wire.push_back({candidate.id, candidate.overlap, candidate.values});
+  }
+  QueueFrame(conn, MatchFrame(frame.dataset, frame.side, wire, version),
+             /*droppable=*/false);
+}
+
+void NetServer::HandleInvalidations(Conn* conn, const ClientFrame& frame) {
+  const int version = conn->schema_version;
+  if (options_.stream == nullptr) {
+    QueueFrame(conn,
+               ErrorFrame(kErrStreamingUnavailable,
+                          "server started without a stream directory "
+                          "(--stream-dir)",
+                          "", version),
+               /*droppable=*/false);
+    return;
+  }
+  conn->wants_invalidations = frame.subscribe;
+  QueueFrame(conn,
+             InvalidationsFrame(frame.subscribe,
+                                options_.stream->StaleJobs(), version),
+             /*droppable=*/false);
+}
+
+void NetServer::BroadcastInvalidations(
+    const std::vector<service::StreamCoordinator::Invalidation>& events) {
+  if (events.empty()) return;
+  for (auto& conn : conns_) {
+    if (conn->fd < 0 || !conn->wants_invalidations) continue;
+    for (const service::StreamCoordinator::Invalidation& event : events) {
+      QueueFrame(conn.get(),
+                 InvalidationEventFrame(event.job_id, event.dataset,
+                                        event.side, event.record_id,
+                                        conn->schema_version),
+                 /*droppable=*/true);
+      if (conn->fd < 0) break;
+    }
+  }
 }
 
 void NetServer::DrainEvents() {
@@ -593,14 +866,17 @@ void NetServer::DrainEvents() {
     if (conn->fd < 0 || conn->watched_jobs.empty()) continue;
     for (const auto& [job_id, frame] : batch.progress) {
       if (conn->watched_jobs.count(job_id)) {
-        QueueFrame(conn.get(), frame, /*droppable=*/true);
+        QueueFrame(conn.get(), RestampFrame(frame, conn->schema_version),
+                   /*droppable=*/true);
         if (conn->fd < 0) break;
       }
     }
     if (conn->fd < 0) continue;
     for (size_t i = 0; i < batch.terminal_frames.size(); ++i) {
       if (conn->watched_jobs.count(batch.terminal_job_ids[i])) {
-        QueueFrame(conn.get(), batch.terminal_frames[i],
+        QueueFrame(conn.get(),
+                   RestampFrame(batch.terminal_frames[i],
+                                conn->schema_version),
                    /*droppable=*/false);
         if (conn->fd < 0) break;
         conn->watched_jobs.erase(batch.terminal_job_ids[i]);
@@ -633,7 +909,8 @@ void NetServer::BeginDrain(bool drain) {
   DrainEvents();
   for (auto& conn : conns_) {
     if (conn->fd < 0) continue;
-    QueueFrame(conn.get(), ShutdownEventFrame(), /*droppable=*/false);
+    QueueFrame(conn.get(), ShutdownEventFrame(conn->schema_version),
+               /*droppable=*/false);
     conn->closing = true;
   }
 

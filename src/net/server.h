@@ -15,6 +15,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/job_runner.h"
+#include "service/stream_coordinator.h"
 
 namespace certa::net {
 
@@ -65,6 +66,15 @@ struct NetServerOptions {
   /// stdin serve loop); true finishes them first. Stop(drain) always
   /// decides for itself.
   bool drain_on_stop_flag = false;
+  /// Streaming coordinator (not owned; nullptr = streaming off — the
+  /// v2 verbs answer `streaming_unavailable`). The event loop absorbs
+  /// sibling streams through it each beat and fans invalidation events
+  /// out to subscribed connections. The caller typically also points
+  /// runner.dataset_provider at it so jobs explain the live overlays.
+  service::StreamCoordinator* stream = nullptr;
+  /// Serving processes behind this endpoint, advertised in the ping
+  /// `capabilities` block (fleet masters pass the fleet size).
+  int fleet_workers = 1;
   /// Forwarded into the owned JobRunner.
   service::JobRunnerOptions runner;
 };
@@ -134,6 +144,17 @@ class NetServer {
     /// so backpressure can drop them innermost-first.
     bool closing = false;  // flush write buffer, then close
     std::set<std::string> watched_jobs;
+    /// Negotiated wire version: starts at 1, sticks at the highest
+    /// schema_version any frame on this connection declared (never
+    /// downgraded) — every reply is stamped with it, so v1 clients
+    /// keep receiving v1-stamped frames from a v2 server.
+    int schema_version = 1;
+    /// A legacy-key deprecation note was already surfaced here (the
+    /// once-per-connection cap on migration nudges).
+    bool deprecation_noted = false;
+    /// Subscribed to asynchronous invalidation events (v2
+    /// `invalidations` verb).
+    bool wants_invalidations = false;
   };
 
   /// Cross-thread event hand-off (worker → loop). Progress frames are
@@ -152,6 +173,22 @@ class NetServer {
   void HandleSubmit(Conn* conn, const ClientFrame& frame);
   void HandleStatus(Conn* conn, const std::string& job_id);
   void HandleResult(Conn* conn, const std::string& job_id);
+  /// The v2 streaming verbs (options_.stream == nullptr answers
+  /// `streaming_unavailable`).
+  void HandleUpsert(Conn* conn, const ClientFrame& frame);
+  void HandleRemove(Conn* conn, const ClientFrame& frame);
+  void HandleMatch(Conn* conn, const ClientFrame& frame);
+  void HandleInvalidations(Conn* conn, const ClientFrame& frame);
+  /// `result` fetch for a job the coordinator marked stale: answers
+  /// `stale_recomputing`, and — when the job dir is this runner's own
+  /// partition and no recompute is in flight — re-submits the job from
+  /// its checkpointed request (journal + content-hashed store keys make
+  /// the recompute re-pay only scores whose records actually changed).
+  void HandleStaleResult(Conn* conn, const std::string& job_id,
+                         service::JobQueryState state);
+  /// Fans invalidation events (droppable) out to subscribers.
+  void BroadcastInvalidations(
+      const std::vector<service::StreamCoordinator::Invalidation>& events);
   /// Looks `job_id` up on disk across the local job root and every
   /// peer partition. Returns the job dir that has a checkpoint (empty
   /// when none does); *state receives the checkpoint's lifecycle state.

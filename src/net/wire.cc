@@ -6,11 +6,13 @@ namespace certa::net {
 
 namespace {
 
-/// Every frame opens the same way: {"schema_version":1,"type":...
-void BeginFrame(JsonWriter* json, std::string_view type) {
+/// Every frame opens the same way: {"schema_version":N,"type":...
+/// N is the connection's negotiated version — a v1 conversation gets
+/// frames stamped 1, bit-identical to a v1 server's.
+void BeginFrame(JsonWriter* json, std::string_view type, int version) {
   json->BeginObject();
   json->Key("schema_version");
-  json->Int(api::kSchemaVersion);
+  json->Int(version);
   json->Key("type");
   json->String(type);
 }
@@ -37,7 +39,8 @@ bool ParseClientFrame(std::string_view line, ClientFrame* frame,
     return false;
   }
   // The frame-level schema_version gate comes before anything else so a
-  // future client gets "speak v1" instead of an unknown-field error.
+  // future client gets "speak v1/v2" instead of an unknown-field error.
+  ClientFrame parsed;
   if (const JsonValue* version = value.Find("schema_version")) {
     if (!version->is_integer()) {
       *code = kErrBadFrame;
@@ -52,6 +55,12 @@ bool ParseClientFrame(std::string_view line, ClientFrame* frame,
                std::to_string(api::kSchemaVersion);
       return false;
     }
+    if (version->int_value() < 1) {
+      *code = kErrBadFrame;
+      *error = "schema_version must be >= 1";
+      return false;
+    }
+    parsed.schema_version = static_cast<int>(version->int_value());
   }
   const JsonValue* type = value.Find("type");
   if (type == nullptr || !type->is_string()) {
@@ -60,7 +69,6 @@ bool ParseClientFrame(std::string_view line, ClientFrame* frame,
     return false;
   }
   const std::string& name = type->string_value();
-  ClientFrame parsed;
   if (name == "submit") {
     parsed.type = ClientFrame::Type::kSubmit;
     const JsonValue* request = value.Find("request");
@@ -70,10 +78,13 @@ bool ParseClientFrame(std::string_view line, ClientFrame* frame,
       return false;
     }
     std::string request_error;
-    if (!api::FromJson(*request, &parsed.request, &request_error)) {
+    if (!api::FromJson(*request, &parsed.request, &request_error,
+                       &parsed.deprecation_notes)) {
       // Distinguish "future schema" (retryable against a newer server)
-      // from "malformed request".
-      *code = request_error.find("schema_version") != std::string::npos
+      // from "malformed request" — only the version gate itself says
+      // "speaks schema_version"; key-strictness errors mention the
+      // version too but are the client's bug, not a version skew.
+      *code = request_error.find("speaks schema_version") != std::string::npos
                   ? kErrUnsupportedSchema
                   : kErrBadRequest;
       *error = request_error;
@@ -86,6 +97,91 @@ bool ParseClientFrame(std::string_view line, ClientFrame* frame,
         return false;
       }
       parsed.watch = watch->bool_value();
+    }
+  } else if (name == "upsert" || name == "remove" || name == "match" ||
+             name == "invalidations") {
+    if (parsed.schema_version < 2) {
+      *code = kErrUnsupportedSchema;
+      *error = "\"" + name +
+               "\" is a schema_version 2 verb; declare "
+               "\"schema_version\":2 in the frame";
+      return false;
+    }
+    if (name == "invalidations") {
+      parsed.type = ClientFrame::Type::kInvalidations;
+      if (const JsonValue* subscribe = value.Find("subscribe")) {
+        if (!subscribe->is_bool()) {
+          *code = kErrBadFrame;
+          *error = "\"subscribe\" must be a boolean";
+          return false;
+        }
+        parsed.subscribe = subscribe->bool_value();
+      }
+    } else {
+      parsed.type = name == "upsert"   ? ClientFrame::Type::kUpsert
+                    : name == "remove" ? ClientFrame::Type::kRemove
+                                       : ClientFrame::Type::kMatch;
+      const JsonValue* dataset = value.Find("dataset");
+      if (dataset == nullptr || !dataset->is_string() ||
+          dataset->string_value().empty()) {
+        *code = kErrBadFrame;
+        *error =
+            "\"" + name + "\" frame is missing a non-empty \"dataset\"";
+        return false;
+      }
+      parsed.dataset = dataset->string_value();
+      if (const JsonValue* data_dir = value.Find("data_dir")) {
+        if (!data_dir->is_string()) {
+          *code = kErrBadFrame;
+          *error = "\"data_dir\" must be a string";
+          return false;
+        }
+        parsed.data_dir = data_dir->string_value();
+      }
+      const JsonValue* side = value.Find("side");
+      if (side == nullptr || !side->is_integer() ||
+          side->int_value() < 0 || side->int_value() > 1) {
+        *code = kErrBadFrame;
+        *error = "\"" + name +
+                 "\" frame needs \"side\": 0 (left) or 1 (right)";
+        return false;
+      }
+      parsed.side = static_cast<int>(side->int_value());
+      if (name == "upsert" || name == "remove") {
+        const JsonValue* id = value.Find("id");
+        if (id == nullptr || !id->is_integer() || id->int_value() < 0) {
+          *code = kErrBadFrame;
+          *error = "\"" + name + "\" frame needs an integer \"id\" >= 0";
+          return false;
+        }
+        parsed.record_id = static_cast<int>(id->int_value());
+      }
+      if (name == "upsert" || name == "match") {
+        const JsonValue* values = value.Find("values");
+        if (values == nullptr || !values->is_array()) {
+          *code = kErrBadFrame;
+          *error = "\"" + name + "\" frame needs a \"values\" array";
+          return false;
+        }
+        for (const JsonValue& entry : values->array_items()) {
+          if (!entry.is_string()) {
+            *code = kErrBadFrame;
+            *error = "\"values\" entries must be strings";
+            return false;
+          }
+          parsed.values.push_back(entry.string_value());
+        }
+      }
+      if (name == "match") {
+        if (const JsonValue* top_k = value.Find("top_k")) {
+          if (!top_k->is_integer() || top_k->int_value() < 0) {
+            *code = kErrBadFrame;
+            *error = "\"top_k\" must be an integer >= 0";
+            return false;
+          }
+          parsed.top_k = static_cast<int>(top_k->int_value());
+        }
+      }
     }
   } else if (name == "status" || name == "result" || name == "cancel") {
     parsed.type = name == "status"   ? ClientFrame::Type::kStatus
@@ -112,9 +208,9 @@ bool ParseClientFrame(std::string_view line, ClientFrame* frame,
 }
 
 std::string ErrorFrame(const std::string& code, const std::string& message,
-                       const std::string& job_id) {
+                       const std::string& job_id, int version) {
   JsonWriter json;
-  BeginFrame(&json, "error");
+  BeginFrame(&json, "error", version);
   json.Key("code");
   json.String(code);
   json.Key("message");
@@ -126,19 +222,24 @@ std::string ErrorFrame(const std::string& code, const std::string& message,
   return Finish(&json);
 }
 
-std::string AcceptedFrame(const std::string& job_id) {
+std::string AcceptedFrame(const std::string& job_id,
+                          const std::string& note, int version) {
   JsonWriter json;
-  BeginFrame(&json, "accepted");
+  BeginFrame(&json, "accepted", version);
   json.Key("job_id");
   json.String(job_id);
+  if (!note.empty()) {
+    json.Key("note");
+    json.String(note);
+  }
   return Finish(&json);
 }
 
 std::string StatusFrame(const std::string& job_id,
                         service::JobQueryState state,
-                        const service::JobOutcome& outcome) {
+                        const service::JobOutcome& outcome, int version) {
   JsonWriter json;
-  BeginFrame(&json, "status");
+  BeginFrame(&json, "status", version);
   json.Key("job_id");
   json.String(job_id);
   json.Key("state");
@@ -162,9 +263,9 @@ std::string StatusFrame(const std::string& job_id,
 }
 
 std::string ResultFrame(const std::string& job_id,
-                        const std::string& result_json) {
+                        const std::string& result_json, int version) {
   JsonWriter json;
-  BeginFrame(&json, "result");
+  BeginFrame(&json, "result", version);
   json.Key("job_id");
   json.String(job_id);
   json.Key("result");
@@ -172,25 +273,54 @@ std::string ResultFrame(const std::string& job_id,
   return Finish(&json);
 }
 
-std::string CancelledFrame(const std::string& job_id) {
+std::string CancelledFrame(const std::string& job_id, int version) {
   JsonWriter json;
-  BeginFrame(&json, "cancelled");
+  BeginFrame(&json, "cancelled", version);
   json.Key("job_id");
   json.String(job_id);
   return Finish(&json);
 }
 
-std::string PongFrame() {
+std::string PongFrame(const Capabilities& capabilities, int version) {
   JsonWriter json;
-  BeginFrame(&json, "pong");
+  BeginFrame(&json, "pong", version);
+  // Capabilities ride on every pong, at every negotiated version, so a
+  // v1 client can feature-detect v2 without tripping over an unknown
+  // verb first.
+  json.Key("capabilities");
+  json.BeginObject();
+  json.Key("schema_versions");
+  json.BeginArray();
+  for (int v = 1; v <= api::kSchemaVersion; ++v) json.Int(v);
+  json.EndArray();
+  json.Key("verbs");
+  json.BeginArray();
+  for (const char* verb :
+       {"submit", "status", "result", "cancel", "stats", "ping"}) {
+    json.String(verb);
+  }
+  if (capabilities.streaming) {
+    for (const char* verb : {"upsert", "remove", "match", "invalidations"}) {
+      json.String(verb);
+    }
+  }
+  json.EndArray();
+  json.Key("workers");
+  json.Int(capabilities.workers);
+  json.Key("store_mode");
+  json.String(capabilities.store_mode);
+  json.Key("streaming");
+  json.Bool(capabilities.streaming);
+  json.EndObject();
   return Finish(&json);
 }
 
 std::string StatsFrame(const service::JobRunner::Counters& counters,
                        const ServerStats& stats,
-                       const std::string& fleet_json) {
+                       const std::string& fleet_json,
+                       const std::string& stream_json, int version) {
   JsonWriter json;
-  BeginFrame(&json, "stats");
+  BeginFrame(&json, "stats", version);
   json.Key("runner");
   json.BeginObject();
   json.Key("submitted");
@@ -227,6 +357,10 @@ std::string StatsFrame(const service::JobRunner::Counters& counters,
   json.Key("slow_reader_closes");
   json.Int(stats.slow_reader_closes);
   json.EndObject();
+  if (!stream_json.empty()) {
+    json.Key("stream");
+    json.Raw(stream_json);
+  }
   if (!fleet_json.empty()) {
     json.Key("fleet");
     json.Raw(fleet_json);
@@ -238,9 +372,9 @@ std::string ProgressEventFrame(const std::string& job_id,
                                const std::string& phase, int triangles_total,
                                int triangles_tagged,
                                long long predictions_performed,
-                               long long total_flips) {
+                               long long total_flips, int version) {
   JsonWriter json;
-  BeginFrame(&json, "event");
+  BeginFrame(&json, "event", version);
   json.Key("event");
   json.String("progress");
   json.Key("job_id");
@@ -258,9 +392,10 @@ std::string ProgressEventFrame(const std::string& job_id,
   return Finish(&json);
 }
 
-std::string TerminalEventFrame(const service::JobOutcome& outcome) {
+std::string TerminalEventFrame(const service::JobOutcome& outcome,
+                               int version) {
   JsonWriter json;
-  BeginFrame(&json, "event");
+  BeginFrame(&json, "event", version);
   json.Key("event");
   json.String("terminal");
   json.Key("job_id");
@@ -280,17 +415,116 @@ std::string TerminalEventFrame(const service::JobOutcome& outcome) {
   return Finish(&json);
 }
 
-std::string ShutdownEventFrame() {
+std::string ShutdownEventFrame(int version) {
   JsonWriter json;
-  BeginFrame(&json, "event");
+  BeginFrame(&json, "event", version);
   json.Key("event");
   json.String("shutdown");
   return Finish(&json);
 }
 
+std::string UpsertedFrame(const std::string& dataset, int side,
+                          int record_id, long long seq, int slot,
+                          bool created, int version) {
+  JsonWriter json;
+  BeginFrame(&json, "upserted", version);
+  json.Key("dataset");
+  json.String(dataset);
+  json.Key("side");
+  json.Int(side);
+  json.Key("id");
+  json.Int(record_id);
+  json.Key("seq");
+  json.Int(seq);
+  json.Key("slot");
+  json.Int(slot);
+  json.Key("created");
+  json.Bool(created);
+  return Finish(&json);
+}
+
+std::string RemovedFrame(const std::string& dataset, int side,
+                         int record_id, long long seq, int slot,
+                         bool removed, int version) {
+  JsonWriter json;
+  BeginFrame(&json, "removed", version);
+  json.Key("dataset");
+  json.String(dataset);
+  json.Key("side");
+  json.Int(side);
+  json.Key("id");
+  json.Int(record_id);
+  json.Key("seq");
+  json.Int(seq);
+  json.Key("slot");
+  json.Int(slot);
+  json.Key("removed");
+  json.Bool(removed);
+  return Finish(&json);
+}
+
+std::string MatchFrame(const std::string& dataset, int side,
+                       const std::vector<WireMatchCandidate>& candidates,
+                       int version) {
+  JsonWriter json;
+  BeginFrame(&json, "match", version);
+  json.Key("dataset");
+  json.String(dataset);
+  json.Key("side");
+  json.Int(side);
+  json.Key("candidates");
+  json.BeginArray();
+  for (const WireMatchCandidate& candidate : candidates) {
+    json.BeginObject();
+    json.Key("id");
+    json.Int(candidate.id);
+    json.Key("overlap");
+    json.Int(candidate.overlap);
+    json.Key("values");
+    json.BeginArray();
+    for (const std::string& value : candidate.values) json.String(value);
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  return Finish(&json);
+}
+
+std::string InvalidationsFrame(bool subscribed,
+                               const std::vector<std::string>& stale_jobs,
+                               int version) {
+  JsonWriter json;
+  BeginFrame(&json, "invalidations", version);
+  json.Key("subscribed");
+  json.Bool(subscribed);
+  json.Key("stale");
+  json.BeginArray();
+  for (const std::string& job_id : stale_jobs) json.String(job_id);
+  json.EndArray();
+  return Finish(&json);
+}
+
+std::string InvalidationEventFrame(const std::string& job_id,
+                                   const std::string& dataset, int side,
+                                   int record_id, int version) {
+  JsonWriter json;
+  BeginFrame(&json, "event", version);
+  json.Key("event");
+  json.String("invalidation");
+  json.Key("job_id");
+  json.String(job_id);
+  json.Key("dataset");
+  json.String(dataset);
+  json.Key("side");
+  json.Int(side);
+  json.Key("id");
+  json.Int(record_id);
+  return Finish(&json);
+}
+
 std::string SubmitFrame(const api::ExplainRequest& request, bool watch) {
   JsonWriter json;
-  BeginFrame(&json, "submit");
+  BeginFrame(&json, "submit", request.schema_version);
   json.Key("request");
   json.Raw(request.ToJson());
   json.Key("watch");
@@ -299,9 +533,14 @@ std::string SubmitFrame(const api::ExplainRequest& request, bool watch) {
 }
 
 namespace {
+/// Client frames declare the client's own schema version: a
+/// current-build client speaks kSchemaVersion on every verb, so its
+/// connections negotiate consistently whichever frame arrives first.
+/// (v1-on-the-wire compatibility is exercised with literal v1 frames —
+/// see the golden corpus in tests/stream_service_test.cc.)
 std::string JobFrame(std::string_view type, const std::string& job_id) {
   JsonWriter json;
-  BeginFrame(&json, type);
+  BeginFrame(&json, type, api::kSchemaVersion);
   json.Key("job_id");
   json.String(job_id);
   return Finish(&json);
@@ -322,13 +561,79 @@ std::string CancelRequestFrame(const std::string& job_id) {
 
 std::string StatsRequestFrame() {
   JsonWriter json;
-  BeginFrame(&json, "stats");
+  BeginFrame(&json, "stats", api::kSchemaVersion);
   return Finish(&json);
 }
 
 std::string PingFrame() {
   JsonWriter json;
-  BeginFrame(&json, "ping");
+  BeginFrame(&json, "ping", api::kSchemaVersion);
+  return Finish(&json);
+}
+
+namespace {
+/// Opens a v2 streaming request frame (the verbs require the frame to
+/// declare schema_version 2).
+void BeginStreamRequest(JsonWriter* json, std::string_view type,
+                        const std::string& dataset,
+                        const std::string& data_dir, int side) {
+  BeginFrame(json, type, 2);
+  json->Key("dataset");
+  json->String(dataset);
+  if (!data_dir.empty()) {
+    json->Key("data_dir");
+    json->String(data_dir);
+  }
+  json->Key("side");
+  json->Int(side);
+}
+}  // namespace
+
+std::string UpsertRequestFrame(const std::string& dataset,
+                               const std::string& data_dir, int side,
+                               int record_id,
+                               const std::vector<std::string>& values) {
+  JsonWriter json;
+  BeginStreamRequest(&json, "upsert", dataset, data_dir, side);
+  json.Key("id");
+  json.Int(record_id);
+  json.Key("values");
+  json.BeginArray();
+  for (const std::string& value : values) json.String(value);
+  json.EndArray();
+  return Finish(&json);
+}
+
+std::string RemoveRequestFrame(const std::string& dataset,
+                               const std::string& data_dir, int side,
+                               int record_id) {
+  JsonWriter json;
+  BeginStreamRequest(&json, "remove", dataset, data_dir, side);
+  json.Key("id");
+  json.Int(record_id);
+  return Finish(&json);
+}
+
+std::string MatchRequestFrame(const std::string& dataset,
+                              const std::string& data_dir, int side,
+                              const std::vector<std::string>& probe_values,
+                              int top_k) {
+  JsonWriter json;
+  BeginStreamRequest(&json, "match", dataset, data_dir, side);
+  json.Key("values");
+  json.BeginArray();
+  for (const std::string& value : probe_values) json.String(value);
+  json.EndArray();
+  json.Key("top_k");
+  json.Int(top_k);
+  return Finish(&json);
+}
+
+std::string InvalidationsRequestFrame(bool subscribe) {
+  JsonWriter json;
+  BeginFrame(&json, "invalidations", 2);
+  json.Key("subscribe");
+  json.Bool(subscribe);
   return Finish(&json);
 }
 

@@ -35,12 +35,19 @@ persist::JobCheckpoint CheckpointFromSpec(const JobSpec& spec) {
   return checkpoint;
 }
 
-/// Content fingerprint of the dataset a model was trained on — the
-/// model half of a score-store key. Training is seeded and
-/// deterministic, so (model kind, training data) pins the matcher's
-/// parameters exactly; hashing the full record contents (not the
-/// dataset code or path) means a store entry can never be served to a
-/// model trained on different data that happens to share a name.
+/// Content fingerprint of the *training inputs* a model was trained on
+/// — the model half of a score-store key. Training is seeded and
+/// deterministic, and every Fit implementation reads exactly the train
+/// pairs plus the records those pairs reference (models/trainer.cc),
+/// so (model kind, training inputs) pins the matcher's parameters
+/// exactly. Hashing record contents (not the dataset code or path)
+/// means a store entry can never be served to a model trained on
+/// different data that happens to share a name — while records outside
+/// the train set (streaming upserts of test-side rows) leave the
+/// fingerprint unchanged, so a mutated dataset keeps sharing every
+/// paid score its unchanged model can still vouch for. (Stale pair
+/// scores are impossible regardless: models::PairKey hashes the pair's
+/// record contents.)
 uint64_t DatasetFingerprint(const data::Dataset& dataset) {
   uint64_t hash = 1469598103934665603ULL;
   auto mix = [&hash](const std::string& value) {
@@ -59,16 +66,20 @@ uint64_t DatasetFingerprint(const data::Dataset& dataset) {
   };
   for (const data::Table* table : {&dataset.left, &dataset.right}) {
     for (const std::string& name : table->schema().names()) mix(name);
-    mix_int(table->size());
-    for (int r = 0; r < table->size(); ++r) {
-      for (const std::string& value : table->record(r).values) mix(value);
-    }
   }
   mix_int(static_cast<long long>(dataset.train.size()));
   for (const data::LabeledPair& pair : dataset.train) {
     mix_int(pair.left_index);
     mix_int(pair.right_index);
     mix_int(pair.label);
+    for (const std::string& value :
+         dataset.left.record(pair.left_index).values) {
+      mix(value);
+    }
+    for (const std::string& value :
+         dataset.right.record(pair.right_index).values) {
+      mix(value);
+    }
   }
   return hash;
 }
@@ -163,7 +174,15 @@ JobOutcome RunDurableExplain(const JobSpec& spec, const std::string& job_dir,
 
   // -- inputs (validated before any durable state is touched) --
   data::Dataset dataset;
-  if (!spec.data_dir.empty()) {
+  if (options.dataset_provider) {
+    // Streaming: the coordinator materializes the live overlays and
+    // durably registers this job's record dependencies at the snapshot
+    // it hands out (the staleness contract).
+    std::string provider_error;
+    if (!options.dataset_provider(spec, &dataset, &provider_error)) {
+      return fail("dataset provider: " + provider_error);
+    }
+  } else if (!spec.data_dir.empty()) {
     if (!data::LoadDatasetDirectory(spec.data_dir, spec.dataset, &dataset)) {
       return fail("cannot load dataset directory " + spec.data_dir);
     }
@@ -521,6 +540,7 @@ void JobRunner::WorkerLoop() {
     run_options.trace = options_.trace;
     run_options.store = store_.get();
     run_options.use_candidate_index = options_.use_candidate_index;
+    run_options.dataset_provider = options_.dataset_provider;
     RunningJob* heartbeat_target = running.get();
     run_options.heartbeat = [this, heartbeat_target] {
       heartbeat_target->last_heartbeat_micros.store(
@@ -837,6 +857,11 @@ int JobRunner::AdoptParked(const std::string& partition_root,
     }
   }
   return adopted;
+}
+
+void JobRunner::RefreshStorePeers() {
+  // The store is internally locked; no runner state is touched.
+  if (store_ != nullptr) store_->RefreshPeers();
 }
 
 JobRunner::Counters JobRunner::counters() const {

@@ -14,6 +14,7 @@
 
 #include "api/explain_request.h"
 #include "core/certa_explainer.h"
+#include "data/dataset.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "persist/checkpoint.h"
@@ -121,6 +122,15 @@ struct DurableRunOptions {
   /// (byte-identical to the linear reference scan; see
   /// CertaExplainer::Options::use_candidate_index).
   bool use_candidate_index = true;
+  /// When set, supplies the job's dataset instead of the default
+  /// load-from-disk/benchmark path — the streaming coordinator's hook
+  /// (service::StreamCoordinator::ProvideDataset): it materializes the
+  /// live overlay tables and durably registers the job's record
+  /// dependencies at the snapshot it hands out. False + *error fails
+  /// the job.
+  std::function<bool(const api::ExplainRequest&, data::Dataset*,
+                     std::string*)>
+      dataset_provider;
 };
 
 /// Runs one explanation job durably inside `job_dir`:
@@ -184,6 +194,12 @@ struct JobRunnerOptions {
   int store_stream_slot = -1;
   /// Forwarded to every durable run (see DurableRunOptions).
   bool use_candidate_index = true;
+  /// Forwarded to every durable run (see DurableRunOptions): streaming
+  /// deployments point this at StreamCoordinator::ProvideDataset so
+  /// jobs explain against the live overlays.
+  std::function<bool(const api::ExplainRequest&, data::Dataset*,
+                     std::string*)>
+      dataset_provider;
   /// Progress/terminal event hooks (the network front-end's feed).
   /// Both are invoked from worker threads — on_progress from inside a
   /// running job, on_terminal after its outcome is recorded (never
@@ -296,6 +312,12 @@ class JobRunner {
   /// The cross-job score store (null when options_.store_dir is empty
   /// or the directory could not be opened).
   const persist::ScoreStore* store() const { return store_.get(); }
+
+  /// Absorbs sibling score streams now (no-op without a shared store).
+  /// The scoring engine refreshes on its own periodic cadence; read
+  /// paths (result/match fetches) call this so a reader never waits a
+  /// full cadence for scores a sibling already published. Thread-safe.
+  void RefreshStorePeers();
 
  private:
   struct QueuedJob {

@@ -1,0 +1,1183 @@
+#include "service/stream_coordinator.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "data/benchmarks.h"
+#include "data/csv.h"
+#include "util/atomic_file.h"
+#include "util/clock.h"
+#include "util/crc32.h"
+#include "util/json_parser.h"
+#include "util/json_writer.h"
+
+namespace certa::service {
+namespace {
+
+constexpr char kWalHeader[] = "CERTASTREAM v1\n";
+constexpr size_t kWalHeaderLen = sizeof(kWalHeader) - 1;
+constexpr char kCheckpointMagic[] = "CERTASTRCKPT v1 ";
+
+std::string HexCrc(uint32_t crc) {
+  char buffer[9];
+  std::snprintf(buffer, sizeof(buffer), "%08x", crc);
+  return std::string(buffer, 8);
+}
+
+bool ParseHexCrc(std::string_view text, uint32_t* crc) {
+  if (text.size() != 8) return false;
+  uint32_t value = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | static_cast<uint32_t>(digit);
+  }
+  *crc = value;
+  return true;
+}
+
+void WriteRecordFields(JsonWriter* writer,
+                       const std::string& dataset,
+                       const std::string& data_dir, int side, int id) {
+  writer->Key("dataset");
+  writer->String(dataset);
+  writer->Key("data_dir");
+  writer->String(data_dir);
+  writer->Key("side");
+  writer->Int(side);
+  writer->Key("id");
+  writer->Int(id);
+}
+
+bool ReadStringField(const JsonValue& object, const char* key,
+                     std::string* out) {
+  const JsonValue* value = object.Find(key);
+  if (value == nullptr || !value->is_string()) return false;
+  *out = value->string_value();
+  return true;
+}
+
+bool ReadIntField(const JsonValue& object, const char* key,
+                  long long* out) {
+  const JsonValue* value = object.Find(key);
+  if (value == nullptr || !value->is_integer()) return false;
+  *out = value->int_value();
+  return true;
+}
+
+}  // namespace
+
+StreamCoordinator::~StreamCoordinator() { Close(); }
+
+std::string StreamCoordinator::WalFileName(int slot) {
+  return "ops-w" + std::to_string(slot) + ".wal";
+}
+
+std::string StreamCoordinator::CheckpointFileName(int slot) {
+  return "state-w" + std::to_string(slot) + ".ckpt";
+}
+
+std::string StreamCoordinator::DatasetKey(const std::string& dataset,
+                                          const std::string& data_dir) {
+  return dataset + '\x1f' + data_dir;
+}
+
+std::string StreamCoordinator::RecordKey(const std::string& dataset,
+                                         const std::string& data_dir,
+                                         int side, int id) {
+  return dataset + '\x1f' + data_dir + '\x1f' + std::to_string(side) +
+         '\x1f' + std::to_string(id);
+}
+
+int64_t StreamCoordinator::NowMs() const {
+  return util::RealClock()->NowMicros() / 1000;
+}
+
+bool StreamCoordinator::Open(const Options& options, std::string* error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) {
+    if (error != nullptr) *error = "stream coordinator already open";
+    return false;
+  }
+  options_ = options;
+  if (options_.slot < 0) options_.slot = 0;
+  if (options_.checkpoint_every < 1) options_.checkpoint_every = 1;
+  if (!util::EnsureDirectory(options_.dir)) {
+    if (error != nullptr) {
+      *error = "cannot create stream directory " + options_.dir;
+    }
+    return false;
+  }
+  if (options_.metrics != nullptr) {
+    metric_ops_ = options_.metrics->counter("stream_ops_applied");
+    metric_absorbed_ = options_.metrics->counter("stream_ops_absorbed");
+    metric_invalidations_ =
+        options_.metrics->counter("stream_invalidations");
+    metric_checkpoints_ = options_.metrics->counter("stream_checkpoints");
+  }
+
+  // 1. Derived state from the last atomic checkpoint, when it is valid.
+  //    A missing or corrupt checkpoint just means replaying every
+  //    stream from its header — slower, never wrong.
+  std::string checkpoint_error;
+  LoadCheckpointLocked(&checkpoint_error);
+
+  // 2. The own stream is the only file this worker may write: truncate
+  //    a torn (never fsync'd) tail so the append point is clean.
+  if (!RecoverOwnWalLocked(error)) return false;
+
+  // 3. Replay the own tail, then absorb every sibling tail, so the
+  //    in-memory overlays reflect everything durable in the directory.
+  const std::string own_path =
+      options_.dir + "/" + WalFileName(options_.slot);
+  std::vector<Invalidation> ignored;
+  const long long absorbed_before = stats_.ops_absorbed;
+  AbsorbFileLocked(own_path, &offsets_[WalFileName(options_.slot)],
+                   &ignored);
+  stats_.replayed_ops += stats_.ops_absorbed - absorbed_before;
+  stats_.ops_absorbed = absorbed_before;
+  AbsorbPeersLocked();
+
+  // 4. Staleness is derived, never persisted: re-judge every
+  //    registered job against the recovered record versions.
+  for (auto it = deps_.begin(); it != deps_.end(); ++it) {
+    RecomputeJobStalenessLocked(it->first);
+  }
+
+  fd_ = ::open(own_path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd_ < 0) {
+    if (error != nullptr) {
+      *error = "cannot open stream wal " + own_path + " for append: " +
+               std::strerror(errno);
+    }
+    return false;
+  }
+  last_absorb_ms_ = NowMs();
+  return true;
+}
+
+void StreamCoordinator::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return;
+  WriteCheckpointLocked();
+  ::close(fd_);
+  fd_ = -1;
+}
+
+StreamCoordinator::Overlay* StreamCoordinator::GetOverlayLocked(
+    const std::string& dataset, const std::string& data_dir,
+    std::string* error) {
+  const std::string key = DatasetKey(dataset, data_dir);
+  auto it = overlays_.find(key);
+  if (it != overlays_.end()) return &it->second;
+  data::Dataset base;
+  if (!data_dir.empty()) {
+    if (!data::LoadDatasetDirectory(data_dir, dataset, &base)) {
+      if (error != nullptr) {
+        *error = "cannot load dataset directory " + data_dir;
+      }
+      return nullptr;
+    }
+  } else {
+    const std::vector<std::string>& codes = data::BenchmarkCodes();
+    if (std::find(codes.begin(), codes.end(), dataset) == codes.end()) {
+      if (error != nullptr) *error = "unknown benchmark code " + dataset;
+      return nullptr;
+    }
+    base = data::MakeBenchmark(dataset);
+  }
+  Overlay& overlay = overlays_[key];
+  overlay.dataset = dataset;
+  overlay.data_dir = data_dir;
+  overlay.sides[0] = data::MutableTable(base.left);
+  overlay.sides[1] = data::MutableTable(base.right);
+  overlay.base_rows[0] = base.left.size();
+  overlay.base_rows[1] = base.right.size();
+  overlay.base = std::move(base);
+  return &overlay;
+}
+
+std::string StreamCoordinator::SerializeOp(const StreamOp& op) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("op");
+  switch (op.kind) {
+    case StreamOp::Kind::kUpsert:
+      writer.String("upsert");
+      break;
+    case StreamOp::Kind::kRemove:
+      writer.String("remove");
+      break;
+    case StreamOp::Kind::kDeps:
+      writer.String("deps");
+      break;
+  }
+  writer.Key("seq");
+  writer.Int(static_cast<long long>(op.seq));
+  writer.Key("slot");
+  writer.Int(op.slot);
+  if (op.kind == StreamOp::Kind::kDeps) {
+    writer.Key("job_id");
+    writer.String(op.job_id);
+    writer.Key("snapshot");
+    writer.Int(static_cast<long long>(op.snapshot));
+    writer.Key("records");
+    writer.BeginArray();
+    for (const StreamOp::DepRecord& dep : op.dep_records) {
+      writer.BeginObject();
+      WriteRecordFields(&writer, dep.dataset, dep.data_dir, dep.side,
+                        dep.id);
+      writer.EndObject();
+    }
+    writer.EndArray();
+  } else {
+    WriteRecordFields(&writer, op.dataset, op.data_dir, op.side,
+                      op.record.id);
+    if (op.kind == StreamOp::Kind::kUpsert) {
+      writer.Key("values");
+      writer.BeginArray();
+      for (const std::string& value : op.record.values) {
+        writer.String(value);
+      }
+      writer.EndArray();
+    }
+  }
+  writer.EndObject();
+  return writer.str();
+}
+
+bool StreamCoordinator::ParseOp(std::string_view json, StreamOp* op) {
+  JsonValue value;
+  std::string error;
+  if (!JsonValue::Parse(json, &value, &error) || !value.is_object()) {
+    return false;
+  }
+  std::string kind;
+  if (!ReadStringField(value, "op", &kind)) return false;
+  long long seq = 0;
+  long long slot = 0;
+  if (!ReadIntField(value, "seq", &seq) ||
+      !ReadIntField(value, "slot", &slot) || seq < 0 || slot < 0) {
+    return false;
+  }
+  op->seq = static_cast<uint64_t>(seq);
+  op->slot = static_cast<int>(slot);
+  if (kind == "deps") {
+    op->kind = StreamOp::Kind::kDeps;
+    long long snapshot = 0;
+    if (!ReadStringField(value, "job_id", &op->job_id) ||
+        !ReadIntField(value, "snapshot", &snapshot)) {
+      return false;
+    }
+    op->snapshot = static_cast<uint64_t>(snapshot);
+    const JsonValue* records = value.Find("records");
+    if (records == nullptr || !records->is_array()) return false;
+    op->dep_records.clear();
+    for (const JsonValue& entry : records->array_items()) {
+      if (!entry.is_object()) return false;
+      StreamOp::DepRecord dep;
+      long long side = 0;
+      long long id = 0;
+      if (!ReadStringField(entry, "dataset", &dep.dataset) ||
+          !ReadStringField(entry, "data_dir", &dep.data_dir) ||
+          !ReadIntField(entry, "side", &side) ||
+          !ReadIntField(entry, "id", &id)) {
+        return false;
+      }
+      dep.side = static_cast<int>(side);
+      dep.id = static_cast<int>(id);
+      op->dep_records.push_back(std::move(dep));
+    }
+    return true;
+  }
+  if (kind == "upsert") {
+    op->kind = StreamOp::Kind::kUpsert;
+  } else if (kind == "remove") {
+    op->kind = StreamOp::Kind::kRemove;
+  } else {
+    return false;
+  }
+  long long side = 0;
+  long long id = 0;
+  if (!ReadStringField(value, "dataset", &op->dataset) ||
+      !ReadStringField(value, "data_dir", &op->data_dir) ||
+      !ReadIntField(value, "side", &side) ||
+      !ReadIntField(value, "id", &id) || side < 0 || side > 1) {
+    return false;
+  }
+  op->side = static_cast<int>(side);
+  op->record.id = static_cast<int>(id);
+  op->record.values.clear();
+  if (op->kind == StreamOp::Kind::kUpsert) {
+    const JsonValue* values = value.Find("values");
+    if (values == nullptr || !values->is_array()) return false;
+    for (const JsonValue& entry : values->array_items()) {
+      if (!entry.is_string()) return false;
+      op->record.values.push_back(entry.string_value());
+    }
+  }
+  return true;
+}
+
+bool StreamCoordinator::AppendOpLocked(const StreamOp& op,
+                                       std::string* error) {
+  const std::string json = SerializeOp(op);
+  const std::string line = HexCrc(util::Crc32(json)) + " " + json + "\n";
+  size_t written = 0;
+  while (written < line.size()) {
+    const ssize_t n =
+        ::write(fd_, line.data() + written, line.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) {
+        *error = std::string("stream wal write failed: ") +
+                 std::strerror(errno);
+      }
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
+    if (error != nullptr) {
+      *error =
+          std::string("stream wal fsync failed: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  // The own stream's absorbed offset tracks the bytes this process has
+  // already applied, so re-opening after a clean run replays nothing.
+  offsets_[WalFileName(options_.slot)] += line.size();
+  return true;
+}
+
+void StreamCoordinator::MarkWatchersStaleLocked(
+    const StreamOp& op, std::vector<Invalidation>* invalidated) {
+  const std::string key =
+      RecordKey(op.dataset, op.data_dir, op.side, op.record.id);
+  auto it = watchers_.find(key);
+  if (it == watchers_.end()) return;
+  for (const std::string& job_id : it->second) {
+    // Application-order rule: any state-changing op that lands on a
+    // watched record after the job registered makes the job stale.
+    // Deliberately conservative — a replayed op the materialization
+    // already included can re-flag the job after a crash, costing one
+    // redundant recompute over identical data (same bytes out), never
+    // a silently-stale answer. Open()'s final version-compare pass
+    // clears those false positives when the record versions prove the
+    // snapshot already covered them.
+    if (stale_.insert(job_id).second) {
+      ++stats_.invalidations;
+      if (metric_invalidations_ != nullptr) {
+        metric_invalidations_->Increment();
+      }
+      if (invalidated != nullptr) {
+        invalidated->push_back(Invalidation{job_id, op.dataset, op.side,
+                                            op.record.id});
+      }
+    }
+  }
+}
+
+void StreamCoordinator::RecomputeJobStalenessLocked(
+    const std::string& job_id) {
+  auto it = deps_.find(job_id);
+  if (it == deps_.end()) {
+    stale_.erase(job_id);
+    return;
+  }
+  bool stale = false;
+  for (const StreamOp::DepRecord& dep : it->second.records) {
+    auto mod = mods_.find(
+        RecordKey(dep.dataset, dep.data_dir, dep.side, dep.id));
+    if (mod != mods_.end() && mod->second.Newer(it->second.version)) {
+      stale = true;
+      break;
+    }
+  }
+  if (stale) {
+    stale_.insert(job_id);
+  } else {
+    stale_.erase(job_id);
+  }
+}
+
+bool StreamCoordinator::ApplyOpLocked(
+    const StreamOp& op, Ack* ack, std::vector<Invalidation>* invalidated) {
+  ++ops_since_checkpoint_;
+  if (op.kind == StreamOp::Kind::kDeps) {
+    Version version{op.seq, op.slot};
+    auto it = deps_.find(op.job_id);
+    if (it != deps_.end() && !version.Newer(it->second.version)) {
+      return true;  // older registration — last writer wins
+    }
+    if (it != deps_.end()) {
+      for (const StreamOp::DepRecord& dep : it->second.records) {
+        auto watch = watchers_.find(
+            RecordKey(dep.dataset, dep.data_dir, dep.side, dep.id));
+        if (watch != watchers_.end()) {
+          watch->second.erase(op.job_id);
+          if (watch->second.empty()) watchers_.erase(watch);
+        }
+      }
+    }
+    JobDeps& deps = deps_[op.job_id];
+    deps.version = version;
+    deps.snapshot = op.snapshot;
+    deps.records = op.dep_records;
+    for (const StreamOp::DepRecord& dep : deps.records) {
+      watchers_[RecordKey(dep.dataset, dep.data_dir, dep.side, dep.id)]
+          .insert(op.job_id);
+    }
+    ++stats_.deps_registered;
+    RecomputeJobStalenessLocked(op.job_id);
+    return true;
+  }
+
+  const std::string record_key =
+      RecordKey(op.dataset, op.data_dir, op.side, op.record.id);
+  Version version{op.seq, op.slot};
+  auto mod = mods_.find(record_key);
+  if (mod != mods_.end() && !version.Newer(mod->second)) {
+    // A newer op already decided this record — convergence over
+    // absorption order is exactly this skip.
+    if (ack != nullptr) {
+      ack->seq = op.seq;
+      ack->slot = op.slot;
+      ack->row = -1;
+    }
+    return true;
+  }
+  std::string error;
+  Overlay* overlay = GetOverlayLocked(op.dataset, op.data_dir, &error);
+  if (overlay == nullptr) return false;
+  mods_[record_key] = version;
+  int row = -1;
+  bool created = false;
+  bool removed = false;
+  if (op.kind == StreamOp::Kind::kUpsert) {
+    row = overlay->sides[op.side].Upsert(op.record, &created, &error);
+    if (row < 0) {
+      // A malformed-but-durable op (schema changed underneath the
+      // stream): keep the version so convergence holds, touch nothing.
+      return false;
+    }
+    ++stats_.upserts;
+  } else {
+    removed = overlay->sides[op.side].Remove(op.record.id);
+    ++stats_.removes;
+  }
+  ++stats_.ops_applied;
+  if (metric_ops_ != nullptr) metric_ops_->Increment();
+  if (ack != nullptr) {
+    ack->seq = op.seq;
+    ack->slot = op.slot;
+    ack->row = row;
+    ack->created = created;
+    ack->removed = removed;
+  }
+  MarkWatchersStaleLocked(op, invalidated);
+  return true;
+}
+
+StreamCoordinator::OpStatus StreamCoordinator::Upsert(
+    const std::string& dataset, const std::string& data_dir, int side,
+    const data::Record& record, Ack* ack,
+    std::vector<Invalidation>* invalidated, std::string* error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "stream coordinator not open";
+    return OpStatus::kIo;
+  }
+  if (side < 0 || side > 1) {
+    if (error != nullptr) *error = "side must be 0 (left) or 1 (right)";
+    return OpStatus::kBadRecord;
+  }
+  Overlay* overlay = GetOverlayLocked(dataset, data_dir, error);
+  if (overlay == nullptr) return OpStatus::kUnknownDataset;
+  if (record.id < 0) {
+    if (error != nullptr) *error = "record id must be >= 0";
+    return OpStatus::kBadRecord;
+  }
+  const data::Schema& schema = overlay->sides[side].schema();
+  if (static_cast<int>(record.values.size()) != schema.size()) {
+    if (error != nullptr) {
+      *error = "record has " + std::to_string(record.values.size()) +
+               " values; side " + std::to_string(side) + " schema wants " +
+               std::to_string(schema.size());
+    }
+    return OpStatus::kBadRecord;
+  }
+  StreamOp op;
+  op.kind = StreamOp::Kind::kUpsert;
+  op.seq = ++clock_;
+  op.slot = options_.slot;
+  op.dataset = dataset;
+  op.data_dir = data_dir;
+  op.side = side;
+  op.record = record;
+  if (!AppendOpLocked(op, error)) return OpStatus::kIo;
+  ApplyOpLocked(op, ack, invalidated);
+  MaybeCheckpointLocked();
+  return OpStatus::kOk;
+}
+
+StreamCoordinator::OpStatus StreamCoordinator::Remove(
+    const std::string& dataset, const std::string& data_dir, int side,
+    int record_id, Ack* ack, std::vector<Invalidation>* invalidated,
+    std::string* error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "stream coordinator not open";
+    return OpStatus::kIo;
+  }
+  if (side < 0 || side > 1) {
+    if (error != nullptr) *error = "side must be 0 (left) or 1 (right)";
+    return OpStatus::kBadRecord;
+  }
+  if (record_id < 0) {
+    if (error != nullptr) *error = "record id must be >= 0";
+    return OpStatus::kBadRecord;
+  }
+  Overlay* overlay = GetOverlayLocked(dataset, data_dir, error);
+  if (overlay == nullptr) return OpStatus::kUnknownDataset;
+  (void)overlay;
+  StreamOp op;
+  op.kind = StreamOp::Kind::kRemove;
+  op.seq = ++clock_;
+  op.slot = options_.slot;
+  op.dataset = dataset;
+  op.data_dir = data_dir;
+  op.side = side;
+  op.record.id = record_id;
+  if (!AppendOpLocked(op, error)) return OpStatus::kIo;
+  ApplyOpLocked(op, ack, invalidated);
+  MaybeCheckpointLocked();
+  return OpStatus::kOk;
+}
+
+StreamCoordinator::OpStatus StreamCoordinator::Match(
+    const std::string& dataset, const std::string& data_dir, int side,
+    const std::vector<std::string>& probe_values, int k,
+    std::vector<MatchCandidate>* candidates, std::string* error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (side < 0 || side > 1) {
+    if (error != nullptr) *error = "side must be 0 (left) or 1 (right)";
+    return OpStatus::kBadRecord;
+  }
+  AbsorbPeersLocked();
+  Overlay* overlay = GetOverlayLocked(dataset, data_dir, error);
+  if (overlay == nullptr) return OpStatus::kUnknownDataset;
+  const data::MutableTable& table = overlay->sides[side];
+  if (static_cast<int>(probe_values.size()) > table.schema().size()) {
+    if (error != nullptr) {
+      *error = "probe has " + std::to_string(probe_values.size()) +
+               " values; side " + std::to_string(side) + " schema wants at "
+               "most " + std::to_string(table.schema().size());
+    }
+    return OpStatus::kBadRecord;
+  }
+  data::Record probe;
+  probe.id = -1;
+  probe.values = probe_values;
+  // Short probes are fine: missing attributes contribute no tokens.
+  probe.values.resize(static_cast<size_t>(table.schema().size()), "NaN");
+  std::vector<data::MutableTable::MatchCandidate> ranked =
+      table.TopK(probe, k < 0 ? 0 : k);
+  // Re-rank on (overlap desc, id asc): record ids are stable across
+  // the fleet while row numbers are per-worker, so this is the
+  // convergent order once every sibling op is absorbed.
+  std::sort(ranked.begin(), ranked.end(),
+            [](const data::MutableTable::MatchCandidate& a,
+               const data::MutableTable::MatchCandidate& b) {
+              if (a.overlap != b.overlap) return a.overlap > b.overlap;
+              return a.id < b.id;
+            });
+  candidates->clear();
+  candidates->reserve(ranked.size());
+  for (const data::MutableTable::MatchCandidate& entry : ranked) {
+    MatchCandidate out;
+    out.id = entry.id;
+    out.overlap = entry.overlap;
+    out.values = table.record(entry.row).values;
+    candidates->push_back(std::move(out));
+  }
+  return OpStatus::kOk;
+}
+
+bool StreamCoordinator::ProvideDataset(const api::ExplainRequest& request,
+                                       data::Dataset* dataset,
+                                       std::string* error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AbsorbPeersLocked();
+  Overlay* overlay =
+      GetOverlayLocked(request.dataset, request.data_dir, error);
+  if (overlay == nullptr) return false;
+  *dataset = overlay->base;
+  dataset->left = overlay->sides[0].Materialize();
+  dataset->right = overlay->sides[1].Materialize();
+  if (fd_ < 0 || request.id.empty() || request.pair_index < 0 ||
+      request.pair_index >= static_cast<int>(dataset->test.size())) {
+    // Nothing to register (anonymous request or the runner will reject
+    // the pair index anyway) — still serve the overlay view.
+    return true;
+  }
+  const data::LabeledPair& pair =
+      dataset->test[static_cast<size_t>(request.pair_index)];
+  StreamOp op;
+  op.kind = StreamOp::Kind::kDeps;
+  op.seq = ++clock_;
+  op.slot = options_.slot;
+  op.job_id = request.id;
+  op.snapshot = op.seq - 1;
+  StreamOp::DepRecord left;
+  left.dataset = request.dataset;
+  left.data_dir = request.data_dir;
+  left.side = 0;
+  left.id = dataset->left.record(pair.left_index).id;
+  StreamOp::DepRecord right;
+  right.dataset = request.dataset;
+  right.data_dir = request.data_dir;
+  right.side = 1;
+  right.id = dataset->right.record(pair.right_index).id;
+  op.dep_records.push_back(std::move(left));
+  op.dep_records.push_back(std::move(right));
+  if (!AppendOpLocked(op, error)) return false;
+  ApplyOpLocked(op, nullptr, nullptr);
+  MaybeCheckpointLocked();
+  return true;
+}
+
+bool StreamCoordinator::IsStale(const std::string& job_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stale_.count(job_id) != 0;
+}
+
+std::vector<std::string> StreamCoordinator::StaleJobs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<std::string>(stale_.begin(), stale_.end());
+}
+
+std::vector<StreamCoordinator::Invalidation>
+StreamCoordinator::MaybeAbsorbPeers() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int64_t now = NowMs();
+  if (now - last_absorb_ms_ < options_.absorb_interval_ms) return {};
+  return AbsorbPeersLocked();
+}
+
+std::vector<StreamCoordinator::Invalidation>
+StreamCoordinator::AbsorbPeers() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return AbsorbPeersLocked();
+}
+
+std::vector<StreamCoordinator::Invalidation>
+StreamCoordinator::AbsorbPeersLocked() {
+  last_absorb_ms_ = NowMs();
+  std::vector<Invalidation> invalidated;
+  DIR* dir = ::opendir(options_.dir.c_str());
+  if (dir == nullptr) return invalidated;
+  const std::string own = WalFileName(options_.slot);
+  std::vector<std::string> peers;
+  while (struct dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name == own) continue;
+    if (name.rfind("ops-w", 0) != 0) continue;
+    if (name.size() < 5 || name.compare(name.size() - 4, 4, ".wal") != 0) {
+      continue;
+    }
+    peers.push_back(name);
+  }
+  ::closedir(dir);
+  std::sort(peers.begin(), peers.end());
+  for (const std::string& name : peers) {
+    const long long before = stats_.ops_absorbed;
+    AbsorbFileLocked(options_.dir + "/" + name, &offsets_[name],
+                     &invalidated);
+    if (metric_absorbed_ != nullptr) {
+      metric_absorbed_->Add(stats_.ops_absorbed - before);
+    }
+  }
+  MaybeCheckpointLocked();
+  return invalidated;
+}
+
+void StreamCoordinator::AbsorbFileLocked(
+    const std::string& path, size_t* offset,
+    std::vector<Invalidation>* invalidated) {
+  std::string content;
+  if (!util::ReadFileToString(path, &content)) return;
+  if (*offset == 0) {
+    if (content.size() < kWalHeaderLen ||
+        content.compare(0, kWalHeaderLen, kWalHeader) != 0) {
+      return;  // header not durable yet (or not a stream file)
+    }
+    *offset = kWalHeaderLen;
+  }
+  if (content.size() < *offset) return;  // should not happen; be safe
+  size_t pos = *offset;
+  while (pos < content.size()) {
+    const size_t newline = content.find('\n', pos);
+    if (newline == std::string::npos) break;  // incomplete tail line
+    const std::string_view line(content.data() + pos, newline - pos);
+    const size_t space = line.find(' ');
+    uint32_t expected = 0;
+    if (space == std::string_view::npos ||
+        !ParseHexCrc(line.substr(0, space), &expected)) {
+      break;  // torn or foreign bytes — the owner's problem, not ours
+    }
+    const std::string_view json = line.substr(space + 1);
+    if (util::Crc32(json.data(), json.size()) != expected) break;
+    StreamOp op;
+    if (!ParseOp(json, &op)) break;
+    if (op.seq > clock_) clock_ = op.seq;  // Lamport receive
+    ApplyOpLocked(op, nullptr, invalidated);
+    ++stats_.ops_absorbed;
+    pos = newline + 1;
+  }
+  *offset = pos;
+}
+
+bool StreamCoordinator::RecoverOwnWalLocked(std::string* error) {
+  const std::string path =
+      options_.dir + "/" + WalFileName(options_.slot);
+  std::string content;
+  if (!util::ReadFileToString(path, &content)) {
+    // Fresh stream: write the header durably before any op can land.
+    if (!util::AtomicWriteFile(path, kWalHeader)) {
+      if (error != nullptr) {
+        *error = "cannot create stream wal " + path;
+      }
+      return false;
+    }
+    offsets_[WalFileName(options_.slot)] = kWalHeaderLen;
+    return true;
+  }
+  size_t valid = 0;
+  if (content.size() >= kWalHeaderLen &&
+      content.compare(0, kWalHeaderLen, kWalHeader) == 0) {
+    valid = kWalHeaderLen;
+    while (valid < content.size()) {
+      const size_t newline = content.find('\n', valid);
+      if (newline == std::string::npos) break;
+      const std::string_view line(content.data() + valid, newline - valid);
+      const size_t space = line.find(' ');
+      uint32_t expected = 0;
+      if (space == std::string_view::npos ||
+          !ParseHexCrc(line.substr(0, space), &expected)) {
+        break;
+      }
+      const std::string_view json = line.substr(space + 1);
+      if (util::Crc32(json.data(), json.size()) != expected) break;
+      StreamOp op;
+      if (!ParseOp(json, &op)) break;
+      valid = newline + 1;
+    }
+  }
+  if (valid < content.size()) {
+    stats_.torn_bytes_dropped +=
+        static_cast<long long>(content.size() - valid);
+    if (valid == 0) {
+      // Header itself is torn: rewrite the file from scratch.
+      if (!util::AtomicWriteFile(path, kWalHeader)) {
+        if (error != nullptr) {
+          *error = "cannot rewrite stream wal " + path;
+        }
+        return false;
+      }
+      // Checkpoint state may describe ops from the vanished prefix;
+      // distrust it entirely rather than mix epochs.
+      overlays_.clear();
+      mods_.clear();
+      deps_.clear();
+      watchers_.clear();
+      stale_.clear();
+      offsets_.clear();
+      offsets_[WalFileName(options_.slot)] = kWalHeaderLen;
+      clock_ = 0;
+      return true;
+    }
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+    if (fd < 0 ||
+        ::ftruncate(fd, static_cast<off_t>(valid)) != 0 ||
+        ::fsync(fd) != 0) {
+      if (fd >= 0) ::close(fd);
+      if (error != nullptr) {
+        *error = "cannot truncate torn stream wal tail in " + path;
+      }
+      return false;
+    }
+    ::close(fd);
+  }
+  size_t& own_offset = offsets_[WalFileName(options_.slot)];
+  if (own_offset > valid) {
+    // The checkpoint claims more of our stream than survived — it is
+    // from a future that never became durable. Start derived state
+    // over from the stream itself.
+    overlays_.clear();
+    mods_.clear();
+    deps_.clear();
+    watchers_.clear();
+    stale_.clear();
+    offsets_.clear();
+    clock_ = 0;
+    offsets_[WalFileName(options_.slot)] = kWalHeaderLen;
+  } else if (own_offset == 0) {
+    own_offset = kWalHeaderLen;
+  }
+  return true;
+}
+
+void StreamCoordinator::MaybeCheckpointLocked() {
+  if (ops_since_checkpoint_ < options_.checkpoint_every) return;
+  WriteCheckpointLocked();
+}
+
+bool StreamCoordinator::WriteCheckpointLocked() {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("schema_version");
+  writer.Int(api::kSchemaVersion);
+  writer.Key("slot");
+  writer.Int(options_.slot);
+  writer.Key("clock");
+  writer.Int(static_cast<long long>(clock_));
+  writer.Key("offsets");
+  writer.BeginObject();
+  for (const auto& [name, offset] : offsets_) {
+    writer.Key(name);
+    writer.Int(static_cast<long long>(offset));
+  }
+  writer.EndObject();
+  writer.Key("datasets");
+  writer.BeginArray();
+  for (const auto& [key, overlay] : overlays_) {
+    writer.BeginObject();
+    writer.Key("dataset");
+    writer.String(overlay.dataset);
+    writer.Key("data_dir");
+    writer.String(overlay.data_dir);
+    writer.Key("sides");
+    writer.BeginArray();
+    for (int side = 0; side < 2; ++side) {
+      const data::MutableTable& table = overlay.sides[side];
+      writer.BeginObject();
+      // Diffs only, split by origin: mutated base rows rebuild in
+      // place, appended rows rebuild in row order, so the recovered
+      // table numbers every row exactly as the live one did.
+      writer.Key("mutated");
+      writer.BeginArray();
+      for (int row = 0; row < overlay.base_rows[side]; ++row) {
+        const data::Record& base_record =
+            (side == 0 ? overlay.base.left : overlay.base.right)
+                .record(row);
+        const data::Record& record = table.record(row);
+        if (record == base_record && table.alive(row)) continue;
+        writer.BeginObject();
+        writer.Key("id");
+        writer.Int(record.id);
+        writer.Key("alive");
+        writer.Bool(table.alive(row));
+        writer.Key("values");
+        writer.BeginArray();
+        for (const std::string& value : record.values) {
+          writer.String(value);
+        }
+        writer.EndArray();
+        writer.EndObject();
+      }
+      writer.EndArray();
+      writer.Key("appended");
+      writer.BeginArray();
+      for (int row = overlay.base_rows[side]; row < table.size(); ++row) {
+        const data::Record& record = table.record(row);
+        writer.BeginObject();
+        writer.Key("id");
+        writer.Int(record.id);
+        writer.Key("alive");
+        writer.Bool(table.alive(row));
+        writer.Key("values");
+        writer.BeginArray();
+        for (const std::string& value : record.values) {
+          writer.String(value);
+        }
+        writer.EndArray();
+        writer.EndObject();
+      }
+      writer.EndArray();
+      writer.EndObject();
+    }
+    writer.EndArray();
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.Key("mods");
+  writer.BeginArray();
+  for (const auto& [key, version] : mods_) {
+    // Key parts round-trip structurally, not via the packed string.
+    const size_t p1 = key.find('\x1f');
+    const size_t p2 = key.find('\x1f', p1 + 1);
+    const size_t p3 = key.find('\x1f', p2 + 1);
+    writer.BeginObject();
+    WriteRecordFields(&writer, key.substr(0, p1),
+                      key.substr(p1 + 1, p2 - p1 - 1),
+                      std::stoi(key.substr(p2 + 1, p3 - p2 - 1)),
+                      std::stoi(key.substr(p3 + 1)));
+    writer.Key("seq");
+    writer.Int(static_cast<long long>(version.seq));
+    writer.Key("vslot");
+    writer.Int(version.slot);
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.Key("deps");
+  writer.BeginArray();
+  for (const auto& [job_id, deps] : deps_) {
+    writer.BeginObject();
+    writer.Key("job_id");
+    writer.String(job_id);
+    writer.Key("seq");
+    writer.Int(static_cast<long long>(deps.version.seq));
+    writer.Key("vslot");
+    writer.Int(deps.version.slot);
+    writer.Key("snapshot");
+    writer.Int(static_cast<long long>(deps.snapshot));
+    writer.Key("records");
+    writer.BeginArray();
+    for (const StreamOp::DepRecord& dep : deps.records) {
+      writer.BeginObject();
+      WriteRecordFields(&writer, dep.dataset, dep.data_dir, dep.side,
+                        dep.id);
+      writer.EndObject();
+    }
+    writer.EndArray();
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
+  const std::string& payload = writer.str();
+  const std::string content =
+      kCheckpointMagic + HexCrc(util::Crc32(payload)) + "\n" + payload;
+  const std::string path =
+      options_.dir + "/" + CheckpointFileName(options_.slot);
+  if (!util::AtomicWriteFile(path, content)) return false;
+  ops_since_checkpoint_ = 0;
+  ++stats_.checkpoints;
+  if (metric_checkpoints_ != nullptr) metric_checkpoints_->Increment();
+  return true;
+}
+
+bool StreamCoordinator::LoadCheckpointLocked(std::string* error) {
+  const std::string path =
+      options_.dir + "/" + CheckpointFileName(options_.slot);
+  std::string content;
+  if (!util::ReadFileToString(path, &content)) {
+    if (error != nullptr) *error = "no checkpoint";
+    return false;
+  }
+  const size_t magic_len = sizeof(kCheckpointMagic) - 1;
+  if (content.size() < magic_len + 9 ||
+      content.compare(0, magic_len, kCheckpointMagic) != 0 ||
+      content[magic_len + 8] != '\n') {
+    if (error != nullptr) *error = "checkpoint header malformed";
+    return false;
+  }
+  uint32_t expected = 0;
+  if (!ParseHexCrc(
+          std::string_view(content.data() + magic_len, 8), &expected)) {
+    if (error != nullptr) *error = "checkpoint crc malformed";
+    return false;
+  }
+  const std::string_view payload(content.data() + magic_len + 9,
+                                 content.size() - magic_len - 9);
+  if (util::Crc32(payload.data(), payload.size()) != expected) {
+    if (error != nullptr) *error = "checkpoint crc mismatch";
+    return false;
+  }
+  JsonValue root;
+  std::string parse_error;
+  if (!JsonValue::Parse(payload, &root, &parse_error) ||
+      !root.is_object()) {
+    if (error != nullptr) *error = "checkpoint json invalid";
+    return false;
+  }
+  long long clock = 0;
+  if (!ReadIntField(root, "clock", &clock) || clock < 0) return false;
+  const JsonValue* offsets = root.Find("offsets");
+  const JsonValue* datasets = root.Find("datasets");
+  const JsonValue* mods = root.Find("mods");
+  const JsonValue* deps = root.Find("deps");
+  if (offsets == nullptr || !offsets->is_object() || datasets == nullptr ||
+      !datasets->is_array() || mods == nullptr || !mods->is_array() ||
+      deps == nullptr || !deps->is_array()) {
+    if (error != nullptr) *error = "checkpoint sections missing";
+    return false;
+  }
+  clock_ = static_cast<uint64_t>(clock);
+  for (const auto& [name, value] : offsets->object_items()) {
+    if (value.is_integer() && value.int_value() >= 0) {
+      offsets_[name] = static_cast<size_t>(value.int_value());
+    }
+  }
+  for (const JsonValue& entry : datasets->array_items()) {
+    if (!entry.is_object()) continue;
+    std::string dataset;
+    std::string data_dir;
+    if (!ReadStringField(entry, "dataset", &dataset) ||
+        !ReadStringField(entry, "data_dir", &data_dir)) {
+      continue;
+    }
+    std::string overlay_error;
+    Overlay* overlay = GetOverlayLocked(dataset, data_dir, &overlay_error);
+    if (overlay == nullptr) continue;
+    const JsonValue* sides = entry.Find("sides");
+    if (sides == nullptr || !sides->is_array() ||
+        sides->array_items().size() != 2) {
+      continue;
+    }
+    for (int side = 0; side < 2; ++side) {
+      const JsonValue& side_value = sides->array_items()[side];
+      if (!side_value.is_object()) continue;
+      for (const char* section : {"mutated", "appended"}) {
+        const JsonValue* rows = side_value.Find(section);
+        if (rows == nullptr || !rows->is_array()) continue;
+        for (const JsonValue& row : rows->array_items()) {
+          if (!row.is_object()) continue;
+          long long id = 0;
+          if (!ReadIntField(row, "id", &id)) continue;
+          const JsonValue* alive = row.Find("alive");
+          const JsonValue* values = row.Find("values");
+          if (alive == nullptr || !alive->is_bool() || values == nullptr ||
+              !values->is_array()) {
+            continue;
+          }
+          data::Record record;
+          record.id = static_cast<int>(id);
+          for (const JsonValue& value : values->array_items()) {
+            if (value.is_string()) {
+              record.values.push_back(value.string_value());
+            }
+          }
+          overlay->sides[side].Upsert(record);
+          if (!alive->bool_value()) {
+            overlay->sides[side].Remove(record.id);
+          }
+        }
+      }
+    }
+  }
+  for (const JsonValue& entry : mods->array_items()) {
+    if (!entry.is_object()) continue;
+    std::string dataset;
+    std::string data_dir;
+    long long side = 0;
+    long long id = 0;
+    long long seq = 0;
+    long long vslot = 0;
+    if (!ReadStringField(entry, "dataset", &dataset) ||
+        !ReadStringField(entry, "data_dir", &data_dir) ||
+        !ReadIntField(entry, "side", &side) ||
+        !ReadIntField(entry, "id", &id) ||
+        !ReadIntField(entry, "seq", &seq) ||
+        !ReadIntField(entry, "vslot", &vslot)) {
+      continue;
+    }
+    mods_[RecordKey(dataset, data_dir, static_cast<int>(side),
+                    static_cast<int>(id))] =
+        Version{static_cast<uint64_t>(seq), static_cast<int>(vslot)};
+  }
+  for (const JsonValue& entry : deps->array_items()) {
+    if (!entry.is_object()) continue;
+    std::string job_id;
+    long long seq = 0;
+    long long vslot = 0;
+    long long snapshot = 0;
+    if (!ReadStringField(entry, "job_id", &job_id) ||
+        !ReadIntField(entry, "seq", &seq) ||
+        !ReadIntField(entry, "vslot", &vslot) ||
+        !ReadIntField(entry, "snapshot", &snapshot)) {
+      continue;
+    }
+    const JsonValue* records = entry.Find("records");
+    if (records == nullptr || !records->is_array()) continue;
+    JobDeps& job = deps_[job_id];
+    job.version = Version{static_cast<uint64_t>(seq),
+                          static_cast<int>(vslot)};
+    job.snapshot = static_cast<uint64_t>(snapshot);
+    for (const JsonValue& record : records->array_items()) {
+      if (!record.is_object()) continue;
+      StreamOp::DepRecord dep;
+      long long side = 0;
+      long long id = 0;
+      if (!ReadStringField(record, "dataset", &dep.dataset) ||
+          !ReadStringField(record, "data_dir", &dep.data_dir) ||
+          !ReadIntField(record, "side", &side) ||
+          !ReadIntField(record, "id", &id)) {
+        continue;
+      }
+      dep.side = static_cast<int>(side);
+      dep.id = static_cast<int>(id);
+      watchers_[RecordKey(dep.dataset, dep.data_dir, dep.side, dep.id)]
+          .insert(job_id);
+      job.records.push_back(std::move(dep));
+    }
+  }
+  return true;
+}
+
+StreamCoordinator::Stats StreamCoordinator::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats = stats_;
+  stats.clock = clock_;
+  stats.datasets = static_cast<int>(overlays_.size());
+  stats.stale_jobs = static_cast<int>(stale_.size());
+  return stats;
+}
+
+std::string StreamCoordinator::StatsJson() const {
+  const Stats s = stats();
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("slot");
+  json.Int(options_.slot);
+  json.Key("clock");
+  json.Int(static_cast<long long>(s.clock));
+  json.Key("ops_applied");
+  json.Int(s.ops_applied);
+  json.Key("ops_absorbed");
+  json.Int(s.ops_absorbed);
+  json.Key("upserts");
+  json.Int(s.upserts);
+  json.Key("removes");
+  json.Int(s.removes);
+  json.Key("deps_registered");
+  json.Int(s.deps_registered);
+  json.Key("invalidations");
+  json.Int(s.invalidations);
+  json.Key("checkpoints");
+  json.Int(s.checkpoints);
+  json.Key("torn_bytes_dropped");
+  json.Int(s.torn_bytes_dropped);
+  json.Key("replayed_ops");
+  json.Int(s.replayed_ops);
+  json.Key("datasets");
+  json.Int(s.datasets);
+  json.Key("stale_jobs");
+  json.Int(s.stale_jobs);
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace certa::service

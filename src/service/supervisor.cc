@@ -237,6 +237,9 @@ bool Supervisor::SpawnWorker(int slot, std::string* error) {
     // The store is deliberately NOT partitioned: every worker shares
     // one directory, each writing its own slot-named segment stream.
     launch.store_dir = options_.store_dir;
+    // Shared for the same reason: one stream directory, one WAL writer
+    // per slot, siblings absorb each other's acked record ops.
+    launch.stream_dir = options_.stream_dir;
     launch.control_fd = pair[1];
     launch.listen_port = port_;
     if (reuse_port_mode_) {

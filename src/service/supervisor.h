@@ -54,6 +54,14 @@ struct WorkerLaunch {
   /// strands nothing and adoption never moves store data — the
   /// surviving workers already read the dead worker's stream.
   std::string store_dir;
+  /// The fleet's SHARED stream directory ("" = streaming off). Like
+  /// the score store it is not partitioned: every worker opens one
+  /// service::StreamCoordinator on it with its slot as the stream
+  /// slot, appending record ops to its own `ops-w<slot>.wal` while
+  /// absorbing siblings' acked ops read-only — so an upsert acked by
+  /// any worker is seen by every worker, and a crashed worker's acked
+  /// ops survive in its stream for the others to keep absorbing.
+  std::string stream_dir;
   /// Worker end of the master<->worker control socketpair.
   int control_fd = -1;
   /// The fleet's resolved TCP port.
@@ -73,6 +81,8 @@ struct SupervisorOptions {
   std::string job_root = "jobs";
   /// "" = no score store.
   std::string store_dir;
+  /// "" = streaming off (see WorkerLaunch::stream_dir).
+  std::string stream_dir;
   /// Exponential restart backoff: initial * 2^(streak-1), capped.
   long long restart_backoff_initial_ms = 200;
   long long restart_backoff_max_ms = 4000;

@@ -109,7 +109,9 @@ TEST(ExplainRequestTest, FutureSchemaVersionIsRefusedWithClearError) {
   std::string error;
   EXPECT_FALSE(FromJsonText(future, &request, &error));
   EXPECT_NE(error.find("schema_version 9"), std::string::npos) << error;
-  EXPECT_NE(error.find("supports <= 1"), std::string::npos) << error;
+  EXPECT_NE(error.find("supports <= " + std::to_string(kSchemaVersion)),
+            std::string::npos)
+      << error;
 }
 
 TEST(ExplainRequestTest, FromJsonRejectsUnknownFieldAtCurrentVersion) {

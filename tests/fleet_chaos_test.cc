@@ -7,8 +7,12 @@
 // byte-identical to a direct single-process `certa explain --json`,
 // the shared store shows cross-worker reuse (`store.peer_hits` > 0)
 // despite workers dying mid-append to their streams, and the master
-// drains to exit 0 on SIGTERM. Runs under ASan and TSan in CI via
-// `ctest -L fleet`.
+// drains to exit 0 on SIGTERM. The fleet also shares one `--stream-dir`
+// and absorbs a concurrent stream of v2 upserts (against a dataset no
+// explain job touches) throughout the storm: every acked upsert must be
+// matchable fleet-wide afterwards, and the explain results must stay
+// byte-identical to single-process runs despite the interleaved writes.
+// Runs under ASan and TSan in CI via `ctest -L fleet`.
 
 #include <signal.h>
 #include <sys/wait.h>
@@ -27,6 +31,8 @@
 
 #include <gtest/gtest.h>
 
+#include "data/benchmarks.h"
+#include "data/dataset.h"
 #include "util/json_parser.h"
 
 #ifndef CERTA_CLI_PATH
@@ -182,11 +188,13 @@ TEST(FleetChaosTest, SigkillStormLosesNoWorkAndStaysByteIdentical) {
   const fs::path log = root / "server.log";
   const std::string job_root = (root / "jobs").string();
   const std::string store_dir = (root / "store").string();
+  const std::string stream_dir = (root / "stream").string();
   pid_t master = SpawnFleet(
       {"--listen", "0", "--job-root", job_root, "--workers",
        std::to_string(kWorkers), "--queue", "16", "--checkpoint-every", "32",
        "--restart-backoff-ms", "50", "--stable-after-ms", "200",
-       "--stats-interval-ms", "50", "--store-dir", store_dir},
+       "--stats-interval-ms", "50", "--store-dir", store_dir,
+       "--stream-dir", stream_dir},
       log);
   ASSERT_GT(master, 0);
   const int port = WaitForPort(log);
@@ -210,6 +218,33 @@ TEST(FleetChaosTest, SigkillStormLosesNoWorkAndStaysByteIdentical) {
     });
   }
 
+  // A concurrent v2 upsert stream rides through the whole storm,
+  // against a dataset no explain job touches ("FZ") so the byte-
+  // identity checks below see only the batch inputs. An upsert whose
+  // worker dies pre-ack simply doesn't count as acked (a client retry
+  // replays it idempotently — last-writer-wins on the shared seq).
+  constexpr int kUpserts = 24;
+  const int fz_arity = data::MakeBenchmark("FZ").left.schema().size();
+  std::string fz_values;
+  for (int i = 0; i < fz_arity; ++i) {
+    if (i > 0) fz_values += "|";
+    fz_values += "chaostok";
+  }
+  std::vector<bool> acked(kUpserts, false);
+  std::thread upserter([&] {
+    for (int i = 0; i < kUpserts; ++i) {
+      std::string out;
+      const int code = RunShell(
+          ClientCmd(port, "upsert --dataset FZ --side left --record " +
+                              std::to_string(930000 + i) + " --values '" +
+                              fz_values + std::to_string(i) + "'"),
+          &out);
+      acked[static_cast<size_t>(i)] =
+          code == 0 && out.find("\"type\":\"upserted\"") != std::string::npos;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  });
+
   // Kill storm: after the submits have landed, SIGKILL a random live
   // worker every ~300ms. Deterministic seed so a failure reproduces.
   std::mt19937 rng(20260807);
@@ -230,6 +265,7 @@ TEST(FleetChaosTest, SigkillStormLosesNoWorkAndStaysByteIdentical) {
   EXPECT_EQ(kills, kKills);
 
   for (std::thread& t : clients) t.join();
+  upserter.join();
 
   // The master must have outlived the storm; a premature death here
   // (reaped with WNOHANG) is its own failure with the raw status.
@@ -289,6 +325,28 @@ TEST(FleetChaosTest, SigkillStormLosesNoWorkAndStaysByteIdentical) {
           << "client " << i;
     }
   }
+
+  // Zero lost upserts: every op a client got an `upserted` ack for was
+  // fsync'd to the shared stream dir before the ack left, so it is
+  // matchable through whatever workers survived (match absorbs every
+  // sibling's WAL before answering). Most of the stream must have
+  // landed despite the storm.
+  int acked_count = 0;
+  for (int i = 0; i < kUpserts; ++i) {
+    if (!acked[static_cast<size_t>(i)]) continue;
+    ++acked_count;
+    std::string match_out;
+    ASSERT_EQ(RunShell(ClientCmd(port, "match --dataset FZ --side left "
+                                       "--values 'chaostok" +
+                                           std::to_string(i) + "' --top-k 3"),
+                       &match_out),
+              0)
+        << match_out;
+    EXPECT_NE(match_out.find("\"id\":" + std::to_string(930000 + i)),
+              std::string::npos)
+        << "acked upsert " << i << " lost in the storm: " << match_out;
+  }
+  EXPECT_GT(acked_count, kUpserts / 2) << "upsert stream mostly failed";
 
   // The storm must not have broken the shared store: warm reruns of
   // the storm's own requests (new ids, so the job layer re-runs them)

@@ -1,0 +1,196 @@
+// data::MutableTable — the incremental index layer under the streaming
+// verbs (label: stream;store). The load-bearing property is
+// differential: after ANY randomized history of upserts and removals,
+// Candidates(probe) must be byte-identical to a from-scratch
+// CandidateIndex rebuilt over Materialize() — the exact table a batch
+// run over the same data would load.
+
+#include "data/mutable_table.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/candidate_index.h"
+#include "util/random.h"
+
+namespace certa::data {
+namespace {
+
+Table SmallBase() {
+  Table table("base", Schema({"name", "city"}));
+  table.Add({1, {"anna karin", "oslo"}});
+  table.Add({2, {"bert olsen", "bergen"}});
+  table.Add({3, {"anna olsen", "bergen"}});
+  return table;
+}
+
+Record MakeRecord(int id, const std::string& name, const std::string& city) {
+  return Record{id, {name, city}};
+}
+
+TEST(MutableTableTest, SeedsFromBaseTable) {
+  MutableTable table(SmallBase());
+  EXPECT_EQ(table.size(), 3);
+  EXPECT_EQ(table.live_size(), 3);
+  EXPECT_EQ(table.schema().size(), 2);
+  ASSERT_NE(table.FindById(2), nullptr);
+  EXPECT_EQ(table.FindById(2)->values[1], "bergen");
+  EXPECT_EQ(table.FindById(99), nullptr);
+}
+
+TEST(MutableTableTest, UpsertReplacesInPlaceAndAppendsNewIds) {
+  MutableTable table(SmallBase());
+  bool created = true;
+  std::string error;
+  // Known id: replaced in its slot, no new row.
+  int row = table.Upsert(MakeRecord(2, "bert hansen", "tromso"), &created,
+                         &error);
+  EXPECT_EQ(row, 1);
+  EXPECT_FALSE(created);
+  EXPECT_EQ(table.size(), 3);
+  EXPECT_EQ(table.FindById(2)->values[0], "bert hansen");
+  // New id: appended.
+  row = table.Upsert(MakeRecord(7, "carl berg", "oslo"), &created, &error);
+  EXPECT_EQ(row, 3);
+  EXPECT_TRUE(created);
+  EXPECT_EQ(table.size(), 4);
+  EXPECT_EQ(table.live_size(), 4);
+}
+
+TEST(MutableTableTest, UpsertRejectsWrongValueCount) {
+  MutableTable table(SmallBase());
+  std::string error;
+  EXPECT_EQ(table.Upsert(Record{5, {"only one value"}}, nullptr, &error), -1);
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(table.size(), 3);
+}
+
+TEST(MutableTableTest, RemoveTombstonesAndReusesTheSlot) {
+  MutableTable table(SmallBase());
+  ASSERT_TRUE(table.Remove(2));
+  EXPECT_EQ(table.size(), 3);  // slot stays
+  EXPECT_EQ(table.live_size(), 2);
+  EXPECT_EQ(table.FindById(2), nullptr);
+  EXPECT_FALSE(table.alive(1));
+  // Removing again is a no-op.
+  EXPECT_FALSE(table.Remove(2));
+  EXPECT_FALSE(table.Remove(42));
+  // A tombstoned record shares no tokens anymore ("bert" appears only
+  // in the removed record).
+  EXPECT_TRUE(table.Candidates(MakeRecord(-1, "bert", "NaN")).empty());
+  // Re-upsert of the id reuses row 1 instead of shifting rows.
+  bool created = true;
+  std::string error;
+  EXPECT_EQ(table.Upsert(MakeRecord(2, "bert again", "bergen"), &created,
+                         &error),
+            1);
+  EXPECT_FALSE(created);
+  EXPECT_EQ(table.live_size(), 3);
+}
+
+TEST(MutableTableTest, TopKRanksByOverlapThenRow) {
+  MutableTable table(SmallBase());
+  // Probe shares 2 tokens with row 2 ("anna" + "olsen"... row 2 is
+  // {anna olsen, bergen}), fewer with rows 0 and 1.
+  const Record probe = MakeRecord(-1, "anna olsen", "NaN");
+  std::vector<MutableTable::MatchCandidate> top = table.TopK(probe, 10);
+  ASSERT_GE(top.size(), 2u);
+  EXPECT_EQ(top[0].id, 3);
+  EXPECT_GE(top[0].overlap, 2);
+  for (size_t i = 1; i < top.size(); ++i) {
+    const bool ordered =
+        top[i - 1].overlap > top[i].overlap ||
+        (top[i - 1].overlap == top[i].overlap && top[i - 1].row < top[i].row);
+    EXPECT_TRUE(ordered) << "rank " << i;
+  }
+  // k truncates.
+  EXPECT_EQ(table.TopK(probe, 1).size(), 1u);
+}
+
+TEST(MutableTableTest, MaterializeKeepsRowNumberingWithTombstones) {
+  MutableTable table(SmallBase());
+  table.Remove(1);
+  std::string error;
+  table.Upsert(MakeRecord(9, "dora lund", "narvik"), nullptr, &error);
+  Table frozen = table.Materialize();
+  ASSERT_EQ(frozen.size(), table.size());
+  for (int row = 0; row < frozen.size(); ++row) {
+    EXPECT_EQ(frozen.record(row).id, table.record(row).id);
+  }
+  // The tombstoned slot rides along as all-missing values.
+  for (const std::string& value : frozen.record(0).values) {
+    EXPECT_EQ(value, "NaN");
+  }
+}
+
+// ---------------------------------------------------------------------
+// The differential contract: incremental index == from-scratch rebuild,
+// byte-identical, after any mutation history.
+
+std::string RandomWord(Rng* rng) {
+  static const char* kWords[] = {"anna", "bert",  "carl",  "dora", "olsen",
+                                 "berg", "lund",  "oslo",  "bergen", "narvik",
+                                 "NaN",  "karin", "hansen", "tromso"};
+  return kWords[rng->Index(sizeof(kWords) / sizeof(kWords[0]))];
+}
+
+Record RandomRecord(int id, Rng* rng) {
+  return MakeRecord(id, RandomWord(rng) + " " + RandomWord(rng),
+                    RandomWord(rng));
+}
+
+TEST(MutableTableDifferentialTest, MatchesRebuildAfterRandomHistories) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed * 7919);
+    MutableTable table(SmallBase());
+    for (int step = 0; step < 200; ++step) {
+      const int id = rng.UniformInt(1, 20);
+      if (rng.Bernoulli(0.3)) {
+        table.Remove(id);
+      } else {
+        std::string error;
+        ASSERT_GE(table.Upsert(RandomRecord(id, &rng), nullptr, &error), 0)
+            << error;
+      }
+      if (step % 20 != 0) continue;
+      // Rebuild from scratch over the materialized table and compare
+      // candidate lists for a batch of probes — exact equality, which
+      // is what makes streaming jobs equal batch jobs.
+      const Table frozen = table.Materialize();
+      const CandidateIndex rebuilt(frozen);
+      for (int p = 0; p < 10; ++p) {
+        const Record probe = RandomRecord(-1, &rng);
+        EXPECT_EQ(table.Candidates(probe), rebuilt.Candidates(probe))
+            << "seed " << seed << " step " << step;
+        EXPECT_EQ(table.Candidates(probe),
+                  LinearScanCandidates(frozen, probe));
+      }
+    }
+  }
+}
+
+TEST(MutableTableDifferentialTest, TopKAgreesWithCandidateOverlapCounts) {
+  Rng rng(4242);
+  MutableTable table(SmallBase());
+  std::string error;
+  for (int id = 10; id < 40; ++id) {
+    ASSERT_GE(table.Upsert(RandomRecord(id, &rng), nullptr, &error), 0);
+  }
+  const Record probe = RandomRecord(-1, &rng);
+  const std::vector<int> candidates = table.Candidates(probe);
+  const std::vector<MutableTable::MatchCandidate> top =
+      table.TopK(probe, table.size());
+  // Every candidate row appears in the full top list and vice versa.
+  EXPECT_EQ(top.size(), candidates.size());
+  for (const auto& match : top) {
+    EXPECT_GE(match.overlap, 1);
+    EXPECT_NE(std::find(candidates.begin(), candidates.end(), match.row),
+              candidates.end());
+  }
+}
+
+}  // namespace
+}  // namespace certa::data

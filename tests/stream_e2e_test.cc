@@ -1,0 +1,323 @@
+// Streaming end-to-end through the real binaries (label: stream):
+// `certa serve --listen --stream-dir` on one side, `certa_client`
+// upsert/remove/match/result on the other. Pins the ISSUE's acceptance
+// criteria directly:
+//   - an explained-then-upserted job is flagged stale and its recompute
+//     produces byte-identical results to a fresh run over the same
+//     mutated records;
+//   - SIGKILL mid-stream loses zero acked upserts — the WAL fsync
+//     happens before the ack frame leaves the server;
+//   - a worker fleet shares one stream directory: an upsert acked by
+//     any worker is immediately matchable through every worker.
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/benchmarks.h"
+#include "data/dataset.h"
+
+#ifndef CERTA_CLI_PATH
+#error "CERTA_CLI_PATH must be defined to the certa CLI binary path"
+#endif
+#ifndef CERTA_CLIENT_PATH
+#error "CERTA_CLIENT_PATH must be defined to the certa_client binary path"
+#endif
+
+namespace certa {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path Scratch(const std::string& tag) {
+  fs::path dir =
+      fs::temp_directory_path() /
+      ("certa_stream_e2e_" + tag + "_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string ReadAll(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+std::string Chomp(std::string text) {
+  while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+    text.pop_back();
+  }
+  return text;
+}
+
+int RunShell(const std::string& command, std::string* output) {
+  FILE* pipe = ::popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return -1;
+  output->clear();
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = ::fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    output->append(buffer, n);
+  }
+  const int status = ::pclose(pipe);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+pid_t SpawnServer(const std::vector<std::string>& args,
+                  const fs::path& log) {
+  pid_t pid = fork();
+  if (pid != 0) return pid;
+  std::freopen("/dev/null", "r", stdin);
+  FILE* out = std::freopen(log.string().c_str(), "w", stdout);
+  if (out != nullptr) dup2(fileno(stdout), fileno(stderr));
+  std::vector<char*> argv;
+  std::string binary = CERTA_CLI_PATH;
+  argv.push_back(binary.data());
+  std::string serve = "serve";
+  argv.push_back(serve.data());
+  std::vector<std::string> owned = args;
+  for (std::string& arg : owned) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+  execv(CERTA_CLI_PATH, argv.data());
+  _exit(127);
+}
+
+int WaitForPort(const fs::path& log) {
+  for (int attempt = 0; attempt < 400; ++attempt) {
+    const std::string text = ReadAll(log);
+    const size_t at = text.find("LISTENING ");
+    if (at != std::string::npos) {
+      const size_t colon = text.find(':', at);
+      const size_t end = text.find('\n', at);
+      if (colon != std::string::npos && end != std::string::npos) {
+        return std::stoi(text.substr(colon + 1, end - colon - 1));
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  return 0;
+}
+
+int StopServer(pid_t pid, int sig) {
+  kill(pid, sig);
+  int status = 0;
+  if (waitpid(pid, &status, 0) != pid) return -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string ClientCmd(int port, const std::string& rest) {
+  return std::string(CERTA_CLIENT_PATH) + " " + rest + " --port " +
+         std::to_string(port);
+}
+
+/// Values flag for a record whose every attribute is `token <i>` —
+/// schema-arity correct for the benchmark, trivially shell-safe.
+std::string ValuesFlag(int attributes, const std::string& token) {
+  std::string values;
+  for (int i = 0; i < attributes; ++i) {
+    if (i > 0) values += "|";
+    values += token;
+  }
+  return "--values '" + values + "'";
+}
+
+TEST(StreamE2eTest, StaleRecomputeMatchesFreshRunByteForByte) {
+  const data::Dataset base = data::MakeBenchmark("AB");
+  const data::LabeledPair& pair = base.test[0];
+  const int left_id = base.left.record(pair.left_index).id;
+  const int attributes = base.left.schema().size();
+  const std::string upsert_args =
+      "upsert --dataset AB --side left --record " + std::to_string(left_id) +
+      " " + ValuesFlag(attributes, "drifted attribute value");
+
+  // Server A: explain first, then mutate, then refetch — the stale
+  // recompute path.
+  const fs::path root_a = Scratch("stale_a");
+  const fs::path log_a = root_a / "server.log";
+  pid_t server_a = SpawnServer(
+      {"--listen", "0", "--job-root", (root_a / "jobs").string(),
+       "--stream-dir", (root_a / "stream").string(), "--workers", "1"},
+      log_a);
+  ASSERT_GT(server_a, 0);
+  const int port_a = WaitForPort(log_a);
+  ASSERT_GT(port_a, 0) << ReadAll(log_a);
+
+  std::string output;
+  ASSERT_EQ(RunShell(ClientCmd(port_a,
+                               "submit --id live --dataset AB --model svm "
+                               "--pair 0 --triangles 20"),
+                     &output),
+            0)
+      << output;
+  ASSERT_NE(output.find("\"type\":\"result\""), std::string::npos) << output;
+
+  ASSERT_EQ(RunShell(ClientCmd(port_a, upsert_args), &output), 0) << output;
+  ASSERT_NE(output.find("\"type\":\"upserted\""), std::string::npos)
+      << output;
+
+  // The client's `result` rides out stale_recomputing by polling status
+  // and prints the recomputed result.
+  ASSERT_EQ(RunShell(ClientCmd(port_a, "result --job live"), &output), 0)
+      << output;
+  EXPECT_NE(output.find("\"type\":\"result\""), std::string::npos) << output;
+  EXPECT_NE(output.find("stale"), std::string::npos)
+      << "expected the stale notice on stderr: " << output;
+
+  // Server B: the same mutation applied BEFORE the job ever runs — a
+  // fresh batch run over the mutated records.
+  const fs::path root_b = Scratch("stale_b");
+  const fs::path log_b = root_b / "server.log";
+  pid_t server_b = SpawnServer(
+      {"--listen", "0", "--job-root", (root_b / "jobs").string(),
+       "--stream-dir", (root_b / "stream").string(), "--workers", "1"},
+      log_b);
+  ASSERT_GT(server_b, 0);
+  const int port_b = WaitForPort(log_b);
+  ASSERT_GT(port_b, 0) << ReadAll(log_b);
+
+  ASSERT_EQ(RunShell(ClientCmd(port_b, upsert_args), &output), 0) << output;
+  ASSERT_EQ(RunShell(ClientCmd(port_b,
+                               "submit --id live --dataset AB --model svm "
+                               "--pair 0 --triangles 20"),
+                     &output),
+            0)
+      << output;
+
+  // Single-process serve exits kInterruptedExitCode (3) on SIGTERM.
+  EXPECT_EQ(StopServer(server_a, SIGTERM), 3) << ReadAll(log_a);
+  EXPECT_EQ(StopServer(server_b, SIGTERM), 3) << ReadAll(log_b);
+
+  const std::string recomputed =
+      ReadAll(root_a / "jobs" / "live" / "result.json");
+  const std::string fresh = ReadAll(root_b / "jobs" / "live" / "result.json");
+  ASSERT_FALSE(recomputed.empty());
+  ASSERT_FALSE(fresh.empty());
+  // The acceptance criterion: recompute-after-mutation equals a fresh
+  // run over the same mutated records, byte for byte.
+  EXPECT_EQ(Chomp(recomputed), Chomp(fresh));
+}
+
+TEST(StreamE2eTest, SigkillLosesNoAckedUpsert) {
+  const data::Dataset base = data::MakeBenchmark("AB");
+  const int attributes = base.left.schema().size();
+  const fs::path root = Scratch("sigkill");
+  const fs::path log = root / "server.log";
+  const std::vector<std::string> serve_args = {
+      "--listen",     "0",
+      "--job-root",   (root / "jobs").string(),
+      "--stream-dir", (root / "stream").string(),
+      "--workers",    "1"};
+  pid_t server = SpawnServer(serve_args, log);
+  ASSERT_GT(server, 0);
+  const int port = WaitForPort(log);
+  ASSERT_GT(port, 0) << ReadAll(log);
+
+  // Ack a batch of upserts, each with a unique probe token. Every one
+  // of these was fsync'd to the WAL before its ack frame went out.
+  constexpr int kRecords = 20;
+  std::string output;
+  for (int i = 0; i < kRecords; ++i) {
+    const std::string token = "sigkilltok" + std::to_string(i);
+    ASSERT_EQ(RunShell(ClientCmd(
+                           port, "upsert --dataset AB --side left --record " +
+                                     std::to_string(910000 + i) + " " +
+                                     ValuesFlag(attributes, token)),
+                       &output),
+              0)
+        << output;
+    ASSERT_NE(output.find("\"type\":\"upserted\""), std::string::npos)
+        << output;
+  }
+
+  // SIGKILL: no drain, no final checkpoint, no flushed state beyond the
+  // WAL itself.
+  ASSERT_EQ(kill(server, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(server, &status, 0), server);
+  ASSERT_TRUE(WIFSIGNALED(status));
+
+  // Restart over the same directories: recovery replays the WAL tail.
+  const fs::path log2 = root / "server2.log";
+  pid_t server2 = SpawnServer(serve_args, log2);
+  ASSERT_GT(server2, 0);
+  const int port2 = WaitForPort(log2);
+  ASSERT_GT(port2, 0) << ReadAll(log2);
+
+  // Every acked record is still matchable — zero lost upserts.
+  for (int i = 0; i < kRecords; ++i) {
+    const std::string token = "sigkilltok" + std::to_string(i);
+    ASSERT_EQ(RunShell(ClientCmd(port2,
+                                 "match --dataset AB --side left --values '" +
+                                     token + "' --top-k 3"),
+                       &output),
+              0)
+        << output;
+    EXPECT_NE(output.find("\"id\":" + std::to_string(910000 + i)),
+              std::string::npos)
+        << "acked upsert " << i << " lost after SIGKILL: " << output;
+  }
+  // Single-process serve exits kInterruptedExitCode (3) on SIGTERM.
+  EXPECT_EQ(StopServer(server2, SIGTERM), 3) << ReadAll(log2);
+}
+
+TEST(StreamE2eTest, FleetSharesOneStreamDirectory) {
+  const data::Dataset base = data::MakeBenchmark("AB");
+  const int attributes = base.left.schema().size();
+  const fs::path root = Scratch("fleet");
+  const fs::path log = root / "server.log";
+  pid_t server = SpawnServer(
+      {"--listen", "0", "--job-root", (root / "jobs").string(),
+       "--stream-dir", (root / "stream").string(), "--workers", "2"},
+      log);
+  ASSERT_GT(server, 0);
+  const int port = WaitForPort(log);
+  ASSERT_GT(port, 0) << ReadAll(log);
+
+  // The fleet advertises itself in the ping capabilities.
+  std::string output;
+  ASSERT_EQ(RunShell(ClientCmd(port, "ping"), &output), 0) << output;
+  EXPECT_NE(output.find("\"workers\":2"), std::string::npos) << output;
+  EXPECT_NE(output.find("\"streaming\":true"), std::string::npos) << output;
+
+  // Each upsert lands on whichever worker the kernel picks; each match
+  // absorbs sibling streams before answering, so an acked upsert is
+  // matchable through EVERY worker immediately — no retry loop needed.
+  constexpr int kRecords = 12;
+  for (int i = 0; i < kRecords; ++i) {
+    const std::string token = "fleettok" + std::to_string(i);
+    ASSERT_EQ(RunShell(ClientCmd(
+                           port, "upsert --dataset AB --side right --record " +
+                                     std::to_string(920000 + i) + " " +
+                                     ValuesFlag(attributes, token)),
+                       &output),
+              0)
+        << output;
+    ASSERT_NE(output.find("\"type\":\"upserted\""), std::string::npos)
+        << output;
+    ASSERT_EQ(
+        RunShell(ClientCmd(port,
+                           "match --dataset AB --side right --values '" +
+                               token + "' --top-k 3"),
+                 &output),
+        0)
+        << output;
+    EXPECT_NE(output.find("\"id\":" + std::to_string(920000 + i)),
+              std::string::npos)
+        << "upsert " << i << " not visible fleet-wide: " << output;
+  }
+  EXPECT_EQ(StopServer(server, SIGTERM), 0) << ReadAll(log);
+}
+
+}  // namespace
+}  // namespace certa

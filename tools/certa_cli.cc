@@ -140,9 +140,13 @@ int Usage() {
          "                [--stats-every N] [--metrics-out FILE]\n"
          "                [--trace-out FILE] [--store-dir DIR] [--no-index]\n"
          "  certa serve   --listen PORT [--host ADDR]\n"
-         "                [--max-connections N] [...same serve flags]\n"
-         "                (--workers K >= 2 forks a fleet; --store-dir is\n"
-         "                 one directory shared by every worker)\n"
+         "                [--max-connections N] [--stream-dir DIR]\n"
+         "                [...same serve flags]\n"
+         "                (--workers K >= 2 forks a fleet; --store-dir and\n"
+         "                 --stream-dir are each one directory shared by\n"
+         "                 every worker; --stream-dir enables the v2\n"
+         "                 streaming verbs: upsert / remove / match /\n"
+         "                 invalidations)\n"
          "  certa serve   --resume JOBDIR [--checkpoint-every N]\n"
          "                [--store-dir DIR]\n"
          "durable explain: explain ... --job-dir DIR [--checkpoint-every N]\n"
@@ -743,6 +747,7 @@ int ServeFleet(const Args& args,
   sup.workers = runner_options.workers;
   sup.job_root = runner_options.job_root;
   sup.store_dir = runner_options.store_dir;
+  sup.stream_dir = args.Get("stream-dir", "");
   if (const char* env = std::getenv("CERTA_FLEET_NO_REUSEPORT")) {
     sup.disable_reuse_port = env[0] != '\0' && std::string_view(env) != "0";
   }
@@ -779,6 +784,7 @@ int ServeFleet(const Args& args,
   }
   const std::string host = sup.host;
   const long long stats_interval_ms = sup.stats_interval_ms;
+  const int fleet_workers = sup.workers;
 
   auto worker_main = [&](const certa::service::WorkerLaunch& launch) -> int {
     certa::service::JobRunnerOptions worker_runner = runner_options;
@@ -803,6 +809,30 @@ int ServeFleet(const Args& args,
       return 1;
     }
 
+    // Shared stream directory, same discipline as the score store: this
+    // worker appends record ops to its own ops-w<slot>.wal and absorbs
+    // the siblings' streams read-only, so an upsert acked by any worker
+    // reaches every worker's overlays.
+    certa::service::StreamCoordinator coordinator;
+    if (!launch.stream_dir.empty()) {
+      certa::service::StreamCoordinator::Options stream_options;
+      stream_options.dir = launch.stream_dir;
+      stream_options.slot = launch.slot;
+      std::string stream_error;
+      if (!coordinator.Open(stream_options, &stream_error)) {
+        std::cerr << "worker " << launch.slot << ": cannot open stream dir "
+                  << launch.stream_dir << ": " << stream_error << "\n";
+        return 1;
+      }
+      worker_runner.dataset_provider =
+          [&coordinator](const certa::api::ExplainRequest& request,
+                         certa::data::Dataset* dataset,
+                         std::string* provider_error) {
+            return coordinator.ProvideDataset(request, dataset,
+                                              provider_error);
+          };
+    }
+
     certa::net::NetServerOptions server_options;
     server_options.host = host;
     server_options.port = launch.listen_port;
@@ -813,6 +843,8 @@ int ServeFleet(const Args& args,
     server_options.peer_job_roots = partitions;
     server_options.stop_flag = certa::service::ShutdownFlag();
     server_options.drain_on_stop_flag = false;
+    server_options.stream = coordinator.is_open() ? &coordinator : nullptr;
+    server_options.fleet_workers = fleet_workers;
     server_options.runner = std::move(worker_runner);
 
     certa::net::NetServer server(std::move(server_options));
@@ -849,6 +881,8 @@ int ServeFleet(const Args& args,
 
     server.Run();
     control.Stop();
+    // Final checkpoint: the slot's successor replays only WAL tails.
+    coordinator.Close();
 
     // DONE lines, one write per worker so concurrent drains don't
     // interleave mid-line. A job that parked and then completed after
@@ -911,6 +945,32 @@ int ServeOverSocket(const Args& args,
   }
   options.max_write_buffer = static_cast<size_t>(max_write_buffer);
   options.stop_flag = certa::service::ShutdownFlag();
+
+  // --stream-dir turns on the v2 streaming verbs: one coordinator owns
+  // the stream directory (slot 0 — single-process serving), the server
+  // routes upsert/remove/match/invalidations through it, and the
+  // runner's dataset hook materializes jobs from the live overlays so
+  // explanations see every acked record op.
+  certa::service::StreamCoordinator coordinator;
+  if (args.Has("stream-dir")) {
+    certa::service::StreamCoordinator::Options stream_options;
+    stream_options.dir = args.Get("stream-dir", "");
+    stream_options.slot = 0;
+    stream_options.metrics = obs.metrics.get();
+    std::string stream_error;
+    if (!coordinator.Open(stream_options, &stream_error)) {
+      std::cerr << "error: cannot open stream dir " << stream_options.dir
+                << ": " << stream_error << "\n";
+      return 1;
+    }
+    options.stream = &coordinator;
+    runner_options.dataset_provider =
+        [&coordinator](const certa::api::ExplainRequest& request,
+                       certa::data::Dataset* dataset, std::string* error) {
+          return coordinator.ProvideDataset(request, dataset, error);
+        };
+  }
+
   options.runner = std::move(runner_options);
   certa::net::NetServer server(std::move(options));
   std::string error;
@@ -924,6 +984,8 @@ int ServeOverSocket(const Args& args,
             << server.port() << "\n"
             << std::flush;
   server.Run();
+  // Final checkpoint: the next serve replays only WAL tails.
+  coordinator.Close();
 
   const bool interrupted = certa::service::ShutdownRequested();
   for (const certa::service::JobOutcome& outcome :

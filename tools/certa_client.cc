@@ -7,10 +7,24 @@
 //       JSON on completion. Exit: 0 complete, 1 error, 3 parked.
 //   certa_client status --port P --job ID
 //   certa_client result --port P --job ID
+//       Fetch a stored result. A `stale_recomputing` answer (the job's
+//       input records changed; the server re-admitted it) downgrades
+//       to status polling and prints the recomputed result.
 //   certa_client cancel --port P --job ID
 //   certa_client stats  --port P
 //   certa_client ping   --port P
 //       One request frame, one response frame, printed verbatim.
+//   certa_client upsert --port P --dataset CODE --side left|right
+//                       --record ID --values "v1|v2|..." [--data-dir DIR]
+//   certa_client remove --port P --dataset CODE --side left|right
+//                       --record ID [--data-dir DIR]
+//   certa_client match  --port P --dataset CODE --side left|right
+//                       --values "v1|v2|..." [--top-k N] [--data-dir DIR]
+//       The v2 streaming verbs (server must run with --stream-dir).
+//   certa_client invalidations --port P [--once]
+//       Subscribe: prints the catch-up frame (already-stale jobs), then
+//       streams invalidation events until the connection ends (--once
+//       stops after the catch-up frame).
 //
 // Reconnects: against a worker fleet (`serve --listen --workers N`) a
 // connection can die mid-conversation when its worker is killed or
@@ -39,10 +53,12 @@
 #include <chrono>
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <string>
 #include <string_view>
 #include <thread>
+#include <vector>
 
 #include "api/explain_request.h"
 #include "net/wire.h"
@@ -70,7 +86,7 @@ bool Parse(int argc, char** argv, Args* args) {
     if (std::strncmp(token, "--", 2) != 0) return false;
     std::string key(token + 2);
     if (key == "no-cache" || key == "no-watch" || key == "quiet" ||
-        key == "no-retry") {
+        key == "no-retry" || key == "once") {
       args->options[key] = "1";
       continue;
     }
@@ -93,6 +109,16 @@ int Usage() {
                "  certa_client cancel --port P [--host H] --job ID\n"
                "  certa_client stats  --port P [--host H]\n"
                "  certa_client ping   --port P [--host H]\n"
+               "  certa_client upsert --port P --dataset CODE\n"
+               "               --side left|right --record ID\n"
+               "               --values \"v1|v2|...\" [--data-dir DIR]\n"
+               "  certa_client remove --port P --dataset CODE\n"
+               "               --side left|right --record ID\n"
+               "               [--data-dir DIR]\n"
+               "  certa_client match  --port P --dataset CODE\n"
+               "               --side left|right --values \"v1|v2|...\"\n"
+               "               [--top-k N] [--data-dir DIR]\n"
+               "  certa_client invalidations --port P [--once]\n"
                "(every command takes --retries N / --no-retry)\n";
   return 2;
 }
@@ -498,6 +524,109 @@ int CmdSubmit(const Args& args, const Endpoint& endpoint) {
   return 0;
 }
 
+/// Splits the --values flag on '|' (no escaping — attribute values in
+/// the streaming protocol are plain text; a value containing '|' must
+/// go through the JSON wire directly).
+std::vector<std::string> SplitValues(const std::string& text) {
+  std::vector<std::string> values;
+  std::string current;
+  for (char c : text) {
+    if (c == '|') {
+      values.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  values.push_back(current);
+  return values;
+}
+
+bool ParseSideFlag(const Args& args, int* side) {
+  const std::string text = certa::ToLowerAscii(args.Get("side", ""));
+  if (text == "left" || text == "l" || text == "0") {
+    *side = 0;
+  } else if (text == "right" || text == "r" || text == "1") {
+    *side = 1;
+  } else {
+    std::cerr << "error: --side must be left or right\n";
+    return false;
+  }
+  return true;
+}
+
+bool ParseRecordFlag(const Args& args, int* record_id) {
+  long long value = 0;
+  if (!args.Has("record") ||
+      !certa::ParseInt64(args.Get("record", ""), &value) || value < 0 ||
+      value > std::numeric_limits<int>::max()) {
+    std::cerr << "error: --record must be a non-negative integer\n";
+    return false;
+  }
+  *record_id = static_cast<int>(value);
+  return true;
+}
+
+/// `result` with staleness handling: a `stale_recomputing` error means
+/// the server noticed this job's input records drifted and re-admitted
+/// it — downgrade to status polling (the same loop a dropped watch
+/// uses) and print the recomputed result when it lands.
+int CmdResult(const Endpoint& endpoint, const std::string& job_id) {
+  std::string error;
+  int failures = 0;
+  for (;;) {
+    Connection conn;
+    if (!ConnectWithRetry(endpoint, &conn, &error)) break;
+    failures = 0;
+    std::string line;
+    if (conn.Send(certa::net::ResultRequestFrame(job_id), &error) &&
+        conn.ReadLine(&line, &error)) {
+      ServerFrame frame;
+      if (ParseServerFrame(line, &frame) && frame.type == "error" &&
+          frame.code == "stale_recomputing") {
+        std::cerr << "result is stale (" << frame.message
+                  << "); waiting for the recompute\n";
+        return WatchByPolling(endpoint, job_id, /*quiet=*/true);
+      }
+      std::cout << line << "\n";
+      return frame.type == "error" ? 1 : 0;
+    }
+    if (++failures > endpoint.retries) break;
+    std::cerr << "retrying: " << error << "\n";
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(BackoffMs(failures)));
+  }
+  std::cerr << "error: " << error << "\n";
+  return 1;
+}
+
+/// `invalidations`: subscribe, print the catch-up frame (jobs already
+/// stale), then stream invalidation events until the server ends the
+/// connection. --once exits after the catch-up frame.
+int CmdInvalidations(const Endpoint& endpoint, bool once) {
+  std::string error;
+  Connection conn;
+  if (!ConnectWithRetry(endpoint, &conn, &error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  std::string line;
+  if (!conn.Send(certa::net::InvalidationsRequestFrame(true), &error) ||
+      !conn.ReadLine(&line, &error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  std::cout << line << "\n" << std::flush;
+  ServerFrame frame;
+  if (ParseServerFrame(line, &frame) && frame.type == "error") return 1;
+  if (once) return 0;
+  while (conn.ReadLine(&line, &error)) {
+    std::cout << line << "\n" << std::flush;
+  }
+  std::cerr << "subscription ended: " << error << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -532,13 +661,53 @@ int main(int argc, char** argv) {
   if (args.command == "stats") {
     return RoundTrip(endpoint, certa::net::StatsRequestFrame());
   }
+  if (args.command == "invalidations") {
+    return CmdInvalidations(endpoint, args.Has("once"));
+  }
+  if (args.command == "upsert" || args.command == "remove" ||
+      args.command == "match") {
+    const std::string dataset = args.Get("dataset", "");
+    if (dataset.empty()) {
+      std::cerr << "error: --dataset is required\n";
+      return 2;
+    }
+    const std::string data_dir = args.Get("data-dir", "");
+    int side = 0;
+    if (!ParseSideFlag(args, &side)) return 2;
+    if (args.command == "match") {
+      long long top_k = 10;
+      if (args.Has("top-k") &&
+          (!certa::ParseInt64(args.Get("top-k", ""), &top_k) || top_k < 1 ||
+           top_k > 10000)) {
+        std::cerr << "error: --top-k must be an integer in [1, 10000]\n";
+        return 2;
+      }
+      return RoundTrip(endpoint, certa::net::MatchRequestFrame(
+                                     dataset, data_dir, side,
+                                     SplitValues(args.Get("values", "")),
+                                     static_cast<int>(top_k)));
+    }
+    int record_id = -1;
+    if (!ParseRecordFlag(args, &record_id)) return 2;
+    if (args.command == "upsert") {
+      if (!args.Has("values")) {
+        std::cerr << "error: --values is required for upsert\n";
+        return 2;
+      }
+      return RoundTrip(endpoint, certa::net::UpsertRequestFrame(
+                                     dataset, data_dir, side, record_id,
+                                     SplitValues(args.Get("values", ""))));
+    }
+    return RoundTrip(endpoint, certa::net::RemoveRequestFrame(
+                                   dataset, data_dir, side, record_id));
+  }
   const std::string job = args.Get("job", "");
   if (job.empty()) return Usage();
   if (args.command == "status") {
     return RoundTrip(endpoint, certa::net::StatusRequestFrame(job));
   }
   if (args.command == "result") {
-    return RoundTrip(endpoint, certa::net::ResultRequestFrame(job));
+    return CmdResult(endpoint, job);
   }
   if (args.command == "cancel") {
     return RoundTrip(endpoint, certa::net::CancelRequestFrame(job));
